@@ -1,0 +1,45 @@
+//! Criterion bench for ablation A4: the cost of observer-based runtime
+//! verification — a plain interpretation run vs the same run with the full
+//! Sect. 3 observer bank attached, at growing configuration sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use swa_core::SystemModel;
+use swa_mc::verify::verify_by_simulation;
+use swa_workload::config_with_jobs;
+
+fn bench_observers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("observers");
+    group.sample_size(10);
+
+    for target in [100u64, 500] {
+        let config = config_with_jobs(target, 1);
+        let model = SystemModel::build(&config).expect("valid config");
+
+        group.bench_with_input(
+            BenchmarkId::new("plain_interpretation", target),
+            &model,
+            |b, model| {
+                b.iter(|| {
+                    let outcome = model.simulate().expect("simulation run");
+                    black_box(outcome.steps)
+                });
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("monitored_interpretation", target),
+            &(&model, &config),
+            |b, (model, config)| {
+                b.iter(|| {
+                    let report = verify_by_simulation(model, config).expect("verified run");
+                    black_box(report.violations.len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_observers);
+criterion_main!(benches);

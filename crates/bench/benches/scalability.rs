@@ -1,0 +1,61 @@
+//! Criterion bench for experiment S1 (Sect. 4 scalability) and ablation A2
+//! (construction vs interpretation split): pipeline phases at growing
+//! configuration sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use swa_core::{analyze, extract_system_trace, SystemModel};
+use swa_workload::config_with_jobs;
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability");
+    group.sample_size(10);
+
+    for target in [100u64, 500, 1_000] {
+        let config = config_with_jobs(target, 1);
+
+        // A2: instance construction (Algorithm 1) alone.
+        group.bench_with_input(
+            BenchmarkId::new("construction", target),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    let model = SystemModel::build(config).expect("valid config");
+                    black_box(model.network().automata().len())
+                });
+            },
+        );
+
+        // A2: interpretation alone (construction hoisted out).
+        group.bench_with_input(
+            BenchmarkId::new("interpretation", target),
+            &config,
+            |b, config| {
+                let model = SystemModel::build(config).expect("valid config");
+                b.iter(|| {
+                    let outcome = model.simulate().expect("simulation run");
+                    black_box(outcome.steps)
+                });
+            },
+        );
+
+        // S1: the full pipeline (construction + interpretation + analysis).
+        group.bench_with_input(
+            BenchmarkId::new("full_pipeline", target),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    let model = SystemModel::build(config).expect("valid config");
+                    let outcome = model.simulate().expect("simulation run");
+                    let trace = extract_system_trace(&model, config, &outcome.trace);
+                    let analysis = analyze(config, &trace);
+                    black_box(analysis.schedulable)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for experiment T1 (the paper's Table 1): model checking
+//! vs the proposed simulation approach as the job count grows.
+//!
+//! Job counts are kept small here (Criterion repeats each measurement many
+//! times and the MC column is exponential); run the `table1` binary for the
+//! paper's full 10–18 range.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use swa_core::{analyze_configuration, SystemModel};
+use swa_mc::check_schedulable_mc_capped;
+use swa_workload::table1_config;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+
+    for jobs in [4usize, 6, 8] {
+        let config = table1_config(jobs);
+        group.bench_with_input(
+            BenchmarkId::new("model_checking", jobs),
+            &config,
+            |b, config| {
+                let model = SystemModel::build(config).expect("valid config");
+                b.iter(|| {
+                    let verdict = check_schedulable_mc_capped(&model, 50_000_000).expect("mc run");
+                    black_box(verdict.states)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("proposed_approach", jobs),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    let report = analyze_configuration(config).expect("simulation run");
+                    black_box(report.schedulable())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Ablation A5 — parallel model checking: the sequential Table 1 baseline
+//! vs the work-stealing parallel explorer at growing thread counts.
+//!
+//! Usage: `cargo run --release -p swa-bench --bin mc_parallel [-- --jobs N]`
+
+use std::time::Instant;
+
+use swa_bench::{render_table, secs};
+use swa_core::SystemModel;
+use swa_mc::{check_schedulable_mc, check_schedulable_mc_parallel};
+use swa_workload::table1_config;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let jobs = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12);
+
+    println!("Parallel model checking — {jobs}-job Table 1 configuration");
+    println!();
+
+    let config = table1_config(jobs);
+    let model = SystemModel::build(&config).expect("valid config");
+
+    let t0 = Instant::now();
+    let seq = check_schedulable_mc(&model).expect("sequential run");
+    let seq_time = t0.elapsed();
+
+    let mut rows = vec![vec![
+        "sequential".to_string(),
+        secs(seq_time),
+        seq.states.to_string(),
+        "1.00x".to_string(),
+    ]];
+    for threads in [1usize, 2, 4, 8] {
+        let t0 = Instant::now();
+        let par = check_schedulable_mc_parallel(&model, threads).expect("parallel run");
+        let t = t0.elapsed();
+        assert_eq!(par.schedulable, seq.schedulable);
+        rows.push(vec![
+            format!("parallel x{threads}"),
+            secs(t),
+            par.states.to_string(),
+            format!("{:.2}x", seq_time.as_secs_f64() / t.as_secs_f64()),
+        ]);
+    }
+
+    println!(
+        "{}",
+        render_table(&["engine", "time (s)", "states", "speedup"], &rows)
+    );
+}

@@ -1,0 +1,54 @@
+//! Experiment S1 — the paper's Sect. 4 scalability claim: *"a model
+//! instance construction and interpretation take about several seconds for
+//! configurations of the same complexity as industrial avionics systems
+//! (about 11 seconds for a configuration with 12 500 jobs)"*.
+//!
+//! Also covers ablation A2: the construction-vs-interpretation cost split.
+//!
+//! Usage: `cargo run --release -p swa-bench --bin scalability`
+
+use swa_bench::{render_table, scalability_row, secs};
+
+fn main() {
+    println!("Scalability — pipeline time vs configuration size");
+    println!("(paper: ~11 s for 12 500 jobs; several seconds at industrial scale)");
+    println!();
+
+    let mut rows = Vec::new();
+    for &target in &[500u64, 1_000, 2_500, 5_000, 12_500] {
+        let row = scalability_row(target, 1);
+        eprintln!(
+            "target={:6}  jobs={:6}  total={}s",
+            row.target_jobs,
+            row.jobs,
+            secs(row.total())
+        );
+        rows.push(vec![
+            row.target_jobs.to_string(),
+            row.jobs.to_string(),
+            row.automata.to_string(),
+            secs(row.build),
+            secs(row.simulate),
+            secs(row.analyze),
+            secs(row.total()),
+            row.schedulable.to_string(),
+        ]);
+    }
+
+    println!(
+        "{}",
+        render_table(
+            &[
+                "target jobs",
+                "jobs",
+                "automata",
+                "build (s)",
+                "interpret (s)",
+                "analyze (s)",
+                "total (s)",
+                "schedulable",
+            ],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,252 @@
+//! # swa-bench — experiment runners regenerating the paper's evaluation
+//!
+//! One module per experiment of `DESIGN.md`'s index; the binaries in
+//! `src/bin/` print the same rows/series the paper reports, and the
+//! Criterion benches in `benches/` measure the same code under a harness.
+//!
+//! | id | paper artifact | binary |
+//! |----|----------------|--------|
+//! | T1 | Table 1 (MC vs proposed approach) | `table1` |
+//! | F2 | Fig. 2 observer verification | `verify_components` |
+//! | S1 | Sect. 4 scalability (12 500 jobs) | `scalability` |
+//! | S2 | Sect. 4 scheduling-tool integration | `config_search` |
+//! | A1 | determinism ablation | `determinism` |
+
+#![warn(missing_docs)]
+#![allow(clippy::module_name_repetitions)]
+#![allow(clippy::cast_precision_loss)]
+
+use std::time::{Duration, Instant};
+
+use swa_core::{analyze_configuration, analyze_configuration_with, SystemModel};
+use swa_mc::check_schedulable_mc_capped;
+use swa_nsa::TieBreak;
+use swa_workload::{config_with_jobs, table1_config};
+
+/// One row of the Table 1 reproduction.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Number of jobs over the hyperperiod.
+    pub jobs: usize,
+    /// Model-checking wall time.
+    pub mc_time: Duration,
+    /// States the model checker visited.
+    pub mc_states: usize,
+    /// Whether exploration was truncated by the state cap.
+    pub mc_truncated: bool,
+    /// Proposed-approach (simulation pipeline) wall time.
+    pub sim_time: Duration,
+    /// Whether both engines agreed on the verdict.
+    pub agree: bool,
+}
+
+/// Runs the Table 1 comparison for one job count.
+///
+/// # Panics
+///
+/// Panics if model construction or either engine fails (experiment code).
+#[must_use]
+pub fn table1_row(jobs: usize, mc_state_cap: usize) -> Table1Row {
+    let config = table1_config(jobs);
+    let model = SystemModel::build(&config).expect("valid generated config");
+
+    let t0 = Instant::now();
+    let mc = check_schedulable_mc_capped(&model, mc_state_cap).expect("mc run");
+    let mc_time = t0.elapsed();
+
+    let t1 = Instant::now();
+    let report = analyze_configuration(&config).expect("simulation run");
+    let sim_time = t1.elapsed();
+
+    Table1Row {
+        jobs,
+        mc_time,
+        mc_states: mc.states,
+        mc_truncated: mc.truncated,
+        sim_time,
+        agree: mc.truncated || mc.schedulable == report.schedulable(),
+    }
+}
+
+/// One row of the scalability experiment.
+#[derive(Debug, Clone)]
+pub struct ScalabilityRow {
+    /// Requested job count.
+    pub target_jobs: u64,
+    /// Actual job count of the generated configuration.
+    pub jobs: u64,
+    /// Number of automata in the instance.
+    pub automata: usize,
+    /// Instance-construction time (Algorithm 1).
+    pub build: Duration,
+    /// Interpretation time over one hyperperiod.
+    pub simulate: Duration,
+    /// Trace extraction + analysis time.
+    pub analyze: Duration,
+    /// The verdict.
+    pub schedulable: bool,
+}
+
+impl ScalabilityRow {
+    /// Total pipeline time.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.build + self.simulate + self.analyze
+    }
+}
+
+/// Runs the scalability experiment for one target job count.
+///
+/// # Panics
+///
+/// Panics if the generated configuration is invalid or simulation fails.
+#[must_use]
+pub fn scalability_row(target_jobs: u64, seed: u64) -> ScalabilityRow {
+    let config = config_with_jobs(target_jobs, seed);
+    let jobs = config.job_count().expect("valid generated config");
+    let model = SystemModel::build(&config).expect("valid generated config");
+    let automata = model.network().automata().len();
+    let report = analyze_configuration(&config).expect("simulation run");
+    ScalabilityRow {
+        target_jobs,
+        jobs,
+        automata,
+        build: report.metrics.build,
+        simulate: report.metrics.simulate,
+        analyze: report.metrics.analyze,
+        schedulable: report.schedulable(),
+    }
+}
+
+/// Result of the determinism ablation on one configuration.
+#[derive(Debug, Clone)]
+pub struct DeterminismResult {
+    /// Number of alternative interleaving orders tried.
+    pub orders_tried: usize,
+    /// Whether every order produced the same analysis signature.
+    pub all_equal: bool,
+}
+
+/// Runs the determinism ablation: canonical vs reversed vs `n` random
+/// permutations of the interleaving order.
+///
+/// # Panics
+///
+/// Panics if a run fails (experiment code).
+#[must_use]
+pub fn determinism_check(
+    config: &swa_ima::Configuration,
+    permutations: usize,
+    seed: u64,
+) -> DeterminismResult {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    let reference = analyze_configuration(config).expect("canonical run");
+    let ref_sig = reference.analysis.signature();
+    let mut all_equal = true;
+    let mut orders = 1;
+
+    let reversed = analyze_configuration_with(config, TieBreak::Reversed).expect("reversed run");
+    orders += 1;
+    all_equal &= reversed.analysis.signature() == ref_sig;
+
+    let model = SystemModel::build(config).expect("valid config");
+    let n_automata = model.network().automata().len();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    for _ in 0..permutations {
+        let mut perm: Vec<u32> =
+            (0..u32::try_from(n_automata).expect("automata fit u32")).collect();
+        perm.shuffle(&mut rng);
+        let run =
+            analyze_configuration_with(config, TieBreak::Permuted(perm)).expect("permuted run");
+        orders += 1;
+        all_equal &= run.analysis.signature() == ref_sig;
+    }
+
+    DeterminismResult {
+        orders_tried: orders,
+        all_equal,
+    }
+}
+
+/// Renders a plain-text table.
+#[must_use]
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for w in &widths {
+            out.push('+');
+            out.push_str(&"-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    sep(&mut out);
+    for (i, h) in headers.iter().enumerate() {
+        out.push_str(&format!("| {:width$} ", h, width = widths[i]));
+    }
+    out.push_str("|\n");
+    sep(&mut out);
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            out.push_str(&format!("| {:width$} ", cell, width = widths[i]));
+        }
+        out.push_str("|\n");
+    }
+    sep(&mut out);
+    out
+}
+
+/// Formats a duration with three significant decimals in seconds.
+#[must_use]
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_row_agrees_for_small_inputs() {
+        let row = table1_row(4, 10_000_000);
+        assert!(row.agree);
+        assert!(!row.mc_truncated);
+        assert!(row.mc_states > 0);
+        assert!(row.mc_time > row.sim_time);
+    }
+
+    #[test]
+    fn scalability_row_runs() {
+        let row = scalability_row(50, 1);
+        assert!(row.jobs > 0);
+        assert!(row.automata > 0);
+        assert!(row.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn determinism_holds_on_small_config() {
+        let config = table1_config(5);
+        let result = determinism_check(&config, 3, 42);
+        assert!(result.all_equal);
+        assert_eq!(result.orders_tried, 5);
+    }
+
+    #[test]
+    fn table_renderer_aligns_columns() {
+        let t = render_table(
+            &["a", "long header"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        assert!(t.contains("| a   | long header |"));
+        assert!(t.contains("| 333 | 4           |"));
+    }
+}

@@ -1,0 +1,662 @@
+//! # swa-cli — the `swa` command-line tool
+//!
+//! The operational face of the toolchain: read an XML configuration (the
+//! paper's Sect. 4 interface), analyze/verify/model-check/search it, and
+//! report. Every command is a library function returning its output and
+//! exit code, so the whole CLI is unit-testable without spawning
+//! processes.
+//!
+//! ```console
+//! swa analyze  config.xml [--trace out.xml]   # schedulability verdict
+//! swa validate config.xml                     # structural validation
+//! swa verify   config.xml [--exhaustive]      # observer verification
+//! swa mc       config.xml [--max-states N]    # model-checking baseline
+//! swa search   config.xml [--out found.xml]   # configuration search
+//! swa dot      config.xml [--automaton NAME]  # Graphviz export
+//! ```
+//!
+//! Exit codes: `0` success/schedulable, `2` analyzable but negative verdict
+//! (unschedulable, violations found, nothing found), `1` usage or input
+//! error.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+use swa_core::SystemModel;
+use swa_ima::Configuration;
+use swa_ima::Topology;
+use swa_schedtool::{search, DesignProblem, SearchOptions};
+use swa_xmlio::{configuration_to_xml, configuration_with_topology_from_xml, trace_to_xml};
+
+/// The result of running one CLI command: the process exit code, the text
+/// for stdout, and optional files to write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommandOutcome {
+    /// Process exit code (`0` ok, `2` negative verdict, `1` error).
+    pub exit_code: i32,
+    /// Text to print to stdout.
+    pub stdout: String,
+    /// Files to write: `(path, contents)`.
+    pub files: Vec<(String, String)>,
+}
+
+impl CommandOutcome {
+    fn ok(stdout: String) -> Self {
+        Self {
+            exit_code: 0,
+            stdout,
+            files: Vec::new(),
+        }
+    }
+
+    fn verdict(positive: bool, stdout: String) -> Self {
+        Self {
+            exit_code: if positive { 0 } else { 2 },
+            stdout,
+            files: Vec::new(),
+        }
+    }
+
+    fn error(message: impl Into<String>) -> Self {
+        Self {
+            exit_code: 1,
+            stdout: message.into(),
+            files: Vec::new(),
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+swa — stopwatch-automata schedulability analysis for modular computer systems
+
+USAGE:
+    swa <command> <config.xml> [options]
+
+COMMANDS:
+    analyze     run the model and report the schedulability verdict
+                  --trace <file>      also write the system trace as XML
+                  --gantt             print an ASCII Gantt chart
+    validate    structural validation + dispatch-tie warnings
+    verify      observer verification (Fig. 2 + Sect. 3 requirements)
+                  --exhaustive        also model-check all interleavings
+                  --max-states <n>    state cap for --exhaustive (default 1000000)
+    mc          schedulability by exhaustive model checking (the baseline)
+                  --max-states <n>    state cap (default 10000000)
+    search      treat the file as a design problem (binding and windows are
+                recomputed) and search for a schedulable configuration
+                  --out <file>        write the found configuration as XML
+                  --max-iterations <n>  search budget (default 20)
+    dot         export Graphviz DOT
+                  --automaton <name>  one automaton instead of the network
+    uppaal      export the NSA instance as UPPAAL 4.x XML
+
+EXIT CODES:
+    0  success / positive verdict
+    2  negative verdict (unschedulable, violations, nothing found)
+    1  usage or input error
+";
+
+/// Parses and runs a full argument vector (excluding the program name),
+/// reading the configuration file from disk.
+///
+/// This is the `main` entry point; tests prefer [`run_on`] with an
+/// in-memory configuration.
+#[must_use]
+pub fn run(args: &[String]) -> CommandOutcome {
+    let Some(command) = args.first() else {
+        return CommandOutcome::error(USAGE);
+    };
+    if command == "help" || command == "--help" || command == "-h" {
+        return CommandOutcome::ok(USAGE.to_string());
+    }
+    let Some(path) = args.get(1) else {
+        return CommandOutcome::error(format!("missing <config.xml> argument\n\n{USAGE}"));
+    };
+    let xml = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => return CommandOutcome::error(format!("cannot read {path}: {e}")),
+    };
+    let (config, topology) = match configuration_with_topology_from_xml(&xml) {
+        Ok(c) => c,
+        Err(e) => return CommandOutcome::error(format!("cannot parse {path}: {e}")),
+    };
+    run_with_topology(command, &config, topology.as_ref(), &args[2..])
+}
+
+/// Runs one command against an already-loaded configuration.
+#[must_use]
+pub fn run_on(command: &str, config: &Configuration, options: &[String]) -> CommandOutcome {
+    run_with_topology(command, config, None, options)
+}
+
+/// Runs one command with an optional switched-network topology (affects
+/// commands that build the model).
+#[must_use]
+pub fn run_with_topology(
+    command: &str,
+    config: &Configuration,
+    topology: Option<&Topology>,
+    options: &[String],
+) -> CommandOutcome {
+    match command {
+        "analyze" => cmd_analyze(config, topology, options),
+        "validate" => cmd_validate(config),
+        "verify" => cmd_verify(config, topology, options),
+        "mc" => cmd_mc(config, topology, options),
+        "search" => cmd_search(config, options),
+        "dot" => cmd_dot(config, topology, options),
+        "uppaal" => cmd_uppaal(config, topology),
+        other => CommandOutcome::error(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+}
+
+fn build_model(
+    config: &Configuration,
+    topology: Option<&Topology>,
+) -> Result<SystemModel, swa_core::ModelError> {
+    SystemModel::build_with_topology(config, topology)
+}
+
+fn flag_value<'a>(options: &'a [String], name: &str) -> Option<&'a str> {
+    options
+        .iter()
+        .position(|o| o == name)
+        .and_then(|i| options.get(i + 1))
+        .map(String::as_str)
+}
+
+fn has_flag(options: &[String], name: &str) -> bool {
+    options.iter().any(|o| o == name)
+}
+
+fn parse_usize(options: &[String], name: &str, default: usize) -> Result<usize, String> {
+    match flag_value(options, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("{name} expects an integer, got {v:?}")),
+    }
+}
+
+fn cmd_analyze(
+    config: &Configuration,
+    topology: Option<&Topology>,
+    options: &[String],
+) -> CommandOutcome {
+    let report = match swa_core::analyze_configuration_with_topology(config, topology) {
+        Ok(r) => r,
+        Err(e) => return CommandOutcome::error(format!("analysis failed: {e}")),
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "configuration: {} partitions, {} tasks, {} messages, {} jobs over L = {}",
+        config.partitions.len(),
+        config.tasks().count(),
+        config.messages.len(),
+        report.analysis.jobs.len(),
+        report.analysis.hyperperiod
+    );
+    let _ = writeln!(
+        out,
+        "model: built in {:?}, interpreted in {:?} ({} events)",
+        report.metrics.build, report.metrics.simulate, report.metrics.nsa_events
+    );
+    out.push('\n');
+    out.push_str(&report.analysis.summary());
+    if has_flag(options, "--gantt") {
+        out.push('\n');
+        out.push_str(&swa_core::render_gantt(config, &report.analysis, 100));
+    }
+
+    let mut outcome = CommandOutcome::verdict(report.schedulable(), out);
+    if let Some(trace_path) = flag_value(options, "--trace") {
+        outcome
+            .files
+            .push((trace_path.to_string(), trace_to_xml(&report.trace)));
+    }
+    outcome
+}
+
+fn cmd_validate(config: &Configuration) -> CommandOutcome {
+    match config.validate() {
+        Ok(()) => {
+            let mut out = String::from("configuration is structurally valid\n");
+            let warnings = config.dispatch_tie_warnings();
+            if warnings.is_empty() {
+                out.push_str("dispatch is tie-free: analyses are interleaving-independent\n");
+            } else {
+                for w in &warnings {
+                    let _ = writeln!(out, "warning: {w}");
+                }
+            }
+            // Per-core utilization with the Liu & Layland sufficient bound
+            // as a first sanity indicator (the model gives the exact
+            // verdict; this is the quick analytical glance).
+            out.push('\n');
+            out.push_str("core utilization (Liu & Layland RM bound in parentheses):\n");
+            for (core, _) in config.cores() {
+                let partitions: Vec<_> = config.partitions_on(core).collect();
+                if partitions.is_empty() {
+                    continue;
+                }
+                let tasks: usize = partitions
+                    .iter()
+                    .filter_map(|&p| config.partition(p))
+                    .map(|p| p.tasks.len())
+                    .sum();
+                let u = config.core_utilization(core);
+                let bound = swa_rta::liu_layland_bound(tasks);
+                let _ = writeln!(
+                    out,
+                    "  {core}: {u:.3} over {tasks} tasks (bound {bound:.3}{})",
+                    if u <= bound {
+                        " — within the sufficient bound"
+                    } else {
+                        " — exceeds the bound; rely on the exact analysis"
+                    }
+                );
+            }
+            CommandOutcome::ok(out)
+        }
+        Err(errors) => {
+            let mut out = format!("configuration is invalid ({} problems):\n", errors.len());
+            for e in &errors {
+                let _ = writeln!(out, "  - {e}");
+            }
+            CommandOutcome {
+                exit_code: 2,
+                stdout: out,
+                files: Vec::new(),
+            }
+        }
+    }
+}
+
+fn cmd_verify(
+    config: &Configuration,
+    topology: Option<&Topology>,
+    options: &[String],
+) -> CommandOutcome {
+    let model = match build_model(config, topology) {
+        Ok(m) => m,
+        Err(e) => return CommandOutcome::error(format!("model construction failed: {e}")),
+    };
+    let mut out = String::new();
+    let sim = match swa_mc::verify_by_simulation(&model, config) {
+        Ok(r) => r,
+        Err(e) => return CommandOutcome::error(format!("verification failed: {e}")),
+    };
+    let _ = writeln!(
+        out,
+        "runtime monitoring: {} ({} observers)",
+        if sim.ok() {
+            "no violations"
+        } else {
+            "VIOLATIONS"
+        },
+        sim.observers
+    );
+    let mut all_ok = sim.ok();
+    for v in &sim.violations {
+        let _ = writeln!(out, "  !! {v}");
+    }
+    if has_flag(options, "--exhaustive") {
+        let max_states = match parse_usize(options, "--max-states", 1_000_000) {
+            Ok(v) => v,
+            Err(e) => return CommandOutcome::error(e),
+        };
+        let mc = match swa_mc::verify_by_model_checking(&model, config, max_states) {
+            Ok(r) => r,
+            Err(e) => return CommandOutcome::error(format!("model checking failed: {e}")),
+        };
+        let _ = writeln!(
+            out,
+            "model checking: {} ({} product states)",
+            if mc.ok() {
+                "bad locations unreachable"
+            } else {
+                "VIOLATIONS"
+            },
+            mc.states
+        );
+        for v in &mc.violations {
+            let _ = writeln!(out, "  !! {v}");
+        }
+        all_ok &= mc.ok();
+    }
+    CommandOutcome::verdict(all_ok, out)
+}
+
+fn cmd_mc(
+    config: &Configuration,
+    topology: Option<&Topology>,
+    options: &[String],
+) -> CommandOutcome {
+    let max_states = match parse_usize(options, "--max-states", 10_000_000) {
+        Ok(v) => v,
+        Err(e) => return CommandOutcome::error(e),
+    };
+    let model = match build_model(config, topology) {
+        Ok(m) => m,
+        Err(e) => return CommandOutcome::error(format!("model construction failed: {e}")),
+    };
+    let verdict = match swa_mc::check_schedulable_mc_capped(&model, max_states) {
+        Ok(v) => v,
+        Err(e) => return CommandOutcome::error(format!("model checking failed: {e}")),
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "model checking explored {} states, {} transitions{}",
+        verdict.states,
+        verdict.transitions,
+        if verdict.truncated {
+            " (TRUNCATED by the state cap — verdict is only sound if negative)"
+        } else {
+            ""
+        }
+    );
+    let _ = writeln!(out, "schedulable: {}", verdict.schedulable);
+    CommandOutcome::verdict(verdict.schedulable, out)
+}
+
+fn cmd_search(config: &Configuration, options: &[String]) -> CommandOutcome {
+    let max_iterations = match parse_usize(options, "--max-iterations", 20) {
+        Ok(v) => v,
+        Err(e) => return CommandOutcome::error(e),
+    };
+    let problem = DesignProblem::from_configuration(config);
+    let outcome = match search(
+        &problem,
+        &SearchOptions {
+            max_iterations,
+            ..SearchOptions::default()
+        },
+    ) {
+        Ok(o) => o,
+        Err(e) => return CommandOutcome::error(format!("search failed: {e}")),
+    };
+    let mut out = String::new();
+    for it in &outcome.iterations {
+        let _ = writeln!(
+            out,
+            "iteration {}: schedulable={} missed_jobs={} check={:?}",
+            it.index, it.schedulable, it.missed_jobs, it.check_time
+        );
+    }
+    match outcome.configuration {
+        Some(found) => {
+            let _ = writeln!(
+                out,
+                "schedulable configuration found after {} iteration(s)",
+                outcome.iterations.len()
+            );
+            let xml = configuration_to_xml(&found);
+            let mut result = CommandOutcome::ok(out);
+            if let Some(path) = flag_value(options, "--out") {
+                result.files.push((path.to_string(), xml));
+            } else {
+                result.stdout.push('\n');
+                result.stdout.push_str(&xml);
+            }
+            result
+        }
+        None => {
+            let _ = writeln!(out, "no schedulable configuration found");
+            CommandOutcome {
+                exit_code: 2,
+                stdout: out,
+                files: Vec::new(),
+            }
+        }
+    }
+}
+
+fn cmd_dot(
+    config: &Configuration,
+    topology: Option<&Topology>,
+    options: &[String],
+) -> CommandOutcome {
+    let model = match build_model(config, topology) {
+        Ok(m) => m,
+        Err(e) => return CommandOutcome::error(format!("model construction failed: {e}")),
+    };
+    match flag_value(options, "--automaton") {
+        None => CommandOutcome::ok(swa_nsa::dot::network_to_dot(model.network())),
+        Some(name) => match model.network().automaton_by_name(name) {
+            Some(aid) => CommandOutcome::ok(swa_nsa::dot::automaton_to_dot(
+                model.network().automaton(aid),
+                Some(model.network()),
+            )),
+            None => {
+                let names: Vec<&str> = model
+                    .network()
+                    .automata()
+                    .iter()
+                    .map(|a| a.name.as_str())
+                    .collect();
+                CommandOutcome::error(format!(
+                    "no automaton named {name:?}; available: {}",
+                    names.join(", ")
+                ))
+            }
+        },
+    }
+}
+
+fn cmd_uppaal(config: &Configuration, topology: Option<&Topology>) -> CommandOutcome {
+    let model = match build_model(config, topology) {
+        Ok(m) => m,
+        Err(e) => return CommandOutcome::error(format!("model construction failed: {e}")),
+    };
+    match swa_nsa::uppaal::network_to_uppaal(model.network()) {
+        Ok(xml) => CommandOutcome::ok(xml),
+        Err(e) => CommandOutcome::error(format!("uppaal export failed: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swa_ima::{
+        CoreRef, CoreType, CoreTypeId, Module, ModuleId, Partition, SchedulerKind, Task, Window,
+    };
+
+    fn config(schedulable: bool) -> Configuration {
+        let wcet = if schedulable { 10 } else { 60 };
+        Configuration {
+            core_types: vec![CoreType::new("ct")],
+            modules: vec![Module::homogeneous("M", 1, CoreTypeId::from_raw(0))],
+            partitions: vec![Partition::new(
+                "P",
+                SchedulerKind::Fpps,
+                vec![
+                    Task::new("a", 2, vec![wcet], 50),
+                    Task::new("b", 1, vec![10], 50),
+                ],
+            )],
+            binding: vec![CoreRef::new(ModuleId::from_raw(0), 0)],
+            windows: vec![vec![Window::new(0, 50)]],
+            messages: vec![],
+        }
+    }
+
+    fn opts(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn analyze_reports_verdicts_with_exit_codes() {
+        let ok = run_on("analyze", &config(true), &[]);
+        assert_eq!(ok.exit_code, 0);
+        assert!(ok.stdout.contains("schedulable: true"));
+
+        let bad = run_on("analyze", &config(false), &[]);
+        assert_eq!(bad.exit_code, 2);
+        assert!(bad.stdout.contains("schedulable: false"));
+    }
+
+    #[test]
+    fn analyze_prints_gantt_when_asked() {
+        let out = run_on("analyze", &config(true), &opts(&["--gantt"]));
+        assert_eq!(out.exit_code, 0);
+        assert!(out.stdout.contains('#'), "{}", out.stdout);
+        assert!(out.stdout.contains('─'), "{}", out.stdout);
+    }
+
+    #[test]
+    fn analyze_writes_trace_file_when_asked() {
+        let out = run_on("analyze", &config(true), &opts(&["--trace", "t.xml"]));
+        assert_eq!(out.files.len(), 1);
+        assert_eq!(out.files[0].0, "t.xml");
+        assert!(out.files[0].1.contains("<trace>"));
+    }
+
+    #[test]
+    fn validate_reports_ties() {
+        let mut c = config(true);
+        c.partitions[0].tasks[1].priority = 2; // tie with task a
+        let out = run_on("validate", &c, &[]);
+        assert_eq!(out.exit_code, 0);
+        assert!(out.stdout.contains("warning:"), "{}", out.stdout);
+    }
+
+    #[test]
+    fn validate_reports_utilization() {
+        let out = run_on("validate", &config(true), &[]);
+        assert_eq!(out.exit_code, 0);
+        assert!(out.stdout.contains("core utilization"), "{}", out.stdout);
+        assert!(out.stdout.contains("0.400"), "{}", out.stdout);
+    }
+
+    #[test]
+    fn validate_rejects_invalid() {
+        let mut c = config(true);
+        c.windows[0] = vec![];
+        let out = run_on("validate", &c, &[]);
+        assert_eq!(out.exit_code, 2);
+        assert!(out.stdout.contains("invalid"));
+    }
+
+    #[test]
+    fn verify_runs_both_modes() {
+        let out = run_on("verify", &config(true), &opts(&["--exhaustive"]));
+        assert_eq!(out.exit_code, 0, "{}", out.stdout);
+        assert!(out.stdout.contains("runtime monitoring: no violations"));
+        assert!(out.stdout.contains("bad locations unreachable"));
+    }
+
+    #[test]
+    fn mc_matches_simulation() {
+        let out = run_on("mc", &config(true), &[]);
+        assert_eq!(out.exit_code, 0, "{}", out.stdout);
+        assert!(out.stdout.contains("schedulable: true"));
+        let out = run_on("mc", &config(false), &[]);
+        assert_eq!(out.exit_code, 2);
+    }
+
+    #[test]
+    fn search_finds_and_emits_xml() {
+        let out = run_on("search", &config(true), &[]);
+        assert_eq!(out.exit_code, 0, "{}", out.stdout);
+        assert!(out.stdout.contains("<configuration>"));
+    }
+
+    #[test]
+    fn dot_exports_network_and_single_automaton() {
+        let out = run_on("dot", &config(true), &[]);
+        assert_eq!(out.exit_code, 0);
+        assert!(out.stdout.contains("digraph network"));
+
+        let out = run_on("dot", &config(true), &opts(&["--automaton", "T0_P_a"]));
+        assert_eq!(out.exit_code, 0, "{}", out.stdout);
+        assert!(out.stdout.contains("digraph"));
+
+        let out = run_on("dot", &config(true), &opts(&["--automaton", "nope"]));
+        assert_eq!(out.exit_code, 1);
+        assert!(out.stdout.contains("available:"));
+    }
+
+    #[test]
+    fn uppaal_export_produces_nta() {
+        let out = run_on("uppaal", &config(true), &[]);
+        assert_eq!(out.exit_code, 0, "{}", out.stdout);
+        assert!(out.stdout.contains("<nta>"));
+        assert!(out.stdout.contains("system "));
+    }
+
+    #[test]
+    fn unknown_command_and_bad_flags_error() {
+        assert_eq!(run_on("frobnicate", &config(true), &[]).exit_code, 1);
+        let out = run_on("mc", &config(true), &opts(&["--max-states", "NaN"]));
+        assert_eq!(out.exit_code, 1);
+    }
+
+    #[test]
+    fn run_reads_files_and_reports_missing() {
+        let out = run(&opts(&["analyze", "/nonexistent/file.xml"]));
+        assert_eq!(out.exit_code, 1);
+        assert!(out.stdout.contains("cannot read"));
+
+        let out = run(&opts(&["help"]));
+        assert_eq!(out.exit_code, 0);
+        assert!(out.stdout.contains("USAGE"));
+
+        let out = run(&[]);
+        assert_eq!(out.exit_code, 1);
+    }
+
+    #[test]
+    fn topology_in_the_file_routes_messages() {
+        use swa_ima::{Message, PartitionId, Switch, TaskRef};
+        // Producer/consumer on two modules with a routed message.
+        let mut c = config(true);
+        c.modules.push(swa_ima::Module::homogeneous(
+            "M2",
+            1,
+            CoreTypeId::from_raw(0),
+        ));
+        c.partitions.push(Partition::new(
+            "Q",
+            SchedulerKind::Fpps,
+            vec![Task::new("r", 1, vec![5], 50)],
+        ));
+        c.binding.push(CoreRef::new(ModuleId::from_raw(1), 0));
+        c.windows.push(vec![Window::new(0, 50)]);
+        c.messages.push(Message::new(
+            "vl",
+            TaskRef::new(PartitionId::from_raw(0), 0),
+            TaskRef::new(PartitionId::from_raw(1), 0),
+            1,
+            4,
+        ));
+        let topology = swa_ima::Topology::new(vec![Switch::new("SW", 6)])
+            .with_route(swa_ima::MessageId::from_raw(0), vec![0]);
+        let xml = swa_xmlio::configuration_with_topology_to_xml(&c, Some(&topology));
+
+        let dir = std::env::temp_dir().join("swa_cli_topo_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("config.xml");
+        std::fs::write(&path, &xml).unwrap();
+        let out = run(&opts(&["analyze", path.to_str().unwrap()]));
+        assert_eq!(out.exit_code, 0, "{}", out.stdout);
+        // The consumer starts at sender completion (10) + 6 + 4 = 20; with
+        // no topology it would start at 14. The verdict plus the summary's
+        // response time reflect the routed delay.
+        assert!(out.stdout.contains("wcrt=25"), "{}", out.stdout);
+    }
+
+    #[test]
+    fn run_roundtrips_through_a_real_file() {
+        let dir = std::env::temp_dir().join("swa_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("config.xml");
+        std::fs::write(&path, configuration_to_xml(&config(true))).unwrap();
+        let out = run(&opts(&["analyze", path.to_str().unwrap()]));
+        assert_eq!(out.exit_code, 0, "{}", out.stdout);
+        assert!(out.stdout.contains("schedulable: true"));
+    }
+}

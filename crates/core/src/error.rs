@@ -1,0 +1,116 @@
+//! Errors raised while building or running a system model.
+
+use std::fmt;
+
+use swa_ima::{ConfigError, MessageId};
+use swa_nsa::{BuildError, SimError};
+
+/// Errors from [`crate::instance::SystemModel::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// The configuration failed structural validation.
+    InvalidConfig(Vec<ConfigError>),
+    /// A message's worst-case transfer delay is not smaller than the common
+    /// period of its endpoint tasks, so the virtual-link automaton could
+    /// still be busy when the next instance is sent.
+    DelayExceedsPeriod {
+        /// The offending message.
+        message: MessageId,
+        /// The effective worst-case delay.
+        delay: i64,
+        /// The endpoint tasks' period.
+        period: i64,
+    },
+    /// The generated network failed validation (an internal error — please
+    /// report it).
+    Network(BuildError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig(errs) => {
+                write!(f, "invalid configuration ({} problems):", errs.len())?;
+                for e in errs {
+                    write!(f, "\n  - {e}")?;
+                }
+                Ok(())
+            }
+            Self::DelayExceedsPeriod {
+                message,
+                delay,
+                period,
+            } => write!(
+                f,
+                "message {message} has worst-case delay {delay} >= its tasks' period {period}; \
+                 the virtual link could drop an instance"
+            ),
+            Self::Network(e) => write!(f, "generated network is malformed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl From<BuildError> for ModelError {
+    fn from(e: BuildError) -> Self {
+        Self::Network(e)
+    }
+}
+
+/// Errors from the end-to-end analysis pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PipelineError {
+    /// Model construction failed.
+    Model(ModelError),
+    /// Interpretation of the model failed (a model-level bug; validated
+    /// configurations should never trigger this).
+    Simulation(SimError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Model(e) => write!(f, "model construction failed: {e}"),
+            Self::Simulation(e) => write!(f, "model interpretation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<ModelError> for PipelineError {
+    fn from(e: ModelError) -> Self {
+        Self::Model(e)
+    }
+}
+
+impl From<SimError> for PipelineError {
+    fn from(e: SimError) -> Self {
+        Self::Simulation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::InvalidConfig(vec![ConfigError::NoCoreTypes]);
+        let msg = e.to_string();
+        assert!(msg.contains("1 problems"));
+        assert!(msg.contains("core types"));
+        let e = PipelineError::Model(ModelError::Network(BuildError::UnknownChannel(3)));
+        assert!(e.to_string().contains("ch3"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+        assert_send_sync::<PipelineError>();
+    }
+}

@@ -1,0 +1,163 @@
+//! ASCII Gantt rendering of system operation traces — a quick visual
+//! check of window layouts and job placements for examples and the CLI.
+
+use std::fmt::Write as _;
+
+use swa_ima::Configuration;
+
+use crate::analysis::Analysis;
+
+/// Renders a Gantt chart of the analysis: one row per task (`#` =
+/// executing, `!` = deadline missed with work left, `·` = idle) plus one
+/// row per partition showing its windows (`─` = window open).
+///
+/// The timeline covers one hyperperiod in `width` cells; a cell is marked
+/// as executing if any executing interval overlaps it.
+#[must_use]
+pub fn render_gantt(config: &Configuration, analysis: &Analysis, width: usize) -> String {
+    let l = analysis.hyperperiod.max(1);
+    let width = width.clamp(10, 400);
+    #[allow(clippy::cast_precision_loss)]
+    let scale = l as f64 / width as f64;
+    let cell_range = |i: usize| -> (i64, i64) {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_precision_loss)]
+        let from = (i as f64 * scale).floor() as i64;
+        #[allow(clippy::cast_possible_truncation, clippy::cast_precision_loss)]
+        let to = ((i + 1) as f64 * scale).ceil() as i64;
+        (from, to.min(l).max(from + 1))
+    };
+
+    // Label column width.
+    let mut labels: Vec<String> = Vec::new();
+    for (pi, p) in config.partitions.iter().enumerate() {
+        labels.push(format!("[{}]", p.name));
+        for t in &p.tasks {
+            labels.push(format!("{pi}.{}", t.name));
+        }
+    }
+    let label_w = labels.iter().map(String::len).max().unwrap_or(4).min(24);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:label_w$} 0{}{l}",
+        "",
+        " ".repeat(width.saturating_sub(1 + l.to_string().len())),
+    );
+
+    for (pi, p) in config.partitions.iter().enumerate() {
+        // Partition window row.
+        let mut row = String::with_capacity(width);
+        for i in 0..width {
+            let (from, to) = cell_range(i);
+            let open = config.windows[pi]
+                .iter()
+                .any(|w| w.start < to && from < w.end);
+            row.push(if open { '─' } else { ' ' });
+        }
+        let mut label = format!("[{}]", p.name);
+        label.truncate(label_w);
+        let _ = writeln!(out, "{label:label_w$} {row}");
+
+        // Task rows.
+        for (ti, t) in p.tasks.iter().enumerate() {
+            let jobs: Vec<_> = analysis
+                .jobs
+                .iter()
+                .filter(|j| j.task.partition.index() == pi && j.task.task as usize == ti)
+                .collect();
+            let mut row = String::with_capacity(width);
+            for i in 0..width {
+                let (from, to) = cell_range(i);
+                let executing = jobs
+                    .iter()
+                    .any(|j| j.intervals.iter().any(|&(a, b)| a < to && from < b));
+                let missed_here = jobs
+                    .iter()
+                    .any(|j| !j.is_ok() && j.abs_deadline >= from && j.abs_deadline < to);
+                row.push(if missed_here {
+                    '!'
+                } else if executing {
+                    '#'
+                } else {
+                    '·'
+                });
+            }
+            let mut label = format!("{pi}.{}", t.name);
+            label.truncate(label_w);
+            let _ = writeln!(out, "{label:label_w$} {row}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze_configuration;
+    use swa_ima::{
+        CoreRef, CoreType, CoreTypeId, Module, ModuleId, Partition, SchedulerKind, Task, Window,
+    };
+
+    fn config(window_end: i64) -> Configuration {
+        Configuration {
+            core_types: vec![CoreType::new("ct")],
+            modules: vec![Module::homogeneous("M", 1, CoreTypeId::from_raw(0))],
+            partitions: vec![Partition::new(
+                "P",
+                SchedulerKind::Fpps,
+                vec![Task::new("a", 1, vec![10], 40)],
+            )],
+            binding: vec![CoreRef::new(ModuleId::from_raw(0), 0)],
+            windows: vec![vec![Window::new(0, window_end)]],
+            messages: vec![],
+        }
+    }
+
+    #[test]
+    fn one_to_one_scale_marks_exact_cells() {
+        let c = config(40);
+        let report = analyze_configuration(&c).unwrap();
+        let g = render_gantt(&c, &report.analysis, 40);
+        let task_row: &str = g.lines().find(|l| l.starts_with("0.a")).expect("task row");
+        let cells: String = task_row.split_whitespace().last().unwrap().to_string();
+        // The job runs [0, 10): exactly ten '#' then idle.
+        assert!(cells.starts_with("##########·"), "{cells}");
+        assert!(!cells[10..].contains('#'), "{cells}");
+    }
+
+    #[test]
+    fn window_row_shows_open_portion() {
+        let c = config(20);
+        let report = analyze_configuration(&c).unwrap();
+        let g = render_gantt(&c, &report.analysis, 40);
+        let window_row: &str = g.lines().find(|l| l.starts_with("[P]")).unwrap();
+        let cells = &window_row[window_row.find(' ').unwrap() + 1..];
+        assert!(cells.trim_end().chars().all(|c| c == '─'));
+        // '─' is multi-byte: count characters, not bytes.
+        assert_eq!(cells.trim_end().chars().count(), 20);
+    }
+
+    #[test]
+    fn missed_deadline_is_marked() {
+        // Window too small: the job is killed at its deadline (t = 40,
+        // which is cell 39's right edge; the kill marker lands where the
+        // deadline falls).
+        let mut c = config(5);
+        c.partitions[0].tasks[0].deadline = 20;
+        let report = analyze_configuration(&c).unwrap();
+        assert!(!report.schedulable());
+        let g = render_gantt(&c, &report.analysis, 40);
+        assert!(g.contains('!'), "{g}");
+    }
+
+    #[test]
+    fn width_is_clamped() {
+        let c = config(40);
+        let report = analyze_configuration(&c).unwrap();
+        let tiny = render_gantt(&c, &report.analysis, 1);
+        // Clamped to at least 10 cells.
+        let row = tiny.lines().find(|l| l.starts_with("0.a")).unwrap();
+        assert!(row.len() >= 10);
+    }
+}

@@ -1,0 +1,165 @@
+//! End-to-end analysis pipeline: configuration → model instance → trace →
+//! schedulability verdict, with per-phase timing for the experiments.
+
+use std::time::{Duration, Instant};
+
+use swa_ima::Configuration;
+use swa_nsa::TieBreak;
+
+use crate::analysis::{analyze, Analysis};
+use crate::error::PipelineError;
+use crate::instance::SystemModel;
+use crate::sysevents::{extract_system_trace, SystemTrace};
+
+/// Wall-clock timings of each pipeline phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunMetrics {
+    /// Time to construct the NSA instance (Algorithm 1).
+    pub build: Duration,
+    /// Time to interpret the model over one hyperperiod.
+    pub simulate: Duration,
+    /// Time to extract the system trace and analyze it.
+    pub analyze: Duration,
+    /// Number of synchronization events in the model trace.
+    pub nsa_events: usize,
+    /// Number of action transitions taken.
+    pub steps: u64,
+}
+
+impl RunMetrics {
+    /// Total wall-clock time of the run.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.build + self.simulate + self.analyze
+    }
+}
+
+/// The complete result of analyzing one configuration.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// The schedulability analysis.
+    pub analysis: Analysis,
+    /// The system operation trace the analysis was computed from.
+    pub trace: SystemTrace,
+    /// Per-phase timings.
+    pub metrics: RunMetrics,
+}
+
+impl AnalysisReport {
+    /// The verdict.
+    #[must_use]
+    pub fn schedulable(&self) -> bool {
+        self.analysis.schedulable
+    }
+}
+
+/// Runs the full pipeline on a configuration with the canonical
+/// deterministic order.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Model`] for invalid configurations and
+/// [`PipelineError::Simulation`] if interpretation fails (which indicates a
+/// modeling bug, not an unschedulable configuration — unschedulable
+/// configurations produce `schedulable == false`, not errors).
+///
+/// # Examples
+///
+/// ```
+/// use swa_core::analyze_configuration;
+/// use swa_ima::{
+///     Configuration, CoreRef, CoreType, Module, ModuleId, Partition, SchedulerKind, Task,
+///     Window,
+/// };
+///
+/// let config = Configuration {
+///     core_types: vec![CoreType::new("generic")],
+///     modules: vec![Module::homogeneous("M1", 1, swa_ima::CoreTypeId::from_raw(0))],
+///     partitions: vec![Partition::new(
+///         "P1",
+///         SchedulerKind::Fpps,
+///         vec![Task::new("t1", 1, vec![10], 50)],
+///     )],
+///     binding: vec![CoreRef::new(ModuleId::from_raw(0), 0)],
+///     windows: vec![vec![Window::new(0, 50)]],
+///     messages: vec![],
+/// };
+/// let report = analyze_configuration(&config)?;
+/// assert!(report.schedulable());
+/// # Ok::<(), swa_core::PipelineError>(())
+/// ```
+pub fn analyze_configuration(config: &Configuration) -> Result<AnalysisReport, PipelineError> {
+    analyze_configuration_with(config, TieBreak::Canonical)
+}
+
+/// As [`analyze_configuration`], building the model over a switched-network
+/// topology (routed messages become hop chains).
+///
+/// # Errors
+///
+/// As [`analyze_configuration`].
+pub fn analyze_configuration_with_topology(
+    config: &Configuration,
+    topology: Option<&swa_ima::Topology>,
+) -> Result<AnalysisReport, PipelineError> {
+    let t0 = Instant::now();
+    let model = SystemModel::build_with_topology(config, topology)?;
+    let build = t0.elapsed();
+
+    let t1 = Instant::now();
+    let outcome = model.simulate()?;
+    let simulate = t1.elapsed();
+
+    let t2 = Instant::now();
+    let trace = extract_system_trace(&model, config, &outcome.trace);
+    let analysis = analyze(config, &trace);
+    let analyze_time = t2.elapsed();
+
+    Ok(AnalysisReport {
+        analysis,
+        trace,
+        metrics: RunMetrics {
+            build,
+            simulate,
+            analyze: analyze_time,
+            nsa_events: outcome.trace.len(),
+            steps: outcome.steps,
+        },
+    })
+}
+
+/// As [`analyze_configuration`], with an explicit tie-break order (for the
+/// determinism experiments).
+///
+/// # Errors
+///
+/// As [`analyze_configuration`].
+pub fn analyze_configuration_with(
+    config: &Configuration,
+    tie_break: TieBreak,
+) -> Result<AnalysisReport, PipelineError> {
+    let t0 = Instant::now();
+    let model = SystemModel::build(config)?;
+    let build = t0.elapsed();
+
+    let t1 = Instant::now();
+    let outcome = model.simulate_with_tie_break(tie_break)?;
+    let simulate = t1.elapsed();
+
+    let t2 = Instant::now();
+    let trace = extract_system_trace(&model, config, &outcome.trace);
+    let analysis = analyze(config, &trace);
+    let analyze_time = t2.elapsed();
+
+    Ok(AnalysisReport {
+        analysis,
+        trace,
+        metrics: RunMetrics {
+            build,
+            simulate,
+            analyze: analyze_time,
+            nsa_events: outcome.trace.len(),
+            steps: outcome.steps,
+        },
+    })
+}

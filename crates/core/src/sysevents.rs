@@ -1,0 +1,218 @@
+//! Translation of model traces to system operation traces.
+//!
+//! The paper defines a system event as `⟨Type, Src, t⟩` with
+//! `Type ∈ {EX, PR, FIN}`: start/resumption of a job's execution, its
+//! preemption, and its finish (completion or deadline). This module maps
+//! the NSA trace's synchronization events back to those system events,
+//! attributing each to a concrete job `w_ijk`.
+
+use std::fmt;
+
+use swa_ima::{Configuration, TaskRef};
+use swa_nsa::NsaTrace;
+
+use crate::instance::{ChannelRole, SystemModel};
+
+/// The type of a system event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SysEventKind {
+    /// Start or resumption of a job's execution.
+    Ex,
+    /// Preemption of a job.
+    Pr,
+    /// Finish of a job (completion or deadline reached).
+    Fin,
+}
+
+impl fmt::Display for SysEventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Self::Ex => "EX",
+            Self::Pr => "PR",
+            Self::Fin => "FIN",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One system event `⟨Type, w_ijk, t⟩`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SysEvent {
+    /// Event type.
+    pub kind: SysEventKind,
+    /// The task whose job produced the event.
+    pub task: TaskRef,
+    /// The job index `k` within the hyperperiod (0-based).
+    pub job: u32,
+    /// Model time of the event.
+    pub time: i64,
+}
+
+impl fmt::Display for SysEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "<{}, {}#{}, {}>",
+            self.kind, self.task, self.job, self.time
+        )
+    }
+}
+
+/// A system operation trace: the ordered system events of one run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SystemTrace {
+    /// Events in run order.
+    pub events: Vec<SysEvent>,
+}
+
+impl SystemTrace {
+    /// Events of one task, in run order.
+    pub fn events_of(&self, task: TaskRef) -> impl Iterator<Item = &SysEvent> {
+        self.events.iter().filter(move |e| e.task == task)
+    }
+
+    /// Events of one job, in run order.
+    pub fn events_of_job(&self, task: TaskRef, job: u32) -> impl Iterator<Item = &SysEvent> {
+        self.events
+            .iter()
+            .filter(move |e| e.task == task && e.job == job)
+    }
+
+    /// Renders the trace, one event per line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for e in &self.events {
+            s.push_str(&e.to_string());
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// Extracts the system trace from a model trace.
+///
+/// Job attribution: an `EX` at time `t` of a task with period `P` opens job
+/// `t / P` (a job can only execute between its release `kP` and its
+/// deadline `kP + D ≤ (k+1)P`); `PR` and `FIN` attach to the open job; a
+/// `FIN` with no open job (a job killed before ever executing) belongs to
+/// the job released at the last period boundary strictly before `t`.
+#[must_use]
+pub fn extract_system_trace(
+    model: &SystemModel,
+    config: &Configuration,
+    nsa_trace: &NsaTrace,
+) -> SystemTrace {
+    let map = model.map();
+    let phases: Vec<(i64, i64)> = config.tasks().map(|(_, t)| (t.period, t.offset)).collect();
+    // Jobs released at or after the span end (reachable because the
+    // horizon overshoots so boundary events are observed) belong to the
+    // next span and are dropped.
+    let span_end = map.span_end;
+    let job_caps: Vec<u32> = phases
+        .iter()
+        .map(|&(p, o)| u32::try_from(((span_end - o).max(0) + p - 1) / p).unwrap_or(u32::MAX))
+        .collect();
+
+    #[derive(Clone, Copy)]
+    struct Open {
+        job: u32,
+        open: bool,
+    }
+    let mut state = vec![
+        Open {
+            job: 0,
+            open: false
+        };
+        phases.len()
+    ];
+    let mut events = Vec::new();
+
+    for ev in nsa_trace.iter() {
+        let Some(ch) = ev.channel() else { continue };
+        let Some(role) = map.channel_roles.get(&ch) else {
+            continue;
+        };
+        match *role {
+            ChannelRole::Exec(g) => {
+                let (period, offset) = phases[g];
+                let job = u32::try_from((ev.time - offset).max(0) / period).unwrap_or(u32::MAX);
+                state[g] = Open { job, open: true };
+                if job >= job_caps[g] {
+                    continue;
+                }
+                events.push(SysEvent {
+                    kind: SysEventKind::Ex,
+                    task: map.task_refs[g],
+                    job,
+                    time: ev.time,
+                });
+            }
+            ChannelRole::Preempt(g) => {
+                let job = state[g].job;
+                state[g].open = false;
+                if job >= job_caps[g] {
+                    continue;
+                }
+                events.push(SysEvent {
+                    kind: SysEventKind::Pr,
+                    task: map.task_refs[g],
+                    job,
+                    time: ev.time,
+                });
+            }
+            ChannelRole::Finished(_) => {
+                // The *sender* automaton identifies the finishing task.
+                let sender = ev.transition.initiator();
+                let Some(&g) = map.task_of_automaton.get(&sender) else {
+                    continue;
+                };
+                let job = if state[g].open {
+                    state[g].job
+                } else {
+                    // Killed before ever executing: job released at the last
+                    // boundary strictly before t (a FIN cannot coincide with
+                    // its own job's release since deadlines are positive).
+                    let (period, offset) = phases[g];
+                    u32::try_from((ev.time - offset - 1).max(0) / period).unwrap_or(u32::MAX)
+                };
+                state[g].open = false;
+                if job >= job_caps[g] {
+                    continue;
+                }
+                events.push(SysEvent {
+                    kind: SysEventKind::Fin,
+                    task: map.task_refs[g],
+                    job,
+                    time: ev.time,
+                });
+            }
+            _ => {}
+        }
+    }
+
+    SystemTrace { events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(SysEventKind::Ex.to_string(), "EX");
+        assert_eq!(SysEventKind::Pr.to_string(), "PR");
+        assert_eq!(SysEventKind::Fin.to_string(), "FIN");
+    }
+
+    #[test]
+    fn event_display() {
+        let e = SysEvent {
+            kind: SysEventKind::Ex,
+            task: TaskRef::new(swa_ima::PartitionId::from_raw(1), 2),
+            job: 3,
+            time: 40,
+        };
+        assert_eq!(e.to_string(), "<EX, part1.task2#3, 40>");
+    }
+}

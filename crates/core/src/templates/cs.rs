@@ -1,0 +1,131 @@
+//! The core-scheduler automaton (base type **CS** of the paper).
+//!
+//! A core scheduler replays the static window schedule of one core: it
+//! sends `wakeup_j!` at every window start and `sleep_j!` at every window
+//! end, cyclically with the hyperperiod `L`. At equal times, ends fire
+//! before starts (so back-to-back windows hand over correctly).
+
+use swa_ima::PartitionId;
+use swa_nsa::{
+    Automaton, AutomatonBuilder, ClockAtom, ClockId, CmpOp, Edge, Guard, Invariant, Sync, Update,
+};
+
+use super::Ctx;
+
+/// One boundary event of a core's window schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowEvent {
+    /// Time of the event within `[0, L]`.
+    pub time: i64,
+    /// `true` for a window start (`wakeup`), `false` for an end (`sleep`).
+    pub is_start: bool,
+    /// The partition whose window starts or ends.
+    pub partition: PartitionId,
+}
+
+/// Collects and orders the boundary events of the given partitions'
+/// windows: ascending by time, ends before starts at equal times, then by
+/// partition for determinism.
+#[must_use]
+pub fn window_events(windows: &[(PartitionId, Vec<swa_ima::Window>)]) -> Vec<WindowEvent> {
+    let mut events = Vec::new();
+    for (pid, ws) in windows {
+        for w in ws {
+            events.push(WindowEvent {
+                time: w.start,
+                is_start: true,
+                partition: *pid,
+            });
+            events.push(WindowEvent {
+                time: w.end,
+                is_start: false,
+                partition: *pid,
+            });
+        }
+    }
+    events.sort_by_key(|e| (e.time, e.is_start, e.partition));
+    events
+}
+
+/// Builds the core-scheduler automaton.
+///
+/// `events` must come from [`window_events`]; `clock` is the core's wall
+/// clock, reset every hyperperiod.
+#[must_use]
+pub fn cs_automaton(name: String, ctx: &Ctx, events: &[WindowEvent], clock: ClockId) -> Automaton {
+    let mut b = AutomatonBuilder::new(name);
+    // One location per pending event, plus a wrap location.
+    let mut locs = Vec::with_capacity(events.len() + 1);
+    for (q, e) in events.iter().enumerate() {
+        locs.push(
+            b.location_with_invariant(format!("ev{q}"), Invariant::upper_bound(clock, e.time)),
+        );
+    }
+    let wrap = b.location_with_invariant("wrap", Invariant::upper_bound(clock, ctx.hyperperiod));
+    locs.push(wrap);
+
+    for (q, e) in events.iter().enumerate() {
+        let ch = if e.is_start {
+            ctx.wakeup_ch[e.partition.index()]
+        } else {
+            ctx.sleep_ch[e.partition.index()]
+        };
+        let label = format!(
+            "{}_{}@{}",
+            if e.is_start { "wakeup" } else { "sleep" },
+            e.partition.index(),
+            e.time
+        );
+        b.edge(
+            Edge::new(locs[q], locs[q + 1])
+                .with_guard(Guard::always().and_clock(ClockAtom::new(clock, CmpOp::Ge, e.time)))
+                .with_sync(Sync::Send(ch))
+                .with_label(label),
+        );
+    }
+    // Wrap: restart the schedule at the next hyperperiod.
+    b.edge(
+        Edge::new(wrap, locs[0])
+            .with_guard(Guard::always().and_clock(ClockAtom::new(
+                clock,
+                CmpOp::Ge,
+                ctx.hyperperiod,
+            )))
+            .with_update(Update::ResetClock(clock))
+            .with_label("wrap"),
+    );
+
+    b.finish(locs[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swa_ima::Window;
+
+    #[test]
+    fn events_sorted_ends_before_starts() {
+        let p0 = PartitionId::from_raw(0);
+        let p1 = PartitionId::from_raw(1);
+        let evs = window_events(&[
+            (p0, vec![Window::new(0, 50)]),
+            (p1, vec![Window::new(50, 100)]),
+        ]);
+        let shape: Vec<(i64, bool, u32)> = evs
+            .iter()
+            .map(|e| (e.time, e.is_start, e.partition.raw()))
+            .collect();
+        assert_eq!(
+            shape,
+            vec![(0, true, 0), (50, false, 0), (50, true, 1), (100, false, 1)]
+        );
+    }
+
+    #[test]
+    fn same_partition_back_to_back_windows() {
+        let p0 = PartitionId::from_raw(0);
+        let evs = window_events(&[(p0, vec![Window::new(0, 10), Window::new(10, 20)])]);
+        let shape: Vec<(i64, bool)> = evs.iter().map(|e| (e.time, e.is_start)).collect();
+        assert_eq!(shape, vec![(0, true), (10, false), (10, true), (20, false)]);
+    }
+}

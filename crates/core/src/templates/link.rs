@@ -1,0 +1,179 @@
+//! The virtual-link automaton (base type **L** of the paper).
+//!
+//! A link ferries one message from its sender task to its receiver task
+//! with a transfer delay exactly equal to its pessimistic upper bound (the
+//! paper's worst-case assumption). On delivery it sets `is_data_ready[h]`
+//! and broadcasts on the receiver's `receive` channel to wake a waiting
+//! receiver job.
+
+use swa_nsa::{
+    Automaton, AutomatonBuilder, ClockAtom, ClockId, CmpOp, Edge, Guard, Invariant, Sync, Update,
+};
+
+use super::Ctx;
+
+/// Per-instance parameters of a virtual-link automaton.
+#[derive(Debug, Clone)]
+pub struct LinkParams {
+    /// Message index `h`.
+    pub h: usize,
+    /// Global index of the sender task.
+    pub sender: usize,
+    /// Global index of the receiver task.
+    pub receiver: usize,
+    /// Effective worst-case transfer delay (memory or network, depending on
+    /// the binding).
+    pub delay: i64,
+    /// The transfer clock.
+    pub clock: ClockId,
+}
+
+/// Builds the virtual-link automaton.
+///
+/// If a `send` arrives while a transfer is still in progress (which a valid
+/// configuration rules out — the model builder rejects delays that are not
+/// smaller than the endpoint period), the link raises the global
+/// `vl_overrun` flag instead of silently dropping the instance.
+#[must_use]
+pub fn link_automaton(name: String, ctx: &Ctx, p: &LinkParams) -> Automaton {
+    let h = i64::try_from(p.h).expect("message index fits i64");
+    let mut b = AutomatonBuilder::new(name);
+
+    let idle = b.location("idle");
+    let transfer = b.location_with_invariant("transfer", Invariant::upper_bound(p.clock, p.delay));
+    let deliver = b.committed_location("deliver");
+
+    b.edge(
+        Edge::new(idle, transfer)
+            .with_sync(Sync::Recv(ctx.send_ch[p.sender]))
+            .with_update(Update::ResetClock(p.clock))
+            .with_label("accept"),
+    );
+    b.edge(
+        Edge::new(transfer, deliver)
+            .with_guard(Guard::always().and_clock(ClockAtom::new(p.clock, CmpOp::Ge, p.delay)))
+            .with_update(Update::set_elem(ctx.is_data_ready, h, 1))
+            .with_label("delay_elapsed"),
+    );
+    b.edge(
+        Edge::new(deliver, idle)
+            .with_sync(Sync::Send(ctx.receive_ch[p.receiver]))
+            .with_label("deliver"),
+    );
+
+    // Overrun detection: a send while busy is a modeling error we surface
+    // via the shared flag rather than a silent drop.
+    b.edge(
+        Edge::new(transfer, transfer)
+            .with_sync(Sync::Recv(ctx.send_ch[p.sender]))
+            .with_update(Update::set(ctx.vl_overrun, 1))
+            .with_label("overrun"),
+    );
+    b.edge(
+        Edge::new(deliver, deliver)
+            .with_sync(Sync::Recv(ctx.send_ch[p.sender]))
+            .with_update(Update::set(ctx.vl_overrun, 1))
+            .with_label("overrun"),
+    );
+
+    b.finish(idle)
+}
+
+/// Per-instance parameters of a multi-hop virtual-link chain (the switched
+/// network extension: one automaton per traversed switch plus the final
+/// wire hop).
+#[derive(Debug, Clone)]
+pub struct ChainParams {
+    /// Message index `h`.
+    pub h: usize,
+    /// Global index of the sender task.
+    pub sender: usize,
+    /// Global index of the receiver task.
+    pub receiver: usize,
+    /// Worst-case delay of each hop, in traversal order (last entry is the
+    /// wire hop).
+    pub hop_delays: Vec<i64>,
+    /// One transfer clock per hop.
+    pub clocks: Vec<swa_nsa::ClockId>,
+    /// Relay channels between consecutive hops (`hop_delays.len() - 1`
+    /// broadcast channels).
+    pub relay_channels: Vec<swa_nsa::ChannelId>,
+}
+
+/// Builds the chain of hop automata for a routed message.
+///
+/// Hop `i` accepts a frame (from the sender's `send` broadcast or the
+/// previous hop's relay), holds it for exactly its worst-case latency, and
+/// forwards it; the final hop performs the delivery (`is_data_ready` +
+/// `receive` broadcast) exactly like the single-hop link. End-to-end, the
+/// chain delivers at the sum of the hop delays — the equivalence the
+/// `link_chain` tests assert.
+///
+/// # Panics
+///
+/// Panics if the parameter vectors are inconsistent.
+#[must_use]
+pub fn link_chain_automata(name: String, ctx: &Ctx, p: &ChainParams) -> Vec<Automaton> {
+    let n = p.hop_delays.len();
+    assert!(n >= 1, "a chain needs at least one hop");
+    assert_eq!(p.clocks.len(), n, "one clock per hop");
+    assert_eq!(p.relay_channels.len(), n - 1, "n - 1 relay channels");
+    let h = i64::try_from(p.h).expect("message index fits i64");
+
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut b = AutomatonBuilder::new(format!("{name}_hop{i}"));
+        let idle = b.location("idle");
+        let transfer = b.location_with_invariant(
+            "transfer",
+            Invariant::upper_bound(p.clocks[i], p.hop_delays[i]),
+        );
+        let out_loc = b.committed_location("forward");
+
+        let in_channel = if i == 0 {
+            ctx.send_ch[p.sender]
+        } else {
+            p.relay_channels[i - 1]
+        };
+        b.edge(
+            Edge::new(idle, transfer)
+                .with_sync(Sync::Recv(in_channel))
+                .with_update(Update::ResetClock(p.clocks[i]))
+                .with_label("accept"),
+        );
+        let mut elapsed = Edge::new(transfer, out_loc).with_guard(
+            Guard::always().and_clock(ClockAtom::new(p.clocks[i], CmpOp::Ge, p.hop_delays[i])),
+        );
+        if i == n - 1 {
+            elapsed = elapsed
+                .with_update(Update::set_elem(ctx.is_data_ready, h, 1))
+                .with_label("delay_elapsed");
+        } else {
+            elapsed = elapsed.with_label("latency_elapsed");
+        }
+        b.edge(elapsed);
+        let out_channel = if i == n - 1 {
+            ctx.receive_ch[p.receiver]
+        } else {
+            p.relay_channels[i]
+        };
+        b.edge(
+            Edge::new(out_loc, idle)
+                .with_sync(Sync::Send(out_channel))
+                .with_label(if i == n - 1 { "deliver" } else { "relay" }),
+        );
+
+        // Overrun detection, as for the single-hop link.
+        for loc in [transfer, out_loc] {
+            b.edge(
+                Edge::new(loc, loc)
+                    .with_sync(Sync::Recv(in_channel))
+                    .with_update(Update::set(ctx.vl_overrun, 1))
+                    .with_label("overrun"),
+            );
+        }
+
+        out.push(b.finish(idle));
+    }
+    out
+}

@@ -1,0 +1,467 @@
+//! Task-scheduler automata (base type **TS** of the paper): FPPS, FPNPS,
+//! EDF, plus a round-robin implementation extending the components library
+//! as the paper's future work proposes.
+//!
+//! All three share one skeleton:
+//!
+//! ```text
+//!  asleep ──wakeup?──► decide(committed) ──exec_k!──► running
+//!    ▲  ▲                ▲ │ preempt_k! (loops)          │
+//!    │  └─ready?/finished? │ └──(idle)──► idle ──ready?──┘
+//!    │                     │               │
+//!    └──────sleep?──(kick: preempt_k!)─────┘
+//! ```
+//!
+//! The *selection* logic lives entirely in the `decide` guards, expressed
+//! with bounded quantifiers over the shared arrays — exactly how UPPAAL
+//! models of schedulers are written, and what lets the same automaton run
+//! under the simulator, the model checker and the observers.
+
+use swa_ima::SchedulerKind;
+use swa_nsa::{
+    Automaton, AutomatonBuilder, ClockAtom, ClockId, CmpOp, Edge, Guard, IntExpr, Invariant, Pred,
+    Sync, Update, VarId,
+};
+
+use super::Ctx;
+
+/// Per-instance parameters of a scheduler automaton.
+#[derive(Debug, Clone)]
+pub struct SchedParams {
+    /// Partition index `j`.
+    pub j: usize,
+    /// Number of tasks in the partition.
+    pub k_tasks: usize,
+    /// The scheduling policy.
+    pub kind: SchedulerKind,
+    /// TS-local variable holding the running task (0 = none, else `k + 1`).
+    pub running: VarId,
+    /// Round-robin only: TS-local variable holding the last-served task
+    /// index, and the quantum clock.
+    pub rr: Option<(VarId, ClockId)>,
+}
+
+/// `is_ready[base + m] == 1` with `m` the innermost bound variable.
+fn ready_bound(ctx: &Ctx, base: i64) -> Pred {
+    IntExpr::elem(ctx.is_ready, IntExpr::bound(0) + IntExpr::lit(base)).eq(1)
+}
+
+/// "Candidate `m` (bound var) does NOT beat task `k`" for the given policy.
+///
+/// FPPS/FPNPS: `m` beats `k` iff `prio[m] > prio[k]`, ties by lower index.
+/// EDF: `m` beats `k` iff `dl[m] < dl[k]`, ties by lower index.
+fn not_beats(ctx: &Ctx, kind: SchedulerKind, base: i64, k: IntExpr) -> Pred {
+    let m_idx = IntExpr::bound(0) + IntExpr::lit(base);
+    let k_idx = IntExpr::lit(base) + k.clone();
+    match kind {
+        SchedulerKind::Fpps | SchedulerKind::Fpnps => {
+            let pm = IntExpr::elem(ctx.prio, m_idx);
+            let pk = IntExpr::elem(ctx.prio, k_idx);
+            pm.clone()
+                .lt(pk.clone())
+                .or(pm.eq(pk).and(IntExpr::bound(0).ge(k)))
+        }
+        SchedulerKind::Edf => {
+            let dm = IntExpr::elem(ctx.abs_deadline, m_idx);
+            let dk = IntExpr::elem(ctx.abs_deadline, k_idx);
+            dm.clone()
+                .gt(dk.clone())
+                .or(dm.eq(dk).and(IntExpr::bound(0).ge(k)))
+        }
+        SchedulerKind::RoundRobin { .. } => {
+            unreachable!("round-robin uses circular-distance selection")
+        }
+    }
+}
+
+/// "Candidate `m` (bound var) DOES beat task `k`" for the given policy.
+fn beats(ctx: &Ctx, kind: SchedulerKind, base: i64, k: IntExpr) -> Pred {
+    let m_idx = IntExpr::bound(0) + IntExpr::lit(base);
+    let k_idx = IntExpr::lit(base) + k.clone();
+    match kind {
+        SchedulerKind::Fpps | SchedulerKind::Fpnps => {
+            let pm = IntExpr::elem(ctx.prio, m_idx);
+            let pk = IntExpr::elem(ctx.prio, k_idx);
+            pm.clone()
+                .gt(pk.clone())
+                .or(pm.eq(pk).and(IntExpr::bound(0).lt(k)))
+        }
+        SchedulerKind::Edf => {
+            let dm = IntExpr::elem(ctx.abs_deadline, m_idx);
+            let dk = IntExpr::elem(ctx.abs_deadline, k_idx);
+            dm.clone()
+                .lt(dk.clone())
+                .or(dm.eq(dk).and(IntExpr::bound(0).lt(k)))
+        }
+        SchedulerKind::RoundRobin { .. } => {
+            unreachable!("round-robin uses circular-distance selection")
+        }
+    }
+}
+
+/// "Task `k` is ready and no ready task beats it" — the unique dispatch
+/// winner under the policy.
+fn is_top(ctx: &Ctx, kind: SchedulerKind, base: i64, k_tasks: usize, k: usize) -> Pred {
+    let k_lit = i64::try_from(k).expect("task index fits i64");
+    let k_count = i64::try_from(k_tasks).expect("task count fits i64");
+    ctx.ready_pred(base + k_lit).and(Pred::forall(
+        0,
+        k_count,
+        ready_bound(ctx, base)
+            .not()
+            .or(not_beats(ctx, kind, base, IntExpr::lit(k_lit))),
+    ))
+}
+
+/// "Some ready task beats `k_expr`."
+fn someone_beats(ctx: &Ctx, kind: SchedulerKind, base: i64, k_tasks: usize, k: IntExpr) -> Pred {
+    let k_count = i64::try_from(k_tasks).expect("task count fits i64");
+    Pred::exists(
+        0,
+        k_count,
+        ready_bound(ctx, base).and(beats(ctx, kind, base, k)),
+    )
+}
+
+/// Builds the scheduler automaton for one partition.
+///
+/// # Panics
+///
+/// Panics if `p.kind` is round-robin but `p.rr` is `None` (the instance
+/// builder always provides the pair).
+#[must_use]
+pub fn sched_automaton(name: String, ctx: &Ctx, p: &SchedParams) -> Automaton {
+    if let SchedulerKind::RoundRobin { quantum } = p.kind {
+        let (last, q_clock) = p.rr.expect("round-robin needs its state pair");
+        return rr_automaton(name, ctx, p, quantum, last, q_clock);
+    }
+    let base = i64::try_from(ctx.partition_base[p.j]).expect("base fits i64");
+    let k_count = i64::try_from(p.k_tasks).expect("task count fits i64");
+    let r = p.running;
+    let preemptive = matches!(p.kind, SchedulerKind::Fpps | SchedulerKind::Edf);
+
+    let mut b = AutomatonBuilder::new(name);
+    let asleep = b.location("asleep");
+    let idle = b.location("idle");
+    let running = b.location("running");
+    let decide = b.committed_location("decide");
+    let sleep_kick = b.committed_location("sleep_kick");
+
+    // Reconciliation after a `finished` synchronization: the sender task has
+    // already cleared its `is_ready` slot, so "the running slot is no longer
+    // ready" identifies the running job as the finisher.
+    let reconcile = Update::If {
+        cond: IntExpr::var(r).gt(0).and(
+            IntExpr::elem(
+                ctx.is_ready,
+                IntExpr::lit(base) + IntExpr::var(r) - IntExpr::lit(1),
+            )
+            .eq(0),
+        ),
+        then: vec![Update::set(r, 0)],
+        otherwise: vec![],
+    };
+
+    // asleep.
+    b.edge(
+        Edge::new(asleep, decide)
+            .with_sync(Sync::Recv(ctx.wakeup_ch[p.j]))
+            .with_label("wakeup"),
+    );
+    b.edge(
+        Edge::new(asleep, asleep)
+            .with_sync(Sync::Recv(ctx.ready_ch[p.j]))
+            .with_label("note_ready"),
+    );
+    b.edge(
+        Edge::new(asleep, asleep)
+            .with_sync(Sync::Recv(ctx.finished_ch[p.j]))
+            .with_label("note_finished"),
+    );
+
+    // idle.
+    b.edge(
+        Edge::new(idle, decide)
+            .with_sync(Sync::Recv(ctx.ready_ch[p.j]))
+            .with_label("new_ready"),
+    );
+    b.edge(
+        Edge::new(idle, asleep)
+            .with_sync(Sync::Recv(ctx.sleep_ch[p.j]))
+            .with_label("window_end"),
+    );
+    b.edge(
+        Edge::new(idle, decide)
+            .with_sync(Sync::Recv(ctx.finished_ch[p.j]))
+            .with_update(reconcile.clone())
+            .with_label("finished_while_idle"),
+    );
+
+    // running.
+    b.edge(
+        Edge::new(running, decide)
+            .with_sync(Sync::Recv(ctx.ready_ch[p.j]))
+            .with_label("new_ready"),
+    );
+    b.edge(
+        Edge::new(running, decide)
+            .with_sync(Sync::Recv(ctx.finished_ch[p.j]))
+            .with_update(reconcile)
+            .with_label("job_finished"),
+    );
+    b.edge(
+        Edge::new(running, sleep_kick)
+            .with_sync(Sync::Recv(ctx.sleep_ch[p.j]))
+            .with_label("window_end"),
+    );
+
+    // sleep_kick: preempt whichever task is running, then sleep.
+    for k in 0..p.k_tasks {
+        let g = ctx.partition_base[p.j] + k;
+        let k_lit = i64::try_from(k).expect("task index fits i64");
+        b.edge(
+            Edge::new(sleep_kick, asleep)
+                .with_guard(Guard::when(IntExpr::var(r).eq(k_lit + 1)))
+                .with_sync(Sync::Send(ctx.preempt_ch[g]))
+                .with_update(Update::set(r, 0))
+                .with_label(format!("kick_{k}")),
+        );
+    }
+
+    // decide: preempt (preemptive policies), dispatch, continue, or idle.
+    if preemptive {
+        for k in 0..p.k_tasks {
+            let g = ctx.partition_base[p.j] + k;
+            let k_lit = i64::try_from(k).expect("task index fits i64");
+            b.edge(
+                Edge::new(decide, decide)
+                    .with_guard(Guard::when(IntExpr::var(r).eq(k_lit + 1).and(
+                        someone_beats(ctx, p.kind, base, p.k_tasks, IntExpr::lit(k_lit)),
+                    )))
+                    .with_sync(Sync::Send(ctx.preempt_ch[g]))
+                    .with_update(Update::set(r, 0))
+                    .with_label(format!("preempt_{k}")),
+            );
+        }
+    }
+    for k in 0..p.k_tasks {
+        let g = ctx.partition_base[p.j] + k;
+        let k_lit = i64::try_from(k).expect("task index fits i64");
+        b.edge(
+            Edge::new(decide, running)
+                .with_guard(Guard::when(
+                    IntExpr::var(r)
+                        .eq(0)
+                        .and(is_top(ctx, p.kind, base, p.k_tasks, k)),
+                ))
+                .with_sync(Sync::Send(ctx.exec_ch[g]))
+                .with_update(Update::set(r, k_lit + 1))
+                .with_label(format!("dispatch_{k}")),
+        );
+    }
+    let continue_guard = if preemptive {
+        IntExpr::var(r).gt(0).and(
+            someone_beats(
+                ctx,
+                p.kind,
+                base,
+                p.k_tasks,
+                IntExpr::var(r) - IntExpr::lit(1),
+            )
+            .not(),
+        )
+    } else {
+        IntExpr::var(r).gt(0)
+    };
+    b.edge(
+        Edge::new(decide, running)
+            .with_guard(Guard::when(continue_guard))
+            .with_label("continue"),
+    );
+    b.edge(
+        Edge::new(decide, idle)
+            .with_guard(Guard::when(IntExpr::var(r).eq(0).and(Pred::forall(
+                0,
+                k_count,
+                ready_bound(ctx, base).not(),
+            ))))
+            .with_label("go_idle"),
+    );
+
+    b.finish(asleep)
+}
+
+/// The round-robin scheduler automaton.
+///
+/// Ready jobs are served in circular index order starting after the
+/// last-served task; the running job is preempted when the TS-owned
+/// quantum clock reaches the quantum (a timed decision the other policies
+/// don't need) and re-queued behind the other ready jobs. Arrivals do not
+/// preempt.
+fn rr_automaton(
+    name: String,
+    ctx: &Ctx,
+    p: &SchedParams,
+    quantum: i64,
+    last: VarId,
+    q_clock: ClockId,
+) -> Automaton {
+    let base = i64::try_from(ctx.partition_base[p.j]).expect("base fits i64");
+    let k_count = i64::try_from(p.k_tasks).expect("task count fits i64");
+    let r = p.running;
+
+    // Circular distance from `last` to index `x` (1-based so the task right
+    // after `last` has the smallest distance and `last` itself the
+    // largest): ((x - last - 1) mod K) — `Rem` is Euclidean, so the result
+    // is always in [0, K).
+    let cdist = |x: IntExpr| {
+        IntExpr::Rem(
+            Box::new(x - IntExpr::var(last) - IntExpr::lit(1)),
+            Box::new(IntExpr::lit(k_count)),
+        )
+    };
+
+    let mut b = AutomatonBuilder::new(name);
+    let asleep = b.location("asleep");
+    let idle = b.location("idle");
+    let running = b.location_with_invariant("running", Invariant::upper_bound(q_clock, quantum));
+    let decide = b.committed_location("decide");
+    let sleep_kick = b.committed_location("sleep_kick");
+    let quantum_kick = b.committed_location("quantum_kick");
+
+    let reconcile = Update::If {
+        cond: IntExpr::var(r).gt(0).and(
+            IntExpr::elem(
+                ctx.is_ready,
+                IntExpr::lit(base) + IntExpr::var(r) - IntExpr::lit(1),
+            )
+            .eq(0),
+        ),
+        then: vec![Update::set(r, 0)],
+        otherwise: vec![],
+    };
+
+    // asleep.
+    b.edge(
+        Edge::new(asleep, decide)
+            .with_sync(Sync::Recv(ctx.wakeup_ch[p.j]))
+            .with_label("wakeup"),
+    );
+    b.edge(
+        Edge::new(asleep, asleep)
+            .with_sync(Sync::Recv(ctx.ready_ch[p.j]))
+            .with_label("note_ready"),
+    );
+    b.edge(
+        Edge::new(asleep, asleep)
+            .with_sync(Sync::Recv(ctx.finished_ch[p.j]))
+            .with_label("note_finished"),
+    );
+
+    // idle.
+    b.edge(
+        Edge::new(idle, decide)
+            .with_sync(Sync::Recv(ctx.ready_ch[p.j]))
+            .with_label("new_ready"),
+    );
+    b.edge(
+        Edge::new(idle, asleep)
+            .with_sync(Sync::Recv(ctx.sleep_ch[p.j]))
+            .with_label("window_end"),
+    );
+    b.edge(
+        Edge::new(idle, decide)
+            .with_sync(Sync::Recv(ctx.finished_ch[p.j]))
+            .with_update(reconcile.clone())
+            .with_label("finished_while_idle"),
+    );
+
+    // running: the quantum expiry is the only timed TS decision.
+    b.edge(
+        Edge::new(running, quantum_kick)
+            .with_guard(Guard::always().and_clock(ClockAtom::new(q_clock, CmpOp::Ge, quantum)))
+            .with_label("quantum_expired"),
+    );
+    b.edge(
+        Edge::new(running, decide)
+            .with_sync(Sync::Recv(ctx.finished_ch[p.j]))
+            .with_update(reconcile)
+            .with_label("job_finished"),
+    );
+    b.edge(
+        Edge::new(running, running)
+            .with_sync(Sync::Recv(ctx.ready_ch[p.j]))
+            .with_label("note_ready"),
+    );
+    b.edge(
+        Edge::new(running, sleep_kick)
+            .with_sync(Sync::Recv(ctx.sleep_ch[p.j]))
+            .with_label("window_end"),
+    );
+
+    // quantum_kick / sleep_kick: preempt whichever task runs.
+    for k in 0..p.k_tasks {
+        let g = ctx.partition_base[p.j] + k;
+        let k_lit = i64::try_from(k).expect("task index fits i64");
+        b.edge(
+            Edge::new(quantum_kick, decide)
+                .with_guard(Guard::when(IntExpr::var(r).eq(k_lit + 1)))
+                .with_sync(Sync::Send(ctx.preempt_ch[g]))
+                .with_update(Update::set(r, 0))
+                .with_label(format!("requeue_{k}")),
+        );
+        b.edge(
+            Edge::new(sleep_kick, asleep)
+                .with_guard(Guard::when(IntExpr::var(r).eq(k_lit + 1)))
+                .with_sync(Sync::Send(ctx.preempt_ch[g]))
+                .with_update(Update::set(r, 0))
+                .with_label(format!("kick_{k}")),
+        );
+    }
+
+    // decide: dispatch the ready task with the smallest circular distance
+    // after `last` (distances are distinct, so the winner is unique).
+    for k in 0..p.k_tasks {
+        let g = ctx.partition_base[p.j] + k;
+        let k_lit = i64::try_from(k).expect("task index fits i64");
+        let closer_exists = Pred::exists(
+            0,
+            k_count,
+            ready_bound(ctx, base).and(cdist(IntExpr::bound(0)).lt(cdist(IntExpr::lit(k_lit)))),
+        );
+        b.edge(
+            Edge::new(decide, running)
+                .with_guard(Guard::when(
+                    IntExpr::var(r)
+                        .eq(0)
+                        .and(ctx.ready_pred(base + k_lit))
+                        .and(closer_exists.not()),
+                ))
+                .with_sync(Sync::Send(ctx.exec_ch[g]))
+                .with_updates([
+                    Update::set(r, k_lit + 1),
+                    Update::set(last, k_lit),
+                    Update::ResetClock(q_clock),
+                ])
+                .with_label(format!("dispatch_{k}")),
+        );
+    }
+    // A finish by a non-running task leaves the current job in place, with
+    // its quantum still ticking.
+    b.edge(
+        Edge::new(decide, running)
+            .with_guard(Guard::when(IntExpr::var(r).gt(0)))
+            .with_label("continue"),
+    );
+    b.edge(
+        Edge::new(decide, idle)
+            .with_guard(Guard::when(IntExpr::var(r).eq(0).and(Pred::forall(
+                0,
+                k_count,
+                ready_bound(ctx, base).not(),
+            ))))
+            .with_label("go_idle"),
+    );
+
+    b.finish(asleep)
+}

@@ -1,0 +1,312 @@
+//! The task automaton (base type **T** of the paper).
+//!
+//! One instance models one task: the release of a job every period, waiting
+//! for input data, announcing readiness to the partition's task scheduler,
+//! executing under a *stopwatch* (the execution clock stops across
+//! preemptions and window boundaries), completing or being killed at its
+//! deadline, and broadcasting data to its output virtual links after
+//! completion.
+//!
+//! ```text
+//!            rel >= P (release)
+//!  ┌──────────────────────────────────────────────┐
+//!  ▼                                              │
+//! check_data ──(all inputs ready; consume)──────► │
+//!  │              ready_j! is_ready:=1            │
+//!  │                    │                         │
+//!  ▼ (else)             ▼                         │
+//! wait_data ──────► [ready] ◄──(preempt? stop exe)┐
+//!  │ receive?          │ exec? (start exe)        ││
+//!  │ rel>=D (kill)     ▼                          ││
+//!  │              [running] ──────────────────────┘│
+//!  │                │ exe>=C: complete             │
+//!  │                │ rel>=D, exe<C: kill          │
+//!  ▼                ▼                              │
+//! (silent)     finished_j! ──(send! after          │
+//!  kill         completion)───► await_release ─────┘
+//! ```
+
+use swa_ima::Task;
+use swa_nsa::{
+    Automaton, AutomatonBuilder, ClockAtom, ClockId, CmpOp, Edge, Guard, IntExpr, Invariant, Pred,
+    Sync, Update,
+};
+
+use super::Ctx;
+
+/// Per-instance parameters of a task automaton.
+#[derive(Debug, Clone)]
+pub struct TaskParams {
+    /// Global task index `g`.
+    pub g: usize,
+    /// Partition index `j`.
+    pub j: usize,
+    /// Effective WCET on the bound core's type.
+    pub wcet: i64,
+    /// Period.
+    pub period: i64,
+    /// Relative deadline.
+    pub deadline: i64,
+    /// Release offset (phase): job `k` releases at `k · period + offset`.
+    pub offset: i64,
+    /// Indices of input messages (the task is their receiver).
+    pub inputs: Vec<usize>,
+    /// The release clock (runs always; reset at each release).
+    pub rel: ClockId,
+    /// The execution stopwatch (runs only while the job executes).
+    pub exe: ClockId,
+}
+
+impl TaskParams {
+    /// Convenience constructor from a domain task.
+    #[must_use]
+    pub fn from_task(
+        g: usize,
+        j: usize,
+        task: &Task,
+        wcet: i64,
+        inputs: Vec<usize>,
+        rel: ClockId,
+        exe: ClockId,
+    ) -> Self {
+        Self {
+            g,
+            j,
+            wcet,
+            period: task.period,
+            deadline: task.deadline,
+            offset: task.offset,
+            inputs,
+            rel,
+            exe,
+        }
+    }
+}
+
+/// Builds the task automaton.
+///
+/// The automaton applies the paper's worst-case assumptions: a job runs for
+/// exactly its WCET, data is consumed when the job becomes ready, and a job
+/// whose deadline passes is removed immediately (with a `finished`
+/// synchronization when the scheduler knew about it).
+#[must_use]
+pub fn task_automaton(name: String, ctx: &Ctx, p: &TaskParams) -> Automaton {
+    let g = i64::try_from(p.g).expect("task index fits i64");
+    let mut b = AutomatonBuilder::new(name);
+
+    // Locations. With a zero offset the first release is immediate
+    // (committed init); with a positive offset the task waits `offset`
+    // first.
+    let init = if p.offset == 0 {
+        b.committed_location("init")
+    } else {
+        b.location_with_invariant("init", Invariant::upper_bound(p.rel, p.offset))
+    };
+    let first_release_guard = if p.offset == 0 {
+        Guard::always()
+    } else {
+        Guard::always().and_clock(ClockAtom::new(p.rel, CmpOp::Ge, p.offset))
+    };
+    let check_data = b.committed_location("check_data");
+    let wait_data =
+        b.location_with_invariant("wait_data", Invariant::upper_bound(p.rel, p.deadline));
+    let ready = b.location_with_invariant("ready", Invariant::upper_bound(p.rel, p.deadline));
+    let running = b.location_with_invariant(
+        "running",
+        Invariant::upper_bound(p.exe, p.wcet).and_upper_bound(p.rel, p.deadline),
+    );
+    let fin_complete = b.committed_location("fin_complete");
+    let send_data = b.committed_location("send_data");
+    let fin_killed = b.committed_location("fin_killed");
+    let await_release =
+        b.location_with_invariant("await_release", Invariant::upper_bound(p.rel, p.period));
+
+    // Updates performed at every job release.
+    let release_updates = vec![
+        Update::set_elem(
+            ctx.abs_deadline,
+            g,
+            IntExpr::elem(ctx.nrel, g) * IntExpr::lit(p.period)
+                + IntExpr::lit(p.offset + p.deadline),
+        ),
+        Update::set_elem(ctx.nrel, g, IntExpr::elem(ctx.nrel, g) + IntExpr::lit(1)),
+        Update::ResetClock(p.rel),
+    ];
+
+    // A task without inputs announces readiness in the same transition as
+    // its release (no check_data hop): fewer committed intermediate states,
+    // which matters for the model-checking baseline's state space.
+    if p.inputs.is_empty() {
+        let mut announce0 = release_updates.clone();
+        announce0.push(Update::set_elem(ctx.is_ready, g, 1));
+        b.edge(
+            Edge::new(init, ready)
+                .with_guard(first_release_guard.clone())
+                .with_sync(Sync::Send(ctx.ready_ch[p.j]))
+                .with_updates(announce0.clone())
+                .with_label("release0_announce"),
+        );
+        b.edge(
+            Edge::new(await_release, ready)
+                .with_guard(Guard::always().and_clock(ClockAtom::new(p.rel, CmpOp::Ge, p.period)))
+                .with_sync(Sync::Send(ctx.ready_ch[p.j]))
+                .with_updates(announce0)
+                .with_label("release_announce"),
+        );
+    } else {
+        // init: the first job releases at the offset (t = 0 by default).
+        b.edge(
+            Edge::new(init, check_data)
+                .with_guard(first_release_guard.clone())
+                .with_updates(release_updates.clone())
+                .with_label("release0"),
+        );
+
+        // check_data: either all inputs are delivered (consume and
+        // announce) or wait for the virtual links.
+        let all_inputs_ready = p.inputs.iter().fold(Pred::tt(), |acc, &h| {
+            acc.and(
+                IntExpr::elem(
+                    ctx.is_data_ready,
+                    i64::try_from(h).expect("message index fits i64"),
+                )
+                .eq(1),
+            )
+        });
+        let announce_updates: Vec<Update> = p
+            .inputs
+            .iter()
+            .map(|&h| {
+                Update::set_elem(
+                    ctx.is_data_ready,
+                    i64::try_from(h).expect("message index fits i64"),
+                    0,
+                )
+            })
+            .chain([Update::set_elem(ctx.is_ready, g, 1)])
+            .collect();
+        b.edge(
+            Edge::new(check_data, ready)
+                .with_guard(Guard::when(all_inputs_ready.clone()))
+                .with_sync(Sync::Send(ctx.ready_ch[p.j]))
+                .with_updates(announce_updates)
+                .with_label("announce"),
+        );
+        b.edge(
+            Edge::new(check_data, wait_data)
+                .with_guard(Guard::when(all_inputs_ready.not()))
+                .with_label("wait_for_data"),
+        );
+
+        // wait_data: deadline kill first (scanned before the receive edge),
+        // then wake-up on any delivery.
+        b.edge(
+            Edge::new(wait_data, await_release)
+                .with_guard(Guard::always().and_clock(ClockAtom::new(p.rel, CmpOp::Ge, p.deadline)))
+                .with_update(Update::set_elem(ctx.is_failed, g, 1))
+                .with_label("kill_waiting"),
+        );
+        b.edge(
+            Edge::new(wait_data, check_data)
+                .with_sync(Sync::Recv(ctx.receive_ch[p.g]))
+                .with_label("data_arrived"),
+        );
+    }
+
+    // ready: a job preempted at the exact instant its cumulative execution
+    // reached the WCET has completed — completion wins over both the kill
+    // and a re-dispatch, in every interleaving order (this is what makes
+    // the traces equivalent for analysis purposes; see DESIGN.md).
+    b.edge(
+        Edge::new(ready, fin_complete)
+            .with_guard(Guard::always().and_clock(ClockAtom::new(p.exe, CmpOp::Ge, p.wcet)))
+            .with_update(Update::set_elem(ctx.is_ready, g, 0))
+            .with_label("complete_preempted"),
+    );
+    b.edge(
+        Edge::new(ready, fin_killed)
+            .with_guard(
+                Guard::always()
+                    .and_clock(ClockAtom::new(p.rel, CmpOp::Ge, p.deadline))
+                    .and_clock(ClockAtom::new(p.exe, CmpOp::Lt, p.wcet)),
+            )
+            .with_updates([
+                Update::set_elem(ctx.is_ready, g, 0),
+                Update::set_elem(ctx.is_failed, g, 1),
+            ])
+            .with_label("kill_ready"),
+    );
+    b.edge(
+        Edge::new(ready, running)
+            .with_sync(Sync::Recv(ctx.exec_ch[p.g]))
+            .with_update(Update::StartClock(p.exe))
+            .with_label("exec"),
+    );
+
+    // running: completion takes precedence over the deadline kill (the kill
+    // guard requires exe < wcet so the two are mutually exclusive and every
+    // interleaving order produces the same trace).
+    b.edge(
+        Edge::new(running, fin_complete)
+            .with_guard(Guard::always().and_clock(ClockAtom::new(p.exe, CmpOp::Ge, p.wcet)))
+            .with_updates([
+                Update::StopClock(p.exe),
+                Update::set_elem(ctx.is_ready, g, 0),
+            ])
+            .with_label("complete"),
+    );
+    b.edge(
+        Edge::new(running, fin_killed)
+            .with_guard(
+                Guard::always()
+                    .and_clock(ClockAtom::new(p.rel, CmpOp::Ge, p.deadline))
+                    .and_clock(ClockAtom::new(p.exe, CmpOp::Lt, p.wcet)),
+            )
+            .with_updates([
+                Update::StopClock(p.exe),
+                Update::set_elem(ctx.is_ready, g, 0),
+                Update::set_elem(ctx.is_failed, g, 1),
+            ])
+            .with_label("kill_running"),
+    );
+    b.edge(
+        Edge::new(running, ready)
+            .with_sync(Sync::Recv(ctx.preempt_ch[p.g]))
+            .with_update(Update::StopClock(p.exe))
+            .with_label("preempted"),
+    );
+
+    // fin_complete → finished! → send! → await_release.
+    b.edge(
+        Edge::new(fin_complete, send_data)
+            .with_sync(Sync::Send(ctx.finished_ch[p.j]))
+            .with_label("finished_ok"),
+    );
+    b.edge(
+        Edge::new(send_data, await_release)
+            .with_sync(Sync::Send(ctx.send_ch[p.g]))
+            .with_update(Update::ResetClock(p.exe))
+            .with_label("send_outputs"),
+    );
+
+    // fin_killed → finished! → await_release (no data is sent).
+    b.edge(
+        Edge::new(fin_killed, await_release)
+            .with_sync(Sync::Send(ctx.finished_ch[p.j]))
+            .with_update(Update::ResetClock(p.exe))
+            .with_label("finished_killed"),
+    );
+
+    // await_release: next job at the next period boundary (input-free
+    // tasks release-and-announce in one step, added above).
+    if !p.inputs.is_empty() {
+        b.edge(
+            Edge::new(await_release, check_data)
+                .with_guard(Guard::always().and_clock(ClockAtom::new(p.rel, CmpOp::Ge, p.period)))
+                .with_updates(release_updates)
+                .with_label("release"),
+        );
+    }
+
+    b.finish(init)
+}

@@ -1,0 +1,551 @@
+//! End-to-end tests of the system model: configuration → NSA instance →
+//! trace → analysis, on hand-checked scenarios.
+
+use swa_core::{analyze_configuration, analyze_configuration_with, SysEventKind, SystemModel};
+use swa_ima::{
+    Configuration, CoreRef, CoreType, CoreTypeId, Message, Module, ModuleId, Partition,
+    PartitionId, SchedulerKind, Task, TaskRef, Window,
+};
+use swa_nsa::TieBreak;
+
+fn one_core() -> (Vec<CoreType>, Vec<Module>, CoreRef) {
+    (
+        vec![CoreType::new("generic")],
+        vec![Module::homogeneous("M1", 1, CoreTypeId::from_raw(0))],
+        CoreRef::new(ModuleId::from_raw(0), 0),
+    )
+}
+
+fn tr(p: u32, t: u32) -> TaskRef {
+    TaskRef::new(PartitionId::from_raw(p), t)
+}
+
+#[test]
+fn single_task_runs_every_period() {
+    let (core_types, modules, core) = one_core();
+    let config = Configuration {
+        core_types,
+        modules,
+        partitions: vec![Partition::new(
+            "P1",
+            SchedulerKind::Fpps,
+            vec![
+                Task::new("t", 2, vec![10], 50),
+                Task::new("slow", 1, vec![5], 100),
+            ],
+        )],
+        binding: vec![core],
+        windows: vec![vec![Window::new(0, 100)]],
+        messages: vec![],
+    };
+    let report = analyze_configuration(&config).unwrap();
+    assert!(report.schedulable(), "{}", report.analysis.summary());
+    assert_eq!(report.analysis.jobs.len(), 3);
+    // t runs immediately at each release; slow fills in afterwards.
+    assert_eq!(report.analysis.jobs[0].intervals, vec![(0, 10)]);
+    assert_eq!(report.analysis.jobs[1].intervals, vec![(50, 60)]);
+    assert_eq!(report.analysis.jobs[2].intervals, vec![(10, 15)]);
+    assert_eq!(report.analysis.task_stats[0].worst_response, Some(10));
+}
+
+#[test]
+fn fpps_priority_order_and_preemption() {
+    let (core_types, modules, core) = one_core();
+    // high: P=25, C=5, prio 2; low: P=100, C=50, prio 1.
+    let config = Configuration {
+        core_types,
+        modules,
+        partitions: vec![Partition::new(
+            "P1",
+            SchedulerKind::Fpps,
+            vec![
+                Task::new("low", 1, vec![50], 100),
+                Task::new("high", 2, vec![5], 25),
+            ],
+        )],
+        binding: vec![core],
+        windows: vec![vec![Window::new(0, 100)]],
+        messages: vec![],
+    };
+    let report = analyze_configuration(&config).unwrap();
+    assert!(report.schedulable(), "{}", report.analysis.summary());
+    let low = &report.analysis.jobs[0];
+    // high runs [0,5], [25,30], [50,55], [75,80]; low fills the gaps:
+    // [5,25], [30,50], [55,65] — 50 units total, completing at 65.
+    assert_eq!(low.intervals, vec![(5, 25), (30, 50), (55, 65)]);
+    assert_eq!(low.executed, 50);
+    assert_eq!(low.completion, Some(65));
+    // low was preempted twice (at 25 and 50).
+    let low_stats = &report.analysis.task_stats[0];
+    assert_eq!(low_stats.preemptions, 2);
+    // high always runs immediately.
+    let high_stats = &report.analysis.task_stats[1];
+    assert_eq!(high_stats.worst_response, Some(5));
+    assert_eq!(high_stats.jobs, 4);
+}
+
+#[test]
+fn fpnps_does_not_preempt() {
+    let (core_types, modules, core) = one_core();
+    let config = Configuration {
+        core_types,
+        modules,
+        partitions: vec![Partition::new(
+            "P1",
+            SchedulerKind::Fpnps,
+            vec![
+                Task::new("low", 1, vec![50], 100),
+                Task::new("high", 2, vec![5], 25).with_deadline(25),
+            ],
+        )],
+        binding: vec![core],
+        windows: vec![vec![Window::new(0, 100)]],
+        messages: vec![],
+    };
+    let report = analyze_configuration(&config).unwrap();
+    // low runs [5, 55] without preemption; high's job at t=25 waits until
+    // 55, finishing at 60 — still within its deadline at 50? No: deadline
+    // is 25 + 25 = 50 < 60, so that job is killed: unschedulable.
+    assert!(!report.schedulable());
+    let low = &report.analysis.jobs[0];
+    assert_eq!(low.intervals, vec![(5, 55)]);
+    // No preemption happened at all.
+    assert_eq!(report.analysis.task_stats[0].preemptions, 0);
+    // high job 1 (released at 25) missed.
+    let missed: Vec<_> = report.analysis.missed_jobs().collect();
+    assert_eq!(missed.len(), 1);
+    assert_eq!(missed[0].task, tr(0, 1));
+    assert_eq!(missed[0].job, 1);
+}
+
+#[test]
+fn edf_runs_earliest_deadline_first() {
+    let (core_types, modules, core) = one_core();
+    // Two tasks, same period, deadlines 30 and 60. EDF runs the tighter
+    // deadline first regardless of declaration order.
+    let config = Configuration {
+        core_types,
+        modules,
+        partitions: vec![Partition::new(
+            "P1",
+            SchedulerKind::Edf,
+            vec![
+                Task::new("loose", 9, vec![10], 60).with_deadline(60),
+                Task::new("tight", 1, vec![10], 60).with_deadline(30),
+            ],
+        )],
+        binding: vec![core],
+        windows: vec![vec![Window::new(0, 60)]],
+        messages: vec![],
+    };
+    let report = analyze_configuration(&config).unwrap();
+    assert!(report.schedulable(), "{}", report.analysis.summary());
+    // tight (task 1) runs [0,10], loose [10,20] — even though loose has the
+    // higher priority number (EDF ignores priorities).
+    assert_eq!(report.analysis.jobs[1].intervals, vec![(0, 10)]);
+    assert_eq!(report.analysis.jobs[0].intervals, vec![(10, 20)]);
+}
+
+#[test]
+fn windows_gate_execution_and_stopwatch_resumes() {
+    let (core_types, modules, core) = one_core();
+    // One task, C=20, P=100, but its partition only owns [0,10) and
+    // [40,60): the job runs 10 units, pauses 30, resumes and finishes at 50.
+    let config = Configuration {
+        core_types,
+        modules,
+        partitions: vec![Partition::new(
+            "P1",
+            SchedulerKind::Fpps,
+            vec![Task::new("t", 1, vec![20], 100)],
+        )],
+        binding: vec![core],
+        windows: vec![vec![Window::new(0, 10), Window::new(40, 60)]],
+        messages: vec![],
+    };
+    let report = analyze_configuration(&config).unwrap();
+    assert!(report.schedulable(), "{}", report.analysis.summary());
+    let job = &report.analysis.jobs[0];
+    assert_eq!(job.intervals, vec![(0, 10), (40, 50)]);
+    assert_eq!(job.completion, Some(50));
+}
+
+#[test]
+fn too_small_windows_cause_deadline_miss() {
+    let (core_types, modules, core) = one_core();
+    let config = Configuration {
+        core_types,
+        modules,
+        partitions: vec![Partition::new(
+            "P1",
+            SchedulerKind::Fpps,
+            vec![Task::new("t", 1, vec![20], 100)],
+        )],
+        binding: vec![core],
+        windows: vec![vec![Window::new(0, 10)]],
+        messages: vec![],
+    };
+    let report = analyze_configuration(&config).unwrap();
+    assert!(!report.schedulable());
+    let job = &report.analysis.jobs[0];
+    assert_eq!(job.executed, 10);
+    assert_eq!(job.completion, None);
+    // The FIN (kill) event lands exactly at the deadline.
+    let fins: Vec<_> = report
+        .trace
+        .events
+        .iter()
+        .filter(|e| e.kind == SysEventKind::Fin)
+        .collect();
+    assert_eq!(fins.len(), 1);
+    assert_eq!(fins[0].time, 100);
+}
+
+#[test]
+fn two_partitions_share_a_core_via_windows() {
+    let (core_types, modules, core) = one_core();
+    let config = Configuration {
+        core_types,
+        modules,
+        partitions: vec![
+            Partition::new(
+                "PA",
+                SchedulerKind::Fpps,
+                vec![Task::new("a", 1, vec![20], 100)],
+            ),
+            Partition::new(
+                "PB",
+                SchedulerKind::Fpps,
+                vec![Task::new("b", 1, vec![30], 100)],
+            ),
+        ],
+        binding: vec![core, core],
+        windows: vec![vec![Window::new(0, 40)], vec![Window::new(40, 100)]],
+        messages: vec![],
+    };
+    let report = analyze_configuration(&config).unwrap();
+    assert!(report.schedulable(), "{}", report.analysis.summary());
+    assert_eq!(report.analysis.jobs[0].intervals, vec![(0, 20)]);
+    // b's job is released at 0 but its window only opens at 40.
+    assert_eq!(report.analysis.jobs[1].intervals, vec![(40, 70)]);
+}
+
+#[test]
+fn message_delays_receiver_start() {
+    let core_types = vec![CoreType::new("generic")];
+    let modules = vec![
+        Module::homogeneous("M1", 1, CoreTypeId::from_raw(0)),
+        Module::homogeneous("M2", 1, CoreTypeId::from_raw(0)),
+    ];
+    let c0 = CoreRef::new(ModuleId::from_raw(0), 0);
+    let c1 = CoreRef::new(ModuleId::from_raw(1), 0);
+    let config = Configuration {
+        core_types,
+        modules,
+        partitions: vec![
+            Partition::new(
+                "sender",
+                SchedulerKind::Fpps,
+                vec![Task::new("produce", 1, vec![10], 100)],
+            ),
+            Partition::new(
+                "receiver",
+                SchedulerKind::Fpps,
+                vec![Task::new("consume", 1, vec![5], 100)],
+            ),
+        ],
+        binding: vec![c0, c1],
+        windows: vec![vec![Window::new(0, 100)], vec![Window::new(0, 100)]],
+        // Different modules: the network delay (7) applies.
+        messages: vec![Message::new("vl", tr(0, 0), tr(1, 0), 1, 7)],
+    };
+    let report = analyze_configuration(&config).unwrap();
+    assert!(report.schedulable(), "{}", report.analysis.summary());
+    // Sender completes at 10, data arrives at 17, receiver runs [17, 22).
+    let receiver_job = report
+        .analysis
+        .jobs
+        .iter()
+        .find(|j| j.task == tr(1, 0))
+        .unwrap();
+    assert_eq!(receiver_job.intervals, vec![(17, 22)]);
+
+    // The Sect. 3 whole-model requirement: receiver start >= sender
+    // completion + delay.
+    let sender_job = report
+        .analysis
+        .jobs
+        .iter()
+        .find(|j| j.task == tr(0, 0))
+        .unwrap();
+    let sender_completion = sender_job.completion.unwrap();
+    assert!(receiver_job.intervals[0].0 >= sender_completion + 7);
+}
+
+#[test]
+fn same_module_uses_memory_delay() {
+    let (core_types, modules, core) = one_core();
+    let config = Configuration {
+        core_types,
+        modules,
+        partitions: vec![
+            Partition::new(
+                "sender",
+                SchedulerKind::Fpps,
+                vec![Task::new("produce", 1, vec![10], 100)],
+            ),
+            Partition::new(
+                "receiver",
+                SchedulerKind::Fpps,
+                vec![Task::new("consume", 1, vec![5], 100)],
+            ),
+        ],
+        binding: vec![core, core],
+        windows: vec![vec![Window::new(0, 50)], vec![Window::new(50, 100)]],
+        messages: vec![Message::new("vl", tr(0, 0), tr(1, 0), 2, 30)],
+    };
+    let report = analyze_configuration(&config).unwrap();
+    assert!(report.schedulable(), "{}", report.analysis.summary());
+    // Sender completes at 10, memory delay 2 → data at 12; receiver's
+    // window opens at 50, so it runs [50, 55).
+    let receiver_job = report
+        .analysis
+        .jobs
+        .iter()
+        .find(|j| j.task == tr(1, 0))
+        .unwrap();
+    assert_eq!(receiver_job.intervals, vec![(50, 55)]);
+}
+
+#[test]
+fn receiver_misses_when_data_never_arrives_in_time() {
+    let (core_types, modules, core) = one_core();
+    // Sender has low priority and long WCET; receiver's deadline is tight.
+    let config = Configuration {
+        core_types,
+        modules,
+        partitions: vec![Partition::new(
+            "P",
+            SchedulerKind::Fpps,
+            vec![
+                Task::new("produce", 1, vec![60], 100),
+                Task::new("consume", 2, vec![5], 100).with_deadline(50),
+            ],
+        )],
+        binding: vec![core],
+        windows: vec![vec![Window::new(0, 100)]],
+        messages: vec![Message::new("vl", tr(0, 0), tr(0, 1), 5, 5)],
+    };
+    let report = analyze_configuration(&config).unwrap();
+    assert!(!report.schedulable());
+    // consume never became ready: zero intervals, no FIN event for it.
+    let consume_job = report
+        .analysis
+        .jobs
+        .iter()
+        .find(|j| j.task == tr(0, 1))
+        .unwrap();
+    assert_eq!(consume_job.executed, 0);
+    assert!(consume_job.intervals.is_empty());
+}
+
+#[test]
+fn determinism_across_tie_breaks() {
+    let (core_types, modules, core) = one_core();
+    let config = Configuration {
+        core_types,
+        modules,
+        partitions: vec![
+            Partition::new(
+                "PA",
+                SchedulerKind::Fpps,
+                vec![
+                    Task::new("a1", 3, vec![5], 25),
+                    Task::new("a2", 2, vec![7], 50),
+                    Task::new("a3", 1, vec![9], 100),
+                ],
+            ),
+            Partition::new(
+                "PB",
+                SchedulerKind::Edf,
+                vec![
+                    Task::new("b1", 1, vec![4], 20).with_deadline(10),
+                    Task::new("b2", 1, vec![6], 50),
+                ],
+            ),
+        ],
+        binding: vec![core, core],
+        windows: vec![
+            vec![Window::new(0, 30), Window::new(60, 80)],
+            vec![Window::new(30, 60), Window::new(80, 100)],
+        ],
+        messages: vec![],
+    };
+    let canonical = analyze_configuration(&config).unwrap();
+    let reversed = analyze_configuration_with(&config, TieBreak::Reversed).unwrap();
+    let permuted =
+        analyze_configuration_with(&config, TieBreak::Permuted(vec![9, 3, 7, 1, 8, 2, 6, 0]))
+            .unwrap();
+    // The job outcomes (executing intervals, totals, completions) are
+    // identical whatever the interleaving order — the paper's theorem:
+    // "all the traces are equivalent for schedulability analysis purposes".
+    assert_eq!(
+        canonical.analysis.signature(),
+        reversed.analysis.signature()
+    );
+    assert_eq!(
+        canonical.analysis.signature(),
+        permuted.analysis.signature()
+    );
+    assert_eq!(
+        canonical.analysis.schedulable,
+        reversed.analysis.schedulable
+    );
+    assert_eq!(
+        canonical.analysis.schedulable,
+        permuted.analysis.schedulable
+    );
+}
+
+#[test]
+fn heterogeneous_core_types_change_wcet() {
+    let core_types = vec![CoreType::new("slow"), CoreType::new("fast")];
+    let modules = vec![Module::new(
+        "M1",
+        vec![
+            swa_ima::Core::new("slow0", CoreTypeId::from_raw(0)),
+            swa_ima::Core::new("fast0", CoreTypeId::from_raw(1)),
+        ],
+    )];
+    let slow = CoreRef::new(ModuleId::from_raw(0), 0);
+    let fast = CoreRef::new(ModuleId::from_raw(0), 1);
+    let mk = |core: CoreRef| Configuration {
+        core_types: core_types.clone(),
+        modules: modules.clone(),
+        partitions: vec![Partition::new(
+            "P1",
+            SchedulerKind::Fpps,
+            vec![Task::new("t", 1, vec![40, 10], 50)],
+        )],
+        binding: vec![core],
+        windows: vec![vec![Window::new(0, 50)]],
+        messages: vec![],
+    };
+    let on_slow = analyze_configuration(&mk(slow)).unwrap();
+    let on_fast = analyze_configuration(&mk(fast)).unwrap();
+    assert_eq!(on_slow.analysis.jobs[0].executed, 40);
+    assert_eq!(on_fast.analysis.jobs[0].executed, 10);
+}
+
+#[test]
+fn model_structure_matches_configuration() {
+    let (core_types, modules, core) = one_core();
+    let config = Configuration {
+        core_types,
+        modules,
+        partitions: vec![
+            Partition::new(
+                "PA",
+                SchedulerKind::Fpps,
+                vec![
+                    Task::new("a", 1, vec![5], 50),
+                    Task::new("b", 2, vec![5], 50),
+                ],
+            ),
+            Partition::new(
+                "PB",
+                SchedulerKind::Edf,
+                vec![Task::new("c", 1, vec![5], 50)],
+            ),
+        ],
+        binding: vec![core, core],
+        windows: vec![vec![Window::new(0, 25)], vec![Window::new(25, 50)]],
+        messages: vec![Message::new("m", tr(0, 0), tr(1, 0), 1, 1)],
+    };
+    let model = SystemModel::build(&config).unwrap();
+    let map = model.map();
+    // 3 task automata + 2 TS + 1 CS + 1 link.
+    assert_eq!(map.task_automata.len(), 3);
+    assert_eq!(map.ts_automata.len(), 2);
+    assert_eq!(map.cs_automata.len(), 1);
+    assert_eq!(map.link_automata.len(), 1);
+    assert_eq!(model.network().automata().len(), 7);
+    assert_eq!(model.hyperperiod(), 50);
+    assert_eq!(model.horizon(), 51);
+}
+
+#[test]
+fn invalid_configuration_is_rejected() {
+    let config = Configuration::new();
+    let err = SystemModel::build(&config).unwrap_err();
+    assert!(matches!(err, swa_core::ModelError::InvalidConfig(_)));
+}
+
+#[test]
+fn oversized_message_delay_is_rejected() {
+    let (core_types, modules, core) = one_core();
+    let config = Configuration {
+        core_types,
+        modules,
+        partitions: vec![Partition::new(
+            "P",
+            SchedulerKind::Fpps,
+            vec![
+                Task::new("s", 1, vec![5], 50),
+                Task::new("r", 2, vec![5], 50),
+            ],
+        )],
+        binding: vec![core],
+        windows: vec![vec![Window::new(0, 50)]],
+        messages: vec![Message::new("vl", tr(0, 0), tr(0, 1), 60, 60)],
+    };
+    let err = SystemModel::build(&config).unwrap_err();
+    assert!(matches!(
+        err,
+        swa_core::ModelError::DelayExceedsPeriod { .. }
+    ));
+}
+
+#[test]
+fn generated_models_export_to_uppaal() {
+    // The full instance model — stopwatches, schedulers, core schedulers,
+    // links — exports to UPPAAL XML: the stopwatch dataflow analysis must
+    // find every execution clock consistently frozen outside `running`.
+    let (core_types, modules, core) = one_core();
+    let config = Configuration {
+        core_types,
+        modules,
+        partitions: vec![
+            Partition::new(
+                "PA",
+                SchedulerKind::Fpps,
+                vec![
+                    Task::new("low", 1, vec![50], 100),
+                    Task::new("high", 2, vec![5], 25),
+                ],
+            ),
+            Partition::new(
+                "PB",
+                SchedulerKind::Edf,
+                vec![Task::new("b", 1, vec![5], 100).with_deadline(90)],
+            ),
+        ],
+        binding: vec![core, core],
+        windows: vec![vec![Window::new(0, 60)], vec![Window::new(60, 100)]],
+        messages: vec![Message::new("m", tr(0, 0), tr(1, 0), 1, 2)],
+    };
+    let model = SystemModel::build(&config).unwrap();
+    let xml = swa_nsa::uppaal::network_to_uppaal(model.network()).unwrap();
+    // Declarations for the shared interface.
+    assert!(xml.contains("int[0,1] is_ready[3]"));
+    assert!(xml.contains("chan exec_0;"));
+    assert!(xml.contains("broadcast chan send_0;"));
+    // The execution stopwatch is frozen in `ready` (rate invariant) and
+    // bounded in `running`.
+    assert!(xml.contains("exe_0' == 0"), "missing rate invariant");
+    assert!(xml.contains("exe_0 &lt;= 50"));
+    // Scheduler selection quantifiers survive translation.
+    assert!(xml.contains("forall (q0 : int["));
+    // Every automaton is instantiated.
+    assert!(xml.contains("system T0_PA_low, "));
+}

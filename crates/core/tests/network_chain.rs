@@ -1,0 +1,126 @@
+//! Tests for the switched-network extension: routed messages traverse hop
+//! automata (one per switch plus the wire) and behave, end to end, exactly
+//! like a single link with the summed worst-case delay.
+
+use swa_core::{analyze_configuration, SystemModel};
+use swa_ima::{
+    Configuration, CoreRef, CoreType, CoreTypeId, Message, MessageId, Module, ModuleId, Partition,
+    PartitionId, SchedulerKind, Switch, Task, TaskRef, Topology, Window,
+};
+
+fn tr(p: u32, t: u32) -> TaskRef {
+    TaskRef::new(PartitionId::from_raw(p), t)
+}
+
+/// Producer on module 0, consumer on module 1, one message with wire delay
+/// `wire`.
+fn cross_module_config(wire: i64) -> Configuration {
+    Configuration {
+        core_types: vec![CoreType::new("generic")],
+        modules: vec![
+            Module::homogeneous("M1", 1, CoreTypeId::from_raw(0)),
+            Module::homogeneous("M2", 1, CoreTypeId::from_raw(0)),
+        ],
+        partitions: vec![
+            Partition::new(
+                "producer",
+                SchedulerKind::Fpps,
+                vec![Task::new("produce", 1, vec![10], 100)],
+            ),
+            Partition::new(
+                "consumer",
+                SchedulerKind::Fpps,
+                vec![Task::new("consume", 1, vec![5], 100)],
+            ),
+        ],
+        binding: vec![
+            CoreRef::new(ModuleId::from_raw(0), 0),
+            CoreRef::new(ModuleId::from_raw(1), 0),
+        ],
+        windows: vec![vec![Window::new(0, 100)], vec![Window::new(0, 100)]],
+        messages: vec![Message::new("vl", tr(0, 0), tr(1, 0), 1, wire)],
+    }
+}
+
+fn two_switch_topology() -> Topology {
+    Topology::new(vec![Switch::new("SW1", 4), Switch::new("SW2", 6)])
+        .with_route(MessageId::from_raw(0), vec![0, 1])
+}
+
+#[test]
+fn routed_chain_builds_one_automaton_per_hop() {
+    let config = cross_module_config(5);
+    let model = SystemModel::build_with_topology(&config, Some(&two_switch_topology())).unwrap();
+    let map = model.map();
+    // Two switches + the wire = three hop automata.
+    assert_eq!(map.link_chain_automata[0].len(), 3);
+    // The delivering automaton is the last hop.
+    assert_eq!(
+        map.link_automata[0],
+        *map.link_chain_automata[0].last().unwrap()
+    );
+    assert_eq!(map.link_delays[0], 4 + 6 + 5);
+}
+
+#[test]
+fn chain_delivers_at_the_hop_sum() {
+    let config = cross_module_config(5);
+    let topology = two_switch_topology();
+    let model = SystemModel::build_with_topology(&config, Some(&topology)).unwrap();
+    let outcome = model.simulate().unwrap();
+    let trace = swa_core::extract_system_trace(&model, &config, &outcome.trace);
+    let analysis = swa_core::analyze(&config, &trace);
+    assert!(analysis.schedulable, "{}", analysis.summary());
+    // Producer completes at 10; delivery at 10 + 15; consumer runs [25, 30).
+    let consume = analysis.jobs.iter().find(|j| j.task == tr(1, 0)).unwrap();
+    assert_eq!(consume.intervals, vec![(25, 30)]);
+}
+
+#[test]
+fn chain_is_equivalent_to_single_link_with_summed_delay() {
+    // A direct message whose wire delay equals the chain's end-to-end sum
+    // produces the identical analysis.
+    let routed = {
+        let config = cross_module_config(5);
+        let model =
+            SystemModel::build_with_topology(&config, Some(&two_switch_topology())).unwrap();
+        let outcome = model.simulate().unwrap();
+        let trace = swa_core::extract_system_trace(&model, &config, &outcome.trace);
+        swa_core::analyze(&config, &trace).signature()
+    };
+    let direct = {
+        let config = cross_module_config(15); // 4 + 6 + 5
+        analyze_configuration(&config).unwrap().analysis.signature()
+    };
+    assert_eq!(routed, direct);
+}
+
+#[test]
+fn observers_hold_for_routed_messages() {
+    let config = cross_module_config(5);
+    let topology = two_switch_topology();
+    let model = SystemModel::build_with_topology(&config, Some(&topology)).unwrap();
+    let report = swa_mc::verify::verify_by_simulation(&model, &config).unwrap();
+    assert!(report.ok(), "{:#?}", report.violations);
+}
+
+#[test]
+fn oversized_end_to_end_delay_is_rejected() {
+    // Wire 5 + switches 50+50 >= period 100.
+    let config = cross_module_config(5);
+    let topology = Topology::new(vec![Switch::new("SW1", 50), Switch::new("SW2", 50)])
+        .with_route(MessageId::from_raw(0), vec![0, 1]);
+    let err = SystemModel::build_with_topology(&config, Some(&topology)).unwrap_err();
+    assert!(matches!(
+        err,
+        swa_core::ModelError::DelayExceedsPeriod { delay: 105, .. }
+    ));
+}
+
+#[test]
+fn no_topology_still_single_hop() {
+    let config = cross_module_config(7);
+    let model = SystemModel::build(&config).unwrap();
+    assert_eq!(model.map().link_chain_automata[0].len(), 1);
+    assert_eq!(model.map().link_delays[0], 7);
+}

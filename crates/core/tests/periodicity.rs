@@ -1,0 +1,127 @@
+//! Steady-state periodicity: the window schedule repeats with the
+//! hyperperiod and the model is deterministic, so the system trace over
+//! hyperperiod n+1 is exactly the trace over hyperperiod n shifted by L —
+//! a strong end-to-end consistency check of the whole model (releases,
+//! windows, schedulers, links, the CS wrap edge).
+
+use swa_core::{analyze_spanning, extract_system_trace, SystemModel};
+use swa_ima::{
+    Configuration, CoreRef, CoreType, CoreTypeId, Message, Module, ModuleId, Partition,
+    PartitionId, SchedulerKind, Task, TaskRef, Window,
+};
+
+fn tr(p: u32, t: u32) -> TaskRef {
+    TaskRef::new(PartitionId::from_raw(p), t)
+}
+
+fn config() -> Configuration {
+    Configuration {
+        core_types: vec![CoreType::new("ct")],
+        modules: vec![Module::homogeneous("M", 2, CoreTypeId::from_raw(0))],
+        partitions: vec![
+            Partition::new(
+                "PA",
+                SchedulerKind::Fpps,
+                vec![
+                    Task::new("a1", 2, vec![5], 25),
+                    Task::new("a2", 1, vec![10], 50),
+                ],
+            ),
+            Partition::new(
+                "PB",
+                SchedulerKind::Edf,
+                vec![Task::new("b1", 1, vec![8], 50).with_deadline(40)],
+            ),
+        ],
+        binding: vec![
+            CoreRef::new(ModuleId::from_raw(0), 0),
+            CoreRef::new(ModuleId::from_raw(0), 1),
+        ],
+        windows: vec![vec![Window::new(0, 50)], vec![Window::new(0, 50)]],
+        messages: vec![Message::new("m", tr(0, 1), tr(1, 0), 1, 3)],
+    }
+}
+
+#[test]
+fn every_hyperperiod_repeats_the_first() {
+    // Raw traces may differ at the boundary instants (a dispatch can race
+    // the window wrap, yielding zero-length dispatch/preempt artifacts) —
+    // the paper's equivalence is *for analysis purposes*, so the check is
+    // at the job-outcome level: each span's outcomes equal span 0's,
+    // shifted by L.
+    let config = config();
+    let l = config.hyperperiod().unwrap();
+    let spans = 3u32;
+    let model = SystemModel::build_spanning(&config, spans).unwrap();
+    assert_eq!(model.horizon(), i64::from(spans) * l + 1);
+    let outcome = model.simulate().unwrap();
+    let trace = extract_system_trace(&model, &config, &outcome.trace);
+    let analysis = analyze_spanning(&config, &trace, spans);
+
+    for (tr_, t) in config.tasks() {
+        let per_l = l / t.period;
+        let jobs: Vec<&swa_core::JobOutcome> =
+            analysis.jobs.iter().filter(|j| j.task == tr_).collect();
+        assert_eq!(
+            jobs.len(),
+            usize::try_from(per_l * i64::from(spans)).unwrap()
+        );
+        for job in &jobs {
+            let span = job.release / l;
+            let shift = span * l;
+            let base = &jobs[usize::try_from(i64::from(job.job) - span * per_l).unwrap()];
+            let shifted: Vec<(i64, i64)> = job
+                .intervals
+                .iter()
+                .map(|&(a, b)| (a - shift, b - shift))
+                .collect();
+            assert_eq!(shifted, base.intervals, "{} span {span}", job.task);
+            assert_eq!(job.executed, base.executed);
+            assert_eq!(
+                job.completion.map(|c| c - shift),
+                base.completion,
+                "{} span {span}",
+                job.task
+            );
+        }
+    }
+}
+
+#[test]
+fn spanning_analysis_covers_all_jobs() {
+    let config = config();
+    let model = SystemModel::build_spanning(&config, 2).unwrap();
+    let outcome = model.simulate().unwrap();
+    let trace = extract_system_trace(&model, &config, &outcome.trace);
+    let analysis = analyze_spanning(&config, &trace, 2);
+    assert!(analysis.schedulable, "{}", analysis.summary());
+    // Twice the jobs of one hyperperiod: (2 + 1 + 1) * 2.
+    assert_eq!(analysis.jobs.len(), 8);
+    assert_eq!(analysis.hyperperiod, 100);
+    // Every job of the second span completed too.
+    assert!(analysis.jobs.iter().all(swa_core::JobOutcome::is_ok));
+}
+
+#[test]
+fn unschedulable_configs_miss_in_every_hyperperiod() {
+    let mut config = config();
+    config.partitions[0].tasks[0].wcet = vec![24]; // overload PA's core
+    let model = SystemModel::build_spanning(&config, 2).unwrap();
+    let outcome = model.simulate().unwrap();
+    let trace = extract_system_trace(&model, &config, &outcome.trace);
+    let analysis = analyze_spanning(&config, &trace, 2);
+    assert!(!analysis.schedulable);
+    let l = config.hyperperiod().unwrap();
+    let misses_first: usize = analysis
+        .jobs
+        .iter()
+        .filter(|j| !j.is_ok() && j.release < l)
+        .count();
+    let misses_second: usize = analysis
+        .jobs
+        .iter()
+        .filter(|j| !j.is_ok() && j.release >= l)
+        .count();
+    assert!(misses_first > 0);
+    assert_eq!(misses_first, misses_second, "steady state repeats");
+}

@@ -1,0 +1,172 @@
+//! Property-based tests of the system model: for randomly generated
+//! configurations, the pipeline never errors, job outcomes satisfy the
+//! schedulability criterion's structural invariants, and interpretation is
+//! deterministic.
+
+use proptest::prelude::*;
+use swa_core::{analyze_configuration, analyze_configuration_with};
+use swa_ima::{
+    Configuration, CoreRef, CoreType, CoreTypeId, Module, ModuleId, Partition, SchedulerKind, Task,
+    Window,
+};
+use swa_nsa::TieBreak;
+
+fn any_scheduler() -> impl Strategy<Value = SchedulerKind> {
+    prop_oneof![
+        Just(SchedulerKind::Fpps),
+        Just(SchedulerKind::Fpnps),
+        Just(SchedulerKind::Edf),
+    ]
+}
+
+/// Random single-core configurations with 1–2 partitions sharing the core
+/// through complementary windows.
+fn any_config() -> impl Strategy<Value = Configuration> {
+    (
+        any_scheduler(),
+        any_scheduler(),
+        prop::collection::vec(
+            (1i64..8, prop::sample::select(vec![20i64, 40]), 0i64..5),
+            1..4,
+        ),
+        prop::collection::vec(
+            (1i64..8, prop::sample::select(vec![20i64, 40]), 0i64..5),
+            1..4,
+        ),
+        1i64..39,
+    )
+        .prop_map(|(s1, s2, t1, t2, split)| {
+            // Unique priorities and relative deadlines per partition keep
+            // dispatch tie-free (Configuration::dispatch_tie_warnings), the
+            // precondition of the determinism theorem.
+            let mk_tasks = |spec: &[(i64, i64, i64)]| -> Vec<Task> {
+                spec.iter()
+                    .enumerate()
+                    .map(|(i, &(c, p, prio))| {
+                        let i_l = i64::try_from(i).unwrap();
+                        Task::new(format!("t{i}"), prio * 8 + i_l, vec![c.min(p)], p)
+                            .with_deadline(p - i_l)
+                    })
+                    .collect()
+            };
+            let mut t1 = t1;
+            let mut t2 = t2;
+            // Pin the hyperperiod to 40 so the windows below are valid.
+            t1[0].1 = 40;
+            // Non-preemptive scheduling of *simultaneously released* jobs
+            // is inherently interleaving-dependent (a preemptive policy
+            // corrects an eager dispatch within the same instant; FPNPS
+            // locks it in) — the corner where the paper's "deterministic
+            // schedulers" assumption binds. Keep FPNPS partitions
+            // single-task so the determinism property is in scope.
+            if s1 == SchedulerKind::Fpnps {
+                t1.truncate(1);
+            }
+            if s2 == SchedulerKind::Fpnps {
+                t2.truncate(1);
+            }
+            Configuration {
+                core_types: vec![CoreType::new("ct")],
+                modules: vec![Module::homogeneous("M", 1, CoreTypeId::from_raw(0))],
+                partitions: vec![
+                    Partition::new("P0", s1, mk_tasks(&t1)),
+                    Partition::new("P1", s2, mk_tasks(&t2)),
+                ],
+                binding: vec![
+                    CoreRef::new(ModuleId::from_raw(0), 0),
+                    CoreRef::new(ModuleId::from_raw(0), 0),
+                ],
+                windows: vec![vec![Window::new(0, split)], vec![Window::new(split, 40)]],
+                messages: vec![],
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The pipeline runs without errors on every valid configuration, and
+    /// the job outcomes satisfy the structural invariants of the
+    /// schedulability criterion.
+    #[test]
+    fn job_outcomes_are_structurally_sound(config in any_config()) {
+        config.validate().unwrap();
+        let report = analyze_configuration(&config).unwrap();
+        let l = config.hyperperiod().unwrap();
+
+        for job in &report.analysis.jobs {
+            // Executed time never exceeds the requirement.
+            prop_assert!(job.executed <= job.required);
+            // Completion implies the full WCET ran.
+            if let Some(c) = job.completion {
+                prop_assert_eq!(job.executed, job.required);
+                prop_assert!(c <= job.abs_deadline);
+                prop_assert!(c <= l);
+            }
+            // Intervals are ordered, disjoint, and inside
+            // [release, deadline].
+            let mut prev_end = job.release;
+            for &(from, to) in &job.intervals {
+                prop_assert!(from >= prev_end);
+                prop_assert!(to > from);
+                prop_assert!(to <= job.abs_deadline);
+                prev_end = to;
+            }
+            // Their lengths sum to the executed total.
+            let sum: i64 = job.intervals.iter().map(|(f, t)| t - f).sum();
+            prop_assert_eq!(sum, job.executed);
+        }
+
+        // The verdict is exactly "every job completed".
+        let all_ok = report.analysis.jobs.iter().all(swa_core::JobOutcome::is_ok);
+        prop_assert_eq!(report.schedulable(), all_ok);
+    }
+
+    /// Jobs of the same core never execute at the same instant (the Fig. 2
+    /// requirement, checked at the trace level across partitions).
+    #[test]
+    fn no_two_jobs_overlap_on_one_core(config in any_config()) {
+        let report = analyze_configuration(&config).unwrap();
+        let mut intervals: Vec<(i64, i64)> = report
+            .analysis
+            .jobs
+            .iter()
+            .flat_map(|j| j.intervals.iter().copied())
+            .collect();
+        intervals.sort_unstable();
+        for pair in intervals.windows(2) {
+            prop_assert!(
+                pair[0].1 <= pair[1].0,
+                "intervals {:?} and {:?} overlap",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    /// Interpretation order does not change the analysis (the paper's
+    /// determinism theorem).
+    #[test]
+    fn reversed_order_gives_identical_analysis(config in any_config()) {
+        let canonical = analyze_configuration(&config).unwrap();
+        let reversed = analyze_configuration_with(&config, TieBreak::Reversed).unwrap();
+        prop_assert_eq!(canonical.analysis.signature(), reversed.analysis.signature());
+    }
+
+    /// The generic interpreter and the cache-accelerated fast path produce
+    /// identical model traces (the fast path is used for canonical runs;
+    /// `Permuted` with the identity permutation exercises the generic
+    /// loop on the same model).
+    #[test]
+    fn fast_and_generic_interpreters_agree(config in any_config()) {
+        let model = swa_core::SystemModel::build(&config).unwrap();
+        let n = model.network().automata().len();
+        let fast = model.simulate().unwrap();
+        let identity: Vec<u32> = (0..u32::try_from(n).unwrap()).collect();
+        let generic = model
+            .simulate_with_tie_break(TieBreak::Permuted(identity))
+            .unwrap();
+        prop_assert_eq!(fast.trace, generic.trace);
+        prop_assert_eq!(fast.final_state, generic.final_state);
+    }
+}

@@ -1,0 +1,801 @@
+//! The system configuration `⟨HW, WL, Bind, Sched⟩` and its validation.
+
+use std::collections::HashMap;
+
+use crate::error::ConfigError;
+use crate::hardware::{Core, CoreType, Module};
+use crate::ids::{CoreRef, CoreTypeId, MessageId, ModuleId, PartitionId, TaskRef};
+use crate::message::Message;
+use crate::task::{Partition, Task};
+use crate::util::lcm_all;
+use crate::window::Window;
+
+/// A complete IMA system configuration.
+///
+/// Matches the paper's tuple:
+///
+/// * `HW` — [`core_types`](Self::core_types) and [`modules`](Self::modules)
+///   (with `Type` and `Mod` encoded in [`Core`] and [`CoreRef`]);
+/// * `WL` — [`partitions`](Self::partitions) (tasks + scheduler) and the
+///   data-flow graph [`messages`](Self::messages);
+/// * `Bind` — [`binding`](Self::binding), mapping each partition to a core;
+/// * `Sched` — [`windows`](Self::windows), the per-partition window sets
+///   repeated with the hyperperiod.
+///
+/// Use [`Configuration::validate`] before analysis; every other method
+/// assumes a structurally valid configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Configuration {
+    /// Processor core types (`N_t` in the paper).
+    pub core_types: Vec<CoreType>,
+    /// Hardware modules with their cores.
+    pub modules: Vec<Module>,
+    /// Partitions with their tasks and schedulers.
+    pub partitions: Vec<Partition>,
+    /// Partition-to-core binding (same length as `partitions`).
+    pub binding: Vec<CoreRef>,
+    /// Per-partition window sets (same length as `partitions`).
+    pub windows: Vec<Vec<Window>>,
+    /// The data-flow graph.
+    pub messages: Vec<Message>,
+}
+
+impl Configuration {
+    /// Creates an empty configuration (useful as a starting point for
+    /// incremental construction in tests and generators).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a core.
+    #[must_use]
+    pub fn core(&self, core: CoreRef) -> Option<&Core> {
+        self.modules
+            .get(core.module.index())?
+            .cores
+            .get(core.core as usize)
+    }
+
+    /// Looks up a task.
+    #[must_use]
+    pub fn task(&self, task: TaskRef) -> Option<&Task> {
+        self.partitions
+            .get(task.partition.index())?
+            .tasks
+            .get(task.task as usize)
+    }
+
+    /// Looks up a partition.
+    #[must_use]
+    pub fn partition(&self, partition: PartitionId) -> Option<&Partition> {
+        self.partitions.get(partition.index())
+    }
+
+    /// The core a partition is bound to.
+    #[must_use]
+    pub fn bound_core(&self, partition: PartitionId) -> Option<CoreRef> {
+        self.binding.get(partition.index()).copied()
+    }
+
+    /// The core type a task executes on (through its partition's binding).
+    #[must_use]
+    pub fn core_type_of_task(&self, task: TaskRef) -> Option<CoreTypeId> {
+        let core = self.bound_core(task.partition)?;
+        Some(self.core(core)?.core_type)
+    }
+
+    /// The effective WCET of a task: its WCET on the core type its
+    /// partition is bound to (`C^{Type(Bind(Part_i))}_{ij}` in the paper).
+    #[must_use]
+    pub fn effective_wcet(&self, task: TaskRef) -> Option<i64> {
+        let ct = self.core_type_of_task(task)?;
+        Some(self.task(task)?.wcet_on(ct))
+    }
+
+    /// The worst-case transfer delay of a message: memory delay when sender
+    /// and receiver partitions share a module, network delay otherwise.
+    #[must_use]
+    pub fn message_delay(&self, message: MessageId) -> Option<i64> {
+        let m = self.messages.get(message.index())?;
+        let sm = self.bound_core(m.sender.partition)?.module;
+        let rm = self.bound_core(m.receiver.partition)?.module;
+        Some(if sm == rm { m.mem_delay } else { m.net_delay })
+    }
+
+    /// Iterates over all cores as `(CoreRef, &Core)`.
+    pub fn cores(&self) -> impl Iterator<Item = (CoreRef, &Core)> {
+        self.modules.iter().enumerate().flat_map(|(mi, m)| {
+            let module = ModuleId::from_raw(u32::try_from(mi).expect("module count fits u32"));
+            m.cores.iter().enumerate().map(move |(ci, c)| {
+                (
+                    CoreRef::new(module, u32::try_from(ci).expect("core count fits u32")),
+                    c,
+                )
+            })
+        })
+    }
+
+    /// Iterates over all tasks as `(TaskRef, &Task)`, partition by
+    /// partition.
+    pub fn tasks(&self) -> impl Iterator<Item = (TaskRef, &Task)> {
+        self.partitions.iter().enumerate().flat_map(|(pi, p)| {
+            let part = PartitionId::from_raw(u32::try_from(pi).expect("partition count fits u32"));
+            p.tasks.iter().enumerate().map(move |(ti, t)| {
+                (
+                    TaskRef::new(part, u32::try_from(ti).expect("task count fits u32")),
+                    t,
+                )
+            })
+        })
+    }
+
+    /// Partitions bound to the given core.
+    pub fn partitions_on(&self, core: CoreRef) -> impl Iterator<Item = PartitionId> + '_ {
+        self.binding
+            .iter()
+            .enumerate()
+            .filter(move |(_, c)| **c == core)
+            .map(|(i, _)| {
+                PartitionId::from_raw(u32::try_from(i).expect("partition count fits u32"))
+            })
+    }
+
+    /// Messages whose receiver is the given task.
+    pub fn inputs_of(&self, task: TaskRef) -> impl Iterator<Item = (MessageId, &Message)> {
+        self.messages
+            .iter()
+            .enumerate()
+            .filter(move |(_, m)| m.receiver == task)
+            .map(|(i, m)| {
+                (
+                    MessageId::from_raw(u32::try_from(i).expect("message count fits u32")),
+                    m,
+                )
+            })
+    }
+
+    /// Messages whose sender is the given task.
+    pub fn outputs_of(&self, task: TaskRef) -> impl Iterator<Item = (MessageId, &Message)> {
+        self.messages
+            .iter()
+            .enumerate()
+            .filter(move |(_, m)| m.sender == task)
+            .map(|(i, m)| {
+                (
+                    MessageId::from_raw(u32::try_from(i).expect("message count fits u32")),
+                    m,
+                )
+            })
+    }
+
+    /// The hyperperiod `L`: least common multiple of all task periods.
+    ///
+    /// Returns `None` when there are no tasks, a period is zero, or the LCM
+    /// overflows.
+    #[must_use]
+    pub fn hyperperiod(&self) -> Option<i64> {
+        lcm_all(self.tasks().map(|(_, t)| t.period))
+    }
+
+    /// Total number of jobs over one hyperperiod (`Σ L / P_ij`).
+    ///
+    /// Returns `None` when the hyperperiod is undefined.
+    #[must_use]
+    pub fn job_count(&self) -> Option<u64> {
+        let l = self.hyperperiod()?;
+        let mut count: u64 = 0;
+        for (_, t) in self.tasks() {
+            count += u64::try_from(l / t.period).ok()?;
+        }
+        Some(count)
+    }
+
+    /// Task utilization bound to a core: sum of `wcet/period` of every task
+    /// of every partition bound to it, using the core's type.
+    #[must_use]
+    pub fn core_utilization(&self, core: CoreRef) -> f64 {
+        let Some(ct) = self.core(core).map(|c| c.core_type) else {
+            return 0.0;
+        };
+        self.partitions_on(core)
+            .filter_map(|p| self.partition(p))
+            .map(|p| p.utilization_on(ct))
+            .sum()
+    }
+
+    /// Fraction of the hyperperiod granted to a partition by its windows.
+    #[must_use]
+    pub fn window_utilization(&self, partition: PartitionId) -> f64 {
+        let Some(l) = self.hyperperiod() else {
+            return 0.0;
+        };
+        let Some(ws) = self.windows.get(partition.index()) else {
+            return 0.0;
+        };
+        #[allow(clippy::cast_precision_loss)]
+        let u = crate::window::total_window_time(ws) as f64 / l as f64;
+        u
+    }
+
+    /// Reports *dispatch ties*: pairs of tasks in the same partition that
+    /// can be released at the same instant with an equal dispatch key
+    /// (equal priority under FPPS/FPNPS, equal relative deadline and
+    /// coinciding releases under EDF).
+    ///
+    /// Such ties do not make a configuration invalid, but they make the
+    /// dispatch order among the tied jobs depend on the interleaving of
+    /// their simultaneous release announcements — the one place where the
+    /// paper's determinism theorem needs its "deterministic schedulers"
+    /// assumption. Configurations without ties produce bit-identical
+    /// analyses under every interleaving order; configurations with ties
+    /// still produce a valid worst-case trace, but tied jobs may swap.
+    #[must_use]
+    pub fn dispatch_tie_warnings(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (pi, p) in self.partitions.iter().enumerate() {
+            for a in 0..p.tasks.len() {
+                for b in (a + 1)..p.tasks.len() {
+                    let (ta, tb) = (&p.tasks[a], &p.tasks[b]);
+                    // Simultaneous releases happen iff both periods divide
+                    // some common instant — always true at t = 0.
+                    // Releases can only coincide when the offsets are
+                    // congruent; with equal periods (the same-period
+                    // restriction on data flow makes mixed periods rare)
+                    // that means equal offsets.
+                    let simultaneous = ta.offset % crate::util::gcd(ta.period, tb.period)
+                        == tb.offset % crate::util::gcd(ta.period, tb.period);
+                    let tied = simultaneous
+                        && match p.scheduler {
+                            crate::task::SchedulerKind::Fpps
+                            | crate::task::SchedulerKind::Fpnps => ta.priority == tb.priority,
+                            crate::task::SchedulerKind::Edf => ta.deadline == tb.deadline,
+                            // Round-robin's circular order is tie-free by
+                            // construction (distances from the last-served
+                            // index are distinct).
+                            crate::task::SchedulerKind::RoundRobin { .. } => false,
+                        };
+                    if tied {
+                        out.push(format!(
+                            "partition {pi} ({}): tasks {:?} and {:?} share a {} — \
+                             dispatch order between their simultaneous releases is \
+                             interleaving-dependent",
+                            p.name,
+                            ta.name,
+                            tb.name,
+                            match p.scheduler {
+                                crate::task::SchedulerKind::Edf => "relative deadline",
+                                _ => "priority",
+                            }
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Validates the configuration, returning *all* problems found.
+    ///
+    /// # Errors
+    ///
+    /// Returns the (non-empty) list of [`ConfigError`]s when the
+    /// configuration is structurally invalid.
+    pub fn validate(&self) -> Result<(), Vec<ConfigError>> {
+        let mut errors = Vec::new();
+
+        if self.core_types.is_empty() {
+            errors.push(ConfigError::NoCoreTypes);
+        }
+        if self.modules.is_empty() {
+            errors.push(ConfigError::NoModules);
+        }
+        for m in &self.modules {
+            if m.cores.is_empty() {
+                errors.push(ConfigError::EmptyModule {
+                    module: m.name.clone(),
+                });
+            }
+        }
+        for (core_ref, core) in self.cores() {
+            if core.core_type.index() >= self.core_types.len() {
+                errors.push(ConfigError::UnknownCoreType {
+                    core: core_ref,
+                    core_type: core.core_type.raw(),
+                });
+            }
+        }
+
+        if self.binding.len() != self.partitions.len() {
+            errors.push(ConfigError::BindingArityMismatch {
+                partitions: self.partitions.len(),
+                bindings: self.binding.len(),
+            });
+        }
+        if self.windows.len() != self.partitions.len() {
+            errors.push(ConfigError::WindowsArityMismatch {
+                partitions: self.partitions.len(),
+                window_sets: self.windows.len(),
+            });
+        }
+
+        for (pi, p) in self.partitions.iter().enumerate() {
+            let pid = PartitionId::from_raw(u32::try_from(pi).expect("partition count fits u32"));
+            if p.tasks.is_empty() {
+                errors.push(ConfigError::EmptyPartition(pid));
+            }
+            if let crate::task::SchedulerKind::RoundRobin { quantum } = p.scheduler {
+                if quantum <= 0 {
+                    errors.push(ConfigError::BadQuantum {
+                        partition: pid,
+                        quantum,
+                    });
+                }
+            }
+            if let Some(&core) = self.binding.get(pi) {
+                if self.core(core).is_none() {
+                    errors.push(ConfigError::UnknownCore {
+                        partition: pid,
+                        core,
+                    });
+                }
+            }
+        }
+
+        for (tr, t) in self.tasks() {
+            if t.period <= 0 {
+                errors.push(ConfigError::BadPeriod {
+                    task: tr,
+                    period: t.period,
+                });
+            }
+            if t.deadline <= 0 || (t.period > 0 && t.deadline > t.period) {
+                errors.push(ConfigError::BadDeadline {
+                    task: tr,
+                    deadline: t.deadline,
+                    period: t.period,
+                });
+            }
+            if t.wcet.len() != self.core_types.len() {
+                errors.push(ConfigError::WcetArityMismatch {
+                    task: tr,
+                    provided: t.wcet.len(),
+                    expected: self.core_types.len(),
+                });
+            }
+            for (ct, &w) in t.wcet.iter().enumerate() {
+                if w <= 0 {
+                    errors.push(ConfigError::BadWcet {
+                        task: tr,
+                        core_type: u32::try_from(ct).expect("core type count fits u32"),
+                        wcet: w,
+                    });
+                }
+            }
+            if t.priority < 0 {
+                errors.push(ConfigError::BadPriority {
+                    task: tr,
+                    priority: t.priority,
+                });
+            }
+            if t.offset < 0 || (t.period > 0 && t.offset >= t.period) {
+                errors.push(ConfigError::BadOffset {
+                    task: tr,
+                    offset: t.offset,
+                    period: t.period,
+                });
+            }
+        }
+
+        let hyperperiod = self.hyperperiod();
+        if !self.partitions.is_empty() && hyperperiod.is_none() {
+            errors.push(ConfigError::HyperperiodOverflow);
+        }
+
+        // Windows: well-formed, inside [0, L), at least one per partition,
+        // non-overlapping per core.
+        if let Some(l) = hyperperiod {
+            let mut per_core: HashMap<CoreRef, Vec<(Window, PartitionId)>> = HashMap::new();
+            for (pi, ws) in self.windows.iter().enumerate() {
+                let pid =
+                    PartitionId::from_raw(u32::try_from(pi).expect("partition count fits u32"));
+                if ws.is_empty() {
+                    errors.push(ConfigError::NoWindows(pid));
+                }
+                for w in ws {
+                    if w.start < 0 || w.start >= w.end || w.end > l {
+                        errors.push(ConfigError::BadWindow {
+                            partition: pid,
+                            start: w.start,
+                            end: w.end,
+                        });
+                    }
+                }
+                if let Some(&core) = self.binding.get(pi) {
+                    let entry = per_core.entry(core).or_default();
+                    entry.extend(ws.iter().map(|w| (*w, pid)));
+                }
+            }
+            for (core, mut ws) in per_core {
+                ws.sort();
+                for pair in ws.windows(2) {
+                    let (a, pa) = pair[0];
+                    let (b, pb) = pair[1];
+                    if a.overlaps(b) {
+                        errors.push(ConfigError::OverlappingWindows {
+                            core,
+                            first: pa,
+                            second: pb,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Messages.
+        for (mi, m) in self.messages.iter().enumerate() {
+            let mid = MessageId::from_raw(u32::try_from(mi).expect("message count fits u32"));
+            let sender = self.task(m.sender);
+            let receiver = self.task(m.receiver);
+            if sender.is_none() {
+                errors.push(ConfigError::UnknownTask {
+                    message: mid,
+                    task: m.sender,
+                });
+            }
+            if receiver.is_none() {
+                errors.push(ConfigError::UnknownTask {
+                    message: mid,
+                    task: m.receiver,
+                });
+            }
+            if m.sender == m.receiver {
+                errors.push(ConfigError::SelfMessage(mid));
+            }
+            if let (Some(s), Some(r)) = (sender, receiver) {
+                if s.period != r.period {
+                    errors.push(ConfigError::PeriodMismatch {
+                        message: mid,
+                        sender_period: s.period,
+                        receiver_period: r.period,
+                    });
+                }
+            }
+            if m.mem_delay < 0 {
+                errors.push(ConfigError::BadDelay {
+                    message: mid,
+                    delay: m.mem_delay,
+                });
+            }
+            if m.net_delay < 0 {
+                errors.push(ConfigError::BadDelay {
+                    message: mid,
+                    delay: m.net_delay,
+                });
+            }
+        }
+
+        if let Some(witness) = self.find_data_flow_cycle() {
+            errors.push(ConfigError::CyclicDataFlow { witness });
+        }
+
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// Detects a cycle in the data-flow graph; returns a task on a cycle.
+    fn find_data_flow_cycle(&self) -> Option<TaskRef> {
+        // Index tasks densely.
+        let tasks: Vec<TaskRef> = self.tasks().map(|(tr, _)| tr).collect();
+        let index: HashMap<TaskRef, usize> =
+            tasks.iter().enumerate().map(|(i, t)| (*t, i)).collect();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); tasks.len()];
+        for m in &self.messages {
+            if let (Some(&s), Some(&r)) = (index.get(&m.sender), index.get(&m.receiver)) {
+                adj[s].push(r);
+            }
+        }
+        // Iterative DFS with colors.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let mut color = vec![Color::White; tasks.len()];
+        for start in 0..tasks.len() {
+            if color[start] != Color::White {
+                continue;
+            }
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            color[start] = Color::Gray;
+            while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+                if *next < adj[node].len() {
+                    let succ = adj[node][*next];
+                    *next += 1;
+                    match color[succ] {
+                        Color::Gray => return Some(tasks[succ]),
+                        Color::White => {
+                            color[succ] = Color::Gray;
+                            stack.push((succ, 0));
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color[node] = Color::Black;
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::SchedulerKind;
+
+    /// One module, one core, one partition with two tasks, windows covering
+    /// the whole hyperperiod.
+    pub(crate) fn simple_config() -> Configuration {
+        let ct = CoreTypeId::from_raw(0);
+        Configuration {
+            core_types: vec![CoreType::new("generic")],
+            modules: vec![Module::homogeneous("M1", 1, ct)],
+            partitions: vec![Partition::new(
+                "P1",
+                SchedulerKind::Fpps,
+                vec![
+                    Task::new("t1", 2, vec![10], 50),
+                    Task::new("t2", 1, vec![20], 100),
+                ],
+            )],
+            binding: vec![CoreRef::new(ModuleId::from_raw(0), 0)],
+            windows: vec![vec![Window::new(0, 100)]],
+            messages: vec![],
+        }
+    }
+
+    #[test]
+    fn simple_config_is_valid() {
+        let c = simple_config();
+        c.validate().unwrap();
+        assert_eq!(c.hyperperiod(), Some(100));
+        assert_eq!(c.job_count(), Some(3));
+        let core = CoreRef::new(ModuleId::from_raw(0), 0);
+        assert!((c.core_utilization(core) - 0.4).abs() < 1e-12);
+        assert!((c.window_utilization(PartitionId::from_raw(0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effective_wcet_uses_bound_core_type() {
+        let mut c = simple_config();
+        c.core_types.push(CoreType::new("fast"));
+        c.partitions[0].tasks[0].wcet = vec![10, 5];
+        c.partitions[0].tasks[1].wcet = vec![20, 10];
+        // Rebind to a core of type 1.
+        c.modules[0]
+            .cores
+            .push(Core::new("fastcore", CoreTypeId::from_raw(1)));
+        c.binding[0] = CoreRef::new(ModuleId::from_raw(0), 1);
+        c.validate().unwrap();
+        let t0 = TaskRef::new(PartitionId::from_raw(0), 0);
+        assert_eq!(c.effective_wcet(t0), Some(5));
+    }
+
+    #[test]
+    fn message_delay_depends_on_module() {
+        let mut c = simple_config();
+        // Add a second module with a partition.
+        c.modules
+            .push(Module::homogeneous("M2", 1, CoreTypeId::from_raw(0)));
+        c.partitions.push(Partition::new(
+            "P2",
+            SchedulerKind::Fpps,
+            vec![Task::new("t3", 1, vec![5], 50)],
+        ));
+        c.binding.push(CoreRef::new(ModuleId::from_raw(1), 0));
+        c.windows.push(vec![Window::new(0, 50)]);
+        let p0t0 = TaskRef::new(PartitionId::from_raw(0), 0);
+        let p1t0 = TaskRef::new(PartitionId::from_raw(1), 0);
+        c.messages.push(Message::new("cross", p0t0, p1t0, 1, 10));
+        c.validate().unwrap();
+        assert_eq!(c.message_delay(MessageId::from_raw(0)), Some(10));
+        // Rebind P2 to the same module: memory delay.
+        c.binding[1] = CoreRef::new(ModuleId::from_raw(0), 0);
+        c.windows[0] = vec![Window::new(0, 50)];
+        c.windows[1] = vec![Window::new(50, 100)];
+        c.validate().unwrap();
+        assert_eq!(c.message_delay(MessageId::from_raw(0)), Some(1));
+    }
+
+    #[test]
+    fn detects_missing_core_types_and_modules() {
+        let c = Configuration::new();
+        let errs = c.validate().unwrap_err();
+        assert!(errs.contains(&ConfigError::NoCoreTypes));
+        assert!(errs.contains(&ConfigError::NoModules));
+    }
+
+    #[test]
+    fn detects_bad_task_parameters() {
+        let mut c = simple_config();
+        c.partitions[0].tasks[0].period = 0;
+        c.partitions[0].tasks[0].deadline = 0;
+        c.partitions[0].tasks[1].wcet = vec![-1];
+        c.partitions[0].tasks[1].priority = -1;
+        let errs = c.validate().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ConfigError::BadPeriod { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ConfigError::BadDeadline { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ConfigError::BadWcet { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ConfigError::BadPriority { .. })));
+    }
+
+    #[test]
+    fn detects_deadline_beyond_period() {
+        let mut c = simple_config();
+        c.partitions[0].tasks[0].deadline = 60; // period 50
+        let errs = c.validate().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ConfigError::BadDeadline { .. })));
+    }
+
+    #[test]
+    fn detects_wcet_arity_mismatch() {
+        let mut c = simple_config();
+        c.partitions[0].tasks[0].wcet = vec![10, 20];
+        let errs = c.validate().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ConfigError::WcetArityMismatch { .. })));
+    }
+
+    #[test]
+    fn detects_window_problems() {
+        let mut c = simple_config();
+        c.windows[0] = vec![Window::new(10, 10)];
+        let errs = c.validate().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ConfigError::BadWindow { .. })));
+
+        let mut c = simple_config();
+        c.windows[0] = vec![Window::new(0, 150)]; // beyond hyperperiod 100
+        let errs = c.validate().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ConfigError::BadWindow { .. })));
+
+        let mut c = simple_config();
+        c.windows[0] = vec![];
+        let errs = c.validate().unwrap_err();
+        assert!(errs.contains(&ConfigError::NoWindows(PartitionId::from_raw(0))));
+    }
+
+    #[test]
+    fn detects_overlapping_windows_on_shared_core() {
+        let mut c = simple_config();
+        c.partitions.push(Partition::new(
+            "P2",
+            SchedulerKind::Fpps,
+            vec![Task::new("t3", 1, vec![5], 100)],
+        ));
+        c.binding.push(CoreRef::new(ModuleId::from_raw(0), 0));
+        c.windows[0] = vec![Window::new(0, 60)];
+        c.windows.push(vec![Window::new(50, 100)]);
+        let errs = c.validate().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ConfigError::OverlappingWindows { .. })));
+    }
+
+    #[test]
+    fn same_core_disjoint_windows_are_fine() {
+        let mut c = simple_config();
+        c.partitions.push(Partition::new(
+            "P2",
+            SchedulerKind::Edf,
+            vec![Task::new("t3", 1, vec![5], 100)],
+        ));
+        c.binding.push(CoreRef::new(ModuleId::from_raw(0), 0));
+        c.windows[0] = vec![Window::new(0, 50)];
+        c.windows.push(vec![Window::new(50, 100)]);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn detects_message_problems() {
+        let mut c = simple_config();
+        let t0 = TaskRef::new(PartitionId::from_raw(0), 0); // period 50
+        let t1 = TaskRef::new(PartitionId::from_raw(0), 1); // period 100
+        let missing = TaskRef::new(PartitionId::from_raw(5), 0);
+        c.messages.push(Message::new("m0", t0, t1, 1, 1)); // period mismatch
+        c.messages.push(Message::new("m1", t0, t0, 1, 1)); // self message
+        c.messages.push(Message::new("m2", t0, missing, 1, 1)); // unknown task
+        c.messages.push(Message::new("m3", t0, t1, -1, 1)); // bad delay
+        let errs = c.validate().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ConfigError::PeriodMismatch { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ConfigError::SelfMessage(_))));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ConfigError::UnknownTask { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ConfigError::BadDelay { .. })));
+    }
+
+    #[test]
+    fn detects_cyclic_data_flow() {
+        let mut c = simple_config();
+        // Make both tasks the same period so the messages validate.
+        c.partitions[0].tasks[1].period = 50;
+        c.partitions[0].tasks[1].deadline = 50;
+        let t0 = TaskRef::new(PartitionId::from_raw(0), 0);
+        let t1 = TaskRef::new(PartitionId::from_raw(0), 1);
+        c.messages.push(Message::new("m0", t0, t1, 1, 1));
+        c.messages.push(Message::new("m1", t1, t0, 1, 1));
+        let errs = c.validate().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ConfigError::CyclicDataFlow { .. })));
+    }
+
+    #[test]
+    fn acyclic_chain_is_fine() {
+        let mut c = simple_config();
+        c.partitions[0].tasks[1].period = 50;
+        c.partitions[0].tasks[1].deadline = 50;
+        c.windows[0] = vec![Window::new(0, 50)]; // hyperperiod is now 50
+        c.partitions[0].tasks.push(Task::new("t3", 0, vec![5], 50));
+        let t0 = TaskRef::new(PartitionId::from_raw(0), 0);
+        let t1 = TaskRef::new(PartitionId::from_raw(0), 1);
+        let t2 = TaskRef::new(PartitionId::from_raw(0), 2);
+        c.messages.push(Message::new("m0", t0, t1, 1, 1));
+        c.messages.push(Message::new("m1", t1, t2, 1, 1));
+        c.messages.push(Message::new("m2", t0, t2, 1, 1));
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn arity_mismatches_detected() {
+        let mut c = simple_config();
+        c.binding.clear();
+        c.windows.clear();
+        let errs = c.validate().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ConfigError::BindingArityMismatch { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ConfigError::WindowsArityMismatch { .. })));
+    }
+
+    #[test]
+    fn iterators_cover_everything() {
+        let c = simple_config();
+        assert_eq!(c.cores().count(), 1);
+        assert_eq!(c.tasks().count(), 2);
+        let core = CoreRef::new(ModuleId::from_raw(0), 0);
+        assert_eq!(c.partitions_on(core).count(), 1);
+        let t0 = TaskRef::new(PartitionId::from_raw(0), 0);
+        assert_eq!(c.inputs_of(t0).count(), 0);
+        assert_eq!(c.outputs_of(t0).count(), 0);
+    }
+}

@@ -1,0 +1,305 @@
+//! Configuration validation errors.
+
+use std::fmt;
+
+use crate::ids::{CoreRef, MessageId, PartitionId, TaskRef};
+
+/// A structural problem found while validating a [`crate::Configuration`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// The configuration declares no core types.
+    NoCoreTypes,
+    /// The configuration declares no modules (hence no cores).
+    NoModules,
+    /// A module declares no cores.
+    EmptyModule {
+        /// The offending module's name.
+        module: String,
+    },
+    /// A core references a core type that does not exist.
+    UnknownCoreType {
+        /// The offending core.
+        core: CoreRef,
+        /// The dangling core-type index.
+        core_type: u32,
+    },
+    /// A partition declares no tasks.
+    EmptyPartition(PartitionId),
+    /// The binding refers to a core that does not exist.
+    UnknownCore {
+        /// The partition whose binding is broken.
+        partition: PartitionId,
+        /// The dangling core reference.
+        core: CoreRef,
+    },
+    /// The number of bindings does not match the number of partitions.
+    BindingArityMismatch {
+        /// Number of partitions.
+        partitions: usize,
+        /// Number of bindings.
+        bindings: usize,
+    },
+    /// The number of window sets does not match the number of partitions.
+    WindowsArityMismatch {
+        /// Number of partitions.
+        partitions: usize,
+        /// Number of window sets.
+        window_sets: usize,
+    },
+    /// A task has a non-positive period.
+    BadPeriod {
+        /// The offending task.
+        task: TaskRef,
+        /// The declared period.
+        period: i64,
+    },
+    /// A task's deadline is non-positive or exceeds its period.
+    BadDeadline {
+        /// The offending task.
+        task: TaskRef,
+        /// The declared deadline.
+        deadline: i64,
+        /// The declared period.
+        period: i64,
+    },
+    /// A task's WCET vector length differs from the number of core types.
+    WcetArityMismatch {
+        /// The offending task.
+        task: TaskRef,
+        /// Number of WCET entries provided.
+        provided: usize,
+        /// Number of core types in the configuration.
+        expected: usize,
+    },
+    /// A task has a non-positive WCET for some core type.
+    BadWcet {
+        /// The offending task.
+        task: TaskRef,
+        /// Index of the core type.
+        core_type: u32,
+        /// The declared WCET.
+        wcet: i64,
+    },
+    /// A task has a negative priority.
+    BadPriority {
+        /// The offending task.
+        task: TaskRef,
+        /// The declared priority.
+        priority: i64,
+    },
+    /// The hyperperiod (LCM of all periods) overflows or is undefined.
+    HyperperiodOverflow,
+    /// A window is malformed (`start >= end`) or extends beyond the
+    /// hyperperiod.
+    BadWindow {
+        /// The partition owning the window.
+        partition: PartitionId,
+        /// The window's start.
+        start: i64,
+        /// The window's end.
+        end: i64,
+    },
+    /// Two windows on the same core overlap.
+    OverlappingWindows {
+        /// The shared core.
+        core: CoreRef,
+        /// First partition involved.
+        first: PartitionId,
+        /// Second partition involved.
+        second: PartitionId,
+    },
+    /// A partition has no windows at all (its tasks could never run).
+    NoWindows(PartitionId),
+    /// A message references a task that does not exist.
+    UnknownTask {
+        /// The message.
+        message: MessageId,
+        /// The dangling reference.
+        task: TaskRef,
+    },
+    /// A message connects a task to itself.
+    SelfMessage(MessageId),
+    /// A message connects tasks with different periods (the paper only
+    /// allows data dependencies between same-period tasks).
+    PeriodMismatch {
+        /// The message.
+        message: MessageId,
+        /// Sender period.
+        sender_period: i64,
+        /// Receiver period.
+        receiver_period: i64,
+    },
+    /// A message has a negative transfer delay.
+    BadDelay {
+        /// The message.
+        message: MessageId,
+        /// The declared delay.
+        delay: i64,
+    },
+    /// The data-flow graph has a cycle.
+    CyclicDataFlow {
+        /// One task on the cycle, for diagnostics.
+        witness: TaskRef,
+    },
+    /// A task's release offset is negative or not smaller than its period.
+    BadOffset {
+        /// The offending task.
+        task: TaskRef,
+        /// The declared offset.
+        offset: i64,
+        /// The declared period.
+        period: i64,
+    },
+    /// A round-robin partition declares a non-positive quantum.
+    BadQuantum {
+        /// The offending partition.
+        partition: PartitionId,
+        /// The declared quantum.
+        quantum: i64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoCoreTypes => write!(f, "configuration declares no core types"),
+            Self::NoModules => write!(f, "configuration declares no modules"),
+            Self::EmptyModule { module } => write!(f, "module {module:?} has no cores"),
+            Self::UnknownCoreType { core, core_type } => {
+                write!(f, "core {core} references unknown core type ct{core_type}")
+            }
+            Self::EmptyPartition(p) => write!(f, "partition {p} has no tasks"),
+            Self::UnknownCore { partition, core } => {
+                write!(f, "partition {partition} is bound to unknown core {core}")
+            }
+            Self::BindingArityMismatch {
+                partitions,
+                bindings,
+            } => write!(
+                f,
+                "{partitions} partitions but {bindings} bindings were provided"
+            ),
+            Self::WindowsArityMismatch {
+                partitions,
+                window_sets,
+            } => write!(
+                f,
+                "{partitions} partitions but {window_sets} window sets were provided"
+            ),
+            Self::BadPeriod { task, period } => {
+                write!(f, "task {task} has non-positive period {period}")
+            }
+            Self::BadDeadline {
+                task,
+                deadline,
+                period,
+            } => write!(
+                f,
+                "task {task} has deadline {deadline} outside (0, period = {period}]"
+            ),
+            Self::WcetArityMismatch {
+                task,
+                provided,
+                expected,
+            } => write!(
+                f,
+                "task {task} provides {provided} WCET entries, expected {expected}"
+            ),
+            Self::BadWcet {
+                task,
+                core_type,
+                wcet,
+            } => write!(
+                f,
+                "task {task} has non-positive WCET {wcet} on core type ct{core_type}"
+            ),
+            Self::BadPriority { task, priority } => {
+                write!(f, "task {task} has negative priority {priority}")
+            }
+            Self::HyperperiodOverflow => {
+                write!(f, "hyperperiod (lcm of periods) overflows or is undefined")
+            }
+            Self::BadWindow {
+                partition,
+                start,
+                end,
+            } => write!(
+                f,
+                "partition {partition} has malformed window [{start}, {end})"
+            ),
+            Self::OverlappingWindows {
+                core,
+                first,
+                second,
+            } => write!(
+                f,
+                "windows of partitions {first} and {second} overlap on core {core}"
+            ),
+            Self::NoWindows(p) => write!(f, "partition {p} has no windows"),
+            Self::UnknownTask { message, task } => {
+                write!(f, "message {message} references unknown task {task}")
+            }
+            Self::SelfMessage(m) => write!(f, "message {m} connects a task to itself"),
+            Self::PeriodMismatch {
+                message,
+                sender_period,
+                receiver_period,
+            } => write!(
+                f,
+                "message {message} connects tasks with different periods \
+                 ({sender_period} vs {receiver_period})"
+            ),
+            Self::BadDelay { message, delay } => {
+                write!(f, "message {message} has negative delay {delay}")
+            }
+            Self::CyclicDataFlow { witness } => {
+                write!(f, "data-flow graph has a cycle through {witness}")
+            }
+            Self::BadOffset {
+                task,
+                offset,
+                period,
+            } => write!(
+                f,
+                "task {task} has offset {offset} outside [0, period = {period})"
+            ),
+            Self::BadQuantum { partition, quantum } => write!(
+                f,
+                "round-robin partition {partition} has non-positive quantum {quantum}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ModuleId;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let errors = vec![
+            ConfigError::NoCoreTypes,
+            ConfigError::EmptyPartition(PartitionId::from_raw(3)),
+            ConfigError::OverlappingWindows {
+                core: CoreRef::new(ModuleId::from_raw(0), 1),
+                first: PartitionId::from_raw(0),
+                second: PartitionId::from_raw(1),
+            },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase(), "{msg}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConfigError>();
+    }
+}

@@ -1,0 +1,107 @@
+//! Hardware side of a configuration: core types, modules and cores.
+//!
+//! An IMA system consists of standardized hardware modules containing
+//! (possibly multicore) processors. Modules may be of different types with
+//! different processor performance; a task's worst-case execution time is
+//! given *per core type* (the `C̄ᵢⱼ` vector of the paper).
+
+use crate::ids::CoreTypeId;
+
+/// A processor core type. Task WCETs are specified per core type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreType {
+    /// Human-readable name (e.g. `"PowerPC e500"`).
+    pub name: String,
+}
+
+impl CoreType {
+    /// Creates a core type.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into() }
+    }
+}
+
+/// One processing core inside a module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Core {
+    /// Human-readable name (e.g. `"cpu0"`).
+    pub name: String,
+    /// The core's type, indexing into the configuration's core types.
+    pub core_type: CoreTypeId,
+}
+
+impl Core {
+    /// Creates a core of the given type.
+    #[must_use]
+    pub fn new(name: impl Into<String>, core_type: CoreTypeId) -> Self {
+        Self {
+            name: name.into(),
+            core_type,
+        }
+    }
+}
+
+/// A hardware module: a set of cores connected to the system network.
+///
+/// Message transfers between partitions on the *same* module go through
+/// shared memory; transfers between *different* modules go through the
+/// switched network (see [`crate::message::Message`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Module {
+    /// Human-readable name (e.g. `"M1"`).
+    pub name: String,
+    /// The module's cores.
+    pub cores: Vec<Core>,
+}
+
+impl Module {
+    /// Creates a module with the given cores.
+    #[must_use]
+    pub fn new(name: impl Into<String>, cores: Vec<Core>) -> Self {
+        Self {
+            name: name.into(),
+            cores,
+        }
+    }
+
+    /// Creates a module with `count` homogeneous cores of one type.
+    #[must_use]
+    pub fn homogeneous(name: impl Into<String>, count: usize, core_type: CoreTypeId) -> Self {
+        let name = name.into();
+        let cores = (0..count)
+            .map(|i| Core::new(format!("{name}.cpu{i}"), core_type))
+            .collect();
+        Self { name, cores }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_module_names_cores() {
+        let m = Module::homogeneous("M1", 3, CoreTypeId::from_raw(0));
+        assert_eq!(m.cores.len(), 3);
+        assert_eq!(m.cores[0].name, "M1.cpu0");
+        assert_eq!(m.cores[2].name, "M1.cpu2");
+        assert!(m
+            .cores
+            .iter()
+            .all(|c| c.core_type == CoreTypeId::from_raw(0)));
+    }
+
+    #[test]
+    fn heterogeneous_module() {
+        let m = Module::new(
+            "M2",
+            vec![
+                Core::new("fast", CoreTypeId::from_raw(0)),
+                Core::new("slow", CoreTypeId::from_raw(1)),
+            ],
+        );
+        assert_eq!(m.cores[0].core_type, CoreTypeId::from_raw(0));
+        assert_eq!(m.cores[1].core_type, CoreTypeId::from_raw(1));
+    }
+}

@@ -1,0 +1,135 @@
+//! Strongly-typed identifiers for IMA configuration entities.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            #[must_use]
+            pub const fn from_raw(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// The raw index backing this id.
+            #[must_use]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// The raw index as a `usize`.
+            #[must_use]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a processor core type.
+    CoreTypeId,
+    "ct"
+);
+define_id!(
+    /// Identifier of a hardware module.
+    ModuleId,
+    "mod"
+);
+define_id!(
+    /// Identifier of a partition.
+    PartitionId,
+    "part"
+);
+define_id!(
+    /// Identifier of a message (virtual link) in the data-flow graph.
+    MessageId,
+    "msg"
+);
+
+/// Reference to one core: a module plus the core's index within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoreRef {
+    /// The module owning the core.
+    pub module: ModuleId,
+    /// Index of the core within the module.
+    pub core: u32,
+}
+
+impl CoreRef {
+    /// Creates a core reference.
+    #[must_use]
+    pub const fn new(module: ModuleId, core: u32) -> Self {
+        Self { module, core }
+    }
+}
+
+impl fmt::Display for CoreRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.core{}", self.module, self.core)
+    }
+}
+
+/// Reference to one task: a partition plus the task's index within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskRef {
+    /// The partition owning the task.
+    pub partition: PartitionId,
+    /// Index of the task within the partition.
+    pub task: u32,
+}
+
+impl TaskRef {
+    /// Creates a task reference.
+    #[must_use]
+    pub const fn new(partition: PartitionId, task: u32) -> Self {
+        Self { partition, task }
+    }
+}
+
+impl fmt::Display for TaskRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.task{}", self.partition, self.task)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(CoreTypeId::from_raw(0).to_string(), "ct0");
+        assert_eq!(ModuleId::from_raw(1).to_string(), "mod1");
+        assert_eq!(PartitionId::from_raw(2).to_string(), "part2");
+        assert_eq!(MessageId::from_raw(3).to_string(), "msg3");
+        assert_eq!(
+            CoreRef::new(ModuleId::from_raw(1), 2).to_string(),
+            "mod1.core2"
+        );
+        assert_eq!(
+            TaskRef::new(PartitionId::from_raw(0), 3).to_string(),
+            "part0.task3"
+        );
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = TaskRef::new(PartitionId::from_raw(0), 5);
+        let b = TaskRef::new(PartitionId::from_raw(1), 0);
+        assert!(a < b);
+        let c = CoreRef::new(ModuleId::from_raw(0), 1);
+        let d = CoreRef::new(ModuleId::from_raw(0), 2);
+        assert!(c < d);
+    }
+}

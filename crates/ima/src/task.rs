@@ -1,0 +1,242 @@
+//! Tasks and partitions: the software side of a configuration.
+
+use std::fmt;
+
+use crate::ids::CoreTypeId;
+
+/// Scheduling algorithm of a partition's task scheduler.
+///
+/// FPPS, FPNPS and EDF are the three concrete `TS` implementations the
+/// paper ships; round-robin is the library-extension slot the paper's
+/// future work calls for ("extend our components models library with more
+/// models of core and task schedulers").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SchedulerKind {
+    /// Fixed-priority preemptive scheduling (the most common ARINC 653
+    /// intra-partition policy).
+    #[default]
+    Fpps,
+    /// Fixed-priority non-preemptive scheduling.
+    Fpnps,
+    /// Earliest-deadline-first (preemptive, by absolute deadline).
+    Edf,
+    /// Round-robin with a fixed time quantum: ready jobs are served in
+    /// circular order; a job is preempted when its quantum expires and
+    /// re-queued behind the others.
+    RoundRobin {
+        /// The time quantum (must be positive).
+        quantum: i64,
+    },
+}
+
+impl fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Fpps => f.write_str("FPPS"),
+            Self::Fpnps => f.write_str("FPNPS"),
+            Self::Edf => f.write_str("EDF"),
+            Self::RoundRobin { .. } => f.write_str("RR"),
+        }
+    }
+}
+
+impl std::str::FromStr for SchedulerKind {
+    type Err = ParseSchedulerError;
+
+    /// Parses a scheduler name. `"RR"` and `"RR:<quantum>"` are accepted;
+    /// plain `"RR"` defaults to a quantum of 1.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let upper = s.to_ascii_uppercase();
+        if let Some(q) = upper.strip_prefix("RR:") {
+            let quantum = q.parse().map_err(|_| ParseSchedulerError {
+                input: s.to_string(),
+            })?;
+            return Ok(Self::RoundRobin { quantum });
+        }
+        match upper.as_str() {
+            "FPPS" => Ok(Self::Fpps),
+            "FPNPS" => Ok(Self::Fpnps),
+            "EDF" => Ok(Self::Edf),
+            "RR" => Ok(Self::RoundRobin { quantum: 1 }),
+            _ => Err(ParseSchedulerError {
+                input: s.to_string(),
+            }),
+        }
+    }
+}
+
+/// Error returned when parsing a [`SchedulerKind`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSchedulerError {
+    /// The rejected input.
+    pub input: String,
+}
+
+impl fmt::Display for ParseSchedulerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown scheduler kind {:?} (expected FPPS, FPNPS, EDF or RR[:quantum])",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseSchedulerError {}
+
+/// A periodic task: the unit of scheduling inside a partition.
+///
+/// Every `period` time units a new instance — a *job* — of the task is
+/// released; the job must finish within `deadline` of its release and runs
+/// for exactly its worst-case execution time on the core type of the core
+/// its partition is bound to (the paper's worst-case assumption).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Task {
+    /// Human-readable name.
+    pub name: String,
+    /// Fixed priority (larger = more urgent); used by FPPS/FPNPS.
+    pub priority: i64,
+    /// Worst-case execution time per core type, indexed by [`CoreTypeId`].
+    pub wcet: Vec<i64>,
+    /// Release period.
+    pub period: i64,
+    /// Relative deadline; must satisfy `0 < deadline <= period`.
+    pub deadline: i64,
+    /// Release offset (phase): job `k` is released at `k · period +
+    /// offset`; must satisfy `0 <= offset < period`.
+    pub offset: i64,
+}
+
+impl Task {
+    /// Creates a task with an implicit deadline (equal to the period).
+    #[must_use]
+    pub fn new(name: impl Into<String>, priority: i64, wcet: Vec<i64>, period: i64) -> Self {
+        Self {
+            name: name.into(),
+            priority,
+            wcet,
+            period,
+            deadline: period,
+            offset: 0,
+        }
+    }
+
+    /// Sets a constrained deadline (builder style).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: i64) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Sets a release offset (builder style).
+    #[must_use]
+    pub fn with_offset(mut self, offset: i64) -> Self {
+        self.offset = offset;
+        self
+    }
+
+    /// WCET of the task on the given core type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core type index is out of range (validated
+    /// configurations never are).
+    #[must_use]
+    pub fn wcet_on(&self, core_type: CoreTypeId) -> i64 {
+        self.wcet[core_type.index()]
+    }
+
+    /// Utilization of the task on the given core type (`wcet / period`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core type index is out of range.
+    #[must_use]
+    pub fn utilization_on(&self, core_type: CoreTypeId) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        let u = self.wcet[core_type.index()] as f64 / self.period as f64;
+        u
+    }
+}
+
+/// A partition: a set of tasks plus a task scheduler, mapped to one core
+/// and executing only inside its configured windows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Human-readable name.
+    pub name: String,
+    /// The partition's tasks (indexed by the `task` field of
+    /// [`crate::ids::TaskRef`]).
+    pub tasks: Vec<Task>,
+    /// The intra-partition scheduling algorithm.
+    pub scheduler: SchedulerKind,
+}
+
+impl Partition {
+    /// Creates a partition.
+    #[must_use]
+    pub fn new(name: impl Into<String>, scheduler: SchedulerKind, tasks: Vec<Task>) -> Self {
+        Self {
+            name: name.into(),
+            tasks,
+            scheduler,
+        }
+    }
+
+    /// Total utilization of the partition's tasks on a core type.
+    #[must_use]
+    pub fn utilization_on(&self, core_type: CoreTypeId) -> f64 {
+        self.tasks.iter().map(|t| t.utilization_on(core_type)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduler_kind_roundtrip() {
+        for (s, k) in [
+            ("FPPS", SchedulerKind::Fpps),
+            ("fpnps", SchedulerKind::Fpnps),
+            ("Edf", SchedulerKind::Edf),
+        ] {
+            assert_eq!(s.parse::<SchedulerKind>().unwrap(), k);
+        }
+        assert!("RMS".parse::<SchedulerKind>().is_err());
+        assert_eq!(SchedulerKind::Fpps.to_string(), "FPPS");
+        assert_eq!(
+            SchedulerKind::Fpps.to_string().parse::<SchedulerKind>(),
+            Ok(SchedulerKind::Fpps)
+        );
+    }
+
+    #[test]
+    fn implicit_deadline_equals_period() {
+        let t = Task::new("t", 1, vec![10], 100);
+        assert_eq!(t.deadline, 100);
+        let t = t.with_deadline(50);
+        assert_eq!(t.deadline, 50);
+    }
+
+    #[test]
+    fn wcet_and_utilization_per_core_type() {
+        let t = Task::new("t", 1, vec![10, 20], 100);
+        assert_eq!(t.wcet_on(CoreTypeId::from_raw(0)), 10);
+        assert_eq!(t.wcet_on(CoreTypeId::from_raw(1)), 20);
+        assert!((t.utilization_on(CoreTypeId::from_raw(1)) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partition_utilization_sums_tasks() {
+        let p = Partition::new(
+            "p",
+            SchedulerKind::Fpps,
+            vec![
+                Task::new("a", 1, vec![10], 100),
+                Task::new("b", 2, vec![30], 100),
+            ],
+        );
+        assert!((p.utilization_on(CoreTypeId::from_raw(0)) - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,143 @@
+//! Switched-network topology: the "models of switched networks components"
+//! the paper's future work proposes.
+//!
+//! A [`Topology`] assigns each message a *route*: an ordered list of
+//! switches its virtual link traverses. Each switch contributes its
+//! worst-case store-and-forward latency as one hop; the message's own
+//! network delay bounds the final wire transfer. The end-to-end worst case
+//! is the sum — and the hop decomposition is what the per-hop automata in
+//! `swa-core` model, so deliveries traverse the network switch by switch
+//! instead of in one jump.
+
+use std::fmt;
+
+use crate::ids::MessageId;
+
+/// A network switch with a worst-case store-and-forward latency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Switch {
+    /// Human-readable name (e.g. `"SW1"`).
+    pub name: String,
+    /// Worst-case per-frame latency through the switch.
+    pub latency: i64,
+}
+
+impl Switch {
+    /// Creates a switch.
+    #[must_use]
+    pub fn new(name: impl Into<String>, latency: i64) -> Self {
+        Self {
+            name: name.into(),
+            latency,
+        }
+    }
+}
+
+/// Routes for a configuration's messages over a switch fabric.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Topology {
+    /// The switches of the fabric.
+    pub switches: Vec<Switch>,
+    /// Per message (aligned with `Configuration::messages`): the indices of
+    /// the switches the virtual link traverses, in order. An empty route
+    /// means the message goes directly (one hop bounded by the configured
+    /// delay), exactly as without a topology.
+    pub routes: Vec<Vec<usize>>,
+}
+
+impl Topology {
+    /// Creates a topology with no routes (every message direct).
+    #[must_use]
+    pub fn new(switches: Vec<Switch>) -> Self {
+        Self {
+            switches,
+            routes: Vec::new(),
+        }
+    }
+
+    /// Sets a message's route (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a switch index is out of range.
+    #[must_use]
+    pub fn with_route(mut self, message: MessageId, route: Vec<usize>) -> Self {
+        for &s in &route {
+            assert!(s < self.switches.len(), "switch index {s} out of range");
+        }
+        if self.routes.len() <= message.index() {
+            self.routes.resize(message.index() + 1, Vec::new());
+        }
+        self.routes[message.index()] = route;
+        self
+    }
+
+    /// The route of a message (empty = direct).
+    #[must_use]
+    pub fn route_of(&self, message: MessageId) -> &[usize] {
+        self.routes.get(message.index()).map_or(&[], Vec::as_slice)
+    }
+
+    /// The hop-delay decomposition for a message: one entry per traversed
+    /// switch (its latency) plus the final wire delay. A direct message
+    /// yields a single hop with the wire delay.
+    #[must_use]
+    pub fn hop_delays(&self, message: MessageId, wire_delay: i64) -> Vec<i64> {
+        let mut hops: Vec<i64> = self
+            .route_of(message)
+            .iter()
+            .map(|&s| self.switches[s].latency)
+            .collect();
+        hops.push(wire_delay);
+        hops
+    }
+
+    /// End-to-end worst-case delay of a message over its route.
+    #[must_use]
+    pub fn end_to_end_delay(&self, message: MessageId, wire_delay: i64) -> i64 {
+        self.hop_delays(message, wire_delay).iter().sum()
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "topology with {} switches", self.switches.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_message_is_single_hop() {
+        let t = Topology::new(vec![Switch::new("SW1", 3)]);
+        let m = MessageId::from_raw(0);
+        assert_eq!(t.hop_delays(m, 5), vec![5]);
+        assert_eq!(t.end_to_end_delay(m, 5), 5);
+    }
+
+    #[test]
+    fn routed_message_sums_switch_latencies() {
+        let t = Topology::new(vec![Switch::new("SW1", 3), Switch::new("SW2", 4)])
+            .with_route(MessageId::from_raw(0), vec![0, 1]);
+        let m = MessageId::from_raw(0);
+        assert_eq!(t.hop_delays(m, 5), vec![3, 4, 5]);
+        assert_eq!(t.end_to_end_delay(m, 5), 12);
+    }
+
+    #[test]
+    fn routes_are_per_message() {
+        let t =
+            Topology::new(vec![Switch::new("SW1", 2)]).with_route(MessageId::from_raw(1), vec![0]);
+        assert_eq!(t.route_of(MessageId::from_raw(0)), &[] as &[usize]);
+        assert_eq!(t.route_of(MessageId::from_raw(1)), &[0]);
+        assert_eq!(t.route_of(MessageId::from_raw(9)), &[] as &[usize]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_switch_index_panics() {
+        let _ = Topology::new(vec![]).with_route(MessageId::from_raw(0), vec![3]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Small arithmetic helpers: gcd/lcm with overflow checking.
+
+/// Greatest common divisor (non-negative result; `gcd(0, 0) = 0`).
+#[must_use]
+pub fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// Least common multiple. Returns `None` on overflow or when both arguments
+/// are zero.
+#[must_use]
+pub fn lcm(a: i64, b: i64) -> Option<i64> {
+    if a == 0 || b == 0 {
+        return None;
+    }
+    let g = gcd(a, b);
+    (a / g).checked_mul(b)
+}
+
+/// Least common multiple of an iterator of values.
+///
+/// Returns `None` on overflow, when the iterator is empty, or when any value
+/// is zero.
+pub fn lcm_all(values: impl IntoIterator<Item = i64>) -> Option<i64> {
+    let mut acc: Option<i64> = None;
+    for v in values {
+        acc = Some(match acc {
+            None => {
+                if v == 0 {
+                    return None;
+                }
+                v.abs()
+            }
+            Some(a) => lcm(a, v)?,
+        });
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basic() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(18, 12), 6);
+        assert_eq!(gcd(7, 13), 1);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(5, 0), 5);
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(-12, 18), 6);
+    }
+
+    #[test]
+    fn lcm_basic() {
+        assert_eq!(lcm(4, 6), Some(12));
+        assert_eq!(lcm(5, 7), Some(35));
+        assert_eq!(lcm(0, 3), None);
+        assert_eq!(lcm(i64::MAX, 2), None);
+    }
+
+    #[test]
+    fn lcm_all_basic() {
+        assert_eq!(lcm_all([10, 20, 40]), Some(40));
+        assert_eq!(lcm_all([25, 50, 100]), Some(100));
+        assert_eq!(lcm_all([3, 5, 7]), Some(105));
+        assert_eq!(lcm_all(std::iter::empty()), None);
+        assert_eq!(lcm_all([4, 0]), None);
+    }
+}

@@ -1,0 +1,126 @@
+//! Partition execution windows.
+//!
+//! A core's scheduling period (the hyperperiod `L`) is divided into
+//! *windows*; each window grants the core to exactly one of its partitions.
+//! The window set of a configuration is the `Sched` component of the
+//! paper's tuple and repeats with period `L`.
+
+use std::fmt;
+
+/// One execution window `[start, end)` for a partition, within `[0, L)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Window {
+    /// Window start (inclusive).
+    pub start: i64,
+    /// Window end (exclusive).
+    pub end: i64,
+}
+
+impl Window {
+    /// Creates a window `[start, end)`.
+    #[must_use]
+    pub const fn new(start: i64, end: i64) -> Self {
+        Self { start, end }
+    }
+
+    /// The window's duration.
+    #[must_use]
+    pub const fn duration(self) -> i64 {
+        self.end - self.start
+    }
+
+    /// Whether two windows overlap (share at least one instant).
+    #[must_use]
+    pub const fn overlaps(self, other: Self) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// Whether the window contains instant `t`.
+    #[must_use]
+    pub const fn contains(self, t: i64) -> bool {
+        self.start <= t && t < self.end
+    }
+}
+
+impl fmt::Display for Window {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+/// Total window time granted by a window set.
+#[must_use]
+pub fn total_window_time(windows: &[Window]) -> i64 {
+    windows.iter().map(|w| w.duration()).sum()
+}
+
+/// Sorts windows by start time and merges adjacent ones (`[a,b)` + `[b,c)` =
+/// `[a,c)`). Overlapping windows are also merged; validation rejects those
+/// separately when they belong to different partitions.
+#[must_use]
+pub fn normalize_windows(mut windows: Vec<Window>) -> Vec<Window> {
+    windows.sort();
+    let mut out: Vec<Window> = Vec::with_capacity(windows.len());
+    for w in windows {
+        match out.last_mut() {
+            Some(last) if w.start <= last.end => last.end = last.end.max(w.end),
+            _ => out.push(w),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_and_contains() {
+        let w = Window::new(10, 25);
+        assert_eq!(w.duration(), 15);
+        assert!(w.contains(10));
+        assert!(w.contains(24));
+        assert!(!w.contains(25));
+        assert!(!w.contains(9));
+        assert_eq!(w.to_string(), "[10, 25)");
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = Window::new(0, 10);
+        assert!(a.overlaps(Window::new(5, 15)));
+        assert!(a.overlaps(Window::new(0, 1)));
+        assert!(!a.overlaps(Window::new(10, 20))); // half-open: touching is fine
+        assert!(!a.overlaps(Window::new(20, 30)));
+        assert!(Window::new(5, 15).overlaps(a));
+    }
+
+    #[test]
+    fn total_time() {
+        assert_eq!(
+            total_window_time(&[Window::new(0, 10), Window::new(20, 25)]),
+            15
+        );
+        assert_eq!(total_window_time(&[]), 0);
+    }
+
+    #[test]
+    fn normalization_merges_adjacent_and_sorts() {
+        let ws = vec![
+            Window::new(20, 30),
+            Window::new(0, 10),
+            Window::new(10, 20),
+            Window::new(50, 60),
+        ];
+        assert_eq!(
+            normalize_windows(ws),
+            vec![Window::new(0, 30), Window::new(50, 60)]
+        );
+    }
+
+    #[test]
+    fn normalization_merges_overlapping() {
+        let ws = vec![Window::new(0, 15), Window::new(10, 20)];
+        assert_eq!(normalize_windows(ws), vec![Window::new(0, 20)]);
+    }
+}

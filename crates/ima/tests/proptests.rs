@@ -1,0 +1,130 @@
+//! Property-based tests of the configuration domain: window algebra,
+//! gcd/lcm arithmetic, and validation coherence on generated
+//! configurations.
+
+use proptest::prelude::*;
+use swa_ima::util::{gcd, lcm, lcm_all};
+use swa_ima::window::{normalize_windows, total_window_time};
+use swa_ima::{
+    Configuration, CoreRef, CoreType, CoreTypeId, Module, ModuleId, Partition, SchedulerKind, Task,
+    Window,
+};
+
+fn any_window() -> impl Strategy<Value = Window> {
+    (0i64..50, 1i64..20).prop_map(|(start, len)| Window::new(start, start + len))
+}
+
+proptest! {
+    /// Overlap is symmetric and agrees with the instant-level definition.
+    #[test]
+    fn overlap_is_symmetric_and_pointwise(a in any_window(), b in any_window()) {
+        prop_assert_eq!(a.overlaps(b), b.overlaps(a));
+        let pointwise = (a.start.min(b.start)..a.end.max(b.end))
+            .any(|t| a.contains(t) && b.contains(t));
+        prop_assert_eq!(a.overlaps(b), pointwise);
+    }
+
+    /// Normalization yields sorted, pairwise-disjoint, non-adjacent
+    /// windows covering exactly the same instants.
+    #[test]
+    fn normalization_preserves_coverage(ws in prop::collection::vec(any_window(), 0..8)) {
+        let normalized = normalize_windows(ws.clone());
+        // Sorted and disjoint with gaps.
+        for pair in normalized.windows(2) {
+            prop_assert!(pair[0].end < pair[1].start);
+        }
+        // Same coverage.
+        for t in 0..80i64 {
+            let before = ws.iter().any(|w| w.contains(t));
+            let after = normalized.iter().any(|w| w.contains(t));
+            prop_assert_eq!(before, after, "instant {}", t);
+        }
+        // Total time only shrinks by removed overlap.
+        prop_assert!(total_window_time(&normalized) <= total_window_time(&ws));
+    }
+
+    /// gcd divides both arguments; lcm is a common multiple bounded below
+    /// by both.
+    #[test]
+    fn gcd_lcm_algebra(a in 1i64..10_000, b in 1i64..10_000) {
+        let g = gcd(a, b);
+        prop_assert!(g > 0);
+        prop_assert_eq!(a % g, 0);
+        prop_assert_eq!(b % g, 0);
+        let l = lcm(a, b).unwrap();
+        prop_assert_eq!(l % a, 0);
+        prop_assert_eq!(l % b, 0);
+        prop_assert!(l >= a.max(b));
+        prop_assert_eq!(g * l, a * b);
+    }
+
+    /// `lcm_all` is divisible by every input.
+    #[test]
+    fn lcm_all_divisible_by_each(xs in prop::collection::vec(1i64..500, 1..6)) {
+        let l = lcm_all(xs.iter().copied()).unwrap();
+        for &x in &xs {
+            prop_assert_eq!(l % x, 0);
+        }
+    }
+
+    /// Well-formed single-core configurations validate, and the derived
+    /// quantities are consistent.
+    #[test]
+    fn wellformed_configs_validate(
+        tasks in prop::collection::vec(
+            (1i64..5, prop::sample::select(vec![10i64, 20, 40]), 0i64..10),
+            1..6
+        ),
+    ) {
+        let task_vec: Vec<Task> = tasks
+            .iter()
+            .enumerate()
+            .map(|(i, &(wcet, period, prio))| {
+                Task::new(format!("t{i}"), prio, vec![wcet.min(period)], period)
+            })
+            .collect();
+        let expected_l = lcm_all(tasks.iter().map(|&(_, p, _)| p)).unwrap();
+        let config = Configuration {
+            core_types: vec![CoreType::new("ct")],
+            modules: vec![Module::homogeneous("M", 1, CoreTypeId::from_raw(0))],
+            partitions: vec![Partition::new("P", SchedulerKind::Fpps, task_vec)],
+            binding: vec![CoreRef::new(ModuleId::from_raw(0), 0)],
+            windows: vec![vec![Window::new(0, expected_l)]],
+            messages: vec![],
+        };
+        config.validate().unwrap();
+        let l = config.hyperperiod().unwrap();
+        prop_assert_eq!(l, expected_l);
+        prop_assert!(l == 10 || l == 20 || l == 40);
+        // Job count equals the sum of L / P.
+        let expected: i64 = tasks.iter().map(|&(_, p, _)| l / p).sum();
+        prop_assert_eq!(config.job_count().unwrap(), u64::try_from(expected).unwrap());
+        // Utilization is positive and consistent with the task sum.
+        let core = CoreRef::new(ModuleId::from_raw(0), 0);
+        prop_assert!(config.core_utilization(core) > 0.0);
+    }
+
+    /// Mutating a valid configuration into an invalid one is detected.
+    #[test]
+    fn corrupted_configs_are_rejected(which in 0usize..4) {
+        let mut config = Configuration {
+            core_types: vec![CoreType::new("ct")],
+            modules: vec![Module::homogeneous("M", 1, CoreTypeId::from_raw(0))],
+            partitions: vec![Partition::new(
+                "P",
+                SchedulerKind::Fpps,
+                vec![Task::new("t", 1, vec![5], 20)],
+            )],
+            binding: vec![CoreRef::new(ModuleId::from_raw(0), 0)],
+            windows: vec![vec![Window::new(0, 20)]],
+            messages: vec![],
+        };
+        match which {
+            0 => config.partitions[0].tasks[0].period = -1,
+            1 => config.partitions[0].tasks[0].wcet = vec![],
+            2 => config.binding[0] = CoreRef::new(ModuleId::from_raw(7), 0),
+            _ => config.windows[0] = vec![Window::new(5, 5)],
+        }
+        prop_assert!(config.validate().is_err());
+    }
+}

@@ -1,0 +1,772 @@
+//! Observer automata ("monitors") in the style of André's observer
+//! patterns, as used by the paper to verify component correctness.
+//!
+//! A [`Monitor`] is a deterministic automaton over the *synchronization
+//! events* of a network run. Edges match events by channel (optionally by
+//! initiating automaton), may constrain observer clocks (time since a
+//! reset), may inspect the post-state's shared variables, and may reset
+//! observer clocks. Unmatched events leave the monitor in place. A monitor
+//! reaches a **bad** location exactly when the observed requirement is
+//! violated — reachability of a bad location is the verification question,
+//! both under simulation (runtime monitoring) and under model checking
+//! (product exploration in [`crate::explore`]).
+//!
+//! Additionally a location may carry a *sojourn bound*: staying in it while
+//! more than `bound` time passes (measured by one of the observer clocks)
+//! is itself a violation. This expresses timed requirements such as "a
+//! preemption follows a window end within the same instant".
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use swa_nsa::{AutomatonId, ChannelId, CmpOp, EvalError, Network, Pred, State, SyncEvent};
+
+/// What events an edge matches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pattern {
+    /// Any event on the channel.
+    Chan(ChannelId),
+    /// An event on the channel initiated (sent) by the given automaton.
+    ChanFrom(ChannelId, AutomatonId),
+    /// An event on any of the channels.
+    AnyChan(Vec<ChannelId>),
+}
+
+impl Pattern {
+    fn matches(&self, event: &SyncEvent) -> bool {
+        let Some(ch) = event.channel() else {
+            return false;
+        };
+        match self {
+            Self::Chan(c) => *c == ch,
+            Self::ChanFrom(c, a) => *c == ch && event.transition.initiator() == *a,
+            Self::AnyChan(cs) => cs.contains(&ch),
+        }
+    }
+}
+
+/// An operation on an observer register, executed when an edge fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegOp {
+    /// `reg += now − reset_time(clock)` — accumulates the elapsed time
+    /// since the clock's last reset (used to sum execution intervals).
+    AddElapsed {
+        /// Target register.
+        reg: usize,
+        /// Measuring clock.
+        clock: usize,
+    },
+    /// `reg := value`.
+    Set {
+        /// Target register.
+        reg: usize,
+        /// Assigned value.
+        value: i64,
+    },
+}
+
+/// A guard over an observer register:
+/// `reg (+ elapsed(clock))? ⋈ bound`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegGuard {
+    /// Inspected register.
+    pub reg: usize,
+    /// If set, `now − reset_time(clock)` is added before comparing (so a
+    /// guard can test the would-be accumulated total at this event).
+    pub plus_elapsed_of: Option<usize>,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Constant bound.
+    pub bound: i64,
+}
+
+/// A constraint on an observer clock: `now − reset_time(clock) ⋈ bound`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeGuard {
+    /// Observer clock index.
+    pub clock: usize,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Constant bound.
+    pub bound: i64,
+}
+
+/// One edge of a monitor.
+#[derive(Debug, Clone)]
+pub struct MonitorEdge {
+    /// Source location index.
+    pub from: usize,
+    /// Target location index.
+    pub to: usize,
+    /// Which events the edge reacts to.
+    pub pattern: Pattern,
+    /// Conjunction of observer-clock constraints.
+    pub time_guards: Vec<TimeGuard>,
+    /// Conjunction of register constraints.
+    pub reg_guards: Vec<RegGuard>,
+    /// Optional predicate over the post-state's shared variables.
+    pub state_guard: Option<Pred>,
+    /// Observer clocks reset when the edge fires.
+    pub resets: Vec<usize>,
+    /// Register operations executed (in order) when the edge fires.
+    pub reg_ops: Vec<RegOp>,
+    /// Label for diagnostics.
+    pub label: String,
+}
+
+/// A location's sojourn bound: being in `location` with
+/// `now − reset_time(clock) > bound` is a violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SojournBound {
+    /// The bounded location.
+    pub location: usize,
+    /// The measuring observer clock.
+    pub clock: usize,
+    /// Maximum allowed sojourn.
+    pub bound: i64,
+}
+
+/// A deterministic observer automaton.
+#[derive(Debug, Clone)]
+pub struct Monitor {
+    /// Human-readable name of the requirement.
+    pub name: String,
+    /// Location names; index 0 is initial unless overridden.
+    pub locations: Vec<String>,
+    /// Indices of bad locations.
+    pub bad: Vec<usize>,
+    /// Edges; the first matching edge fires.
+    pub edges: Vec<MonitorEdge>,
+    /// Number of observer clocks.
+    pub clocks: usize,
+    /// Number of observer registers.
+    pub registers: usize,
+    /// Initial location index.
+    pub initial: usize,
+    /// Sojourn bounds.
+    pub sojourn_bounds: Vec<SojournBound>,
+}
+
+/// The runtime state of one monitor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitorState {
+    /// Current location index.
+    pub location: usize,
+    /// Absolute reset time of each observer clock.
+    pub resets: Vec<i64>,
+    /// Register values.
+    pub regs: Vec<i64>,
+    /// Time at which the current location was entered.
+    pub entered_at: i64,
+    /// Description of the first violation, if any.
+    pub violation: Option<String>,
+}
+
+impl Hash for MonitorState {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.location.hash(state);
+        self.resets.hash(state);
+        self.regs.hash(state);
+        self.entered_at.hash(state);
+        self.violation.is_some().hash(state);
+    }
+}
+
+impl Monitor {
+    /// The initial monitor state.
+    #[must_use]
+    pub fn initial_state(&self) -> MonitorState {
+        MonitorState {
+            location: self.initial,
+            resets: vec![0; self.clocks],
+            regs: vec![0; self.registers],
+            entered_at: 0,
+            violation: None,
+        }
+    }
+
+    /// Feeds one synchronization event (with the network post-state) to the
+    /// monitor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors from state guards.
+    pub fn step(
+        &self,
+        ms: &mut MonitorState,
+        network: &Network,
+        event: &SyncEvent,
+        post: &State,
+    ) -> Result<(), EvalError> {
+        if ms.violation.is_some() {
+            return Ok(());
+        }
+        // Sojourn check against the time that passed before this event.
+        self.check_sojourn(ms, event.time);
+        if ms.violation.is_some() {
+            return Ok(());
+        }
+        for e in &self.edges {
+            if e.from != ms.location || !e.pattern.matches(event) {
+                continue;
+            }
+            let time_ok = e.time_guards.iter().all(|g| {
+                let elapsed = event.time - ms.resets[g.clock];
+                g.op.apply(elapsed, g.bound)
+            });
+            if !time_ok {
+                continue;
+            }
+            let regs_ok = e.reg_guards.iter().all(|g| {
+                let mut v = ms.regs[g.reg];
+                if let Some(c) = g.plus_elapsed_of {
+                    v += event.time - ms.resets[c];
+                }
+                g.op.apply(v, g.bound)
+            });
+            if !regs_ok {
+                continue;
+            }
+            if let Some(p) = &e.state_guard {
+                let view = swa_nsa::state::EnvView {
+                    network,
+                    state: post,
+                };
+                if !p.eval(&view)? {
+                    continue;
+                }
+            }
+            // Fire: register ops first (they may read pre-reset clocks),
+            // then clock resets.
+            for op in &e.reg_ops {
+                match *op {
+                    RegOp::AddElapsed { reg, clock } => {
+                        ms.regs[reg] += event.time - ms.resets[clock];
+                    }
+                    RegOp::Set { reg, value } => ms.regs[reg] = value,
+                }
+            }
+            for &c in &e.resets {
+                ms.resets[c] = event.time;
+            }
+            if e.to != ms.location {
+                ms.entered_at = event.time;
+            }
+            ms.location = e.to;
+            if self.bad.contains(&e.to) {
+                ms.violation = Some(format!(
+                    "{}: reached bad location {:?} at t={} via {:?}",
+                    self.name, self.locations[e.to], event.time, e.label
+                ));
+            }
+            return Ok(());
+        }
+        Ok(())
+    }
+
+    /// Final check at the end of a run (catches sojourn violations that no
+    /// later event would reveal).
+    pub fn finalize(&self, ms: &mut MonitorState, end_time: i64) {
+        if ms.violation.is_none() {
+            self.check_sojourn(ms, end_time);
+        }
+    }
+
+    fn check_sojourn(&self, ms: &mut MonitorState, now: i64) {
+        for sb in &self.sojourn_bounds {
+            if sb.location == ms.location {
+                let elapsed = now - ms.resets[sb.clock];
+                if elapsed > sb.bound {
+                    ms.violation = Some(format!(
+                        "{}: stayed in {:?} for {} > {} (entered t={})",
+                        self.name, self.locations[sb.location], elapsed, sb.bound, ms.entered_at
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Renders the monitor as a Graphviz digraph (the paper's Fig. 2
+    /// presentation).
+    #[must_use]
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph monitor {{");
+        let _ = writeln!(out, "  rankdir=LR; node [shape=circle];");
+        for (i, l) in self.locations.iter().enumerate() {
+            let shape = if self.bad.contains(&i) {
+                "doubleoctagon"
+            } else {
+                "circle"
+            };
+            let _ = writeln!(out, "  n{i} [shape={shape}, label=\"{l}\"];");
+        }
+        let _ = writeln!(out, "  init [shape=point]; init -> n{};", self.initial);
+        for e in &self.edges {
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [label=\"{}\"];",
+                e.from,
+                e.to,
+                e.label.replace('"', "'")
+            );
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+/// A set of monitors run together over one trace.
+///
+/// Events are dispatched through a channel index: only the monitors with
+/// an edge listening on the event's channel are stepped, so per-event cost
+/// scales with the listeners, not the total monitor count. Sojourn bounds
+/// are still detected — by the next *relevant* event (whose timestamp
+/// reveals the overstay) or by [`finalize`](Self::finalize).
+#[derive(Debug, Clone)]
+pub struct MonitorBank {
+    /// The monitors.
+    pub monitors: Vec<Monitor>,
+    /// Their runtime states.
+    pub states: Vec<MonitorState>,
+    /// Monitor indices per channel (raw channel id → listeners).
+    listeners: HashMap<ChannelId, Vec<usize>>,
+}
+
+impl MonitorBank {
+    /// Creates a bank with every monitor in its initial state.
+    #[must_use]
+    pub fn new(monitors: Vec<Monitor>) -> Self {
+        let states = monitors.iter().map(Monitor::initial_state).collect();
+        let mut listeners: HashMap<ChannelId, Vec<usize>> = HashMap::new();
+        for (i, m) in monitors.iter().enumerate() {
+            let mut channels: Vec<ChannelId> = Vec::new();
+            for e in &m.edges {
+                match &e.pattern {
+                    Pattern::Chan(c) | Pattern::ChanFrom(c, _) => channels.push(*c),
+                    Pattern::AnyChan(cs) => channels.extend(cs.iter().copied()),
+                }
+            }
+            channels.sort_unstable();
+            channels.dedup();
+            for c in channels {
+                listeners.entry(c).or_default().push(i);
+            }
+        }
+        Self {
+            monitors,
+            states,
+            listeners,
+        }
+    }
+
+    /// Feeds one event to the monitors listening on its channel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn step(
+        &mut self,
+        network: &Network,
+        event: &SyncEvent,
+        post: &State,
+    ) -> Result<(), EvalError> {
+        let Some(ch) = event.channel() else {
+            return Ok(());
+        };
+        let Some(idxs) = self.listeners.get(&ch) else {
+            return Ok(());
+        };
+        for &i in idxs {
+            self.monitors[i].step(&mut self.states[i], network, event, post)?;
+        }
+        Ok(())
+    }
+
+    /// Finalizes every monitor at the end of a run.
+    pub fn finalize(&mut self, end_time: i64) {
+        for (m, s) in self.monitors.iter().zip(&mut self.states) {
+            m.finalize(s, end_time);
+        }
+    }
+
+    /// All recorded violations.
+    #[must_use]
+    pub fn violations(&self) -> Vec<String> {
+        self.states
+            .iter()
+            .filter_map(|s| s.violation.clone())
+            .collect()
+    }
+
+    /// Whether any monitor was violated.
+    #[must_use]
+    pub fn any_violation(&self) -> bool {
+        self.states.iter().any(|s| s.violation.is_some())
+    }
+
+    /// A fingerprint of the bank's state (for MC product hashing).
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for s in &self.states {
+            s.hash(&mut h);
+        }
+        h.finish()
+    }
+}
+
+/// Helper: a builder for monitors with named locations.
+#[derive(Debug, Default)]
+pub struct MonitorBuilder {
+    name: String,
+    locations: Vec<String>,
+    by_name: HashMap<String, usize>,
+    bad: Vec<usize>,
+    edges: Vec<MonitorEdge>,
+    clocks: usize,
+    registers: usize,
+    sojourn_bounds: Vec<SojournBound>,
+}
+
+impl MonitorBuilder {
+    /// Starts a monitor with the given requirement name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Adds (or returns) a location by name.
+    pub fn loc(&mut self, name: &str) -> usize {
+        if let Some(&i) = self.by_name.get(name) {
+            return i;
+        }
+        let i = self.locations.len();
+        self.locations.push(name.to_string());
+        self.by_name.insert(name.to_string(), i);
+        i
+    }
+
+    /// Adds (or returns) a bad location by name.
+    pub fn bad_loc(&mut self, name: &str) -> usize {
+        let i = self.loc(name);
+        if !self.bad.contains(&i) {
+            self.bad.push(i);
+        }
+        i
+    }
+
+    /// Allocates an observer clock.
+    pub fn clock(&mut self) -> usize {
+        let c = self.clocks;
+        self.clocks += 1;
+        c
+    }
+
+    /// Allocates an observer register.
+    pub fn register(&mut self) -> usize {
+        let r = self.registers;
+        self.registers += 1;
+        r
+    }
+
+    /// Adds an edge.
+    pub fn edge(&mut self, edge: MonitorEdge) -> &mut Self {
+        self.edges.push(edge);
+        self
+    }
+
+    /// Adds a sojourn bound.
+    pub fn sojourn(&mut self, location: usize, clock: usize, bound: i64) -> &mut Self {
+        self.sojourn_bounds.push(SojournBound {
+            location,
+            clock,
+            bound,
+        });
+        self
+    }
+
+    /// Finishes the monitor; location 0 is initial.
+    #[must_use]
+    pub fn finish(self) -> Monitor {
+        Monitor {
+            name: self.name,
+            locations: self.locations,
+            bad: self.bad,
+            edges: self.edges,
+            clocks: self.clocks,
+            registers: self.registers,
+            initial: 0,
+            sojourn_bounds: self.sojourn_bounds,
+        }
+    }
+}
+
+/// Shorthand for constructing a [`MonitorEdge`].
+#[must_use]
+pub fn edge(from: usize, to: usize, pattern: Pattern, label: &str) -> MonitorEdge {
+    MonitorEdge {
+        from,
+        to,
+        pattern,
+        time_guards: Vec::new(),
+        reg_guards: Vec::new(),
+        state_guard: None,
+        resets: Vec::new(),
+        reg_ops: Vec::new(),
+        label: label.to_string(),
+    }
+}
+
+impl MonitorEdge {
+    /// Adds a time guard (builder style).
+    #[must_use]
+    pub fn with_time(mut self, clock: usize, op: CmpOp, bound: i64) -> Self {
+        self.time_guards.push(TimeGuard { clock, op, bound });
+        self
+    }
+
+    /// Adds a state guard (builder style).
+    #[must_use]
+    pub fn with_state_guard(mut self, pred: Pred) -> Self {
+        self.state_guard = Some(pred);
+        self
+    }
+
+    /// Adds a clock reset (builder style).
+    #[must_use]
+    pub fn with_reset(mut self, clock: usize) -> Self {
+        self.resets.push(clock);
+        self
+    }
+
+    /// Adds a register guard (builder style).
+    #[must_use]
+    pub fn with_reg_guard(mut self, guard: RegGuard) -> Self {
+        self.reg_guards.push(guard);
+        self
+    }
+
+    /// Adds a register operation (builder style).
+    #[must_use]
+    pub fn with_reg_op(mut self, op: RegOp) -> Self {
+        self.reg_ops.push(op);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swa_nsa::ids::EdgeId;
+    use swa_nsa::semantics::Transition;
+
+    fn fake_event(channel: u32, time: i64, initiator: u32) -> SyncEvent {
+        SyncEvent {
+            time,
+            transition: Transition::Binary {
+                channel: ChannelId::from_raw(channel),
+                sender: (AutomatonId::from_raw(initiator), EdgeId::from_raw(0)),
+                receiver: (AutomatonId::from_raw(99), EdgeId::from_raw(0)),
+            },
+        }
+    }
+
+    fn empty_network() -> Network {
+        swa_nsa::NetworkBuilder::new().build().unwrap()
+    }
+
+    fn empty_state(n: &Network) -> State {
+        State::initial(n)
+    }
+
+    /// A monitor: after "a" (ch0), "b" (ch1) must follow before another "a".
+    fn alternation_monitor() -> Monitor {
+        let mut b = MonitorBuilder::new("alternate a/b");
+        let idle = b.loc("idle");
+        let after_a = b.loc("after_a");
+        let bad = b.bad_loc("bad");
+        b.edge(edge(
+            idle,
+            after_a,
+            Pattern::Chan(ChannelId::from_raw(0)),
+            "a",
+        ));
+        b.edge(edge(
+            after_a,
+            bad,
+            Pattern::Chan(ChannelId::from_raw(0)),
+            "a again",
+        ));
+        b.edge(edge(
+            after_a,
+            idle,
+            Pattern::Chan(ChannelId::from_raw(1)),
+            "b",
+        ));
+        b.finish()
+    }
+
+    #[test]
+    fn good_sequence_stays_clean() {
+        let m = alternation_monitor();
+        let n = empty_network();
+        let s = empty_state(&n);
+        let mut ms = m.initial_state();
+        for (ch, t) in [(0, 1), (1, 2), (0, 5), (1, 9)] {
+            m.step(&mut ms, &n, &fake_event(ch, t, 0), &s).unwrap();
+        }
+        assert!(ms.violation.is_none());
+    }
+
+    #[test]
+    fn bad_sequence_is_caught() {
+        let m = alternation_monitor();
+        let n = empty_network();
+        let s = empty_state(&n);
+        let mut ms = m.initial_state();
+        for (ch, t) in [(0, 1), (0, 2)] {
+            m.step(&mut ms, &n, &fake_event(ch, t, 0), &s).unwrap();
+        }
+        let v = ms.violation.expect("violation expected");
+        assert!(v.contains("alternate a/b"), "{v}");
+        assert!(v.contains("t=2"), "{v}");
+    }
+
+    #[test]
+    fn unmatched_events_are_ignored() {
+        let m = alternation_monitor();
+        let n = empty_network();
+        let s = empty_state(&n);
+        let mut ms = m.initial_state();
+        m.step(&mut ms, &n, &fake_event(7, 1, 0), &s).unwrap();
+        assert_eq!(ms.location, 0);
+        assert!(ms.violation.is_none());
+    }
+
+    #[test]
+    fn initiator_pattern_discriminates() {
+        let mut b = MonitorBuilder::new("from A2 only");
+        let idle = b.loc("idle");
+        let bad = b.bad_loc("bad");
+        b.edge(edge(
+            idle,
+            bad,
+            Pattern::ChanFrom(ChannelId::from_raw(0), AutomatonId::from_raw(2)),
+            "a from 2",
+        ));
+        let m = b.finish();
+        let n = empty_network();
+        let s = empty_state(&n);
+        let mut ms = m.initial_state();
+        m.step(&mut ms, &n, &fake_event(0, 1, 1), &s).unwrap();
+        assert!(ms.violation.is_none());
+        m.step(&mut ms, &n, &fake_event(0, 2, 2), &s).unwrap();
+        assert!(ms.violation.is_some());
+    }
+
+    #[test]
+    fn time_guards_gate_edges() {
+        // "b" must come exactly 5 after "a": earlier or later goes bad.
+        let mut b = MonitorBuilder::new("exact delay");
+        let idle = b.loc("idle");
+        let armed = b.loc("armed");
+        let bad = b.bad_loc("bad");
+        let c = b.clock();
+        b.edge(edge(idle, armed, Pattern::Chan(ChannelId::from_raw(0)), "a").with_reset(c));
+        b.edge(
+            edge(
+                armed,
+                idle,
+                Pattern::Chan(ChannelId::from_raw(1)),
+                "b on time",
+            )
+            .with_time(c, CmpOp::Eq, 5),
+        );
+        b.edge(
+            edge(
+                armed,
+                bad,
+                Pattern::Chan(ChannelId::from_raw(1)),
+                "b off time",
+            )
+            .with_time(c, CmpOp::Ne, 5),
+        );
+        let m = b.finish();
+        let n = empty_network();
+        let s = empty_state(&n);
+
+        let mut ms = m.initial_state();
+        m.step(&mut ms, &n, &fake_event(0, 10, 0), &s).unwrap();
+        m.step(&mut ms, &n, &fake_event(1, 15, 0), &s).unwrap();
+        assert!(ms.violation.is_none());
+
+        let mut ms = m.initial_state();
+        m.step(&mut ms, &n, &fake_event(0, 10, 0), &s).unwrap();
+        m.step(&mut ms, &n, &fake_event(1, 13, 0), &s).unwrap();
+        assert!(ms.violation.is_some());
+    }
+
+    #[test]
+    fn sojourn_bound_fires_on_next_event_or_finalize() {
+        let mut b = MonitorBuilder::new("leave fast");
+        let idle = b.loc("idle");
+        let hot = b.loc("hot");
+        let c = b.clock();
+        b.edge(edge(idle, hot, Pattern::Chan(ChannelId::from_raw(0)), "enter").with_reset(c));
+        b.edge(edge(
+            hot,
+            idle,
+            Pattern::Chan(ChannelId::from_raw(1)),
+            "leave",
+        ));
+        b.sojourn(hot, c, 0);
+        let m = b.finish();
+        let n = empty_network();
+        let s = empty_state(&n);
+
+        // Leaving at the same instant is fine.
+        let mut ms = m.initial_state();
+        m.step(&mut ms, &n, &fake_event(0, 4, 0), &s).unwrap();
+        m.step(&mut ms, &n, &fake_event(1, 4, 0), &s).unwrap();
+        m.finalize(&mut ms, 100);
+        assert!(ms.violation.is_none());
+
+        // Time passing while "hot" is a violation, caught by a later event.
+        let mut ms = m.initial_state();
+        m.step(&mut ms, &n, &fake_event(0, 4, 0), &s).unwrap();
+        m.step(&mut ms, &n, &fake_event(1, 6, 0), &s).unwrap();
+        assert!(ms.violation.is_some(), "{:?}", ms.violation);
+
+        // ... or by the finalize pass when no later event arrives.
+        let mut ms = m.initial_state();
+        m.step(&mut ms, &n, &fake_event(0, 4, 0), &s).unwrap();
+        m.finalize(&mut ms, 100);
+        assert!(ms.violation.is_some());
+    }
+
+    #[test]
+    fn bank_aggregates_violations() {
+        let n = empty_network();
+        let s = empty_state(&n);
+        let mut bank = MonitorBank::new(vec![alternation_monitor(), alternation_monitor()]);
+        bank.step(&n, &fake_event(0, 1, 0), &s).unwrap();
+        assert!(!bank.any_violation());
+        let fp1 = bank.fingerprint();
+        bank.step(&n, &fake_event(0, 2, 0), &s).unwrap();
+        assert!(bank.any_violation());
+        assert_eq!(bank.violations().len(), 2);
+        assert_ne!(fp1, bank.fingerprint());
+    }
+
+    #[test]
+    fn dot_export_mentions_bad_locations() {
+        let dot = alternation_monitor().to_dot();
+        assert!(dot.contains("doubleoctagon"));
+        assert!(dot.contains("after_a"));
+    }
+}

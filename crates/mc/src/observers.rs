@@ -1,0 +1,517 @@
+//! The ARINC 653-derived observers of Sect. 3 of the paper, constructed for
+//! a concrete [`SystemModel`].
+//!
+//! Each function builds one observer [`Monitor`]; [`all_observers`] bundles
+//! the full requirement set. The observers can run over a simulation trace
+//! (via [`crate::monitor::MonitorBank`]) or inside the model checker's
+//! product exploration ([`crate::explore::Explorer::with_monitors`]) — in
+//! both cases the verification question is reachability of a bad location,
+//! exactly as in the paper.
+
+use swa_core::SystemModel;
+use swa_ima::{Configuration, SchedulerKind};
+use swa_nsa::{CmpOp, IntExpr, Pred};
+
+use crate::monitor::{edge, Monitor, MonitorBuilder, Pattern, RegGuard, RegOp};
+
+/// Fig. 2: *for every partition, at any time zero or one job is executed*.
+///
+/// Any `exec` must be followed by a `preempt` of the same task or a
+/// `finished` of the same task before another `exec` of the partition.
+#[must_use]
+pub fn one_job_per_partition(model: &SystemModel, j: usize) -> Monitor {
+    let map = model.map();
+    let base = map.partition_base[j];
+    let count = partition_task_count(model, j);
+    let mut b = MonitorBuilder::new(format!("one job per partition (Fig. 2), partition {j}"));
+    let idle = b.loc("idle");
+    let bad = b.bad_loc("bad");
+    for k in 0..count {
+        let g = base + k;
+        let busy = b.loc(&format!("busy_{k}"));
+        b.edge(edge(
+            idle,
+            busy,
+            Pattern::Chan(map.exec_ch[g]),
+            &format!("exec_{k}"),
+        ));
+        b.edge(edge(
+            busy,
+            idle,
+            Pattern::Chan(map.preempt_ch[g]),
+            &format!("preempt_{k}"),
+        ));
+        b.edge(edge(
+            busy,
+            idle,
+            Pattern::ChanFrom(map.finished_ch[j], map.task_automata[g]),
+            &format!("finished_{k}"),
+        ));
+        // A second exec (of any task of the partition) while busy is the
+        // violation of Fig. 2.
+        for m in 0..count {
+            b.edge(edge(
+                busy,
+                bad,
+                Pattern::Chan(map.exec_ch[base + m]),
+                &format!("exec_{m}_while_busy_{k}"),
+            ));
+        }
+        // A preemption of a task that is not running is also incorrect.
+        for m in 0..count {
+            if m != k {
+                b.edge(edge(
+                    busy,
+                    bad,
+                    Pattern::Chan(map.preempt_ch[base + m]),
+                    &format!("preempt_{m}_while_busy_{k}"),
+                ));
+            }
+        }
+    }
+    // Preemption with nothing running.
+    for k in 0..count {
+        b.edge(edge(
+            idle,
+            bad,
+            Pattern::Chan(map.preempt_ch[base + k]),
+            &format!("preempt_{k}_while_idle"),
+        ));
+    }
+    b.finish()
+}
+
+/// Window discipline: a partition's jobs execute only inside its windows;
+/// `wakeup`/`sleep` strictly alternate; at a window end the running job is
+/// preempted within the same instant.
+#[must_use]
+pub fn window_discipline(model: &SystemModel, j: usize) -> Monitor {
+    let map = model.map();
+    let base = map.partition_base[j];
+    let count = partition_task_count(model, j);
+    let mut b = MonitorBuilder::new(format!("window discipline, partition {j}"));
+    let asleep_idle = b.loc("asleep_idle");
+    let awake_idle = b.loc("awake_idle");
+    let bad = b.bad_loc("bad");
+    let c = b.clock();
+
+    b.edge(edge(
+        asleep_idle,
+        awake_idle,
+        Pattern::Chan(map.wakeup_ch[j]),
+        "wakeup",
+    ));
+    b.edge(edge(
+        asleep_idle,
+        bad,
+        Pattern::Chan(map.sleep_ch[j]),
+        "double sleep",
+    ));
+    b.edge(edge(
+        awake_idle,
+        asleep_idle,
+        Pattern::Chan(map.sleep_ch[j]),
+        "sleep",
+    ));
+    b.edge(edge(
+        awake_idle,
+        bad,
+        Pattern::Chan(map.wakeup_ch[j]),
+        "double wakeup",
+    ));
+    for k in 0..count {
+        let g = base + k;
+        let awake_busy = b.loc(&format!("awake_busy_{k}"));
+        let asleep_busy = b.loc(&format!("asleep_busy_{k}"));
+        // Dispatch outside any window is a violation.
+        b.edge(edge(
+            asleep_idle,
+            bad,
+            Pattern::Chan(map.exec_ch[g]),
+            &format!("exec_{k}_outside_window"),
+        ));
+        b.edge(edge(
+            awake_idle,
+            awake_busy,
+            Pattern::Chan(map.exec_ch[g]),
+            &format!("exec_{k}"),
+        ));
+        b.edge(edge(
+            awake_busy,
+            awake_idle,
+            Pattern::Chan(map.preempt_ch[g]),
+            &format!("preempt_{k}"),
+        ));
+        b.edge(edge(
+            awake_busy,
+            awake_idle,
+            Pattern::ChanFrom(map.finished_ch[j], map.task_automata[g]),
+            &format!("finished_{k}"),
+        ));
+        // Window end while busy: the preemption (or completion) must land
+        // in the same instant — enforced by a zero sojourn bound.
+        let sleep_edge = edge(
+            awake_busy,
+            asleep_busy,
+            Pattern::Chan(map.sleep_ch[j]),
+            &format!("sleep_while_busy_{k}"),
+        )
+        .with_reset(c);
+        b.edge(sleep_edge);
+        b.edge(edge(
+            asleep_busy,
+            asleep_idle,
+            Pattern::Chan(map.preempt_ch[g]),
+            &format!("boundary_preempt_{k}"),
+        ));
+        b.edge(edge(
+            asleep_busy,
+            asleep_idle,
+            Pattern::ChanFrom(map.finished_ch[j], map.task_automata[g]),
+            &format!("boundary_finished_{k}"),
+        ));
+        b.edge(edge(
+            asleep_busy,
+            bad,
+            Pattern::Chan(map.exec_ch[g]),
+            &format!("exec_{k}_after_window_end"),
+        ));
+        b.sojourn(asleep_busy, c, 0);
+    }
+    b.finish()
+}
+
+/// WCET exactness and data publication (requirements 3 and 5 of Sect. 3):
+/// a job's cumulative execution never exceeds its WCET; a job that
+/// accumulates exactly its WCET finishes and then *immediately* publishes
+/// its outputs; a `send` never occurs without a preceding completion.
+#[must_use]
+pub fn wcet_and_data_send(model: &SystemModel, config: &Configuration, g: usize) -> Monitor {
+    let map = model.map();
+    let tr = map.task_refs[g];
+    let j = tr.partition.index();
+    let wcet = config.effective_wcet(tr).expect("validated task");
+    let mut b = MonitorBuilder::new(format!("wcet exactness + data send, task {g}"));
+    let idle = b.loc("idle");
+    let running = b.loc("running");
+    let send_pending = b.loc("send_pending");
+    let bad = b.bad_loc("bad");
+    let c = b.clock();
+    let acc = b.register();
+    let sc = b.clock();
+
+    b.edge(edge(idle, running, Pattern::Chan(map.exec_ch[g]), "exec").with_reset(c));
+    b.edge(
+        edge(running, idle, Pattern::Chan(map.preempt_ch[g]), "preempt")
+            .with_reg_op(RegOp::AddElapsed { reg: acc, clock: c }),
+    );
+    // Finish with exactly the WCET accumulated: completion; outputs must
+    // follow within the same instant.
+    b.edge(
+        edge(
+            running,
+            send_pending,
+            Pattern::ChanFrom(map.finished_ch[j], map.task_automata[g]),
+            "complete",
+        )
+        .with_reg_guard(RegGuard {
+            reg: acc,
+            plus_elapsed_of: Some(c),
+            op: CmpOp::Eq,
+            bound: wcet,
+        })
+        .with_reg_op(RegOp::Set { reg: acc, value: 0 })
+        .with_reset(sc),
+    );
+    // Finish with more than the WCET: the stopwatch over-ran — violation.
+    b.edge(
+        edge(
+            running,
+            bad,
+            Pattern::ChanFrom(map.finished_ch[j], map.task_automata[g]),
+            "exceeded wcet",
+        )
+        .with_reg_guard(RegGuard {
+            reg: acc,
+            plus_elapsed_of: Some(c),
+            op: CmpOp::Gt,
+            bound: wcet,
+        }),
+    );
+    // Finish with less (a deadline kill): fine, but no send may follow.
+    b.edge(
+        edge(
+            running,
+            idle,
+            Pattern::ChanFrom(map.finished_ch[j], map.task_automata[g]),
+            "killed",
+        )
+        .with_reg_op(RegOp::Set { reg: acc, value: 0 }),
+    );
+    // Kill while preempted/ready also resets the accumulator.
+    b.edge(
+        edge(
+            idle,
+            idle,
+            Pattern::ChanFrom(map.finished_ch[j], map.task_automata[g]),
+            "finished_while_idle",
+        )
+        .with_reg_guard(RegGuard {
+            reg: acc,
+            plus_elapsed_of: None,
+            op: CmpOp::Lt,
+            bound: wcet,
+        })
+        .with_reg_op(RegOp::Set { reg: acc, value: 0 }),
+    );
+    // Completion while preempted (the boundary-instant case): the
+    // accumulator already equals the WCET.
+    b.edge(
+        edge(
+            idle,
+            send_pending,
+            Pattern::ChanFrom(map.finished_ch[j], map.task_automata[g]),
+            "complete_preempted",
+        )
+        .with_reg_guard(RegGuard {
+            reg: acc,
+            plus_elapsed_of: None,
+            op: CmpOp::Eq,
+            bound: wcet,
+        })
+        .with_reg_op(RegOp::Set { reg: acc, value: 0 })
+        .with_reset(sc),
+    );
+    b.edge(edge(
+        send_pending,
+        idle,
+        Pattern::Chan(map.send_ch[g]),
+        "publish",
+    ));
+    b.sojourn(send_pending, sc, 0);
+    // A send with no pending completion violates "data only after
+    // completion".
+    b.edge(edge(
+        idle,
+        bad,
+        Pattern::Chan(map.send_ch[g]),
+        "send_without_completion",
+    ));
+    b.edge(edge(
+        running,
+        bad,
+        Pattern::Chan(map.send_ch[g]),
+        "send_while_running",
+    ));
+    b.finish()
+}
+
+/// Requirement 2 of Sect. 3: a virtual link's transfer delay equals its
+/// pessimistic upper bound — deliveries arrive exactly `delay` after the
+/// send, never earlier, never later, and the link never accepts a second
+/// send while busy.
+#[must_use]
+pub fn link_delay_exact(model: &SystemModel, config: &Configuration, h: usize) -> Monitor {
+    let map = model.map();
+    let m = &config.messages[h];
+    // End-to-end bound: the configured delay, or the hop sum when the
+    // message is routed over switches.
+    let delay = map.link_delays[h];
+    let sender = map.global_index[&m.sender];
+    let receiver = map.global_index[&m.receiver];
+    let link = map.link_automata[h];
+
+    let mut b = MonitorBuilder::new(format!("exact link delay, message {h}"));
+    let idle = b.loc("idle");
+    let transit = b.loc("transit");
+    let bad = b.bad_loc("bad");
+    let c = b.clock();
+
+    b.edge(edge(idle, transit, Pattern::Chan(map.send_ch[sender]), "send").with_reset(c));
+    b.edge(
+        edge(
+            transit,
+            idle,
+            Pattern::ChanFrom(map.receive_ch[receiver], link),
+            "deliver on time",
+        )
+        .with_time(c, CmpOp::Eq, delay),
+    );
+    b.edge(
+        edge(
+            transit,
+            bad,
+            Pattern::ChanFrom(map.receive_ch[receiver], link),
+            "deliver off schedule",
+        )
+        .with_time(c, CmpOp::Ne, delay),
+    );
+    b.edge(edge(
+        transit,
+        bad,
+        Pattern::Chan(map.send_ch[sender]),
+        "send while busy",
+    ));
+    b.edge(edge(
+        idle,
+        bad,
+        Pattern::ChanFrom(map.receive_ch[receiver], link),
+        "delivery without send",
+    ));
+    b.finish()
+}
+
+/// Scheduling-policy conformance for one partition:
+///
+/// * FPPS/EDF — every dispatch picks a job that no other ready job beats
+///   (priority resp. absolute deadline);
+/// * FPNPS — additionally, a running job is only ever preempted at a window
+///   boundary (in the same instant as the partition's `sleep`);
+/// * round-robin — a job runs uninterrupted for at most the quantum
+///   (checked by a sojourn bound reset at each dispatch).
+#[must_use]
+pub fn policy_conformance(model: &SystemModel, config: &Configuration, j: usize) -> Monitor {
+    let map = model.map();
+    let base = map.partition_base[j];
+    let count = partition_task_count(model, j);
+    let kind = config.partitions[j].scheduler;
+    if let SchedulerKind::RoundRobin { quantum } = kind {
+        return rr_quantum_observer(model, j, quantum);
+    }
+    let base_i = i64::try_from(base).expect("base fits i64");
+    let count_i = i64::try_from(count).expect("count fits i64");
+
+    let mut b = MonitorBuilder::new(format!("{kind} conformance, partition {j}"));
+    let watch = b.loc("watch");
+    let bad = b.bad_loc("bad");
+    let sleep_clock = b.clock();
+
+    // Track sleeps for the FPNPS non-preemption rule.
+    b.edge(edge(watch, watch, Pattern::Chan(map.sleep_ch[j]), "sleep").with_reset(sleep_clock));
+
+    for k in 0..count {
+        let g = base + k;
+        let k_i = i64::try_from(k).expect("k fits i64");
+        // "Some ready job beats the dispatched one" — evaluated on the
+        // post-state of the dispatch.
+        let m_idx = IntExpr::bound(0) + IntExpr::lit(base_i);
+        let beaten = match kind {
+            SchedulerKind::RoundRobin { .. } => unreachable!("handled above"),
+            SchedulerKind::Fpps | SchedulerKind::Fpnps => {
+                let pm = IntExpr::elem(map.prio, m_idx.clone());
+                let pk = IntExpr::elem(map.prio, base_i + k_i);
+                Pred::exists(
+                    0,
+                    count_i,
+                    IntExpr::elem(map.is_ready, m_idx).eq(1).and(pm.gt(pk)),
+                )
+            }
+            SchedulerKind::Edf => {
+                let dm = IntExpr::elem(map.abs_deadline, m_idx.clone());
+                let dk = IntExpr::elem(map.abs_deadline, base_i + k_i);
+                Pred::exists(
+                    0,
+                    count_i,
+                    IntExpr::elem(map.is_ready, m_idx).eq(1).and(dm.lt(dk)),
+                )
+            }
+        };
+        b.edge(
+            edge(
+                watch,
+                bad,
+                Pattern::Chan(map.exec_ch[g]),
+                &format!("dispatch_{k}_not_top"),
+            )
+            .with_state_guard(beaten),
+        );
+        if kind == SchedulerKind::Fpnps {
+            // Preemption away from a window boundary violates
+            // non-preemption.
+            b.edge(
+                edge(
+                    watch,
+                    bad,
+                    Pattern::Chan(map.preempt_ch[g]),
+                    &format!("preempt_{k}_mid_window"),
+                )
+                .with_time(sleep_clock, CmpOp::Gt, 0),
+            );
+        }
+    }
+    b.finish()
+}
+
+/// The complete observer set for a model: Fig. 2 plus the Sect. 3
+/// requirements, for every partition, task and message.
+#[must_use]
+pub fn all_observers(model: &SystemModel, config: &Configuration) -> Vec<Monitor> {
+    let mut out = Vec::new();
+    for j in 0..config.partitions.len() {
+        out.push(one_job_per_partition(model, j));
+        out.push(window_discipline(model, j));
+        out.push(policy_conformance(model, config, j));
+    }
+    for g in 0..model.map().task_refs.len() {
+        out.push(wcet_and_data_send(model, config, g));
+    }
+    for h in 0..config.messages.len() {
+        out.push(link_delay_exact(model, config, h));
+    }
+    out
+}
+
+/// Round-robin conformance: a job runs uninterrupted for at most the
+/// quantum before it is preempted or finishes.
+fn rr_quantum_observer(model: &SystemModel, j: usize, quantum: i64) -> Monitor {
+    let map = model.map();
+    let base = map.partition_base[j];
+    let count = partition_task_count(model, j);
+    let mut b = MonitorBuilder::new(format!("RR quantum bound, partition {j}"));
+    let idle = b.loc("idle");
+    let c = b.clock();
+    for k in 0..count {
+        let g = base + k;
+        let busy = b.loc(&format!("busy_{k}"));
+        b.edge(
+            edge(
+                idle,
+                busy,
+                Pattern::Chan(map.exec_ch[g]),
+                &format!("exec_{k}"),
+            )
+            .with_reset(c),
+        );
+        b.edge(edge(
+            busy,
+            idle,
+            Pattern::Chan(map.preempt_ch[g]),
+            &format!("preempt_{k}"),
+        ));
+        b.edge(edge(
+            busy,
+            idle,
+            Pattern::ChanFrom(map.finished_ch[j], map.task_automata[g]),
+            &format!("finished_{k}"),
+        ));
+        b.sojourn(busy, c, quantum);
+    }
+    b.finish()
+}
+
+fn partition_task_count(model: &SystemModel, j: usize) -> usize {
+    let map = model.map();
+    let base = map.partition_base[j];
+    let next = map
+        .partition_base
+        .get(j + 1)
+        .copied()
+        .unwrap_or(map.task_refs.len());
+    next - base
+}
+
+/// Helper for the Fig. 2 presentation: the observer rendered as DOT.
+#[must_use]
+pub fn fig2_dot(model: &SystemModel, j: usize) -> String {
+    one_job_per_partition(model, j).to_dot()
+}

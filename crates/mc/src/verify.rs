@@ -1,0 +1,166 @@
+//! Verification driver: checks that the concrete automata types satisfy
+//! the correctness requirements, the way the paper does with UPPAAL —
+//! observers watch the model and their bad locations must be unreachable.
+//!
+//! Two modes are provided:
+//!
+//! * [`verify_by_simulation`] — runtime monitoring of the (deterministic)
+//!   run; fast, used for every configuration;
+//! * [`verify_by_model_checking`] — product exploration of **all**
+//!   interleavings with the observers; exhaustive, used on the small
+//!   parameter sweeps (the paper's "observer non-deterministically sets
+//!   each parameter to one of possible values" becomes an explicit
+//!   enumeration of generated configurations).
+
+use swa_core::SystemModel;
+use swa_ima::Configuration;
+use swa_nsa::SimError;
+
+use crate::explore::Explorer;
+use crate::monitor::{Monitor, MonitorBank};
+use crate::observers::all_observers;
+
+/// The result of one verification run.
+#[derive(Debug, Clone)]
+pub struct VerificationReport {
+    /// Violations found (empty = all requirements hold).
+    pub violations: Vec<String>,
+    /// Number of observers checked.
+    pub observers: usize,
+    /// States explored (1 for simulation mode).
+    pub states: usize,
+}
+
+impl VerificationReport {
+    /// Whether every requirement held.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Monitors one deterministic run of the model with the full observer set.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn verify_by_simulation(
+    model: &SystemModel,
+    config: &Configuration,
+) -> Result<VerificationReport, SimError> {
+    verify_by_simulation_with(model, all_observers(model, config))
+}
+
+/// Monitors one deterministic run with an explicit observer set.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn verify_by_simulation_with(
+    model: &SystemModel,
+    observers: Vec<Monitor>,
+) -> Result<VerificationReport, SimError> {
+    let observers_n = observers.len();
+    let mut bank = MonitorBank::new(observers);
+    let network = model.network();
+    let mut monitor_error = None;
+    let outcome = model.simulator().run_with(|event, post| {
+        if monitor_error.is_none() {
+            if let Err(e) = bank.step(network, event, post) {
+                monitor_error = Some(e);
+            }
+        }
+    })?;
+    if let Some(e) = monitor_error {
+        return Err(SimError::Eval(e));
+    }
+    bank.finalize(outcome.final_state.time);
+    Ok(VerificationReport {
+        violations: bank.violations(),
+        observers: observers_n,
+        states: 1,
+    })
+}
+
+/// Explores **all** interleavings in product with the full observer set;
+/// any reachable bad location is reported.
+///
+/// # Errors
+///
+/// Propagates exploration errors.
+pub fn verify_by_model_checking(
+    model: &SystemModel,
+    config: &Configuration,
+    max_states: usize,
+) -> Result<VerificationReport, SimError> {
+    let observers = all_observers(model, config);
+    let observers_n = observers.len();
+    let out = Explorer::new(model.network(), model.horizon())
+        .max_states(max_states)
+        .with_monitors(observers)
+        .explore_all()?;
+    Ok(VerificationReport {
+        violations: out.monitor_violations,
+        observers: observers_n,
+        states: out.states,
+    })
+}
+
+/// Trace-level whole-model requirement (proven by hand in the paper's
+/// Sect. 3): *the start of every receiver job is at least the completion of
+/// the corresponding sender job plus the transfer bound*, and every
+/// executing interval lies within `[release, absolute deadline]`.
+///
+/// Returns violation descriptions (empty = requirement holds).
+#[must_use]
+pub fn check_whole_model_requirements(
+    config: &Configuration,
+    analysis: &swa_core::Analysis,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+
+    // Intervals within [release, deadline].
+    for job in &analysis.jobs {
+        for &(from, to) in &job.intervals {
+            if from < job.release || to > job.abs_deadline {
+                violations.push(format!(
+                    "job {}#{} executed in [{from}, {to}) outside [{}, {}]",
+                    job.task, job.job, job.release, job.abs_deadline
+                ));
+            }
+        }
+    }
+
+    // Receiver start >= sender completion + delay, per message instance.
+    for (mi, m) in config.messages.iter().enumerate() {
+        let delay = config
+            .message_delay(swa_ima::MessageId::from_raw(
+                u32::try_from(mi).expect("message count fits u32"),
+            ))
+            .unwrap_or(0);
+        for recv_job in analysis.jobs.iter().filter(|j| j.task == m.receiver) {
+            let Some(&(start, _)) = recv_job.intervals.first() else {
+                continue;
+            };
+            let Some(send_job) = analysis
+                .jobs
+                .iter()
+                .find(|j| j.task == m.sender && j.job == recv_job.job)
+            else {
+                continue;
+            };
+            let Some(completion) = send_job.completion else {
+                continue;
+            };
+            if start < completion + delay {
+                violations.push(format!(
+                    "receiver {}#{} started at {start} before sender completion {completion} \
+                     + delay {delay} (message {})",
+                    recv_job.task, recv_job.job, m.name
+                ));
+            }
+        }
+    }
+
+    violations
+}

@@ -1,0 +1,231 @@
+//! Observer verification across configurations and schedulers — the
+//! paper's Sect. 3 machinery exercised end-to-end: bad locations must be
+//! unreachable for correct components, and must be *reachable* when we
+//! deliberately watch with the wrong requirement (sensitivity check).
+
+use swa_core::{analyze_configuration, SystemModel};
+use swa_ima::{
+    Configuration, CoreRef, CoreType, CoreTypeId, Message, Module, ModuleId, Partition,
+    PartitionId, SchedulerKind, Task, TaskRef, Window,
+};
+use swa_mc::observers::{one_job_per_partition, policy_conformance};
+use swa_mc::verify::{
+    check_whole_model_requirements, verify_by_model_checking, verify_by_simulation,
+    verify_by_simulation_with,
+};
+
+fn tr(p: u32, t: u32) -> TaskRef {
+    TaskRef::new(PartitionId::from_raw(p), t)
+}
+
+fn single_core_config(scheduler: SchedulerKind, tasks: Vec<Task>, l: i64) -> Configuration {
+    Configuration {
+        core_types: vec![CoreType::new("generic")],
+        modules: vec![Module::homogeneous("M1", 1, CoreTypeId::from_raw(0))],
+        partitions: vec![Partition::new("P1", scheduler, tasks)],
+        binding: vec![CoreRef::new(ModuleId::from_raw(0), 0)],
+        windows: vec![vec![Window::new(0, l)]],
+        messages: vec![],
+    }
+}
+
+#[test]
+fn fpps_with_preemption_satisfies_all_observers() {
+    let config = single_core_config(
+        SchedulerKind::Fpps,
+        vec![
+            Task::new("low", 1, vec![50], 100),
+            Task::new("high", 2, vec![5], 25),
+        ],
+        100,
+    );
+    let model = SystemModel::build(&config).unwrap();
+    let report = verify_by_simulation(&model, &config).unwrap();
+    assert!(report.ok(), "{:#?}", report.violations);
+    assert!(report.observers >= 5);
+}
+
+#[test]
+fn edf_satisfies_all_observers() {
+    let config = single_core_config(
+        SchedulerKind::Edf,
+        vec![
+            Task::new("a", 1, vec![10], 60).with_deadline(60),
+            Task::new("b", 1, vec![10], 60).with_deadline(30),
+            Task::new("c", 1, vec![5], 30).with_deadline(15),
+        ],
+        60,
+    );
+    let model = SystemModel::build(&config).unwrap();
+    let report = verify_by_simulation(&model, &config).unwrap();
+    assert!(report.ok(), "{:#?}", report.violations);
+}
+
+#[test]
+fn fpnps_satisfies_all_observers() {
+    let config = single_core_config(
+        SchedulerKind::Fpnps,
+        vec![
+            Task::new("low", 1, vec![20], 50),
+            Task::new("high", 2, vec![5], 50),
+        ],
+        50,
+    );
+    let model = SystemModel::build(&config).unwrap();
+    let report = verify_by_simulation(&model, &config).unwrap();
+    assert!(report.ok(), "{:#?}", report.violations);
+}
+
+#[test]
+fn windowed_partitions_with_messages_satisfy_all_observers() {
+    let config = Configuration {
+        core_types: vec![CoreType::new("generic")],
+        modules: vec![
+            Module::homogeneous("M1", 1, CoreTypeId::from_raw(0)),
+            Module::homogeneous("M2", 1, CoreTypeId::from_raw(0)),
+        ],
+        partitions: vec![
+            Partition::new(
+                "producer",
+                SchedulerKind::Fpps,
+                vec![Task::new("p", 1, vec![10], 50)],
+            ),
+            Partition::new(
+                "consumer",
+                SchedulerKind::Fpps,
+                vec![Task::new("c", 1, vec![5], 50)],
+            ),
+        ],
+        binding: vec![
+            CoreRef::new(ModuleId::from_raw(0), 0),
+            CoreRef::new(ModuleId::from_raw(1), 0),
+        ],
+        windows: vec![vec![Window::new(0, 50)], vec![Window::new(0, 50)]],
+        messages: vec![Message::new("vl", tr(0, 0), tr(1, 0), 1, 8)],
+    };
+    let model = SystemModel::build(&config).unwrap();
+    let report = verify_by_simulation(&model, &config).unwrap();
+    assert!(report.ok(), "{:#?}", report.violations);
+
+    // The whole-model requirement of Sect. 3 holds on the trace.
+    let analysis = analyze_configuration(&config).unwrap().analysis;
+    let violations = check_whole_model_requirements(&config, &analysis);
+    assert!(violations.is_empty(), "{violations:#?}");
+}
+
+#[test]
+fn unschedulable_configs_still_satisfy_component_requirements() {
+    // Deadline misses are a property of the configuration, not a component
+    // bug: observers must stay clean even when jobs are killed.
+    let config = single_core_config(
+        SchedulerKind::Fpps,
+        vec![
+            Task::new("a", 2, vec![8], 10),
+            Task::new("b", 1, vec![9], 20),
+        ],
+        20,
+    );
+    let model = SystemModel::build(&config).unwrap();
+    let report = verify_by_simulation(&model, &config).unwrap();
+    assert!(report.ok(), "{:#?}", report.violations);
+    let analysis = analyze_configuration(&config).unwrap().analysis;
+    assert!(!analysis.schedulable);
+    let violations = check_whole_model_requirements(&config, &analysis);
+    assert!(violations.is_empty(), "{violations:#?}");
+}
+
+#[test]
+fn model_checking_product_proves_bad_locations_unreachable() {
+    // Exhaustive: every interleaving, observers attached.
+    let config = single_core_config(
+        SchedulerKind::Fpps,
+        vec![
+            Task::new("a", 2, vec![3], 10),
+            Task::new("b", 1, vec![4], 20),
+        ],
+        20,
+    );
+    let model = SystemModel::build(&config).unwrap();
+    let report = verify_by_model_checking(&model, &config, 5_000_000).unwrap();
+    assert!(report.ok(), "{:#?}", report.violations);
+    assert!(report.states > 1);
+}
+
+#[test]
+fn wrong_policy_observer_detects_mismatch() {
+    // Watch an FPPS partition with an EDF-conformance observer whose
+    // deadlines contradict the priorities: the observer must fire. This is
+    // the sensitivity check — observers do catch violations.
+    let config = single_core_config(
+        SchedulerKind::Fpps,
+        vec![
+            // Higher priority but *later* deadline: FPPS dispatches "fast"
+            // first, which is an EDF violation.
+            Task::new("fast", 2, vec![5], 60).with_deadline(60),
+            Task::new("slow", 1, vec![5], 60).with_deadline(20),
+        ],
+        60,
+    );
+    let model = SystemModel::build(&config).unwrap();
+
+    // Correct observer (FPPS): clean.
+    let fpps_report =
+        verify_by_simulation_with(&model, vec![policy_conformance(&model, &config, 0)]).unwrap();
+    assert!(fpps_report.ok(), "{:#?}", fpps_report.violations);
+
+    // Wrong observer (EDF over the same trace): fires.
+    let mut edf_config = config.clone();
+    edf_config.partitions[0].scheduler = SchedulerKind::Edf;
+    let edf_observer = policy_conformance(&model, &edf_config, 0);
+    let edf_report = verify_by_simulation_with(&model, vec![edf_observer]).unwrap();
+    assert!(!edf_report.ok());
+    assert!(edf_report.violations[0].contains("EDF"));
+}
+
+#[test]
+fn fig2_observer_is_exported_as_dot() {
+    let config = single_core_config(
+        SchedulerKind::Fpps,
+        vec![
+            Task::new("a", 2, vec![3], 10),
+            Task::new("b", 1, vec![4], 20),
+        ],
+        20,
+    );
+    let model = SystemModel::build(&config).unwrap();
+    let dot = swa_mc::observers::fig2_dot(&model, 0);
+    assert!(dot.contains("digraph"));
+    assert!(dot.contains("doubleoctagon"));
+    let monitor = one_job_per_partition(&model, 0);
+    assert_eq!(monitor.locations[0], "idle");
+}
+
+#[test]
+fn parameter_sweep_under_model_checking() {
+    // The paper verifies parametric components for all parameter values;
+    // we enumerate a family of small valuations and model-check each with
+    // the full observer set.
+    for (c1, c2, p1, p2) in [(1, 1, 5, 10), (2, 3, 10, 10), (3, 2, 10, 20), (4, 1, 10, 5)] {
+        for kind in [
+            SchedulerKind::Fpps,
+            SchedulerKind::Fpnps,
+            SchedulerKind::Edf,
+        ] {
+            let config = single_core_config(
+                kind,
+                vec![
+                    Task::new("t1", 2, vec![c1], p1),
+                    Task::new("t2", 1, vec![c2], p2),
+                ],
+                0.max(swa_ima::util::lcm(p1, p2).unwrap()),
+            );
+            let model = SystemModel::build(&config).unwrap();
+            let report = verify_by_model_checking(&model, &config, 2_000_000).unwrap();
+            assert!(
+                report.ok(),
+                "violations under {kind} (c1={c1}, c2={c2}, p1={p1}, p2={p2}): {:#?}",
+                report.violations
+            );
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Graphviz DOT export for automata and networks, for documentation and
+//! debugging (the paper presents its automata as graphs; this module lets
+//! users render ours the same way).
+
+use std::fmt::Write as _;
+
+use crate::automaton::{Automaton, Sync};
+use crate::network::Network;
+
+/// Renders one automaton as a Graphviz `digraph`.
+///
+/// Locations become nodes (committed locations are drawn doubled), edges
+/// are labeled with `guard / sync / updates`.
+#[must_use]
+pub fn automaton_to_dot(automaton: &Automaton, network: Option<&Network>) -> String {
+    let mut out = String::new();
+    let name = sanitize(&automaton.name);
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=circle];");
+    for (i, l) in automaton.locations.iter().enumerate() {
+        let shape = if l.committed {
+            "doublecircle"
+        } else {
+            "circle"
+        };
+        let mut label = l.name.clone();
+        if !l.invariant.atoms.is_empty() {
+            let _ = write!(label, "\\n{}", l.invariant);
+        }
+        let _ = writeln!(out, "  n{i} [shape={shape}, label=\"{}\"];", escape(&label));
+    }
+    let _ = writeln!(out, "  init [shape=point];");
+    let _ = writeln!(out, "  init -> n{};", automaton.initial.index());
+    for e in &automaton.edges {
+        let mut label = String::new();
+        let guard = e.guard.to_string();
+        if guard != "true" {
+            let _ = write!(label, "{guard}");
+        }
+        match e.sync {
+            Sync::Internal => {}
+            Sync::Send(ch) => {
+                let chname = network
+                    .map_or_else(|| ch.to_string(), |n| n.channels()[ch.index()].name.clone());
+                if !label.is_empty() {
+                    label.push_str("\\n");
+                }
+                let _ = write!(label, "{chname}!");
+            }
+            Sync::Recv(ch) => {
+                let chname = network
+                    .map_or_else(|| ch.to_string(), |n| n.channels()[ch.index()].name.clone());
+                if !label.is_empty() {
+                    label.push_str("\\n");
+                }
+                let _ = write!(label, "{chname}?");
+            }
+        }
+        for u in &e.updates {
+            if !label.is_empty() {
+                label.push_str("\\n");
+            }
+            let _ = write!(label, "{u}");
+        }
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [label=\"{}\"];",
+            e.from.index(),
+            e.to.index(),
+            escape(&label)
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders the communication structure of a network: one node per
+/// automaton, one edge per channel from senders to receivers.
+#[must_use]
+pub fn network_to_dot(network: &Network) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph network {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=box];");
+    for (i, a) in network.automata().iter().enumerate() {
+        let _ = writeln!(out, "  a{i} [label=\"{}\"];", escape(&a.name));
+    }
+    // For each channel, find senders and receivers.
+    for (ci, ch) in network.channels().iter().enumerate() {
+        let mut senders = Vec::new();
+        let mut receivers = Vec::new();
+        for (ai, a) in network.automata().iter().enumerate() {
+            for e in &a.edges {
+                match e.sync {
+                    Sync::Send(c) if c.index() == ci => senders.push(ai),
+                    Sync::Recv(c) if c.index() == ci => receivers.push(ai),
+                    _ => {}
+                }
+            }
+        }
+        senders.dedup();
+        receivers.dedup();
+        for s in &senders {
+            for r in &receivers {
+                let style = match ch.kind {
+                    crate::network::ChannelKind::Binary => "solid",
+                    crate::network::ChannelKind::Broadcast => "dashed",
+                };
+                let _ = writeln!(
+                    out,
+                    "  a{s} -> a{r} [label=\"{}\", style={style}];",
+                    escape(&ch.name)
+                );
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    let s: String = name
+        .chars()
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if s.chars().next().is_some_and(|c| c.is_numeric()) {
+        format!("_{s}")
+    } else if s.is_empty() {
+        "g".to_string()
+    } else {
+        s
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::{AutomatonBuilder, Edge};
+    use crate::network::NetworkBuilder;
+
+    #[test]
+    fn automaton_dot_contains_nodes_and_edges() {
+        let mut b = AutomatonBuilder::new("demo machine");
+        let l0 = b.location("idle");
+        let l1 = b.committed_location("busy");
+        b.edge(Edge::new(l0, l1).with_label("go"));
+        let a = b.finish(l0);
+        let dot = automaton_to_dot(&a, None);
+        assert!(dot.starts_with("digraph demo_machine {"));
+        assert!(dot.contains("idle"));
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("init -> n0"));
+    }
+
+    #[test]
+    fn network_dot_draws_channel_wiring() {
+        let mut nb = NetworkBuilder::new();
+        let ch = nb.binary_channel("ping");
+        let mut b = AutomatonBuilder::new("s");
+        let l0 = b.location("l0");
+        b.edge(Edge::new(l0, l0).with_sync(crate::automaton::Sync::Send(ch)));
+        nb.automaton(b.finish(l0));
+        let mut b = AutomatonBuilder::new("r");
+        let l0 = b.location("l0");
+        b.edge(Edge::new(l0, l0).with_sync(crate::automaton::Sync::Recv(ch)));
+        nb.automaton(b.finish(l0));
+        let n = nb.build().unwrap();
+        let dot = network_to_dot(&n);
+        assert!(dot.contains("a0 -> a1"));
+        assert!(dot.contains("ping"));
+    }
+
+    #[test]
+    fn sanitize_handles_edge_cases() {
+        assert_eq!(sanitize("9lives"), "_9lives");
+        assert_eq!(sanitize(""), "g");
+        assert_eq!(sanitize("a-b c"), "a_b_c");
+    }
+}

@@ -1,0 +1,653 @@
+//! Cache-accelerated simulation core.
+//!
+//! The generic interpreter rescans every automaton after every transition —
+//! `O(automata)` per step, quadratic overall for instance models whose size
+//! grows with the workload. This module exploits two structural properties
+//! that the paper's component models (and most well-formed NSA models)
+//! have:
+//!
+//! 1. **Most locations are passive**: all outgoing edges are receives
+//!    (`ch?`) — the automaton never *initiates* a transition there, so the
+//!    scan can skip it entirely (schedulers parked in `asleep`/`idle`/
+//!    `running`, links in `idle`).
+//! 2. **Most guards are state-independent**: predicates and clock-atom
+//!    bounds built from literals. Their enabling windows depend only on the
+//!    automaton's own clocks, so the *absolute* earliest initiation time
+//!    (`wake[a]`) can be cached when the automaton enters the location and
+//!    stays exact until the automaton itself moves.
+//!
+//! A network is *eligible* for the fast path when receive-edge guards are
+//! clock-free and no edge manipulates a clock that another automaton's
+//! guards or invariants read — both true of every model `swa-core`
+//! generates, and checked structurally here. Ineligible networks (and
+//! non-canonical tie-breaks) fall back to the generic interpreter; the two
+//! produce identical traces, which the test-suite asserts.
+
+use crate::automaton::Sync;
+use crate::error::SimError;
+use crate::guard::{Guard, Invariant};
+use crate::ids::{AutomatonId, ClockId, EdgeId};
+use crate::network::{ChannelKind, Network};
+use crate::semantics::{apply, Transition};
+use crate::state::{EnvView, State};
+
+/// Per-location static classification.
+#[derive(Debug, Clone)]
+struct LocInfo {
+    /// Edges that can initiate a transition (internal or send), in order.
+    initiators: Vec<EdgeId>,
+    /// Whether every initiator guard is state-independent (its enabling
+    /// window, computed on entry, stays exact until the automaton moves).
+    guards_cacheable: bool,
+    /// Whether the location invariant's bounds are state-independent.
+    inv_cacheable: bool,
+    /// Whether the location is committed.
+    committed: bool,
+}
+
+/// Static per-network acceleration data.
+#[derive(Debug, Clone)]
+pub struct FastCache {
+    /// Whether the network satisfies the fast-path preconditions.
+    eligible: bool,
+    /// `info[automaton][location]`.
+    info: Vec<Vec<LocInfo>>,
+}
+
+fn guard_state_independent(guard: &Guard) -> bool {
+    guard.preds.iter().all(swa_pred_indep)
+        && guard
+            .clock_atoms
+            .iter()
+            .all(|a| a.rhs.is_state_independent())
+}
+
+fn swa_pred_indep(p: &crate::expr::Pred) -> bool {
+    p.is_state_independent()
+}
+
+fn invariant_state_independent(inv: &Invariant) -> bool {
+    inv.atoms.iter().all(|a| a.rhs.is_state_independent())
+}
+
+fn updated_clocks(updates: &[crate::update::Update], out: &mut Vec<ClockId>) {
+    use crate::update::Update;
+    for u in updates {
+        match u {
+            Update::ResetClock(c) | Update::StopClock(c) | Update::StartClock(c) => out.push(*c),
+            Update::If {
+                then, otherwise, ..
+            } => {
+                updated_clocks(then, out);
+                updated_clocks(otherwise, out);
+            }
+            Update::Assign { .. } => {}
+        }
+    }
+}
+
+fn referenced_clocks_expr(guard: &Guard, inv: &Invariant, out: &mut Vec<ClockId>) {
+    for a in &guard.clock_atoms {
+        out.push(a.clock);
+    }
+    for a in &inv.atoms {
+        out.push(a.clock);
+    }
+}
+
+impl FastCache {
+    /// Analyzes a network for fast-path eligibility and builds the
+    /// per-location classification.
+    #[must_use]
+    pub fn new(network: &Network) -> Self {
+        // Eligibility (a): receive-edge guards must be clock-free.
+        let mut eligible = true;
+        'outer: for a in network.automata() {
+            for e in &a.edges {
+                if matches!(e.sync, Sync::Recv(_)) && !e.guard.clock_atoms.is_empty() {
+                    eligible = false;
+                    break 'outer;
+                }
+            }
+        }
+
+        // Eligibility (b): no edge updates a clock referenced by another
+        // automaton.
+        if eligible {
+            let mut clock_readers: Vec<Vec<AutomatonId>> = vec![Vec::new(); network.clocks().len()];
+            for (ai, a) in network.automata().iter().enumerate() {
+                let aid =
+                    AutomatonId::from_raw(u32::try_from(ai).expect("automaton count fits u32"));
+                let mut refs = Vec::new();
+                for l in &a.locations {
+                    referenced_clocks_expr(&Guard::always(), &l.invariant, &mut refs);
+                }
+                for e in &a.edges {
+                    referenced_clocks_expr(&e.guard, &Invariant::none(), &mut refs);
+                }
+                for c in refs {
+                    if !clock_readers[c.index()].contains(&aid) {
+                        clock_readers[c.index()].push(aid);
+                    }
+                }
+            }
+            'outer2: for (ai, a) in network.automata().iter().enumerate() {
+                let aid =
+                    AutomatonId::from_raw(u32::try_from(ai).expect("automaton count fits u32"));
+                for e in &a.edges {
+                    let mut touched = Vec::new();
+                    updated_clocks(&e.updates, &mut touched);
+                    for c in touched {
+                        if clock_readers[c.index()].iter().any(|r| *r != aid) {
+                            eligible = false;
+                            break 'outer2;
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut info = Vec::with_capacity(network.automata().len());
+        for (ai, a) in network.automata().iter().enumerate() {
+            let aid = AutomatonId::from_raw(u32::try_from(ai).expect("automaton count fits u32"));
+            let mut per_loc = Vec::with_capacity(a.locations.len());
+            for (li, l) in a.locations.iter().enumerate() {
+                let lid = crate::ids::LocationId::from_raw(
+                    u32::try_from(li).expect("location count fits u32"),
+                );
+                let mut initiators = Vec::new();
+                let mut guards_cacheable = true;
+                for &eid in network.outgoing_edges(aid, lid) {
+                    let e = a.edge(eid);
+                    if matches!(e.sync, Sync::Recv(_)) {
+                        continue;
+                    }
+                    if !guard_state_independent(&e.guard) {
+                        guards_cacheable = false;
+                    }
+                    initiators.push(eid);
+                }
+                per_loc.push(LocInfo {
+                    initiators,
+                    guards_cacheable,
+                    inv_cacheable: invariant_state_independent(&l.invariant),
+                    committed: l.committed,
+                });
+            }
+            info.push(per_loc);
+        }
+
+        Self { eligible, info }
+    }
+
+    /// Whether the fast path may be used for this network.
+    #[must_use]
+    pub fn eligible(&self) -> bool {
+        self.eligible
+    }
+}
+
+/// A running fast interpretation.
+pub(crate) struct FastRun<'n> {
+    network: &'n Network,
+    cache: &'n FastCache,
+    /// Absolute earliest time automaton `a` could initiate a transition
+    /// (`i64::MAX` = never, as long as it does not move). For locations
+    /// with non-cacheable guards this is kept at the current time
+    /// (rescan every step).
+    wake: Vec<i64>,
+    /// `wake[a]` is a live lower bound only when the guards are cacheable;
+    /// otherwise the automaton is rescanned and its delay windows are
+    /// recomputed on demand.
+    dynamic: Vec<bool>,
+    /// Absolute invariant expiry per automaton (`i64::MAX` = unbounded).
+    inv_expiry: Vec<i64>,
+    /// Invariants needing recomputation at each delay decision.
+    inv_dynamic: Vec<bool>,
+    committed_count: usize,
+}
+
+impl<'n> FastRun<'n> {
+    pub(crate) fn new(
+        network: &'n Network,
+        cache: &'n FastCache,
+        state: &State,
+    ) -> Result<Self, SimError> {
+        let n = network.automata().len();
+        let mut run = Self {
+            network,
+            cache,
+            wake: vec![0; n],
+            dynamic: vec![false; n],
+            inv_expiry: vec![i64::MAX; n],
+            inv_dynamic: vec![false; n],
+            committed_count: 0,
+        };
+        for ai in 0..n {
+            let aid = AutomatonId::from_raw(u32::try_from(ai).expect("automaton count fits u32"));
+            run.refresh(aid, state)?;
+            let info = run.loc_info(aid, state);
+            if info.committed {
+                run.committed_count += 1;
+            }
+        }
+        Ok(run)
+    }
+
+    fn loc_info(&self, a: AutomatonId, state: &State) -> &LocInfo {
+        &self.cache.info[a.index()][state.location_of(a).index()]
+    }
+
+    /// Recomputes the cached wake time and invariant expiry of `a`.
+    fn refresh(&mut self, a: AutomatonId, state: &State) -> Result<(), SimError> {
+        let info = &self.cache.info[a.index()][state.location_of(a).index()];
+        let view = EnvView {
+            network: self.network,
+            state,
+        };
+        let now = state.time;
+
+        self.dynamic[a.index()] = !info.guards_cacheable;
+        if info.initiators.is_empty() {
+            self.wake[a.index()] = i64::MAX;
+        } else if info.guards_cacheable {
+            let mut wake = i64::MAX;
+            let automaton = self.network.automaton(a);
+            for &eid in &info.initiators {
+                let edge = automaton.edge(eid);
+                if let Some(w) = edge
+                    .guard
+                    .enabling_window(&view, &view)
+                    .map_err(SimError::Eval)?
+                {
+                    wake = wake.min(now.saturating_add(w.lo));
+                }
+            }
+            self.wake[a.index()] = wake;
+        } else {
+            self.wake[a.index()] = now;
+        }
+
+        self.inv_dynamic[a.index()] = !info.inv_cacheable;
+        let inv = &self
+            .network
+            .automaton(a)
+            .location(state.location_of(a))
+            .invariant;
+        self.inv_expiry[a.index()] = match inv.max_delay(&view, &view).map_err(SimError::Eval)? {
+            None => i64::MAX,
+            Some(d) => now.saturating_add(d.max(0)),
+        };
+        Ok(())
+    }
+
+    /// Finds the first enabled transition in canonical order.
+    pub(crate) fn first_enabled(&self, state: &State) -> Result<Option<Transition>, SimError> {
+        let view = EnvView {
+            network: self.network,
+            state,
+        };
+        let now = state.time;
+        for ai in 0..self.network.automata().len() {
+            if self.wake[ai] > now {
+                continue;
+            }
+            let aid = AutomatonId::from_raw(u32::try_from(ai).expect("automaton count fits u32"));
+            let info = self.loc_info(aid, state);
+            let automaton = self.network.automaton(aid);
+            for &eid in &info.initiators {
+                let edge = automaton.edge(eid);
+                if !edge.guard.holds(&view, &view).map_err(SimError::Eval)? {
+                    continue;
+                }
+                let transition = match edge.sync {
+                    Sync::Internal => Some(Transition::Internal {
+                        participant: (aid, eid),
+                    }),
+                    Sync::Send(ch) => match self.network.channels()[ch.index()].kind {
+                        ChannelKind::Binary => {
+                            let mut found = None;
+                            for &(bid, beid) in self.network.receivers_on(ch) {
+                                if bid == aid {
+                                    continue;
+                                }
+                                let redge = self.network.automaton(bid).edge(beid);
+                                if redge.from == state.location_of(bid)
+                                    && redge.guard.holds(&view, &view).map_err(SimError::Eval)?
+                                {
+                                    found = Some(Transition::Binary {
+                                        channel: ch,
+                                        sender: (aid, eid),
+                                        receiver: (bid, beid),
+                                    });
+                                    break;
+                                }
+                            }
+                            found
+                        }
+                        ChannelKind::Broadcast => {
+                            let mut receivers = Vec::new();
+                            let mut last: Option<AutomatonId> = None;
+                            for &(bid, beid) in self.network.receivers_on(ch) {
+                                if bid == aid || last == Some(bid) {
+                                    continue;
+                                }
+                                let redge = self.network.automaton(bid).edge(beid);
+                                if redge.from == state.location_of(bid)
+                                    && redge.guard.holds(&view, &view).map_err(SimError::Eval)?
+                                {
+                                    receivers.push((bid, beid));
+                                    last = Some(bid);
+                                }
+                            }
+                            Some(Transition::Broadcast {
+                                channel: ch,
+                                sender: (aid, eid),
+                                receivers,
+                            })
+                        }
+                    },
+                    Sync::Recv(_) => None,
+                };
+                let Some(t) = transition else { continue };
+                if self.committed_count > 0
+                    && !t
+                        .participants()
+                        .iter()
+                        .any(|(p, _)| self.loc_info(*p, state).committed)
+                {
+                    continue;
+                }
+                return Ok(Some(t));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Applies a transition, refreshing the caches of every participant.
+    pub(crate) fn apply(
+        &mut self,
+        state: &mut State,
+        transition: &Transition,
+    ) -> Result<(), SimError> {
+        let participants = transition.participants();
+        for &(p, _) in &participants {
+            if self.loc_info(p, state).committed {
+                self.committed_count -= 1;
+            }
+        }
+        apply(self.network, state, transition)?;
+        for &(p, _) in &participants {
+            if self.loc_info(p, state).committed {
+                self.committed_count += 1;
+            }
+            self.refresh(p, state)?;
+        }
+        Ok(())
+    }
+
+    /// Whether any automaton currently sits in a committed location.
+    pub(crate) fn any_committed(&self) -> bool {
+        self.committed_count > 0
+    }
+
+    /// The delay decision: `(next_enabling_abs, invariant_expiry_abs)`,
+    /// either of which may be `i64::MAX` for "never"/"unbounded".
+    pub(crate) fn delay_targets(&self, state: &State) -> Result<(i64, i64), SimError> {
+        let now = state.time;
+        let view = EnvView {
+            network: self.network,
+            state,
+        };
+        let mut next = i64::MAX;
+        let mut expiry = i64::MAX;
+        for ai in 0..self.network.automata().len() {
+            if self.dynamic[ai] {
+                // Recompute the enabling windows against the current
+                // variables (constant during the delay, so this is exact).
+                let aid =
+                    AutomatonId::from_raw(u32::try_from(ai).expect("automaton count fits u32"));
+                let info = self.loc_info(aid, state);
+                let automaton = self.network.automaton(aid);
+                for &eid in &info.initiators {
+                    let edge = automaton.edge(eid);
+                    if let Some(w) = edge
+                        .guard
+                        .enabling_window(&view, &view)
+                        .map_err(SimError::Eval)?
+                    {
+                        let lo = w.lo.max(1);
+                        if w.contains(lo) {
+                            next = next.min(now.saturating_add(lo));
+                        }
+                    }
+                }
+            } else if self.wake[ai] > now {
+                next = next.min(self.wake[ai]);
+            }
+            if self.inv_dynamic[ai] {
+                let aid =
+                    AutomatonId::from_raw(u32::try_from(ai).expect("automaton count fits u32"));
+                let inv = &self
+                    .network
+                    .automaton(aid)
+                    .location(state.location_of(aid))
+                    .invariant;
+                match inv.max_delay(&view, &view).map_err(SimError::Eval)? {
+                    None => {}
+                    Some(d) => expiry = expiry.min(now.saturating_add(d.max(0))),
+                }
+            } else {
+                expiry = expiry.min(self.inv_expiry[ai]);
+            }
+        }
+        Ok((next, expiry))
+    }
+
+    /// The id of some automaton whose invariant expires first (diagnostics).
+    pub(crate) fn earliest_bounded_automaton(&self) -> AutomatonId {
+        let mut best = (i64::MAX, 0usize);
+        for (ai, &e) in self.inv_expiry.iter().enumerate() {
+            if e < best.0 {
+                best = (e, ai);
+            }
+        }
+        AutomatonId::from_raw(u32::try_from(best.1).expect("automaton count fits u32"))
+    }
+
+    /// The id of some committed automaton (diagnostics).
+    pub(crate) fn committed_automaton(&self, state: &State) -> AutomatonId {
+        for ai in 0..self.network.automata().len() {
+            let aid = AutomatonId::from_raw(u32::try_from(ai).expect("automaton count fits u32"));
+            if self.loc_info(aid, state).committed {
+                return aid;
+            }
+        }
+        AutomatonId::from_raw(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::{AutomatonBuilder, Edge};
+    use crate::expr::{CmpOp, IntExpr};
+    use crate::guard::{ClockAtom, Guard, Invariant};
+    use crate::network::NetworkBuilder;
+    use crate::sim::{Simulator, TieBreak};
+    use crate::update::Update;
+
+    /// A periodic ticker (state-independent guards — fully cacheable).
+    fn ticker_network(period: i64) -> Network {
+        let mut nb = NetworkBuilder::new();
+        let c = nb.clock("c");
+        let mut a = AutomatonBuilder::new("t");
+        let l0 = a.location_with_invariant("wait", Invariant::upper_bound(c, period));
+        a.edge(
+            Edge::new(l0, l0)
+                .with_guard(Guard::always().and_clock(ClockAtom::new(c, CmpOp::Ge, period)))
+                .with_update(Update::ResetClock(c)),
+        );
+        nb.automaton(a.finish(l0));
+        nb.build().unwrap()
+    }
+
+    #[test]
+    fn cacheable_network_is_eligible() {
+        let n = ticker_network(5);
+        assert!(FastCache::new(&n).eligible());
+    }
+
+    #[test]
+    fn clock_guarded_receive_disables_fast_path() {
+        let mut nb = NetworkBuilder::new();
+        let c = nb.clock("c");
+        let ch = nb.binary_channel("go");
+        let mut a = AutomatonBuilder::new("s");
+        let l0 = a.location("l0");
+        a.edge(Edge::new(l0, l0).with_sync(crate::automaton::Sync::Send(ch)));
+        nb.automaton(a.finish(l0));
+        let mut b = AutomatonBuilder::new("r");
+        let l0 = b.location("l0");
+        b.edge(
+            Edge::new(l0, l0)
+                .with_sync(crate::automaton::Sync::Recv(ch))
+                .with_guard(Guard::always().and_clock(ClockAtom::new(c, CmpOp::Ge, 3))),
+        );
+        nb.automaton(b.finish(l0));
+        let n = nb.build().unwrap();
+        assert!(!FastCache::new(&n).eligible());
+    }
+
+    #[test]
+    fn foreign_clock_update_disables_fast_path() {
+        // Automaton "meddler" resets a clock that "watcher" guards on.
+        let mut nb = NetworkBuilder::new();
+        let c = nb.clock("c");
+        let mut a = AutomatonBuilder::new("watcher");
+        let l0 = a.location("l0");
+        let l1 = a.location("l1");
+        a.edge(
+            Edge::new(l0, l1).with_guard(Guard::always().and_clock(ClockAtom::new(
+                c,
+                CmpOp::Ge,
+                5,
+            ))),
+        );
+        nb.automaton(a.finish(l0));
+        let mut b = AutomatonBuilder::new("meddler");
+        let m0 = b.location("m0");
+        b.edge(Edge::new(m0, m0).with_update(Update::ResetClock(c)));
+        nb.automaton(b.finish(m0));
+        let n = nb.build().unwrap();
+        assert!(!FastCache::new(&n).eligible());
+    }
+
+    #[test]
+    fn own_clock_updates_stay_eligible() {
+        // The ticker resets its own guarded clock: fine.
+        let n = ticker_network(3);
+        assert!(FastCache::new(&n).eligible());
+    }
+
+    #[test]
+    fn var_dependent_guards_stay_eligible_but_dynamic() {
+        // A guard reading a variable doesn't disable the fast path; the
+        // location is just rescanned (the equality test below proves the
+        // semantics are preserved).
+        let mut nb = NetworkBuilder::new();
+        let v = nb.var("x", 0, 0, 5);
+        let c = nb.clock("c");
+        let mut a = AutomatonBuilder::new("setter");
+        let l0 = a.location_with_invariant("l0", Invariant::upper_bound(c, 2));
+        let l1 = a.location("l1");
+        a.edge(
+            Edge::new(l0, l1)
+                .with_guard(Guard::always().and_clock(ClockAtom::new(c, CmpOp::Ge, 2)))
+                .with_update(Update::set(v, 1)),
+        );
+        nb.automaton(a.finish(l0));
+        let mut b = AutomatonBuilder::new("follower");
+        let m0 = b.location("m0");
+        let m1 = b.location("m1");
+        b.edge(Edge::new(m0, m1).with_guard(Guard::when(IntExpr::var(v).eq(1))));
+        nb.automaton(b.finish(m0));
+        let n = nb.build().unwrap();
+        assert!(FastCache::new(&n).eligible());
+
+        let fast = Simulator::new(&n).horizon(10).run().unwrap();
+        let identity = TieBreak::Permuted(vec![0, 1]);
+        let generic = Simulator::new(&n)
+            .horizon(10)
+            .tie_break(identity)
+            .run()
+            .unwrap();
+        assert_eq!(fast.trace, generic.trace);
+        let times: Vec<i64> = fast.trace.iter().map(|e| e.time).collect();
+        assert_eq!(times, vec![2, 2]);
+    }
+
+    #[test]
+    fn fast_and_generic_agree_on_mixed_networks() {
+        // Binary syncs + invariants + stopped clocks.
+        let mut nb = NetworkBuilder::new();
+        let c = nb.clock("c");
+        let stop = nb.stopped_clock("s");
+        let ch = nb.binary_channel("go");
+        let mut a = AutomatonBuilder::new("sender");
+        let l0 = a.location_with_invariant("l0", Invariant::upper_bound(c, 4));
+        let l1 = a.location("l1");
+        a.edge(
+            Edge::new(l0, l1)
+                .with_guard(Guard::always().and_clock(ClockAtom::new(c, CmpOp::Ge, 4)))
+                .with_sync(crate::automaton::Sync::Send(ch))
+                .with_update(Update::StartClock(stop)),
+        );
+        let l2 = a.location("l2");
+        a.edge(
+            Edge::new(l1, l2).with_guard(Guard::always().and_clock(ClockAtom::new(
+                stop,
+                CmpOp::Ge,
+                3,
+            ))),
+        );
+        nb.automaton(a.finish(l0));
+        let mut b = AutomatonBuilder::new("receiver");
+        let m0 = b.location("m0");
+        b.edge(Edge::new(m0, m0).with_sync(crate::automaton::Sync::Recv(ch)));
+        nb.automaton(b.finish(m0));
+        let n = nb.build().unwrap();
+        assert!(FastCache::new(&n).eligible());
+
+        let fast = Simulator::new(&n).horizon(20).run().unwrap();
+        let generic = Simulator::new(&n)
+            .horizon(20)
+            .tie_break(TieBreak::Permuted(vec![0, 1]))
+            .run()
+            .unwrap();
+        assert_eq!(fast.trace, generic.trace);
+        let times: Vec<i64> = fast.trace.iter().map(|e| e.time).collect();
+        assert_eq!(times, vec![4, 7]);
+    }
+
+    #[test]
+    fn fast_path_detects_time_lock_like_generic() {
+        let mut nb = NetworkBuilder::new();
+        let c = nb.clock("c");
+        let mut a = AutomatonBuilder::new("stuck");
+        let l0 = a.location_with_invariant("l0", Invariant::upper_bound(c, 5));
+        let l1 = a.location("l1");
+        a.edge(
+            Edge::new(l0, l1).with_guard(Guard::always().and_clock(ClockAtom::new(
+                c,
+                CmpOp::Ge,
+                10,
+            ))),
+        );
+        nb.automaton(a.finish(l0));
+        let n = nb.build().unwrap();
+        assert!(FastCache::new(&n).eligible());
+        let err = Simulator::new(&n).horizon(100).run().unwrap_err();
+        assert!(matches!(err, SimError::TimeLock { .. }));
+    }
+}

@@ -1,0 +1,744 @@
+//! Networks of stopwatch automata: shared declarations plus a set of
+//! automata operating synchronously.
+//!
+//! A [`Network`] owns all clocks, bounded integer variables, arrays and
+//! channels; automata reference them by id. This mirrors the paper's model,
+//! where shared variables (`is_ready`, `prio`, …) and channels (`exec`,
+//! `preempt`, …) form the interfaces between component automata.
+
+use std::collections::HashMap;
+
+use crate::automaton::Automaton;
+use crate::error::BuildError;
+use crate::expr::{IntExpr, Pred};
+use crate::ids::{ArrayId, AutomatonId, ChannelId, ClockId, EdgeId, LocationId, VarId};
+use crate::update::{LValue, Update};
+
+/// Kind of a synchronization channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChannelKind {
+    /// Exactly one sender and one receiver synchronize; a send blocks until
+    /// some receiver can take the complementary transition.
+    Binary,
+    /// One sender and every automaton with an enabled receiving edge
+    /// synchronize; a send never blocks.
+    Broadcast,
+}
+
+/// Declaration of a stopwatch clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClockDecl {
+    /// Clock name (for traces and DOT exports).
+    pub name: String,
+    /// Whether the clock starts running (all clocks start at value 0).
+    pub starts_running: bool,
+}
+
+/// Declaration of a bounded integer variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarDecl {
+    /// Variable name.
+    pub name: String,
+    /// Initial value.
+    pub init: i64,
+    /// Inclusive domain.
+    pub min: i64,
+    /// Inclusive domain.
+    pub max: i64,
+}
+
+/// Declaration of a bounded integer array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayDecl {
+    /// Array name.
+    pub name: String,
+    /// Initial values; the length of this vector is the array length.
+    pub init: Vec<i64>,
+    /// Inclusive element domain.
+    pub min: i64,
+    /// Inclusive element domain.
+    pub max: i64,
+}
+
+/// Declaration of a channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelDecl {
+    /// Channel name.
+    pub name: String,
+    /// Binary or broadcast.
+    pub kind: ChannelKind,
+}
+
+/// A validated network of stopwatch automata.
+///
+/// Construct through [`NetworkBuilder`]; the builder's
+/// [`build`](NetworkBuilder::build) performs all structural validation, so a
+/// `Network` value is always well-formed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Network {
+    pub(crate) clocks: Vec<ClockDecl>,
+    pub(crate) vars: Vec<VarDecl>,
+    pub(crate) arrays: Vec<ArrayDecl>,
+    pub(crate) channels: Vec<ChannelDecl>,
+    pub(crate) automata: Vec<Automaton>,
+    /// Offset of each array's cells in the flattened state vector
+    /// (scalars first, then array cells in declaration order).
+    pub(crate) array_offsets: Vec<usize>,
+    /// Per automaton, per location: outgoing edge ids (ascending).
+    pub(crate) outgoing: Vec<Vec<Vec<EdgeId>>>,
+    /// Per channel: every receiving edge in the network, in canonical
+    /// (automaton, edge) order.
+    pub(crate) receivers: Vec<Vec<(AutomatonId, EdgeId)>>,
+}
+
+impl Network {
+    /// Clock declarations.
+    #[must_use]
+    pub fn clocks(&self) -> &[ClockDecl] {
+        &self.clocks
+    }
+
+    /// Variable declarations.
+    #[must_use]
+    pub fn vars(&self) -> &[VarDecl] {
+        &self.vars
+    }
+
+    /// Array declarations.
+    #[must_use]
+    pub fn arrays(&self) -> &[ArrayDecl] {
+        &self.arrays
+    }
+
+    /// Channel declarations.
+    #[must_use]
+    pub fn channels(&self) -> &[ChannelDecl] {
+        &self.channels
+    }
+
+    /// The automata of the network, indexed by [`AutomatonId`].
+    #[must_use]
+    pub fn automata(&self) -> &[Automaton] {
+        &self.automata
+    }
+
+    /// Returns an automaton by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn automaton(&self, id: AutomatonId) -> &Automaton {
+        &self.automata[id.index()]
+    }
+
+    /// Looks up an automaton id by name.
+    #[must_use]
+    pub fn automaton_by_name(&self, name: &str) -> Option<AutomatonId> {
+        self.automata
+            .iter()
+            .position(|a| a.name == name)
+            .map(|i| AutomatonId::from_raw(u32::try_from(i).expect("automaton count fits u32")))
+    }
+
+    /// Looks up a channel id by name.
+    #[must_use]
+    pub fn channel_by_name(&self, name: &str) -> Option<ChannelId> {
+        self.channels
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| ChannelId::from_raw(u32::try_from(i).expect("channel count fits u32")))
+    }
+
+    /// Looks up a variable id by name.
+    #[must_use]
+    pub fn var_by_name(&self, name: &str) -> Option<VarId> {
+        self.vars
+            .iter()
+            .position(|v| v.name == name)
+            .map(|i| VarId::from_raw(u32::try_from(i).expect("var count fits u32")))
+    }
+
+    /// Looks up an array id by name.
+    #[must_use]
+    pub fn array_by_name(&self, name: &str) -> Option<ArrayId> {
+        self.arrays
+            .iter()
+            .position(|a| a.name == name)
+            .map(|i| ArrayId::from_raw(u32::try_from(i).expect("array count fits u32")))
+    }
+
+    /// Looks up a clock id by name.
+    #[must_use]
+    pub fn clock_by_name(&self, name: &str) -> Option<ClockId> {
+        self.clocks
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| ClockId::from_raw(u32::try_from(i).expect("clock count fits u32")))
+    }
+
+    /// Total number of state variables (scalars plus flattened array cells).
+    #[must_use]
+    pub fn state_var_count(&self) -> usize {
+        self.vars.len() + self.arrays.iter().map(|a| a.init.len()).sum::<usize>()
+    }
+
+    /// Outgoing edges of a location of an automaton, ascending by edge id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    #[must_use]
+    pub fn outgoing_edges(&self, automaton: AutomatonId, location: LocationId) -> &[EdgeId] {
+        &self.outgoing[automaton.index()][location.index()]
+    }
+
+    /// Every receiving edge on `channel`, in canonical (automaton, edge)
+    /// order (regardless of current locations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn receivers_on(&self, channel: ChannelId) -> &[(AutomatonId, EdgeId)] {
+        &self.receivers[channel.index()]
+    }
+
+    /// Offset of the first cell of `array` in the flattened state vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn array_offset(&self, array: ArrayId) -> usize {
+        self.array_offsets[array.index()]
+    }
+
+    /// Length of `array`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn array_len(&self, array: ArrayId) -> usize {
+        self.arrays[array.index()].init.len()
+    }
+}
+
+/// Builder for a [`Network`].
+///
+/// # Examples
+///
+/// ```
+/// use swa_nsa::network::{ChannelKind, NetworkBuilder};
+/// use swa_nsa::automaton::{AutomatonBuilder, Edge, Sync};
+///
+/// let mut nb = NetworkBuilder::new();
+/// let ping = nb.binary_channel("ping");
+///
+/// let mut a = AutomatonBuilder::new("sender");
+/// let s0 = a.location("s0");
+/// a.edge(Edge::new(s0, s0).with_sync(Sync::Send(ping)));
+/// nb.automaton(a.finish(s0));
+///
+/// let mut b = AutomatonBuilder::new("receiver");
+/// let r0 = b.location("r0");
+/// b.edge(Edge::new(r0, r0).with_sync(Sync::Recv(ping)));
+/// nb.automaton(b.finish(r0));
+///
+/// let network = nb.build()?;
+/// assert_eq!(network.automata().len(), 2);
+/// # Ok::<(), swa_nsa::error::BuildError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NetworkBuilder {
+    clocks: Vec<ClockDecl>,
+    vars: Vec<VarDecl>,
+    arrays: Vec<ArrayDecl>,
+    channels: Vec<ChannelDecl>,
+    automata: Vec<Automaton>,
+}
+
+impl NetworkBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a running clock and returns its id.
+    pub fn clock(&mut self, name: impl Into<String>) -> ClockId {
+        self.add_clock(ClockDecl {
+            name: name.into(),
+            starts_running: true,
+        })
+    }
+
+    /// Declares a clock that starts stopped and returns its id.
+    pub fn stopped_clock(&mut self, name: impl Into<String>) -> ClockId {
+        self.add_clock(ClockDecl {
+            name: name.into(),
+            starts_running: false,
+        })
+    }
+
+    fn add_clock(&mut self, decl: ClockDecl) -> ClockId {
+        let id = ClockId::from_raw(u32::try_from(self.clocks.len()).expect("clock count fits u32"));
+        self.clocks.push(decl);
+        id
+    }
+
+    /// Declares a bounded integer variable and returns its id.
+    pub fn var(&mut self, name: impl Into<String>, init: i64, min: i64, max: i64) -> VarId {
+        let id = VarId::from_raw(u32::try_from(self.vars.len()).expect("var count fits u32"));
+        self.vars.push(VarDecl {
+            name: name.into(),
+            init,
+            min,
+            max,
+        });
+        id
+    }
+
+    /// Declares a boolean-like variable with domain `[0, 1]`.
+    pub fn flag(&mut self, name: impl Into<String>, init: bool) -> VarId {
+        self.var(name, i64::from(init), 0, 1)
+    }
+
+    /// Declares a bounded integer array and returns its id.
+    pub fn array(
+        &mut self,
+        name: impl Into<String>,
+        init: Vec<i64>,
+        min: i64,
+        max: i64,
+    ) -> ArrayId {
+        let id = ArrayId::from_raw(u32::try_from(self.arrays.len()).expect("array count fits u32"));
+        self.arrays.push(ArrayDecl {
+            name: name.into(),
+            init,
+            min,
+            max,
+        });
+        id
+    }
+
+    /// Declares a binary channel and returns its id.
+    pub fn binary_channel(&mut self, name: impl Into<String>) -> ChannelId {
+        self.add_channel(name.into(), ChannelKind::Binary)
+    }
+
+    /// Declares a broadcast channel and returns its id.
+    pub fn broadcast_channel(&mut self, name: impl Into<String>) -> ChannelId {
+        self.add_channel(name.into(), ChannelKind::Broadcast)
+    }
+
+    fn add_channel(&mut self, name: String, kind: ChannelKind) -> ChannelId {
+        let id = ChannelId::from_raw(
+            u32::try_from(self.channels.len()).expect("channel count fits u32"),
+        );
+        self.channels.push(ChannelDecl { name, kind });
+        id
+    }
+
+    /// Adds an automaton and returns its id.
+    pub fn automaton(&mut self, automaton: Automaton) -> AutomatonId {
+        let id = AutomatonId::from_raw(
+            u32::try_from(self.automata.len()).expect("automaton count fits u32"),
+        );
+        self.automata.push(automaton);
+        id
+    }
+
+    /// Validates and freezes the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] if
+    ///
+    /// * any automaton has no locations, duplicates a name, or references a
+    ///   location/clock/variable/array/channel that does not exist;
+    /// * any variable domain is empty or an initial value is out of domain;
+    /// * any expression still contains unbound template parameters.
+    pub fn build(self) -> Result<Network, BuildError> {
+        let mut array_offsets = Vec::with_capacity(self.arrays.len());
+        let mut offset = self.vars.len();
+        for a in &self.arrays {
+            array_offsets.push(offset);
+            offset += a.init.len();
+        }
+        let mut outgoing: Vec<Vec<Vec<EdgeId>>> = Vec::with_capacity(self.automata.len());
+        for a in &self.automata {
+            let mut per_loc: Vec<Vec<EdgeId>> = vec![Vec::new(); a.locations.len()];
+            for (ei, e) in a.edges.iter().enumerate() {
+                if let Some(v) = per_loc.get_mut(e.from.index()) {
+                    v.push(EdgeId::from_raw(
+                        u32::try_from(ei).expect("edge count fits u32"),
+                    ));
+                }
+            }
+            outgoing.push(per_loc);
+        }
+        let mut receivers: Vec<Vec<(AutomatonId, EdgeId)>> = vec![Vec::new(); self.channels.len()];
+        for (ai, a) in self.automata.iter().enumerate() {
+            let aid = AutomatonId::from_raw(u32::try_from(ai).expect("automaton count fits u32"));
+            for (ei, e) in a.edges.iter().enumerate() {
+                if let crate::automaton::Sync::Recv(ch) = e.sync {
+                    if let Some(v) = receivers.get_mut(ch.index()) {
+                        v.push((
+                            aid,
+                            EdgeId::from_raw(u32::try_from(ei).expect("edge count fits u32")),
+                        ));
+                    }
+                }
+            }
+        }
+        let network = Network {
+            clocks: self.clocks,
+            vars: self.vars,
+            arrays: self.arrays,
+            channels: self.channels,
+            automata: self.automata,
+            array_offsets,
+            outgoing,
+            receivers,
+        };
+        validate(&network)?;
+        Ok(network)
+    }
+}
+
+fn validate(n: &Network) -> Result<(), BuildError> {
+    // Variable domains.
+    for (i, v) in n.vars.iter().enumerate() {
+        let var = VarId::from_raw(u32::try_from(i).expect("var count fits u32"));
+        if v.min > v.max {
+            return Err(BuildError::EmptyDomain {
+                var,
+                domain: (v.min, v.max),
+            });
+        }
+        if v.init < v.min || v.init > v.max {
+            return Err(BuildError::InitialValueOutOfDomain {
+                var,
+                value: v.init,
+                domain: (v.min, v.max),
+            });
+        }
+    }
+    for a in &n.arrays {
+        for &v in &a.init {
+            if v < a.min || v > a.max {
+                return Err(BuildError::InitialValueOutOfDomain {
+                    var: VarId::from_raw(u32::MAX),
+                    value: v,
+                    domain: (a.min, a.max),
+                });
+            }
+        }
+    }
+
+    // Automata structure.
+    let mut names = HashMap::new();
+    for (ai, a) in n.automata.iter().enumerate() {
+        let aid = AutomatonId::from_raw(u32::try_from(ai).expect("automaton count fits u32"));
+        if a.locations.is_empty() {
+            return Err(BuildError::EmptyAutomaton(aid));
+        }
+        if names.insert(a.name.clone(), aid).is_some() {
+            return Err(BuildError::DuplicateAutomatonName(a.name.clone()));
+        }
+        if a.initial.index() >= a.locations.len() {
+            return Err(BuildError::UnknownLocation {
+                automaton: aid,
+                location: a.initial,
+            });
+        }
+        for l in &a.locations {
+            for atom in &l.invariant.atoms {
+                check_clock(n, atom.clock)?;
+                check_int_expr(n, &atom.rhs, &format!("invariant of {}", a.name))?;
+            }
+            if let Some(p) = l.invariant.max_param() {
+                return Err(BuildError::UnboundParam {
+                    param: p,
+                    context: format!("invariant in automaton {}", a.name),
+                });
+            }
+        }
+        for e in &a.edges {
+            if e.from.index() >= a.locations.len() {
+                return Err(BuildError::UnknownLocation {
+                    automaton: aid,
+                    location: e.from,
+                });
+            }
+            if e.to.index() >= a.locations.len() {
+                return Err(BuildError::UnknownLocation {
+                    automaton: aid,
+                    location: e.to,
+                });
+            }
+            if let Some(ch) = e.sync.channel() {
+                if ch.index() >= n.channels.len() {
+                    return Err(BuildError::UnknownChannel(ch.raw()));
+                }
+            }
+            let ctx = format!("edge {} -> {} of {}", e.from, e.to, a.name);
+            for p in &e.guard.preds {
+                check_pred(n, p, &ctx)?;
+            }
+            for atom in &e.guard.clock_atoms {
+                check_clock(n, atom.clock)?;
+                check_int_expr(n, &atom.rhs, &ctx)?;
+            }
+            for u in &e.updates {
+                check_update(n, u, &ctx)?;
+            }
+            if let Some(p) = e.max_param() {
+                return Err(BuildError::UnboundParam {
+                    param: p,
+                    context: ctx,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_clock(n: &Network, c: ClockId) -> Result<(), BuildError> {
+    if c.index() >= n.clocks.len() {
+        return Err(BuildError::UnknownClock(c));
+    }
+    Ok(())
+}
+
+fn check_var(n: &Network, v: VarId) -> Result<(), BuildError> {
+    if v.index() >= n.vars.len() {
+        return Err(BuildError::UnknownVar(v));
+    }
+    Ok(())
+}
+
+fn check_array(n: &Network, a: ArrayId) -> Result<(), BuildError> {
+    if a.index() >= n.arrays.len() {
+        return Err(BuildError::UnknownArray(a.raw()));
+    }
+    Ok(())
+}
+
+fn check_int_expr(n: &Network, e: &IntExpr, ctx: &str) -> Result<(), BuildError> {
+    match e {
+        IntExpr::Lit(_) | IntExpr::Param(_) | IntExpr::Bound(_) => Ok(()),
+        IntExpr::Var(v) => check_var(n, *v),
+        IntExpr::Elem(a, idx) => {
+            check_array(n, *a)?;
+            check_int_expr(n, idx, ctx)
+        }
+        IntExpr::Neg(a) => check_int_expr(n, a, ctx),
+        IntExpr::Add(a, b)
+        | IntExpr::Sub(a, b)
+        | IntExpr::Mul(a, b)
+        | IntExpr::Div(a, b)
+        | IntExpr::Rem(a, b)
+        | IntExpr::Min(a, b)
+        | IntExpr::Max(a, b) => {
+            check_int_expr(n, a, ctx)?;
+            check_int_expr(n, b, ctx)
+        }
+        IntExpr::Ite(p, t, e2) => {
+            check_pred(n, p, ctx)?;
+            check_int_expr(n, t, ctx)?;
+            check_int_expr(n, e2, ctx)
+        }
+    }
+}
+
+fn check_pred(n: &Network, p: &Pred, ctx: &str) -> Result<(), BuildError> {
+    match p {
+        Pred::Lit(_) => Ok(()),
+        Pred::Cmp(_, a, b) => {
+            check_int_expr(n, a, ctx)?;
+            check_int_expr(n, b, ctx)
+        }
+        Pred::Not(inner) => check_pred(n, inner, ctx),
+        Pred::And(ps) | Pred::Or(ps) => {
+            for q in ps {
+                check_pred(n, q, ctx)?;
+            }
+            Ok(())
+        }
+        Pred::ForAll { lo, hi, body } | Pred::Exists { lo, hi, body } => {
+            check_int_expr(n, lo, ctx)?;
+            check_int_expr(n, hi, ctx)?;
+            check_pred(n, body, ctx)
+        }
+    }
+}
+
+fn check_update(n: &Network, u: &Update, ctx: &str) -> Result<(), BuildError> {
+    match u {
+        Update::Assign { target, value } => {
+            match target {
+                LValue::Var(v) => check_var(n, *v)?,
+                LValue::Elem(a, idx) => {
+                    check_array(n, *a)?;
+                    check_int_expr(n, idx, ctx)?;
+                }
+            }
+            check_int_expr(n, value, ctx)
+        }
+        Update::ResetClock(c) | Update::StopClock(c) | Update::StartClock(c) => check_clock(n, *c),
+        Update::If {
+            cond,
+            then,
+            otherwise,
+        } => {
+            check_pred(n, cond, ctx)?;
+            for u in then.iter().chain(otherwise) {
+                check_update(n, u, ctx)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::{AutomatonBuilder, Edge, Sync};
+    use crate::guard::Guard;
+    use crate::ids::ParamId;
+
+    fn trivial_automaton(name: &str) -> Automaton {
+        let mut b = AutomatonBuilder::new(name);
+        let l0 = b.location("l0");
+        b.edge(Edge::new(l0, l0));
+        b.finish(l0)
+    }
+
+    #[test]
+    fn empty_network_builds() {
+        let n = NetworkBuilder::new().build().unwrap();
+        assert!(n.automata().is_empty());
+        assert_eq!(n.state_var_count(), 0);
+    }
+
+    #[test]
+    fn lookups_by_name() {
+        let mut nb = NetworkBuilder::new();
+        let c = nb.clock("x");
+        let v = nb.var("n", 0, 0, 10);
+        let a = nb.array("arr", vec![1, 2], 0, 5);
+        let ch = nb.binary_channel("go");
+        let aid = nb.automaton(trivial_automaton("worker"));
+        let n = nb.build().unwrap();
+        assert_eq!(n.clock_by_name("x"), Some(c));
+        assert_eq!(n.var_by_name("n"), Some(v));
+        assert_eq!(n.array_by_name("arr"), Some(a));
+        assert_eq!(n.channel_by_name("go"), Some(ch));
+        assert_eq!(n.automaton_by_name("worker"), Some(aid));
+        assert_eq!(n.automaton_by_name("nobody"), None);
+        assert_eq!(n.state_var_count(), 3);
+    }
+
+    #[test]
+    fn rejects_empty_automaton() {
+        let mut nb = NetworkBuilder::new();
+        nb.automaton(Automaton::new("empty", Vec::new(), Vec::new()));
+        assert!(matches!(nb.build(), Err(BuildError::EmptyAutomaton(_))));
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let mut nb = NetworkBuilder::new();
+        nb.automaton(trivial_automaton("dup"));
+        nb.automaton(trivial_automaton("dup"));
+        assert!(matches!(
+            nb.build(),
+            Err(BuildError::DuplicateAutomatonName(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_initial_value() {
+        let mut nb = NetworkBuilder::new();
+        nb.var("v", 11, 0, 10);
+        assert!(matches!(
+            nb.build(),
+            Err(BuildError::InitialValueOutOfDomain { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_domain() {
+        let mut nb = NetworkBuilder::new();
+        nb.var("v", 0, 5, 4);
+        assert!(matches!(nb.build(), Err(BuildError::EmptyDomain { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_array_init() {
+        let mut nb = NetworkBuilder::new();
+        nb.array("a", vec![0, 99], 0, 10);
+        assert!(matches!(
+            nb.build(),
+            Err(BuildError::InitialValueOutOfDomain { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_channel() {
+        let mut nb = NetworkBuilder::new();
+        let mut b = AutomatonBuilder::new("a");
+        let l0 = b.location("l0");
+        b.edge(Edge::new(l0, l0).with_sync(Sync::Send(ChannelId::from_raw(9))));
+        nb.automaton(b.finish(l0));
+        assert!(matches!(nb.build(), Err(BuildError::UnknownChannel(9))));
+    }
+
+    #[test]
+    fn rejects_unknown_variable_in_guard() {
+        let mut nb = NetworkBuilder::new();
+        let mut b = AutomatonBuilder::new("a");
+        let l0 = b.location("l0");
+        b.edge(Edge::new(l0, l0).with_guard(Guard::when(IntExpr::var(VarId::from_raw(5)).gt(0))));
+        nb.automaton(b.finish(l0));
+        assert!(matches!(nb.build(), Err(BuildError::UnknownVar(_))));
+    }
+
+    #[test]
+    fn rejects_unbound_params() {
+        let mut nb = NetworkBuilder::new();
+        let mut b = AutomatonBuilder::new("a");
+        let l0 = b.location("l0");
+        b.edge(
+            Edge::new(l0, l0).with_guard(Guard::when(IntExpr::param(ParamId::from_raw(0)).gt(0))),
+        );
+        nb.automaton(b.finish(l0));
+        assert!(matches!(nb.build(), Err(BuildError::UnboundParam { .. })));
+    }
+
+    #[test]
+    fn rejects_edge_to_unknown_location() {
+        let mut nb = NetworkBuilder::new();
+        let mut b = AutomatonBuilder::new("a");
+        let l0 = b.location("l0");
+        b.edge(Edge::new(l0, crate::ids::LocationId::from_raw(7)));
+        nb.automaton(b.finish(l0));
+        assert!(matches!(
+            nb.build(),
+            Err(BuildError::UnknownLocation { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_clock_in_update() {
+        let mut nb = NetworkBuilder::new();
+        let mut b = AutomatonBuilder::new("a");
+        let l0 = b.location("l0");
+        b.edge(Edge::new(l0, l0).with_update(Update::ResetClock(ClockId::from_raw(3))));
+        nb.automaton(b.finish(l0));
+        assert!(matches!(nb.build(), Err(BuildError::UnknownClock(_))));
+    }
+}

@@ -1,0 +1,711 @@
+//! Deterministic event-driven simulator (interpreter) for networks of
+//! stopwatch automata.
+//!
+//! The simulator implements the *maximal-progress* semantics used by the
+//! paper's approach: while any action transition is enabled, one fires
+//! (chosen by a fixed total order); only when none is enabled does time
+//! advance, and it advances *exactly* to the next instant at which an action
+//! can fire (computed from the guards' clock atoms) or to the horizon.
+//!
+//! Because the paper's Sect. 3 theorem guarantees that — for models built by
+//! Algorithm 1 under the worst-case assumptions — every run produces the
+//! same system trace, the choice of total order is immaterial for analysis.
+//! [`TieBreak`] lets tests and the determinism ablation permute the order
+//! and check that the observable trace is unchanged.
+
+use crate::error::SimError;
+use crate::ids::AutomatonId;
+use crate::network::Network;
+use crate::semantics::{any_committed, apply, delay_bounds, enabled_transitions, Transition};
+use crate::state::State;
+use crate::trace::{NsaTrace, SyncEvent};
+
+/// How to choose among several simultaneously enabled transitions.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum TieBreak {
+    /// Take the first transition in canonical (automaton, edge) order.
+    #[default]
+    Canonical,
+    /// Take the last transition in canonical order.
+    Reversed,
+    /// Order initiating automata through a permutation: transition with the
+    /// smallest `perm[initiator]` wins; ties fall back to canonical order.
+    ///
+    /// The permutation is indexed by raw automaton id; missing entries map
+    /// to themselves.
+    Permuted(Vec<u32>),
+}
+
+impl TieBreak {
+    fn choose<'t>(&self, candidates: &'t [Transition]) -> &'t Transition {
+        debug_assert!(!candidates.is_empty());
+        match self {
+            Self::Canonical => &candidates[0],
+            Self::Reversed => candidates.last().expect("nonempty candidates"),
+            Self::Permuted(perm) => {
+                let key = |t: &Transition| {
+                    let raw = t.initiator().raw();
+                    perm.get(raw as usize).copied().unwrap_or(raw)
+                };
+                candidates
+                    .iter()
+                    .min_by_key(|t| key(t))
+                    .expect("nonempty candidates")
+            }
+        }
+    }
+}
+
+/// Why a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Model time reached the horizon.
+    HorizonReached,
+    /// No action transition is enabled and none can ever become enabled;
+    /// the network is quiescent (this is a normal end, not an error).
+    Quiescent,
+}
+
+/// The result of a completed run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimOutcome {
+    /// The generated trace.
+    pub trace: NsaTrace,
+    /// The final state.
+    pub final_state: State,
+    /// Number of action transitions taken.
+    pub steps: u64,
+    /// Why the run ended.
+    pub stop: StopReason,
+}
+
+/// Deterministic simulator for one network.
+///
+/// # Examples
+///
+/// ```
+/// use swa_nsa::automaton::{AutomatonBuilder, Edge};
+/// use swa_nsa::expr::CmpOp;
+/// use swa_nsa::guard::{ClockAtom, Guard, Invariant};
+/// use swa_nsa::network::NetworkBuilder;
+/// use swa_nsa::sim::Simulator;
+/// use swa_nsa::update::Update;
+///
+/// // A clock that ticks every 10 time units.
+/// let mut nb = NetworkBuilder::new();
+/// let c = nb.clock("c");
+/// let mut a = AutomatonBuilder::new("ticker");
+/// let l0 = a.location_with_invariant("wait", Invariant::upper_bound(c, 10));
+/// a.edge(
+///     Edge::new(l0, l0)
+///         .with_guard(Guard::always().and_clock(ClockAtom::new(c, CmpOp::Ge, 10)))
+///         .with_update(Update::ResetClock(c))
+///         .with_label("tick"),
+/// );
+/// nb.automaton(a.finish(l0));
+/// let network = nb.build()?;
+///
+/// let outcome = Simulator::new(&network).horizon(95).run()?;
+/// assert_eq!(outcome.trace.len(), 9); // ticks at 10, 20, …, 90
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator<'n> {
+    network: &'n Network,
+    horizon: i64,
+    max_steps_per_instant: usize,
+    tie_break: TieBreak,
+    record_trace: bool,
+}
+
+impl<'n> Simulator<'n> {
+    /// Creates a simulator with horizon 0 (set one with
+    /// [`horizon`](Self::horizon)).
+    #[must_use]
+    pub fn new(network: &'n Network) -> Self {
+        Self {
+            network,
+            horizon: 0,
+            max_steps_per_instant: 1_000_000,
+            tie_break: TieBreak::Canonical,
+            record_trace: true,
+        }
+    }
+
+    /// Sets the time horizon (runs stop when model time reaches it).
+    #[must_use]
+    pub fn horizon(mut self, horizon: i64) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Sets the Zeno bound: the maximum number of action transitions allowed
+    /// within one time instant.
+    #[must_use]
+    pub fn max_steps_per_instant(mut self, limit: usize) -> Self {
+        self.max_steps_per_instant = limit;
+        self
+    }
+
+    /// Sets the tie-break order used among simultaneously enabled
+    /// transitions.
+    #[must_use]
+    pub fn tie_break(mut self, tie_break: TieBreak) -> Self {
+        self.tie_break = tie_break;
+        self
+    }
+
+    /// Disables trace recording (events are still reported to the callback
+    /// in [`run_with`](Self::run_with)); useful for pure timing benchmarks.
+    #[must_use]
+    pub fn without_trace(mut self) -> Self {
+        self.record_trace = false;
+        self
+    }
+
+    /// Runs from the network's initial state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] on Zeno behaviour, time locks, committed
+    /// deadlocks, domain violations or evaluation failures.
+    pub fn run(&self) -> Result<SimOutcome, SimError> {
+        self.run_with(|_, _| {})
+    }
+
+    /// Runs from the network's initial state, invoking `on_event` after
+    /// every fired transition with the event and the post-state.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run).
+    pub fn run_with(
+        &self,
+        on_event: impl FnMut(&SyncEvent, &State),
+    ) -> Result<SimOutcome, SimError> {
+        self.run_from_with(State::initial(self.network), on_event)
+    }
+
+    /// Runs from an explicit starting state.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run).
+    pub fn run_from(&self, state: State) -> Result<SimOutcome, SimError> {
+        self.run_from_with(state, |_, _| {})
+    }
+
+    /// Runs from an explicit starting state with an event callback.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run).
+    pub fn run_from_with(
+        &self,
+        state: State,
+        on_event: impl FnMut(&SyncEvent, &State),
+    ) -> Result<SimOutcome, SimError> {
+        if self.tie_break == TieBreak::Canonical {
+            let cache = crate::fastsim::FastCache::new(self.network);
+            if cache.eligible() {
+                return self.run_fast(state, &cache, on_event);
+            }
+        }
+        self.run_generic(state, on_event)
+    }
+
+    /// The accelerated interpretation loop (see [`crate::fastsim`]).
+    fn run_fast(
+        &self,
+        mut state: State,
+        cache: &crate::fastsim::FastCache,
+        mut on_event: impl FnMut(&SyncEvent, &State),
+    ) -> Result<SimOutcome, SimError> {
+        let mut run = crate::fastsim::FastRun::new(self.network, cache, &state)?;
+        let mut trace = NsaTrace::new();
+        let mut steps: u64 = 0;
+        let mut steps_this_instant: usize = 0;
+
+        loop {
+            if state.time >= self.horizon {
+                return Ok(SimOutcome {
+                    trace,
+                    final_state: state,
+                    steps,
+                    stop: StopReason::HorizonReached,
+                });
+            }
+
+            if let Some(transition) = run.first_enabled(&state)? {
+                steps_this_instant += 1;
+                if steps_this_instant > self.max_steps_per_instant {
+                    return Err(SimError::ZenoViolation {
+                        time: state.time,
+                        limit: self.max_steps_per_instant,
+                    });
+                }
+                run.apply(&mut state, &transition)?;
+                steps += 1;
+                let event = SyncEvent {
+                    time: state.time,
+                    transition,
+                };
+                on_event(&event, &state);
+                if self.record_trace {
+                    trace.push(event);
+                }
+                continue;
+            }
+
+            if run.any_committed() {
+                return Err(SimError::CommittedDeadlock {
+                    automaton: run.committed_automaton(&state),
+                    time: state.time,
+                });
+            }
+
+            let (next_abs, expiry_abs) = run.delay_targets(&state)?;
+            let target = if next_abs <= expiry_abs {
+                if next_abs == i64::MAX {
+                    // Nothing will ever fire and no invariant binds:
+                    // quiescent to the horizon.
+                    let final_time = self.horizon;
+                    state.advance(final_time - state.time);
+                    return Ok(SimOutcome {
+                        trace,
+                        final_state: state,
+                        steps,
+                        stop: StopReason::Quiescent,
+                    });
+                }
+                next_abs
+            } else if expiry_abs >= self.horizon {
+                self.horizon
+            } else {
+                return Err(SimError::TimeLock {
+                    time: state.time,
+                    automaton: run.earliest_bounded_automaton(),
+                });
+            };
+            let target = target.min(self.horizon);
+            state.advance(target - state.time);
+            steps_this_instant = 0;
+            if target >= self.horizon {
+                return Ok(SimOutcome {
+                    trace,
+                    final_state: state,
+                    steps,
+                    stop: StopReason::HorizonReached,
+                });
+            }
+        }
+    }
+
+    /// The generic interpretation loop (any tie-break, any network).
+    fn run_generic(
+        &self,
+        mut state: State,
+        mut on_event: impl FnMut(&SyncEvent, &State),
+    ) -> Result<SimOutcome, SimError> {
+        let network = self.network;
+        let mut trace = NsaTrace::new();
+        let mut steps: u64 = 0;
+        let mut steps_this_instant: usize = 0;
+
+        loop {
+            if state.time >= self.horizon {
+                return Ok(SimOutcome {
+                    trace,
+                    final_state: state,
+                    steps,
+                    stop: StopReason::HorizonReached,
+                });
+            }
+
+            let candidates = enabled_transitions(network, &state)?;
+            if !candidates.is_empty() {
+                steps_this_instant += 1;
+                if steps_this_instant > self.max_steps_per_instant {
+                    return Err(SimError::ZenoViolation {
+                        time: state.time,
+                        limit: self.max_steps_per_instant,
+                    });
+                }
+                let transition = self.tie_break.choose(&candidates).clone();
+                apply(network, &mut state, &transition)?;
+                steps += 1;
+                let event = SyncEvent {
+                    time: state.time,
+                    transition,
+                };
+                on_event(&event, &state);
+                if self.record_trace {
+                    trace.push(event);
+                }
+                continue;
+            }
+
+            // No action enabled: the network must delay.
+            if any_committed(network, &state) {
+                let automaton = committed_automaton(network, &state);
+                return Err(SimError::CommittedDeadlock {
+                    automaton,
+                    time: state.time,
+                });
+            }
+
+            let bounds = delay_bounds(network, &state)?;
+            let remaining = self.horizon - state.time;
+            let max_delay = bounds.max_delay;
+            if let Some(d) = max_delay {
+                if d < 0 {
+                    // A stopped clock violates an invariant that can never
+                    // recover: the state is stuck.
+                    return Err(SimError::TimeLock {
+                        time: state.time,
+                        automaton: first_bounded_automaton(network, &state),
+                    });
+                }
+            }
+
+            let delay = match bounds.next_enabling {
+                Some(d) if max_delay.is_none_or(|m| d <= m) => d.min(remaining),
+                _ => {
+                    // Nothing will ever be enabled (within the invariant
+                    // bound). If invariants allow waiting to the horizon,
+                    // the network is quiescent; otherwise time is locked.
+                    match max_delay {
+                        None => remaining,
+                        Some(m) if m >= remaining => remaining,
+                        Some(_) => {
+                            return Err(SimError::TimeLock {
+                                time: state.time,
+                                automaton: first_bounded_automaton(network, &state),
+                            });
+                        }
+                    }
+                }
+            };
+
+            state.advance(delay);
+            steps_this_instant = 0;
+            if delay >= remaining {
+                return Ok(SimOutcome {
+                    trace,
+                    final_state: state,
+                    steps,
+                    stop: if bounds.next_enabling.is_none() && max_delay.is_none() {
+                        StopReason::Quiescent
+                    } else {
+                        StopReason::HorizonReached
+                    },
+                });
+            }
+        }
+    }
+}
+
+fn committed_automaton(network: &Network, state: &State) -> AutomatonId {
+    for (i, a) in network.automata().iter().enumerate() {
+        let aid = AutomatonId::from_raw(u32::try_from(i).expect("automaton count fits u32"));
+        if a.location(state.location_of(aid)).committed {
+            return aid;
+        }
+    }
+    AutomatonId::from_raw(0)
+}
+
+fn first_bounded_automaton(network: &Network, state: &State) -> AutomatonId {
+    use crate::state::EnvView;
+    let view = EnvView { network, state };
+    for (i, a) in network.automata().iter().enumerate() {
+        let aid = AutomatonId::from_raw(u32::try_from(i).expect("automaton count fits u32"));
+        let inv = &a.location(state.location_of(aid)).invariant;
+        if let Ok(Some(_)) = inv.max_delay(&view, &view) {
+            return aid;
+        }
+    }
+    AutomatonId::from_raw(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::{AutomatonBuilder, Edge, Sync};
+    use crate::expr::{CmpOp, IntExpr};
+    use crate::guard::{ClockAtom, Guard, Invariant};
+    use crate::network::NetworkBuilder;
+    use crate::update::Update;
+
+    /// A periodic ticker with period `p` built around one clock.
+    fn ticker(nb: &mut NetworkBuilder, name: &str, p: i64) {
+        let c = nb.clock(format!("{name}_clk"));
+        let mut a = AutomatonBuilder::new(name);
+        let l0 = a.location_with_invariant("wait", Invariant::upper_bound(c, p));
+        a.edge(
+            Edge::new(l0, l0)
+                .with_guard(Guard::always().and_clock(ClockAtom::new(c, CmpOp::Ge, p)))
+                .with_update(Update::ResetClock(c))
+                .with_label("tick"),
+        );
+        nb.automaton(a.finish(l0));
+    }
+
+    #[test]
+    fn single_ticker_fires_at_exact_times() {
+        let mut nb = NetworkBuilder::new();
+        ticker(&mut nb, "t", 10);
+        let n = nb.build().unwrap();
+        let out = Simulator::new(&n).horizon(35).run().unwrap();
+        let times: Vec<i64> = out.trace.iter().map(|e| e.time).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+        assert_eq!(out.stop, StopReason::HorizonReached);
+        assert_eq!(out.final_state.time, 35);
+    }
+
+    #[test]
+    fn two_tickers_interleave_deterministically() {
+        let mut nb = NetworkBuilder::new();
+        ticker(&mut nb, "a", 4);
+        ticker(&mut nb, "b", 6);
+        let n = nb.build().unwrap();
+        let out = Simulator::new(&n).horizon(13).run().unwrap();
+        let times: Vec<i64> = out.trace.iter().map(|e| e.time).collect();
+        // a at 4, 8, 12; b at 6, 12.
+        assert_eq!(times, vec![4, 6, 8, 12, 12]);
+        // At t = 12 the canonical order fires automaton 0 (a) first.
+        assert_eq!(
+            out.trace.events()[3].transition.initiator(),
+            AutomatonId::from_raw(0)
+        );
+    }
+
+    #[test]
+    fn reversed_tie_break_swaps_simultaneous_events() {
+        let mut nb = NetworkBuilder::new();
+        ticker(&mut nb, "a", 5);
+        ticker(&mut nb, "b", 5);
+        let n = nb.build().unwrap();
+        let out = Simulator::new(&n)
+            .horizon(6)
+            .tie_break(TieBreak::Reversed)
+            .run()
+            .unwrap();
+        assert_eq!(
+            out.trace.events()[0].transition.initiator(),
+            AutomatonId::from_raw(1)
+        );
+    }
+
+    #[test]
+    fn permuted_tie_break_follows_permutation() {
+        let mut nb = NetworkBuilder::new();
+        ticker(&mut nb, "a", 5);
+        ticker(&mut nb, "b", 5);
+        ticker(&mut nb, "c", 5);
+        let n = nb.build().unwrap();
+        // Permutation c < a < b.
+        let out = Simulator::new(&n)
+            .horizon(6)
+            .tie_break(TieBreak::Permuted(vec![1, 2, 0]))
+            .run()
+            .unwrap();
+        let order: Vec<u32> = out
+            .trace
+            .iter()
+            .map(|e| e.transition.initiator().raw())
+            .collect();
+        assert_eq!(order, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn quiescent_network_jumps_to_horizon() {
+        let mut nb = NetworkBuilder::new();
+        let mut a = AutomatonBuilder::new("idle");
+        let l0 = a.location("l0");
+        // An edge that can never fire (guard false).
+        let l1 = a.location("l1");
+        a.edge(Edge::new(l0, l1).with_guard(Guard::when(crate::expr::Pred::ff())));
+        nb.automaton(a.finish(l0));
+        let n = nb.build().unwrap();
+        let out = Simulator::new(&n).horizon(1000).run().unwrap();
+        assert_eq!(out.trace.len(), 0);
+        assert_eq!(out.stop, StopReason::Quiescent);
+        assert_eq!(out.final_state.time, 1000);
+    }
+
+    #[test]
+    fn zeno_loop_is_detected() {
+        let mut nb = NetworkBuilder::new();
+        let mut a = AutomatonBuilder::new("spin");
+        let l0 = a.location("l0");
+        a.edge(Edge::new(l0, l0));
+        nb.automaton(a.finish(l0));
+        let n = nb.build().unwrap();
+        let err = Simulator::new(&n)
+            .horizon(10)
+            .max_steps_per_instant(100)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SimError::ZenoViolation { .. }));
+    }
+
+    #[test]
+    fn time_lock_is_detected() {
+        let mut nb = NetworkBuilder::new();
+        let c = nb.clock("c");
+        let mut a = AutomatonBuilder::new("stuck");
+        // Invariant forces action by t=5, but the only edge needs t>=10.
+        let l0 = a.location_with_invariant("l0", Invariant::upper_bound(c, 5));
+        let l1 = a.location("l1");
+        a.edge(
+            Edge::new(l0, l1).with_guard(Guard::always().and_clock(ClockAtom::new(
+                c,
+                CmpOp::Ge,
+                10,
+            ))),
+        );
+        nb.automaton(a.finish(l0));
+        let n = nb.build().unwrap();
+        let err = Simulator::new(&n).horizon(100).run().unwrap_err();
+        assert!(matches!(err, SimError::TimeLock { .. }));
+    }
+
+    #[test]
+    fn horizon_cuts_before_invariant_lock() {
+        let mut nb = NetworkBuilder::new();
+        let c = nb.clock("c");
+        let mut a = AutomatonBuilder::new("late");
+        let l0 = a.location_with_invariant("l0", Invariant::upper_bound(c, 50));
+        let l1 = a.location("l1");
+        a.edge(
+            Edge::new(l0, l1).with_guard(Guard::always().and_clock(ClockAtom::new(
+                c,
+                CmpOp::Ge,
+                100,
+            ))),
+        );
+        nb.automaton(a.finish(l0));
+        let n = nb.build().unwrap();
+        // Horizon 20 < invariant bound 50: the run ends normally.
+        let out = Simulator::new(&n).horizon(20).run().unwrap();
+        assert_eq!(out.final_state.time, 20);
+    }
+
+    #[test]
+    fn committed_deadlock_is_detected() {
+        let mut nb = NetworkBuilder::new();
+        let ch = nb.binary_channel("never");
+        let mut a = AutomatonBuilder::new("stuck");
+        let l0 = a.committed_location("l0");
+        let l1 = a.location("l1");
+        // Send with no receiver: never enabled.
+        a.edge(Edge::new(l0, l1).with_sync(Sync::Send(ch)));
+        nb.automaton(a.finish(l0));
+        let n = nb.build().unwrap();
+        let err = Simulator::new(&n).horizon(10).run().unwrap_err();
+        assert!(matches!(err, SimError::CommittedDeadlock { .. }));
+    }
+
+    #[test]
+    fn committed_location_preempts_time_passage() {
+        // Automaton A: committed chain l0 -> l1 -> l2 with var updates.
+        // Automaton B: ticker that would fire at t=0 only via clock >= 0.
+        let mut nb = NetworkBuilder::new();
+        let v = nb.var("x", 0, 0, 10);
+        let mut a = AutomatonBuilder::new("chain");
+        let l0 = a.committed_location("l0");
+        let l1 = a.committed_location("l1");
+        let l2 = a.location("l2");
+        a.edge(Edge::new(l0, l1).with_update(Update::set(v, 1)));
+        a.edge(Edge::new(l1, l2).with_update(Update::set(v, 2)));
+        nb.automaton(a.finish(l0));
+        ticker(&mut nb, "t", 7);
+        let n = nb.build().unwrap();
+        let out = Simulator::new(&n).horizon(8).run().unwrap();
+        // First two events happen at t=0 (the committed chain), then tick.
+        let times: Vec<i64> = out.trace.iter().map(|e| e.time).collect();
+        assert_eq!(times, vec![0, 0, 7]);
+        assert_eq!(out.final_state.vars[0], 2);
+    }
+
+    #[test]
+    fn run_with_callback_sees_every_event() {
+        let mut nb = NetworkBuilder::new();
+        ticker(&mut nb, "t", 3);
+        let n = nb.build().unwrap();
+        let mut seen = Vec::new();
+        let out = Simulator::new(&n)
+            .horizon(10)
+            .run_with(|e, s| seen.push((e.time, s.time)))
+            .unwrap();
+        assert_eq!(seen, vec![(3, 3), (6, 6), (9, 9)]);
+        assert_eq!(out.trace.len(), 3);
+    }
+
+    #[test]
+    fn without_trace_still_counts_steps() {
+        let mut nb = NetworkBuilder::new();
+        ticker(&mut nb, "t", 2);
+        let n = nb.build().unwrap();
+        let out = Simulator::new(&n)
+            .horizon(10)
+            .without_trace()
+            .run()
+            .unwrap();
+        assert_eq!(out.trace.len(), 0);
+        // The horizon is exclusive: ticks at 2, 4, 6, 8 (not 10).
+        assert_eq!(out.steps, 4);
+    }
+
+    #[test]
+    fn variable_guard_changes_enabling_after_sync() {
+        // A sets flag at t=5; B's edge guarded by flag fires immediately
+        // after (same instant).
+        let mut nb = NetworkBuilder::new();
+        let flag = nb.flag("flag", false);
+        let c = nb.clock("c");
+        let mut a = AutomatonBuilder::new("setter");
+        let l0 = a.location_with_invariant("l0", Invariant::upper_bound(c, 5));
+        let l1 = a.location("l1");
+        a.edge(
+            Edge::new(l0, l1)
+                .with_guard(Guard::always().and_clock(ClockAtom::new(c, CmpOp::Ge, 5)))
+                .with_update(Update::set(flag, 1)),
+        );
+        nb.automaton(a.finish(l0));
+
+        let mut b = AutomatonBuilder::new("watcher");
+        let m0 = b.location("m0");
+        let m1 = b.location("m1");
+        b.edge(Edge::new(m0, m1).with_guard(Guard::when(IntExpr::var(flag).eq(1))));
+        nb.automaton(b.finish(m0));
+
+        let n = nb.build().unwrap();
+        let out = Simulator::new(&n).horizon(10).run().unwrap();
+        let times: Vec<i64> = out.trace.iter().map(|e| e.time).collect();
+        assert_eq!(times, vec![5, 5]);
+    }
+
+    #[test]
+    fn stopped_clock_does_not_trigger_guard() {
+        let mut nb = NetworkBuilder::new();
+        let c = nb.stopped_clock("c");
+        let mut a = AutomatonBuilder::new("frozen");
+        let l0 = a.location("l0");
+        let l1 = a.location("l1");
+        a.edge(
+            Edge::new(l0, l1).with_guard(Guard::always().and_clock(ClockAtom::new(
+                c,
+                CmpOp::Ge,
+                5,
+            ))),
+        );
+        nb.automaton(a.finish(l0));
+        let n = nb.build().unwrap();
+        let out = Simulator::new(&n).horizon(100).run().unwrap();
+        // The stopped clock never reaches 5.
+        assert!(out.trace.is_empty());
+        assert_eq!(out.stop, StopReason::Quiescent);
+    }
+}

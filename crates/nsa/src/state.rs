@@ -1,0 +1,396 @@
+//! Concrete states of a network and update application.
+//!
+//! A [`State`] is a tuple `⟨l̄, c̄, v̄⟩` as in the paper: a location per
+//! automaton, a valuation of all clocks (value plus running flag) and a
+//! valuation of all integer variables (scalars first, then array cells,
+//! flattened in declaration order).
+
+use std::hash::{Hash, Hasher};
+
+use crate::error::{EvalError, SimError};
+use crate::expr::VarEnv;
+use crate::guard::ClockEnv;
+use crate::ids::{ArrayId, AutomatonId, ClockId, LocationId, VarId};
+use crate::network::Network;
+use crate::update::{LValue, Update};
+
+/// Valuation of one stopwatch clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClockVal {
+    /// Current value.
+    pub value: i64,
+    /// Whether the clock advances under delay transitions.
+    pub running: bool,
+}
+
+/// A concrete state of a network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct State {
+    /// Current location of each automaton, indexed by [`AutomatonId`].
+    pub locations: Vec<LocationId>,
+    /// Clock valuations, indexed by [`ClockId`].
+    pub clocks: Vec<ClockVal>,
+    /// Flattened variable valuation: scalars, then array cells.
+    pub vars: Vec<i64>,
+    /// Model time: the value of the implicit never-stopped global clock.
+    pub time: i64,
+}
+
+impl State {
+    /// The initial state of a network: every automaton in its initial
+    /// location, all clocks at zero, variables at their declared initial
+    /// values, time zero.
+    #[must_use]
+    pub fn initial(network: &Network) -> Self {
+        let locations = network.automata().iter().map(|a| a.initial).collect();
+        let clocks = network
+            .clocks()
+            .iter()
+            .map(|c| ClockVal {
+                value: 0,
+                running: c.starts_running,
+            })
+            .collect();
+        let mut vars: Vec<i64> = network.vars().iter().map(|v| v.init).collect();
+        for a in network.arrays() {
+            vars.extend_from_slice(&a.init);
+        }
+        Self {
+            locations,
+            clocks,
+            vars,
+            time: 0,
+        }
+    }
+
+    /// Current location of an automaton.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn location_of(&self, automaton: AutomatonId) -> LocationId {
+        self.locations[automaton.index()]
+    }
+
+    /// Advances time by `d`: all running clocks increase by `d`.
+    ///
+    /// The caller is responsible for having checked invariants.
+    pub fn advance(&mut self, d: i64) {
+        debug_assert!(d >= 0, "negative delay {d}");
+        for c in &mut self.clocks {
+            if c.running {
+                c.value += d;
+            }
+        }
+        self.time += d;
+    }
+
+    /// Applies one update in the context of `network`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Eval`] if an expression fails to evaluate and
+    /// [`SimError::DomainViolation`] if an assignment leaves the declared
+    /// domain.
+    pub fn apply_update(&mut self, network: &Network, update: &Update) -> Result<(), SimError> {
+        match update {
+            Update::Assign { target, value } => {
+                let value = {
+                    let view = EnvView {
+                        network,
+                        state: self,
+                    };
+                    value.eval(&view)?
+                };
+                match target {
+                    LValue::Var(v) => {
+                        let decl = &network.vars()[v.index()];
+                        if value < decl.min || value > decl.max {
+                            return Err(SimError::DomainViolation {
+                                var: *v,
+                                value,
+                                domain: (decl.min, decl.max),
+                            });
+                        }
+                        self.vars[v.index()] = value;
+                    }
+                    LValue::Elem(a, idx) => {
+                        let index = {
+                            let view = EnvView {
+                                network,
+                                state: self,
+                            };
+                            idx.eval(&view)?
+                        };
+                        let len = network.array_len(*a);
+                        let Some(i) = usize::try_from(index).ok().filter(|i| *i < len) else {
+                            return Err(SimError::Eval(EvalError::IndexOutOfBounds {
+                                array: a.raw(),
+                                index,
+                                len,
+                            }));
+                        };
+                        let decl = &network.arrays()[a.index()];
+                        if value < decl.min || value > decl.max {
+                            return Err(SimError::DomainViolation {
+                                var: VarId::from_raw(u32::MAX),
+                                value,
+                                domain: (decl.min, decl.max),
+                            });
+                        }
+                        let offset = network.array_offset(*a);
+                        self.vars[offset + i] = value;
+                    }
+                }
+            }
+            Update::ResetClock(c) => self.clocks[c.index()].value = 0,
+            Update::StopClock(c) => self.clocks[c.index()].running = false,
+            Update::StartClock(c) => self.clocks[c.index()].running = true,
+            Update::If {
+                cond,
+                then,
+                otherwise,
+            } => {
+                let holds = {
+                    let view = EnvView {
+                        network,
+                        state: self,
+                    };
+                    cond.eval(&view)?
+                };
+                let branch = if holds { then } else { otherwise };
+                for u in branch {
+                    self.apply_update(network, u)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a sequence of updates in order.
+    ///
+    /// # Errors
+    ///
+    /// As [`State::apply_update`].
+    pub fn apply_updates(&mut self, network: &Network, updates: &[Update]) -> Result<(), SimError> {
+        for u in updates {
+            self.apply_update(network, u)?;
+        }
+        Ok(())
+    }
+
+    /// A stable 64-bit fingerprint of the state, for visited-set hashing in
+    /// the model checker.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
+    }
+}
+
+impl Hash for State {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for l in &self.locations {
+            l.hash(state);
+        }
+        for c in &self.clocks {
+            c.hash(state);
+        }
+        self.vars.hash(state);
+        self.time.hash(state);
+    }
+}
+
+/// Borrowed view of a state in the context of its network, implementing the
+/// evaluation environments.
+#[derive(Debug, Clone, Copy)]
+pub struct EnvView<'a> {
+    /// The network providing declarations (array offsets, domains).
+    pub network: &'a Network,
+    /// The state providing valuations.
+    pub state: &'a State,
+}
+
+impl VarEnv for EnvView<'_> {
+    fn var(&self, var: VarId) -> i64 {
+        self.state.vars[var.index()]
+    }
+
+    fn array_len(&self, array: ArrayId) -> usize {
+        self.network.array_len(array)
+    }
+
+    fn elem(&self, array: ArrayId, index: i64) -> Result<i64, EvalError> {
+        let len = self.network.array_len(array);
+        let Some(i) = usize::try_from(index).ok().filter(|i| *i < len) else {
+            return Err(EvalError::IndexOutOfBounds {
+                array: array.raw(),
+                index,
+                len,
+            });
+        };
+        Ok(self.state.vars[self.network.array_offset(array) + i])
+    }
+}
+
+impl ClockEnv for EnvView<'_> {
+    fn clock(&self, clock: ClockId) -> i64 {
+        self.state.clocks[clock.index()].value
+    }
+
+    fn is_running(&self, clock: ClockId) -> bool {
+        self.state.clocks[clock.index()].running
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::{AutomatonBuilder, Edge};
+    use crate::expr::IntExpr;
+    use crate::network::NetworkBuilder;
+
+    fn network() -> Network {
+        let mut nb = NetworkBuilder::new();
+        nb.clock("run");
+        nb.stopped_clock("stop");
+        nb.var("x", 3, 0, 100);
+        nb.array("arr", vec![10, 20, 30], 0, 100);
+        let mut b = AutomatonBuilder::new("a");
+        let l0 = b.location("l0");
+        b.edge(Edge::new(l0, l0));
+        nb.automaton(b.finish(l0));
+        nb.build().unwrap()
+    }
+
+    #[test]
+    fn initial_state_matches_declarations() {
+        let n = network();
+        let s = State::initial(&n);
+        assert_eq!(s.time, 0);
+        assert_eq!(s.vars, vec![3, 10, 20, 30]);
+        assert!(s.clocks[0].running);
+        assert!(!s.clocks[1].running);
+        assert_eq!(
+            s.location_of(AutomatonId::from_raw(0)),
+            LocationId::from_raw(0)
+        );
+    }
+
+    #[test]
+    fn advance_moves_only_running_clocks() {
+        let n = network();
+        let mut s = State::initial(&n);
+        s.advance(5);
+        assert_eq!(s.time, 5);
+        assert_eq!(s.clocks[0].value, 5);
+        assert_eq!(s.clocks[1].value, 0);
+    }
+
+    #[test]
+    fn stop_and_start_clock() {
+        let n = network();
+        let mut s = State::initial(&n);
+        s.apply_update(&n, &Update::StopClock(ClockId::from_raw(0)))
+            .unwrap();
+        s.advance(5);
+        assert_eq!(s.clocks[0].value, 0);
+        s.apply_update(&n, &Update::StartClock(ClockId::from_raw(0)))
+            .unwrap();
+        s.advance(2);
+        assert_eq!(s.clocks[0].value, 2);
+        s.apply_update(&n, &Update::ResetClock(ClockId::from_raw(0)))
+            .unwrap();
+        assert_eq!(s.clocks[0].value, 0);
+        // Resetting keeps the running flag.
+        assert!(s.clocks[0].running);
+    }
+
+    #[test]
+    fn assignment_respects_domain() {
+        let n = network();
+        let mut s = State::initial(&n);
+        let v = VarId::from_raw(0);
+        s.apply_update(&n, &Update::set(v, 42)).unwrap();
+        assert_eq!(s.vars[0], 42);
+        let err = s.apply_update(&n, &Update::set(v, 101)).unwrap_err();
+        assert!(matches!(err, SimError::DomainViolation { .. }));
+        // Failed assignment leaves state untouched.
+        assert_eq!(s.vars[0], 42);
+    }
+
+    #[test]
+    fn array_assignment() {
+        let n = network();
+        let mut s = State::initial(&n);
+        let a = ArrayId::from_raw(0);
+        s.apply_update(&n, &Update::set_elem(a, 1, 99)).unwrap();
+        assert_eq!(s.vars, vec![3, 10, 99, 30]);
+        let err = s.apply_update(&n, &Update::set_elem(a, 3, 1)).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::Eval(EvalError::IndexOutOfBounds { .. })
+        ));
+        let err = s
+            .apply_update(&n, &Update::set_elem(a, 0, 101))
+            .unwrap_err();
+        assert!(matches!(err, SimError::DomainViolation { .. }));
+    }
+
+    #[test]
+    fn conditional_update() {
+        let n = network();
+        let mut s = State::initial(&n);
+        let v = VarId::from_raw(0);
+        let u = Update::If {
+            cond: IntExpr::var(v).gt(0),
+            then: vec![Update::set(v, 1)],
+            otherwise: vec![Update::set(v, 2)],
+        };
+        s.apply_update(&n, &u).unwrap();
+        assert_eq!(s.vars[0], 1);
+        s.apply_update(&n, &Update::set(v, 0)).unwrap();
+        s.apply_update(&n, &u).unwrap();
+        assert_eq!(s.vars[0], 2);
+    }
+
+    #[test]
+    fn env_view_evaluates_expressions() {
+        let n = network();
+        let s = State::initial(&n);
+        let view = EnvView {
+            network: &n,
+            state: &s,
+        };
+        let e = IntExpr::elem(ArrayId::from_raw(0), 2) + IntExpr::var(VarId::from_raw(0));
+        assert_eq!(e.eval(&view).unwrap(), 33);
+    }
+
+    #[test]
+    fn updates_see_earlier_updates() {
+        let n = network();
+        let mut s = State::initial(&n);
+        let v = VarId::from_raw(0);
+        s.apply_updates(
+            &n,
+            &[
+                Update::set(v, 7),
+                Update::set(v, IntExpr::var(v) + IntExpr::lit(1)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(s.vars[0], 8);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_states() {
+        let n = network();
+        let s1 = State::initial(&n);
+        let mut s2 = State::initial(&n);
+        assert_eq!(s1.fingerprint(), s2.fingerprint());
+        s2.advance(1);
+        assert_ne!(s1.fingerprint(), s2.fingerprint());
+    }
+}

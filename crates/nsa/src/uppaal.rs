@@ -1,0 +1,756 @@
+//! UPPAAL 4.x XML export.
+//!
+//! The paper's toolchain authored component automata in UPPAAL and
+//! translated them to an executable representation (its Fig. 3); this
+//! module closes the loop in the other direction: any [`Network`] built
+//! here can be exported to UPPAAL's XML format, so the component models
+//! can be inspected, simulated and verified in the original toolset.
+//!
+//! Two translation concerns need real work:
+//!
+//! 1. **Stopwatches.** This library stops/starts clocks with edge updates;
+//!    UPPAAL expresses stopwatches as *location rate invariants*
+//!    (`x' == 0`). The exporter runs a forward dataflow analysis over each
+//!    automaton (and the network's initial clock states) to infer, per
+//!    location, whether each stopped/started clock is consistently running
+//!    or consistently frozen there; inconsistent clocks make the network
+//!    inexpressible as location-rate stopwatches and are reported.
+//! 2. **Conditional updates.** Edge updates of the form
+//!    `if p { x := e }` become UPPAAL ternaries (`x = p ? e : x`); nested
+//!    conditionals or conditional clock operations are rejected.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::automaton::{Automaton, Sync};
+use crate::expr::{CmpOp, IntExpr, Pred};
+use crate::guard::{Guard, Invariant};
+use crate::ids::{AutomatonId, ClockId, LocationId};
+use crate::network::{ChannelKind, Network};
+use crate::update::{LValue, Update};
+
+/// Errors that make a network inexpressible in UPPAAL's location-rate
+/// stopwatch form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExportError {
+    /// A clock is running in some path into a location and stopped in
+    /// another, so no location rate can represent it.
+    InconsistentClockRate {
+        /// The automaton.
+        automaton: AutomatonId,
+        /// The location with conflicting clock states.
+        location: LocationId,
+        /// The clock.
+        clock: ClockId,
+    },
+    /// An update shape has no UPPAAL equivalent (nested conditionals,
+    /// conditional clock operations).
+    UnsupportedUpdate {
+        /// The automaton.
+        automaton: AutomatonId,
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ExportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InconsistentClockRate {
+                automaton,
+                location,
+                clock,
+            } => write!(
+                f,
+                "clock {clock} is both running and stopped at location {location} of \
+                 automaton {automaton}; location-rate stopwatches cannot express this"
+            ),
+            Self::UnsupportedUpdate { automaton, detail } => {
+                write!(f, "automaton {automaton}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExportError {}
+
+/// Exports a network to UPPAAL 4.x XML.
+///
+/// # Errors
+///
+/// See [`ExportError`].
+pub fn network_to_uppaal(network: &Network) -> Result<String, ExportError> {
+    let mut out = String::new();
+    out.push_str("<?xml version=\"1.0\" encoding=\"utf-8\"?>\n");
+    out.push_str(
+        "<!DOCTYPE nta PUBLIC '-//Uppaal Team//DTD Flat System 1.1//EN' \
+         'http://www.it.uu.se/research/group/darts/uppaal/flat-1_2.dtd'>\n",
+    );
+    out.push_str("<nta>\n");
+
+    // Global declarations.
+    out.push_str("  <declaration>\n");
+    for c in network.clocks() {
+        let _ = writeln!(out, "clock {};", ident(&c.name));
+    }
+    for v in network.vars() {
+        let _ = writeln!(
+            out,
+            "int[{},{}] {} = {};",
+            v.min,
+            v.max,
+            ident(&v.name),
+            v.init
+        );
+    }
+    for a in network.arrays() {
+        let init: Vec<String> = a.init.iter().map(ToString::to_string).collect();
+        let _ = writeln!(
+            out,
+            "int[{},{}] {}[{}] = {{{}}};",
+            a.min,
+            a.max,
+            ident(&a.name),
+            a.init.len(),
+            init.join(", ")
+        );
+    }
+    for ch in network.channels() {
+        let kw = match ch.kind {
+            ChannelKind::Binary => "chan",
+            ChannelKind::Broadcast => "broadcast chan",
+        };
+        let _ = writeln!(out, "{kw} {};", ident(&ch.name));
+    }
+    out.push_str("  </declaration>\n");
+
+    // Templates (one per automaton; the instances are the templates since
+    // all parameters are already bound).
+    for (ai, a) in network.automata().iter().enumerate() {
+        let aid = AutomatonId::from_raw(u32::try_from(ai).expect("automaton count fits u32"));
+        let rates = infer_clock_rates(network, aid)?;
+        write_template(&mut out, network, aid, a, &rates)?;
+    }
+
+    // System line.
+    out.push_str("  <system>\nsystem ");
+    let names: Vec<String> = network.automata().iter().map(|a| ident(&a.name)).collect();
+    out.push_str(&names.join(", "));
+    out.push_str(";\n  </system>\n</nta>\n");
+    Ok(out)
+}
+
+/// For each location of `automaton`: the set of clocks *stopped* there
+/// (consistently across all paths), restricted to clocks the automaton
+/// manipulates or that start stopped.
+fn infer_clock_rates(
+    network: &Network,
+    aid: AutomatonId,
+) -> Result<HashMap<LocationId, Vec<ClockId>>, ExportError> {
+    let automaton = network.automaton(aid);
+    // Which clocks does this automaton ever stop/start? Plus clocks that
+    // start stopped and are guarded/bounded here.
+    let mut tracked: Vec<ClockId> = Vec::new();
+    let track = |c: ClockId, tracked: &mut Vec<ClockId>| {
+        if !tracked.contains(&c) {
+            tracked.push(c);
+        }
+    };
+    for e in &automaton.edges {
+        collect_clock_ops(&e.updates, &mut |c| track(c, &mut tracked));
+    }
+    for (ci, decl) in network.clocks().iter().enumerate() {
+        if !decl.starts_running {
+            let c = ClockId::from_raw(u32::try_from(ci).expect("clock count fits u32"));
+            let referenced = automaton
+                .edges
+                .iter()
+                .any(|e| e.guard.clock_atoms.iter().any(|a| a.clock == c))
+                || automaton
+                    .locations
+                    .iter()
+                    .any(|l| l.invariant.atoms.iter().any(|a| a.clock == c));
+            if referenced {
+                track(c, &mut tracked);
+            }
+        }
+    }
+    if tracked.is_empty() {
+        return Ok(HashMap::new());
+    }
+
+    // Forward fixpoint: per location, per tracked clock: Some(running?) or
+    // conflict.
+    let mut state: Vec<HashMap<ClockId, bool>> = vec![HashMap::new(); automaton.locations.len()];
+    let initial: HashMap<ClockId, bool> = tracked
+        .iter()
+        .map(|&c| (c, network.clocks()[c.index()].starts_running))
+        .collect();
+    let mut work = vec![(automaton.initial, initial)];
+    while let Some((loc, incoming)) = work.pop() {
+        // Merge into the location's state; conflicts are errors.
+        let slot = &mut state[loc.index()];
+        let mut changed = false;
+        for (&c, &running) in &incoming {
+            match slot.get(&c) {
+                None => {
+                    slot.insert(c, running);
+                    changed = true;
+                }
+                Some(&prev) if prev == running => {}
+                Some(_) => {
+                    return Err(ExportError::InconsistentClockRate {
+                        automaton: aid,
+                        location: loc,
+                        clock: c,
+                    });
+                }
+            }
+        }
+        if !changed && !slot.is_empty() {
+            continue;
+        }
+        let here = state[loc.index()].clone();
+        for e in automaton.edges.iter().filter(|e| e.from == loc) {
+            let mut next = here.clone();
+            apply_clock_ops(&e.updates, &mut next);
+            work.push((e.to, next));
+        }
+    }
+
+    Ok(state
+        .into_iter()
+        .enumerate()
+        .map(|(li, m)| {
+            (
+                LocationId::from_raw(u32::try_from(li).expect("location count fits u32")),
+                m.into_iter()
+                    .filter(|(_, running)| !running)
+                    .map(|(c, _)| c)
+                    .collect(),
+            )
+        })
+        .collect())
+}
+
+fn collect_clock_ops(updates: &[Update], f: &mut impl FnMut(ClockId)) {
+    for u in updates {
+        match u {
+            Update::StopClock(c) | Update::StartClock(c) => f(*c),
+            Update::If {
+                then, otherwise, ..
+            } => {
+                collect_clock_ops(then, f);
+                collect_clock_ops(otherwise, f);
+            }
+            Update::Assign { .. } | Update::ResetClock(_) => {}
+        }
+    }
+}
+
+fn apply_clock_ops(updates: &[Update], state: &mut HashMap<ClockId, bool>) {
+    for u in updates {
+        match u {
+            Update::StopClock(c) => {
+                state.insert(*c, false);
+            }
+            Update::StartClock(c) => {
+                state.insert(*c, true);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn write_template(
+    out: &mut String,
+    network: &Network,
+    aid: AutomatonId,
+    automaton: &Automaton,
+    stopped: &HashMap<LocationId, Vec<ClockId>>,
+) -> Result<(), ExportError> {
+    let _ = writeln!(out, "  <template>");
+    let _ = writeln!(out, "    <name>{}</name>", ident(&automaton.name));
+    for (li, l) in automaton.locations.iter().enumerate() {
+        let lid = LocationId::from_raw(u32::try_from(li).expect("location count fits u32"));
+        let x = (li % 8) * 150;
+        let y = (li / 8) * 120;
+        let _ = writeln!(out, "    <location id=\"id{li}\" x=\"{x}\" y=\"{y}\">");
+        let _ = writeln!(out, "      <name>{}</name>", xml_escape(&l.name));
+        let mut inv_parts: Vec<String> = Vec::new();
+        if !l.invariant.atoms.is_empty() {
+            inv_parts.push(render_invariant(network, &l.invariant));
+        }
+        if let Some(cs) = stopped.get(&lid) {
+            for c in cs {
+                inv_parts.push(format!("{}' == 0", clock_name(network, *c)));
+            }
+        }
+        if !inv_parts.is_empty() {
+            let _ = writeln!(
+                out,
+                "      <label kind=\"invariant\">{}</label>",
+                xml_escape(&inv_parts.join(" && "))
+            );
+        }
+        if l.committed {
+            let _ = writeln!(out, "      <committed/>");
+        }
+        let _ = writeln!(out, "    </location>");
+    }
+    let _ = writeln!(out, "    <init ref=\"id{}\"/>", automaton.initial.index());
+    for e in &automaton.edges {
+        let _ = writeln!(out, "    <transition>");
+        let _ = writeln!(out, "      <source ref=\"id{}\"/>", e.from.index());
+        let _ = writeln!(out, "      <target ref=\"id{}\"/>", e.to.index());
+        let guard = render_guard(network, &e.guard);
+        if !guard.is_empty() {
+            let _ = writeln!(
+                out,
+                "      <label kind=\"guard\">{}</label>",
+                xml_escape(&guard)
+            );
+        }
+        match e.sync {
+            Sync::Internal => {}
+            Sync::Send(ch) => {
+                let _ = writeln!(
+                    out,
+                    "      <label kind=\"synchronisation\">{}!</label>",
+                    ident(&network.channels()[ch.index()].name)
+                );
+            }
+            Sync::Recv(ch) => {
+                let _ = writeln!(
+                    out,
+                    "      <label kind=\"synchronisation\">{}?</label>",
+                    ident(&network.channels()[ch.index()].name)
+                );
+            }
+        }
+        let assignment = render_updates(network, aid, &e.updates)?;
+        if !assignment.is_empty() {
+            let _ = writeln!(
+                out,
+                "      <label kind=\"assignment\">{}</label>",
+                xml_escape(&assignment)
+            );
+        }
+        let _ = writeln!(out, "    </transition>");
+    }
+    let _ = writeln!(out, "  </template>");
+    Ok(())
+}
+
+fn clock_name(network: &Network, c: ClockId) -> String {
+    ident(&network.clocks()[c.index()].name)
+}
+
+fn render_invariant(network: &Network, inv: &Invariant) -> String {
+    inv.atoms
+        .iter()
+        .map(|a| {
+            format!(
+                "{} <= {}",
+                clock_name(network, a.clock),
+                render_expr(network, &a.rhs, 0)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(" && ")
+}
+
+fn render_guard(network: &Network, guard: &Guard) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    for p in &guard.preds {
+        parts.push(render_pred(network, p, 0));
+    }
+    for a in &guard.clock_atoms {
+        parts.push(format!(
+            "{} {} {}",
+            clock_name(network, a.clock),
+            render_cmp(a.op),
+            render_expr(network, &a.rhs, 0)
+        ));
+    }
+    parts.join(" && ")
+}
+
+fn render_cmp(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "==",
+        CmpOp::Ne => "!=",
+        CmpOp::Lt => "<",
+        CmpOp::Le => "<=",
+        CmpOp::Gt => ">",
+        CmpOp::Ge => ">=",
+    }
+}
+
+fn render_expr(network: &Network, e: &IntExpr, depth: usize) -> String {
+    match e {
+        IntExpr::Lit(v) => v.to_string(),
+        IntExpr::Var(v) => ident(&network.vars()[v.index()].name),
+        IntExpr::Elem(a, idx) => format!(
+            "{}[{}]",
+            ident(&network.arrays()[a.index()].name),
+            render_expr(network, idx, depth)
+        ),
+        IntExpr::Param(p) => format!("P{}", p.raw()),
+        IntExpr::Bound(d) => format!("q{}", depth - 1 - d),
+        IntExpr::Add(a, b) => format!(
+            "({} + {})",
+            render_expr(network, a, depth),
+            render_expr(network, b, depth)
+        ),
+        IntExpr::Sub(a, b) => format!(
+            "({} - {})",
+            render_expr(network, a, depth),
+            render_expr(network, b, depth)
+        ),
+        IntExpr::Mul(a, b) => format!(
+            "({} * {})",
+            render_expr(network, a, depth),
+            render_expr(network, b, depth)
+        ),
+        IntExpr::Div(a, b) => format!(
+            "({} / {})",
+            render_expr(network, a, depth),
+            render_expr(network, b, depth)
+        ),
+        IntExpr::Rem(a, b) => format!(
+            "({} % {})",
+            render_expr(network, a, depth),
+            render_expr(network, b, depth)
+        ),
+        IntExpr::Neg(a) => format!("(-{})", render_expr(network, a, depth)),
+        IntExpr::Min(a, b) => format!(
+            "(({0}) <? ({1}))",
+            render_expr(network, a, depth),
+            render_expr(network, b, depth)
+        ),
+        IntExpr::Max(a, b) => format!(
+            "(({0}) >? ({1}))",
+            render_expr(network, a, depth),
+            render_expr(network, b, depth)
+        ),
+        IntExpr::Ite(p, t, f) => format!(
+            "({} ? {} : {})",
+            render_pred(network, p, depth),
+            render_expr(network, t, depth),
+            render_expr(network, f, depth)
+        ),
+    }
+}
+
+fn render_pred(network: &Network, p: &Pred, depth: usize) -> String {
+    match p {
+        Pred::Lit(true) => "true".to_string(),
+        Pred::Lit(false) => "false".to_string(),
+        Pred::Cmp(op, a, b) => format!(
+            "{} {} {}",
+            render_expr(network, a, depth),
+            render_cmp(*op),
+            render_expr(network, b, depth)
+        ),
+        Pred::Not(inner) => format!("!({})", render_pred(network, inner, depth)),
+        Pred::And(ps) => {
+            if ps.is_empty() {
+                "true".to_string()
+            } else {
+                let parts: Vec<String> =
+                    ps.iter().map(|q| render_pred(network, q, depth)).collect();
+                format!("({})", parts.join(" && "))
+            }
+        }
+        Pred::Or(ps) => {
+            if ps.is_empty() {
+                "false".to_string()
+            } else {
+                let parts: Vec<String> =
+                    ps.iter().map(|q| render_pred(network, q, depth)).collect();
+                format!("({})", parts.join(" || "))
+            }
+        }
+        Pred::ForAll { lo, hi, body } => format!(
+            "forall (q{depth} : int[{}, {} - 1]) {}",
+            render_expr(network, lo, depth),
+            render_expr(network, hi, depth),
+            render_pred(network, body, depth + 1)
+        ),
+        Pred::Exists { lo, hi, body } => format!(
+            "exists (q{depth} : int[{}, {} - 1]) {}",
+            render_expr(network, lo, depth),
+            render_expr(network, hi, depth),
+            render_pred(network, body, depth + 1)
+        ),
+    }
+}
+
+fn render_updates(
+    network: &Network,
+    aid: AutomatonId,
+    updates: &[Update],
+) -> Result<String, ExportError> {
+    let mut parts: Vec<String> = Vec::new();
+    for u in updates {
+        render_update(network, aid, u, &mut parts)?;
+    }
+    Ok(parts.join(", "))
+}
+
+fn render_update(
+    network: &Network,
+    aid: AutomatonId,
+    u: &Update,
+    parts: &mut Vec<String>,
+) -> Result<(), ExportError> {
+    match u {
+        Update::Assign { target, value } => {
+            parts.push(format!(
+                "{} = {}",
+                render_lvalue(network, target),
+                render_expr(network, value, 0)
+            ));
+            Ok(())
+        }
+        Update::ResetClock(c) => {
+            parts.push(format!("{} = 0", clock_name(network, *c)));
+            Ok(())
+        }
+        // Stop/start are encoded as location rates (inferred separately),
+        // so the edge itself carries nothing.
+        Update::StopClock(_) | Update::StartClock(_) => Ok(()),
+        Update::If {
+            cond,
+            then,
+            otherwise,
+        } => {
+            // Expressible as ternaries when both branches contain only
+            // simple assignments.
+            let all_simple = then
+                .iter()
+                .chain(otherwise)
+                .all(|u| matches!(u, Update::Assign { .. }));
+            if !all_simple {
+                return Err(ExportError::UnsupportedUpdate {
+                    automaton: aid,
+                    detail: "conditional update with non-assignment branches".to_string(),
+                });
+            }
+            let cond_s = render_pred(network, cond, 0);
+            for u in then {
+                if let Update::Assign { target, value } = u {
+                    let t = render_lvalue(network, target);
+                    parts.push(format!(
+                        "{t} = ({cond_s} ? {} : {t})",
+                        render_expr(network, value, 0)
+                    ));
+                }
+            }
+            for u in otherwise {
+                if let Update::Assign { target, value } = u {
+                    let t = render_lvalue(network, target);
+                    parts.push(format!(
+                        "{t} = ({cond_s} ? {t} : {})",
+                        render_expr(network, value, 0)
+                    ));
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+fn render_lvalue(network: &Network, l: &LValue) -> String {
+    match l {
+        LValue::Var(v) => ident(&network.vars()[v.index()].name),
+        LValue::Elem(a, idx) => format!(
+            "{}[{}]",
+            ident(&network.arrays()[a.index()].name),
+            render_expr(network, idx, 0)
+        ),
+    }
+}
+
+/// Makes a name a valid UPPAAL identifier.
+fn ident(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if s.is_empty() || s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        s.insert(0, '_');
+    }
+    s
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::{AutomatonBuilder, Edge};
+    use crate::guard::ClockAtom;
+    use crate::network::NetworkBuilder;
+
+    fn ticker_with_stopwatch() -> Network {
+        let mut nb = NetworkBuilder::new();
+        let c = nb.clock("period_clk");
+        let sw = nb.stopped_clock("work_clk");
+        let v = nb.var("count", 0, 0, 10);
+        let ch = nb.broadcast_channel("tick");
+        let mut a = AutomatonBuilder::new("worker");
+        let idle = a.location_with_invariant("idle", Invariant::upper_bound(c, 5));
+        let busy = a.location_with_invariant("busy", Invariant::upper_bound(sw, 3));
+        a.edge(
+            Edge::new(idle, busy)
+                .with_guard(Guard::always().and_clock(ClockAtom::new(c, CmpOp::Ge, 5)))
+                .with_sync(Sync::Send(ch))
+                .with_updates([
+                    Update::ResetClock(c),
+                    Update::StartClock(sw),
+                    Update::set(
+                        crate::ids::VarId::from_raw(0),
+                        IntExpr::var(crate::ids::VarId::from_raw(0)) + IntExpr::lit(1),
+                    ),
+                ]),
+        );
+        a.edge(
+            Edge::new(busy, idle)
+                .with_guard(Guard::always().and_clock(ClockAtom::new(sw, CmpOp::Ge, 3)))
+                .with_updates([Update::StopClock(sw), Update::ResetClock(sw)]),
+        );
+        nb.automaton(a.finish(idle));
+        let _ = v;
+        nb.build().unwrap()
+    }
+
+    #[test]
+    fn exports_declarations_and_system_line() {
+        let n = ticker_with_stopwatch();
+        let xml = network_to_uppaal(&n).unwrap();
+        assert!(xml.contains("<nta>"), "{xml}");
+        assert!(xml.contains("clock period_clk;"));
+        assert!(xml.contains("clock work_clk;"));
+        assert!(xml.contains("int[0,10] count = 0;"));
+        assert!(xml.contains("broadcast chan tick;"));
+        assert!(xml.contains("system worker;"));
+    }
+
+    #[test]
+    fn stopwatch_rates_appear_as_location_invariants() {
+        let n = ticker_with_stopwatch();
+        let xml = network_to_uppaal(&n).unwrap();
+        // In `idle` the stopwatch is frozen: rate invariant emitted.
+        assert!(
+            xml.contains("work_clk' == 0"),
+            "expected a rate invariant:\n{xml}"
+        );
+        // In `busy` the stopwatch runs: its upper bound appears without a
+        // rate annotation on the same label.
+        assert!(xml.contains("work_clk &lt;= 3"));
+    }
+
+    #[test]
+    fn guards_syncs_and_assignments_render() {
+        let n = ticker_with_stopwatch();
+        let xml = network_to_uppaal(&n).unwrap();
+        assert!(xml.contains("period_clk &gt;= 5"));
+        assert!(xml.contains("tick!"));
+        assert!(xml.contains("count = (count + 1)"));
+        assert!(xml.contains("period_clk = 0"));
+    }
+
+    #[test]
+    fn quantifiers_render_in_uppaal_syntax() {
+        let mut nb = NetworkBuilder::new();
+        let arr = nb.array("ready", vec![0, 0, 0], 0, 1);
+        let mut a = AutomatonBuilder::new("sel");
+        let l0 = a.location("l0");
+        let l1 = a.location("l1");
+        a.edge(Edge::new(l0, l1).with_guard(Guard::when(Pred::forall(
+            0,
+            3,
+            IntExpr::elem(arr, IntExpr::bound(0)).eq(0),
+        ))));
+        nb.automaton(a.finish(l0));
+        let n = nb.build().unwrap();
+        let xml = network_to_uppaal(&n).unwrap();
+        assert!(
+            xml.contains("forall (q0 : int[0, 3 - 1]) ready[q0] == 0"),
+            "{xml}"
+        );
+    }
+
+    #[test]
+    fn conditional_update_becomes_ternary() {
+        let mut nb = NetworkBuilder::new();
+        let v = nb.var("r", 1, 0, 5);
+        let mut a = AutomatonBuilder::new("cond");
+        let l0 = a.location("l0");
+        a.edge(Edge::new(l0, l0).with_update(Update::If {
+            cond: IntExpr::var(v).gt(0),
+            then: vec![Update::set(v, 0)],
+            otherwise: vec![],
+        }));
+        nb.automaton(a.finish(l0));
+        let n = nb.build().unwrap();
+        let xml = network_to_uppaal(&n).unwrap();
+        assert!(xml.contains("r = (r &gt; 0 ? 0 : r)"), "{xml}");
+    }
+
+    #[test]
+    fn nested_conditionals_are_rejected() {
+        let mut nb = NetworkBuilder::new();
+        let v = nb.var("r", 1, 0, 5);
+        let mut a = AutomatonBuilder::new("cond");
+        let l0 = a.location("l0");
+        a.edge(Edge::new(l0, l0).with_update(Update::If {
+            cond: IntExpr::var(v).gt(0),
+            then: vec![Update::If {
+                cond: IntExpr::var(v).gt(1),
+                then: vec![],
+                otherwise: vec![],
+            }],
+            otherwise: vec![],
+        }));
+        nb.automaton(a.finish(l0));
+        let n = nb.build().unwrap();
+        assert!(matches!(
+            network_to_uppaal(&n),
+            Err(ExportError::UnsupportedUpdate { .. })
+        ));
+    }
+
+    #[test]
+    fn committed_locations_are_marked() {
+        let mut nb = NetworkBuilder::new();
+        let mut a = AutomatonBuilder::new("c");
+        let l0 = a.committed_location("l0");
+        let l1 = a.location("l1");
+        a.edge(Edge::new(l0, l1));
+        nb.automaton(a.finish(l0));
+        let n = nb.build().unwrap();
+        let xml = network_to_uppaal(&n).unwrap();
+        assert!(xml.contains("<committed/>"));
+    }
+
+    #[test]
+    fn identifier_sanitization() {
+        assert_eq!(ident("T0_P.a b"), "T0_P_a_b");
+        assert_eq!(ident("0abc"), "_0abc");
+        assert_eq!(ident(""), "_");
+    }
+}

@@ -1,0 +1,214 @@
+//! Property-based tests of the formalism's core invariants: exact
+//! enabling-window computation, invariant delay bounds, quantifier
+//! semantics, and the event-driven simulator against a brute-force oracle.
+
+use proptest::prelude::*;
+use swa_nsa::automaton::{AutomatonBuilder, Edge};
+use swa_nsa::expr::{CmpOp, IntExpr, Pred, VarEnv};
+use swa_nsa::guard::{ClockAtom, ClockEnv, DelayWindow, Guard, Invariant};
+use swa_nsa::ids::{ArrayId, ClockId, VarId};
+use swa_nsa::network::NetworkBuilder;
+use swa_nsa::sim::Simulator;
+use swa_nsa::update::Update;
+use swa_nsa::EvalError;
+
+/// Test environment with one clock and one array.
+struct Env {
+    clock: i64,
+    running: bool,
+    arr: Vec<i64>,
+}
+
+impl ClockEnv for Env {
+    fn clock(&self, _c: ClockId) -> i64 {
+        self.clock
+    }
+    fn is_running(&self, _c: ClockId) -> bool {
+        self.running
+    }
+}
+
+impl VarEnv for Env {
+    fn var(&self, _v: VarId) -> i64 {
+        0
+    }
+    fn array_len(&self, _a: ArrayId) -> usize {
+        self.arr.len()
+    }
+    fn elem(&self, a: ArrayId, index: i64) -> Result<i64, EvalError> {
+        usize::try_from(index)
+            .ok()
+            .and_then(|i| self.arr.get(i))
+            .copied()
+            .ok_or(EvalError::IndexOutOfBounds {
+                array: a.raw(),
+                index,
+                len: self.arr.len(),
+            })
+    }
+}
+
+fn any_cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+proptest! {
+    /// `delay_window` is exactly the set of delays after which the atom
+    /// holds (checked against brute force over a window of delays).
+    #[test]
+    fn clock_atom_window_matches_brute_force(
+        value in 0i64..30,
+        running in any::<bool>(),
+        op in any_cmp_op(),
+        rhs in 0i64..30,
+    ) {
+        let atom = ClockAtom::new(ClockId::from_raw(0), op, rhs);
+        let env = Env { clock: value, running, arr: vec![] };
+        let window = atom.delay_window(&env, &env).unwrap();
+        for d in 0..70i64 {
+            let future = Env {
+                clock: if running { value + d } else { value },
+                running,
+                arr: vec![],
+            };
+            let holds = atom.holds(&future, &future).unwrap();
+            let in_window = window.is_some_and(|w| w.contains(d));
+            // `Ne` uses a conservative interval approximation; skip it.
+            if op != CmpOp::Ne {
+                prop_assert_eq!(
+                    holds, in_window,
+                    "op {:?} value {} rhs {} running {} delay {}",
+                    op, value, rhs, running, d
+                );
+            } else if in_window {
+                // The approximation must still be sound: window ⊆ holds.
+                prop_assert!(holds);
+            }
+        }
+    }
+
+    /// Window intersection is exactly conjunction of membership.
+    #[test]
+    fn window_intersection_is_conjunction(
+        lo1 in 0i64..20, len1 in 0i64..20, unb1 in any::<bool>(),
+        lo2 in 0i64..20, len2 in 0i64..20, unb2 in any::<bool>(),
+        probe in 0i64..60,
+    ) {
+        let w1 = if unb1 { DelayWindow::unbounded(lo1) } else { DelayWindow::bounded(lo1, lo1 + len1) };
+        let w2 = if unb2 { DelayWindow::unbounded(lo2) } else { DelayWindow::bounded(lo2, lo2 + len2) };
+        let both = w1.intersect(w2);
+        prop_assert_eq!(
+            both.is_some_and(|w| w.contains(probe)),
+            w1.contains(probe) && w2.contains(probe)
+        );
+        // Commutativity.
+        prop_assert_eq!(both, w2.intersect(w1));
+    }
+
+    /// The invariant's max delay is the largest delay that keeps it true.
+    #[test]
+    fn invariant_max_delay_is_tight(
+        value in 0i64..30,
+        bound in 0i64..40,
+    ) {
+        let inv = Invariant::upper_bound(ClockId::from_raw(0), bound);
+        let env = Env { clock: value, running: true, arr: vec![] };
+        match inv.max_delay(&env, &env).unwrap() {
+            Some(d) if d >= 0 => {
+                let at = Env { clock: value + d, running: true, arr: vec![] };
+                prop_assert!(inv.holds(&at, &at).unwrap());
+                let past = Env { clock: value + d + 1, running: true, arr: vec![] };
+                prop_assert!(!inv.holds(&past, &past).unwrap());
+            }
+            Some(_) => prop_assert!(!inv.holds(&env, &env).unwrap()),
+            None => prop_assert!(false, "running-clock invariant must bound delay"),
+        }
+    }
+
+    /// `forall` over an array equals the min-based formulation; `exists`
+    /// equals the max-based one.
+    #[test]
+    fn quantifiers_match_min_max(arr in prop::collection::vec(-20i64..20, 1..8), k in -25i64..25) {
+        let env = Env { clock: 0, running: true, arr: arr.clone() };
+        let n = i64::try_from(arr.len()).unwrap();
+        let a0 = ArrayId::from_raw(0);
+        let all_ge = Pred::forall(0, n, IntExpr::elem(a0, IntExpr::bound(0)).ge(k));
+        prop_assert_eq!(all_ge.eval(&env).unwrap(), arr.iter().copied().min().unwrap() >= k);
+        let some_ge = Pred::exists(0, n, IntExpr::elem(a0, IntExpr::bound(0)).ge(k));
+        prop_assert_eq!(some_ge.eval(&env).unwrap(), arr.iter().copied().max().unwrap() >= k);
+    }
+
+    /// Guard enabling windows respect conjunction: the guard holds after
+    /// delay `d` iff `d` is in the computed window (var-free guards).
+    #[test]
+    fn guard_window_is_exact(
+        value in 0i64..20,
+        lo in 0i64..25,
+        hi_off in 0i64..25,
+    ) {
+        let c = ClockId::from_raw(0);
+        let guard = Guard::always()
+            .and_clock(ClockAtom::new(c, CmpOp::Ge, lo))
+            .and_clock(ClockAtom::new(c, CmpOp::Le, lo + hi_off));
+        let env = Env { clock: value, running: true, arr: vec![] };
+        let window = guard.enabling_window(&env, &env).unwrap();
+        for d in 0..60i64 {
+            let future = Env { clock: value + d, running: true, arr: vec![] };
+            prop_assert_eq!(
+                guard.holds(&future, &future).unwrap(),
+                window.is_some_and(|w| w.contains(d))
+            );
+        }
+    }
+}
+
+/// Brute-force oracle for a set of periodic tickers: the merged, sorted
+/// multiset of all multiples of each period below the horizon.
+fn ticker_oracle(periods: &[i64], horizon: i64) -> Vec<i64> {
+    let mut times = Vec::new();
+    for &p in periods {
+        let mut t = p;
+        while t < horizon {
+            times.push(t);
+            t += p;
+        }
+    }
+    times.sort_unstable();
+    times
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The event-driven simulator fires periodic tickers at exactly the
+    /// times a brute-force oracle predicts, regardless of period mixes.
+    #[test]
+    fn simulator_matches_ticker_oracle(
+        periods in prop::collection::vec(1i64..12, 1..5),
+        horizon in 1i64..80,
+    ) {
+        let mut nb = NetworkBuilder::new();
+        for (i, &p) in periods.iter().enumerate() {
+            let c = nb.clock(format!("c{i}"));
+            let mut b = AutomatonBuilder::new(format!("t{i}"));
+            let l0 = b.location_with_invariant("wait", Invariant::upper_bound(c, p));
+            b.edge(
+                Edge::new(l0, l0)
+                    .with_guard(Guard::always().and_clock(ClockAtom::new(c, CmpOp::Ge, p)))
+                    .with_update(Update::ResetClock(c)),
+            );
+            nb.automaton(b.finish(l0));
+        }
+        let network = nb.build().unwrap();
+        let out = Simulator::new(&network).horizon(horizon).run().unwrap();
+        let times: Vec<i64> = out.trace.iter().map(|e| e.time).collect();
+        prop_assert_eq!(times, ticker_oracle(&periods, horizon));
+    }
+}

@@ -1,0 +1,99 @@
+//! Design problems: a configuration with the hardware and workload fixed
+//! but the binding and window schedule left open — exactly what the
+//! scheduling tool of the paper's Sect. 4 searches over.
+
+use swa_ima::{Configuration, CoreType, Message, Module, Partition};
+
+/// A partially specified system: everything except `Bind` and `Sched`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignProblem {
+    /// Processor core types.
+    pub core_types: Vec<CoreType>,
+    /// Hardware modules.
+    pub modules: Vec<Module>,
+    /// Partitions with their tasks and schedulers.
+    pub partitions: Vec<Partition>,
+    /// The data-flow graph.
+    pub messages: Vec<Message>,
+}
+
+impl DesignProblem {
+    /// Extracts the open design problem from a complete configuration
+    /// (dropping its binding and windows).
+    #[must_use]
+    pub fn from_configuration(config: &Configuration) -> Self {
+        Self {
+            core_types: config.core_types.clone(),
+            modules: config.modules.clone(),
+            partitions: config.partitions.clone(),
+            messages: config.messages.clone(),
+        }
+    }
+
+    /// Assembles a candidate configuration from a binding and windows.
+    #[must_use]
+    pub fn candidate(
+        &self,
+        binding: Vec<swa_ima::CoreRef>,
+        windows: Vec<Vec<swa_ima::Window>>,
+    ) -> Configuration {
+        Configuration {
+            core_types: self.core_types.clone(),
+            modules: self.modules.clone(),
+            partitions: self.partitions.clone(),
+            binding,
+            windows,
+            messages: self.messages.clone(),
+        }
+    }
+
+    /// The hyperperiod of the problem's task set.
+    #[must_use]
+    pub fn hyperperiod(&self) -> Option<i64> {
+        swa_ima::util::lcm_all(
+            self.partitions
+                .iter()
+                .flat_map(|p| p.tasks.iter().map(|t| t.period)),
+        )
+    }
+
+    /// The smallest task period (used as the window frame).
+    #[must_use]
+    pub fn min_period(&self) -> Option<i64> {
+        self.partitions
+            .iter()
+            .flat_map(|p| p.tasks.iter().map(|t| t.period))
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swa_ima::{CoreTypeId, SchedulerKind, Task};
+
+    #[test]
+    fn problem_roundtrip_through_candidate() {
+        let problem = DesignProblem {
+            core_types: vec![CoreType::new("ct")],
+            modules: vec![Module::homogeneous("M", 1, CoreTypeId::from_raw(0))],
+            partitions: vec![Partition::new(
+                "P",
+                SchedulerKind::Fpps,
+                vec![
+                    Task::new("t", 1, vec![10], 50),
+                    Task::new("u", 2, vec![5], 25),
+                ],
+            )],
+            messages: vec![],
+        };
+        assert_eq!(problem.hyperperiod(), Some(50));
+        assert_eq!(problem.min_period(), Some(25));
+        let candidate = problem.candidate(
+            vec![swa_ima::CoreRef::new(swa_ima::ModuleId::from_raw(0), 0)],
+            vec![vec![swa_ima::Window::new(0, 50)]],
+        );
+        candidate.validate().unwrap();
+        assert_eq!(DesignProblem::from_configuration(&candidate), problem);
+    }
+}

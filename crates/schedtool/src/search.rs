@@ -1,0 +1,334 @@
+//! The configuration-search loop: the paper's Sect. 4 integration, where a
+//! scheduling tool repeatedly proposes candidate configurations, checks
+//! each with the stopwatch-automata model, and keeps schedulable ones.
+//!
+//! The search here is the classic shape of IMA allocation tools (\[8\] of the
+//! paper): bind partitions to cores by bin packing, synthesize a window
+//! schedule, analyze; on deadline misses, widen the windows of the missing
+//! partitions (iterative repair), occasionally re-binding the worst
+//! offender to the least-loaded core.
+
+use std::time::Duration;
+
+use swa_core::{analyze_configuration, PipelineError};
+use swa_ima::{Configuration, CoreRef, PartitionId};
+use swa_workload::{synthesize_windows, PartitionDemand};
+
+use crate::binpack::first_fit_decreasing;
+use crate::problem::DesignProblem;
+
+/// Knobs of the search.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchOptions {
+    /// Give up after this many candidate evaluations.
+    pub max_iterations: usize,
+    /// Bin-packing utilization cap per core.
+    pub utilization_cap: f64,
+    /// Initial window over-provisioning factor.
+    pub initial_boost: f64,
+    /// Multiplier applied to a missing partition's boost each iteration.
+    pub boost_step: f64,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        Self {
+            max_iterations: 20,
+            utilization_cap: 0.85,
+            initial_boost: 1.1,
+            boost_step: 1.35,
+        }
+    }
+}
+
+/// One candidate evaluation.
+#[derive(Debug, Clone)]
+pub struct IterationRecord {
+    /// 0-based iteration index.
+    pub index: usize,
+    /// The verdict for this candidate.
+    pub schedulable: bool,
+    /// Number of missed jobs.
+    pub missed_jobs: usize,
+    /// Partitions that had at least one miss.
+    pub missing_partitions: Vec<PartitionId>,
+    /// Wall-clock time of the schedulability check (model construction +
+    /// interpretation + analysis).
+    pub check_time: Duration,
+}
+
+/// The result of a search.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// A schedulable configuration, if one was found.
+    pub configuration: Option<Configuration>,
+    /// Every candidate evaluated, in order.
+    pub iterations: Vec<IterationRecord>,
+}
+
+impl SearchOutcome {
+    /// Whether the search succeeded.
+    #[must_use]
+    pub fn found(&self) -> bool {
+        self.configuration.is_some()
+    }
+
+    /// Total schedulability-checking time across iterations.
+    #[must_use]
+    pub fn total_check_time(&self) -> Duration {
+        self.iterations.iter().map(|i| i.check_time).sum()
+    }
+}
+
+/// Searches for a schedulable configuration of the problem.
+///
+/// # Errors
+///
+/// Propagates [`PipelineError`]s from candidate evaluation (structural
+/// problems in the generated candidates indicate bugs, not unschedulable
+/// workloads) and reports a schema-level problem when the problem has no
+/// cores or an undefined hyperperiod.
+pub fn search(
+    problem: &DesignProblem,
+    options: &SearchOptions,
+) -> Result<SearchOutcome, PipelineError> {
+    let hyperperiod = problem.hyperperiod().ok_or_else(bad_problem)?;
+    let frame = problem.min_period().ok_or_else(bad_problem)?;
+    let mut packing =
+        first_fit_decreasing(problem, options.utilization_cap).ok_or_else(bad_problem)?;
+
+    let mut boosts = vec![options.initial_boost; problem.partitions.len()];
+    let mut iterations = Vec::new();
+    let mut stuck_count = 0usize;
+    let mut last_missed = usize::MAX;
+
+    for index in 0..options.max_iterations {
+        let windows = synthesize(problem, &packing.binding, &boosts, hyperperiod, frame);
+        let candidate = problem.candidate(packing.binding.clone(), windows);
+        let report = analyze_configuration(&candidate)?;
+        let missed: Vec<PartitionId> = {
+            let mut ps: Vec<PartitionId> = report
+                .analysis
+                .missed_jobs()
+                .map(|j| j.task.partition)
+                .collect();
+            ps.sort_unstable();
+            ps.dedup();
+            ps
+        };
+        let missed_jobs = report.analysis.missed_jobs().count();
+        iterations.push(IterationRecord {
+            index,
+            schedulable: report.schedulable(),
+            missed_jobs,
+            missing_partitions: missed.clone(),
+            check_time: report.metrics.total(),
+        });
+
+        if report.schedulable() {
+            return Ok(SearchOutcome {
+                configuration: Some(candidate),
+                iterations,
+            });
+        }
+
+        // Repair: widen the windows of every missing partition.
+        for pid in &missed {
+            boosts[pid.index()] *= options.boost_step;
+        }
+        // If misses stopped improving, re-bind the worst offender to the
+        // least-loaded core.
+        if missed_jobs >= last_missed {
+            stuck_count += 1;
+        } else {
+            stuck_count = 0;
+        }
+        last_missed = missed_jobs;
+        if stuck_count >= 2 {
+            if let Some(&worst) = missed.first() {
+                rebind_to_least_loaded(problem, &mut packing.binding, worst);
+                boosts[worst.index()] = options.initial_boost;
+                stuck_count = 0;
+            }
+        }
+    }
+
+    Ok(SearchOutcome {
+        configuration: None,
+        iterations,
+    })
+}
+
+fn bad_problem() -> PipelineError {
+    PipelineError::Model(swa_core::ModelError::InvalidConfig(vec![
+        swa_ima::ConfigError::NoModules,
+    ]))
+}
+
+/// Builds per-partition window sets for a binding with per-partition
+/// boosts.
+fn synthesize(
+    problem: &DesignProblem,
+    binding: &[CoreRef],
+    boosts: &[f64],
+    hyperperiod: i64,
+    frame: i64,
+) -> Vec<Vec<swa_ima::Window>> {
+    let mut windows: Vec<Vec<swa_ima::Window>> = vec![Vec::new(); problem.partitions.len()];
+    // Group partitions per core, preserving partition order.
+    let mut cores: Vec<CoreRef> = binding.to_vec();
+    cores.sort_unstable();
+    cores.dedup();
+    for core in cores {
+        let members: Vec<usize> = binding
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c == core)
+            .map(|(i, _)| i)
+            .collect();
+        let core_type = core_type_of(problem, core);
+        let demands: Vec<PartitionDemand> = members
+            .iter()
+            .map(|&i| PartitionDemand {
+                utilization: problem.partitions[i].utilization_on(core_type) * boosts[i],
+            })
+            .collect();
+        let sets = synthesize_windows(hyperperiod, frame, &demands, 1.0);
+        for (&i, set) in members.iter().zip(sets) {
+            windows[i] = set;
+        }
+    }
+    windows
+}
+
+fn core_type_of(problem: &DesignProblem, core: CoreRef) -> swa_ima::CoreTypeId {
+    problem.modules[core.module.index()].cores[core.core as usize].core_type
+}
+
+fn rebind_to_least_loaded(problem: &DesignProblem, binding: &mut [CoreRef], pid: PartitionId) {
+    // Compute loads and pick the least-loaded core different from the
+    // current one.
+    let mut cores: Vec<CoreRef> = Vec::new();
+    for (mi, m) in problem.modules.iter().enumerate() {
+        for ci in 0..m.cores.len() {
+            cores.push(CoreRef::new(
+                swa_ima::ModuleId::from_raw(u32::try_from(mi).expect("module count fits u32")),
+                u32::try_from(ci).expect("core count fits u32"),
+            ));
+        }
+    }
+    if cores.len() < 2 {
+        return;
+    }
+    let load = |core: CoreRef| -> f64 {
+        let ct = core_type_of(problem, core);
+        binding
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c == core)
+            .map(|(i, _)| problem.partitions[i].utilization_on(ct))
+            .sum()
+    };
+    let current = binding[pid.index()];
+    if let Some(best) = cores.into_iter().filter(|c| *c != current).min_by(|a, b| {
+        load(*a)
+            .partial_cmp(&load(*b))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    }) {
+        binding[pid.index()] = best;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swa_ima::{CoreType, CoreTypeId, Module, Partition, SchedulerKind, Task};
+
+    fn two_partition_problem(cores: usize) -> DesignProblem {
+        DesignProblem {
+            core_types: vec![CoreType::new("ct")],
+            modules: vec![Module::homogeneous("M", cores, CoreTypeId::from_raw(0))],
+            partitions: vec![
+                Partition::new(
+                    "control",
+                    SchedulerKind::Fpps,
+                    vec![
+                        Task::new("law", 2, vec![10], 50),
+                        Task::new("log", 1, vec![10], 100),
+                    ],
+                ),
+                Partition::new(
+                    "io",
+                    SchedulerKind::Fpps,
+                    vec![Task::new("poll", 1, vec![15], 100)],
+                ),
+            ],
+            messages: vec![],
+        }
+    }
+
+    #[test]
+    fn finds_schedulable_configuration_on_one_core() {
+        let problem = two_partition_problem(1);
+        let outcome = search(&problem, &SearchOptions::default()).unwrap();
+        assert!(outcome.found(), "iterations: {:#?}", outcome.iterations);
+        let config = outcome.configuration.unwrap();
+        config.validate().unwrap();
+        // Verify the found configuration really is schedulable.
+        let report = analyze_configuration(&config).unwrap();
+        assert!(report.schedulable());
+    }
+
+    #[test]
+    fn finds_schedulable_configuration_on_two_cores() {
+        let problem = two_partition_problem(2);
+        let outcome = search(&problem, &SearchOptions::default()).unwrap();
+        assert!(outcome.found());
+        // With two cores the bin packer separates the partitions.
+        let config = outcome.configuration.unwrap();
+        assert_ne!(config.binding[0], config.binding[1]);
+    }
+
+    #[test]
+    fn reports_failure_on_impossible_problem() {
+        // Utilization 1.5 on a single core can never be schedulable.
+        let problem = DesignProblem {
+            core_types: vec![CoreType::new("ct")],
+            modules: vec![Module::homogeneous("M", 1, CoreTypeId::from_raw(0))],
+            partitions: vec![
+                Partition::new(
+                    "a",
+                    SchedulerKind::Fpps,
+                    vec![Task::new("t", 1, vec![80], 100)],
+                ),
+                Partition::new(
+                    "b",
+                    SchedulerKind::Fpps,
+                    vec![Task::new("t", 1, vec![70], 100)],
+                ),
+            ],
+            messages: vec![],
+        };
+        let outcome = search(
+            &problem,
+            &SearchOptions {
+                max_iterations: 5,
+                ..SearchOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(!outcome.found());
+        assert_eq!(outcome.iterations.len(), 5);
+        assert!(outcome.iterations.iter().all(|i| !i.schedulable));
+    }
+
+    #[test]
+    fn iteration_records_carry_diagnostics() {
+        let problem = two_partition_problem(1);
+        let outcome = search(&problem, &SearchOptions::default()).unwrap();
+        let last = outcome.iterations.last().unwrap();
+        assert!(last.schedulable);
+        assert_eq!(last.missed_jobs, 0);
+        assert!(outcome.total_check_time() > Duration::ZERO);
+    }
+}

@@ -1,0 +1,352 @@
+//! Configuration generators for the experiments.
+//!
+//! The paper evaluates on proprietary avionics configurations; these
+//! generators produce synthetic configurations with the same structural
+//! parameters (see `DESIGN.md`, *Substitutions*): harmonic period menus,
+//! UUniFast utilizations, per-frame window schedules, and same-period data
+//! dependencies over virtual links.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use swa_ima::{
+    Configuration, CoreRef, CoreType, CoreTypeId, Message, Module, ModuleId, Partition,
+    PartitionId, SchedulerKind, Task, TaskRef,
+};
+
+use crate::uunifast::uunifast;
+use crate::windows::{synthesize_windows, PartitionDemand};
+
+/// Parameters of an industrial-scale synthetic configuration.
+#[derive(Debug, Clone)]
+pub struct IndustrialSpec {
+    /// Number of hardware modules.
+    pub modules: usize,
+    /// Cores per module.
+    pub cores_per_module: usize,
+    /// Partitions bound to each core.
+    pub partitions_per_core: usize,
+    /// Tasks per partition.
+    pub tasks_per_partition: usize,
+    /// Total task utilization per core (split over its partitions).
+    pub core_utilization: f64,
+    /// Harmonic period menu (each must divide the largest).
+    pub periods: Vec<i64>,
+    /// Fraction of tasks (excluding the first partition) that receive one
+    /// message from an earlier same-period task.
+    pub message_fraction: f64,
+    /// RNG seed (generation is fully deterministic given the spec).
+    pub seed: u64,
+}
+
+impl Default for IndustrialSpec {
+    fn default() -> Self {
+        Self {
+            modules: 2,
+            cores_per_module: 2,
+            partitions_per_core: 2,
+            tasks_per_partition: 8,
+            core_utilization: 0.5,
+            periods: vec![50, 100, 200, 400],
+            message_fraction: 0.2,
+            seed: 1,
+        }
+    }
+}
+
+/// Generates an industrial-scale configuration from a spec.
+///
+/// The result is structurally valid by construction (validated in tests);
+/// schedulability depends on the utilization and window expansion and is
+/// what the analysis decides.
+///
+/// # Panics
+///
+/// Panics if the spec is degenerate (no periods, zero sizes).
+#[must_use]
+pub fn industrial_config(spec: &IndustrialSpec) -> Configuration {
+    assert!(!spec.periods.is_empty(), "period menu must be nonempty");
+    assert!(
+        spec.modules > 0
+            && spec.cores_per_module > 0
+            && spec.partitions_per_core > 0
+            && spec.tasks_per_partition > 0,
+        "spec sizes must be positive"
+    );
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let menu_max = *spec.periods.iter().max().expect("nonempty menu");
+
+    let core_types = vec![CoreType::new("generic")];
+    let ct = CoreTypeId::from_raw(0);
+    let modules: Vec<Module> = (0..spec.modules)
+        .map(|m| Module::homogeneous(format!("M{m}"), spec.cores_per_module, ct))
+        .collect();
+
+    // First pass: draw every partition's task set (the windows depend on
+    // the *actual* hyperperiod of the drawn periods, which may be smaller
+    // than the menu maximum).
+    let mut partitions = Vec::new();
+    let mut binding = Vec::new();
+    let mut core_members: Vec<(CoreRef, Vec<usize>)> = Vec::new();
+    for m in 0..spec.modules {
+        for c in 0..spec.cores_per_module {
+            let core = CoreRef::new(
+                ModuleId::from_raw(u32::try_from(m).expect("module count fits u32")),
+                u32::try_from(c).expect("core count fits u32"),
+            );
+            let per_partition_util = spec.core_utilization / spec.partitions_per_core as f64;
+            let mut members = Vec::new();
+            for p in 0..spec.partitions_per_core {
+                let utils = uunifast(&mut rng, spec.tasks_per_partition, per_partition_util);
+                let mut tasks = Vec::new();
+                let n_tasks = i64::try_from(utils.len()).expect("task count fits i64");
+                for (t, &u) in utils.iter().enumerate() {
+                    let period = spec.periods[rng.gen_range(0..spec.periods.len())];
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_precision_loss)]
+                    let wcet = ((u * period as f64).round() as i64).clamp(1, period);
+                    // Rate-monotonic priorities, made unique within the
+                    // partition by the task index so dispatch is tie-free
+                    // (see Configuration::dispatch_tie_warnings).
+                    let t_i = i64::try_from(t).expect("task index fits i64");
+                    let priority = (menu_max / period) * n_tasks + (n_tasks - t_i);
+                    tasks.push(Task::new(
+                        format!("t{m}_{c}_{p}_{t}"),
+                        priority,
+                        vec![wcet],
+                        period,
+                    ));
+                }
+                members.push(partitions.len());
+                partitions.push(Partition::new(
+                    format!("P{m}_{c}_{p}"),
+                    SchedulerKind::Fpps,
+                    tasks,
+                ));
+                binding.push(core);
+            }
+            core_members.push((core, members));
+        }
+    }
+
+    // Second pass: window synthesis against the actual hyperperiod and the
+    // smallest drawn period as frame (both divide evenly: the menu is
+    // harmonic).
+    let hyperperiod = swa_ima::util::lcm_all(
+        partitions
+            .iter()
+            .flat_map(|p| p.tasks.iter().map(|t| t.period)),
+    )
+    .expect("positive periods");
+    let frame = partitions
+        .iter()
+        .flat_map(|p| p.tasks.iter().map(|t| t.period))
+        .min()
+        .expect("nonempty task set");
+    let mut windows = vec![Vec::new(); partitions.len()];
+    for (_, members) in &core_members {
+        let demands: Vec<PartitionDemand> = members
+            .iter()
+            .map(|&i| PartitionDemand {
+                utilization: partitions[i].utilization_on(ct),
+            })
+            .collect();
+        let sets = synthesize_windows(hyperperiod, frame, &demands, 1.6);
+        for (&i, set) in members.iter().zip(sets) {
+            windows[i] = set;
+        }
+    }
+
+    // Same-period messages from earlier to later tasks (acyclic by
+    // construction: sender's (partition, task) precedes the receiver's).
+    let mut messages = Vec::new();
+    let flat: Vec<(PartitionId, u32, i64)> = partitions
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, p)| {
+            let pid = PartitionId::from_raw(u32::try_from(pi).expect("partition count fits u32"));
+            p.tasks.iter().enumerate().map(move |(ti, t)| {
+                (
+                    pid,
+                    u32::try_from(ti).expect("task count fits u32"),
+                    t.period,
+                )
+            })
+        })
+        .collect();
+    for (idx, &(pid, ti, period)) in flat.iter().enumerate() {
+        if pid.index() == 0 || rng.gen::<f64>() >= spec.message_fraction {
+            continue;
+        }
+        // Find an earlier task with the same period in a different
+        // partition.
+        let candidates: Vec<&(PartitionId, u32, i64)> = flat[..idx]
+            .iter()
+            .filter(|(sp, _, sper)| *sper == period && *sp != pid)
+            .collect();
+        if let Some(&&(sp, st, _)) = candidates.last() {
+            let name = format!("vl{}", messages.len());
+            messages.push(Message::new(
+                name,
+                TaskRef::new(sp, st),
+                TaskRef::new(pid, ti),
+                1,
+                (period / 10).clamp(1, period - 1),
+            ));
+        }
+    }
+
+    Configuration {
+        core_types,
+        modules,
+        partitions,
+        binding,
+        windows,
+        messages,
+    }
+}
+
+/// Picks spec sizes so the configuration has roughly `target_jobs` jobs
+/// over its hyperperiod, and generates it.
+///
+/// With the default menu `{50, 100, 200, 400}`, a task averages 3.75 jobs.
+#[must_use]
+pub fn config_with_jobs(target_jobs: u64, seed: u64) -> Configuration {
+    let spec = spec_with_jobs(target_jobs, seed);
+    industrial_config(&spec)
+}
+
+/// The spec used by [`config_with_jobs`].
+#[must_use]
+pub fn spec_with_jobs(target_jobs: u64, seed: u64) -> IndustrialSpec {
+    // Expected jobs per task with the default uniform menu.
+    let jobs_per_task = 3.75;
+    #[allow(
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss,
+        clippy::cast_precision_loss
+    )]
+    let tasks_needed = ((target_jobs as f64 / jobs_per_task).ceil() as usize).max(1);
+    // Keep 4 cores (2 modules × 2) and 2 partitions per core; scale tasks
+    // per partition.
+    let partitions = 8;
+    let tasks_per_partition = tasks_needed.div_ceil(partitions).max(1);
+    IndustrialSpec {
+        tasks_per_partition,
+        seed,
+        ..IndustrialSpec::default()
+    }
+}
+
+/// The deterministic Table 1 configuration family: `jobs` single-job tasks
+/// split across two partitions on two cores.
+///
+/// Every task has period 100 (= the hyperperiod), a short WCET and a
+/// distinct priority, so all jobs release simultaneously at `t = 0` — the
+/// worst case for the model checker (every interleaving of the independent
+/// per-core event chains is explored) and a trivial case for the
+/// simulator. This reproduces the *shape* of the paper's Table 1.
+#[must_use]
+pub fn table1_config(jobs: usize) -> Configuration {
+    assert!(jobs >= 2, "need at least one job per partition");
+    let ct = CoreTypeId::from_raw(0);
+    let core_types = vec![CoreType::new("generic")];
+    let modules = vec![
+        Module::homogeneous("M0", 1, ct),
+        Module::homogeneous("M1", 1, ct),
+    ];
+    let half = jobs.div_ceil(2);
+    let mut partitions = Vec::new();
+    let mut binding = Vec::new();
+    let mut windows = Vec::new();
+    for (p, count) in [(0, half), (1, jobs - half)] {
+        let tasks: Vec<Task> = (0..count)
+            .map(|i| {
+                Task::new(
+                    format!("t{p}_{i}"),
+                    i64::try_from(count - i).expect("count fits i64"),
+                    vec![2],
+                    100,
+                )
+            })
+            .collect();
+        partitions.push(Partition::new(format!("P{p}"), SchedulerKind::Fpps, tasks));
+        binding.push(CoreRef::new(
+            ModuleId::from_raw(u32::try_from(p).expect("two modules")),
+            0,
+        ));
+        windows.push(vec![swa_ima::Window::new(0, 100)]);
+    }
+    Configuration {
+        core_types,
+        modules,
+        partitions,
+        binding,
+        windows,
+        messages: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn industrial_config_is_valid() {
+        let c = industrial_config(&IndustrialSpec::default());
+        c.validate().unwrap_or_else(|e| panic!("{e:?}"));
+        assert_eq!(c.partitions.len(), 8);
+        assert_eq!(c.hyperperiod(), Some(400));
+        assert!(c.job_count().unwrap() > 0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = industrial_config(&IndustrialSpec::default());
+        let b = industrial_config(&IndustrialSpec::default());
+        assert_eq!(a, b);
+        let c = industrial_config(&IndustrialSpec {
+            seed: 2,
+            ..IndustrialSpec::default()
+        });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn config_with_jobs_hits_target_roughly() {
+        for target in [100, 500, 2000] {
+            let c = config_with_jobs(target, 3);
+            c.validate().unwrap_or_else(|e| panic!("{e:?}"));
+            let jobs = c.job_count().unwrap();
+            #[allow(clippy::cast_precision_loss)]
+            let ratio = jobs as f64 / target as f64;
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "target {target}, got {jobs} (ratio {ratio})"
+            );
+        }
+    }
+
+    #[test]
+    fn messages_are_same_period_and_acyclic() {
+        let spec = IndustrialSpec {
+            message_fraction: 0.5,
+            ..IndustrialSpec::default()
+        };
+        let c = industrial_config(&spec);
+        c.validate().unwrap_or_else(|e| panic!("{e:?}"));
+        assert!(!c.messages.is_empty());
+        for m in &c.messages {
+            let s = c.task(m.sender).unwrap();
+            let r = c.task(m.receiver).unwrap();
+            assert_eq!(s.period, r.period);
+        }
+    }
+
+    #[test]
+    fn table1_config_has_exact_job_count() {
+        for jobs in [2, 10, 15, 18] {
+            let c = table1_config(jobs);
+            c.validate().unwrap_or_else(|e| panic!("{e:?}"));
+            assert_eq!(c.job_count(), Some(jobs as u64));
+        }
+    }
+}

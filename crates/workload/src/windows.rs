@@ -1,0 +1,148 @@
+//! Window-schedule synthesis: divides a core's hyperperiod among its
+//! partitions.
+//!
+//! The synthesis follows common IMA practice: the hyperperiod is cut into
+//! *frames* (one per smallest period), and inside every frame each
+//! partition receives a contiguous slot whose share is proportional to its
+//! utilization, scaled by an over-provisioning factor. Windows therefore
+//! recur once per frame, which keeps partition latencies bounded by the
+//! frame length.
+
+use swa_ima::Window;
+
+/// A partition's demand on a core, used to size its windows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionDemand {
+    /// Task utilization of the partition on this core's type (`Σ C/P`).
+    pub utilization: f64,
+}
+
+/// Synthesizes per-partition window sets on one core.
+///
+/// * `hyperperiod` — the schedule length `L`;
+/// * `frame` — the frame length (typically the smallest task period on the
+///   core); must divide `hyperperiod`;
+/// * `demands` — one entry per partition bound to the core;
+/// * `expansion` — over-provisioning factor (≥ 1.0); shares are scaled by
+///   it before rounding, then clamped to fit the frame.
+///
+/// Returns one window list per partition (same order as `demands`). Every
+/// partition receives at least one time unit per frame if any capacity is
+/// left; partitions are laid out back-to-back from the frame start.
+#[must_use]
+pub fn synthesize_windows(
+    hyperperiod: i64,
+    frame: i64,
+    demands: &[PartitionDemand],
+    expansion: f64,
+) -> Vec<Vec<Window>> {
+    assert!(
+        frame > 0 && hyperperiod > 0,
+        "positive frame and hyperperiod"
+    );
+    assert!(
+        hyperperiod % frame == 0,
+        "frame {frame} must divide hyperperiod {hyperperiod}"
+    );
+    let n = demands.len();
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // Per-frame share for each partition.
+    #[allow(clippy::cast_precision_loss)]
+    let frame_f = frame as f64;
+    let mut shares: Vec<i64> = demands
+        .iter()
+        .map(|d| {
+            #[allow(clippy::cast_possible_truncation)]
+            let share = (d.utilization * expansion * frame_f).ceil() as i64;
+            share.max(1)
+        })
+        .collect();
+    // Clamp to the frame if over-subscribed: shrink the largest shares
+    // first until it fits.
+    let mut total: i64 = shares.iter().sum();
+    while total > frame {
+        let (idx, _) = shares
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, s)| **s)
+            .expect("nonempty");
+        if shares[idx] <= 1 {
+            break; // every partition is at the 1-unit floor; give up
+        }
+        shares[idx] -= 1;
+        total -= 1;
+    }
+
+    let frames = hyperperiod / frame;
+    let mut out = vec![Vec::new(); n];
+    for f in 0..frames {
+        let mut cursor = f * frame;
+        for (i, &share) in shares.iter().enumerate() {
+            let end = (cursor + share).min((f + 1) * frame);
+            if cursor < end {
+                out[i].push(Window::new(cursor, end));
+            }
+            cursor = end;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_tile_each_frame_without_overlap() {
+        let demands = vec![
+            PartitionDemand { utilization: 0.3 },
+            PartitionDemand { utilization: 0.2 },
+        ];
+        let ws = synthesize_windows(100, 25, &demands, 1.5);
+        assert_eq!(ws.len(), 2);
+        // 4 frames, one window per partition per frame.
+        assert_eq!(ws[0].len(), 4);
+        assert_eq!(ws[1].len(), 4);
+        // No overlap and correct ordering inside each frame.
+        for (f, (&a, &b)) in ws[0].iter().zip(&ws[1]).enumerate() {
+            let a: Window = a;
+            let b: Window = b;
+            assert_eq!(a.start, i64::try_from(f).unwrap() * 25);
+            assert_eq!(b.start, a.end);
+            assert!(b.end <= (i64::try_from(f).unwrap() + 1) * 25);
+            assert!(!a.overlaps(b));
+        }
+    }
+
+    #[test]
+    fn oversubscription_is_clamped_to_frame() {
+        let demands = vec![
+            PartitionDemand { utilization: 0.9 },
+            PartitionDemand { utilization: 0.9 },
+        ];
+        let ws = synthesize_windows(40, 20, &demands, 1.0);
+        for f in 0..2 {
+            let total: i64 = ws.iter().map(|w| w[f].duration()).sum();
+            assert!(total <= 20);
+        }
+        // Both partitions still get something.
+        assert!(ws.iter().all(|w| !w.is_empty()));
+    }
+
+    #[test]
+    fn tiny_utilization_still_gets_a_unit() {
+        let demands = vec![PartitionDemand { utilization: 0.001 }];
+        let ws = synthesize_windows(50, 10, &demands, 1.0);
+        assert!(ws[0].iter().all(|w| w.duration() >= 1));
+        assert_eq!(ws[0].len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn non_dividing_frame_panics() {
+        let _ = synthesize_windows(100, 30, &[PartitionDemand { utilization: 0.5 }], 1.0);
+    }
+}

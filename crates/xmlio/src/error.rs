@@ -1,0 +1,84 @@
+//! Errors for XML parsing and configuration (de)serialization.
+
+use std::fmt;
+
+/// Errors raised while reading XML or mapping it to domain objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum XmlError {
+    /// Lexical/syntactic error in the XML text.
+    Parse {
+        /// 1-based line of the error.
+        line: usize,
+        /// 1-based column of the error.
+        column: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The XML is well-formed but does not match the expected schema.
+    Schema {
+        /// Path to the offending element (e.g. `configuration/partitions`).
+        path: String,
+        /// What went wrong.
+        message: String,
+    },
+    /// A reference (partition, task, core type, module) did not resolve.
+    UnknownReference {
+        /// The reference kind (e.g. `"core type"`).
+        kind: &'static str,
+        /// The dangling name.
+        name: String,
+    },
+}
+
+impl XmlError {
+    /// Convenience constructor for schema errors.
+    #[must_use]
+    pub fn schema(path: &str, message: impl Into<String>) -> Self {
+        Self::Schema {
+            path: path.to_string(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Parse {
+                line,
+                column,
+                message,
+            } => write!(f, "xml parse error at {line}:{column}: {message}"),
+            Self::Schema { path, message } => {
+                write!(f, "schema error at {path}: {message}")
+            }
+            Self::UnknownReference { kind, name } => {
+                write!(f, "unknown {kind} {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_position() {
+        let e = XmlError::Parse {
+            line: 3,
+            column: 14,
+            message: "expected '>'".into(),
+        };
+        assert_eq!(e.to_string(), "xml parse error at 3:14: expected '>'");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<XmlError>();
+    }
+}

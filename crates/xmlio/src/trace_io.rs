@@ -1,0 +1,122 @@
+//! System-trace serialization: the trace handed back to the scheduling
+//! tool in the paper's Sect. 4 integration loop.
+
+use swa_core::{SysEvent, SysEventKind, SystemTrace};
+use swa_ima::{PartitionId, TaskRef};
+
+use crate::error::XmlError;
+use crate::xml::{parse, Element};
+
+/// Serializes a system trace to XML.
+#[must_use]
+pub fn trace_to_xml(trace: &SystemTrace) -> String {
+    Element::new("trace")
+        .children(trace.events.iter().map(|e| {
+            Element::new("event")
+                .attr("type", e.kind)
+                .attr("partition", e.task.partition.raw())
+                .attr("task", e.task.task)
+                .attr("job", e.job)
+                .attr("time", e.time)
+        }))
+        .to_xml()
+}
+
+/// Parses a system trace from XML.
+///
+/// # Errors
+///
+/// Returns [`XmlError`] on malformed XML or schema mismatches.
+pub fn trace_from_xml(xml: &str) -> Result<SystemTrace, XmlError> {
+    let root = parse(xml)?;
+    if root.name != "trace" {
+        return Err(XmlError::schema(
+            &root.name,
+            "expected root element <trace>",
+        ));
+    }
+    let mut events = Vec::new();
+    for e in root.find_all("event") {
+        let kind = match e.require_attribute("type")? {
+            "EX" => SysEventKind::Ex,
+            "PR" => SysEventKind::Pr,
+            "FIN" => SysEventKind::Fin,
+            other => {
+                return Err(XmlError::schema(
+                    "event",
+                    format!("unknown event type {other:?}"),
+                ))
+            }
+        };
+        let partition = u32::try_from(e.require_i64("partition")?)
+            .map_err(|_| XmlError::schema("event", "partition out of range"))?;
+        let task = u32::try_from(e.require_i64("task")?)
+            .map_err(|_| XmlError::schema("event", "task out of range"))?;
+        let job = u32::try_from(e.require_i64("job")?)
+            .map_err(|_| XmlError::schema("event", "job out of range"))?;
+        events.push(SysEvent {
+            kind,
+            task: TaskRef::new(PartitionId::from_raw(partition), task),
+            job,
+            time: e.require_i64("time")?,
+        });
+    }
+    Ok(SystemTrace { events })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SystemTrace {
+        let t = TaskRef::new(PartitionId::from_raw(1), 2);
+        SystemTrace {
+            events: vec![
+                SysEvent {
+                    kind: SysEventKind::Ex,
+                    task: t,
+                    job: 0,
+                    time: 5,
+                },
+                SysEvent {
+                    kind: SysEventKind::Pr,
+                    task: t,
+                    job: 0,
+                    time: 8,
+                },
+                SysEvent {
+                    kind: SysEventKind::Ex,
+                    task: t,
+                    job: 0,
+                    time: 12,
+                },
+                SysEvent {
+                    kind: SysEventKind::Fin,
+                    task: t,
+                    job: 0,
+                    time: 15,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_trace() {
+        let original = sample();
+        let xml = trace_to_xml(&original);
+        let parsed = trace_from_xml(&xml).unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn unknown_event_type_is_reported() {
+        let xml = r#"<trace><event type="NOPE" partition="0" task="0" job="0" time="0"/></trace>"#;
+        let err = trace_from_xml(xml).unwrap_err();
+        assert!(err.to_string().contains("unknown event type"));
+    }
+
+    #[test]
+    fn wrong_root_is_reported() {
+        assert!(trace_from_xml("<nottrace/>").is_err());
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests: the XML writer and parser are inverse on
+//! arbitrary element trees and attribute contents (entity escaping).
+
+use proptest::prelude::*;
+use swa_xmlio::xml::{escape, parse, Element};
+
+/// XML name: starts with a letter, continues with word characters.
+fn any_name() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9_.-]{0,8}"
+}
+
+/// Attribute values may contain anything printable, including the five
+/// escaped characters.
+fn any_value() -> impl Strategy<Value = String> {
+    "[ -~]{0,20}"
+}
+
+fn any_element(depth: u32) -> BoxedStrategy<Element> {
+    let leaf = (
+        any_name(),
+        prop::collection::vec((any_name(), any_value()), 0..4),
+        any_value(),
+    )
+        .prop_map(|(name, attributes, text)| {
+            let mut attributes = attributes;
+            // XML attribute names must be unique within an element.
+            attributes.sort();
+            attributes.dedup_by(|a, b| a.0 == b.0);
+            Element {
+                name,
+                attributes,
+                children: Vec::new(),
+                // Parsed text is whitespace-trimmed; generate pre-trimmed
+                // text so equality is exact.
+                text: text.trim().to_string(),
+            }
+        });
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    (leaf, prop::collection::vec(any_element(depth - 1), 0..3))
+        .prop_map(|(mut e, children)| {
+            // Mixed content (text + children) round-trips only if the text
+            // is attached before the children; keep it element-only or
+            // text-only for exact equality.
+            if !children.is_empty() {
+                e.text = String::new();
+            }
+            e.children = children;
+            e
+        })
+        .boxed()
+}
+
+proptest! {
+    /// `parse(to_xml(e)) == e` for arbitrary trees.
+    #[test]
+    fn write_then_parse_is_identity(element in any_element(2)) {
+        let xml = element.to_xml();
+        let parsed = parse(&xml).unwrap_or_else(|err| panic!("{err}\n{xml}"));
+        prop_assert_eq!(parsed, element);
+    }
+
+    /// Escaping is total and parsing undoes it inside attribute values.
+    #[test]
+    fn escaping_roundtrips_any_printable_value(value in "[ -~]{0,40}") {
+        let e = Element::new("x").attr("v", &value);
+        let parsed = parse(&e.to_xml()).unwrap();
+        prop_assert_eq!(parsed.attribute("v"), Some(value.as_str()));
+    }
+
+    /// `escape` leaves no raw markup characters behind.
+    #[test]
+    fn escape_removes_markup(value in "[ -~]{0,40}") {
+        let escaped = escape(&value);
+        prop_assert!(!escaped.contains('<'));
+        prop_assert!(!escaped.contains('>'));
+        prop_assert!(!escaped.contains('"'));
+    }
+}
+
+proptest! {
+    /// The parser never panics, whatever bytes arrive — malformed input is
+    /// always a structured `Err`.
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in "\\PC*") {
+        let _ = parse(&input);
+    }
+
+    /// Same for inputs that look almost like XML.
+    #[test]
+    fn parser_never_panics_on_xmlish_input(
+        junk in "[<>&;/a-z\"'= \\n-]{0,120}",
+    ) {
+        let _ = parse(&junk);
+        let _ = parse(&format!("<a>{junk}</a>"));
+        let _ = parse(&format!("<a {junk}/>"));
+    }
+
+    /// Configuration loading never panics either.
+    #[test]
+    fn config_loader_never_panics(junk in "[<>&;/a-zA-Z\"'= \\n-]{0,160}") {
+        let _ = swa_xmlio::configuration_from_xml(&junk);
+        let _ = swa_xmlio::configuration_with_topology_from_xml(
+            &format!("<configuration>{junk}</configuration>"),
+        );
+    }
+}

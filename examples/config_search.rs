@@ -1,0 +1,93 @@
+//! The scheduling-tool integration (the paper's Sect. 4): search for a
+//! schedulable configuration using the model as the oracle, exchanging the
+//! configuration through the XML interface, and save the winner.
+//!
+//! Run with: `cargo run --example config_search`
+
+use swa::ima::{CoreType, CoreTypeId, Module, Partition, SchedulerKind, Task};
+use swa::schedtool::{search, DesignProblem, SearchOptions};
+use swa::xmlio::{configuration_from_xml, configuration_to_xml};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A design problem: hardware and workload fixed, binding and windows
+    // open.
+    let problem = DesignProblem {
+        core_types: vec![CoreType::new("generic")],
+        modules: vec![Module::homogeneous("M1", 2, CoreTypeId::from_raw(0))],
+        partitions: vec![
+            Partition::new(
+                "guidance",
+                SchedulerKind::Fpps,
+                vec![
+                    Task::new("nav", 2, vec![8], 50),
+                    Task::new("plan", 1, vec![15], 100),
+                ],
+            ),
+            Partition::new(
+                "comms",
+                SchedulerKind::Edf,
+                vec![
+                    Task::new("uplink", 1, vec![10], 100).with_deadline(60),
+                    Task::new("downlink", 1, vec![5], 50),
+                ],
+            ),
+            Partition::new(
+                "payload",
+                SchedulerKind::Fpps,
+                vec![Task::new("camera", 1, vec![30], 100)],
+            ),
+        ],
+        messages: vec![],
+    };
+
+    let outcome = search(&problem, &SearchOptions::default())?;
+    println!(
+        "search finished after {} iteration(s):",
+        outcome.iterations.len()
+    );
+    for it in &outcome.iterations {
+        println!(
+            "  #{}: schedulable={} missed_jobs={} check_time={:?}",
+            it.index, it.schedulable, it.missed_jobs, it.check_time
+        );
+    }
+
+    let config = outcome
+        .configuration
+        .ok_or("no schedulable configuration found")?;
+
+    println!();
+    println!("binding found:");
+    for (pi, core) in config.binding.iter().enumerate() {
+        println!(
+            "  {} -> {core} with windows {:?}",
+            config.partitions[pi].name,
+            config.windows[pi]
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    // Round-trip through the XML interface (what the paper's toolchain
+    // exchanges between the scheduling tool and the model).
+    let xml = configuration_to_xml(&config);
+    let restored = configuration_from_xml(&xml)?;
+    assert_eq!(restored, config);
+    println!();
+    println!(
+        "configuration XML ({} bytes) round-trips losslessly:",
+        xml.len()
+    );
+    for line in xml.lines().take(12) {
+        println!("  {line}");
+    }
+    println!("  ...");
+
+    // Final sanity: the found configuration really is schedulable.
+    let report = swa::analyze_configuration(&config)?;
+    assert!(report.schedulable());
+    println!();
+    println!("re-verified schedulable = {}", report.schedulable());
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! Model checking vs single-run simulation on the same NSA instance — a
+//! miniature of the paper's Table 1. Both engines answer the same question
+//! ("is the configuration schedulable?"); the model checker explores every
+//! interleaving while the simulator exploits the determinism theorem and
+//! runs once.
+//!
+//! Run with: `cargo run --release --example mc_vs_simulation`
+
+use std::time::Instant;
+
+use swa::core::SystemModel;
+use swa::mc::check_schedulable_mc;
+use swa::workload::table1_config;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("jobs | MC time      | MC states | sim time     | agree");
+    println!("-----+--------------+-----------+--------------+------");
+    for jobs in [4usize, 6, 8, 10] {
+        let config = table1_config(jobs);
+        let model = SystemModel::build(&config)?;
+
+        let t0 = Instant::now();
+        let mc = check_schedulable_mc(&model)?;
+        let mc_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        let report = swa::analyze_configuration(&config)?;
+        let sim_time = t1.elapsed();
+
+        println!(
+            "{jobs:4} | {mc_time:>12?} | {:>9} | {sim_time:>12?} | {}",
+            mc.states,
+            mc.schedulable == report.schedulable()
+        );
+        assert_eq!(mc.schedulable, report.schedulable());
+    }
+    println!();
+    println!(
+        "the model checker's cost grows exponentially with the number of \
+         simultaneous jobs;\nthe simulator's one deterministic run stays \
+         effectively constant — the paper's headline result."
+    );
+    Ok(())
+}

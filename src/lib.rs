@@ -1,0 +1,66 @@
+//! # swa — stopwatch-automata schedulability analysis for modular computer
+//! systems
+//!
+//! A Rust implementation of the approach of *“Stopwatch Automata-Based
+//! Model for Efficient Schedulability Analysis of Modular Computer
+//! Systems”* (Glonina & Bahmurov): Integrated Modular Avionics (IMA)
+//! system operation is modeled as a network of stopwatch automata (NSA);
+//! because the model is deterministic under the worst-case assumptions,
+//! a *single* simulated run yields the system operation trace and the
+//! schedulability verdict — orders of magnitude faster than model checking
+//! all interleavings.
+//!
+//! This facade re-exports the project's crates:
+//!
+//! * [`nsa`] — the NSA formalism and the deterministic simulator;
+//! * [`ima`] — the IMA configuration domain (`⟨HW, WL, Bind, Sched⟩`);
+//! * [`core`] — the concrete automata (task, FPPS/FPNPS/EDF schedulers,
+//!   core scheduler, virtual link), Algorithm 1 instance construction,
+//!   trace translation and the schedulability criterion;
+//! * [`mc`] — the explicit-state model checker (the paper's baseline) and
+//!   observer-based verification (Fig. 2);
+//! * [`xmlio`] — the XML configuration/trace interface of Sect. 4;
+//! * [`workload`] — synthetic configuration generators for the
+//!   experiments;
+//! * [`schedtool`] — the configuration-search integration of Sect. 4.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use swa::ima::{
+//!     Configuration, CoreRef, CoreType, CoreTypeId, Module, ModuleId, Partition,
+//!     SchedulerKind, Task, Window,
+//! };
+//!
+//! let config = Configuration {
+//!     core_types: vec![CoreType::new("generic")],
+//!     modules: vec![Module::homogeneous("M1", 1, CoreTypeId::from_raw(0))],
+//!     partitions: vec![Partition::new(
+//!         "P1",
+//!         SchedulerKind::Fpps,
+//!         vec![Task::new("t", 1, vec![10], 50)],
+//!     )],
+//!     binding: vec![CoreRef::new(ModuleId::from_raw(0), 0)],
+//!     windows: vec![vec![Window::new(0, 50)]],
+//!     messages: vec![],
+//! };
+//!
+//! let report = swa::analyze_configuration(&config)?;
+//! assert!(report.schedulable());
+//! # Ok::<(), swa::core::PipelineError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use swa_core as core;
+pub use swa_ima as ima;
+pub use swa_mc as mc;
+pub use swa_nsa as nsa;
+pub use swa_rta as rta;
+pub use swa_schedtool as schedtool;
+pub use swa_workload as workload;
+pub use swa_xmlio as xmlio;
+
+pub use swa_core::{
+    analyze_configuration, analyze_configuration_with, Analysis, AnalysisReport, SystemModel,
+};

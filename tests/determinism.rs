@@ -1,0 +1,48 @@
+//! Property-level check of the paper's determinism theorem across the
+//! crates: for randomly generated configurations and random interleaving
+//! orders, every interpretation yields the same schedulability analysis.
+
+use proptest::prelude::*;
+use swa::analyze_configuration_with;
+use swa::nsa::TieBreak;
+use swa::workload::{industrial_config, IndustrialSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn any_order_yields_the_same_analysis(
+        seed in 0u64..1000,
+        perm_seed in 0u64..1000,
+        message_fraction in 0.0f64..0.5,
+    ) {
+        let config = industrial_config(&IndustrialSpec {
+            modules: 1,
+            cores_per_module: 2,
+            partitions_per_core: 2,
+            tasks_per_partition: 3,
+            message_fraction,
+            seed,
+            ..IndustrialSpec::default()
+        });
+        let canonical = analyze_configuration_with(&config, TieBreak::Canonical).unwrap();
+        let reversed = analyze_configuration_with(&config, TieBreak::Reversed).unwrap();
+        prop_assert_eq!(
+            canonical.analysis.signature(),
+            reversed.analysis.signature()
+        );
+
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let model = swa::SystemModel::build(&config).unwrap();
+        let n = model.network().automata().len();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(perm_seed);
+        let mut perm: Vec<u32> = (0..u32::try_from(n).unwrap()).collect();
+        perm.shuffle(&mut rng);
+        let permuted = analyze_configuration_with(&config, TieBreak::Permuted(perm)).unwrap();
+        prop_assert_eq!(
+            canonical.analysis.signature(),
+            permuted.analysis.signature()
+        );
+    }
+}

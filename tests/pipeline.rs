@@ -1,0 +1,167 @@
+//! Cross-crate integration: the complete toolchain of the paper's Fig. 3 —
+//! workload generation, the XML interface, Algorithm 1, simulation, trace
+//! analysis, model checking, observer verification and configuration
+//! search, all agreeing with each other.
+
+use swa::core::SystemModel;
+use swa::mc::check_schedulable_mc;
+use swa::mc::verify::{check_whole_model_requirements, verify_by_simulation};
+use swa::schedtool::{search, DesignProblem, SearchOptions};
+use swa::workload::{industrial_config, table1_config, IndustrialSpec};
+use swa::xmlio::{configuration_from_xml, configuration_to_xml, trace_from_xml, trace_to_xml};
+
+#[test]
+fn generated_configs_roundtrip_through_xml_and_analyze() {
+    for seed in 0..3 {
+        let config = industrial_config(&IndustrialSpec {
+            tasks_per_partition: 3,
+            message_fraction: 0.3,
+            seed,
+            ..IndustrialSpec::default()
+        });
+        config.validate().unwrap();
+
+        // XML roundtrip (the Sect. 4 interface).
+        let xml = configuration_to_xml(&config);
+        let restored = configuration_from_xml(&xml).unwrap();
+        assert_eq!(restored, config);
+
+        // The analysis runs and the trace roundtrips too.
+        let report = swa::analyze_configuration(&restored).unwrap();
+        let trace_xml = trace_to_xml(&report.trace);
+        let trace = trace_from_xml(&trace_xml).unwrap();
+        assert_eq!(trace, report.trace);
+
+        // Whole-model requirements hold on every generated trace.
+        let violations = check_whole_model_requirements(&config, &report.analysis);
+        assert!(violations.is_empty(), "seed {seed}: {violations:#?}");
+    }
+}
+
+#[test]
+fn simulation_and_model_checking_agree_on_small_configs() {
+    for jobs in [3usize, 5, 7] {
+        let config = table1_config(jobs);
+        let model = SystemModel::build(&config).unwrap();
+        let mc = check_schedulable_mc(&model).unwrap();
+        let sim = swa::analyze_configuration(&config).unwrap();
+        assert_eq!(
+            mc.schedulable,
+            sim.schedulable(),
+            "engines disagree at {jobs} jobs"
+        );
+    }
+}
+
+#[test]
+fn observers_hold_on_generated_configs() {
+    for seed in [1, 9] {
+        let config = industrial_config(&IndustrialSpec {
+            modules: 1,
+            cores_per_module: 2,
+            partitions_per_core: 2,
+            tasks_per_partition: 3,
+            message_fraction: 0.25,
+            seed,
+            ..IndustrialSpec::default()
+        });
+        let model = SystemModel::build(&config).unwrap();
+        let report = verify_by_simulation(&model, &config).unwrap();
+        assert!(report.ok(), "seed {seed}: {:#?}", report.violations);
+    }
+}
+
+#[test]
+fn search_produces_verified_configurations() {
+    let base = industrial_config(&IndustrialSpec {
+        modules: 1,
+        cores_per_module: 2,
+        partitions_per_core: 2,
+        tasks_per_partition: 3,
+        core_utilization: 0.4,
+        message_fraction: 0.0,
+        seed: 5,
+        ..IndustrialSpec::default()
+    });
+    let problem = DesignProblem::from_configuration(&base);
+    let outcome = search(&problem, &SearchOptions::default()).unwrap();
+    assert!(outcome.found(), "{:#?}", outcome.iterations);
+    let config = outcome.configuration.unwrap();
+    config.validate().unwrap();
+    let report = swa::analyze_configuration(&config).unwrap();
+    assert!(report.schedulable());
+
+    // And the found configuration still satisfies the observers.
+    let model = SystemModel::build(&config).unwrap();
+    let verification = verify_by_simulation(&model, &config).unwrap();
+    assert!(verification.ok(), "{:#?}", verification.violations);
+}
+
+#[test]
+fn facade_reexports_cover_the_pipeline() {
+    // Compile-time check that the facade exposes the main entry points.
+    let config = table1_config(3);
+    let model: swa::SystemModel = swa::SystemModel::build(&config).unwrap();
+    let report: swa::AnalysisReport = swa::analyze_configuration(&config).unwrap();
+    let _analysis: &swa::Analysis = &report.analysis;
+    assert!(model.hyperperiod() > 0);
+}
+
+#[test]
+fn mc_and_simulation_agree_across_scheduler_features() {
+    use swa::ima::{
+        Configuration, CoreRef, CoreType, CoreTypeId, Module, ModuleId, Partition, SchedulerKind,
+        Task, Window,
+    };
+    // Small configs exercising RR, EDF, offsets and windows; MC explores
+    // all interleavings, simulation runs once — verdicts must agree.
+    let cases: Vec<(SchedulerKind, Vec<Task>)> = vec![
+        (
+            SchedulerKind::RoundRobin { quantum: 2 },
+            vec![
+                Task::new("a", 0, vec![3], 10),
+                Task::new("b", 0, vec![3], 10),
+            ],
+        ),
+        (
+            SchedulerKind::Edf,
+            vec![
+                Task::new("a", 0, vec![3], 10).with_deadline(6),
+                Task::new("b", 0, vec![3], 10).with_deadline(9),
+            ],
+        ),
+        (
+            SchedulerKind::Fpps,
+            vec![
+                Task::new("a", 2, vec![3], 10).with_offset(2),
+                Task::new("b", 1, vec![4], 10),
+            ],
+        ),
+        // Overloaded: both engines must say unschedulable.
+        (
+            SchedulerKind::Fpps,
+            vec![
+                Task::new("a", 2, vec![6], 10),
+                Task::new("b", 1, vec![6], 10),
+            ],
+        ),
+    ];
+    for (i, (kind, tasks)) in cases.into_iter().enumerate() {
+        let config = Configuration {
+            core_types: vec![CoreType::new("ct")],
+            modules: vec![Module::homogeneous("M", 1, CoreTypeId::from_raw(0))],
+            partitions: vec![Partition::new("P", kind, tasks)],
+            binding: vec![CoreRef::new(ModuleId::from_raw(0), 0)],
+            windows: vec![vec![Window::new(0, 10)]],
+            messages: vec![],
+        };
+        let model = SystemModel::build(&config).unwrap();
+        let mc = swa::mc::check_schedulable_mc(&model).unwrap();
+        let sim = swa::analyze_configuration(&config).unwrap();
+        assert_eq!(
+            mc.schedulable,
+            sim.schedulable(),
+            "case {i} ({kind}): engines disagree"
+        );
+    }
+}

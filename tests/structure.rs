@@ -1,0 +1,253 @@
+//! Experiment F1 — validates that Algorithm 1 builds exactly the general
+//! NSA structure of the paper's Fig. 1: one T automaton per task, one TS
+//! per partition, one CS per used core, one L per message, wired through
+//! the interface channels (`exec`/`preempt`/`send`/`receive` per task;
+//! `ready`/`finished`/`wakeup`/`sleep` per partition) and shared variables
+//! (`is_ready`, `is_failed`, `prio`, `abs_deadline`, `is_data_ready`).
+
+use swa::core::{ChannelRole, SystemModel};
+use swa::ima::{
+    Configuration, CoreRef, CoreType, CoreTypeId, Message, Module, ModuleId, Partition,
+    PartitionId, SchedulerKind, Task, TaskRef, Window,
+};
+use swa::nsa::{ChannelKind, Sync};
+
+fn config() -> Configuration {
+    Configuration {
+        core_types: vec![CoreType::new("generic")],
+        modules: vec![
+            Module::homogeneous("M1", 2, CoreTypeId::from_raw(0)),
+            Module::homogeneous("M2", 1, CoreTypeId::from_raw(0)),
+        ],
+        partitions: vec![
+            Partition::new(
+                "PA",
+                SchedulerKind::Fpps,
+                vec![
+                    Task::new("a1", 2, vec![5], 50),
+                    Task::new("a2", 1, vec![5], 100),
+                ],
+            ),
+            Partition::new(
+                "PB",
+                SchedulerKind::Edf,
+                vec![Task::new("b1", 1, vec![5], 50)],
+            ),
+            Partition::new(
+                "PC",
+                SchedulerKind::Fpnps,
+                vec![Task::new("c1", 1, vec![5], 100)],
+            ),
+        ],
+        binding: vec![
+            CoreRef::new(ModuleId::from_raw(0), 0),
+            CoreRef::new(ModuleId::from_raw(0), 1),
+            CoreRef::new(ModuleId::from_raw(1), 0),
+        ],
+        windows: vec![
+            vec![Window::new(0, 100)],
+            vec![Window::new(0, 100)],
+            vec![Window::new(0, 100)],
+        ],
+        messages: vec![Message::new(
+            "m",
+            TaskRef::new(PartitionId::from_raw(0), 0),
+            TaskRef::new(PartitionId::from_raw(1), 0),
+            1,
+            5,
+        )],
+    }
+}
+
+#[test]
+fn one_automaton_per_component() {
+    let model = SystemModel::build(&config()).unwrap();
+    let map = model.map();
+    // 4 tasks + 3 TS + 3 used cores (M1.0, M1.1, M2.0) + 1 link.
+    assert_eq!(map.task_automata.len(), 4);
+    assert_eq!(map.ts_automata.len(), 3);
+    assert_eq!(map.cs_automata.len(), 3);
+    assert_eq!(map.link_automata.len(), 1);
+    assert_eq!(model.network().automata().len(), 11);
+}
+
+#[test]
+fn interface_channels_exist_per_component() {
+    let model = SystemModel::build(&config()).unwrap();
+    let map = model.map();
+    let network = model.network();
+
+    // Per task: exec, preempt (binary); send, receive (broadcast).
+    assert_eq!(map.exec_ch.len(), 4);
+    assert_eq!(map.preempt_ch.len(), 4);
+    assert_eq!(map.send_ch.len(), 4);
+    assert_eq!(map.receive_ch.len(), 4);
+    for g in 0..4 {
+        assert_eq!(
+            network.channels()[map.exec_ch[g].index()].kind,
+            ChannelKind::Binary
+        );
+        assert_eq!(
+            network.channels()[map.preempt_ch[g].index()].kind,
+            ChannelKind::Binary
+        );
+        assert_eq!(
+            network.channels()[map.send_ch[g].index()].kind,
+            ChannelKind::Broadcast
+        );
+        assert_eq!(
+            network.channels()[map.receive_ch[g].index()].kind,
+            ChannelKind::Broadcast
+        );
+    }
+
+    // Per partition: wakeup, sleep, ready, finished (binary).
+    for j in 0..3 {
+        for ch in [
+            map.ready_ch[j],
+            map.finished_ch[j],
+            map.wakeup_ch[j],
+            map.sleep_ch[j],
+        ] {
+            assert_eq!(network.channels()[ch.index()].kind, ChannelKind::Binary);
+        }
+    }
+}
+
+#[test]
+fn channel_roles_cover_every_interface_channel() {
+    let model = SystemModel::build(&config()).unwrap();
+    let map = model.map();
+    let mut exec = 0;
+    let mut preempt = 0;
+    let mut ready = 0;
+    let mut finished = 0;
+    let mut wakeup = 0;
+    let mut sleep = 0;
+    let mut send = 0;
+    let mut receive = 0;
+    for role in map.channel_roles.values() {
+        match role {
+            ChannelRole::Exec(_) => exec += 1,
+            ChannelRole::Preempt(_) => preempt += 1,
+            ChannelRole::Ready(_) => ready += 1,
+            ChannelRole::Finished(_) => finished += 1,
+            ChannelRole::Wakeup(_) => wakeup += 1,
+            ChannelRole::Sleep(_) => sleep += 1,
+            ChannelRole::Send(_) => send += 1,
+            ChannelRole::Receive(_) => receive += 1,
+        }
+    }
+    assert_eq!((exec, preempt, send, receive), (4, 4, 4, 4));
+    assert_eq!((ready, finished, wakeup, sleep), (3, 3, 3, 3));
+}
+
+/// Fig. 1's wiring, checked edge by edge: T receives `exec`/`preempt` and
+/// sends `ready`/`finished`/`send`; TS receives `ready`/`finished`/
+/// `wakeup`/`sleep` and sends `exec`/`preempt`; CS sends `wakeup`/`sleep`;
+/// L receives `send` and sends `receive`.
+#[test]
+fn automata_use_exactly_their_interface() {
+    let model = SystemModel::build(&config()).unwrap();
+    let map = model.map();
+    let network = model.network();
+
+    for (g, &aid) in map.task_automata.iter().enumerate() {
+        let j = map.task_refs[g].partition.index();
+        let automaton = network.automaton(aid);
+        for e in &automaton.edges {
+            match e.sync {
+                Sync::Internal => {}
+                Sync::Recv(ch) => assert!(
+                    ch == map.exec_ch[g] || ch == map.preempt_ch[g] || ch == map.receive_ch[g],
+                    "task {g} receives unexpected channel"
+                ),
+                Sync::Send(ch) => assert!(
+                    ch == map.ready_ch[j] || ch == map.finished_ch[j] || ch == map.send_ch[g],
+                    "task {g} sends unexpected channel"
+                ),
+            }
+        }
+    }
+
+    for (j, &aid) in map.ts_automata.iter().enumerate() {
+        let automaton = network.automaton(aid);
+        let base = map.partition_base[j];
+        let next = map
+            .partition_base
+            .get(j + 1)
+            .copied()
+            .unwrap_or(map.task_refs.len());
+        for e in &automaton.edges {
+            match e.sync {
+                Sync::Internal => {}
+                Sync::Recv(ch) => assert!(
+                    ch == map.ready_ch[j]
+                        || ch == map.finished_ch[j]
+                        || ch == map.wakeup_ch[j]
+                        || ch == map.sleep_ch[j],
+                    "TS {j} receives unexpected channel"
+                ),
+                Sync::Send(ch) => assert!(
+                    (base..next).any(|g| ch == map.exec_ch[g] || ch == map.preempt_ch[g]),
+                    "TS {j} sends unexpected channel"
+                ),
+            }
+        }
+    }
+
+    for &(_, aid) in &map.cs_automata {
+        let automaton = network.automaton(aid);
+        for e in &automaton.edges {
+            match e.sync {
+                Sync::Internal => {}
+                Sync::Send(ch) => assert!(
+                    map.wakeup_ch.contains(&ch) || map.sleep_ch.contains(&ch),
+                    "CS sends unexpected channel"
+                ),
+                Sync::Recv(_) => panic!("CS never receives"),
+            }
+        }
+    }
+
+    for (h, &aid) in map.link_automata.iter().enumerate() {
+        let automaton = network.automaton(aid);
+        let _ = h;
+        for e in &automaton.edges {
+            match e.sync {
+                Sync::Internal => {}
+                Sync::Recv(ch) => assert!(
+                    map.send_ch.contains(&ch),
+                    "link receives unexpected channel"
+                ),
+                Sync::Send(ch) => assert!(
+                    map.receive_ch.contains(&ch),
+                    "link sends unexpected channel"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn shared_variable_arrays_match_fig1() {
+    let model = SystemModel::build(&config()).unwrap();
+    let network = model.network();
+    for name in ["is_ready", "is_failed", "prio", "abs_deadline", "nrel"] {
+        let arr = network.array_by_name(name).expect(name);
+        assert_eq!(network.array_len(arr), 4, "{name} has one slot per task");
+    }
+    let data = network.array_by_name("is_data_ready").unwrap();
+    assert_eq!(network.array_len(data), 1, "one slot per message");
+}
+
+#[test]
+fn network_dot_export_shows_wiring() {
+    let model = SystemModel::build(&config()).unwrap();
+    let dot = swa::nsa::dot::network_to_dot(model.network());
+    assert!(dot.contains("digraph"));
+    // TS -> T wiring on exec channels appears.
+    assert!(dot.contains("exec_0"));
+    // CS -> TS wiring appears.
+    assert!(dot.contains("wakeup_0"));
+}
