@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Tier-1 gate. The workspace has zero external dependencies, so everything
+# runs fully offline (see the note in Cargo.toml).
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release (offline)"
+cargo build --release --offline --workspace
+
+echo "==> cargo test (offline)"
+cargo test -q --offline --workspace
+
+echo "==> cargo clippy -D warnings (offline)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> ci.sh: all green"

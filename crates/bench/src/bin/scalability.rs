@@ -7,7 +7,7 @@
 //!
 //! Usage: `cargo run --release -p swa-bench --bin scalability`
 
-use swa_bench::{render_table, scalability_row, secs};
+use swa_bench::{batch_speedup, render_table, scalability_row, secs};
 
 fn main() {
     println!("Scalability — pipeline time vs configuration size");
@@ -49,6 +49,32 @@ fn main() {
                 "schedulable",
             ],
             &rows
+        )
+    );
+
+    // Batch throughput: many small candidates across all cores (the
+    // configuration-search workload), reported as checks/second.
+    println!("Batch-engine throughput — 50-candidate family, 1 worker vs one per core");
+    let s = batch_speedup(50, 1);
+    println!("{}", s.log_line());
+    println!(
+        "{}",
+        render_table(
+            &["workers", "wall (s)", "checks", "checks/s"],
+            &[
+                vec![
+                    "1".into(),
+                    secs(s.sequential),
+                    s.candidates.to_string(),
+                    format!("{:.1}", s.candidates as f64 / s.sequential.as_secs_f64()),
+                ],
+                vec![
+                    s.workers.to_string(),
+                    secs(s.parallel),
+                    s.metrics.checks.to_string(),
+                    format!("{:.1}", s.metrics.checks_per_sec()),
+                ],
+            ]
         )
     );
 }

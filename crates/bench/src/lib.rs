@@ -18,10 +18,12 @@
 
 use std::time::{Duration, Instant};
 
-use swa_core::{analyze_configuration, analyze_configuration_with, SystemModel};
+use swa_core::{
+    analyze_configuration, analyze_configuration_with, Analyzer, BatchMetrics, SystemModel,
+};
 use swa_mc::check_schedulable_mc_capped;
 use swa_nsa::TieBreak;
-use swa_workload::{config_with_jobs, table1_config};
+use swa_workload::{config_with_jobs, industrial_config, table1_config, IndustrialSpec};
 
 /// One row of the Table 1 reproduction.
 #[derive(Debug, Clone)]
@@ -139,9 +141,6 @@ pub fn determinism_check(
     permutations: usize,
     seed: u64,
 ) -> DeterminismResult {
-    use rand::seq::SliceRandom;
-    use rand::SeedableRng;
-
     let reference = analyze_configuration(config).expect("canonical run");
     let ref_sig = reference.analysis.signature();
     let mut all_equal = true;
@@ -153,11 +152,11 @@ pub fn determinism_check(
 
     let model = SystemModel::build(config).expect("valid config");
     let n_automata = model.network().automata().len();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = swa_workload::rng::Rng64::seed_from_u64(seed);
     for _ in 0..permutations {
         let mut perm: Vec<u32> =
             (0..u32::try_from(n_automata).expect("automata fit u32")).collect();
-        perm.shuffle(&mut rng);
+        rng.shuffle(&mut perm);
         let run =
             analyze_configuration_with(config, TieBreak::Permuted(perm)).expect("permuted run");
         orders += 1;
@@ -167,6 +166,92 @@ pub fn determinism_check(
     DeterminismResult {
         orders_tried: orders,
         all_equal,
+    }
+}
+
+/// Result of the batch-engine speedup measurement: the same candidate
+/// family checked exhaustively by one worker and by one worker per core.
+#[derive(Debug, Clone)]
+pub struct BatchSpeedup {
+    /// Number of candidate configurations in the family.
+    pub candidates: usize,
+    /// Worker threads in the parallel run (one per available core).
+    pub workers: usize,
+    /// Wall time of the one-worker run.
+    pub sequential: Duration,
+    /// Wall time of the all-cores run.
+    pub parallel: Duration,
+    /// Aggregated metrics of the parallel run.
+    pub metrics: BatchMetrics,
+}
+
+impl BatchSpeedup {
+    /// Sequential wall time over parallel wall time.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.sequential.as_secs_f64() / self.parallel.as_secs_f64().max(1e-9)
+    }
+
+    /// The one-line summary the experiment logs; `>1.8x` is expected on
+    /// machines with at least 4 cores.
+    #[must_use]
+    pub fn log_line(&self) -> String {
+        format!(
+            "batch speedup: {} candidates, {} worker(s): {} s -> {} s ({:.2}x, \
+             {:.1} checks/s, {:.0}% worker utilization)",
+            self.candidates,
+            self.workers,
+            secs(self.sequential),
+            secs(self.parallel),
+            self.speedup(),
+            self.metrics.checks_per_sec(),
+            100.0 * self.metrics.utilization(),
+        )
+    }
+}
+
+/// Measures the parallel batch engine against a one-worker run on a
+/// generated candidate family (both exhaustive, so both do identical work).
+///
+/// # Panics
+///
+/// Panics if a candidate fails to analyze (experiment code).
+#[must_use]
+pub fn batch_speedup(candidates: usize, seed: u64) -> BatchSpeedup {
+    let family: Vec<_> = (0..candidates)
+        .map(|i| {
+            industrial_config(&IndustrialSpec {
+                modules: 1,
+                cores_per_module: 1,
+                partitions_per_core: 2,
+                tasks_per_partition: 4,
+                core_utilization: 0.40 + 0.30 * (i as f64 / candidates.max(1) as f64),
+                message_fraction: 0.0,
+                seed,
+                ..IndustrialSpec::default()
+            })
+        })
+        .collect();
+
+    let sequential = Analyzer::batch(&family)
+        .parallelism(1)
+        .exhaustive()
+        .expect("sequential batch");
+    let parallel = Analyzer::batch(&family)
+        .parallelism(0)
+        .exhaustive()
+        .expect("parallel batch");
+    assert_eq!(
+        sequential.winner, parallel.winner,
+        "the batch verdict must not depend on parallelism"
+    );
+
+    BatchSpeedup {
+        candidates,
+        workers: parallel.metrics.workers.len(),
+        sequential: sequential.metrics.wall,
+        parallel: parallel.metrics.wall,
+        metrics: parallel.metrics,
     }
 }
 
@@ -238,6 +323,17 @@ mod tests {
         let result = determinism_check(&config, 3, 42);
         assert!(result.all_equal);
         assert_eq!(result.orders_tried, 5);
+    }
+
+    #[test]
+    fn batch_speedup_measures_identical_work() {
+        let s = batch_speedup(8, 3);
+        assert_eq!(s.candidates, 8);
+        assert!(s.workers >= 1);
+        assert!(s.sequential > Duration::ZERO);
+        assert!(s.parallel > Duration::ZERO);
+        assert_eq!(s.metrics.checks, 8);
+        assert!(s.log_line().contains("batch speedup: 8 candidates"));
     }
 
     #[test]

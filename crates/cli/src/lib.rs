@@ -23,7 +23,7 @@
 
 use std::fmt::Write as _;
 
-use swa_core::SystemModel;
+use swa_core::{Analyzer, SystemModel};
 use swa_ima::Configuration;
 use swa_ima::Topology;
 use swa_schedtool::{search, DesignProblem, SearchOptions};
@@ -88,6 +88,10 @@ COMMANDS:
                 recomputed) and search for a schedulable configuration
                   --out <file>        write the found configuration as XML
                   --max-iterations <n>  search budget (default 20)
+                  --parallel <n>      worker threads for candidate checks
+                                      (default 0 = one per core; any value
+                                      finds the same configuration)
+                  --speculation <n>   candidates proposed per round (default 4)
     dot         export Graphviz DOT
                   --automaton <name>  one automaton instead of the network
     uppaal      export the NSA instance as UPPAAL 4.x XML
@@ -185,7 +189,7 @@ fn cmd_analyze(
     topology: Option<&Topology>,
     options: &[String],
 ) -> CommandOutcome {
-    let report = match swa_core::analyze_configuration_with_topology(config, topology) {
+    let report = match Analyzer::new(config).topology_opt(topology).run() {
         Ok(r) => r,
         Err(e) => return CommandOutcome::error(format!("analysis failed: {e}")),
     };
@@ -368,11 +372,21 @@ fn cmd_search(config: &Configuration, options: &[String]) -> CommandOutcome {
         Ok(v) => v,
         Err(e) => return CommandOutcome::error(e),
     };
+    let parallelism = match parse_usize(options, "--parallel", 0) {
+        Ok(v) => v,
+        Err(e) => return CommandOutcome::error(e),
+    };
+    let speculation = match parse_usize(options, "--speculation", 4) {
+        Ok(v) => v,
+        Err(e) => return CommandOutcome::error(e),
+    };
     let problem = DesignProblem::from_configuration(config);
     let outcome = match search(
         &problem,
         &SearchOptions {
             max_iterations,
+            parallelism,
+            speculation,
             ..SearchOptions::default()
         },
     ) {
@@ -563,6 +577,20 @@ mod tests {
         let out = run_on("search", &config(true), &[]);
         assert_eq!(out.exit_code, 0, "{}", out.stdout);
         assert!(out.stdout.contains("<configuration>"));
+    }
+
+    #[test]
+    fn search_finds_the_same_configuration_at_any_parallelism() {
+        // Compare the emitted configuration XML only: iteration lines carry
+        // wall-clock check times that naturally differ between runs.
+        let found_xml = |out: &CommandOutcome| {
+            let at = out.stdout.find("<configuration>").expect("xml in output");
+            out.stdout[at..].to_string()
+        };
+        let sequential = run_on("search", &config(true), &opts(&["--parallel", "1"]));
+        let parallel = run_on("search", &config(true), &opts(&["--parallel", "4"]));
+        assert_eq!(sequential.exit_code, 0, "{}", sequential.stdout);
+        assert_eq!(found_xml(&sequential), found_xml(&parallel));
     }
 
     #[test]

@@ -16,6 +16,32 @@ use crate::sysevents::{SysEventKind, SystemTrace};
 /// executing intervals, executed total, completion time)`.
 pub type JobSignature = (TaskRef, u32, Vec<(i64, i64)>, i64, Option<i64>);
 
+/// The typed schedulability verdict of an analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// Every job completes its full WCET within its deadline.
+    Schedulable,
+    /// At least one job misses (the paper's Sect. 2.1 criterion fails).
+    Unschedulable,
+}
+
+impl Verdict {
+    /// `true` for [`Verdict::Schedulable`].
+    #[must_use]
+    pub fn is_schedulable(self) -> bool {
+        matches!(self, Self::Schedulable)
+    }
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Schedulable => "schedulable",
+            Self::Unschedulable => "unschedulable",
+        })
+    }
+}
+
 /// The reconstructed execution history of one job.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobOutcome {
@@ -88,6 +114,16 @@ impl Analysis {
     /// Outcomes of jobs that missed.
     pub fn missed_jobs(&self) -> impl Iterator<Item = &JobOutcome> {
         self.jobs.iter().filter(|j| !j.is_ok())
+    }
+
+    /// The typed schedulability verdict.
+    #[must_use]
+    pub fn verdict(&self) -> Verdict {
+        if self.schedulable {
+            Verdict::Schedulable
+        } else {
+            Verdict::Unschedulable
+        }
     }
 
     /// The schedulability-relevant projection of the analysis: for every

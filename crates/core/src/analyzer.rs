@@ -1,0 +1,212 @@
+//! The one-stop analysis entry point: a builder over the full pipeline
+//! (configuration → model instance → trace → verdict) and, through
+//! [`Analyzer::batch`], over the parallel batch engine of [`crate::batch`].
+//!
+//! Every other entry point in the workspace — the [`analyze_configuration`]
+//! family, the CLI, the experiment binaries, the configuration search —
+//! now routes through this type, so behavior (metrics, tie-breaking,
+//! topology handling, analysis span) is defined in exactly one place.
+//!
+//! [`analyze_configuration`]: crate::analyze_configuration
+//!
+//! ```
+//! use swa_core::Analyzer;
+//! use swa_ima::{
+//!     Configuration, CoreRef, CoreType, CoreTypeId, Module, ModuleId, Partition, SchedulerKind,
+//!     Task, Window,
+//! };
+//!
+//! let config = Configuration {
+//!     core_types: vec![CoreType::new("generic")],
+//!     modules: vec![Module::homogeneous("M1", 1, CoreTypeId::from_raw(0))],
+//!     partitions: vec![Partition::new(
+//!         "P1",
+//!         SchedulerKind::Fpps,
+//!         vec![Task::new("t", 1, vec![10], 50)],
+//!     )],
+//!     binding: vec![CoreRef::new(ModuleId::from_raw(0), 0)],
+//!     windows: vec![vec![Window::new(0, 50)]],
+//!     messages: vec![],
+//! };
+//!
+//! let report = Analyzer::new(&config).run()?;
+//! assert!(report.schedulable());
+//! # Ok::<(), swa_core::PipelineError>(())
+//! ```
+
+use std::time::Instant;
+
+use swa_ima::{Configuration, Topology};
+use swa_nsa::TieBreak;
+
+use crate::analysis::analyze_spanning;
+use crate::batch::{run_batch, BatchMode, BatchOptions, BatchOutcome};
+use crate::error::PipelineError;
+use crate::instance::SystemModel;
+use crate::pipeline::{AnalysisReport, RunMetrics};
+use crate::sysevents::extract_system_trace;
+
+/// Builder-style entry point for analyzing one configuration.
+///
+/// Defaults: canonical tie-break order, no network topology, a one
+/// hyperperiod analysis span. See [`Analyzer::batch`] for analyzing a
+/// family of candidate configurations in parallel.
+#[derive(Debug, Clone)]
+pub struct Analyzer<'a> {
+    config: &'a Configuration,
+    topology: Option<&'a Topology>,
+    tie_break: TieBreak,
+    hyperperiods: u32,
+}
+
+impl<'a> Analyzer<'a> {
+    /// Starts an analysis of `config` with the default settings.
+    #[must_use]
+    pub fn new(config: &'a Configuration) -> Self {
+        Self {
+            config,
+            topology: None,
+            tie_break: TieBreak::Canonical,
+            hyperperiods: 1,
+        }
+    }
+
+    /// Starts a batch analysis of a family of candidate configurations;
+    /// see [`BatchAnalyzer`].
+    #[must_use]
+    pub fn batch(configs: &'a [Configuration]) -> BatchAnalyzer<'a> {
+        BatchAnalyzer {
+            configs,
+            options: BatchOptions::default(),
+        }
+    }
+
+    /// Uses an explicit tie-break order among simultaneously enabled
+    /// transitions (the determinism experiments; the analysis is invariant
+    /// to it by the paper's Sect. 3 theorem).
+    #[must_use]
+    pub fn tie_break(mut self, tie_break: TieBreak) -> Self {
+        self.tie_break = tie_break;
+        self
+    }
+
+    /// Builds the model over a switched-network topology: routed messages
+    /// become per-switch hop chains instead of single-jump virtual links.
+    #[must_use]
+    pub fn topology(mut self, topology: &'a Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// As [`topology`](Self::topology) with an optional reference (the
+    /// common shape at call sites that parsed an XML file).
+    #[must_use]
+    pub fn topology_opt(mut self, topology: Option<&'a Topology>) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Extends the simulation horizon to `hyperperiods ≥ 1` repetitions of
+    /// the window schedule (values below 1 are clamped to 1). One
+    /// hyperperiod decides schedulability; longer horizons are for
+    /// steady-state and periodicity studies.
+    #[must_use]
+    pub fn horizon(mut self, hyperperiods: u32) -> Self {
+        self.hyperperiods = hyperperiods.max(1);
+        self
+    }
+
+    /// Runs the full pipeline: Algorithm 1 instance construction,
+    /// deterministic interpretation, trace translation and the Sect. 2.1
+    /// schedulability criterion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Model`] for invalid configurations and
+    /// [`PipelineError::Simulation`] if interpretation fails (a modeling
+    /// bug, not an unschedulable configuration — unschedulable
+    /// configurations produce `schedulable == false`, not errors).
+    pub fn run(&self) -> Result<AnalysisReport, PipelineError> {
+        let t0 = Instant::now();
+        let model = SystemModel::build_spanning_with_topology(
+            self.config,
+            self.topology,
+            self.hyperperiods,
+        )?;
+        let build = t0.elapsed();
+
+        let t1 = Instant::now();
+        let outcome = model.simulate_with_tie_break(self.tie_break.clone())?;
+        let simulate = t1.elapsed();
+
+        let t2 = Instant::now();
+        let trace = extract_system_trace(&model, self.config, &outcome.trace);
+        let analysis = analyze_spanning(self.config, &trace, self.hyperperiods);
+        let analyze_time = t2.elapsed();
+
+        Ok(AnalysisReport {
+            analysis,
+            trace,
+            metrics: RunMetrics {
+                build,
+                simulate,
+                analyze: analyze_time,
+                nsa_events: outcome.trace.len(),
+                steps: outcome.steps,
+            },
+        })
+    }
+}
+
+/// Builder-style entry point for checking a family of candidate
+/// configurations on the parallel batch engine.
+///
+/// Results are deterministic regardless of `parallelism` — the winner in
+/// first-schedulable mode is always the lowest schedulable candidate
+/// index, exactly what a sequential loop over the family would return.
+#[derive(Debug, Clone)]
+pub struct BatchAnalyzer<'a> {
+    configs: &'a [Configuration],
+    options: BatchOptions,
+}
+
+impl BatchAnalyzer<'_> {
+    /// Number of worker threads; `0` (the default) uses every available
+    /// core.
+    #[must_use]
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        self.options.parallelism = workers;
+        self
+    }
+
+    /// Tie-break order passed to every candidate's simulation.
+    #[must_use]
+    pub fn tie_break(mut self, tie_break: TieBreak) -> Self {
+        self.options.tie_break = tie_break;
+        self
+    }
+
+    /// Checks candidates until the first (lowest-index) schedulable one is
+    /// identified, cancelling outstanding work beyond it.
+    ///
+    /// # Errors
+    ///
+    /// As [`Analyzer::run`], for the same candidate a sequential loop
+    /// would have failed on.
+    pub fn first_schedulable(mut self) -> Result<BatchOutcome, PipelineError> {
+        self.options.mode = BatchMode::FirstSchedulable;
+        run_batch(self.configs, &self.options)
+    }
+
+    /// Checks every candidate (no early cancellation) and reports all
+    /// verdicts.
+    ///
+    /// # Errors
+    ///
+    /// As [`Analyzer::run`], for the same candidate a sequential loop
+    /// would have failed on.
+    pub fn exhaustive(mut self) -> Result<BatchOutcome, PipelineError> {
+        self.options.mode = BatchMode::Exhaustive;
+        run_batch(self.configs, &self.options)
+    }
+}

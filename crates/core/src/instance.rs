@@ -165,6 +165,21 @@ impl SystemModel {
         Self::build_full(config, None, i64::from(hyperperiods.max(1)))
     }
 
+    /// The fully general constructor: optional switched-network topology
+    /// and a `hyperperiods ≥ 1` analysis span — the form
+    /// [`crate::Analyzer`] builds through.
+    ///
+    /// # Errors
+    ///
+    /// As [`build`](Self::build).
+    pub fn build_spanning_with_topology(
+        config: &Configuration,
+        topology: Option<&swa_ima::Topology>,
+        hyperperiods: u32,
+    ) -> Result<Self, ModelError> {
+        Self::build_full(config, topology, i64::from(hyperperiods.max(1)))
+    }
+
     fn build_full(
         config: &Configuration,
         topology: Option<&swa_ima::Topology>,

@@ -54,6 +54,8 @@
 #![allow(clippy::module_name_repetitions)]
 
 pub mod analysis;
+pub mod analyzer;
+pub mod batch;
 pub mod chains;
 pub mod error;
 pub mod gantt;
@@ -62,7 +64,11 @@ pub mod pipeline;
 pub mod sysevents;
 pub mod templates;
 
-pub use analysis::{analyze, analyze_spanning, Analysis, JobOutcome, TaskStats};
+pub use analysis::{analyze, analyze_spanning, Analysis, JobOutcome, TaskStats, Verdict};
+pub use analyzer::{Analyzer, BatchAnalyzer};
+pub use batch::{
+    run_batch, BatchMetrics, BatchMode, BatchOptions, BatchOutcome, CandidateResult, WorkerStats,
+};
 pub use chains::{chain_latency, ChainError, ChainInstance, ChainLatency};
 pub use error::{ModelError, PipelineError};
 pub use gantt::render_gantt;

@@ -1,15 +1,18 @@
 //! End-to-end analysis pipeline: configuration → model instance → trace →
 //! schedulability verdict, with per-phase timing for the experiments.
+//!
+//! The free functions here are thin wrappers over [`crate::Analyzer`],
+//! kept for compatibility; the builder is the primary entry point.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use swa_ima::Configuration;
 use swa_nsa::TieBreak;
 
-use crate::analysis::{analyze, Analysis};
+use crate::analysis::{Analysis, Verdict};
+use crate::analyzer::Analyzer;
 use crate::error::PipelineError;
-use crate::instance::SystemModel;
-use crate::sysevents::{extract_system_trace, SystemTrace};
+use crate::sysevents::SystemTrace;
 
 /// Wall-clock timings of each pipeline phase.
 #[derive(Debug, Clone, Copy, Default)]
@@ -51,6 +54,12 @@ impl AnalysisReport {
     pub fn schedulable(&self) -> bool {
         self.analysis.schedulable
     }
+
+    /// The typed verdict.
+    #[must_use]
+    pub fn verdict(&self) -> Verdict {
+        self.analysis.verdict()
+    }
 }
 
 /// Runs the full pipeline on a configuration with the canonical
@@ -89,7 +98,7 @@ impl AnalysisReport {
 /// # Ok::<(), swa_core::PipelineError>(())
 /// ```
 pub fn analyze_configuration(config: &Configuration) -> Result<AnalysisReport, PipelineError> {
-    analyze_configuration_with(config, TieBreak::Canonical)
+    Analyzer::new(config).run()
 }
 
 /// As [`analyze_configuration`], building the model over a switched-network
@@ -102,30 +111,7 @@ pub fn analyze_configuration_with_topology(
     config: &Configuration,
     topology: Option<&swa_ima::Topology>,
 ) -> Result<AnalysisReport, PipelineError> {
-    let t0 = Instant::now();
-    let model = SystemModel::build_with_topology(config, topology)?;
-    let build = t0.elapsed();
-
-    let t1 = Instant::now();
-    let outcome = model.simulate()?;
-    let simulate = t1.elapsed();
-
-    let t2 = Instant::now();
-    let trace = extract_system_trace(&model, config, &outcome.trace);
-    let analysis = analyze(config, &trace);
-    let analyze_time = t2.elapsed();
-
-    Ok(AnalysisReport {
-        analysis,
-        trace,
-        metrics: RunMetrics {
-            build,
-            simulate,
-            analyze: analyze_time,
-            nsa_events: outcome.trace.len(),
-            steps: outcome.steps,
-        },
-    })
+    Analyzer::new(config).topology_opt(topology).run()
 }
 
 /// As [`analyze_configuration`], with an explicit tie-break order (for the
@@ -138,28 +124,5 @@ pub fn analyze_configuration_with(
     config: &Configuration,
     tie_break: TieBreak,
 ) -> Result<AnalysisReport, PipelineError> {
-    let t0 = Instant::now();
-    let model = SystemModel::build(config)?;
-    let build = t0.elapsed();
-
-    let t1 = Instant::now();
-    let outcome = model.simulate_with_tie_break(tie_break)?;
-    let simulate = t1.elapsed();
-
-    let t2 = Instant::now();
-    let trace = extract_system_trace(&model, config, &outcome.trace);
-    let analysis = analyze(config, &trace);
-    let analyze_time = t2.elapsed();
-
-    Ok(AnalysisReport {
-        analysis,
-        trace,
-        metrics: RunMetrics {
-            build,
-            simulate,
-            analyze: analyze_time,
-            nsa_events: outcome.trace.len(),
-            steps: outcome.steps,
-        },
-    })
+    Analyzer::new(config).tie_break(tie_break).run()
 }

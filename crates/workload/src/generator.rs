@@ -6,13 +6,12 @@
 //! UUniFast utilizations, per-frame window schedules, and same-period data
 //! dependencies over virtual links.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use swa_ima::{
     Configuration, CoreRef, CoreType, CoreTypeId, Message, Module, ModuleId, Partition,
     PartitionId, SchedulerKind, Task, TaskRef,
 };
 
+use crate::rng::Rng64;
 use crate::uunifast::uunifast;
 use crate::windows::{synthesize_windows, PartitionDemand};
 
@@ -72,7 +71,7 @@ pub fn industrial_config(spec: &IndustrialSpec) -> Configuration {
             && spec.tasks_per_partition > 0,
         "spec sizes must be positive"
     );
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = Rng64::seed_from_u64(spec.seed);
     let menu_max = *spec.periods.iter().max().expect("nonempty menu");
 
     let core_types = vec![CoreType::new("generic")];
@@ -100,7 +99,7 @@ pub fn industrial_config(spec: &IndustrialSpec) -> Configuration {
                 let mut tasks = Vec::new();
                 let n_tasks = i64::try_from(utils.len()).expect("task count fits i64");
                 for (t, &u) in utils.iter().enumerate() {
-                    let period = spec.periods[rng.gen_range(0..spec.periods.len())];
+                    let period = spec.periods[rng.gen_range(spec.periods.len())];
                     #[allow(clippy::cast_possible_truncation, clippy::cast_precision_loss)]
                     let wcet = ((u * period as f64).round() as i64).clamp(1, period);
                     // Rate-monotonic priorities, made unique within the
@@ -173,7 +172,7 @@ pub fn industrial_config(spec: &IndustrialSpec) -> Configuration {
         })
         .collect();
     for (idx, &(pid, ti, period)) in flat.iter().enumerate() {
-        if pid.index() == 0 || rng.gen::<f64>() >= spec.message_fraction {
+        if pid.index() == 0 || rng.gen_f64() >= spec.message_fraction {
             continue;
         }
         // Find an earlier task with the same period in a different

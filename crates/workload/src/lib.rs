@@ -20,11 +20,13 @@
 #![allow(clippy::module_name_repetitions)]
 
 pub mod generator;
+pub mod rng;
 pub mod uunifast;
 pub mod windows;
 
 pub use generator::{
     config_with_jobs, industrial_config, spec_with_jobs, table1_config, IndustrialSpec,
 };
+pub use rng::Rng64;
 pub use uunifast::uunifast;
 pub use windows::{synthesize_windows, PartitionDemand};

@@ -2,13 +2,13 @@
 //! Buttazzo), the standard way schedulability papers sample `n` task
 //! utilizations summing to a target total.
 
-use rand::Rng;
+use crate::rng::Rng64;
 
 /// Draws `n` utilizations summing to `total` via UUniFast.
 ///
 /// Returns an empty vector when `n == 0`. All values are strictly positive
 /// as long as `total > 0`.
-pub fn uunifast<R: Rng + ?Sized>(rng: &mut R, n: usize, total: f64) -> Vec<f64> {
+pub fn uunifast(rng: &mut Rng64, n: usize, total: f64) -> Vec<f64> {
     if n == 0 {
         return Vec::new();
     }
@@ -17,7 +17,7 @@ pub fn uunifast<R: Rng + ?Sized>(rng: &mut R, n: usize, total: f64) -> Vec<f64> 
     for i in 1..n {
         #[allow(clippy::cast_precision_loss)]
         let exp = 1.0 / (n - i) as f64;
-        let next = sum * rng.gen::<f64>().powf(exp);
+        let next = sum * rng.gen_f64().powf(exp);
         out.push(sum - next);
         sum = next;
     }
@@ -28,12 +28,10 @@ pub fn uunifast<R: Rng + ?Sized>(rng: &mut R, n: usize, total: f64) -> Vec<f64> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn sums_to_total() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Rng64::seed_from_u64(42);
         for n in [1, 2, 5, 20] {
             let us = uunifast(&mut rng, n, 0.7);
             assert_eq!(us.len(), n);
@@ -45,14 +43,14 @@ mod tests {
 
     #[test]
     fn empty_for_zero_tasks() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng64::seed_from_u64(1);
         assert!(uunifast(&mut rng, 0, 0.5).is_empty());
     }
 
     #[test]
     fn deterministic_for_same_seed() {
-        let a = uunifast(&mut StdRng::seed_from_u64(7), 5, 0.9);
-        let b = uunifast(&mut StdRng::seed_from_u64(7), 5, 0.9);
+        let a = uunifast(&mut Rng64::seed_from_u64(7), 5, 0.9);
+        let b = uunifast(&mut Rng64::seed_from_u64(7), 5, 0.9);
         assert_eq!(a, b);
     }
 }

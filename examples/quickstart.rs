@@ -1,14 +1,11 @@
 //! Quickstart: build a small IMA configuration, run the stopwatch-automata
-//! model, and read the schedulability verdict.
+//! model through the [`Analyzer`], and read the schedulability verdict.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use swa::ima::{
-    Configuration, CoreRef, CoreType, CoreTypeId, Module, ModuleId, Partition, SchedulerKind, Task,
-    Window,
-};
+use swa::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Error> {
     // One module with one generic core.
     let config = Configuration {
         core_types: vec![CoreType::new("generic")],
@@ -34,10 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     // Configuration -> NSA instance -> trace -> analysis, in one call.
-    let report = swa::analyze_configuration(&config)?;
+    let report = Analyzer::new(&config).run()?;
 
     println!("hyperperiod: {}", report.analysis.hyperperiod);
-    println!("schedulable: {}", report.schedulable());
+    println!("verdict: {}", report.verdict());
     println!();
     println!("system operation trace (EX = execute, PR = preempt, FIN = finish):");
     print!("{}", report.trace.render());
@@ -47,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The control law runs the moment it is released; telemetry fills the
     // gaps and is preempted at t = 25 when the control law's second job
     // arrives, resuming (its execution stopwatch intact) at t = 28.
-    assert!(report.schedulable());
+    assert_eq!(report.verdict(), Verdict::Schedulable);
     let telemetry_stats = &report.analysis.task_stats[1];
     assert_eq!(telemetry_stats.preemptions, 1);
 

@@ -1,0 +1,98 @@
+//! The one error type user code needs.
+//!
+//! Each crate in the workspace keeps its own precise error enum
+//! ([`swa_ima::ConfigError`], [`swa_core::PipelineError`],
+//! [`swa_xmlio::XmlError`], …); this module wraps them so a program using
+//! the facade can `?` any of them into a single [`enum@Error`]. Nothing is
+//! deprecated — the per-crate types remain the right choice inside the
+//! crates themselves.
+
+use std::fmt;
+
+/// Any error the `swa` toolchain can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A configuration failed structural validation.
+    Config(swa_ima::ConfigError),
+    /// The analysis pipeline failed (model construction or
+    /// interpretation).
+    Pipeline(swa_core::PipelineError),
+    /// The XML interface failed to parse or validate a document.
+    Xml(swa_xmlio::XmlError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Config(e) => write!(f, "invalid configuration: {e}"),
+            Self::Pipeline(e) => e.fmt(f),
+            Self::Xml(e) => write!(f, "xml interface: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Config(e) => Some(e),
+            Self::Pipeline(e) => Some(e),
+            Self::Xml(e) => Some(e),
+        }
+    }
+}
+
+impl From<swa_ima::ConfigError> for Error {
+    fn from(e: swa_ima::ConfigError) -> Self {
+        Self::Config(e)
+    }
+}
+
+impl From<swa_core::PipelineError> for Error {
+    fn from(e: swa_core::PipelineError) -> Self {
+        Self::Pipeline(e)
+    }
+}
+
+impl From<swa_core::ModelError> for Error {
+    fn from(e: swa_core::ModelError) -> Self {
+        Self::Pipeline(swa_core::PipelineError::Model(e))
+    }
+}
+
+impl From<swa_xmlio::XmlError> for Error {
+    fn from(e: swa_xmlio::XmlError) -> Self {
+        Self::Xml(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_compose_with_question_mark() {
+        fn config() -> Result<(), Error> {
+            Err(swa_ima::ConfigError::NoModules)?
+        }
+        fn pipeline() -> Result<(), Error> {
+            Err(swa_core::PipelineError::Model(
+                swa_core::ModelError::InvalidConfig(vec![]),
+            ))?
+        }
+        fn xml() -> Result<(), Error> {
+            swa_xmlio::configuration_from_xml("<not-a-configuration/>")?;
+            Ok(())
+        }
+        assert!(matches!(config(), Err(Error::Config(_))));
+        assert!(matches!(pipeline(), Err(Error::Pipeline(_))));
+        assert!(matches!(xml(), Err(Error::Xml(_))));
+    }
+
+    #[test]
+    fn display_and_source_are_informative() {
+        let e = Error::from(swa_ima::ConfigError::NoModules);
+        assert!(e.to_string().contains("invalid configuration"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -10,27 +10,13 @@
 //! schedulability verdict — orders of magnitude faster than model checking
 //! all interleavings.
 //!
-//! This facade re-exports the project's crates:
-//!
-//! * [`nsa`] — the NSA formalism and the deterministic simulator;
-//! * [`ima`] — the IMA configuration domain (`⟨HW, WL, Bind, Sched⟩`);
-//! * [`core`] — the concrete automata (task, FPPS/FPNPS/EDF schedulers,
-//!   core scheduler, virtual link), Algorithm 1 instance construction,
-//!   trace translation and the schedulability criterion;
-//! * [`mc`] — the explicit-state model checker (the paper's baseline) and
-//!   observer-based verification (Fig. 2);
-//! * [`xmlio`] — the XML configuration/trace interface of Sect. 4;
-//! * [`workload`] — synthetic configuration generators for the
-//!   experiments;
-//! * [`schedtool`] — the configuration-search integration of Sect. 4.
-//!
 //! ## Quickstart
 //!
+//! [`prelude`] imports everything the common workflow needs; [`Analyzer`]
+//! is the entry point for running the analysis:
+//!
 //! ```
-//! use swa::ima::{
-//!     Configuration, CoreRef, CoreType, CoreTypeId, Module, ModuleId, Partition,
-//!     SchedulerKind, Task, Window,
-//! };
+//! use swa::prelude::*;
 //!
 //! let config = Configuration {
 //!     core_types: vec![CoreType::new("generic")],
@@ -45,12 +31,70 @@
 //!     messages: vec![],
 //! };
 //!
-//! let report = swa::analyze_configuration(&config)?;
-//! assert!(report.schedulable());
-//! # Ok::<(), swa::core::PipelineError>(())
+//! let report = Analyzer::new(&config).run()?;
+//! assert_eq!(report.verdict(), Verdict::Schedulable);
+//! # Ok::<(), swa::Error>(())
 //! ```
+//!
+//! To evaluate a *family* of candidate configurations in parallel —
+//! stopping as soon as the first (lowest-index) schedulable one is known —
+//! use the batch engine behind the same builder:
+//!
+//! ```
+//! use swa::prelude::*;
+//! # use swa::workload::{industrial_config, IndustrialSpec};
+//! # let candidates: Vec<Configuration> = (0..4)
+//! #     .map(|i| industrial_config(&IndustrialSpec {
+//! #         core_utilization: 0.9 - 0.1 * f64::from(i),
+//! #         ..IndustrialSpec::default()
+//! #     }))
+//! #     .collect();
+//!
+//! let outcome = Analyzer::batch(&candidates)
+//!     .parallelism(0) // 0 = one worker per available core
+//!     .first_schedulable()?;
+//! if let Some(report) = outcome.winner_report() {
+//!     println!(
+//!         "candidate {} is schedulable ({:.0} checks/s)",
+//!         outcome.winner.unwrap(),
+//!         outcome.metrics.checks_per_sec()
+//!     );
+//!     assert!(report.schedulable());
+//! }
+//! # Ok::<(), swa::Error>(())
+//! ```
+//!
+//! The verdict is deterministic: the winner is always the lowest-index
+//! schedulable candidate, identical to a sequential scan, at any
+//! parallelism.
+//!
+//! ## Crates
+//!
+//! This facade re-exports the project's crates for direct access:
+//!
+//! * [`nsa`] — the NSA formalism and the deterministic simulator;
+//! * [`ima`] — the IMA configuration domain (`⟨HW, WL, Bind, Sched⟩`);
+//! * [`core`] — the concrete automata (task, FPPS/FPNPS/EDF schedulers,
+//!   core scheduler, virtual link), Algorithm 1 instance construction,
+//!   trace translation, the schedulability criterion, and the
+//!   [`Analyzer`]/batch engine;
+//! * [`mc`] — the explicit-state model checker (the paper's baseline) and
+//!   observer-based verification (Fig. 2);
+//! * [`xmlio`] — the XML configuration/trace interface of Sect. 4;
+//! * [`workload`] — synthetic configuration generators for the
+//!   experiments (with the in-repo seeded PRNG [`workload::rng`]);
+//! * [`schedtool`] — the configuration-search integration of Sect. 4,
+//!   running on the batch engine;
+//! * [`rta`] — classical response-time analysis for cross-validation.
+//!
+//! Errors from any layer convert into the unified [`enum@Error`] via `?`.
 
 #![warn(missing_docs)]
+
+pub mod prelude;
+
+mod error;
+pub use error::Error;
 
 pub use swa_core as core;
 pub use swa_ima as ima;
@@ -61,6 +105,8 @@ pub use swa_schedtool as schedtool;
 pub use swa_workload as workload;
 pub use swa_xmlio as xmlio;
 
-pub use swa_core::{
-    analyze_configuration, analyze_configuration_with, Analysis, AnalysisReport, SystemModel,
-};
+pub use swa_core::{Analysis, AnalysisReport, Analyzer, BatchAnalyzer, SystemModel, Verdict};
+
+// Compatibility re-exports for pre-`Analyzer` call sites; new code should
+// use `Analyzer::new(&config).run()` / `Analyzer::batch(&configs)`.
+pub use swa_core::{analyze_configuration, analyze_configuration_with};
