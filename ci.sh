@@ -14,4 +14,7 @@ cargo test -q --offline --workspace
 echo "==> cargo clippy -D warnings (offline)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "==> simcore smoke (bytecode/AST engine agreement, release)"
+cargo run --release --offline -p swa-bench --bin simcore -- --smoke
+
 echo "==> ci.sh: all green"

@@ -78,6 +78,9 @@ COMMANDS:
     analyze     run the model and report the schedulability verdict
                   --trace <file>      also write the system trace as XML
                   --gantt             print an ASCII Gantt chart
+                  --engine <name>     guard/update evaluator: bytecode
+                                      (default) or ast (the reference
+                                      walker; same verdict, slower)
     validate    structural validation + dispatch-tie warnings
     verify      observer verification (Fig. 2 + Sect. 3 requirements)
                   --exhaustive        also model-check all interleavings
@@ -189,7 +192,22 @@ fn cmd_analyze(
     topology: Option<&Topology>,
     options: &[String],
 ) -> CommandOutcome {
-    let report = match Analyzer::new(config).topology_opt(topology).run() {
+    let engine = match flag_value(options, "--engine") {
+        None => swa_core::EvalEngine::default(),
+        Some(name) => match swa_core::EvalEngine::parse(name) {
+            Some(e) => e,
+            None => {
+                return CommandOutcome::error(format!(
+                    "--engine expects \"ast\" or \"bytecode\", got {name:?}"
+                ))
+            }
+        },
+    };
+    let report = match Analyzer::new(config)
+        .topology_opt(topology)
+        .engine(engine)
+        .run()
+    {
         Ok(r) => r,
         Err(e) => return CommandOutcome::error(format!("analysis failed: {e}")),
     };
@@ -205,8 +223,13 @@ fn cmd_analyze(
     );
     let _ = writeln!(
         out,
-        "model: built in {:?}, interpreted in {:?} ({} events)",
-        report.metrics.build, report.metrics.simulate, report.metrics.nsa_events
+        "model: built in {:?}, compiled in {:?} ({} programs, {} ops), interpreted in {:?} ({} events, engine {engine})",
+        report.metrics.build,
+        report.metrics.compile.time,
+        report.metrics.compile.programs,
+        report.metrics.compile.ops,
+        report.metrics.simulate,
+        report.metrics.nsa_events
     );
     out.push('\n');
     out.push_str(&report.analysis.summary());
@@ -511,6 +534,25 @@ mod tests {
         let bad = run_on("analyze", &config(false), &[]);
         assert_eq!(bad.exit_code, 2);
         assert!(bad.stdout.contains("schedulable: false"));
+    }
+
+    #[test]
+    fn analyze_engine_flag_selects_evaluator() {
+        let ast = run_on("analyze", &config(true), &opts(&["--engine", "ast"]));
+        assert_eq!(ast.exit_code, 0, "{}", ast.stdout);
+        assert!(ast.stdout.contains("engine ast"), "{}", ast.stdout);
+
+        let bc = run_on("analyze", &config(true), &opts(&["--engine", "bytecode"]));
+        assert_eq!(bc.exit_code, 0, "{}", bc.stdout);
+        assert!(bc.stdout.contains("engine bytecode"), "{}", bc.stdout);
+
+        // Both engines must agree on the verdict summary.
+        let tail = |s: &str| s[s.find("schedulable:").unwrap()..].to_string();
+        assert_eq!(tail(&ast.stdout), tail(&bc.stdout));
+
+        let bad = run_on("analyze", &config(true), &opts(&["--engine", "jit"]));
+        assert_eq!(bad.exit_code, 1);
+        assert!(bad.stdout.contains("--engine"), "{}", bad.stdout);
     }
 
     #[test]

@@ -37,13 +37,13 @@
 use std::time::Instant;
 
 use swa_ima::{Configuration, Topology};
-use swa_nsa::TieBreak;
+use swa_nsa::{EvalEngine, TieBreak};
 
 use crate::analysis::analyze_spanning;
 use crate::batch::{run_batch, BatchMode, BatchOptions, BatchOutcome};
 use crate::error::PipelineError;
 use crate::instance::SystemModel;
-use crate::pipeline::{AnalysisReport, RunMetrics};
+use crate::pipeline::{AnalysisReport, CompileMetrics, RunMetrics};
 use crate::sysevents::extract_system_trace;
 
 /// Builder-style entry point for analyzing one configuration.
@@ -57,6 +57,7 @@ pub struct Analyzer<'a> {
     topology: Option<&'a Topology>,
     tie_break: TieBreak,
     hyperperiods: u32,
+    engine: EvalEngine,
 }
 
 impl<'a> Analyzer<'a> {
@@ -68,7 +69,17 @@ impl<'a> Analyzer<'a> {
             topology: None,
             tie_break: TieBreak::Canonical,
             hyperperiods: 1,
+            engine: EvalEngine::default(),
         }
+    }
+
+    /// Selects the guard/update evaluation engine for the simulation
+    /// (compiled bytecode by default; the AST walker is kept for
+    /// differential testing and as a reference semantics).
+    #[must_use]
+    pub fn engine(mut self, engine: EvalEngine) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// Starts a batch analysis of a family of candidate configurations;
@@ -135,8 +146,26 @@ impl<'a> Analyzer<'a> {
         )?;
         let build = t0.elapsed();
 
+        // Force the lazy bytecode compilation outside the simulate phase so
+        // the metrics separate one-time lowering cost from interpretation.
+        let compile = if self.engine == EvalEngine::Bytecode {
+            let tc = Instant::now();
+            let stats = model.network().compiled().stats();
+            CompileMetrics {
+                time: tc.elapsed(),
+                programs: stats.programs,
+                ops: stats.ops,
+            }
+        } else {
+            CompileMetrics::default()
+        };
+
         let t1 = Instant::now();
-        let outcome = model.simulate_with_tie_break(self.tie_break.clone())?;
+        let outcome = model
+            .simulator()
+            .tie_break(self.tie_break.clone())
+            .engine(self.engine)
+            .run()?;
         let simulate = t1.elapsed();
 
         let t2 = Instant::now();
@@ -149,6 +178,7 @@ impl<'a> Analyzer<'a> {
             trace,
             metrics: RunMetrics {
                 build,
+                compile,
                 simulate,
                 analyze: analyze_time,
                 nsa_events: outcome.trace.len(),
@@ -183,6 +213,13 @@ impl BatchAnalyzer<'_> {
     #[must_use]
     pub fn tie_break(mut self, tie_break: TieBreak) -> Self {
         self.options.tie_break = tie_break;
+        self
+    }
+
+    /// Evaluation engine passed to every candidate's simulation.
+    #[must_use]
+    pub fn engine(mut self, engine: EvalEngine) -> Self {
+        self.options.engine = engine;
         self
     }
 

@@ -27,7 +27,7 @@ use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
 
 use swa_ima::Configuration;
-use swa_nsa::TieBreak;
+use swa_nsa::{EvalEngine, TieBreak};
 
 use crate::analyzer::Analyzer;
 use crate::error::PipelineError;
@@ -53,6 +53,8 @@ pub struct BatchOptions {
     pub mode: BatchMode,
     /// Tie-break order for every candidate's simulation.
     pub tie_break: TieBreak,
+    /// Guard/update evaluation engine for every candidate's simulation.
+    pub engine: EvalEngine,
 }
 
 /// The full analysis of one evaluated candidate.
@@ -81,6 +83,8 @@ pub struct BatchMetrics {
     pub wall: Duration,
     /// Summed instance-construction time across evaluated candidates.
     pub build: Duration,
+    /// Summed bytecode-compilation time across evaluated candidates.
+    pub compile: Duration,
     /// Summed interpretation time across evaluated candidates.
     pub simulate: Duration,
     /// Summed trace-extraction + analysis time across evaluated candidates.
@@ -204,6 +208,7 @@ pub fn run_batch(
                     let t = Instant::now();
                     let run = Analyzer::new(&configs[i])
                         .tie_break(options.tie_break.clone())
+                        .engine(options.engine)
                         .run();
                     stats.busy += t.elapsed();
                     stats.checks += 1;
@@ -242,6 +247,7 @@ pub fn run_batch(
         match msg {
             Message::Evaluated(index, report) => {
                 metrics.build += report.metrics.build;
+                metrics.compile += report.metrics.compile.time;
                 metrics.simulate += report.metrics.simulate;
                 metrics.analyze += report.metrics.analyze;
                 metrics.checks += 1;

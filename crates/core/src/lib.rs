@@ -75,6 +75,7 @@ pub use gantt::render_gantt;
 pub use instance::{ChannelRole, ModelMap, SystemModel};
 pub use pipeline::{
     analyze_configuration, analyze_configuration_with, analyze_configuration_with_topology,
-    AnalysisReport, RunMetrics,
+    AnalysisReport, CompileMetrics, RunMetrics,
 };
+pub use swa_nsa::EvalEngine;
 pub use sysevents::{extract_system_trace, SysEvent, SysEventKind, SystemTrace};

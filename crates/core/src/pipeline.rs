@@ -14,11 +14,25 @@ use crate::analyzer::Analyzer;
 use crate::error::PipelineError;
 use crate::sysevents::SystemTrace;
 
+/// Cost of lowering the instance's guards, invariants and updates to
+/// bytecode (zero when the AST engine is selected — nothing is compiled).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompileMetrics {
+    /// Wall-clock time spent compiling.
+    pub time: Duration,
+    /// Number of bytecode programs emitted.
+    pub programs: usize,
+    /// Total instruction count across all programs.
+    pub ops: usize,
+}
+
 /// Wall-clock timings of each pipeline phase.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RunMetrics {
     /// Time to construct the NSA instance (Algorithm 1).
     pub build: Duration,
+    /// Cost of the bytecode compilation pass over the instance.
+    pub compile: CompileMetrics,
     /// Time to interpret the model over one hyperperiod.
     pub simulate: Duration,
     /// Time to extract the system trace and analyze it.
@@ -33,7 +47,7 @@ impl RunMetrics {
     /// Total wall-clock time of the run.
     #[must_use]
     pub fn total(&self) -> Duration {
-        self.build + self.simulate + self.analyze
+        self.build + self.compile.time + self.simulate + self.analyze
     }
 }
 

@@ -1,0 +1,126 @@
+//! Differential suite for the compiled-bytecode engine and the event-wheel
+//! fast path: on every deterministic fixture family and 100 randomized
+//! workloads, the AST walker and the bytecode interpreter must produce the
+//! same analysis, and the indexed fast loop must produce the same trace as
+//! the generic interpreter (forced via an identity-permutation tie-break,
+//! which is semantically canonical but disables the fast path).
+
+use swa_core::{Analyzer, EvalEngine, SystemModel};
+use swa_ima::Configuration;
+use swa_nsa::sim::{SimOutcome, Simulator, TieBreak};
+use swa_workload::{config_with_jobs, industrial_config, table1_config, IndustrialSpec, Rng64};
+
+/// Runs both engines through the full pipeline and asserts identical
+/// verdicts and per-job signatures.
+fn assert_engines_agree(config: &Configuration, label: &str) {
+    let ast = Analyzer::new(config)
+        .engine(EvalEngine::Ast)
+        .run()
+        .unwrap_or_else(|e| panic!("{label}: ast pipeline failed: {e}"));
+    let bc = Analyzer::new(config)
+        .engine(EvalEngine::Bytecode)
+        .run()
+        .unwrap_or_else(|e| panic!("{label}: bytecode pipeline failed: {e}"));
+    assert_eq!(
+        ast.schedulable(),
+        bc.schedulable(),
+        "{label}: engines disagree on schedulability"
+    );
+    assert_eq!(
+        ast.analysis.signature(),
+        bc.analysis.signature(),
+        "{label}: engines disagree on the job signature"
+    );
+}
+
+/// Simulates the model's network three ways — fast path with bytecode,
+/// generic interpreter with bytecode, fast path with the AST walker — and
+/// asserts trace-level equality.
+fn assert_traces_agree(config: &Configuration, label: &str) {
+    let model = SystemModel::build(config).unwrap_or_else(|e| panic!("{label}: build failed: {e}"));
+    let network = model.network();
+    let horizon = model.horizon();
+    let identity: Vec<u32> =
+        (0..u32::try_from(network.automata().len()).expect("fits")).collect();
+
+    let run = |tie: TieBreak, engine: EvalEngine| -> SimOutcome {
+        Simulator::new(network)
+            .horizon(horizon)
+            .tie_break(tie)
+            .engine(engine)
+            .run()
+            .unwrap_or_else(|e| panic!("{label}: simulation failed: {e}"))
+    };
+
+    let fast_bc = run(TieBreak::Canonical, EvalEngine::Bytecode);
+    let generic_bc = run(TieBreak::Permuted(identity), EvalEngine::Bytecode);
+    let fast_ast = run(TieBreak::Canonical, EvalEngine::Ast);
+
+    assert_eq!(fast_bc, generic_bc, "{label}: fast path diverges from generic interpreter");
+    assert_eq!(fast_bc, fast_ast, "{label}: bytecode diverges from AST walker");
+    assert!(fast_bc.steps > 0, "{label}: degenerate run exercised nothing");
+}
+
+#[test]
+fn engines_agree_on_deterministic_fixtures() {
+    assert_engines_agree(&table1_config(12), "table1(12)");
+    assert_engines_agree(&config_with_jobs(300, 1), "industrial(300 jobs)");
+    assert_engines_agree(
+        &industrial_config(&IndustrialSpec::default()),
+        "industrial(default)",
+    );
+    // A message-heavy overloaded variant: unschedulable verdicts must agree
+    // too, not only the happy path.
+    assert_engines_agree(
+        &industrial_config(&IndustrialSpec {
+            modules: 1,
+            cores_per_module: 1,
+            partitions_per_core: 2,
+            tasks_per_partition: 4,
+            core_utilization: 1.4,
+            message_fraction: 0.5,
+            seed: 7,
+            ..IndustrialSpec::default()
+        }),
+        "industrial(overloaded)",
+    );
+}
+
+/// One spec drawn from the rng: small enough that 100 of them stay fast,
+/// varied enough to hit binary and broadcast sync, messages, several
+/// schedulers and both schedulable and overloaded utilizations.
+fn random_spec(rng: &mut Rng64, seed_index: u64) -> IndustrialSpec {
+    let menus: [&[i64]; 4] = [
+        &[10, 20, 40],
+        &[25, 50, 100],
+        &[20, 40, 80, 160],
+        &[50, 100, 200, 400],
+    ];
+    let periods = menus[rng.gen_range(menus.len())];
+    IndustrialSpec {
+        modules: 1,
+        cores_per_module: 1 + rng.gen_range(2),
+        partitions_per_core: 1 + rng.gen_range(3),
+        tasks_per_partition: 1 + rng.gen_range(4),
+        core_utilization: 0.3 + 0.8 * rng.gen_f64(),
+        periods: periods.to_vec(),
+        message_fraction: 0.4 * rng.gen_f64(),
+        seed: seed_index,
+    }
+}
+
+#[test]
+fn engines_and_fast_path_agree_on_randomized_workloads() {
+    let mut rng = Rng64::seed_from_u64(0x5eed_cafe);
+    for i in 0..100u64 {
+        let spec = random_spec(&mut rng, i);
+        let config = industrial_config(&spec);
+        let label = format!("random workload #{i} ({spec:?})");
+        assert_traces_agree(&config, &label);
+        // The full pipeline is heavier; spot-check it on every fifth
+        // workload (the trace equality above already covers the engines).
+        if i % 5 == 0 {
+            assert_engines_agree(&config, &label);
+        }
+    }
+}

@@ -1,0 +1,1573 @@
+//! Compile-once evaluation: guards, invariants and updates as flat programs.
+//!
+//! The generic evaluator walks the [`IntExpr`]/[`Pred`] AST on every guard
+//! check — a pointer chase per node, a `Vec` allocation per call (the
+//! binder stack), and a virtual dispatch per variable read. This module
+//! lowers the whole expression language once, per network, into flat
+//! stack-machine programs:
+//!
+//! * variable and array reads are pre-resolved to **slots** in the state's
+//!   flattened `vars` vector (scalars first, then array cells);
+//! * `&&`/`||`/`Ite` become **short-circuit jumps**;
+//! * bounded quantifiers become **counted loops** over a frame stack, with
+//!   the de Bruijn index resolved to an absolute frame slot at compile
+//!   time;
+//! * [`Update::If`] becomes a conditional jump; assignments carry their
+//!   domain bounds inline, so an update program needs no declaration
+//!   lookups at all.
+//!
+//! Evaluation is allocation-free after warm-up: every thread reuses one
+//! scratch [`Vm`] (an operand stack plus a loop-frame stack).
+//!
+//! ## Exact equivalence with the AST walker
+//!
+//! The compiler preserves the AST evaluator's observable semantics
+//! bit-for-bit, including error behaviour: operand evaluation order
+//! (left-to-right, except `Div`/`Rem` which check the divisor *before*
+//! evaluating the dividend), short-circuit order of `And`/`Or`, the
+//! [`MAX_QUANTIFIER_RANGE`] check before the first loop iteration, and the
+//! precedence of `IndexOutOfBounds` over `DomainViolation` in array
+//! assignments. The differential test-suite asserts trace equality between
+//! the two engines on every fixture and on randomized workloads.
+
+use std::cell::RefCell;
+
+use crate::error::{EvalError, SimError};
+use crate::expr::{CmpOp, IntExpr, Pred, MAX_QUANTIFIER_RANGE};
+use crate::guard::{atom_delay_window, DelayWindow, Guard, Invariant};
+use crate::ids::{AutomatonId, ClockId, EdgeId, LocationId, VarId};
+use crate::network::Network;
+use crate::state::State;
+use crate::update::{LValue, Update};
+
+/// Which expression evaluator the interpreters use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EvalEngine {
+    /// Walk the `IntExpr`/`Pred` AST recursively (the reference engine).
+    Ast,
+    /// Run flat pre-compiled programs (the default).
+    #[default]
+    Bytecode,
+}
+
+impl EvalEngine {
+    /// Parses an engine name as accepted by the CLI (`ast` | `bytecode`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "ast" => Some(Self::Ast),
+            "bytecode" => Some(Self::Bytecode),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for EvalEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Ast => f.write_str("ast"),
+            Self::Bytecode => f.write_str("bytecode"),
+        }
+    }
+}
+
+/// One instruction of the stack machine.
+///
+/// Booleans are represented as `0`/`1` on the operand stack; every
+/// boolean-producing instruction (`Cmp`, `Not`, quantifier steps, `Push` of
+/// a predicate literal) pushes exactly `0` or `1`, which `AndCheck`/
+/// `OrCheck` rely on to keep the short-circuited value as the result.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Push a literal.
+    Push(i64),
+    /// Push `vars[slot]`.
+    LoadVar(u32),
+    /// Pop an index, bounds-check it against `len`, push `vars[base + i]`.
+    LoadElem { array: u32, base: u32, len: u32 },
+    /// Push the loop counter of the frame at absolute depth `slot`.
+    LoadBound(u32),
+    /// Raise `EvalError::UnboundParam` (an unbound template parameter was
+    /// reached at runtime — same laziness as the AST walker).
+    FailParam(u32),
+    /// Raise `EvalError::UnboundIndex`.
+    FailBound(u32),
+    /// Pop `b`, pop `a`, push `a + b` (checked).
+    Add,
+    /// Pop `b`, pop `a`, push `a - b` (checked).
+    Sub,
+    /// Pop `b`, pop `a`, push `a * b` (checked).
+    Mul,
+    /// Peek the divisor; raise `DivisionByZero` if it is `0`. Emitted
+    /// between the divisor and the dividend so the zero check happens
+    /// before the dividend is evaluated, exactly as the AST walker does.
+    CheckDivisor,
+    /// Pop `a`, pop `d`, push `a.div_euclid(d)` (checked).
+    Div,
+    /// Pop `a`, pop `d`, push `a.rem_euclid(d)` (checked).
+    Rem,
+    /// Pop `a`, push `-a` (checked).
+    Neg,
+    /// Pop `b`, pop `a`, push `min(a, b)`.
+    Min,
+    /// Pop `b`, pop `a`, push `max(a, b)`.
+    Max,
+    /// Pop `b`, pop `a`, push `a ⋈ b` as `0`/`1`.
+    Cmp(CmpOp),
+    /// Pop `x`, push `!x`.
+    Not,
+    /// Fused `Push(k); Add`: pop `a`, push `a + k` (checked).
+    AddConst(i64),
+    /// Fused `Push(k); Cmp(op)`: pop `a`, push `a ⋈ k`.
+    CmpConst { op: CmpOp, k: i64 },
+    /// Fused `LoadVar(slot); Cmp(op)`: pop `a`, push `a ⋈ vars[slot]`.
+    CmpVar { op: CmpOp, slot: u32 },
+    /// Fused `LoadBound(frame); LoadElem`: push
+    /// `vars[base + frames[frame].i]` after the bounds check.
+    LoadElemBound { frame: u32, array: u32, base: u32, len: u32 },
+    /// Fused `CmpConst; OrCheck`: pop `a`; on `a ⋈ k` push `1` and jump.
+    CmpConstOr { op: CmpOp, k: i64, target: u32 },
+    /// Fused `CmpConst; AndCheck`: pop `a`; on `¬(a ⋈ k)` push `0` and
+    /// jump.
+    CmpConstAnd { op: CmpOp, k: i64, target: u32 },
+    /// Fused `CmpVar; OrCheck`.
+    CmpVarOr { op: CmpOp, slot: u32, target: u32 },
+    /// Fused `CmpVar; AndCheck`.
+    CmpVarAnd { op: CmpOp, slot: u32, target: u32 },
+    /// Unconditional jump.
+    Jump(u32),
+    /// Pop; jump if the popped value is `0`.
+    JumpIfFalse(u32),
+    /// Short-circuit `&&`: if the top is `0` jump (keeping the `0` as the
+    /// result), else pop and continue with the next conjunct.
+    AndCheck(u32),
+    /// Short-circuit `||`: if the top is non-`0` jump (keeping it), else
+    /// pop and continue with the next disjunct.
+    OrCheck(u32),
+    /// Pop `hi`, pop `lo`; range-check; on an empty range push `1` and
+    /// jump to `exit`, otherwise open a loop frame.
+    ForAllEnter(u32),
+    /// Pop the body's value; `0` closes the frame with result `0`;
+    /// otherwise advance the counter and loop to `head` or close the frame
+    /// with result `1` when exhausted.
+    ForAllStep { head: u32, exit: u32 },
+    /// As [`Op::ForAllEnter`] with result `0` on an empty range.
+    ExistsEnter(u32),
+    /// Dual of [`Op::ForAllStep`].
+    ExistsStep { head: u32, exit: u32 },
+    /// Pop a value, check it against the inlined domain, store to
+    /// `vars[slot]`.
+    StoreVar { slot: u32, var: u32, min: i64, max: i64 },
+    /// Pop an index, pop a value; bounds-check, domain-check, store to
+    /// `vars[base + i]`.
+    StoreElem { array: u32, base: u32, len: u32, min: i64, max: i64 },
+    /// Reset a clock to zero.
+    ClockReset(u32),
+    /// Stop a clock.
+    ClockStop(u32),
+    /// Start a clock.
+    ClockStart(u32),
+}
+
+/// One open quantifier loop: the current counter and the exclusive bound.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    i: i64,
+    hi: i64,
+}
+
+/// Reusable evaluation scratch: the operand stack and the loop frames.
+#[derive(Debug, Default)]
+struct Vm {
+    stack: Vec<i64>,
+    frames: Vec<Frame>,
+}
+
+impl Vm {
+    const fn new() -> Self {
+        Self {
+            stack: Vec::new(),
+            frames: Vec::new(),
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread scratch so evaluation never allocates after warm-up.
+    /// Const-initialized: access compiles to the `#[thread_local]` fast
+    /// path with no lazy-registration check.
+    static SCRATCH: RefCell<Vm> = const { RefCell::new(Vm::new()) };
+}
+
+/// Where loads read from and stores write to.
+///
+/// Pure programs (guards, invariants, expressions) run against a read-only
+/// variable slice; update programs run against the full mutable state. The
+/// interpreter is generic over this so both monomorphize without branches.
+trait Env {
+    fn vars(&self) -> &[i64];
+    fn set_var(&mut self, slot: usize, value: i64);
+    fn clock_reset(&mut self, clock: usize);
+    fn clock_stop(&mut self, clock: usize);
+    fn clock_start(&mut self, clock: usize);
+}
+
+/// Read-only environment for pure programs.
+struct ReadEnv<'a> {
+    vars: &'a [i64],
+}
+
+impl Env for ReadEnv<'_> {
+    #[inline]
+    fn vars(&self) -> &[i64] {
+        self.vars
+    }
+
+    fn set_var(&mut self, _slot: usize, _value: i64) {
+        unreachable!("pure programs contain no store instructions")
+    }
+
+    fn clock_reset(&mut self, _clock: usize) {
+        unreachable!("pure programs contain no clock instructions")
+    }
+
+    fn clock_stop(&mut self, _clock: usize) {
+        unreachable!("pure programs contain no clock instructions")
+    }
+
+    fn clock_start(&mut self, _clock: usize) {
+        unreachable!("pure programs contain no clock instructions")
+    }
+}
+
+/// Mutable environment for update programs.
+struct WriteEnv<'a> {
+    state: &'a mut State,
+}
+
+impl Env for WriteEnv<'_> {
+    #[inline]
+    fn vars(&self) -> &[i64] {
+        &self.state.vars
+    }
+
+    #[inline]
+    fn set_var(&mut self, slot: usize, value: i64) {
+        self.state.vars[slot] = value;
+    }
+
+    #[inline]
+    fn clock_reset(&mut self, clock: usize) {
+        self.state.clocks[clock].value = 0;
+    }
+
+    #[inline]
+    fn clock_stop(&mut self, clock: usize) {
+        self.state.clocks[clock].running = false;
+    }
+
+    #[inline]
+    fn clock_start(&mut self, clock: usize) {
+        self.state.clocks[clock].running = true;
+    }
+}
+
+/// A compiled, flat, allocation-free program.
+///
+/// Obtained from [`Program::from_expr`], [`Program::from_pred`] or
+/// [`Program::from_updates`]; slots are resolved against the network the
+/// program was compiled for, so a program must only ever run against states
+/// of that network (or a clone of it).
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    code: Vec<Op>,
+}
+
+impl Program {
+    /// Compiles an integer expression.
+    #[must_use]
+    pub fn from_expr(expr: &IntExpr, network: &Network) -> Self {
+        let mut c = Compiler::new(network);
+        c.expr(expr);
+        Self { code: fuse(c.code) }
+    }
+
+    /// Compiles a predicate; the program leaves `0`/`1` on the stack.
+    #[must_use]
+    pub fn from_pred(pred: &Pred, network: &Network) -> Self {
+        let mut c = Compiler::new(network);
+        c.pred(pred);
+        Self { code: fuse(c.code) }
+    }
+
+    /// Compiles an update sequence into one effectful program.
+    #[must_use]
+    pub fn from_updates(updates: &[Update], network: &Network) -> Self {
+        let mut c = Compiler::new(network);
+        for u in updates {
+            c.update(u);
+        }
+        Self { code: fuse(c.code) }
+    }
+
+    /// Number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether the program has no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Evaluates a pure integer program against a state.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`EvalError`] the AST walker would.
+    pub fn eval_int(&self, state: &State) -> Result<i64, EvalError> {
+        self.eval_vars(&state.vars)
+    }
+
+    /// Evaluates a pure integer program against a raw variable slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`EvalError`] the AST walker would.
+    pub fn eval_vars(&self, vars: &[i64]) -> Result<i64, EvalError> {
+        SCRATCH.with(|scratch| {
+            let vm = &mut *scratch.borrow_mut();
+            let mut env = ReadEnv { vars };
+            match run(&self.code, &mut env, vm) {
+                Ok(()) => Ok(vm.stack.pop().expect("pure program leaves its result")),
+                Err(SimError::Eval(e)) => Err(e),
+                Err(other) => unreachable!("pure program raised {other}"),
+            }
+        })
+    }
+
+    /// Evaluates a pure boolean program against a state.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`EvalError`] the AST walker would.
+    pub fn eval_bool(&self, state: &State) -> Result<bool, EvalError> {
+        Ok(self.eval_int(state)? != 0)
+    }
+
+    /// Runs an update program, mutating the state.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`SimError`] as [`State::apply_updates`].
+    pub fn exec(&self, state: &mut State) -> Result<(), SimError> {
+        if self.code.is_empty() {
+            return Ok(());
+        }
+        SCRATCH.with(|scratch| {
+            let vm = &mut *scratch.borrow_mut();
+            let mut env = WriteEnv { state };
+            run(&self.code, &mut env, vm)
+        })
+    }
+}
+
+fn negate_cmp(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Ne,
+        CmpOp::Ne => CmpOp::Eq,
+        CmpOp::Lt => CmpOp::Ge,
+        CmpOp::Ge => CmpOp::Lt,
+        CmpOp::Le => CmpOp::Gt,
+        CmpOp::Gt => CmpOp::Le,
+    }
+}
+
+/// The jump targets of a program (positions that a fusion must not
+/// swallow: fusing across one would change where the jump lands).
+fn jump_targets(code: &[Op]) -> Vec<bool> {
+    let mut t = vec![false; code.len() + 1];
+    for op in code {
+        match *op {
+            Op::Jump(x)
+            | Op::JumpIfFalse(x)
+            | Op::AndCheck(x)
+            | Op::OrCheck(x)
+            | Op::ForAllEnter(x)
+            | Op::ExistsEnter(x)
+            | Op::CmpConstOr { target: x, .. }
+            | Op::CmpConstAnd { target: x, .. }
+            | Op::CmpVarOr { target: x, .. }
+            | Op::CmpVarAnd { target: x, .. } => t[x as usize] = true,
+            Op::ForAllStep { head, exit } | Op::ExistsStep { head, exit } => {
+                t[head as usize] = true;
+                t[exit as usize] = true;
+            }
+            _ => {}
+        }
+    }
+    t
+}
+
+/// One superinstruction-fusion pass: collapses adjacent pairs into fused
+/// opcodes (never across a jump target) and remaps every jump. Returns
+/// `None` when nothing fused.
+fn fuse_once(code: &[Op]) -> Option<Vec<Op>> {
+    let targets = jump_targets(code);
+    let mut new = Vec::with_capacity(code.len());
+    let mut map = vec![0u32; code.len() + 1];
+    let mut i = 0;
+    let mut fused = false;
+    while i < code.len() {
+        map[i] = u32::try_from(new.len()).expect("program fits u32 addresses");
+        let pair = (!targets[i + 1]).then(|| code.get(i + 1).copied()).flatten();
+        let replacement = match (code[i], pair) {
+            (Op::Push(k), Some(Op::Add)) => Some(Op::AddConst(k)),
+            (Op::Push(k), Some(Op::Sub)) if k != i64::MIN => Some(Op::AddConst(-k)),
+            (Op::Push(k), Some(Op::Cmp(op))) => Some(Op::CmpConst { op, k }),
+            (Op::LoadVar(slot), Some(Op::Cmp(op))) => Some(Op::CmpVar { op, slot }),
+            (Op::LoadBound(frame), Some(Op::LoadElem { array, base, len })) => {
+                Some(Op::LoadElemBound {
+                    frame,
+                    array,
+                    base,
+                    len,
+                })
+            }
+            (Op::CmpConst { op, k }, Some(Op::OrCheck(target))) => {
+                Some(Op::CmpConstOr { op, k, target })
+            }
+            (Op::CmpConst { op, k }, Some(Op::AndCheck(target))) => {
+                Some(Op::CmpConstAnd { op, k, target })
+            }
+            (Op::CmpVar { op, slot }, Some(Op::OrCheck(target))) => {
+                Some(Op::CmpVarOr { op, slot, target })
+            }
+            (Op::CmpVar { op, slot }, Some(Op::AndCheck(target))) => {
+                Some(Op::CmpVarAnd { op, slot, target })
+            }
+            (Op::Cmp(op), Some(Op::Not)) => Some(Op::Cmp(negate_cmp(op))),
+            (Op::CmpConst { op, k }, Some(Op::Not)) => Some(Op::CmpConst {
+                op: negate_cmp(op),
+                k,
+            }),
+            (Op::CmpVar { op, slot }, Some(Op::Not)) => Some(Op::CmpVar {
+                op: negate_cmp(op),
+                slot,
+            }),
+            _ => None,
+        };
+        if let Some(op) = replacement {
+            map[i + 1] = map[i];
+            new.push(op);
+            fused = true;
+            i += 2;
+        } else {
+            new.push(code[i]);
+            i += 1;
+        }
+    }
+    if !fused {
+        return None;
+    }
+    map[code.len()] = u32::try_from(new.len()).expect("program fits u32 addresses");
+    for op in &mut new {
+        match op {
+            Op::Jump(x)
+            | Op::JumpIfFalse(x)
+            | Op::AndCheck(x)
+            | Op::OrCheck(x)
+            | Op::ForAllEnter(x)
+            | Op::ExistsEnter(x)
+            | Op::CmpConstOr { target: x, .. }
+            | Op::CmpConstAnd { target: x, .. }
+            | Op::CmpVarOr { target: x, .. }
+            | Op::CmpVarAnd { target: x, .. } => *x = map[*x as usize],
+            Op::ForAllStep { head, exit } | Op::ExistsStep { head, exit } => {
+                *head = map[*head as usize];
+                *exit = map[*exit as usize];
+            }
+            _ => {}
+        }
+    }
+    Some(new)
+}
+
+/// Runs fusion passes to a fixpoint (fused opcodes enable further pairs,
+/// e.g. `Cmp`+`Not` exposing a `Push`+`Cmp`).
+fn fuse(mut code: Vec<Op>) -> Vec<Op> {
+    while let Some(next) = fuse_once(&code) {
+        code = next;
+    }
+    code
+}
+
+/// The interpreter loop, monomorphized per environment.
+#[allow(clippy::too_many_lines)]
+fn run<E: Env>(code: &[Op], env: &mut E, vm: &mut Vm) -> Result<(), SimError> {
+    vm.stack.clear();
+    vm.frames.clear();
+    let stack = &mut vm.stack;
+    let frames = &mut vm.frames;
+    let mut pc = 0usize;
+
+    macro_rules! pop {
+        () => {
+            stack.pop().expect("balanced program")
+        };
+    }
+    macro_rules! binop {
+        ($f:ident) => {{
+            let b = pop!();
+            let a = pop!();
+            stack.push(a.$f(b).ok_or(EvalError::Overflow)?);
+        }};
+    }
+
+    while let Some(op) = code.get(pc) {
+        match *op {
+            Op::Push(v) => stack.push(v),
+            Op::LoadVar(slot) => stack.push(env.vars()[slot as usize]),
+            Op::LoadElem { array, base, len } => {
+                let index = pop!();
+                let Some(i) = usize::try_from(index).ok().filter(|i| *i < len as usize) else {
+                    return Err(EvalError::IndexOutOfBounds {
+                        array,
+                        index,
+                        len: len as usize,
+                    }
+                    .into());
+                };
+                stack.push(env.vars()[base as usize + i]);
+            }
+            Op::LoadBound(slot) => stack.push(frames[slot as usize].i),
+            Op::FailParam(p) => return Err(EvalError::UnboundParam(p).into()),
+            Op::FailBound(d) => return Err(EvalError::UnboundIndex(d as usize).into()),
+            Op::Add => binop!(checked_add),
+            Op::Sub => binop!(checked_sub),
+            Op::Mul => binop!(checked_mul),
+            Op::CheckDivisor => {
+                if *stack.last().expect("balanced program") == 0 {
+                    return Err(EvalError::DivisionByZero.into());
+                }
+            }
+            Op::Div => {
+                let a = pop!();
+                let d = pop!();
+                stack.push(a.checked_div_euclid(d).ok_or(EvalError::Overflow)?);
+            }
+            Op::Rem => {
+                let a = pop!();
+                let d = pop!();
+                stack.push(a.checked_rem_euclid(d).ok_or(EvalError::Overflow)?);
+            }
+            Op::Neg => {
+                let a = pop!();
+                stack.push(a.checked_neg().ok_or(EvalError::Overflow)?);
+            }
+            Op::Min => {
+                let b = pop!();
+                let a = pop!();
+                stack.push(a.min(b));
+            }
+            Op::Max => {
+                let b = pop!();
+                let a = pop!();
+                stack.push(a.max(b));
+            }
+            Op::Cmp(cmp) => {
+                let b = pop!();
+                let a = pop!();
+                stack.push(i64::from(cmp.apply(a, b)));
+            }
+            Op::Not => {
+                let x = pop!();
+                stack.push(i64::from(x == 0));
+            }
+            Op::AddConst(k) => {
+                let a = pop!();
+                stack.push(a.checked_add(k).ok_or(EvalError::Overflow)?);
+            }
+            Op::CmpConst { op, k } => {
+                let a = pop!();
+                stack.push(i64::from(op.apply(a, k)));
+            }
+            Op::CmpVar { op, slot } => {
+                let a = pop!();
+                stack.push(i64::from(op.apply(a, env.vars()[slot as usize])));
+            }
+            Op::LoadElemBound {
+                frame,
+                array,
+                base,
+                len,
+            } => {
+                let index = frames[frame as usize].i;
+                let Some(i) = usize::try_from(index).ok().filter(|i| *i < len as usize) else {
+                    return Err(EvalError::IndexOutOfBounds {
+                        array,
+                        index,
+                        len: len as usize,
+                    }
+                    .into());
+                };
+                stack.push(env.vars()[base as usize + i]);
+            }
+            Op::CmpConstOr { op, k, target } => {
+                let a = pop!();
+                if op.apply(a, k) {
+                    stack.push(1);
+                    pc = target as usize;
+                    continue;
+                }
+            }
+            Op::CmpConstAnd { op, k, target } => {
+                let a = pop!();
+                if !op.apply(a, k) {
+                    stack.push(0);
+                    pc = target as usize;
+                    continue;
+                }
+            }
+            Op::CmpVarOr { op, slot, target } => {
+                let a = pop!();
+                if op.apply(a, env.vars()[slot as usize]) {
+                    stack.push(1);
+                    pc = target as usize;
+                    continue;
+                }
+            }
+            Op::CmpVarAnd { op, slot, target } => {
+                let a = pop!();
+                if !op.apply(a, env.vars()[slot as usize]) {
+                    stack.push(0);
+                    pc = target as usize;
+                    continue;
+                }
+            }
+            Op::Jump(t) => {
+                pc = t as usize;
+                continue;
+            }
+            Op::JumpIfFalse(t) => {
+                if pop!() == 0 {
+                    pc = t as usize;
+                    continue;
+                }
+            }
+            Op::AndCheck(t) => {
+                if *stack.last().expect("balanced program") == 0 {
+                    pc = t as usize;
+                    continue;
+                }
+                stack.pop();
+            }
+            Op::OrCheck(t) => {
+                if *stack.last().expect("balanced program") != 0 {
+                    pc = t as usize;
+                    continue;
+                }
+                stack.pop();
+            }
+            Op::ForAllEnter(exit) => {
+                let hi = pop!();
+                let lo = pop!();
+                if hi.saturating_sub(lo) > MAX_QUANTIFIER_RANGE {
+                    return Err(EvalError::RangeTooLarge { lo, hi }.into());
+                }
+                if lo >= hi {
+                    stack.push(1);
+                    pc = exit as usize;
+                    continue;
+                }
+                frames.push(Frame { i: lo, hi });
+            }
+            Op::ForAllStep { head, exit } => {
+                let holds = pop!();
+                let frame = frames.last_mut().expect("open loop frame");
+                if holds == 0 {
+                    frames.pop();
+                    stack.push(0);
+                } else {
+                    frame.i += 1;
+                    if frame.i < frame.hi {
+                        pc = head as usize;
+                        continue;
+                    }
+                    frames.pop();
+                    stack.push(1);
+                }
+                pc = exit as usize;
+                continue;
+            }
+            Op::ExistsEnter(exit) => {
+                let hi = pop!();
+                let lo = pop!();
+                if hi.saturating_sub(lo) > MAX_QUANTIFIER_RANGE {
+                    return Err(EvalError::RangeTooLarge { lo, hi }.into());
+                }
+                if lo >= hi {
+                    stack.push(0);
+                    pc = exit as usize;
+                    continue;
+                }
+                frames.push(Frame { i: lo, hi });
+            }
+            Op::ExistsStep { head, exit } => {
+                let holds = pop!();
+                let frame = frames.last_mut().expect("open loop frame");
+                if holds != 0 {
+                    frames.pop();
+                    stack.push(1);
+                } else {
+                    frame.i += 1;
+                    if frame.i < frame.hi {
+                        pc = head as usize;
+                        continue;
+                    }
+                    frames.pop();
+                    stack.push(0);
+                }
+                pc = exit as usize;
+                continue;
+            }
+            Op::StoreVar { slot, var, min, max } => {
+                let value = pop!();
+                if value < min || value > max {
+                    return Err(SimError::DomainViolation {
+                        var: VarId::from_raw(var),
+                        value,
+                        domain: (min, max),
+                    });
+                }
+                env.set_var(slot as usize, value);
+            }
+            Op::StoreElem { array, base, len, min, max } => {
+                let index = pop!();
+                let value = pop!();
+                let Some(i) = usize::try_from(index).ok().filter(|i| *i < len as usize) else {
+                    return Err(SimError::Eval(EvalError::IndexOutOfBounds {
+                        array,
+                        index,
+                        len: len as usize,
+                    }));
+                };
+                if value < min || value > max {
+                    return Err(SimError::DomainViolation {
+                        var: VarId::from_raw(u32::MAX),
+                        value,
+                        domain: (min, max),
+                    });
+                }
+                env.set_var(base as usize + i, value);
+            }
+            Op::ClockReset(c) => env.clock_reset(c as usize),
+            Op::ClockStop(c) => env.clock_stop(c as usize),
+            Op::ClockStart(c) => env.clock_start(c as usize),
+        }
+        pc += 1;
+    }
+    Ok(())
+}
+
+/// The lowering pass. `depth` tracks the static quantifier nesting so de
+/// Bruijn indices resolve to absolute frame slots.
+struct Compiler<'n> {
+    network: &'n Network,
+    code: Vec<Op>,
+    depth: u32,
+}
+
+impl<'n> Compiler<'n> {
+    fn new(network: &'n Network) -> Self {
+        Self {
+            network,
+            code: Vec::new(),
+            depth: 0,
+        }
+    }
+
+    fn here(&self) -> u32 {
+        u32::try_from(self.code.len()).expect("program fits u32 addresses")
+    }
+
+    fn emit(&mut self, op: Op) -> usize {
+        self.code.push(op);
+        self.code.len() - 1
+    }
+
+    /// Rewrites the jump target of the instruction at `at` to `target`.
+    fn patch(&mut self, at: usize, target: u32) {
+        match &mut self.code[at] {
+            Op::Jump(t)
+            | Op::JumpIfFalse(t)
+            | Op::AndCheck(t)
+            | Op::OrCheck(t)
+            | Op::ForAllEnter(t)
+            | Op::ExistsEnter(t) => *t = target,
+            Op::ForAllStep { exit, .. } | Op::ExistsStep { exit, .. } => *exit = target,
+            other => unreachable!("patching non-jump {other:?}"),
+        }
+    }
+
+    fn expr(&mut self, e: &IntExpr) {
+        match e {
+            IntExpr::Lit(v) => {
+                self.emit(Op::Push(*v));
+            }
+            IntExpr::Var(v) => {
+                self.emit(Op::LoadVar(v.raw()));
+            }
+            IntExpr::Elem(a, idx) => {
+                self.expr(idx);
+                let base = u32::try_from(self.network.array_offset(*a))
+                    .expect("state vector fits u32 slots");
+                let len =
+                    u32::try_from(self.network.array_len(*a)).expect("array length fits u32");
+                // Peephole: a constant in-bounds index folds to a direct
+                // slot load; out-of-range constants keep the checked form
+                // so the runtime error is preserved.
+                if let Some(Op::Push(i)) = self.code.last() {
+                    if let Some(i) = u32::try_from(*i).ok().filter(|i| *i < len) {
+                        self.code.pop();
+                        self.emit(Op::LoadVar(base + i));
+                        return;
+                    }
+                }
+                self.emit(Op::LoadElem {
+                    array: a.raw(),
+                    base,
+                    len,
+                });
+            }
+            IntExpr::Param(p) => {
+                // Never returns when executed, so no balancing push needed.
+                self.emit(Op::FailParam(p.raw()));
+            }
+            IntExpr::Bound(d) => {
+                if let Ok(d32) = u32::try_from(*d) {
+                    if d32 < self.depth {
+                        self.emit(Op::LoadBound(self.depth - 1 - d32));
+                        return;
+                    }
+                }
+                self.emit(Op::FailBound(u32::try_from(*d).unwrap_or(u32::MAX)));
+            }
+            IntExpr::Add(a, b) => {
+                self.binop_folded(a, b, Op::Add, 0, i64::checked_add);
+            }
+            IntExpr::Sub(a, b) => {
+                self.binop_folded(a, b, Op::Sub, 0, i64::checked_sub);
+            }
+            IntExpr::Mul(a, b) => {
+                self.binop_folded(a, b, Op::Mul, 1, i64::checked_mul);
+            }
+            IntExpr::Div(a, b) => {
+                // Divisor first, zero-checked before the dividend runs —
+                // the AST walker's error order.
+                self.expr(b);
+                self.emit(Op::CheckDivisor);
+                self.expr(a);
+                self.emit(Op::Div);
+            }
+            IntExpr::Rem(a, b) => {
+                self.expr(b);
+                self.emit(Op::CheckDivisor);
+                self.expr(a);
+                self.emit(Op::Rem);
+            }
+            IntExpr::Neg(a) => {
+                self.expr(a);
+                self.emit(Op::Neg);
+            }
+            IntExpr::Min(a, b) => {
+                self.expr(a);
+                self.expr(b);
+                self.emit(Op::Min);
+            }
+            IntExpr::Max(a, b) => {
+                self.expr(a);
+                self.expr(b);
+                self.emit(Op::Max);
+            }
+            IntExpr::Ite(p, t, e) => {
+                self.pred(p);
+                let jf = self.emit(Op::JumpIfFalse(0));
+                self.expr(t);
+                let j = self.emit(Op::Jump(0));
+                let else_at = self.here();
+                self.patch(jf, else_at);
+                self.expr(e);
+                let end = self.here();
+                self.patch(j, end);
+            }
+        }
+    }
+
+    /// Emits `a`, `b` and the operator, folding two literal operands into
+    /// one `Push` (unless the fold itself would overflow — the runtime
+    /// error is kept) and dropping the operation entirely when `b` is the
+    /// right identity (`x + 0`, `x - 0`, `x * 1`).
+    fn binop_folded(
+        &mut self,
+        a: &IntExpr,
+        b: &IntExpr,
+        op: Op,
+        identity: i64,
+        fold: fn(i64, i64) -> Option<i64>,
+    ) {
+        let a_start = self.code.len();
+        self.expr(a);
+        let b_start = self.code.len();
+        self.expr(b);
+        if self.code.len() == b_start + 1 {
+            if let Some(Op::Push(y)) = self.code.last().copied() {
+                // Both operands literal (a single op each) — fold.
+                if b_start == a_start + 1 {
+                    if let Op::Push(x) = self.code[a_start] {
+                        if let Some(v) = fold(x, y) {
+                            self.code.truncate(a_start);
+                            self.emit(Op::Push(v));
+                            return;
+                        }
+                    }
+                }
+                if y == identity {
+                    self.code.pop();
+                    return;
+                }
+            }
+        }
+        self.emit(op);
+    }
+
+    fn pred(&mut self, p: &Pred) {
+        match p {
+            Pred::Lit(b) => {
+                self.emit(Op::Push(i64::from(*b)));
+            }
+            Pred::Cmp(op, a, b) => {
+                self.expr(a);
+                self.expr(b);
+                self.emit(Op::Cmp(*op));
+            }
+            Pred::Not(q) => {
+                self.pred(q);
+                self.emit(Op::Not);
+            }
+            Pred::And(ps) => self.chain(ps, true),
+            Pred::Or(ps) => self.chain(ps, false),
+            Pred::ForAll { lo, hi, body } => self.quantifier(lo, hi, body, true),
+            Pred::Exists { lo, hi, body } => self.quantifier(lo, hi, body, false),
+        }
+    }
+
+    /// Short-circuit conjunction (`and = true`) or disjunction chain.
+    fn chain(&mut self, ps: &[Pred], and: bool) {
+        let Some((last, init)) = ps.split_last() else {
+            self.emit(Op::Push(i64::from(and)));
+            return;
+        };
+        let mut checks = Vec::with_capacity(init.len());
+        for p in init {
+            self.pred(p);
+            checks.push(self.emit(if and { Op::AndCheck(0) } else { Op::OrCheck(0) }));
+        }
+        self.pred(last);
+        let end = self.here();
+        for at in checks {
+            self.patch(at, end);
+        }
+    }
+
+    fn quantifier(&mut self, lo: &IntExpr, hi: &IntExpr, body: &Pred, forall: bool) {
+        self.expr(lo);
+        self.expr(hi);
+        let enter = self.emit(if forall {
+            Op::ForAllEnter(0)
+        } else {
+            Op::ExistsEnter(0)
+        });
+        let head = self.here();
+        self.depth += 1;
+        self.pred(body);
+        self.depth -= 1;
+        let step = self.emit(if forall {
+            Op::ForAllStep { head, exit: 0 }
+        } else {
+            Op::ExistsStep { head, exit: 0 }
+        });
+        let exit = self.here();
+        self.patch(enter, exit);
+        self.patch(step, exit);
+    }
+
+    fn update(&mut self, u: &Update) {
+        match u {
+            Update::Assign { target, value } => {
+                self.expr(value);
+                match target {
+                    LValue::Var(v) => {
+                        let decl = &self.network.vars()[v.index()];
+                        self.emit(Op::StoreVar {
+                            slot: v.raw(),
+                            var: v.raw(),
+                            min: decl.min,
+                            max: decl.max,
+                        });
+                    }
+                    LValue::Elem(a, idx) => {
+                        self.expr(idx);
+                        let decl = &self.network.arrays()[a.index()];
+                        self.emit(Op::StoreElem {
+                            array: a.raw(),
+                            base: u32::try_from(self.network.array_offset(*a))
+                                .expect("state vector fits u32 slots"),
+                            len: u32::try_from(self.network.array_len(*a))
+                                .expect("array length fits u32"),
+                            min: decl.min,
+                            max: decl.max,
+                        });
+                    }
+                }
+            }
+            Update::ResetClock(c) => {
+                self.emit(Op::ClockReset(c.raw()));
+            }
+            Update::StopClock(c) => {
+                self.emit(Op::ClockStop(c.raw()));
+            }
+            Update::StartClock(c) => {
+                self.emit(Op::ClockStart(c.raw()));
+            }
+            Update::If {
+                cond,
+                then,
+                otherwise,
+            } => {
+                self.pred(cond);
+                let jf = self.emit(Op::JumpIfFalse(0));
+                for u in then {
+                    self.update(u);
+                }
+                let j = self.emit(Op::Jump(0));
+                let else_at = self.here();
+                self.patch(jf, else_at);
+                for u in otherwise {
+                    self.update(u);
+                }
+                let end = self.here();
+                self.patch(j, end);
+            }
+        }
+    }
+}
+
+/// A guard in compiled form: the clock-free predicates as a short-circuit
+/// conjunction of terms plus the clock atoms with compiled right-hand
+/// sides.
+#[derive(Debug, Clone)]
+pub struct CompiledGuard {
+    terms: Vec<PredTerm>,
+    atoms: Vec<CompiledClockAtom>,
+}
+
+/// One operand of a fast-path comparison.
+#[derive(Debug, Clone, Copy)]
+enum Operand {
+    Const(i64),
+    Slot(u32),
+}
+
+impl Operand {
+    fn of(op: &Op) -> Option<Self> {
+        match op {
+            Op::Push(v) => Some(Self::Const(*v)),
+            Op::LoadVar(s) => Some(Self::Slot(*s)),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn get(self, vars: &[i64]) -> i64 {
+        match self {
+            Self::Const(v) => v,
+            Self::Slot(s) => vars[s as usize],
+        }
+    }
+}
+
+/// One conjunct of a compiled guard predicate.
+///
+/// Scheduler-dispatch guards open with comparisons over variables and
+/// constant-indexed array cells (`is_ready[3] == 1 && …`); those compile
+/// to inline [`PredTerm::Cmp`] terms that evaluate — and short-circuit —
+/// without entering the interpreter at all.
+#[derive(Debug, Clone)]
+enum PredTerm {
+    Cmp { lhs: Operand, op: CmpOp, rhs: Operand },
+    Prog(Program),
+}
+
+impl PredTerm {
+    fn compile(pred: &Pred, network: &Network) -> Self {
+        let p = Program::from_pred(pred, network);
+        let fast = match p.code.as_slice() {
+            [a, b, Op::Cmp(op)] => Operand::of(a)
+                .zip(Operand::of(b))
+                .map(|(lhs, rhs)| (lhs, *op, rhs)),
+            [a, Op::CmpConst { op, k }] => {
+                Operand::of(a).map(|lhs| (lhs, *op, Operand::Const(*k)))
+            }
+            [a, Op::CmpVar { op, slot }] => {
+                Operand::of(a).map(|lhs| (lhs, *op, Operand::Slot(*slot)))
+            }
+            _ => None,
+        };
+        match fast {
+            Some((lhs, op, rhs)) => Self::Cmp { lhs, op, rhs },
+            None => Self::Prog(p),
+        }
+    }
+
+    #[inline]
+    fn eval(&self, vars: &[i64]) -> Result<bool, EvalError> {
+        match self {
+            Self::Cmp { lhs, op, rhs } => Ok(op.apply(lhs.get(vars), rhs.get(vars))),
+            Self::Prog(p) => Ok(p.eval_vars(vars)? != 0),
+        }
+    }
+
+    /// Instruction count for [`CompileStats`] (a fast comparison counts
+    /// as the three instructions it replaced).
+    fn ops(&self) -> usize {
+        match self {
+            Self::Cmp { .. } => 3,
+            Self::Prog(p) => p.len(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CompiledClockAtom {
+    clock: ClockId,
+    op: CmpOp,
+    rhs: Rhs,
+}
+
+/// A compiled right-hand side with the two overwhelmingly common shapes —
+/// a literal and a bare variable — folded out of the interpreter entirely,
+/// so `c ≤ 5` and `c ≤ deadline` cost a comparison, not a program run.
+#[derive(Debug, Clone)]
+enum Rhs {
+    Const(i64),
+    Var(u32),
+    Prog(Program),
+}
+
+impl Rhs {
+    fn compile(expr: &IntExpr, network: &Network) -> Self {
+        let p = Program::from_expr(expr, network);
+        match p.code.as_slice() {
+            [Op::Push(v)] => Self::Const(*v),
+            [Op::LoadVar(slot)] => Self::Var(*slot),
+            _ => Self::Prog(p),
+        }
+    }
+
+    #[inline]
+    fn eval(&self, vars: &[i64]) -> Result<i64, EvalError> {
+        match self {
+            Self::Const(v) => Ok(*v),
+            Self::Var(slot) => Ok(vars[*slot as usize]),
+            Self::Prog(p) => p.eval_vars(vars),
+        }
+    }
+
+    /// Instruction count for [`CompileStats`] (folded forms count as the
+    /// one instruction they replaced).
+    fn ops(&self) -> usize {
+        match self {
+            Self::Const(_) | Self::Var(_) => 1,
+            Self::Prog(p) => p.len(),
+        }
+    }
+}
+
+impl CompiledGuard {
+    /// Compiles a guard for `network`.
+    #[must_use]
+    pub fn compile(guard: &Guard, network: &Network) -> Self {
+        // Top-level conjunctions flatten into separate terms: a dispatch
+        // guard `a == 0 && ready[i] == 1 && ∀…` evaluates (and usually
+        // short-circuits) on inline comparisons, entering the interpreter
+        // only for the quantifier. Evaluation and error order match the
+        // AST walker's left-to-right conjunction exactly.
+        fn flatten<'p>(p: &'p Pred, out: &mut Vec<&'p Pred>) {
+            if let Pred::And(ps) = p {
+                for q in ps {
+                    flatten(q, out);
+                }
+            } else {
+                out.push(p);
+            }
+        }
+        let mut flat = Vec::new();
+        for p in &guard.preds {
+            flatten(p, &mut flat);
+        }
+        let terms = flat
+            .into_iter()
+            .map(|p| PredTerm::compile(p, network))
+            .collect();
+        let atoms = guard
+            .clock_atoms
+            .iter()
+            .map(|a| CompiledClockAtom {
+                clock: a.clock,
+                op: a.op,
+                rhs: Rhs::compile(&a.rhs, network),
+            })
+            .collect();
+        Self { terms, atoms }
+    }
+
+    /// As [`Guard::holds`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors in the same order as the AST walker.
+    pub fn holds(&self, state: &State) -> Result<bool, EvalError> {
+        for t in &self.terms {
+            if !t.eval(&state.vars)? {
+                return Ok(false);
+            }
+        }
+        for a in &self.atoms {
+            let rhs = a.rhs.eval(&state.vars)?;
+            if !a.op.apply(state.clocks[a.clock.index()].value, rhs) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// As [`Guard::enabling_window`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors in the same order as the AST walker.
+    pub fn enabling_window(&self, state: &State) -> Result<Option<DelayWindow>, EvalError> {
+        for t in &self.terms {
+            if !t.eval(&state.vars)? {
+                return Ok(None);
+            }
+        }
+        let mut window = DelayWindow::full();
+        for a in &self.atoms {
+            let rhs = a.rhs.eval(&state.vars)?;
+            let cv = &state.clocks[a.clock.index()];
+            match atom_delay_window(a.op, cv.value, cv.running, rhs) {
+                None => return Ok(None),
+                Some(w) => match window.intersect(w) {
+                    None => return Ok(None),
+                    Some(i) => window = i,
+                },
+            }
+        }
+        Ok(Some(window))
+    }
+}
+
+/// An invariant in compiled form: upper-bound atoms with compiled
+/// right-hand sides.
+#[derive(Debug, Clone)]
+pub struct CompiledInvariant {
+    atoms: Vec<(ClockId, Rhs)>,
+}
+
+impl CompiledInvariant {
+    /// Compiles an invariant for `network`.
+    #[must_use]
+    pub fn compile(invariant: &Invariant, network: &Network) -> Self {
+        Self {
+            atoms: invariant
+                .atoms
+                .iter()
+                .map(|a| (a.clock, Rhs::compile(&a.rhs, network)))
+                .collect(),
+        }
+    }
+
+    /// As [`Invariant::holds`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors in the same order as the AST walker.
+    pub fn holds(&self, state: &State) -> Result<bool, EvalError> {
+        for (clock, rhs) in &self.atoms {
+            let rhs = rhs.eval(&state.vars)?;
+            if state.clocks[clock.index()].value > rhs {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// As [`Invariant::max_delay`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors in the same order as the AST walker.
+    pub fn max_delay(&self, state: &State) -> Result<Option<i64>, EvalError> {
+        let mut bound: Option<i64> = None;
+        for (clock, rhs) in &self.atoms {
+            let rhs = rhs.eval(&state.vars)?;
+            let cv = &state.clocks[clock.index()];
+            if cv.running {
+                let d = rhs - cv.value;
+                bound = Some(bound.map_or(d, |b| b.min(d)));
+            } else if cv.value > rhs {
+                return Ok(Some(-1));
+            }
+        }
+        Ok(bound)
+    }
+}
+
+/// Per-program-kind instruction counts, surfaced through
+/// `CompileMetrics` in `swa-core`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompileStats {
+    /// Number of compiled programs (guard predicates, atom right-hand
+    /// sides, invariant bounds, update sequences).
+    pub programs: usize,
+    /// Total instructions across all programs.
+    pub ops: usize,
+}
+
+/// Every guard, invariant and update of a network in compiled form,
+/// indexed the same way the network indexes edges and locations.
+///
+/// Built lazily (and at most once) per network via
+/// [`Network::compiled`]; cloning a network clones the compiled form with
+/// it, which stays valid because programs only bake in slot offsets and
+/// domains, both preserved by clone.
+#[derive(Debug, Clone)]
+pub struct CompiledNetwork {
+    /// `guards[automaton][edge]`.
+    guards: Vec<Vec<CompiledGuard>>,
+    /// `invariants[automaton][location]`.
+    invariants: Vec<Vec<CompiledInvariant>>,
+    /// `updates[automaton][edge]`.
+    updates: Vec<Vec<Program>>,
+    stats: CompileStats,
+}
+
+impl CompiledNetwork {
+    /// Compiles every guard, invariant and update sequence of the network.
+    #[must_use]
+    pub fn compile(network: &Network) -> Self {
+        let mut guards = Vec::with_capacity(network.automata().len());
+        let mut invariants = Vec::with_capacity(network.automata().len());
+        let mut updates = Vec::with_capacity(network.automata().len());
+        for a in network.automata() {
+            guards.push(
+                a.edges
+                    .iter()
+                    .map(|e| CompiledGuard::compile(&e.guard, network))
+                    .collect::<Vec<_>>(),
+            );
+            invariants.push(
+                a.locations
+                    .iter()
+                    .map(|l| CompiledInvariant::compile(&l.invariant, network))
+                    .collect::<Vec<_>>(),
+            );
+            updates.push(
+                a.edges
+                    .iter()
+                    .map(|e| Program::from_updates(&e.updates, network))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        let mut stats = CompileStats::default();
+        let mut count = |ops: usize| {
+            stats.programs += 1;
+            stats.ops += ops;
+        };
+        for gs in &guards {
+            for g in gs {
+                for t in &g.terms {
+                    count(t.ops());
+                }
+                for a in &g.atoms {
+                    count(a.rhs.ops());
+                }
+            }
+        }
+        for is in &invariants {
+            for i in is {
+                for (_, rhs) in &i.atoms {
+                    count(rhs.ops());
+                }
+            }
+        }
+        for us in &updates {
+            for u in us {
+                count(u.len());
+            }
+        }
+        Self {
+            guards,
+            invariants,
+            updates,
+            stats,
+        }
+    }
+
+    /// The compiled guard of an edge.
+    #[must_use]
+    pub fn guard(&self, automaton: AutomatonId, edge: EdgeId) -> &CompiledGuard {
+        &self.guards[automaton.index()][edge.index()]
+    }
+
+    /// The compiled invariant of a location.
+    #[must_use]
+    pub fn invariant(&self, automaton: AutomatonId, location: LocationId) -> &CompiledInvariant {
+        &self.invariants[automaton.index()][location.index()]
+    }
+
+    /// The compiled update program of an edge.
+    #[must_use]
+    pub fn updates(&self, automaton: AutomatonId, edge: EdgeId) -> &Program {
+        &self.updates[automaton.index()][edge.index()]
+    }
+
+    /// Instruction-count statistics of the compilation.
+    #[must_use]
+    pub fn stats(&self) -> CompileStats {
+        self.stats
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine dispatch used by `semantics`, `sim` and `fastsim`.
+//
+// Each helper evaluates one model component through the selected engine;
+// the AST arm is the reference implementation, the bytecode arm the
+// compiled one. Both interpreters route every evaluation through these, so
+// `--engine ast` really does exercise the AST walker end to end.
+// ---------------------------------------------------------------------------
+
+/// Evaluates an edge guard.
+pub(crate) fn guard_holds(
+    network: &Network,
+    engine: EvalEngine,
+    automaton: AutomatonId,
+    edge: EdgeId,
+    state: &State,
+) -> Result<bool, EvalError> {
+    match engine {
+        EvalEngine::Ast => {
+            let view = crate::state::EnvView { network, state };
+            network
+                .automaton(automaton)
+                .edge(edge)
+                .guard
+                .holds(&view, &view)
+        }
+        EvalEngine::Bytecode => network.compiled().guard(automaton, edge).holds(state),
+    }
+}
+
+/// Computes an edge guard's enabling window.
+pub(crate) fn guard_window(
+    network: &Network,
+    engine: EvalEngine,
+    automaton: AutomatonId,
+    edge: EdgeId,
+    state: &State,
+) -> Result<Option<DelayWindow>, EvalError> {
+    match engine {
+        EvalEngine::Ast => {
+            let view = crate::state::EnvView { network, state };
+            network
+                .automaton(automaton)
+                .edge(edge)
+                .guard
+                .enabling_window(&view, &view)
+        }
+        EvalEngine::Bytecode => network
+            .compiled()
+            .guard(automaton, edge)
+            .enabling_window(state),
+    }
+}
+
+/// Evaluates a location invariant at the current instant.
+pub(crate) fn invariant_holds(
+    network: &Network,
+    engine: EvalEngine,
+    automaton: AutomatonId,
+    location: LocationId,
+    state: &State,
+) -> Result<bool, EvalError> {
+    match engine {
+        EvalEngine::Ast => {
+            let view = crate::state::EnvView { network, state };
+            network
+                .automaton(automaton)
+                .location(location)
+                .invariant
+                .holds(&view, &view)
+        }
+        EvalEngine::Bytecode => network
+            .compiled()
+            .invariant(automaton, location)
+            .holds(state),
+    }
+}
+
+/// Computes a location invariant's maximum admissible delay.
+pub(crate) fn invariant_max_delay(
+    network: &Network,
+    engine: EvalEngine,
+    automaton: AutomatonId,
+    location: LocationId,
+    state: &State,
+) -> Result<Option<i64>, EvalError> {
+    match engine {
+        EvalEngine::Ast => {
+            let view = crate::state::EnvView { network, state };
+            network
+                .automaton(automaton)
+                .location(location)
+                .invariant
+                .max_delay(&view, &view)
+        }
+        EvalEngine::Bytecode => network
+            .compiled()
+            .invariant(automaton, location)
+            .max_delay(state),
+    }
+}
+
+/// Runs an edge's update sequence against the state.
+pub(crate) fn run_edge_updates(
+    network: &Network,
+    engine: EvalEngine,
+    automaton: AutomatonId,
+    edge: EdgeId,
+    state: &mut State,
+) -> Result<(), SimError> {
+    match engine {
+        EvalEngine::Ast => {
+            let updates = &network.automaton(automaton).edge(edge).updates;
+            state.apply_updates(network, updates)
+        }
+        EvalEngine::Bytecode => network.compiled().updates(automaton, edge).exec(state),
+    }
+}

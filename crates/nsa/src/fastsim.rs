@@ -16,6 +16,26 @@
 //!    (`wake[a]`) can be cached when the automaton enters the location and
 //!    stays exact until the automaton itself moves.
 //!
+//! On top of the cached wake times, [`FastRun`] keeps an **event wheel** so
+//! that neither finding the next transition nor computing the next delay
+//! target requires an `O(automata)` scan:
+//!
+//! * a `ready` set (ordered by automaton id — canonical order) of cacheable
+//!   automata whose wake time has arrived,
+//! * a lazy-deletion min-heap of *future* wake times, drained into `ready`
+//!   whenever time advances,
+//! * a mirror heap of invariant expiries,
+//! * a `dynamic` set of automata whose guards read variables and must be
+//!   rescanned at every step, and
+//! * per-channel receiver-readiness sets holding exactly the receiving
+//!   edges whose source location is current, in canonical order.
+//!
+//! Heap entries are never updated in place: an entry `(t, a)` is *live* iff
+//! the corresponding cached value still equals `t` (and the automaton is
+//! still cacheable); stale entries are discarded when they surface. A step
+//! therefore costs `O(participants · log automata)` instead of
+//! `O(automata)`.
+//!
 //! A network is *eligible* for the fast path when receive-edge guards are
 //! clock-free and no edge manipulates a clock that another automaton's
 //! guards or invariants read — both true of every model `swa-core`
@@ -23,19 +43,25 @@
 //! non-canonical tie-breaks) fall back to the generic interpreter; the two
 //! produce identical traces, which the test-suite asserts.
 
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
+
 use crate::automaton::Sync;
+use crate::bytecode::{self, EvalEngine};
 use crate::error::SimError;
 use crate::guard::{Guard, Invariant};
-use crate::ids::{AutomatonId, ClockId, EdgeId};
+use crate::ids::{AutomatonId, ChannelId, ClockId, EdgeId, LocationId};
 use crate::network::{ChannelKind, Network};
-use crate::semantics::{apply, Transition};
-use crate::state::{EnvView, State};
+use crate::semantics::{apply_with, Transition};
+use crate::state::State;
 
 /// Per-location static classification.
 #[derive(Debug, Clone)]
 struct LocInfo {
     /// Edges that can initiate a transition (internal or send), in order.
     initiators: Vec<EdgeId>,
+    /// Receiving edges out of this location, in ascending edge order.
+    recv_edges: Vec<(ChannelId, EdgeId)>,
     /// Whether every initiator guard is state-independent (its enabling
     /// window, computed on entry, stays exact until the automaton moves).
     guards_cacheable: bool,
@@ -156,10 +182,12 @@ impl FastCache {
                     u32::try_from(li).expect("location count fits u32"),
                 );
                 let mut initiators = Vec::new();
+                let mut recv_edges = Vec::new();
                 let mut guards_cacheable = true;
                 for &eid in network.outgoing_edges(aid, lid) {
                     let e = a.edge(eid);
-                    if matches!(e.sync, Sync::Recv(_)) {
+                    if let Sync::Recv(ch) = e.sync {
+                        recv_edges.push((ch, eid));
                         continue;
                     }
                     if !guard_state_independent(&e.guard) {
@@ -169,6 +197,7 @@ impl FastCache {
                 }
                 per_loc.push(LocInfo {
                     initiators,
+                    recv_edges,
                     guards_cacheable,
                     inv_cacheable: invariant_state_independent(&l.invariant),
                     committed: l.committed,
@@ -188,12 +217,29 @@ impl FastCache {
 }
 
 /// A running fast interpretation.
+///
+/// # Event-wheel invariants
+///
+/// * `ready`, `dynamic_set` and the wake heap partition the automata that
+///   can ever initiate: a cacheable automaton with `wake[a] <= now` is in
+///   `ready`; with `now < wake[a] < MAX` it has a live heap entry; with
+///   `wake[a] == MAX` it is in neither. Dynamic automata are exactly the
+///   members of `dynamic_set`.
+/// * A wake-heap entry `(t, a)` is live iff `!dynamic[a] && wake[a] == t`;
+///   an invariant-heap entry iff `!inv_dynamic[a] && inv_expiry[a] == t`.
+///   Live wake entries always satisfy `t > now` (entries falling due are
+///   drained into `ready` by [`FastRun::advance`]).
+/// * `recv_ready[ch]` holds exactly the receiving edges on `ch` whose
+///   source location is the owning automaton's current location, in
+///   canonical `(automaton, edge)` order.
 pub(crate) struct FastRun<'n> {
     network: &'n Network,
+    compiled: Option<&'n crate::bytecode::CompiledNetwork>,
     cache: &'n FastCache,
+    engine: EvalEngine,
     /// Absolute earliest time automaton `a` could initiate a transition
     /// (`i64::MAX` = never, as long as it does not move). For locations
-    /// with non-cacheable guards this is kept at the current time
+    /// with non-cacheable guards this is kept at the refresh time
     /// (rescan every step).
     wake: Vec<i64>,
     /// `wake[a]` is a live lower bound only when the guards are cacheable;
@@ -205,6 +251,21 @@ pub(crate) struct FastRun<'n> {
     /// Invariants needing recomputation at each delay decision.
     inv_dynamic: Vec<bool>,
     committed_count: usize,
+    /// Cacheable automata whose wake time has arrived, ascending by id.
+    ready: BTreeSet<u32>,
+    /// Automata rescanned every step, ascending by id.
+    dynamic_set: BTreeSet<u32>,
+    /// Automata whose invariants are recomputed at each delay decision.
+    inv_dynamic_set: BTreeSet<u32>,
+    /// Future wake times (lazy deletion, see the invariants above).
+    wake_heap: BinaryHeap<Reverse<(i64, u32)>>,
+    /// Bounded invariant expiries (lazy deletion).
+    inv_heap: BinaryHeap<Reverse<(i64, u32)>>,
+    /// Per channel: currently-ready receiving edges in canonical order.
+    recv_ready: Vec<BTreeSet<(u32, u32)>>,
+    /// Location whose receive edges each automaton has registered in
+    /// `recv_ready` (`None` before the first refresh).
+    registered: Vec<Option<LocationId>>,
 }
 
 impl<'n> FastRun<'n> {
@@ -212,16 +273,26 @@ impl<'n> FastRun<'n> {
         network: &'n Network,
         cache: &'n FastCache,
         state: &State,
+        engine: EvalEngine,
     ) -> Result<Self, SimError> {
         let n = network.automata().len();
         let mut run = Self {
             network,
+            compiled: (engine == EvalEngine::Bytecode).then(|| network.compiled()),
             cache,
+            engine,
             wake: vec![0; n],
             dynamic: vec![false; n],
             inv_expiry: vec![i64::MAX; n],
             inv_dynamic: vec![false; n],
             committed_count: 0,
+            ready: BTreeSet::new(),
+            dynamic_set: BTreeSet::new(),
+            inv_dynamic_set: BTreeSet::new(),
+            wake_heap: BinaryHeap::new(),
+            inv_heap: BinaryHeap::new(),
+            recv_ready: vec![BTreeSet::new(); network.channels().len()],
+            registered: vec![None; n],
         };
         for ai in 0..n {
             let aid = AutomatonId::from_raw(u32::try_from(ai).expect("automaton count fits u32"));
@@ -238,128 +309,243 @@ impl<'n> FastRun<'n> {
         &self.cache.info[a.index()][state.location_of(a).index()]
     }
 
-    /// Recomputes the cached wake time and invariant expiry of `a`.
-    fn refresh(&mut self, a: AutomatonId, state: &State) -> Result<(), SimError> {
-        let info = &self.cache.info[a.index()][state.location_of(a).index()];
-        let view = EnvView {
-            network: self.network,
-            state,
-        };
-        let now = state.time;
+    /// Syncs `recv_ready` with the automaton's current location.
+    fn register_receivers(&mut self, a: AutomatonId, loc: LocationId) {
+        if self.registered[a.index()] == Some(loc) {
+            return;
+        }
+        let cache = self.cache;
+        if let Some(old) = self.registered[a.index()] {
+            for &(ch, eid) in &cache.info[a.index()][old.index()].recv_edges {
+                self.recv_ready[ch.index()].remove(&(a.raw(), eid.raw()));
+            }
+        }
+        for &(ch, eid) in &cache.info[a.index()][loc.index()].recv_edges {
+            self.recv_ready[ch.index()].insert((a.raw(), eid.raw()));
+        }
+        self.registered[a.index()] = Some(loc);
+    }
 
-        self.dynamic[a.index()] = !info.guards_cacheable;
-        if info.initiators.is_empty() {
-            self.wake[a.index()] = i64::MAX;
-        } else if info.guards_cacheable {
-            let mut wake = i64::MAX;
-            let automaton = self.network.automaton(a);
-            for &eid in &info.initiators {
-                let edge = automaton.edge(eid);
-                if let Some(w) = edge
-                    .guard
-                    .enabling_window(&view, &view)
-                    .map_err(SimError::Eval)?
-                {
-                    wake = wake.min(now.saturating_add(w.lo));
+    /// Drops stale heap entries once a heap outgrows a small multiple of
+    /// the automaton count (keeps memory bounded over long runs).
+    fn maybe_compact(&mut self) {
+        let cap = 4 * self.wake.len() + 64;
+        if self.wake_heap.len() > cap {
+            let wake = &self.wake;
+            let dynamic = &self.dynamic;
+            let keep: Vec<_> = self
+                .wake_heap
+                .drain()
+                .filter(|&Reverse((t, a))| !dynamic[a as usize] && wake[a as usize] == t)
+                .collect();
+            self.wake_heap = keep.into();
+        }
+        if self.inv_heap.len() > cap {
+            let inv_expiry = &self.inv_expiry;
+            let inv_dynamic = &self.inv_dynamic;
+            let keep: Vec<_> = self
+                .inv_heap
+                .drain()
+                .filter(|&Reverse((t, a))| !inv_dynamic[a as usize] && inv_expiry[a as usize] == t)
+                .collect();
+            self.inv_heap = keep.into();
+        }
+    }
+
+    /// Recomputes the cached wake time and invariant expiry of `a` and
+    /// re-indexes it in the event wheel.
+    fn refresh(&mut self, a: AutomatonId, state: &State) -> Result<(), SimError> {
+        let loc = state.location_of(a);
+        self.register_receivers(a, loc);
+        let info = &self.cache.info[a.index()][loc.index()];
+        let initiators_empty = info.initiators.is_empty();
+        let guards_cacheable = info.guards_cacheable;
+        let inv_cacheable = info.inv_cacheable;
+        let now = state.time;
+        let ai = a.index();
+        let raw = a.raw();
+
+        self.dynamic[ai] = !guards_cacheable;
+        self.ready.remove(&raw);
+        if !guards_cacheable {
+            self.dynamic_set.insert(raw);
+            self.wake[ai] = now;
+        } else {
+            self.dynamic_set.remove(&raw);
+            if initiators_empty {
+                self.wake[ai] = i64::MAX;
+            } else {
+                let mut wake = i64::MAX;
+                let info = &self.cache.info[ai][loc.index()];
+                for &eid in &info.initiators {
+                    if let Some(w) = bytecode::guard_window(self.network, self.engine, a, eid, state)
+                        .map_err(SimError::Eval)?
+                    {
+                        wake = wake.min(now.saturating_add(w.lo));
+                    }
+                }
+                self.wake[ai] = wake;
+                if wake <= now {
+                    self.ready.insert(raw);
+                } else if wake < i64::MAX {
+                    self.wake_heap.push(Reverse((wake, raw)));
                 }
             }
-            self.wake[a.index()] = wake;
-        } else {
-            self.wake[a.index()] = now;
         }
 
-        self.inv_dynamic[a.index()] = !info.inv_cacheable;
-        let inv = &self
-            .network
-            .automaton(a)
-            .location(state.location_of(a))
-            .invariant;
-        self.inv_expiry[a.index()] = match inv.max_delay(&view, &view).map_err(SimError::Eval)? {
-            None => i64::MAX,
-            Some(d) => now.saturating_add(d.max(0)),
-        };
+        self.inv_dynamic[ai] = !inv_cacheable;
+        let expiry =
+            match bytecode::invariant_max_delay(self.network, self.engine, a, loc, state)
+                .map_err(SimError::Eval)?
+            {
+                None => i64::MAX,
+                Some(d) => now.saturating_add(d.max(0)),
+            };
+        self.inv_expiry[ai] = expiry;
+        if !inv_cacheable {
+            self.inv_dynamic_set.insert(raw);
+        } else {
+            self.inv_dynamic_set.remove(&raw);
+            if expiry < i64::MAX {
+                self.inv_heap.push(Reverse((expiry, raw)));
+            }
+        }
+        self.maybe_compact();
         Ok(())
     }
 
-    /// Finds the first enabled transition in canonical order.
-    pub(crate) fn first_enabled(&self, state: &State) -> Result<Option<Transition>, SimError> {
-        let view = EnvView {
-            network: self.network,
-            state,
-        };
+    /// Advances time and drains newly-due wake entries into the ready set.
+    pub(crate) fn advance(&mut self, state: &mut State, delay: i64) {
+        state.advance(delay);
         let now = state.time;
-        for ai in 0..self.network.automata().len() {
-            if self.wake[ai] > now {
-                continue;
+        while let Some(&Reverse((t, a))) = self.wake_heap.peek() {
+            if t > now {
+                break;
             }
-            let aid = AutomatonId::from_raw(u32::try_from(ai).expect("automaton count fits u32"));
-            let info = self.loc_info(aid, state);
-            let automaton = self.network.automaton(aid);
-            for &eid in &info.initiators {
-                let edge = automaton.edge(eid);
-                if !edge.guard.holds(&view, &view).map_err(SimError::Eval)? {
-                    continue;
-                }
-                let transition = match edge.sync {
-                    Sync::Internal => Some(Transition::Internal {
-                        participant: (aid, eid),
-                    }),
-                    Sync::Send(ch) => match self.network.channels()[ch.index()].kind {
-                        ChannelKind::Binary => {
-                            let mut found = None;
-                            for &(bid, beid) in self.network.receivers_on(ch) {
-                                if bid == aid {
-                                    continue;
-                                }
-                                let redge = self.network.automaton(bid).edge(beid);
-                                if redge.from == state.location_of(bid)
-                                    && redge.guard.holds(&view, &view).map_err(SimError::Eval)?
-                                {
-                                    found = Some(Transition::Binary {
-                                        channel: ch,
-                                        sender: (aid, eid),
-                                        receiver: (bid, beid),
-                                    });
-                                    break;
-                                }
-                            }
-                            found
+            self.wake_heap.pop();
+            if !self.dynamic[a as usize] && self.wake[a as usize] == t {
+                self.ready.insert(a);
+            }
+        }
+    }
+
+    /// Finds the first enabled transition in canonical order.
+    ///
+    /// Only automata in the ready or dynamic sets are scanned; merging the
+    /// two ordered sets preserves the canonical ascending-id order the
+    /// generic interpreter uses.
+    pub(crate) fn first_enabled(&self, state: &State) -> Result<Option<Transition>, SimError> {
+        let mut ready = self.ready.iter().copied().peekable();
+        let mut dynamic = self.dynamic_set.iter().copied().peekable();
+        loop {
+            let raw = match (ready.peek().copied(), dynamic.peek().copied()) {
+                (Some(r), Some(d)) => {
+                    if r <= d {
+                        ready.next();
+                        if r == d {
+                            dynamic.next();
                         }
-                        ChannelKind::Broadcast => {
-                            let mut receivers = Vec::new();
-                            let mut last: Option<AutomatonId> = None;
-                            for &(bid, beid) in self.network.receivers_on(ch) {
-                                if bid == aid || last == Some(bid) {
-                                    continue;
-                                }
-                                let redge = self.network.automaton(bid).edge(beid);
-                                if redge.from == state.location_of(bid)
-                                    && redge.guard.holds(&view, &view).map_err(SimError::Eval)?
-                                {
-                                    receivers.push((bid, beid));
-                                    last = Some(bid);
-                                }
-                            }
-                            Some(Transition::Broadcast {
-                                channel: ch,
-                                sender: (aid, eid),
-                                receivers,
-                            })
-                        }
-                    },
-                    Sync::Recv(_) => None,
-                };
-                let Some(t) = transition else { continue };
-                if self.committed_count > 0
-                    && !t
-                        .participants()
-                        .iter()
-                        .any(|(p, _)| self.loc_info(*p, state).committed)
-                {
-                    continue;
+                        r
+                    } else {
+                        dynamic.next();
+                        d
+                    }
                 }
+                (Some(r), None) => {
+                    ready.next();
+                    r
+                }
+                (None, Some(d)) => {
+                    dynamic.next();
+                    d
+                }
+                (None, None) => return Ok(None),
+            };
+            let aid = AutomatonId::from_raw(raw);
+            if let Some(t) = self.scan_automaton(aid, state)? {
                 return Ok(Some(t));
             }
+        }
+    }
+
+    /// Scans one automaton's initiator edges for an enabled transition.
+    fn scan_automaton(
+        &self,
+        aid: AutomatonId,
+        state: &State,
+    ) -> Result<Option<Transition>, SimError> {
+        let info = self.loc_info(aid, state);
+        let automaton = self.network.automaton(aid);
+        for &eid in &info.initiators {
+            let holds = match self.compiled {
+                Some(c) => c.guard(aid, eid).holds(state),
+                None => bytecode::guard_holds(self.network, self.engine, aid, eid, state),
+            }
+            .map_err(SimError::Eval)?;
+            if !holds {
+                continue;
+            }
+            let transition = match automaton.edge(eid).sync {
+                Sync::Internal => Some(Transition::Internal {
+                    participant: (aid, eid),
+                }),
+                Sync::Send(ch) => match self.network.channels()[ch.index()].kind {
+                    ChannelKind::Binary => {
+                        let mut found = None;
+                        for &(braw, beraw) in &self.recv_ready[ch.index()] {
+                            let bid = AutomatonId::from_raw(braw);
+                            if bid == aid {
+                                continue;
+                            }
+                            let beid = EdgeId::from_raw(beraw);
+                            if bytecode::guard_holds(self.network, self.engine, bid, beid, state)
+                                .map_err(SimError::Eval)?
+                            {
+                                found = Some(Transition::Binary {
+                                    channel: ch,
+                                    sender: (aid, eid),
+                                    receiver: (bid, beid),
+                                });
+                                break;
+                            }
+                        }
+                        found
+                    }
+                    ChannelKind::Broadcast => {
+                        let mut receivers = Vec::new();
+                        let mut last: Option<AutomatonId> = None;
+                        for &(braw, beraw) in &self.recv_ready[ch.index()] {
+                            let bid = AutomatonId::from_raw(braw);
+                            if bid == aid || last == Some(bid) {
+                                continue;
+                            }
+                            let beid = EdgeId::from_raw(beraw);
+                            if bytecode::guard_holds(self.network, self.engine, bid, beid, state)
+                                .map_err(SimError::Eval)?
+                            {
+                                receivers.push((bid, beid));
+                                last = Some(bid);
+                            }
+                        }
+                        Some(Transition::Broadcast {
+                            channel: ch,
+                            sender: (aid, eid),
+                            receivers,
+                        })
+                    }
+                },
+                Sync::Recv(_) => None,
+            };
+            let Some(t) = transition else { continue };
+            if self.committed_count > 0
+                && !t
+                    .participants()
+                    .iter()
+                    .any(|(p, _)| self.loc_info(*p, state).committed)
+            {
+                continue;
+            }
+            return Ok(Some(t));
         }
         Ok(None)
     }
@@ -376,7 +562,7 @@ impl<'n> FastRun<'n> {
                 self.committed_count -= 1;
             }
         }
-        apply(self.network, state, transition)?;
+        apply_with(self.network, state, transition, self.engine)?;
         for &(p, _) in &participants {
             if self.loc_info(p, state).committed {
                 self.committed_count += 1;
@@ -391,68 +577,84 @@ impl<'n> FastRun<'n> {
         self.committed_count > 0
     }
 
-    /// The delay decision: `(next_enabling_abs, invariant_expiry_abs)`,
-    /// either of which may be `i64::MAX` for "never"/"unbounded".
-    pub(crate) fn delay_targets(&self, state: &State) -> Result<(i64, i64), SimError> {
+    /// The delay decision: `(next_enabling_abs, invariant_expiry_abs,
+    /// bounding_automaton)`. The first two may be `i64::MAX` for
+    /// "never"/"unbounded"; the third names an automaton whose invariant
+    /// produces the expiry (`None` iff the expiry is unbounded).
+    ///
+    /// Dynamic automata are recomputed against the current variables
+    /// (constant during the delay, so this is exact); cacheable automata
+    /// are answered by the heaps in `O(log automata)` amortized.
+    pub(crate) fn delay_targets(
+        &mut self,
+        state: &State,
+    ) -> Result<(i64, i64, Option<AutomatonId>), SimError> {
         let now = state.time;
-        let view = EnvView {
-            network: self.network,
-            state,
-        };
         let mut next = i64::MAX;
         let mut expiry = i64::MAX;
-        for ai in 0..self.network.automata().len() {
-            if self.dynamic[ai] {
-                // Recompute the enabling windows against the current
-                // variables (constant during the delay, so this is exact).
-                let aid =
-                    AutomatonId::from_raw(u32::try_from(ai).expect("automaton count fits u32"));
-                let info = self.loc_info(aid, state);
-                let automaton = self.network.automaton(aid);
-                for &eid in &info.initiators {
-                    let edge = automaton.edge(eid);
-                    if let Some(w) = edge
-                        .guard
-                        .enabling_window(&view, &view)
-                        .map_err(SimError::Eval)?
-                    {
-                        let lo = w.lo.max(1);
-                        if w.contains(lo) {
-                            next = next.min(now.saturating_add(lo));
-                        }
+        let mut bounder = None;
+
+        for &raw in &self.dynamic_set {
+            let aid = AutomatonId::from_raw(raw);
+            let info = self.loc_info(aid, state);
+            for &eid in &info.initiators {
+                if let Some(w) = bytecode::guard_window(self.network, self.engine, aid, eid, state)
+                    .map_err(SimError::Eval)?
+                {
+                    let lo = w.lo.max(1);
+                    if w.contains(lo) {
+                        next = next.min(now.saturating_add(lo));
                     }
                 }
-            } else if self.wake[ai] > now {
-                next = next.min(self.wake[ai]);
-            }
-            if self.inv_dynamic[ai] {
-                let aid =
-                    AutomatonId::from_raw(u32::try_from(ai).expect("automaton count fits u32"));
-                let inv = &self
-                    .network
-                    .automaton(aid)
-                    .location(state.location_of(aid))
-                    .invariant;
-                match inv.max_delay(&view, &view).map_err(SimError::Eval)? {
-                    None => {}
-                    Some(d) => expiry = expiry.min(now.saturating_add(d.max(0))),
-                }
-            } else {
-                expiry = expiry.min(self.inv_expiry[ai]);
             }
         }
-        Ok((next, expiry))
+        while let Some(&Reverse((t, a))) = self.wake_heap.peek() {
+            if !self.dynamic[a as usize] && self.wake[a as usize] == t {
+                debug_assert!(t > now, "due wake entries are drained on advance");
+                next = next.min(t);
+                break;
+            }
+            self.wake_heap.pop();
+        }
+
+        for &raw in &self.inv_dynamic_set {
+            let aid = AutomatonId::from_raw(raw);
+            if let Some(d) =
+                bytecode::invariant_max_delay(self.network, self.engine, aid, state.location_of(aid), state)
+                    .map_err(SimError::Eval)?
+            {
+                let e = now.saturating_add(d.max(0));
+                if e < expiry {
+                    expiry = e;
+                    bounder = Some(aid);
+                }
+            }
+        }
+        while let Some(&Reverse((t, a))) = self.inv_heap.peek() {
+            if !self.inv_dynamic[a as usize] && self.inv_expiry[a as usize] == t {
+                if t < expiry {
+                    expiry = t;
+                    bounder = Some(AutomatonId::from_raw(a));
+                }
+                break;
+            }
+            self.inv_heap.pop();
+        }
+        Ok((next, expiry, bounder))
     }
 
-    /// The id of some automaton whose invariant expires first (diagnostics).
-    pub(crate) fn earliest_bounded_automaton(&self) -> AutomatonId {
-        let mut best = (i64::MAX, 0usize);
+    /// The id of the automaton whose cached invariant expiry is earliest,
+    /// or `None` if no invariant currently bounds time (diagnostics).
+    pub(crate) fn earliest_bounded_automaton(&self) -> Option<AutomatonId> {
+        let mut best: Option<(i64, usize)> = None;
         for (ai, &e) in self.inv_expiry.iter().enumerate() {
-            if e < best.0 {
-                best = (e, ai);
+            if e < i64::MAX && best.is_none_or(|(b, _)| e < b) {
+                best = Some((e, ai));
             }
         }
-        AutomatonId::from_raw(u32::try_from(best.1).expect("automaton count fits u32"))
+        best.map(|(_, ai)| {
+            AutomatonId::from_raw(u32::try_from(ai).expect("automaton count fits u32"))
+        })
     }
 
     /// The id of some committed automaton (diagnostics).
@@ -649,5 +851,40 @@ mod tests {
         assert!(FastCache::new(&n).eligible());
         let err = Simulator::new(&n).horizon(100).run().unwrap_err();
         assert!(matches!(err, SimError::TimeLock { .. }));
+    }
+
+    #[test]
+    fn earliest_bounded_automaton_is_none_without_invariants() {
+        // No invariant anywhere: nothing ever bounds time, so the
+        // diagnostic must not fabricate automaton 0.
+        let mut nb = NetworkBuilder::new();
+        let mut a = AutomatonBuilder::new("free");
+        let l0 = a.location("l0");
+        let l1 = a.location("l1");
+        a.edge(Edge::new(l0, l1).with_guard(Guard::when(crate::expr::Pred::ff())));
+        nb.automaton(a.finish(l0));
+        let n = nb.build().unwrap();
+        let cache = FastCache::new(&n);
+        let state = State::initial(&n);
+        let run = FastRun::new(&n, &cache, &state, EvalEngine::default()).unwrap();
+        assert_eq!(run.earliest_bounded_automaton(), None);
+    }
+
+    #[test]
+    fn earliest_bounded_automaton_picks_tightest_invariant() {
+        let mut nb = NetworkBuilder::new();
+        let c1 = nb.clock("c1");
+        let c2 = nb.clock("c2");
+        let mut a = AutomatonBuilder::new("loose");
+        let l0 = a.location_with_invariant("l0", Invariant::upper_bound(c1, 9));
+        nb.automaton(a.finish(l0));
+        let mut b = AutomatonBuilder::new("tight");
+        let m0 = b.location_with_invariant("m0", Invariant::upper_bound(c2, 3));
+        nb.automaton(b.finish(m0));
+        let n = nb.build().unwrap();
+        let cache = FastCache::new(&n);
+        let state = State::initial(&n);
+        let run = FastRun::new(&n, &cache, &state, EvalEngine::default()).unwrap();
+        assert_eq!(run.earliest_bounded_automaton(), Some(AutomatonId::from_raw(1)));
     }
 }

@@ -76,57 +76,73 @@ impl ClockAtom {
         vars: &dyn VarEnv,
     ) -> Result<Option<DelayWindow>, EvalError> {
         let rhs = self.rhs.eval(vars)?;
-        let val = clocks.clock(self.clock);
-        if !clocks.is_running(self.clock) {
-            // A stopped clock is constant under delay: the atom either holds
-            // for every delay or for none.
-            return Ok(if self.op.apply(val, rhs) {
-                Some(DelayWindow::unbounded(0))
-            } else {
-                None
-            });
-        }
-        // Running clock: value after delay d is val + d.
-        let w = match self.op {
-            CmpOp::Ge => DelayWindow::unbounded((rhs - val).max(0)),
-            CmpOp::Gt => DelayWindow::unbounded((rhs - val + 1).max(0)),
-            CmpOp::Le => {
-                if rhs - val < 0 {
-                    return Ok(None);
-                }
-                DelayWindow::bounded(0, rhs - val)
-            }
-            CmpOp::Lt => {
-                if rhs - val - 1 < 0 {
-                    return Ok(None);
-                }
-                DelayWindow::bounded(0, rhs - val - 1)
-            }
-            CmpOp::Eq => {
-                if rhs - val < 0 {
-                    return Ok(None);
-                }
-                DelayWindow::bounded(rhs - val, rhs - val)
-            }
-            CmpOp::Ne => {
-                // Holds everywhere except at d = rhs - val. The enabling set
-                // is not an interval; we approximate by the interval starting
-                // after the excluded point if the excluded point is 0,
-                // otherwise [0, excluded). This conservative choice keeps the
-                // window representation simple; `Ne` atoms are not used by
-                // the IMA models.
-                let excl = rhs - val;
-                if excl < 0 {
-                    DelayWindow::unbounded(0)
-                } else if excl == 0 {
-                    DelayWindow::unbounded(1)
-                } else {
-                    DelayWindow::bounded(0, excl - 1)
-                }
-            }
-        };
-        Ok(Some(w))
+        Ok(atom_delay_window(
+            self.op,
+            clocks.clock(self.clock),
+            clocks.is_running(self.clock),
+            rhs,
+        ))
     }
+}
+
+/// The delay-window arithmetic of [`ClockAtom::delay_window`], on already
+/// evaluated operands. Shared with the bytecode engine so both compute the
+/// same windows by construction.
+pub(crate) fn atom_delay_window(
+    op: CmpOp,
+    val: i64,
+    running: bool,
+    rhs: i64,
+) -> Option<DelayWindow> {
+    if !running {
+        // A stopped clock is constant under delay: the atom either holds
+        // for every delay or for none.
+        return if op.apply(val, rhs) {
+            Some(DelayWindow::unbounded(0))
+        } else {
+            None
+        };
+    }
+    // Running clock: value after delay d is val + d.
+    let w = match op {
+        CmpOp::Ge => DelayWindow::unbounded((rhs - val).max(0)),
+        CmpOp::Gt => DelayWindow::unbounded((rhs - val + 1).max(0)),
+        CmpOp::Le => {
+            if rhs - val < 0 {
+                return None;
+            }
+            DelayWindow::bounded(0, rhs - val)
+        }
+        CmpOp::Lt => {
+            if rhs - val - 1 < 0 {
+                return None;
+            }
+            DelayWindow::bounded(0, rhs - val - 1)
+        }
+        CmpOp::Eq => {
+            if rhs - val < 0 {
+                return None;
+            }
+            DelayWindow::bounded(rhs - val, rhs - val)
+        }
+        CmpOp::Ne => {
+            // Holds everywhere except at d = rhs - val. The enabling set
+            // is not an interval; we approximate by the interval starting
+            // after the excluded point if the excluded point is 0,
+            // otherwise [0, excluded). This conservative choice keeps the
+            // window representation simple; `Ne` atoms are not used by
+            // the IMA models.
+            let excl = rhs - val;
+            if excl < 0 {
+                DelayWindow::unbounded(0)
+            } else if excl == 0 {
+                DelayWindow::unbounded(1)
+            } else {
+                DelayWindow::bounded(0, excl - 1)
+            }
+        }
+    };
+    Some(w)
 }
 
 impl fmt::Display for ClockAtom {

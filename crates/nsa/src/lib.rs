@@ -64,6 +64,7 @@
 #![allow(clippy::module_name_repetitions)]
 
 pub mod automaton;
+pub mod bytecode;
 pub mod dot;
 pub mod error;
 pub mod expr;
@@ -79,6 +80,7 @@ pub mod update;
 pub mod uppaal;
 
 pub use automaton::{Automaton, AutomatonBuilder, Edge, Location, Sync};
+pub use bytecode::{CompileStats, CompiledNetwork, EvalEngine};
 pub use error::{BuildError, EvalError, SimError};
 pub use expr::{CmpOp, IntExpr, Pred};
 pub use guard::{ClockAtom, Guard, Invariant};

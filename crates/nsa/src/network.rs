@@ -7,8 +7,10 @@
 //! `preempt`, …) form the interfaces between component automata.
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 use crate::automaton::Automaton;
+use crate::bytecode::CompiledNetwork;
 use crate::error::BuildError;
 use crate::expr::{IntExpr, Pred};
 use crate::ids::{ArrayId, AutomatonId, ChannelId, ClockId, EdgeId, LocationId, VarId};
@@ -74,7 +76,7 @@ pub struct ChannelDecl {
 /// Construct through [`NetworkBuilder`]; the builder's
 /// [`build`](NetworkBuilder::build) performs all structural validation, so a
 /// `Network` value is always well-formed.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Network {
     pub(crate) clocks: Vec<ClockDecl>,
     pub(crate) vars: Vec<VarDecl>,
@@ -89,7 +91,24 @@ pub struct Network {
     /// Per channel: every receiving edge in the network, in canonical
     /// (automaton, edge) order.
     pub(crate) receivers: Vec<Vec<(AutomatonId, EdgeId)>>,
+    /// Lazily compiled bytecode form of every guard, invariant and update
+    /// (see [`crate::bytecode`]); built at most once per network value.
+    pub(crate) compiled: OnceLock<CompiledNetwork>,
 }
+
+/// Equality is over the declared model only; whether the bytecode cache
+/// has been populated is an evaluation detail.
+impl PartialEq for Network {
+    fn eq(&self, other: &Self) -> bool {
+        self.clocks == other.clocks
+            && self.vars == other.vars
+            && self.arrays == other.arrays
+            && self.channels == other.channels
+            && self.automata == other.automata
+    }
+}
+
+impl Eq for Network {}
 
 impl Network {
     /// Clock declarations.
@@ -222,6 +241,12 @@ impl Network {
     #[must_use]
     pub fn array_len(&self, array: ArrayId) -> usize {
         self.arrays[array.index()].init.len()
+    }
+
+    /// The bytecode form of every guard, invariant and update, compiled on
+    /// first use and cached for the lifetime of this network value.
+    pub fn compiled(&self) -> &CompiledNetwork {
+        self.compiled.get_or_init(|| CompiledNetwork::compile(self))
     }
 }
 
@@ -402,6 +427,7 @@ impl NetworkBuilder {
             array_offsets,
             outgoing,
             receivers,
+            compiled: OnceLock::new(),
         };
         validate(&network)?;
         Ok(network)

@@ -8,11 +8,12 @@
 
 use crate::automaton::Sync;
 
+use crate::bytecode::{self, EvalEngine};
 use crate::error::{EvalError, SimError};
 use crate::guard::DelayWindow;
 use crate::ids::{AutomatonId, ChannelId, EdgeId};
 use crate::network::{ChannelKind, Network};
-use crate::state::{EnvView, State};
+use crate::state::State;
 
 /// A participant of a transition: an automaton together with the edge it
 /// takes.
@@ -127,8 +128,20 @@ fn respects_committed(network: &Network, state: &State, t: &Transition, committe
 ///
 /// Propagates expression evaluation errors from guards.
 pub fn enabled_transitions(network: &Network, state: &State) -> Result<Vec<Transition>, EvalError> {
+    enabled_transitions_with(network, state, EvalEngine::default())
+}
+
+/// As [`enabled_transitions`], with an explicit evaluation engine.
+///
+/// # Errors
+///
+/// Propagates expression evaluation errors from guards.
+pub fn enabled_transitions_with(
+    network: &Network,
+    state: &State,
+    engine: EvalEngine,
+) -> Result<Vec<Transition>, EvalError> {
     let committed = any_committed(network, state);
-    let view = EnvView { network, state };
     let mut out = Vec::new();
 
     for (ai, automaton) in network.automata().iter().enumerate() {
@@ -136,7 +149,7 @@ pub fn enabled_transitions(network: &Network, state: &State) -> Result<Vec<Trans
         let loc = state.location_of(aid);
         for &eid in network.outgoing_edges(aid, loc) {
             let edge = automaton.edge(eid);
-            if !edge.guard.holds(&view, &view)? {
+            if !bytecode::guard_holds(network, engine, aid, eid, state)? {
                 continue;
             }
             match edge.sync {
@@ -150,7 +163,7 @@ pub fn enabled_transitions(network: &Network, state: &State) -> Result<Vec<Trans
                 }
                 Sync::Send(ch) => match network.channels()[ch.index()].kind {
                     ChannelKind::Binary => {
-                        for recv in receivers_on(network, state, ch, Some(aid))? {
+                        for recv in receivers_on(network, state, ch, Some(aid), engine)? {
                             let t = Transition::Binary {
                                 channel: ch,
                                 sender: (aid, eid),
@@ -162,7 +175,8 @@ pub fn enabled_transitions(network: &Network, state: &State) -> Result<Vec<Trans
                         }
                     }
                     ChannelKind::Broadcast => {
-                        let receivers = first_receiver_per_automaton(network, state, ch, aid)?;
+                        let receivers =
+                            first_receiver_per_automaton(network, state, ch, aid, engine)?;
                         let t = Transition::Broadcast {
                             channel: ch,
                             sender: (aid, eid),
@@ -189,15 +203,17 @@ fn receivers_on(
     state: &State,
     channel: ChannelId,
     exclude: Option<AutomatonId>,
+    engine: EvalEngine,
 ) -> Result<Vec<Participant>, EvalError> {
-    let view = EnvView { network, state };
     let mut out = Vec::new();
     for &(aid, eid) in network.receivers_on(channel) {
         if exclude == Some(aid) {
             continue;
         }
         let edge = network.automaton(aid).edge(eid);
-        if edge.from == state.location_of(aid) && edge.guard.holds(&view, &view)? {
+        if edge.from == state.location_of(aid)
+            && bytecode::guard_holds(network, engine, aid, eid, state)?
+        {
             out.push((aid, eid));
         }
     }
@@ -211,8 +227,8 @@ fn first_receiver_per_automaton(
     state: &State,
     channel: ChannelId,
     sender: AutomatonId,
+    engine: EvalEngine,
 ) -> Result<Vec<Participant>, EvalError> {
-    let view = EnvView { network, state };
     let mut out: Vec<Participant> = Vec::new();
     // The receiver index is in canonical (automaton, edge) order, so the
     // first hit per automaton is the lowest-indexed enabled edge.
@@ -221,7 +237,9 @@ fn first_receiver_per_automaton(
             continue;
         }
         let edge = network.automaton(aid).edge(eid);
-        if edge.from == state.location_of(aid) && edge.guard.holds(&view, &view)? {
+        if edge.from == state.location_of(aid)
+            && bytecode::guard_holds(network, engine, aid, eid, state)?
+        {
             out.push((aid, eid));
         }
     }
@@ -240,20 +258,29 @@ pub fn apply(
     state: &mut State,
     transition: &Transition,
 ) -> Result<(), SimError> {
+    apply_with(network, state, transition, EvalEngine::default())
+}
+
+/// As [`apply`], with an explicit evaluation engine.
+///
+/// # Errors
+///
+/// As [`apply`].
+pub fn apply_with(
+    network: &Network,
+    state: &mut State,
+    transition: &Transition,
+    engine: EvalEngine,
+) -> Result<(), SimError> {
     for (aid, eid) in transition.participants() {
         let edge = network.automaton(aid).edge(eid);
         state.locations[aid.index()] = edge.to;
-        // Clone the update list reference before mutating: edges are
-        // immutable, only the state changes.
-        let updates = edge.updates.clone();
-        state.apply_updates(network, &updates)?;
+        bytecode::run_edge_updates(network, engine, aid, eid, state)?;
     }
     // Check invariants of all target locations in the post-state.
     for (aid, _) in transition.participants() {
         let loc = state.location_of(aid);
-        let inv = &network.automaton(aid).location(loc).invariant;
-        let view = EnvView { network, state };
-        if !inv.holds(&view, &view).map_err(SimError::Eval)? {
+        if !bytecode::invariant_holds(network, engine, aid, loc, state).map_err(SimError::Eval)? {
             return Err(SimError::InvariantViolated {
                 automaton: aid,
                 location: loc,
@@ -286,13 +313,24 @@ pub struct DelayBounds {
 ///
 /// Propagates expression evaluation errors.
 pub fn delay_bounds(network: &Network, state: &State) -> Result<DelayBounds, EvalError> {
-    let view = EnvView { network, state };
+    delay_bounds_with(network, state, EvalEngine::default())
+}
 
+/// As [`delay_bounds`], with an explicit evaluation engine.
+///
+/// # Errors
+///
+/// Propagates expression evaluation errors.
+pub fn delay_bounds_with(
+    network: &Network,
+    state: &State,
+    engine: EvalEngine,
+) -> Result<DelayBounds, EvalError> {
     let mut max_delay: Option<i64> = None;
-    for (ai, automaton) in network.automata().iter().enumerate() {
+    for ai in 0..network.automata().len() {
         let aid = AutomatonId::from_raw(u32::try_from(ai).expect("automaton count fits u32"));
-        let inv = &automaton.location(state.location_of(aid)).invariant;
-        if let Some(d) = inv.max_delay(&view, &view)? {
+        let loc = state.location_of(aid);
+        if let Some(d) = bytecode::invariant_max_delay(network, engine, aid, loc, state)? {
             max_delay = Some(max_delay.map_or(d, |m| m.min(d)));
         }
     }
@@ -314,10 +352,10 @@ pub fn delay_bounds(network: &Network, state: &State) -> Result<DelayBounds, Eva
             let edge = automaton.edge(eid);
             match edge.sync {
                 Sync::Internal => {
-                    consider(edge.guard.enabling_window(&view, &view)?);
+                    consider(bytecode::guard_window(network, engine, aid, eid, state)?);
                 }
                 Sync::Send(ch) => {
-                    let sender_window = edge.guard.enabling_window(&view, &view)?;
+                    let sender_window = bytecode::guard_window(network, engine, aid, eid, state)?;
                     let Some(sw) = sender_window else { continue };
                     match network.channels()[ch.index()].kind {
                         ChannelKind::Broadcast => {
@@ -334,7 +372,8 @@ pub fn delay_bounds(network: &Network, state: &State) -> Result<DelayBounds, Eva
                                 if redge.from != state.location_of(bid) {
                                     continue;
                                 }
-                                let rw = redge.guard.enabling_window(&view, &view)?;
+                                let rw =
+                                    bytecode::guard_window(network, engine, bid, reid, state)?;
                                 if let Some(rw) = rw {
                                     consider(sw.intersect(rw));
                                 }
@@ -473,6 +512,47 @@ mod tests {
         }
         apply(&n, &mut s, &ts[0]).unwrap();
         assert_eq!(s.vars[0], 2);
+    }
+
+    #[test]
+    fn broadcast_takes_first_edge_when_receiver_has_duplicates() {
+        let mut nb = NetworkBuilder::new();
+        let ch = nb.broadcast_channel("tick");
+        let v = nb.var("which", 0, 0, 10);
+
+        let mut b = AutomatonBuilder::new("sender");
+        let s0 = b.location("s0");
+        b.edge(Edge::new(s0, s0).with_sync(Sync::Send(ch)));
+        nb.automaton(b.finish(s0));
+
+        // One receiver with two enabled edges on the same channel from the
+        // same location: it must participate exactly once, with the
+        // lower-indexed edge.
+        let mut b = AutomatonBuilder::new("recv");
+        let r0 = b.location("r0");
+        b.edge(
+            Edge::new(r0, r0)
+                .with_sync(Sync::Recv(ch))
+                .with_update(Update::set(v, IntExpr::lit(1))),
+        );
+        b.edge(
+            Edge::new(r0, r0)
+                .with_sync(Sync::Recv(ch))
+                .with_update(Update::set(v, IntExpr::lit(2))),
+        );
+        nb.automaton(b.finish(r0));
+
+        let n = nb.build().unwrap();
+        let mut s = State::initial(&n);
+        let ts = enabled_transitions(&n, &s).unwrap();
+        assert_eq!(ts.len(), 1);
+        let Transition::Broadcast { receivers, .. } = &ts[0] else {
+            panic!("expected broadcast, got {:?}", ts[0]);
+        };
+        assert_eq!(receivers.len(), 1, "duplicate receiver must be deduplicated");
+        assert_eq!(receivers[0].1.raw(), 0, "first edge in canonical order wins");
+        apply(&n, &mut s, &ts[0]).unwrap();
+        assert_eq!(s.vars[0], 1);
     }
 
     #[test]

@@ -13,10 +13,13 @@
 //! [`TieBreak`] lets tests and the determinism ablation permute the order
 //! and check that the observable trace is unchanged.
 
+use crate::bytecode::EvalEngine;
 use crate::error::SimError;
 use crate::ids::AutomatonId;
 use crate::network::Network;
-use crate::semantics::{any_committed, apply, delay_bounds, enabled_transitions, Transition};
+use crate::semantics::{
+    any_committed, apply_with, delay_bounds_with, enabled_transitions_with, Transition,
+};
 use crate::state::State;
 use crate::trace::{NsaTrace, SyncEvent};
 
@@ -116,6 +119,7 @@ pub struct Simulator<'n> {
     max_steps_per_instant: usize,
     tie_break: TieBreak,
     record_trace: bool,
+    engine: EvalEngine,
 }
 
 impl<'n> Simulator<'n> {
@@ -129,7 +133,16 @@ impl<'n> Simulator<'n> {
             max_steps_per_instant: 1_000_000,
             tie_break: TieBreak::Canonical,
             record_trace: true,
+            engine: EvalEngine::default(),
         }
+    }
+
+    /// Selects the guard/update evaluation engine (compiled bytecode by
+    /// default; the AST walker is kept for differential testing).
+    #[must_use]
+    pub fn engine(mut self, engine: EvalEngine) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// Sets the time horizon (runs stop when model time reaches it).
@@ -221,7 +234,7 @@ impl<'n> Simulator<'n> {
         cache: &crate::fastsim::FastCache,
         mut on_event: impl FnMut(&SyncEvent, &State),
     ) -> Result<SimOutcome, SimError> {
-        let mut run = crate::fastsim::FastRun::new(self.network, cache, &state)?;
+        let mut run = crate::fastsim::FastRun::new(self.network, cache, &state, self.engine)?;
         let mut trace = NsaTrace::new();
         let mut steps: u64 = 0;
         let mut steps_this_instant: usize = 0;
@@ -264,7 +277,7 @@ impl<'n> Simulator<'n> {
                 });
             }
 
-            let (next_abs, expiry_abs) = run.delay_targets(&state)?;
+            let (next_abs, expiry_abs, bounder) = run.delay_targets(&state)?;
             let target = if next_abs <= expiry_abs {
                 if next_abs == i64::MAX {
                     // Nothing will ever fire and no invariant binds:
@@ -284,11 +297,14 @@ impl<'n> Simulator<'n> {
             } else {
                 return Err(SimError::TimeLock {
                     time: state.time,
-                    automaton: run.earliest_bounded_automaton(),
+                    automaton: bounder
+                        .or_else(|| run.earliest_bounded_automaton())
+                        .unwrap_or_else(|| first_bounded_automaton(self.network, &state)),
                 });
             };
             let target = target.min(self.horizon);
-            state.advance(target - state.time);
+            let delay = target - state.time;
+            run.advance(&mut state, delay);
             steps_this_instant = 0;
             if target >= self.horizon {
                 return Ok(SimOutcome {
@@ -299,7 +315,7 @@ impl<'n> Simulator<'n> {
                 });
             }
         }
-    }
+}
 
     /// The generic interpretation loop (any tie-break, any network).
     fn run_generic(
@@ -322,7 +338,7 @@ impl<'n> Simulator<'n> {
                 });
             }
 
-            let candidates = enabled_transitions(network, &state)?;
+            let candidates = enabled_transitions_with(network, &state, self.engine)?;
             if !candidates.is_empty() {
                 steps_this_instant += 1;
                 if steps_this_instant > self.max_steps_per_instant {
@@ -332,7 +348,7 @@ impl<'n> Simulator<'n> {
                     });
                 }
                 let transition = self.tie_break.choose(&candidates).clone();
-                apply(network, &mut state, &transition)?;
+                apply_with(network, &mut state, &transition, self.engine)?;
                 steps += 1;
                 let event = SyncEvent {
                     time: state.time,
@@ -354,7 +370,7 @@ impl<'n> Simulator<'n> {
                 });
             }
 
-            let bounds = delay_bounds(network, &state)?;
+            let bounds = delay_bounds_with(network, &state, self.engine)?;
             let remaining = self.horizon - state.time;
             let max_delay = bounds.max_delay;
             if let Some(d) = max_delay {
@@ -516,6 +532,39 @@ mod tests {
             .map(|e| e.transition.initiator().raw())
             .collect();
         assert_eq!(order, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn permuted_tie_break_cannot_override_committed_priority() {
+        // While any automaton sits in a committed location, only committed
+        // initiators may fire — the tie-break permutes within that filtered
+        // candidate set, never around it.
+        let mut nb = NetworkBuilder::new();
+        let mut a = AutomatonBuilder::new("committed");
+        let c0 = a.committed_location("c0");
+        let c1 = a.location("c1");
+        a.edge(Edge::new(c0, c1));
+        nb.automaton(a.finish(c0));
+
+        let mut a = AutomatonBuilder::new("free");
+        let f0 = a.location("f0");
+        let f1 = a.location("f1");
+        a.edge(Edge::new(f0, f1));
+        nb.automaton(a.finish(f0));
+
+        let n = nb.build().unwrap();
+        // Permutation prefers the free automaton (1) over the committed (0).
+        let out = Simulator::new(&n)
+            .horizon(1)
+            .tie_break(TieBreak::Permuted(vec![1, 0]))
+            .run()
+            .unwrap();
+        let order: Vec<u32> = out
+            .trace
+            .iter()
+            .map(|e| e.transition.initiator().raw())
+            .collect();
+        assert_eq!(order, vec![0, 1], "committed automaton must fire first");
     }
 
     #[test]
