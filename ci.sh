@@ -17,4 +17,22 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> simcore smoke (bytecode/AST engine agreement, release)"
 cargo run --release --offline -p swa-bench --bin simcore -- --smoke
 
+echo "==> forensics smoke (deadlock diagnosis names the blocking edge)"
+explain_out="$(cargo run --release --offline -q -p swa-nsa --example deadlock_explain)"
+echo "$explain_out" | grep -q "blocking automaton: filter" || {
+    echo "forensics smoke FAILED: diagnosis does not name the blocking automaton"
+    echo "$explain_out"
+    exit 1
+}
+echo "$explain_out" | grep -q "settle -> done \[flush\]" || {
+    echo "forensics smoke FAILED: diagnosis does not name the blocked edge"
+    echo "$explain_out"
+    exit 1
+}
+echo "$explain_out" | grep -q "engines agree" || {
+    echo "forensics smoke FAILED: engines disagree on the diagnosis"
+    echo "$explain_out"
+    exit 1
+}
+
 echo "==> ci.sh: all green"

@@ -8,6 +8,7 @@
 //! cargo run --release -p swa-bench --bin simcore                # full run
 //! cargo run --release -p swa-bench --bin simcore -- --smoke    # CI check
 //! cargo run --release -p swa-bench --bin simcore -- --jobs 2500 --out b.json
+//! cargo run --release -p swa-bench --bin simcore -- --metrics-out m.json
 //! ```
 //!
 //! The full run measures the 12 500-job configuration of the paper's
@@ -16,9 +17,10 @@
 //! on any divergence — the CI gate for the bytecode layer.
 
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
-use swa_core::{Analyzer, EvalEngine, RunMetrics, SystemModel};
+use swa_core::{Analyzer, EvalEngine, MetricsRecorder, RunMetrics, SystemModel};
 use swa_nsa::state::EnvView;
 use swa_nsa::State;
 use swa_workload::config_with_jobs;
@@ -104,6 +106,9 @@ fn guard_eval_bench(model: &SystemModel, state: &State, rounds: usize) -> (f64, 
 
 struct EngineRun {
     metrics: RunMetrics,
+    /// The unified observability recorder the run emitted into; the JSON
+    /// artifact is rendered from this, not from the snapshot metrics.
+    recorder: Arc<MetricsRecorder>,
     signature: Vec<swa_core::analysis::JobSignature>,
     schedulable: bool,
 }
@@ -113,9 +118,15 @@ fn run_engine(config: &swa_ima::Configuration, engine: EvalEngine, repeats: usiz
     // checked-in artifact.
     let mut best: Option<EngineRun> = None;
     for _ in 0..repeats.max(1) {
-        let report = Analyzer::new(config).engine(engine).run().expect("pipeline run");
+        let recorder = Arc::new(MetricsRecorder::new());
+        let report = Analyzer::new(config)
+            .engine(engine)
+            .recorder(recorder.clone())
+            .run()
+            .expect("pipeline run");
         let run = EngineRun {
             metrics: report.metrics,
+            recorder,
             signature: report.analysis.signature(),
             schedulable: report.schedulable(),
         };
@@ -136,20 +147,26 @@ fn steps_per_sec(m: &RunMetrics) -> f64 {
 }
 
 fn engine_json(label: &str, r: &EngineRun) -> String {
+    // Every value is read back from the unified recorder — the same layer
+    // the CLI's --metrics-out uses — so the checked-in artifact and the
+    // live metrics can never drift apart.
+    let rec = &r.recorder;
+    let secs = |name: &str| rec.span_total(name).as_secs_f64();
     format!(
         "  \"{label}\": {{\n    \"build_s\": {:.6},\n    \"compile_s\": {:.6},\n    \
          \"compile_programs\": {},\n    \"compile_ops\": {},\n    \"simulate_s\": {:.6},\n    \
          \"analyze_s\": {:.6},\n    \"steps\": {},\n    \"steps_per_sec\": {:.1},\n    \
-         \"nsa_events\": {}\n  }}",
-        r.metrics.build.as_secs_f64(),
-        r.metrics.compile.time.as_secs_f64(),
-        r.metrics.compile.programs,
-        r.metrics.compile.ops,
-        r.metrics.simulate.as_secs_f64(),
-        r.metrics.analyze.as_secs_f64(),
-        r.metrics.steps,
+         \"nsa_events\": {},\n    \"wheel_wakeups\": {}\n  }}",
+        secs("build"),
+        secs("compile"),
+        rec.counter_value("compile.programs"),
+        rec.counter_value("compile.ops"),
+        secs("simulate"),
+        secs("analyze"),
+        rec.counter_value("sim.steps"),
         steps_per_sec(&r.metrics),
-        r.metrics.nsa_events,
+        rec.counter_value("sim.events"),
+        rec.counter_value("sim.wheel_wakeups"),
     )
 }
 
@@ -221,6 +238,18 @@ fn main() {
         engine_json("ast", &ast),
         engine_json("bytecode", &bytecode),
     );
+
+    if let Some(path) = flag_value(&args, "--metrics-out") {
+        // Raw recorder dumps (counters + span totals across all repeats),
+        // one top-level key per engine.
+        let combined = format!(
+            "{{\n\"ast\": {},\n\"bytecode\": {}\n}}\n",
+            ast.recorder.to_json().trim_end(),
+            bytecode.recorder.to_json().trim_end(),
+        );
+        std::fs::write(path, combined).expect("write metrics json");
+        eprintln!("simcore: wrote {path}");
+    }
 
     if smoke {
         // The smoke run is the CI agreement gate; it prints the JSON but

@@ -81,10 +81,17 @@ COMMANDS:
                   --engine <name>     guard/update evaluator: bytecode
                                       (default) or ast (the reference
                                       walker; same verdict, slower)
+                  --explain           if interpretation fails, print a
+                                      structured diagnosis of the stuck
+                                      state (blocked edges, failing guard
+                                      atoms, frozen clocks)
+                  --metrics-out <file>  write phase timings and step
+                                      counters as JSON
     validate    structural validation + dispatch-tie warnings
     verify      observer verification (Fig. 2 + Sect. 3 requirements)
                   --exhaustive        also model-check all interleavings
                   --max-states <n>    state cap for --exhaustive (default 1000000)
+                  --metrics-out <file>  write verification metrics as JSON
     mc          schedulability by exhaustive model checking (the baseline)
                   --max-states <n>    state cap (default 10000000)
     search      treat the file as a design problem (binding and windows are
@@ -203,12 +210,19 @@ fn cmd_analyze(
             }
         },
     };
-    let report = match Analyzer::new(config)
+    let metrics_out = flag_value(options, "--metrics-out");
+    let recorder = metrics_out.map(|_| std::sync::Arc::new(swa_core::MetricsRecorder::new()));
+    let mut analyzer = Analyzer::new(config)
         .topology_opt(topology)
         .engine(engine)
-        .run()
-    {
+        .explain(has_flag(options, "--explain"));
+    if let Some(r) = &recorder {
+        analyzer = analyzer.recorder(r.clone());
+    }
+    let report = match analyzer.run() {
         Ok(r) => r,
+        // A Diagnosed error's Display already carries the rendered
+        // forensic report, so --explain needs no extra handling here.
         Err(e) => return CommandOutcome::error(format!("analysis failed: {e}")),
     };
     let mut out = String::new();
@@ -243,6 +257,9 @@ fn cmd_analyze(
         outcome
             .files
             .push((trace_path.to_string(), trace_to_xml(&report.trace)));
+    }
+    if let (Some(path), Some(r)) = (metrics_out, &recorder) {
+        outcome.files.push((path.to_string(), r.to_json()));
     }
     outcome
 }
@@ -311,8 +328,13 @@ fn cmd_verify(
         Ok(m) => m,
         Err(e) => return CommandOutcome::error(format!("model construction failed: {e}")),
     };
+    let metrics_out = flag_value(options, "--metrics-out");
+    let recorder = metrics_out.map(|_| swa_core::MetricsRecorder::new());
     let mut out = String::new();
-    let sim = match swa_mc::verify_by_simulation(&model, config) {
+    let sim = match match &recorder {
+        Some(r) => swa_mc::verify_by_simulation_recorded(&model, config, r),
+        None => swa_mc::verify_by_simulation(&model, config),
+    } {
         Ok(r) => r,
         Err(e) => return CommandOutcome::error(format!("verification failed: {e}")),
     };
@@ -354,7 +376,11 @@ fn cmd_verify(
         }
         all_ok &= mc.ok();
     }
-    CommandOutcome::verdict(all_ok, out)
+    let mut outcome = CommandOutcome::verdict(all_ok, out);
+    if let (Some(path), Some(r)) = (metrics_out, &recorder) {
+        outcome.files.push((path.to_string(), r.to_json()));
+    }
+    outcome
 }
 
 fn cmd_mc(
@@ -561,6 +587,51 @@ mod tests {
         assert_eq!(out.exit_code, 0);
         assert!(out.stdout.contains('#'), "{}", out.stdout);
         assert!(out.stdout.contains('─'), "{}", out.stdout);
+    }
+
+    #[test]
+    fn analyze_metrics_out_emits_json() {
+        let out = run_on(
+            "analyze",
+            &config(true),
+            &opts(&["--metrics-out", "m.json"]),
+        );
+        assert_eq!(out.exit_code, 0, "{}", out.stdout);
+        let (path, json) = out
+            .files
+            .iter()
+            .find(|(p, _)| p == "m.json")
+            .expect("metrics file emitted");
+        assert_eq!(path, "m.json");
+        assert!(json.contains("\"sim.steps\""), "{json}");
+        assert!(json.contains("\"compile.programs\""), "{json}");
+        assert!(json.contains("\"simulate\""), "{json}");
+        assert!(json.contains("\"build\""), "{json}");
+    }
+
+    #[test]
+    fn analyze_explain_flag_is_accepted_on_sound_models() {
+        let out = run_on("analyze", &config(true), &opts(&["--explain"]));
+        assert_eq!(out.exit_code, 0, "{}", out.stdout);
+        assert!(out.stdout.contains("schedulable: true"));
+    }
+
+    #[test]
+    fn verify_metrics_out_records_observer_verdicts() {
+        let out = run_on(
+            "verify",
+            &config(true),
+            &opts(&["--metrics-out", "v.json"]),
+        );
+        assert_eq!(out.exit_code, 0, "{}", out.stdout);
+        let (_, json) = out
+            .files
+            .iter()
+            .find(|(p, _)| p == "v.json")
+            .expect("metrics file emitted");
+        assert!(json.contains("\"mc.observers\""), "{json}");
+        assert!(json.contains("\"mc.violations\""), "{json}");
+        assert!(json.contains("\"verify\""), "{json}");
     }
 
     #[test]

@@ -34,6 +34,8 @@
 //! # Ok::<(), swa_core::PipelineError>(())
 //! ```
 
+use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 use swa_ima::{Configuration, Topology};
@@ -43,6 +45,7 @@ use crate::analysis::analyze_spanning;
 use crate::batch::{run_batch, BatchMode, BatchOptions, BatchOutcome};
 use crate::error::PipelineError;
 use crate::instance::SystemModel;
+use crate::obs::Recorder;
 use crate::pipeline::{AnalysisReport, CompileMetrics, RunMetrics};
 use crate::sysevents::extract_system_trace;
 
@@ -51,13 +54,27 @@ use crate::sysevents::extract_system_trace;
 /// Defaults: canonical tie-break order, no network topology, a one
 /// hyperperiod analysis span. See [`Analyzer::batch`] for analyzing a
 /// family of candidate configurations in parallel.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Analyzer<'a> {
     config: &'a Configuration,
     topology: Option<&'a Topology>,
     tie_break: TieBreak,
     hyperperiods: u32,
     engine: EvalEngine,
+    recorder: Option<Arc<dyn Recorder>>,
+    explain: bool,
+}
+
+impl fmt::Debug for Analyzer<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Analyzer")
+            .field("tie_break", &self.tie_break)
+            .field("hyperperiods", &self.hyperperiods)
+            .field("engine", &self.engine)
+            .field("recorder", &self.recorder.is_some())
+            .field("explain", &self.explain)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> Analyzer<'a> {
@@ -70,7 +87,31 @@ impl<'a> Analyzer<'a> {
             tie_break: TieBreak::Canonical,
             hyperperiods: 1,
             engine: EvalEngine::default(),
+            recorder: None,
+            explain: false,
         }
+    }
+
+    /// Attaches an observability sink: per-phase spans, compile/step
+    /// counters, and — if the recorder
+    /// [`wants_events`](Recorder::wants_events) — every synchronization
+    /// event of the simulation, rendered. The default (`None`) records
+    /// nothing and adds no per-step cost.
+    #[must_use]
+    pub fn recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Requests failure forensics: if interpretation fails, the run is
+    /// deterministically replayed to capture a structured
+    /// [`Diagnosis`](swa_nsa::Diagnosis) of the stuck state, returned via
+    /// [`PipelineError::Diagnosed`]. Off by default (the extra replay only
+    /// happens on the error path, but the error type changes).
+    #[must_use]
+    pub fn explain(mut self, explain: bool) -> Self {
+        self.explain = explain;
+        self
     }
 
     /// Selects the guard/update evaluation engine for the simulation
@@ -146,6 +187,10 @@ impl<'a> Analyzer<'a> {
         )?;
         let build = t0.elapsed();
 
+        // A warm bytecode cache before the compile phase means this model
+        // was compiled by an earlier pass — a cache hit worth counting.
+        let cache_warm = model.network().is_compiled();
+
         // Force the lazy bytecode compilation outside the simulate phase so
         // the metrics separate one-time lowering cost from interpretation.
         let compile = if self.engine == EvalEngine::Bytecode {
@@ -160,12 +205,34 @@ impl<'a> Analyzer<'a> {
             CompileMetrics::default()
         };
 
-        let t1 = Instant::now();
-        let outcome = model
+        let sim = model
             .simulator()
             .tie_break(self.tie_break.clone())
-            .engine(self.engine)
-            .run()?;
+            .engine(self.engine);
+        let wants_events = self.recorder.as_ref().is_some_and(|r| r.wants_events());
+
+        let t1 = Instant::now();
+        let run_result = if wants_events {
+            let recorder = self.recorder.clone().expect("wants_events implies recorder");
+            let network = model.network();
+            sim.run_with(move |e, _| recorder.event("sync", e.time, &e.render(network)))
+        } else {
+            sim.run()
+        };
+        let outcome = match run_result {
+            Ok(outcome) => outcome,
+            Err(error) => {
+                if self.explain {
+                    // The simulation is deterministic, so replaying it
+                    // reproduces the identical stuck state, this time with
+                    // forensics attached (the hot path stays untouched).
+                    if let Err(explained) = sim.run_explained() {
+                        return Err(explained.into());
+                    }
+                }
+                return Err(error.into());
+            }
+        };
         let simulate = t1.elapsed();
 
         let t2 = Instant::now();
@@ -173,17 +240,24 @@ impl<'a> Analyzer<'a> {
         let analysis = analyze_spanning(self.config, &trace, self.hyperperiods);
         let analyze_time = t2.elapsed();
 
+        let metrics = RunMetrics {
+            build,
+            compile,
+            simulate,
+            analyze: analyze_time,
+            nsa_events: outcome.trace.len(),
+            steps: outcome.steps,
+            wheel_wakeups: outcome.stats.wheel_wakeups,
+        };
+        if let Some(recorder) = &self.recorder {
+            metrics.record_to(recorder.as_ref());
+            recorder.counter("bytecode.cache_hits", u64::from(cache_warm));
+        }
+
         Ok(AnalysisReport {
             analysis,
             trace,
-            metrics: RunMetrics {
-                build,
-                compile,
-                simulate,
-                analyze: analyze_time,
-                nsa_events: outcome.trace.len(),
-                steps: outcome.steps,
-            },
+            metrics,
         })
     }
 }
@@ -223,6 +297,15 @@ impl BatchAnalyzer<'_> {
         self
     }
 
+    /// Observability sink for the batch-level metrics (wall time,
+    /// per-phase sums, per-worker utilization), emitted once when the
+    /// batch completes.
+    #[must_use]
+    pub fn recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.options.recorder = Some(recorder);
+        self
+    }
+
     /// Checks candidates until the first (lowest-index) schedulable one is
     /// identified, cancelling outstanding work beyond it.
     ///
@@ -245,5 +328,136 @@ impl BatchAnalyzer<'_> {
     pub fn exhaustive(mut self) -> Result<BatchOutcome, PipelineError> {
         self.options.mode = BatchMode::Exhaustive;
         run_batch(self.configs, &self.options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::io::{self, Write};
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    use swa_ima::{
+        CoreRef, CoreType, CoreTypeId, Module, ModuleId, Partition, SchedulerKind, Task, Window,
+    };
+
+    use super::*;
+    use crate::obs::{JsonlSink, MetricsRecorder};
+
+    fn config() -> Configuration {
+        Configuration {
+            core_types: vec![CoreType::new("ct")],
+            modules: vec![Module::homogeneous("M", 1, CoreTypeId::from_raw(0))],
+            partitions: vec![Partition::new(
+                "P",
+                SchedulerKind::Fpps,
+                vec![Task::new("t", 1, vec![10], 50)],
+            )],
+            binding: vec![CoreRef::new(ModuleId::from_raw(0), 0)],
+            windows: vec![vec![Window::new(0, 50)]],
+            messages: vec![],
+        }
+    }
+
+    #[test]
+    fn recorder_captures_spans_and_counters() {
+        let config = config();
+        let recorder = Arc::new(MetricsRecorder::new());
+        let report = Analyzer::new(&config)
+            .recorder(recorder.clone())
+            .run()
+            .unwrap();
+        assert!(report.schedulable());
+        assert!(recorder.counter_value("sim.steps") > 0);
+        assert_eq!(recorder.counter_value("sim.steps"), report.metrics.steps);
+        assert!(recorder.counter_value("compile.programs") > 0);
+        assert!(recorder.counter_value("sim.events") > 0);
+        // A fresh model is always compiled cold.
+        assert_eq!(recorder.counter_value("bytecode.cache_hits"), 0);
+        assert!(recorder.span_total("simulate") > Duration::ZERO);
+        assert_eq!(recorder.spans()["build"].count, 1);
+    }
+
+    #[test]
+    fn recorder_snapshot_matches_report_metrics() {
+        let config = config();
+        let recorder = Arc::new(MetricsRecorder::new());
+        let report = Analyzer::new(&config)
+            .recorder(recorder.clone())
+            .run()
+            .unwrap();
+        let json = recorder.to_json();
+        assert!(json.contains("\"sim.steps\""), "{json}");
+        assert!(json.contains("\"simulate\""), "{json}");
+        assert_eq!(
+            recorder.counter_value("sim.events"),
+            report.metrics.nsa_events as u64
+        );
+    }
+
+    #[derive(Clone, Default)]
+    struct Shared(Arc<Mutex<Vec<u8>>>);
+    impl Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn event_log_streams_every_synchronization() {
+        let config = config();
+        let buf = Shared::default();
+        let sink = Arc::new(JsonlSink::to_writer(Box::new(buf.clone())));
+        let report = Analyzer::new(&config).recorder(sink.clone()).run().unwrap();
+        sink.flush().unwrap();
+
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let events = text
+            .lines()
+            .filter(|l| l.contains("\"kind\": \"sync\""))
+            .count();
+        assert_eq!(events, report.metrics.nsa_events, "one line per event");
+        assert!(
+            text.lines().any(|l| l.contains("\"kind\": \"counter\"")),
+            "metrics land in the same log:\n{text}"
+        );
+    }
+
+    #[test]
+    fn event_forwarding_does_not_change_the_verdict() {
+        let config = config();
+        let plain = Analyzer::new(&config).run().unwrap();
+        let buf = Shared::default();
+        let sink = Arc::new(JsonlSink::to_writer(Box::new(buf.clone())));
+        let logged = Analyzer::new(&config).recorder(sink).run().unwrap();
+        assert_eq!(plain.schedulable(), logged.schedulable());
+        assert_eq!(plain.metrics.steps, logged.metrics.steps);
+        assert_eq!(plain.metrics.nsa_events, logged.metrics.nsa_events);
+    }
+
+    #[test]
+    fn explain_on_a_sound_model_is_a_no_op() {
+        let config = config();
+        let report = Analyzer::new(&config).explain(true).run().unwrap();
+        assert!(report.schedulable());
+    }
+
+    #[test]
+    fn batch_recorder_receives_batch_metrics() {
+        let configs = vec![config(), config()];
+        let recorder = Arc::new(MetricsRecorder::new());
+        let out = Analyzer::batch(&configs)
+            .parallelism(2)
+            .recorder(recorder.clone())
+            .exhaustive()
+            .unwrap();
+        assert_eq!(out.evaluated(), 2);
+        assert_eq!(recorder.counter_value("batch.checks"), 2);
+        assert!(recorder.span_total("batch.wall") > Duration::ZERO);
+        assert_eq!(recorder.counter_value("batch.worker.0.checks") + recorder.counter_value("batch.worker.1.checks"), 2);
     }
 }

@@ -22,15 +22,17 @@
 //!
 //! [`swa_mc::parallel`]: ../../swa_mc/parallel/index.html
 
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
 
 use swa_ima::Configuration;
 use swa_nsa::{EvalEngine, TieBreak};
 
 use crate::analyzer::Analyzer;
 use crate::error::PipelineError;
+use crate::obs::Recorder;
 use crate::pipeline::AnalysisReport;
 
 /// What the engine does after finding a schedulable candidate.
@@ -45,7 +47,7 @@ pub enum BatchMode {
 }
 
 /// Knobs of a batch run.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct BatchOptions {
     /// Worker threads; `0` means one per available core.
     pub parallelism: usize,
@@ -55,6 +57,21 @@ pub struct BatchOptions {
     pub tie_break: TieBreak,
     /// Guard/update evaluation engine for every candidate's simulation.
     pub engine: EvalEngine,
+    /// Observability sink the final [`BatchMetrics`] are emitted into when
+    /// the run completes; `None` records nothing.
+    pub recorder: Option<Arc<dyn Recorder>>,
+}
+
+impl fmt::Debug for BatchOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BatchOptions")
+            .field("parallelism", &self.parallelism)
+            .field("mode", &self.mode)
+            .field("tie_break", &self.tie_break)
+            .field("engine", &self.engine)
+            .field("recorder", &self.recorder.is_some())
+            .finish()
+    }
 }
 
 /// The full analysis of one evaluated candidate.
@@ -66,62 +83,9 @@ pub struct CandidateResult {
     pub report: AnalysisReport,
 }
 
-/// Work accounting for one worker thread.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct WorkerStats {
-    /// Time spent inside candidate evaluations.
-    pub busy: Duration,
-    /// Candidates this worker evaluated.
-    pub checks: usize,
-}
-
-/// Aggregated timing of a batch run, extending the per-candidate
-/// [`RunMetrics`](crate::RunMetrics) with batch-level totals.
-#[derive(Debug, Clone, Default)]
-pub struct BatchMetrics {
-    /// Wall-clock time of the whole batch.
-    pub wall: Duration,
-    /// Summed instance-construction time across evaluated candidates.
-    pub build: Duration,
-    /// Summed bytecode-compilation time across evaluated candidates.
-    pub compile: Duration,
-    /// Summed interpretation time across evaluated candidates.
-    pub simulate: Duration,
-    /// Summed trace-extraction + analysis time across evaluated candidates.
-    pub analyze: Duration,
-    /// Candidates actually evaluated (including any raced beyond a
-    /// winner).
-    pub checks: usize,
-    /// Per-worker accounting, indexed by worker id.
-    pub workers: Vec<WorkerStats>,
-}
-
-impl BatchMetrics {
-    /// Throughput: candidates evaluated per wall-clock second.
-    #[must_use]
-    #[allow(clippy::cast_precision_loss)]
-    pub fn checks_per_sec(&self) -> f64 {
-        let secs = self.wall.as_secs_f64();
-        if secs > 0.0 {
-            self.checks as f64 / secs
-        } else {
-            0.0
-        }
-    }
-
-    /// Mean fraction of the wall time workers spent evaluating
-    /// candidates (1.0 = every worker busy the whole run).
-    #[must_use]
-    #[allow(clippy::cast_precision_loss)]
-    pub fn utilization(&self) -> f64 {
-        let denom = self.wall.as_secs_f64() * self.workers.len() as f64;
-        if denom > 0.0 {
-            self.workers.iter().map(|w| w.busy.as_secs_f64()).sum::<f64>() / denom
-        } else {
-            0.0
-        }
-    }
-}
+// The metrics snapshots moved to the unified observability layer; these
+// re-exports keep the historical paths working.
+pub use crate::obs::{BatchMetrics, WorkerStats};
 
 /// The deterministic result of a batch run.
 #[derive(Debug, Clone)]
@@ -288,6 +252,10 @@ pub fn run_batch(
         }
     }
 
+    if let Some(recorder) = &options.recorder {
+        metrics.record_to(recorder.as_ref());
+    }
+
     Ok(BatchOutcome {
         results,
         winner,
@@ -307,6 +275,7 @@ fn effective_parallelism(requested: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
     use swa_ima::{
         CoreRef, CoreType, CoreTypeId, Module, ModuleId, Partition, SchedulerKind, Task, Window,
     };

@@ -60,6 +60,7 @@ pub mod chains;
 pub mod error;
 pub mod gantt;
 pub mod instance;
+pub mod obs;
 pub mod pipeline;
 pub mod sysevents;
 pub mod templates;
@@ -73,6 +74,7 @@ pub use chains::{chain_latency, ChainError, ChainInstance, ChainLatency};
 pub use error::{ModelError, PipelineError};
 pub use gantt::render_gantt;
 pub use instance::{ChannelRole, ModelMap, SystemModel};
+pub use obs::{Fanout, JsonlSink, MetricsRecorder, NoopRecorder, Recorder, SpanStats};
 pub use pipeline::{
     analyze_configuration, analyze_configuration_with, analyze_configuration_with_topology,
     AnalysisReport, CompileMetrics, RunMetrics,

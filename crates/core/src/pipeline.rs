@@ -4,8 +4,6 @@
 //! The free functions here are thin wrappers over [`crate::Analyzer`],
 //! kept for compatibility; the builder is the primary entry point.
 
-use std::time::Duration;
-
 use swa_ima::Configuration;
 use swa_nsa::TieBreak;
 
@@ -14,42 +12,9 @@ use crate::analyzer::Analyzer;
 use crate::error::PipelineError;
 use crate::sysevents::SystemTrace;
 
-/// Cost of lowering the instance's guards, invariants and updates to
-/// bytecode (zero when the AST engine is selected — nothing is compiled).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct CompileMetrics {
-    /// Wall-clock time spent compiling.
-    pub time: Duration,
-    /// Number of bytecode programs emitted.
-    pub programs: usize,
-    /// Total instruction count across all programs.
-    pub ops: usize,
-}
-
-/// Wall-clock timings of each pipeline phase.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct RunMetrics {
-    /// Time to construct the NSA instance (Algorithm 1).
-    pub build: Duration,
-    /// Cost of the bytecode compilation pass over the instance.
-    pub compile: CompileMetrics,
-    /// Time to interpret the model over one hyperperiod.
-    pub simulate: Duration,
-    /// Time to extract the system trace and analyze it.
-    pub analyze: Duration,
-    /// Number of synchronization events in the model trace.
-    pub nsa_events: usize,
-    /// Number of action transitions taken.
-    pub steps: u64,
-}
-
-impl RunMetrics {
-    /// Total wall-clock time of the run.
-    #[must_use]
-    pub fn total(&self) -> Duration {
-        self.build + self.compile.time + self.simulate + self.analyze
-    }
-}
+// The metrics snapshots moved to the unified observability layer; these
+// re-exports keep the historical paths working.
+pub use crate::obs::{CompileMetrics, RunMetrics};
 
 /// The complete result of analyzing one configuration.
 #[derive(Debug, Clone)]

@@ -61,5 +61,5 @@ pub use schedcheck::{
 };
 pub use verify::{
     check_whole_model_requirements, verify_by_model_checking, verify_by_simulation,
-    VerificationReport,
+    verify_by_simulation_recorded, VerificationReport,
 };

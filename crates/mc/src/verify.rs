@@ -12,6 +12,9 @@
 //!   each parameter to one of possible values" becomes an explicit
 //!   enumeration of generated configurations).
 
+use std::time::Instant;
+
+use swa_core::obs::Recorder;
 use swa_core::SystemModel;
 use swa_ima::Configuration;
 use swa_nsa::SimError;
@@ -36,6 +39,20 @@ impl VerificationReport {
     #[must_use]
     pub fn ok(&self) -> bool {
         self.violations.is_empty()
+    }
+
+    /// Emits the verdict into `recorder` under the canonical names
+    /// (`mc.observers`, `mc.violations`, `mc.states`); each violation text
+    /// additionally becomes an event when the recorder wants events.
+    pub fn record_to(&self, recorder: &dyn Recorder) {
+        recorder.counter("mc.observers", self.observers as u64);
+        recorder.counter("mc.violations", self.violations.len() as u64);
+        recorder.counter("mc.states", self.states as u64);
+        if recorder.wants_events() {
+            for v in &self.violations {
+                recorder.event("mc.violation", 0, v);
+            }
+        }
     }
 }
 
@@ -80,6 +97,26 @@ pub fn verify_by_simulation_with(
         observers: observers_n,
         states: 1,
     })
+}
+
+/// As [`verify_by_simulation`], timing the run and emitting the verdict
+/// into `recorder` (`verify` span plus the [`VerificationReport::record_to`]
+/// counters), so observer verdicts flow through the same observability
+/// layer as the analysis pipeline's metrics.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn verify_by_simulation_recorded(
+    model: &SystemModel,
+    config: &Configuration,
+    recorder: &dyn Recorder,
+) -> Result<VerificationReport, SimError> {
+    let t = Instant::now();
+    let report = verify_by_simulation(model, config)?;
+    recorder.span("verify", t.elapsed());
+    report.record_to(recorder);
+    Ok(report)
 }
 
 /// Explores **all** interleavings in product with the full observer set;

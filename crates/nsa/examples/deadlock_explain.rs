@@ -1,0 +1,72 @@
+//! Forensics demo and CI gate: build a network that time-locks, run it
+//! with [`Simulator::run_explained`] under **both** evaluation engines,
+//! and print the structured diagnosis.
+//!
+//! `ci.sh` runs this and greps the output for the blocking automaton and
+//! the first failing guard atom, so the explainability contract ("both
+//! engines name the same atom") is exercised on every build:
+//!
+//! ```console
+//! cargo run -p swa-nsa --example deadlock_explain
+//! ```
+
+use swa_nsa::automaton::{AutomatonBuilder, Edge};
+use swa_nsa::bytecode::EvalEngine;
+use swa_nsa::expr::CmpOp;
+use swa_nsa::guard::{ClockAtom, Guard, Invariant};
+use swa_nsa::network::NetworkBuilder;
+use swa_nsa::sim::Simulator;
+use swa_nsa::Network;
+
+/// A sensor that samples every 10 ticks and a filter whose only exit
+/// demands `c >= 40` under an invariant `c <= 25`: at t = 25 the filter
+/// can neither delay nor act — a time lock, diagnosable down to the
+/// failing clock atom.
+fn deadlocking_network() -> Network {
+    let mut nb = NetworkBuilder::new();
+    let cs = nb.clock("cs");
+    let cf = nb.clock("cf");
+
+    let mut sensor = AutomatonBuilder::new("sensor");
+    let sample = sensor.location_with_invariant("sample", Invariant::upper_bound(cs, 10));
+    sensor.edge(
+        Edge::new(sample, sample)
+            .with_guard(Guard::always().and_clock(ClockAtom::new(cs, CmpOp::Ge, 10)))
+            .with_update(swa_nsa::update::Update::ResetClock(cs))
+            .with_label("tick"),
+    );
+    nb.automaton(sensor.finish(sample));
+
+    let mut filter = AutomatonBuilder::new("filter");
+    let settle = filter.location_with_invariant("settle", Invariant::upper_bound(cf, 25));
+    let done = filter.location("done");
+    filter.edge(
+        Edge::new(settle, done)
+            .with_guard(Guard::always().and_clock(ClockAtom::new(cf, CmpOp::Ge, 40)))
+            .with_label("flush"),
+    );
+    nb.automaton(filter.finish(settle));
+
+    nb.build().expect("well-formed network")
+}
+
+fn main() {
+    let network = deadlocking_network();
+    let mut renders = Vec::new();
+    for engine in [EvalEngine::Ast, EvalEngine::Bytecode] {
+        let err = Simulator::new(&network)
+            .horizon(1_000)
+            .engine(engine)
+            .run_explained()
+            .expect_err("this network time-locks");
+        let diagnosis = err.diagnosis.expect("time locks carry a diagnosis");
+        println!("=== engine {engine} ===");
+        println!("{}", diagnosis.render());
+        renders.push(diagnosis.render());
+    }
+    assert_eq!(
+        renders[0], renders[1],
+        "both engines must produce the identical diagnosis"
+    );
+    println!("engines agree: diagnosis is engine-independent");
+}

@@ -1196,6 +1196,41 @@ impl Rhs {
     }
 }
 
+/// Flattens a guard's clock-free part into its top-level conjuncts
+/// (nested `Pred::And` nodes dissolve). This is the *conjunct numbering*
+/// both engines share: `CompiledGuard` compiles one term per entry and
+/// short-circuits left to right, and the forensic first-failing-conjunct
+/// probe reports positions in exactly this list, so a diagnosis names the
+/// same atom whichever engine produced it.
+pub(crate) fn flatten_preds(preds: &[Pred]) -> Vec<&Pred> {
+    fn flatten<'p>(p: &'p Pred, out: &mut Vec<&'p Pred>) {
+        if let Pred::And(ps) = p {
+            for q in ps {
+                flatten(q, out);
+            }
+        } else {
+            out.push(p);
+        }
+    }
+    let mut flat = Vec::new();
+    for p in preds {
+        flatten(p, &mut flat);
+    }
+    flat
+}
+
+/// Position of the first failing conjunct of a guard, in the shared
+/// numbering of [`flatten_preds`]: clock-free conjuncts first (in
+/// flattened order), then clock atoms (in declaration order) — the order
+/// both engines evaluate and short-circuit in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum GuardConjunct {
+    /// Index into the flattened clock-free conjunct list.
+    Pred(usize),
+    /// Index into `Guard::clock_atoms`.
+    ClockAtom(usize),
+}
+
 impl CompiledGuard {
     /// Compiles a guard for `network`.
     #[must_use]
@@ -1205,20 +1240,7 @@ impl CompiledGuard {
         // short-circuits) on inline comparisons, entering the interpreter
         // only for the quantifier. Evaluation and error order match the
         // AST walker's left-to-right conjunction exactly.
-        fn flatten<'p>(p: &'p Pred, out: &mut Vec<&'p Pred>) {
-            if let Pred::And(ps) = p {
-                for q in ps {
-                    flatten(q, out);
-                }
-            } else {
-                out.push(p);
-            }
-        }
-        let mut flat = Vec::new();
-        for p in &guard.preds {
-            flatten(p, &mut flat);
-        }
-        let terms = flat
+        let terms = flatten_preds(&guard.preds)
             .into_iter()
             .map(|p| PredTerm::compile(p, network))
             .collect();
@@ -1278,6 +1300,25 @@ impl CompiledGuard {
             }
         }
         Ok(Some(window))
+    }
+
+    /// The short-circuit position at which this guard fails on `state`,
+    /// or `None` if it holds. The numbering is shared with the AST walker
+    /// (see [`flatten_preds`]), so forensics name the same conjunct under
+    /// either engine.
+    pub(crate) fn first_failing(&self, state: &State) -> Result<Option<GuardConjunct>, EvalError> {
+        for (i, t) in self.terms.iter().enumerate() {
+            if !t.eval(&state.vars)? {
+                return Ok(Some(GuardConjunct::Pred(i)));
+            }
+        }
+        for (i, a) in self.atoms.iter().enumerate() {
+            let rhs = a.rhs.eval(&state.vars)?;
+            if !a.op.apply(state.clocks[a.clock.index()].value, rhs) {
+                return Ok(Some(GuardConjunct::ClockAtom(i)));
+            }
+        }
+        Ok(None)
     }
 }
 
@@ -1552,6 +1593,40 @@ pub(crate) fn invariant_max_delay(
             .compiled()
             .invariant(automaton, location)
             .max_delay(state),
+    }
+}
+
+/// Finds the first failing conjunct of an edge guard (forensics; see
+/// [`GuardConjunct`]). Both arms share the [`flatten_preds`] numbering and
+/// the left-to-right short-circuit order, so the reported position is
+/// engine-independent.
+pub(crate) fn guard_first_failing(
+    network: &Network,
+    engine: EvalEngine,
+    automaton: AutomatonId,
+    edge: EdgeId,
+    state: &State,
+) -> Result<Option<GuardConjunct>, EvalError> {
+    match engine {
+        EvalEngine::Ast => {
+            let view = crate::state::EnvView { network, state };
+            let guard = &network.automaton(automaton).edge(edge).guard;
+            for (i, p) in flatten_preds(&guard.preds).into_iter().enumerate() {
+                if !p.eval(&view)? {
+                    return Ok(Some(GuardConjunct::Pred(i)));
+                }
+            }
+            for (i, a) in guard.clock_atoms.iter().enumerate() {
+                if !a.holds(&view, &view)? {
+                    return Ok(Some(GuardConjunct::ClockAtom(i)));
+                }
+            }
+            Ok(None)
+        }
+        EvalEngine::Bytecode => network
+            .compiled()
+            .guard(automaton, edge)
+            .first_failing(state),
     }
 }
 

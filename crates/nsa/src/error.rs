@@ -63,6 +63,16 @@ pub enum BuildError {
         /// Explanation of the problem.
         reason: String,
     },
+    /// The network declares more items of one kind than ids can address
+    /// (ids are `u32`-backed). A hostile or runaway generator degrades
+    /// into this error instead of a process abort.
+    CapacityExceeded {
+        /// What overflowed: `"clocks"`, `"variables"`, `"arrays"`,
+        /// `"channels"`, `"automata"` or `"edges"`.
+        kind: &'static str,
+        /// The number of addressable items of that kind.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for BuildError {
@@ -98,6 +108,9 @@ impl fmt::Display for BuildError {
             }
             Self::DanglingChannel { channel, reason } => {
                 write!(f, "channel {channel:?} is miswired: {reason}")
+            }
+            Self::CapacityExceeded { kind, limit } => {
+                write!(f, "network declares more than {limit} {kind}")
             }
         }
     }
@@ -206,6 +219,14 @@ pub enum SimError {
         /// Model time of the deadlock.
         time: i64,
     },
+    /// A wake-time computation overflowed `i64` — a guard constant close
+    /// to `i64::MAX` pushed an absolute deadline past the representable
+    /// range. (Previously the event wheel saturated and silently parked
+    /// the automaton forever.)
+    Overflow {
+        /// Model time at which the overflow occurred.
+        time: i64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -237,6 +258,10 @@ impl fmt::Display for SimError {
             Self::CommittedDeadlock { automaton, time } => write!(
                 f,
                 "committed location in automaton {automaton} has no enabled transition at time {time}"
+            ),
+            Self::Overflow { time } => write!(
+                f,
+                "wake-time arithmetic overflowed i64 at time {time} (guard bound too close to i64::MAX)"
             ),
         }
     }

@@ -53,7 +53,16 @@ use crate::guard::{Guard, Invariant};
 use crate::ids::{AutomatonId, ChannelId, ClockId, EdgeId, LocationId};
 use crate::network::{ChannelKind, Network};
 use crate::semantics::{apply_with, Transition};
+use crate::sim::SimStats;
 use crate::state::State;
+
+/// Absolute time `now + delay`, or [`SimError::Overflow`] when the sum
+/// leaves `i64`. (Saturating here would silently park the automaton at
+/// `i64::MAX` — indistinguishable from "never fires".)
+fn abs_time(now: i64, delay: i64) -> Result<i64, SimError> {
+    now.checked_add(delay)
+        .ok_or(SimError::Overflow { time: now })
+}
 
 /// Per-location static classification.
 #[derive(Debug, Clone)]
@@ -266,6 +275,8 @@ pub(crate) struct FastRun<'n> {
     /// Location whose receive edges each automaton has registered in
     /// `recv_ready` (`None` before the first refresh).
     registered: Vec<Option<LocationId>>,
+    /// Due wake entries drained into `ready` so far (observability).
+    wheel_wakeups: u64,
 }
 
 impl<'n> FastRun<'n> {
@@ -293,6 +304,7 @@ impl<'n> FastRun<'n> {
             inv_heap: BinaryHeap::new(),
             recv_ready: vec![BTreeSet::new(); network.channels().len()],
             registered: vec![None; n],
+            wheel_wakeups: 0,
         };
         for ai in 0..n {
             let aid = AutomatonId::from_raw(u32::try_from(ai).expect("automaton count fits u32"));
@@ -381,7 +393,7 @@ impl<'n> FastRun<'n> {
                     if let Some(w) = bytecode::guard_window(self.network, self.engine, a, eid, state)
                         .map_err(SimError::Eval)?
                     {
-                        wake = wake.min(now.saturating_add(w.lo));
+                        wake = wake.min(abs_time(now, w.lo)?);
                     }
                 }
                 self.wake[ai] = wake;
@@ -399,7 +411,7 @@ impl<'n> FastRun<'n> {
                 .map_err(SimError::Eval)?
             {
                 None => i64::MAX,
-                Some(d) => now.saturating_add(d.max(0)),
+                Some(d) => abs_time(now, d.max(0))?,
             };
         self.inv_expiry[ai] = expiry;
         if !inv_cacheable {
@@ -425,7 +437,15 @@ impl<'n> FastRun<'n> {
             self.wake_heap.pop();
             if !self.dynamic[a as usize] && self.wake[a as usize] == t {
                 self.ready.insert(a);
+                self.wheel_wakeups += 1;
             }
+        }
+    }
+
+    /// Interpreter counters accumulated so far.
+    pub(crate) fn stats(&self) -> SimStats {
+        SimStats {
+            wheel_wakeups: self.wheel_wakeups,
         }
     }
 
@@ -603,7 +623,7 @@ impl<'n> FastRun<'n> {
                 {
                     let lo = w.lo.max(1);
                     if w.contains(lo) {
-                        next = next.min(now.saturating_add(lo));
+                        next = next.min(abs_time(now, lo)?);
                     }
                 }
             }
@@ -623,7 +643,7 @@ impl<'n> FastRun<'n> {
                 bytecode::invariant_max_delay(self.network, self.engine, aid, state.location_of(aid), state)
                     .map_err(SimError::Eval)?
             {
-                let e = now.saturating_add(d.max(0));
+                let e = abs_time(now, d.max(0))?;
                 if e < expiry {
                     expiry = e;
                     bounder = Some(aid);
@@ -851,6 +871,75 @@ mod tests {
         assert!(FastCache::new(&n).eligible());
         let err = Simulator::new(&n).horizon(100).run().unwrap_err();
         assert!(matches!(err, SimError::TimeLock { .. }));
+    }
+
+    #[test]
+    fn wake_time_overflow_is_detected() {
+        // At t=5 the clock is reset and the automaton enters a location
+        // whose guard bound sits near i64::MAX: the absolute wake time
+        // 5 + (i64::MAX - 2) leaves i64. The wheel used to saturate and
+        // silently park the automaton forever; now it reports overflow.
+        let mut nb = NetworkBuilder::new();
+        let c = nb.clock("c");
+        let mut a = AutomatonBuilder::new("far");
+        let l0 = a.location("l0");
+        let l1 = a.location("l1");
+        let l2 = a.location("l2");
+        a.edge(
+            Edge::new(l0, l1)
+                .with_guard(Guard::always().and_clock(ClockAtom::new(c, CmpOp::Ge, 5)))
+                .with_update(Update::ResetClock(c)),
+        );
+        a.edge(
+            Edge::new(l1, l2).with_guard(Guard::always().and_clock(ClockAtom::new(
+                c,
+                CmpOp::Ge,
+                i64::MAX - 2,
+            ))),
+        );
+        nb.automaton(a.finish(l0));
+        let n = nb.build().unwrap();
+        assert!(FastCache::new(&n).eligible());
+        let err = Simulator::new(&n).horizon(100).run().unwrap_err();
+        assert_eq!(err, SimError::Overflow { time: 5 });
+    }
+
+    #[test]
+    fn near_max_bound_without_overflow_still_runs() {
+        // Same shape, but the clock is not reset: the residual delay
+        // (i64::MAX - 2) - 5 stays representable, so the run just reaches
+        // its horizon.
+        let mut nb = NetworkBuilder::new();
+        let c = nb.clock("c");
+        let mut a = AutomatonBuilder::new("far");
+        let l0 = a.location("l0");
+        let l1 = a.location("l1");
+        let l2 = a.location("l2");
+        a.edge(
+            Edge::new(l0, l1)
+                .with_guard(Guard::always().and_clock(ClockAtom::new(c, CmpOp::Ge, 5))),
+        );
+        a.edge(
+            Edge::new(l1, l2).with_guard(Guard::always().and_clock(ClockAtom::new(
+                c,
+                CmpOp::Ge,
+                i64::MAX - 2,
+            ))),
+        );
+        nb.automaton(a.finish(l0));
+        let n = nb.build().unwrap();
+        let out = Simulator::new(&n).horizon(100).run().unwrap();
+        assert_eq!(out.final_state.time, 100);
+        assert_eq!(out.steps, 1);
+    }
+
+    #[test]
+    fn wheel_wakeups_are_counted() {
+        let n = ticker_network(5);
+        let out = Simulator::new(&n).horizon(26).run().unwrap();
+        // Five ticks, each parked on the wheel and woken when due.
+        assert_eq!(out.steps, 5);
+        assert_eq!(out.stats.wheel_wakeups, 5);
     }
 
     #[test]

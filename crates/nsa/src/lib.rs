@@ -65,6 +65,7 @@
 
 pub mod automaton;
 pub mod bytecode;
+pub mod diagnose;
 pub mod dot;
 pub mod error;
 pub mod expr;
@@ -81,12 +82,13 @@ pub mod uppaal;
 
 pub use automaton::{Automaton, AutomatonBuilder, Edge, Location, Sync};
 pub use bytecode::{CompileStats, CompiledNetwork, EvalEngine};
+pub use diagnose::{BlockReason, Diagnosis, DiagnosisKind, ExplainedError};
 pub use error::{BuildError, EvalError, SimError};
 pub use expr::{CmpOp, IntExpr, Pred};
 pub use guard::{ClockAtom, Guard, Invariant};
 pub use ids::{ArrayId, AutomatonId, ChannelId, ClockId, EdgeId, LocationId, ParamId, VarId};
 pub use network::{ChannelKind, Network, NetworkBuilder};
-pub use sim::{SimOutcome, Simulator, StopReason, TieBreak};
+pub use sim::{SimOutcome, SimStats, Simulator, StopReason, TieBreak};
 pub use state::State;
 pub use trace::{NsaTrace, SyncEvent};
 pub use update::{LValue, Update};

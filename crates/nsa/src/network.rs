@@ -157,7 +157,7 @@ impl Network {
         self.automata
             .iter()
             .position(|a| a.name == name)
-            .map(|i| AutomatonId::from_raw(u32::try_from(i).expect("automaton count fits u32")))
+            .and_then(|i| u32::try_from(i).ok().map(AutomatonId::from_raw))
     }
 
     /// Looks up a channel id by name.
@@ -166,7 +166,7 @@ impl Network {
         self.channels
             .iter()
             .position(|c| c.name == name)
-            .map(|i| ChannelId::from_raw(u32::try_from(i).expect("channel count fits u32")))
+            .and_then(|i| u32::try_from(i).ok().map(ChannelId::from_raw))
     }
 
     /// Looks up a variable id by name.
@@ -175,7 +175,7 @@ impl Network {
         self.vars
             .iter()
             .position(|v| v.name == name)
-            .map(|i| VarId::from_raw(u32::try_from(i).expect("var count fits u32")))
+            .and_then(|i| u32::try_from(i).ok().map(VarId::from_raw))
     }
 
     /// Looks up an array id by name.
@@ -184,7 +184,7 @@ impl Network {
         self.arrays
             .iter()
             .position(|a| a.name == name)
-            .map(|i| ArrayId::from_raw(u32::try_from(i).expect("array count fits u32")))
+            .and_then(|i| u32::try_from(i).ok().map(ArrayId::from_raw))
     }
 
     /// Looks up a clock id by name.
@@ -193,7 +193,7 @@ impl Network {
         self.clocks
             .iter()
             .position(|c| c.name == name)
-            .map(|i| ClockId::from_raw(u32::try_from(i).expect("clock count fits u32")))
+            .and_then(|i| u32::try_from(i).ok().map(ClockId::from_raw))
     }
 
     /// Total number of state variables (scalars plus flattened array cells).
@@ -248,6 +248,14 @@ impl Network {
     pub fn compiled(&self) -> &CompiledNetwork {
         self.compiled.get_or_init(|| CompiledNetwork::compile(self))
     }
+
+    /// Whether [`compiled`](Self::compiled) has already run for this value
+    /// (observability: distinguishes a bytecode-cache hit from a fresh
+    /// compilation without forcing one).
+    #[must_use]
+    pub fn is_compiled(&self) -> bool {
+        self.compiled.get().is_some()
+    }
 }
 
 /// Builder for a [`Network`].
@@ -275,13 +283,36 @@ impl Network {
 /// assert_eq!(network.automata().len(), 2);
 /// # Ok::<(), swa_nsa::error::BuildError>(())
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct NetworkBuilder {
     clocks: Vec<ClockDecl>,
     vars: Vec<VarDecl>,
     arrays: Vec<ArrayDecl>,
     channels: Vec<ChannelDecl>,
     automata: Vec<Automaton>,
+    /// Maximum number of items of each kind the builder accepts.
+    capacity_limit: u64,
+    /// First capacity overflow observed; declaring methods stay infallible
+    /// (they return a clamped id), and [`build`](Self::build) surfaces the
+    /// error instead of aborting the process.
+    capacity_error: Option<BuildError>,
+}
+
+/// Number of items each id kind can address (ids are `u32`-backed).
+const ID_CAPACITY: u64 = 1 << 32;
+
+impl Default for NetworkBuilder {
+    fn default() -> Self {
+        Self {
+            clocks: Vec::new(),
+            vars: Vec::new(),
+            arrays: Vec::new(),
+            channels: Vec::new(),
+            automata: Vec::new(),
+            capacity_limit: ID_CAPACITY,
+            capacity_error: None,
+        }
+    }
 }
 
 impl NetworkBuilder {
@@ -289,6 +320,33 @@ impl NetworkBuilder {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Lowers the per-kind item limit (useful for tests and for callers
+    /// that want to bound hostile generators well below the `u32` id
+    /// space). Declarations beyond the limit make [`build`](Self::build)
+    /// return [`BuildError::CapacityExceeded`].
+    #[must_use]
+    pub fn with_capacity_limit(mut self, limit: u64) -> Self {
+        self.capacity_limit = limit.min(ID_CAPACITY);
+        self
+    }
+
+    /// The raw id for the next item of a kind with `count` existing items,
+    /// recording a capacity error (and clamping) on overflow.
+    fn next_raw(&mut self, count: usize, kind: &'static str) -> u32 {
+        match u32::try_from(count) {
+            Ok(raw) if u64::from(raw) < self.capacity_limit => raw,
+            _ => {
+                if self.capacity_error.is_none() {
+                    self.capacity_error = Some(BuildError::CapacityExceeded {
+                        kind,
+                        limit: self.capacity_limit,
+                    });
+                }
+                u32::MAX
+            }
+        }
     }
 
     /// Declares a running clock and returns its id.
@@ -308,14 +366,14 @@ impl NetworkBuilder {
     }
 
     fn add_clock(&mut self, decl: ClockDecl) -> ClockId {
-        let id = ClockId::from_raw(u32::try_from(self.clocks.len()).expect("clock count fits u32"));
+        let id = ClockId::from_raw(self.next_raw(self.clocks.len(), "clocks"));
         self.clocks.push(decl);
         id
     }
 
     /// Declares a bounded integer variable and returns its id.
     pub fn var(&mut self, name: impl Into<String>, init: i64, min: i64, max: i64) -> VarId {
-        let id = VarId::from_raw(u32::try_from(self.vars.len()).expect("var count fits u32"));
+        let id = VarId::from_raw(self.next_raw(self.vars.len(), "variables"));
         self.vars.push(VarDecl {
             name: name.into(),
             init,
@@ -338,7 +396,7 @@ impl NetworkBuilder {
         min: i64,
         max: i64,
     ) -> ArrayId {
-        let id = ArrayId::from_raw(u32::try_from(self.arrays.len()).expect("array count fits u32"));
+        let id = ArrayId::from_raw(self.next_raw(self.arrays.len(), "arrays"));
         self.arrays.push(ArrayDecl {
             name: name.into(),
             init,
@@ -359,18 +417,14 @@ impl NetworkBuilder {
     }
 
     fn add_channel(&mut self, name: String, kind: ChannelKind) -> ChannelId {
-        let id = ChannelId::from_raw(
-            u32::try_from(self.channels.len()).expect("channel count fits u32"),
-        );
+        let id = ChannelId::from_raw(self.next_raw(self.channels.len(), "channels"));
         self.channels.push(ChannelDecl { name, kind });
         id
     }
 
     /// Adds an automaton and returns its id.
     pub fn automaton(&mut self, automaton: Automaton) -> AutomatonId {
-        let id = AutomatonId::from_raw(
-            u32::try_from(self.automata.len()).expect("automaton count fits u32"),
-        );
+        let id = AutomatonId::from_raw(self.next_raw(self.automata.len(), "automata"));
         self.automata.push(automaton);
         id
     }
@@ -384,8 +438,22 @@ impl NetworkBuilder {
     /// * any automaton has no locations, duplicates a name, or references a
     ///   location/clock/variable/array/channel that does not exist;
     /// * any variable domain is empty or an initial value is out of domain;
-    /// * any expression still contains unbound template parameters.
+    /// * any expression still contains unbound template parameters;
+    /// * more items of one kind were declared than ids can address
+    ///   ([`BuildError::CapacityExceeded`]).
     pub fn build(self) -> Result<Network, BuildError> {
+        if let Some(e) = self.capacity_error {
+            return Err(e);
+        }
+        let edge_cap = BuildError::CapacityExceeded {
+            kind: "edges",
+            limit: self.capacity_limit,
+        };
+        for a in &self.automata {
+            if u64::try_from(a.edges.len()).map_or(true, |n| n > self.capacity_limit) {
+                return Err(edge_cap);
+            }
+        }
         let mut array_offsets = Vec::with_capacity(self.arrays.len());
         let mut offset = self.vars.len();
         for a in &self.arrays {
@@ -398,21 +466,26 @@ impl NetworkBuilder {
             for (ei, e) in a.edges.iter().enumerate() {
                 if let Some(v) = per_loc.get_mut(e.from.index()) {
                     v.push(EdgeId::from_raw(
-                        u32::try_from(ei).expect("edge count fits u32"),
+                        u32::try_from(ei).map_err(|_| edge_cap.clone())?,
                     ));
                 }
             }
             outgoing.push(per_loc);
         }
+        let automaton_cap = BuildError::CapacityExceeded {
+            kind: "automata",
+            limit: self.capacity_limit,
+        };
         let mut receivers: Vec<Vec<(AutomatonId, EdgeId)>> = vec![Vec::new(); self.channels.len()];
         for (ai, a) in self.automata.iter().enumerate() {
-            let aid = AutomatonId::from_raw(u32::try_from(ai).expect("automaton count fits u32"));
+            let aid =
+                AutomatonId::from_raw(u32::try_from(ai).map_err(|_| automaton_cap.clone())?);
             for (ei, e) in a.edges.iter().enumerate() {
                 if let crate::automaton::Sync::Recv(ch) = e.sync {
                     if let Some(v) = receivers.get_mut(ch.index()) {
                         v.push((
                             aid,
-                            EdgeId::from_raw(u32::try_from(ei).expect("edge count fits u32")),
+                            EdgeId::from_raw(u32::try_from(ei).map_err(|_| edge_cap.clone())?),
                         ));
                     }
                 }
@@ -437,7 +510,10 @@ impl NetworkBuilder {
 fn validate(n: &Network) -> Result<(), BuildError> {
     // Variable domains.
     for (i, v) in n.vars.iter().enumerate() {
-        let var = VarId::from_raw(u32::try_from(i).expect("var count fits u32"));
+        let var = VarId::from_raw(u32::try_from(i).map_err(|_| BuildError::CapacityExceeded {
+            kind: "variables",
+            limit: ID_CAPACITY,
+        })?);
         if v.min > v.max {
             return Err(BuildError::EmptyDomain {
                 var,
@@ -467,7 +543,11 @@ fn validate(n: &Network) -> Result<(), BuildError> {
     // Automata structure.
     let mut names = HashMap::new();
     for (ai, a) in n.automata.iter().enumerate() {
-        let aid = AutomatonId::from_raw(u32::try_from(ai).expect("automaton count fits u32"));
+        let aid =
+            AutomatonId::from_raw(u32::try_from(ai).map_err(|_| BuildError::CapacityExceeded {
+                kind: "automata",
+                limit: ID_CAPACITY,
+            })?);
         if a.locations.is_empty() {
             return Err(BuildError::EmptyAutomaton(aid));
         }
@@ -755,6 +835,60 @@ mod tests {
         assert!(matches!(
             nb.build(),
             Err(BuildError::UnknownLocation { .. })
+        ));
+    }
+
+    #[test]
+    fn capacity_limit_boundary_is_inclusive() {
+        // Exactly `limit` items of a kind build fine…
+        let mut nb = NetworkBuilder::new().with_capacity_limit(2);
+        let c0 = nb.clock("c0");
+        let c1 = nb.clock("c1");
+        assert_eq!((c0.raw(), c1.raw()), (0, 1));
+        let n = nb.build().unwrap();
+        assert_eq!(n.clocks().len(), 2);
+
+        // …one more degrades into a typed error instead of a panic.
+        let mut nb = NetworkBuilder::new().with_capacity_limit(2);
+        nb.clock("c0");
+        nb.clock("c1");
+        nb.clock("c2");
+        assert_eq!(
+            nb.build().unwrap_err(),
+            BuildError::CapacityExceeded {
+                kind: "clocks",
+                limit: 2
+            }
+        );
+    }
+
+    #[test]
+    fn capacity_error_reports_first_overflowing_kind() {
+        let mut nb = NetworkBuilder::new().with_capacity_limit(1);
+        nb.var("v0", 0, 0, 1);
+        nb.var("v1", 0, 0, 1);
+        nb.binary_channel("ch0");
+        nb.binary_channel("ch1");
+        assert_eq!(
+            nb.build().unwrap_err(),
+            BuildError::CapacityExceeded {
+                kind: "variables",
+                limit: 1
+            }
+        );
+    }
+
+    #[test]
+    fn automaton_capacity_is_enforced() {
+        let mut nb = NetworkBuilder::new().with_capacity_limit(1);
+        nb.automaton(trivial_automaton("a"));
+        nb.automaton(trivial_automaton("b"));
+        assert!(matches!(
+            nb.build(),
+            Err(BuildError::CapacityExceeded {
+                kind: "automata",
+                ..
+            })
         ));
     }
 

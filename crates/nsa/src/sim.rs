@@ -14,6 +14,7 @@
 //! and check that the observable trace is unchanged.
 
 use crate::bytecode::EvalEngine;
+use crate::diagnose::{Diagnosis, ExplainedError};
 use crate::error::SimError;
 use crate::ids::AutomatonId;
 use crate::network::Network;
@@ -69,8 +70,17 @@ pub enum StopReason {
     Quiescent,
 }
 
+/// Low-level interpreter counters for one run (all zero outside the
+/// accelerated loop's instrumented paths).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimStats {
+    /// Event-wheel wake-ups drained by the accelerated loop: how many
+    /// parked automata were re-examined because their wake time came due.
+    pub wheel_wakeups: u64,
+}
+
 /// The result of a completed run.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct SimOutcome {
     /// The generated trace.
     pub trace: NsaTrace,
@@ -80,7 +90,25 @@ pub struct SimOutcome {
     pub steps: u64,
     /// Why the run ended.
     pub stop: StopReason,
+    /// Interpreter counters.
+    pub stats: SimStats,
 }
+
+/// Equality is over the *observable* outcome — trace, final state, steps,
+/// stop reason. [`SimStats`] is loop-implementation accounting (the
+/// generic interpreter has no event wheel to count wakeups on) and is
+/// deliberately excluded, so differential tests can compare the fast and
+/// generic loops directly.
+impl PartialEq for SimOutcome {
+    fn eq(&self, other: &Self) -> bool {
+        self.trace == other.trace
+            && self.final_state == other.final_state
+            && self.steps == other.steps
+            && self.stop == other.stop
+    }
+}
+
+impl Eq for SimOutcome {}
 
 /// Deterministic simulator for one network.
 ///
@@ -218,38 +246,92 @@ impl<'n> Simulator<'n> {
         state: State,
         on_event: impl FnMut(&SyncEvent, &State),
     ) -> Result<SimOutcome, SimError> {
+        let mut state = state;
+        let mut trace = NsaTrace::new();
+        let (steps, stats, stop) = self.run_internal(&mut state, &mut trace, on_event)?;
+        Ok(SimOutcome {
+            trace,
+            final_state: state,
+            steps,
+            stop,
+            stats,
+        })
+    }
+
+    /// Runs from the network's initial state; on failure, captures a
+    /// structured forensic [`Diagnosis`] of the stuck state (see
+    /// [`crate::diagnose`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExplainedError`] wrapping the [`SimError`]; for time
+    /// locks, committed deadlocks and Zeno runs it carries a [`Diagnosis`].
+    pub fn run_explained(&self) -> Result<SimOutcome, ExplainedError> {
+        self.run_explained_from(State::initial(self.network))
+    }
+
+    /// As [`run_explained`](Self::run_explained), from an explicit state.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_explained`](Self::run_explained).
+    pub fn run_explained_from(&self, state: State) -> Result<SimOutcome, ExplainedError> {
+        let mut state = state;
+        let mut trace = NsaTrace::new();
+        match self.run_internal(&mut state, &mut trace, |_, _| {}) {
+            Ok((steps, stats, stop)) => Ok(SimOutcome {
+                trace,
+                final_state: state,
+                steps,
+                stop,
+                stats,
+            }),
+            Err(error) => {
+                let diagnosis =
+                    Diagnosis::capture(self.network, &state, &trace, &error, self.engine)
+                        .map(Box::new);
+                Err(ExplainedError { error, diagnosis })
+            }
+        }
+    }
+
+    /// Dispatches to the accelerated or generic loop. The caller owns the
+    /// state and trace, so on error they still describe the stuck
+    /// configuration and the events leading up to it — that is what
+    /// [`Diagnosis::capture`] reads.
+    fn run_internal(
+        &self,
+        state: &mut State,
+        trace: &mut NsaTrace,
+        on_event: impl FnMut(&SyncEvent, &State),
+    ) -> Result<(u64, SimStats, StopReason), SimError> {
         if self.tie_break == TieBreak::Canonical {
             let cache = crate::fastsim::FastCache::new(self.network);
             if cache.eligible() {
-                return self.run_fast(state, &cache, on_event);
+                return self.run_fast(state, trace, &cache, on_event);
             }
         }
-        self.run_generic(state, on_event)
+        self.run_generic(state, trace, on_event)
     }
 
     /// The accelerated interpretation loop (see [`crate::fastsim`]).
     fn run_fast(
         &self,
-        mut state: State,
+        state: &mut State,
+        trace: &mut NsaTrace,
         cache: &crate::fastsim::FastCache,
         mut on_event: impl FnMut(&SyncEvent, &State),
-    ) -> Result<SimOutcome, SimError> {
-        let mut run = crate::fastsim::FastRun::new(self.network, cache, &state, self.engine)?;
-        let mut trace = NsaTrace::new();
+    ) -> Result<(u64, SimStats, StopReason), SimError> {
+        let mut run = crate::fastsim::FastRun::new(self.network, cache, state, self.engine)?;
         let mut steps: u64 = 0;
         let mut steps_this_instant: usize = 0;
 
         loop {
             if state.time >= self.horizon {
-                return Ok(SimOutcome {
-                    trace,
-                    final_state: state,
-                    steps,
-                    stop: StopReason::HorizonReached,
-                });
+                return Ok((steps, run.stats(), StopReason::HorizonReached));
             }
 
-            if let Some(transition) = run.first_enabled(&state)? {
+            if let Some(transition) = run.first_enabled(state)? {
                 steps_this_instant += 1;
                 if steps_this_instant > self.max_steps_per_instant {
                     return Err(SimError::ZenoViolation {
@@ -257,13 +339,13 @@ impl<'n> Simulator<'n> {
                         limit: self.max_steps_per_instant,
                     });
                 }
-                run.apply(&mut state, &transition)?;
+                run.apply(state, &transition)?;
                 steps += 1;
                 let event = SyncEvent {
                     time: state.time,
                     transition,
                 };
-                on_event(&event, &state);
+                on_event(&event, state);
                 if self.record_trace {
                     trace.push(event);
                 }
@@ -272,24 +354,19 @@ impl<'n> Simulator<'n> {
 
             if run.any_committed() {
                 return Err(SimError::CommittedDeadlock {
-                    automaton: run.committed_automaton(&state),
+                    automaton: run.committed_automaton(state),
                     time: state.time,
                 });
             }
 
-            let (next_abs, expiry_abs, bounder) = run.delay_targets(&state)?;
+            let (next_abs, expiry_abs, bounder) = run.delay_targets(state)?;
             let target = if next_abs <= expiry_abs {
                 if next_abs == i64::MAX {
                     // Nothing will ever fire and no invariant binds:
                     // quiescent to the horizon.
                     let final_time = self.horizon;
                     state.advance(final_time - state.time);
-                    return Ok(SimOutcome {
-                        trace,
-                        final_state: state,
-                        steps,
-                        stop: StopReason::Quiescent,
-                    });
+                    return Ok((steps, run.stats(), StopReason::Quiescent));
                 }
                 next_abs
             } else if expiry_abs >= self.horizon {
@@ -299,46 +376,36 @@ impl<'n> Simulator<'n> {
                     time: state.time,
                     automaton: bounder
                         .or_else(|| run.earliest_bounded_automaton())
-                        .unwrap_or_else(|| first_bounded_automaton(self.network, &state)),
+                        .unwrap_or_else(|| first_bounded_automaton(self.network, state)),
                 });
             };
             let target = target.min(self.horizon);
             let delay = target - state.time;
-            run.advance(&mut state, delay);
+            run.advance(state, delay);
             steps_this_instant = 0;
             if target >= self.horizon {
-                return Ok(SimOutcome {
-                    trace,
-                    final_state: state,
-                    steps,
-                    stop: StopReason::HorizonReached,
-                });
+                return Ok((steps, run.stats(), StopReason::HorizonReached));
             }
         }
-}
+    }
 
     /// The generic interpretation loop (any tie-break, any network).
     fn run_generic(
         &self,
-        mut state: State,
+        state: &mut State,
+        trace: &mut NsaTrace,
         mut on_event: impl FnMut(&SyncEvent, &State),
-    ) -> Result<SimOutcome, SimError> {
+    ) -> Result<(u64, SimStats, StopReason), SimError> {
         let network = self.network;
-        let mut trace = NsaTrace::new();
         let mut steps: u64 = 0;
         let mut steps_this_instant: usize = 0;
 
         loop {
             if state.time >= self.horizon {
-                return Ok(SimOutcome {
-                    trace,
-                    final_state: state,
-                    steps,
-                    stop: StopReason::HorizonReached,
-                });
+                return Ok((steps, SimStats::default(), StopReason::HorizonReached));
             }
 
-            let candidates = enabled_transitions_with(network, &state, self.engine)?;
+            let candidates = enabled_transitions_with(network, state, self.engine)?;
             if !candidates.is_empty() {
                 steps_this_instant += 1;
                 if steps_this_instant > self.max_steps_per_instant {
@@ -348,13 +415,13 @@ impl<'n> Simulator<'n> {
                     });
                 }
                 let transition = self.tie_break.choose(&candidates).clone();
-                apply_with(network, &mut state, &transition, self.engine)?;
+                apply_with(network, state, &transition, self.engine)?;
                 steps += 1;
                 let event = SyncEvent {
                     time: state.time,
                     transition,
                 };
-                on_event(&event, &state);
+                on_event(&event, state);
                 if self.record_trace {
                     trace.push(event);
                 }
@@ -362,15 +429,15 @@ impl<'n> Simulator<'n> {
             }
 
             // No action enabled: the network must delay.
-            if any_committed(network, &state) {
-                let automaton = committed_automaton(network, &state);
+            if any_committed(network, state) {
+                let automaton = committed_automaton(network, state);
                 return Err(SimError::CommittedDeadlock {
                     automaton,
                     time: state.time,
                 });
             }
 
-            let bounds = delay_bounds_with(network, &state, self.engine)?;
+            let bounds = delay_bounds_with(network, state, self.engine)?;
             let remaining = self.horizon - state.time;
             let max_delay = bounds.max_delay;
             if let Some(d) = max_delay {
@@ -379,7 +446,7 @@ impl<'n> Simulator<'n> {
                     // recover: the state is stuck.
                     return Err(SimError::TimeLock {
                         time: state.time,
-                        automaton: first_bounded_automaton(network, &state),
+                        automaton: first_bounded_automaton(network, state),
                     });
                 }
             }
@@ -396,7 +463,7 @@ impl<'n> Simulator<'n> {
                         Some(_) => {
                             return Err(SimError::TimeLock {
                                 time: state.time,
-                                automaton: first_bounded_automaton(network, &state),
+                                automaton: first_bounded_automaton(network, state),
                             });
                         }
                     }
@@ -406,16 +473,12 @@ impl<'n> Simulator<'n> {
             state.advance(delay);
             steps_this_instant = 0;
             if delay >= remaining {
-                return Ok(SimOutcome {
-                    trace,
-                    final_state: state,
-                    steps,
-                    stop: if bounds.next_enabling.is_none() && max_delay.is_none() {
-                        StopReason::Quiescent
-                    } else {
-                        StopReason::HorizonReached
-                    },
-                });
+                let stop = if bounds.next_enabling.is_none() && max_delay.is_none() {
+                    StopReason::Quiescent
+                } else {
+                    StopReason::HorizonReached
+                };
+                return Ok((steps, SimStats::default(), stop));
             }
         }
     }

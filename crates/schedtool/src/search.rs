@@ -295,13 +295,27 @@ fn rebind_to_least_loaded(problem: &DesignProblem, binding: &mut [CoreRef], pid:
             .sum()
     };
     let current = binding[pid.index()];
-    if let Some(best) = cores.into_iter().filter(|c| *c != current).min_by(|a, b| {
-        load(*a)
-            .partial_cmp(&load(*b))
-            .unwrap_or(std::cmp::Ordering::Equal)
-    }) {
+    if let Some(best) = least_loaded(cores, current, load) {
         binding[pid.index()] = best;
     }
+}
+
+/// The least-loaded core other than `current`. Loads are ordered with
+/// [`f64::total_cmp`], which gives NaN a fixed place above every number —
+/// a NaN-scored candidate (a degenerate utilization like 0/0) can then
+/// never win, and ties resolve to the first candidate in declaration
+/// order, keeping the search deterministic. The previous
+/// `partial_cmp(..).unwrap_or(Equal)` treated NaN as equal to everything,
+/// which made the winner depend on candidate order around the NaN.
+fn least_loaded(
+    cores: Vec<CoreRef>,
+    current: CoreRef,
+    load: impl Fn(CoreRef) -> f64,
+) -> Option<CoreRef> {
+    cores
+        .into_iter()
+        .filter(|c| *c != current)
+        .min_by(|a, b| load(*a).total_cmp(&load(*b)))
 }
 
 #[cfg(test)]
@@ -331,6 +345,27 @@ mod tests {
             ],
             messages: vec![],
         }
+    }
+
+    #[test]
+    fn least_loaded_is_nan_safe() {
+        let c = |core: u32| CoreRef::new(swa_ima::ModuleId::from_raw(0), core);
+        let cores = vec![c(0), c(1), c(2)];
+        // Core 1's load is NaN (a degenerate utilization); it must lose to
+        // the finite minimum instead of poisoning the comparison.
+        let load = |core: CoreRef| -> f64 {
+            match core.core {
+                1 => f64::NAN,
+                2 => 0.25,
+                _ => 1.0,
+            }
+        };
+        assert_eq!(least_loaded(cores.clone(), c(0), load), Some(c(2)));
+        // Candidate order around the NaN must not change the winner.
+        let reversed: Vec<CoreRef> = cores.iter().rev().copied().collect();
+        assert_eq!(least_loaded(reversed, c(0), load), Some(c(2)));
+        // All-NaN loads still give a deterministic (first) pick.
+        assert_eq!(least_loaded(cores, c(2), |_| f64::NAN), Some(c(0)));
     }
 
     #[test]
