@@ -35,4 +35,62 @@ echo "$explain_out" | grep -q "engines agree" || {
     exit 1
 }
 
+echo "==> serve smoke (cached verdict roundtrip over loopback)"
+serve_dir="$(mktemp -d)"
+trap 'rm -rf "$serve_dir"' EXIT
+cargo run --release --offline -q -p swa-workload --example emit_xml -- 100 \
+    > "$serve_dir/config.xml"
+./target/release/swa serve --addr 127.0.0.1:0 --workers 2 \
+    --addr-file "$serve_dir/addr.txt" > "$serve_dir/serve.log" &
+serve_pid=$!
+tries=0
+while [ ! -s "$serve_dir/addr.txt" ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+        echo "serve smoke FAILED: server never published its address"
+        kill "$serve_pid" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.1
+done
+addr="$(cat "$serve_dir/addr.txt")"
+first="$(./target/release/swa request "$addr" "$serve_dir/config.xml")"
+second="$(./target/release/swa request "$addr" "$serve_dir/config.xml")"
+echo "$first" | grep -q '"cached":false' || {
+    echo "serve smoke FAILED: first request not marked uncached"
+    echo "$first"
+    exit 1
+}
+echo "$second" | grep -q '"cached":true' || {
+    echo "serve smoke FAILED: repeated request not served from the cache"
+    echo "$second"
+    exit 1
+}
+v1="$(echo "$first" | grep -o '"schedulable":[a-z]*')"
+v2="$(echo "$second" | grep -o '"schedulable":[a-z]*')"
+if [ "$v1" != "$v2" ] || [ -z "$v1" ]; then
+    echo "serve smoke FAILED: cached verdict differs from fresh verdict"
+    echo "first:  $first"
+    echo "second: $second"
+    exit 1
+fi
+./target/release/swa request "$addr" --metrics | grep -q '"cache.hits"' || {
+    echo "serve smoke FAILED: /metrics does not expose cache counters"
+    exit 1
+}
+./target/release/swa request "$addr" --shutdown > /dev/null || {
+    echo "serve smoke FAILED: shutdown request rejected"
+    exit 1
+}
+wait "$serve_pid" || {
+    echo "serve smoke FAILED: server exited non-zero"
+    cat "$serve_dir/serve.log"
+    exit 1
+}
+grep -q "analyses=1" "$serve_dir/serve.log" || {
+    echo "serve smoke FAILED: server summary does not show exactly one analysis"
+    cat "$serve_dir/serve.log"
+    exit 1
+}
+
 echo "==> ci.sh: all green"

@@ -23,10 +23,10 @@
 
 use std::fmt::Write as _;
 
-use swa_core::{Analyzer, SystemModel};
+use swa_core::{Analyzer, SystemModel, VerdictCache};
 use swa_ima::Configuration;
 use swa_ima::Topology;
-use swa_schedtool::{search, DesignProblem, SearchOptions};
+use swa_schedtool::{search_with_cache, DesignProblem, SearchOptions};
 use swa_xmlio::{configuration_to_xml, configuration_with_topology_from_xml, trace_to_xml};
 
 /// The result of running one CLI command: the process exit code, the text
@@ -102,6 +102,23 @@ COMMANDS:
                                       (default 0 = one per core; any value
                                       finds the same configuration)
                   --speculation <n>   candidates proposed per round (default 4)
+                  --cache-bytes <n>   reuse a content-addressed verdict cache
+                                      across candidates (0 = off; stats are
+                                      printed at the end)
+    serve       run the analysis server (no <config.xml>; blocks until a
+                POST /shutdown arrives)
+                  --addr <host:port>  bind address (default 127.0.0.1:7341;
+                                      port 0 picks an ephemeral port)
+                  --workers <n>       analysis worker threads (default: cores)
+                  --queue <n>         bounded request queue depth (default 64)
+                  --cache-bytes <n>   verdict-cache byte budget (default 16 MiB)
+                  --addr-file <file>  write the bound address to a file
+                                      (resolves port 0 for scripts)
+    request     talk to a running server (no local analysis)
+                  swa request <addr> <config.xml> [--hyperperiods <n>]
+                      [--engine <name>] [--deadline-ms <n>] [--explain]
+                      [--no-cache]
+                  swa request <addr> --health | --metrics | --shutdown
     dot         export Graphviz DOT
                   --automaton <name>  one automaton instead of the network
     uppaal      export the NSA instance as UPPAAL 4.x XML
@@ -124,6 +141,13 @@ pub fn run(args: &[String]) -> CommandOutcome {
     };
     if command == "help" || command == "--help" || command == "-h" {
         return CommandOutcome::ok(USAGE.to_string());
+    }
+    // Server-mode commands take no <config.xml> positional.
+    if command == "serve" {
+        return cmd_serve(&args[1..]);
+    }
+    if command == "request" {
+        return cmd_request(&args[1..]);
     }
     let Some(path) = args.get(1) else {
         return CommandOutcome::error(format!("missing <config.xml> argument\n\n{USAGE}"));
@@ -429,8 +453,13 @@ fn cmd_search(config: &Configuration, options: &[String]) -> CommandOutcome {
         Ok(v) => v,
         Err(e) => return CommandOutcome::error(e),
     };
+    let cache_bytes = match parse_usize(options, "--cache-bytes", 0) {
+        Ok(v) => v,
+        Err(e) => return CommandOutcome::error(e),
+    };
+    let cache = (cache_bytes > 0).then(|| swa_core::ShardedVerdictCache::new(cache_bytes));
     let problem = DesignProblem::from_configuration(config);
-    let outcome = match search(
+    let outcome = match search_with_cache(
         &problem,
         &SearchOptions {
             max_iterations,
@@ -438,6 +467,7 @@ fn cmd_search(config: &Configuration, options: &[String]) -> CommandOutcome {
             speculation,
             ..SearchOptions::default()
         },
+        cache.as_ref().map(|c| c as &dyn VerdictCache),
     ) {
         Ok(o) => o,
         Err(e) => return CommandOutcome::error(format!("search failed: {e}")),
@@ -448,6 +478,18 @@ fn cmd_search(config: &Configuration, options: &[String]) -> CommandOutcome {
             out,
             "iteration {}: schedulable={} missed_jobs={} check={:?}",
             it.index, it.schedulable, it.missed_jobs, it.check_time
+        );
+    }
+    if let Some(cache) = &cache {
+        let s = cache.stats();
+        let _ = writeln!(
+            out,
+            "verdict cache: {} hits / {} lookups ({:.1}% hit rate), {} insertions, {} evictions",
+            s.hits,
+            s.hits + s.misses,
+            s.hit_rate() * 100.0,
+            s.insertions,
+            s.evictions
         );
     }
     match outcome.configuration {
@@ -475,6 +517,158 @@ fn cmd_search(config: &Configuration, options: &[String]) -> CommandOutcome {
                 files: Vec::new(),
             }
         }
+    }
+}
+
+fn cmd_serve(options: &[String]) -> CommandOutcome {
+    let mut serve_options = swa_serve::ServeOptions {
+        addr: flag_value(options, "--addr")
+            .unwrap_or("127.0.0.1:7341")
+            .to_string(),
+        ..swa_serve::ServeOptions::default()
+    };
+    match parse_usize(options, "--workers", 0) {
+        Ok(0) => {}
+        Ok(v) => serve_options.workers = v,
+        Err(e) => return CommandOutcome::error(e),
+    }
+    match parse_usize(options, "--queue", serve_options.queue_depth) {
+        Ok(v) => serve_options.queue_depth = v,
+        Err(e) => return CommandOutcome::error(e),
+    }
+    match parse_usize(options, "--cache-bytes", serve_options.cache_bytes) {
+        Ok(v) => serve_options.cache_bytes = v,
+        Err(e) => return CommandOutcome::error(e),
+    }
+
+    let server = match swa_serve::Server::start(&serve_options) {
+        Ok(s) => s,
+        Err(e) => {
+            return CommandOutcome::error(format!("cannot bind {}: {e}", serve_options.addr))
+        }
+    };
+    let local = server.local_addr();
+    // The address file must exist while the server runs (scripts poll it
+    // to learn an ephemeral port), so it is written eagerly rather than
+    // returned in `files`.
+    if let Some(path) = flag_value(options, "--addr-file") {
+        if let Err(e) = std::fs::write(path, local.to_string()) {
+            server.shutdown();
+            return CommandOutcome::error(format!("cannot write {path}: {e}"));
+        }
+    }
+
+    let recorder = server.recorder();
+    // Blocks until a client POSTs /shutdown; the handle drains in-flight
+    // work before returning.
+    server.join();
+
+    let mut out = format!("served on {local} until shutdown\n");
+    let _ = writeln!(
+        out,
+        "requests={} analyses={} rejected={} deadline_expired={} errors={}",
+        recorder.counter_value("serve.requests"),
+        recorder.counter_value("serve.analyses"),
+        recorder.counter_value("serve.rejected"),
+        recorder.counter_value("serve.deadline_expired"),
+        recorder.counter_value("serve.errors"),
+    );
+    let _ = writeln!(
+        out,
+        "cache: hits={} misses={} insertions={} evictions={}",
+        recorder.counter_value("cache.hits"),
+        recorder.counter_value("cache.misses"),
+        recorder.counter_value("cache.insertions"),
+        recorder.counter_value("cache.evictions"),
+    );
+    CommandOutcome::ok(out)
+}
+
+fn cmd_request(args: &[String]) -> CommandOutcome {
+    let Some(addr) = args.first() else {
+        return CommandOutcome::error(format!("request: missing <addr> argument\n\n{USAGE}"));
+    };
+    // Control-plane shortcuts that need no configuration.
+    let control = if has_flag(args, "--health") {
+        Some(swa_serve::client::get(addr.as_str(), "/healthz"))
+    } else if has_flag(args, "--metrics") {
+        Some(swa_serve::client::get(addr.as_str(), "/metrics"))
+    } else if has_flag(args, "--shutdown") {
+        Some(swa_serve::client::post(addr.as_str(), "/shutdown", ""))
+    } else {
+        None
+    };
+    if let Some(result) = control {
+        return match result {
+            Ok(resp) => CommandOutcome {
+                exit_code: i32::from(resp.status != 200),
+                stdout: resp.body,
+                files: Vec::new(),
+            },
+            Err(e) => CommandOutcome::error(format!("request to {addr} failed: {e}")),
+        };
+    }
+
+    let Some(path) = args.get(1).filter(|p| !p.starts_with("--")) else {
+        return CommandOutcome::error(format!(
+            "request: missing <config.xml> argument (or --health/--metrics/--shutdown)\n\n{USAGE}"
+        ));
+    };
+    let xml = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => return CommandOutcome::error(format!("cannot read {path}: {e}")),
+    };
+    let mut body = format!("{{\"config_xml\":\"{}\"", swa_core::obs::json_escape(&xml));
+    match parse_usize(args, "--hyperperiods", 1) {
+        Ok(v) => {
+            let _ = write!(body, ",\"hyperperiods\":{v}");
+        }
+        Err(e) => return CommandOutcome::error(e),
+    }
+    if let Some(engine) = flag_value(args, "--engine") {
+        let _ = write!(
+            body,
+            ",\"engine\":\"{}\"",
+            swa_core::obs::json_escape(engine)
+        );
+    }
+    if let Some(deadline) = flag_value(args, "--deadline-ms") {
+        match deadline.parse::<u64>() {
+            Ok(ms) => {
+                let _ = write!(body, ",\"deadline_ms\":{ms}");
+            }
+            Err(_) => {
+                return CommandOutcome::error(format!(
+                    "--deadline-ms expects an integer, got {deadline:?}"
+                ))
+            }
+        }
+    }
+    if has_flag(args, "--explain") {
+        body.push_str(",\"explain\":true");
+    }
+    if has_flag(args, "--no-cache") {
+        body.push_str(",\"no_cache\":true");
+    }
+    body.push('}');
+
+    match swa_serve::client::post(addr.as_str(), "/analyze", &body) {
+        Ok(resp) => {
+            let exit_code = if resp.status == 200 {
+                let schedulable = swa_serve::Json::parse(&resp.body)
+                    .ok()
+                    .and_then(|doc| doc.get("schedulable").and_then(swa_serve::Json::as_bool));
+                i32::from(schedulable != Some(true)) * 2
+            } else {
+                1
+            };
+            CommandOutcome {
+                exit_code,
+                stdout: resp.body,
+                files: Vec::new(),
+            }
+        }
+        Err(e) => CommandOutcome::error(format!("request to {addr} failed: {e}")),
     }
 }
 
@@ -704,6 +898,104 @@ mod tests {
         let parallel = run_on("search", &config(true), &opts(&["--parallel", "4"]));
         assert_eq!(sequential.exit_code, 0, "{}", sequential.stdout);
         assert_eq!(found_xml(&sequential), found_xml(&parallel));
+    }
+
+    #[test]
+    fn search_with_cache_bytes_reports_stats_and_same_result() {
+        let found_xml = |out: &CommandOutcome| {
+            let at = out.stdout.find("<configuration>").expect("xml in output");
+            out.stdout[at..].to_string()
+        };
+        let plain = run_on("search", &config(true), &[]);
+        let cached = run_on(
+            "search",
+            &config(true),
+            &opts(&["--cache-bytes", "1048576"]),
+        );
+        assert_eq!(cached.exit_code, 0, "{}", cached.stdout);
+        assert!(cached.stdout.contains("verdict cache:"), "{}", cached.stdout);
+        assert!(cached.stdout.contains("hit rate"), "{}", cached.stdout);
+        assert_eq!(found_xml(&plain), found_xml(&cached));
+        // Without the flag, no cache line appears.
+        assert!(!plain.stdout.contains("verdict cache:"));
+    }
+
+    #[test]
+    fn serve_and_request_roundtrip_with_cache_marker() {
+        let dir = std::env::temp_dir().join("swa_cli_serve_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let config_path = dir.join("config.xml");
+        std::fs::write(&config_path, configuration_to_xml(&config(true))).unwrap();
+        let addr_file = dir.join("addr.txt");
+        let _ = std::fs::remove_file(&addr_file);
+
+        let addr_file_arg = addr_file.to_str().unwrap().to_string();
+        let server_thread = std::thread::spawn(move || {
+            run(&opts(&[
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "2",
+                "--addr-file",
+                &addr_file_arg,
+            ]))
+        });
+        // Wait for the server to publish its ephemeral address.
+        let addr = {
+            let mut waited = 0;
+            loop {
+                if let Ok(addr) = std::fs::read_to_string(&addr_file) {
+                    if !addr.is_empty() {
+                        break addr;
+                    }
+                }
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                waited += 1;
+                assert!(waited < 250, "server never published its address");
+            }
+        };
+        let config_arg = config_path.to_str().unwrap();
+
+        let health = run(&opts(&["request", &addr, "--health"]));
+        assert_eq!(health.exit_code, 0, "{}", health.stdout);
+        assert!(health.stdout.contains("\"ok\""));
+
+        let first = run(&opts(&["request", &addr, config_arg]));
+        assert_eq!(first.exit_code, 0, "{}", first.stdout);
+        assert!(first.stdout.contains("\"cached\":false"), "{}", first.stdout);
+
+        let second = run(&opts(&["request", &addr, config_arg]));
+        assert_eq!(second.exit_code, 0, "{}", second.stdout);
+        assert!(second.stdout.contains("\"cached\":true"), "{}", second.stdout);
+
+        // Identical verdicts either way.
+        let verdict = |s: &str| s.contains("\"schedulable\":true");
+        assert_eq!(verdict(&first.stdout), verdict(&second.stdout));
+
+        let metrics = run(&opts(&["request", &addr, "--metrics"]));
+        assert_eq!(metrics.exit_code, 0);
+        assert!(metrics.stdout.contains("cache.hits"), "{}", metrics.stdout);
+
+        let shutdown = run(&opts(&["request", &addr, "--shutdown"]));
+        assert_eq!(shutdown.exit_code, 0, "{}", shutdown.stdout);
+
+        let served = server_thread.join().unwrap();
+        assert_eq!(served.exit_code, 0, "{}", served.stdout);
+        assert!(served.stdout.contains("analyses=1"), "{}", served.stdout);
+        assert!(served.stdout.contains("cache: hits=1"), "{}", served.stdout);
+    }
+
+    #[test]
+    fn request_errors_cleanly_without_a_server() {
+        // Port 1 on loopback is never listening.
+        let out = run(&opts(&["request", "127.0.0.1:1", "--health"]));
+        assert_eq!(out.exit_code, 1);
+        assert!(out.stdout.contains("failed"), "{}", out.stdout);
+
+        let out = run(&opts(&["request", "127.0.0.1:1"]));
+        assert_eq!(out.exit_code, 1);
+        assert!(out.stdout.contains("config.xml"), "{}", out.stdout);
     }
 
     #[test]

@@ -378,6 +378,45 @@ mod tests {
     }
 
     #[test]
+    fn cancellation_drains_to_quiescence_without_orphans() {
+        // Cancellation (the cutoff) lands mid-hand-out while workers are
+        // still pulling indices. Quiescence after return: every worker
+        // reported its final stats (the scope joined it), every evaluation
+        // that happened is accounted, and every candidate is either
+        // evaluated or explicitly skipped — none orphaned in between.
+        for parallelism in [2usize, 4, 8] {
+            let configs = family(40, 3);
+            let out = run_batch(
+                &configs,
+                &BatchOptions {
+                    parallelism,
+                    ..BatchOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(out.winner, Some(3), "parallelism {parallelism}");
+            // No thread leaked: scoped workers joined, so each of the
+            // `parallelism` workers delivered its Done accounting, and the
+            // per-worker sums reconcile exactly with the batch total.
+            assert_eq!(out.metrics.workers.len(), parallelism);
+            assert_eq!(
+                out.metrics.workers.iter().map(|w| w.checks).sum::<usize>(),
+                out.metrics.checks,
+                "parallelism {parallelism}"
+            );
+            // Queue empty: every candidate is either evaluated or skipped;
+            // the sequential prefix is fully evaluated and everything past
+            // the winner was dropped.
+            assert_eq!(out.evaluated() + out.skipped(), configs.len());
+            assert_eq!(out.evaluated(), 4);
+            assert!(out.results.iter().skip(4).all(Option::is_none));
+            // Evaluations raced past the winner before cancellation landed
+            // still appear in the work accounting (nothing vanished).
+            assert!(out.metrics.checks >= out.evaluated());
+        }
+    }
+
+    #[test]
     fn error_before_winner_surfaces_like_sequential() {
         let mut configs = family(6, 4);
         configs[1].binding.clear(); // structurally invalid candidate

@@ -1,0 +1,514 @@
+//! The content-addressed verdict cache: O(1) answers for repeated
+//! analysis requests.
+//!
+//! The paper's Sect. 4 integration — and the `swa-serve` analysis service
+//! built on it — issues many near-identical requests: speculative search
+//! ladders revisit configurations the window-synthesis quantization has
+//! already produced, and clients of a long-running service resubmit the
+//! same configuration freely. Simulating each duplicate wastes the very
+//! speed the single-run approach buys, so verdicts are cached under the
+//! [`canon`](crate::canon) content hash.
+//!
+//! Design:
+//!
+//! * **sharded**: the key's low bits pick one of N shards, each behind its
+//!   own mutex, so concurrent server workers rarely contend;
+//! * **byte-budget LRU**: every entry is costed (canonical bytes + verdict
+//!   footprint) against a fixed budget; insertion evicts
+//!   least-recently-used entries until the shard fits;
+//! * **collision-proof**: an entry stores its full canonical encoding and
+//!   a lookup compares it byte-for-byte, so a 128-bit hash collision costs
+//!   a miss, never a wrong verdict;
+//! * **observable**: hits/misses/insertions/evictions are counted
+//!   internally ([`CacheStats`]) and, when a [`Recorder`] is attached,
+//!   emitted as `cache.*` counters next to every other metric the
+//!   workspace produces.
+//!
+//! Only *successful* analyses are cached. Errors (invalid configurations,
+//! simulation failures) are never stored: they are cheap to reproduce and
+//! their diagnoses depend on request options the key normalizes away.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use swa_ima::PartitionId;
+
+use crate::canon::{CacheKey, CanonicalRequest};
+use crate::obs::Recorder;
+use crate::pipeline::AnalysisReport;
+
+/// The cacheable summary of one successful analysis: everything a repeated
+/// request (or the search loop's repair rule) needs, without the trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedVerdict {
+    /// The schedulability verdict.
+    pub schedulable: bool,
+    /// The hyperperiod the analysis covered.
+    pub hyperperiod: i64,
+    /// Number of jobs analyzed.
+    pub jobs: usize,
+    /// Number of jobs that missed.
+    pub missed_jobs: usize,
+    /// Partitions with at least one missed job (sorted, deduplicated) —
+    /// what the search's iterative repair widens.
+    pub missing_partitions: Vec<PartitionId>,
+}
+
+impl CachedVerdict {
+    /// Summarizes a full analysis report into its cacheable form.
+    #[must_use]
+    pub fn from_report(report: &AnalysisReport) -> Self {
+        let mut missing: Vec<PartitionId> = report
+            .analysis
+            .missed_jobs()
+            .map(|j| j.task.partition)
+            .collect();
+        missing.sort_unstable();
+        missing.dedup();
+        Self {
+            schedulable: report.schedulable(),
+            hyperperiod: report.analysis.hyperperiod,
+            jobs: report.analysis.jobs.len(),
+            missed_jobs: report.analysis.missed_jobs().count(),
+            missing_partitions: missing,
+        }
+    }
+
+    /// Approximate heap footprint, used for the cache's byte budget.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.missing_partitions.len() * std::mem::size_of::<PartitionId>()
+    }
+}
+
+/// Counter snapshot of a cache's activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing (or a hash collision).
+    pub misses: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Entries evicted to honor the byte budget.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Bytes currently charged against the budget.
+    pub bytes: usize,
+}
+
+impl CacheStats {
+    /// Hit rate over all lookups (0.0 when nothing was looked up).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A verdict cache: the abstraction the search loop and the server inject.
+///
+/// Implementations must be thread-safe; the server shares one cache across
+/// all its workers.
+pub trait VerdictCache: Send + Sync {
+    /// Returns the cached verdict for a canonical request, if present.
+    fn lookup(&self, request: &CanonicalRequest) -> Option<Arc<CachedVerdict>>;
+
+    /// Stores a verdict under the request's key.
+    fn insert(&self, request: &CanonicalRequest, verdict: Arc<CachedVerdict>);
+
+    /// A snapshot of the cache's activity counters.
+    fn stats(&self) -> CacheStats;
+}
+
+/// One resident cache entry.
+struct Entry {
+    /// Full canonical bytes, compared on lookup so collisions are inert.
+    canon: Box<[u8]>,
+    verdict: Arc<CachedVerdict>,
+    /// The LRU tick of the entry's last touch (its key in `Shard::lru`).
+    tick: u64,
+    /// Bytes charged against the shard budget.
+    cost: usize,
+}
+
+/// One shard: an LRU map behind its own lock.
+#[derive(Default)]
+struct Shard {
+    map: HashMap<CacheKey, Entry>,
+    /// tick → key, ordered oldest-first; lookup/insert re-ticks entries,
+    /// eviction pops the smallest tick. O(log n) per operation.
+    lru: BTreeMap<u64, CacheKey>,
+    next_tick: u64,
+    bytes: usize,
+}
+
+impl Shard {
+    fn touch(&mut self, key: CacheKey) -> u64 {
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        self.lru.insert(tick, key);
+        tick
+    }
+
+    /// Evicts oldest entries until the shard fits its budget; returns how
+    /// many entries were evicted.
+    fn evict_to(&mut self, budget: usize) -> u64 {
+        let mut evicted = 0;
+        while self.bytes > budget {
+            let Some((&tick, &key)) = self.lru.iter().next() else {
+                break;
+            };
+            self.lru.remove(&tick);
+            if let Some(entry) = self.map.remove(&key) {
+                self.bytes -= entry.cost;
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+}
+
+/// Fixed bookkeeping cost per entry (map/LRU nodes, key, ticks), on top of
+/// the canonical bytes and the verdict footprint.
+const ENTRY_OVERHEAD: usize = 128;
+
+/// The default shard count: enough to keep a worker-pool's lock
+/// contention negligible without fragmenting small budgets.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// A sharded, byte-budgeted, LRU [`VerdictCache`].
+pub struct ShardedVerdictCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard byte budget (total budget / shard count).
+    shard_budget: usize,
+    recorder: Option<Arc<dyn Recorder>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for ShardedVerdictCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedVerdictCache")
+            .field("shards", &self.shards.len())
+            .field("shard_budget", &self.shard_budget)
+            .field("recorder", &self.recorder.is_some())
+            .finish()
+    }
+}
+
+impl ShardedVerdictCache {
+    /// A cache with the given total byte budget and [`DEFAULT_SHARDS`]
+    /// shards.
+    #[must_use]
+    pub fn new(budget_bytes: usize) -> Self {
+        Self::with_shards(budget_bytes, DEFAULT_SHARDS)
+    }
+
+    /// A cache with an explicit shard count (≥ 1; 0 is clamped to 1). The
+    /// byte budget is split evenly across shards.
+    #[must_use]
+    pub fn with_shards(budget_bytes: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_budget: budget_bytes / shards,
+            recorder: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Attaches an observability sink: every hit/miss/insertion/eviction
+    /// is also emitted as a `cache.*` counter.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    fn shard_of(&self, key: CacheKey) -> &Mutex<Shard> {
+        // The finalizer spreads entropy across the whole word; the low
+        // bits index the shard.
+        &self.shards[(key.lo as usize) % self.shards.len()]
+    }
+
+    fn count(&self, which: &AtomicU64, name: &str, delta: u64) {
+        which.fetch_add(delta, Ordering::Relaxed);
+        if delta > 0 {
+            if let Some(r) = &self.recorder {
+                r.counter(name, delta);
+            }
+        }
+    }
+}
+
+impl VerdictCache for ShardedVerdictCache {
+    fn lookup(&self, request: &CanonicalRequest) -> Option<Arc<CachedVerdict>> {
+        let mut shard = self.shard_of(request.key).lock().expect("unpoisoned");
+        let hit = match shard.map.get(&request.key) {
+            // A key match alone is not a hit: the canonical bytes must
+            // agree, so a hash collision can never serve a wrong verdict.
+            Some(entry) if *entry.canon == *request.bytes => Some(entry.verdict.clone()),
+            _ => None,
+        };
+        match hit {
+            Some(verdict) => {
+                let old_tick = shard.map[&request.key].tick;
+                shard.lru.remove(&old_tick);
+                let tick = shard.touch(request.key);
+                shard
+                    .map
+                    .get_mut(&request.key)
+                    .expect("entry present")
+                    .tick = tick;
+                drop(shard);
+                self.count(&self.hits, "cache.hits", 1);
+                Some(verdict)
+            }
+            None => {
+                drop(shard);
+                self.count(&self.misses, "cache.misses", 1);
+                None
+            }
+        }
+    }
+
+    fn insert(&self, request: &CanonicalRequest, verdict: Arc<CachedVerdict>) {
+        let cost = request.bytes.len() + verdict.approx_bytes() + ENTRY_OVERHEAD;
+        if cost > self.shard_budget {
+            // An entry larger than a whole shard could only thrash; treat
+            // it as immediately evicted.
+            self.count(&self.evictions, "cache.evictions", 1);
+            return;
+        }
+        let mut shard = self.shard_of(request.key).lock().expect("unpoisoned");
+        // Replace any previous entry under this key (e.g. a collision
+        // victim) before charging the new cost.
+        if let Some(old) = shard.map.remove(&request.key) {
+            shard.lru.remove(&old.tick);
+            shard.bytes -= old.cost;
+        }
+        let tick = shard.touch(request.key);
+        shard.map.insert(
+            request.key,
+            Entry {
+                canon: request.bytes.clone().into_boxed_slice(),
+                verdict,
+                tick,
+                cost,
+            },
+        );
+        shard.bytes += cost;
+        let budget = self.shard_budget;
+        let evicted = shard.evict_to(budget);
+        drop(shard);
+        self.count(&self.insertions, "cache.insertions", 1);
+        self.count(&self.evictions, "cache.evictions", evicted);
+    }
+
+    fn stats(&self) -> CacheStats {
+        let mut entries = 0;
+        let mut bytes = 0;
+        for shard in &self.shards {
+            let s = shard.lock().expect("unpoisoned");
+            entries += s.map.len();
+            bytes += s.bytes;
+        }
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+            bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canon::{canonicalize, hash_bytes};
+    use crate::obs::MetricsRecorder;
+    use swa_ima::{
+        Configuration, CoreRef, CoreType, CoreTypeId, Module, ModuleId, Partition, SchedulerKind,
+        Task, Window,
+    };
+
+    fn config(wcet: i64) -> Configuration {
+        Configuration {
+            core_types: vec![CoreType::new("ct")],
+            modules: vec![Module::homogeneous("M", 1, CoreTypeId::from_raw(0))],
+            partitions: vec![Partition::new(
+                "P",
+                SchedulerKind::Fpps,
+                vec![Task::new("t", 1, vec![wcet], 50)],
+            )],
+            binding: vec![CoreRef::new(ModuleId::from_raw(0), 0)],
+            windows: vec![vec![Window::new(0, 50)]],
+            messages: vec![],
+        }
+    }
+
+    fn verdict(schedulable: bool) -> Arc<CachedVerdict> {
+        Arc::new(CachedVerdict {
+            schedulable,
+            hyperperiod: 50,
+            jobs: 1,
+            missed_jobs: usize::from(!schedulable),
+            missing_partitions: if schedulable {
+                vec![]
+            } else {
+                vec![PartitionId::from_raw(0)]
+            },
+        })
+    }
+
+    #[test]
+    fn lookup_roundtrip_and_counters() {
+        let recorder = Arc::new(MetricsRecorder::new());
+        let cache = ShardedVerdictCache::new(1 << 20).with_recorder(recorder.clone());
+        let req = canonicalize(&config(10), 1);
+
+        assert!(cache.lookup(&req).is_none());
+        cache.insert(&req, verdict(true));
+        let hit = cache.lookup(&req).expect("cached");
+        assert!(hit.schedulable);
+
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.insertions, 1);
+        assert_eq!(stats.entries, 1);
+        assert!(stats.bytes > 0);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(recorder.counter_value("cache.hits"), 1);
+        assert_eq!(recorder.counter_value("cache.misses"), 1);
+        assert_eq!(recorder.counter_value("cache.insertions"), 1);
+    }
+
+    #[test]
+    fn distinct_requests_do_not_alias() {
+        let cache = ShardedVerdictCache::new(1 << 20);
+        let a = canonicalize(&config(10), 1);
+        let b = canonicalize(&config(40), 1);
+        cache.insert(&a, verdict(true));
+        assert!(cache.lookup(&b).is_none());
+    }
+
+    #[test]
+    fn hash_collision_is_a_miss_not_a_wrong_verdict() {
+        let cache = ShardedVerdictCache::new(1 << 20);
+        let real = canonicalize(&config(10), 1);
+        // Forge a request with the same key but different canonical bytes
+        // (what a 128-bit collision would look like).
+        let forged = CanonicalRequest {
+            key: real.key,
+            bytes: canonicalize(&config(40), 1).bytes,
+        };
+        cache.insert(&real, verdict(true));
+        assert!(cache.lookup(&forged).is_none(), "collision must miss");
+        // And inserting the forged entry replaces rather than corrupts.
+        cache.insert(&forged, verdict(false));
+        assert!(!cache.lookup(&forged).expect("cached").schedulable);
+    }
+
+    #[test]
+    fn byte_budget_evicts_least_recently_used() {
+        // Single shard so the LRU order is global and observable.
+        let probe = canonicalize(&config(10), 1);
+        let entry_cost = probe.bytes.len() + verdict(true).approx_bytes() + ENTRY_OVERHEAD;
+        let cache = ShardedVerdictCache::with_shards(entry_cost * 2 + entry_cost / 2, 1);
+
+        let reqs: Vec<_> = (0..3)
+            .map(|i| canonicalize(&config(10 + i), 1))
+            .collect();
+        cache.insert(&reqs[0], verdict(true));
+        cache.insert(&reqs[1], verdict(true));
+        // Touch req 0 so req 1 becomes the LRU victim.
+        assert!(cache.lookup(&reqs[0]).is_some());
+        cache.insert(&reqs[2], verdict(true));
+
+        assert!(cache.lookup(&reqs[0]).is_some(), "recently used survives");
+        assert!(cache.lookup(&reqs[1]).is_none(), "LRU entry evicted");
+        assert!(cache.lookup(&reqs[2]).is_some(), "new entry resident");
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+        assert!(stats.bytes <= entry_cost * 2 + entry_cost / 2);
+    }
+
+    #[test]
+    fn oversized_entries_are_rejected_as_evictions() {
+        let cache = ShardedVerdictCache::with_shards(64, 1);
+        let req = canonicalize(&config(10), 1);
+        cache.insert(&req, verdict(true));
+        assert!(cache.lookup(&req).is_none());
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn from_report_summarizes_misses() {
+        let report = crate::analyze_configuration(&config(60)).unwrap();
+        assert!(!report.schedulable());
+        let v = CachedVerdict::from_report(&report);
+        assert!(!v.schedulable);
+        assert!(v.missed_jobs > 0);
+        assert_eq!(v.missing_partitions, vec![PartitionId::from_raw(0)]);
+        assert_eq!(v.jobs, report.analysis.jobs.len());
+
+        let ok = CachedVerdict::from_report(&crate::analyze_configuration(&config(10)).unwrap());
+        assert!(ok.schedulable);
+        assert!(ok.missing_partitions.is_empty());
+    }
+
+    #[test]
+    fn sharding_spreads_keys() {
+        let cache = ShardedVerdictCache::new(1 << 20);
+        let mut used = std::collections::HashSet::new();
+        for i in 0..64 {
+            let key = hash_bytes(&[i]);
+            used.insert((key.lo as usize) % cache.shards.len());
+        }
+        assert!(used.len() > 4, "64 keys landed in only {} shards", used.len());
+    }
+
+    #[test]
+    fn concurrent_access_is_safe_and_consistent() {
+        let cache = Arc::new(ShardedVerdictCache::new(1 << 20));
+        let reqs: Vec<_> = (0..8).map(|i| canonicalize(&config(10 + i), 1)).collect();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let cache = cache.clone();
+                let reqs = &reqs;
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        for (i, req) in reqs.iter().enumerate() {
+                            if (i + t) % 2 == 0 {
+                                cache.insert(req, verdict(true));
+                            } else {
+                                let _ = cache.lookup(req);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert!(stats.entries <= 8);
+        assert_eq!(stats.hits + stats.misses, 4 * 200 * 4);
+    }
+}

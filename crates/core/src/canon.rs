@@ -1,0 +1,321 @@
+//! Content-addressed cache keys for analysis requests.
+//!
+//! The configuration-search tool of the paper's Sect. 4 — and any service
+//! built on top of the analyzer — issues *many* analysis requests over
+//! near-identical configurations. To recognize a repeated request in O(1),
+//! a request is reduced to a **canonical byte encoding** (stable field
+//! ordering, normalized defaults) and hashed into a 128-bit [`CacheKey`].
+//!
+//! Canonicalization normalizes everything that cannot change the verdict:
+//!
+//! * **field ordering** is fixed by the encoder (a request never depends
+//!   on map iteration or input-file ordering);
+//! * each partition's **window set is sorted** — window order within a
+//!   partition is semantically irrelevant;
+//! * the **analysis horizon** is clamped to ≥ 1 hyperperiod, exactly as
+//!   [`Analyzer::horizon`](crate::Analyzer::horizon) clamps it;
+//! * the guard/update **evaluation engine and tie-break order are
+//!   excluded**: by the paper's Sect. 3 determinism theorem (and the
+//!   differential test suite) they never change the verdict, so `ast` and
+//!   `bytecode` requests for the same configuration share one cache entry.
+//!
+//! Everything that *could* matter — including names, which surface in
+//! reports — is kept, so two requests map to the same key only when the
+//! analysis outcome is provably identical.
+//!
+//! The hash is FNV-1a (the same zero-dependency construction the
+//! workspace's PRNG policy favors), widened to 128 bits with two
+//! independent offset bases and a splitmix64-style finalizer. Hashes are
+//! never trusted blindly: [`CanonicalRequest`] carries the full canonical
+//! bytes, and the cache ([`crate::cache`]) compares them on every hit, so
+//! a collision can cost a miss but can never serve a wrong verdict.
+
+use std::fmt;
+
+use swa_ima::{Configuration, SchedulerKind};
+
+/// Bumped whenever the canonical encoding changes, so entries produced by
+/// older encoders can never alias newer ones.
+const CANON_VERSION: u8 = 1;
+
+/// A 128-bit content hash of a canonical analysis request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey {
+    /// High 64 bits.
+    pub hi: u64,
+    /// Low 64 bits.
+    pub lo: u64,
+}
+
+impl fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+/// A canonicalized analysis request: the content hash plus the canonical
+/// bytes it was computed from (kept so cache hits can be verified by
+/// comparison, making collisions harmless).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalRequest {
+    /// The content hash of [`bytes`](Self::bytes).
+    pub key: CacheKey,
+    /// The canonical encoding of the request.
+    pub bytes: Vec<u8>,
+}
+
+/// Canonicalizes one analysis request: a configuration plus the analysis
+/// horizon in hyperperiods (the only [`Analyzer`](crate::Analyzer) knob
+/// that can change the verdict).
+#[must_use]
+pub fn canonicalize(config: &Configuration, hyperperiods: u32) -> CanonicalRequest {
+    let bytes = canonical_bytes(config, hyperperiods);
+    let key = hash_bytes(&bytes);
+    CanonicalRequest { key, bytes }
+}
+
+/// The canonical byte encoding of a request. Every field is written in a
+/// fixed order with explicit length prefixes, so the encoding is
+/// prefix-free and injective over structurally distinct requests.
+#[must_use]
+pub fn canonical_bytes(config: &Configuration, hyperperiods: u32) -> Vec<u8> {
+    let mut w = Writer::default();
+    w.u8(CANON_VERSION);
+    // Normalized default: the horizon is clamped exactly as the Analyzer
+    // clamps it, so `0` and `1` are the same request.
+    w.u32(hyperperiods.max(1));
+
+    w.len(config.core_types.len());
+    for ct in &config.core_types {
+        w.str(&ct.name);
+    }
+
+    w.len(config.modules.len());
+    for m in &config.modules {
+        w.str(&m.name);
+        w.len(m.cores.len());
+        for c in &m.cores {
+            w.str(&c.name);
+            w.u32(c.core_type.raw());
+        }
+    }
+
+    w.len(config.partitions.len());
+    for p in &config.partitions {
+        w.str(&p.name);
+        match p.scheduler {
+            SchedulerKind::Fpps => w.u8(0),
+            SchedulerKind::Fpnps => w.u8(1),
+            SchedulerKind::Edf => w.u8(2),
+            SchedulerKind::RoundRobin { quantum } => {
+                w.u8(3);
+                w.i64(quantum);
+            }
+        }
+        w.len(p.tasks.len());
+        for t in &p.tasks {
+            w.str(&t.name);
+            w.i64(t.priority);
+            w.len(t.wcet.len());
+            for &c in &t.wcet {
+                w.i64(c);
+            }
+            w.i64(t.period);
+            w.i64(t.deadline);
+            w.i64(t.offset);
+        }
+    }
+
+    w.len(config.binding.len());
+    for b in &config.binding {
+        w.u32(b.module.raw());
+        w.u32(b.core);
+    }
+
+    w.len(config.windows.len());
+    for ws in &config.windows {
+        // Normalized default: window order within a partition is
+        // irrelevant; sort so permutations share a key.
+        let mut sorted = ws.clone();
+        sorted.sort_unstable();
+        w.len(sorted.len());
+        for win in sorted {
+            w.i64(win.start);
+            w.i64(win.end);
+        }
+    }
+
+    w.len(config.messages.len());
+    for m in &config.messages {
+        w.str(&m.name);
+        w.u32(m.sender.partition.raw());
+        w.u32(m.sender.task);
+        w.u32(m.receiver.partition.raw());
+        w.u32(m.receiver.task);
+        w.i64(m.mem_delay);
+        w.i64(m.net_delay);
+    }
+
+    w.out
+}
+
+/// Hashes a canonical byte string into a 128-bit key.
+#[must_use]
+pub fn hash_bytes(bytes: &[u8]) -> CacheKey {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
+    CacheKey {
+        hi: finalize(fnv1a(bytes, FNV_OFFSET ^ GOLDEN)),
+        lo: finalize(fnv1a(bytes, FNV_OFFSET)),
+    }
+}
+
+/// FNV-1a over `bytes` from the given offset basis.
+fn fnv1a(bytes: &[u8], basis: u64) -> u64 {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = basis;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// splitmix64-style avalanche finalizer (FNV alone mixes high bits
+/// weakly; the finalizer spreads them before the key is sharded).
+fn finalize(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Fixed-order little-endian encoder with length prefixes.
+#[derive(Default)]
+struct Writer {
+    out: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.out.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn i64(&mut self, v: i64) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn len(&mut self, v: usize) {
+        self.out
+            .extend_from_slice(&(u64::try_from(v).expect("length fits u64")).to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.len(s.len());
+        self.out.extend_from_slice(s.as_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swa_ima::{
+        CoreRef, CoreType, CoreTypeId, Module, ModuleId, Partition, SchedulerKind, Task, Window,
+    };
+
+    fn config() -> Configuration {
+        Configuration {
+            core_types: vec![CoreType::new("ct")],
+            modules: vec![Module::homogeneous("M", 1, CoreTypeId::from_raw(0))],
+            partitions: vec![Partition::new(
+                "P",
+                SchedulerKind::Fpps,
+                vec![
+                    Task::new("a", 2, vec![10], 50),
+                    Task::new("b", 1, vec![10], 50),
+                ],
+            )],
+            binding: vec![CoreRef::new(ModuleId::from_raw(0), 0)],
+            windows: vec![vec![Window::new(0, 20), Window::new(30, 50)]],
+            messages: vec![],
+        }
+    }
+
+    #[test]
+    fn identical_requests_share_a_key() {
+        let a = canonicalize(&config(), 1);
+        let b = canonicalize(&config(), 1);
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.bytes, b.bytes);
+    }
+
+    #[test]
+    fn window_order_is_normalized() {
+        let mut permuted = config();
+        permuted.windows[0].reverse();
+        assert_eq!(canonicalize(&config(), 1).key, canonicalize(&permuted, 1).key);
+    }
+
+    #[test]
+    fn horizon_default_is_normalized() {
+        assert_eq!(canonicalize(&config(), 0).key, canonicalize(&config(), 1).key);
+        assert_ne!(canonicalize(&config(), 1).key, canonicalize(&config(), 2).key);
+    }
+
+    #[test]
+    fn every_semantic_field_lands_in_the_key() {
+        let base = canonicalize(&config(), 1).key;
+        let mut wcet = config();
+        wcet.partitions[0].tasks[0].wcet[0] = 11;
+        assert_ne!(base, canonicalize(&wcet, 1).key);
+
+        let mut prio = config();
+        prio.partitions[0].tasks[1].priority = 5;
+        assert_ne!(base, canonicalize(&prio, 1).key);
+
+        let mut sched = config();
+        sched.partitions[0].scheduler = SchedulerKind::Edf;
+        assert_ne!(base, canonicalize(&sched, 1).key);
+
+        let mut quantum = config();
+        quantum.partitions[0].scheduler = SchedulerKind::RoundRobin { quantum: 3 };
+        let q3 = canonicalize(&quantum, 1).key;
+        quantum.partitions[0].scheduler = SchedulerKind::RoundRobin { quantum: 4 };
+        assert_ne!(q3, canonicalize(&quantum, 1).key);
+
+        let mut windows = config();
+        windows.windows[0][0].end = 25;
+        assert_ne!(base, canonicalize(&windows, 1).key);
+
+        let mut name = config();
+        name.partitions[0].tasks[0].name = "renamed".into();
+        assert_ne!(base, canonicalize(&name, 1).key, "names surface in reports");
+    }
+
+    #[test]
+    fn length_prefixes_prevent_field_bleed() {
+        // Two configurations whose concatenated string content is equal
+        // but whose structure differs must not collide.
+        let mut a = config();
+        a.core_types = vec![CoreType::new("ab"), CoreType::new("c")];
+        a.partitions[0].tasks[0].wcet = vec![10, 10];
+        a.partitions[0].tasks[1].wcet = vec![10, 10];
+        let mut b = config();
+        b.core_types = vec![CoreType::new("a"), CoreType::new("bc")];
+        b.partitions[0].tasks[0].wcet = vec![10, 10];
+        b.partitions[0].tasks[1].wcet = vec![10, 10];
+        assert_ne!(canonicalize(&a, 1).bytes, canonicalize(&b, 1).bytes);
+        assert_ne!(canonicalize(&a, 1).key, canonicalize(&b, 1).key);
+    }
+
+    #[test]
+    fn key_renders_as_32_hex_chars() {
+        let key = canonicalize(&config(), 1).key;
+        let hex = key.to_string();
+        assert_eq!(hex.len(), 32);
+        assert!(hex.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

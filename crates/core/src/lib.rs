@@ -56,6 +56,8 @@
 pub mod analysis;
 pub mod analyzer;
 pub mod batch;
+pub mod cache;
+pub mod canon;
 pub mod chains;
 pub mod error;
 pub mod gantt;
@@ -70,6 +72,8 @@ pub use analyzer::{Analyzer, BatchAnalyzer};
 pub use batch::{
     run_batch, BatchMetrics, BatchMode, BatchOptions, BatchOutcome, CandidateResult, WorkerStats,
 };
+pub use cache::{CacheStats, CachedVerdict, ShardedVerdictCache, VerdictCache};
+pub use canon::{canonicalize, CacheKey, CanonicalRequest};
 pub use chains::{chain_latency, ChainError, ChainInstance, ChainLatency};
 pub use error::{ModelError, PipelineError};
 pub use gantt::render_gantt;

@@ -18,9 +18,10 @@
 //! the search finds the *same* configuration whatever the parallelism —
 //! only faster.
 
+use std::sync::Arc;
 use std::time::Duration;
 
-use swa_core::{Analyzer, PipelineError};
+use swa_core::{canonicalize, Analyzer, CachedVerdict, PipelineError, VerdictCache};
 use swa_ima::{Configuration, CoreRef, PartitionId};
 use swa_workload::{synthesize_windows, PartitionDemand};
 
@@ -114,6 +115,31 @@ pub fn search(
     problem: &DesignProblem,
     options: &SearchOptions,
 ) -> Result<SearchOutcome, PipelineError> {
+    search_with_cache(problem, options, None)
+}
+
+/// [`search`], with an optional content-addressed verdict cache injected
+/// into the candidate-checking loop.
+///
+/// Every ladder candidate is canonicalized ([`swa_core::canon`]) and
+/// probed first; known verdicts skip the batch engine entirely (their
+/// [`IterationRecord::check_time`] is zero), and freshly evaluated
+/// candidates are inserted for the next round — or the next search: the
+/// window-synthesis quantization makes distinct rounds (and re-runs over
+/// evolving problems) regenerate identical configurations, so sharing a
+/// cache across searches skips their re-simulation. The found
+/// configuration is identical with or without a cache: cached verdicts
+/// equal computed ones, and the first-wins winner rule is applied to the
+/// merged (cached + evaluated) verdict sequence.
+///
+/// # Errors
+///
+/// Same contract as [`search`].
+pub fn search_with_cache(
+    problem: &DesignProblem,
+    options: &SearchOptions,
+    cache: Option<&dyn VerdictCache>,
+) -> Result<SearchOutcome, PipelineError> {
     let hyperperiod = problem.hyperperiod().ok_or_else(bad_problem)?;
     let frame = problem.min_period().ok_or_else(bad_problem)?;
     let mut packing =
@@ -147,26 +173,94 @@ pub fn search(
             ladder_boosts.push(rung.clone());
         }
 
-        let batch = Analyzer::batch(&candidates)
-            .parallelism(options.parallelism)
-            .first_schedulable()?;
+        // Probe the cache: ladder candidates regenerated by the window
+        // quantization (and whole re-runs of a search) hit here and skip
+        // the batch engine.
+        let known: Vec<Option<Arc<CachedVerdict>>> = match cache {
+            Some(cache) => candidates
+                .iter()
+                .map(|c| cache.lookup(&canonicalize(c, 1)))
+                .collect(),
+            None => vec![None; candidates.len()],
+        };
+        let cached_winner = known
+            .iter()
+            .position(|v| v.as_ref().is_some_and(|v| v.schedulable));
+
+        // Evaluate only unknown candidates that could still win (indices
+        // past a cached schedulable verdict can never be the first-wins
+        // winner).
+        let horizon = cached_winner.unwrap_or(candidates.len());
+        let subset_idx: Vec<usize> = (0..horizon).filter(|&k| known[k].is_none()).collect();
+        let subset: Vec<Configuration> =
+            subset_idx.iter().map(|&k| candidates[k].clone()).collect();
+        let batch = if subset.is_empty() {
+            None
+        } else {
+            Some(
+                Analyzer::batch(&subset)
+                    .parallelism(options.parallelism)
+                    .first_schedulable()?,
+            )
+        };
+        if let (Some(cache), Some(batch)) = (cache, &batch) {
+            for (pos, result) in batch.results.iter().enumerate() {
+                if let Some(result) = result.as_ref() {
+                    cache.insert(
+                        &canonicalize(&candidates[subset_idx[pos]], 1),
+                        Arc::new(CachedVerdict::from_report(&result.report)),
+                    );
+                }
+            }
+        }
+        let subset_winner = batch
+            .as_ref()
+            .and_then(|b| b.winner)
+            .map(|w| subset_idx[w]);
+        // Merged first-wins winner: the subset only covers indices below
+        // any cached schedulable candidate, so the minimum is correct.
+        let winner = match (cached_winner, subset_winner) {
+            (Some(c), Some(s)) => Some(c.min(s)),
+            (c, s) => c.or(s),
+        };
 
         // Record the deterministic evaluated prefix (up to and including
-        // the winner; everything, when there is none).
-        let upto = batch.winner.map_or(candidates.len(), |w| w + 1);
-        for result in batch.results.iter().take(upto) {
-            let result = result.as_ref().expect("prefix is always evaluated");
-            let missed = missing_partitions(result.report.analysis.missed_jobs());
-            iterations.push(IterationRecord {
-                index: iterations.len(),
+        // the winner; everything, when there is none) from the merged
+        // cached + evaluated verdicts.
+        let record_of = |k: usize| -> IterationRecord {
+            if let Some(v) = &known[k] {
+                return IterationRecord {
+                    index: 0,
+                    schedulable: v.schedulable,
+                    missed_jobs: v.missed_jobs,
+                    missing_partitions: v.missing_partitions.clone(),
+                    check_time: Duration::ZERO,
+                };
+            }
+            let pos = subset_idx
+                .iter()
+                .position(|&i| i == k)
+                .expect("uncached prefix candidate was batched");
+            let result = batch
+                .as_ref()
+                .and_then(|b| b.results[pos].as_ref())
+                .expect("prefix is always evaluated");
+            IterationRecord {
+                index: 0,
                 schedulable: result.report.schedulable(),
                 missed_jobs: result.report.analysis.missed_jobs().count(),
-                missing_partitions: missed,
+                missing_partitions: missing_partitions(result.report.analysis.missed_jobs()),
                 check_time: result.report.metrics.total(),
-            });
+            }
+        };
+        let upto = winner.map_or(candidates.len(), |w| w + 1);
+        for k in 0..upto {
+            let mut record = record_of(k);
+            record.index = iterations.len();
+            iterations.push(record);
         }
 
-        if let Some(w) = batch.winner {
+        if let Some(w) = winner {
             return Ok(SearchOutcome {
                 configuration: Some(candidates.swap_remove(w)),
                 iterations,
@@ -176,13 +270,9 @@ pub fn search(
         // Repair from the deepest rung's diagnostics: adopt its boosts,
         // widen the partitions that still missed there, and predict they
         // miss again.
-        let deepest = batch
-            .results
-            .last()
-            .and_then(Option::as_ref)
-            .expect("no winner means every candidate was evaluated");
-        let missed = missing_partitions(deepest.report.analysis.missed_jobs());
-        let missed_jobs = deepest.report.analysis.missed_jobs().count();
+        let deepest = record_of(candidates.len() - 1);
+        let missed = deepest.missing_partitions;
+        let missed_jobs = deepest.missed_jobs;
         boosts = ladder_boosts.pop().expect("nonempty ladder");
         for pid in &missed {
             boosts[pid.index()] *= options.boost_step;
@@ -431,6 +521,46 @@ mod tests {
         assert!(last.schedulable);
         assert_eq!(last.missed_jobs, 0);
         assert!(outcome.total_check_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn cached_search_finds_the_same_configuration() {
+        let cache = swa_core::ShardedVerdictCache::new(1 << 22);
+        for problem in [two_partition_problem(1), two_partition_problem(2)] {
+            let baseline = search(&problem, &SearchOptions::default()).unwrap();
+            let cached = search_with_cache(&problem, &SearchOptions::default(), Some(&cache)).unwrap();
+            assert_eq!(baseline.configuration, cached.configuration);
+            assert_eq!(baseline.iterations.len(), cached.iterations.len());
+            for (b, c) in baseline.iterations.iter().zip(&cached.iterations) {
+                assert_eq!(b.schedulable, c.schedulable);
+                assert_eq!(b.missed_jobs, c.missed_jobs);
+                assert_eq!(b.missing_partitions, c.missing_partitions);
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_search_is_served_from_the_cache() {
+        let problem = two_partition_problem(1);
+        let options = SearchOptions::default();
+        let cache = swa_core::ShardedVerdictCache::new(1 << 22);
+
+        let first = search_with_cache(&problem, &options, Some(&cache)).unwrap();
+        let after_first = cache.stats();
+        assert!(after_first.insertions > 0, "first run populates the cache");
+
+        let second = search_with_cache(&problem, &options, Some(&cache)).unwrap();
+        let after_second = cache.stats();
+
+        assert_eq!(first.configuration, second.configuration);
+        assert_eq!(first.iterations.len(), second.iterations.len());
+        // The second run re-simulated nothing: no new insertions, every
+        // probed candidate was a hit, and the per-iteration check time is
+        // the cache's O(1) zero.
+        assert_eq!(after_second.insertions, after_first.insertions);
+        assert!(after_second.hits > after_first.hits);
+        assert!(second.iterations.iter().all(|i| i.check_time == Duration::ZERO));
+        assert!(second.total_check_time() == Duration::ZERO);
     }
 
     #[test]

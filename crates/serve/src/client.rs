@@ -1,0 +1,104 @@
+//! A tiny blocking HTTP client for the analysis server.
+//!
+//! Used by the `swa request` subcommand, the CI smoke gate, and the
+//! end-to-end tests — the same hand-rolled HTTP/1.1 subset the server
+//! speaks (one request per connection, `Content-Length` framing).
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Socket-level timeout applied to client connections so a wedged server
+/// cannot hang the CLI forever.
+const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A response from the server.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (always JSON for this server).
+    pub body: String,
+}
+
+/// Sends a `GET` request.
+///
+/// # Errors
+///
+/// Propagates connection and protocol failures.
+pub fn get<A: ToSocketAddrs>(addr: A, path: &str) -> io::Result<HttpResponse> {
+    exchange(addr, "GET", path, None)
+}
+
+/// Sends a `POST` request with a JSON body.
+///
+/// # Errors
+///
+/// Propagates connection and protocol failures.
+pub fn post<A: ToSocketAddrs>(addr: A, path: &str, body: &str) -> io::Result<HttpResponse> {
+    exchange(addr, "POST", path, Some(body))
+}
+
+fn exchange<A: ToSocketAddrs>(
+    addr: A,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{} {} HTTP/1.1\r\nHost: swa-serve\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        method,
+        path,
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> io::Result<HttpResponse> {
+    let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("response missing header terminator"))?;
+    let head = std::str::from_utf8(&raw[..split]).map_err(|_| bad("non-UTF-8 response head"))?;
+    let status_line = head.lines().next().ok_or_else(|| bad("empty response"))?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    // `Connection: close` framing: everything after the blank line is the
+    // body (Content-Length is advisory here; read_to_end saw EOF).
+    let body = String::from_utf8(raw[split + 4..].to_vec())
+        .map_err(|_| bad("non-UTF-8 response body"))?;
+    Ok(HttpResponse { status, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_response() {
+        let raw = b"HTTP/1.1 429 Too Many Requests\r\nContent-Length: 2\r\n\r\n{}";
+        let resp = parse_response(raw).unwrap();
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.body, "{}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response(b"not http").is_err());
+        assert!(parse_response(b"HTTP/1.1 ???\r\n\r\n").is_err());
+    }
+}

@@ -1,0 +1,223 @@
+//! A hand-rolled HTTP/1.1 subset over [`std::net`].
+//!
+//! The server speaks exactly the slice of HTTP/1.1 its endpoints need —
+//! request line + headers + `Content-Length` body in, status + JSON body
+//! out, one request per connection (`Connection: close`) — so the whole
+//! exchange stays std-only. Limits are enforced while reading: a 16 KiB
+//! header section and an 8 MiB body, so a hostile peer cannot balloon
+//! memory.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Maximum bytes of request line + headers.
+const MAX_HEAD: usize = 16 * 1024;
+/// Maximum request body size.
+pub const MAX_BODY: usize = 8 * 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// The request method (`GET`, `POST`, …), uppercase as sent.
+    pub method: String,
+    /// The request target, query string included.
+    pub path: String,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The socket failed; no response is possible.
+    Io(io::Error),
+    /// The peer sent something that is not acceptable HTTP; the message is
+    /// suitable for a 400 response body.
+    Malformed(String),
+    /// The declared body exceeds [`MAX_BODY`]; respond 413.
+    TooLarge,
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one HTTP request from the stream.
+///
+/// # Errors
+///
+/// [`HttpError::Io`] on socket failure, [`HttpError::Malformed`] on
+/// unparseable input, [`HttpError::TooLarge`] when the declared body
+/// exceeds the limit.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    let split = loop {
+        if let Some(i) = find_head_end(&head) {
+            break i;
+        }
+        if head.len() > MAX_HEAD {
+            return Err(HttpError::Malformed("header section too large".into()));
+        }
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-request".into()));
+        }
+        head.extend_from_slice(&buf[..n]);
+    };
+    // `split` points past the blank line; bytes after it are body prefix.
+    let (head_bytes, rest) = head.split_at(split);
+    let head_text = std::str::from_utf8(head_bytes)
+        .map_err(|_| HttpError::Malformed("non-UTF-8 header section".into()))?;
+
+    let mut lines = head_text.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("request line missing target".into()))?
+        .to_string();
+    if !parts.next().is_some_and(|v| v.starts_with("HTTP/1.")) {
+        return Err(HttpError::Malformed("not an HTTP/1.x request".into()));
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!("malformed header: {line:?}")));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::Malformed("bad Content-Length".into()))?;
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(HttpError::TooLarge);
+    }
+
+    let mut body = rest.to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-body".into()));
+        }
+        body.extend_from_slice(&buf[..n]);
+    }
+    body.truncate(content_length);
+    Ok(Request { method, path, body })
+}
+
+/// Index just past the `\r\n\r\n` terminating the header section.
+fn find_head_end(bytes: &[u8]) -> Option<usize> {
+    bytes.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+}
+
+/// Writes a complete JSON response and flushes it. The connection is
+/// marked `Connection: close`; the caller drops the stream afterwards.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        status_text(status),
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// The reason phrase for the status codes this server emits.
+#[must_use]
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn roundtrip(raw: &[u8]) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let result = read_request(&mut conn);
+        writer.join().unwrap();
+        result
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = roundtrip(b"POST /analyze HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/analyze");
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = roundtrip(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(matches!(roundtrip(b"\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(roundtrip(b"GET\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(
+            roundtrip(b"GET / SPDY/9\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            roundtrip(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_bodies() {
+        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        assert!(matches!(roundtrip(raw.as_bytes()), Err(HttpError::TooLarge)));
+    }
+
+    #[test]
+    fn status_lines_cover_the_emitted_codes() {
+        for code in [200, 400, 404, 405, 413, 422, 429, 500, 503, 504] {
+            assert_ne!(status_text(code), "Unknown");
+        }
+    }
+}

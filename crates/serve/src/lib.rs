@@ -1,0 +1,60 @@
+//! # swa-serve — a long-running schedulability-analysis service
+//!
+//! The paper's headline result is that *one deterministic simulated run*
+//! decides schedulability (Sect. 3), and its Sect. 4 search tool issues
+//! many analysis requests over near-identical configurations — exactly
+//! the shape of a request-serving system. This crate turns the analyzer
+//! into such a service:
+//!
+//! * **hand-rolled HTTP/1.1** over [`std::net::TcpListener`] ([`http`]) —
+//!   the workspace builds with zero external dependencies, so both the
+//!   protocol and the JSON request envelope ([`json`], [`request`]) are
+//!   implemented here;
+//! * a **content-addressed verdict cache** (`swa_core::{canon, cache}`):
+//!   requests are canonicalized and hashed, so a repeated configuration
+//!   returns in O(1) with `"cached": true` and *without re-simulating* —
+//!   a per-key single-flight gate extends the guarantee to concurrent
+//!   duplicates;
+//! * a **bounded worker pool** ([`pool`]) with non-blocking admission
+//!   (full queue ⇒ 429), cooperative per-request deadlines (⇒ 504), and
+//!   drain-on-cancel shutdown: every accepted job is invoked, never
+//!   silently dropped;
+//! * **observability endpoints**: `/healthz`, and `/metrics` exporting
+//!   the `swa_core` [`MetricsRecorder`](swa_core::MetricsRecorder) JSON
+//!   (cache hit/miss/eviction counters included) plus live cache gauges.
+//!
+//! ## Endpoints
+//!
+//! | Endpoint         | Purpose                                        |
+//! |------------------|------------------------------------------------|
+//! | `POST /analyze`  | Analyze a configuration (JSON envelope)        |
+//! | `GET /healthz`   | Liveness probe                                 |
+//! | `GET /metrics`   | Cache gauges + full metrics JSON               |
+//! | `POST /shutdown` | Graceful shutdown (drains in-flight work)      |
+//!
+//! ```no_run
+//! use swa_serve::{client, Server, ServeOptions};
+//!
+//! let server = Server::start(&ServeOptions::default())?;
+//! let body = r#"{"config_xml": "<configuration>…</configuration>"}"#;
+//! let response = client::post(server.local_addr(), "/analyze", body)?;
+//! println!("{}", response.body);
+//! server.shutdown();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![allow(clippy::module_name_repetitions)]
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod pool;
+pub mod request;
+pub mod server;
+
+pub use client::HttpResponse;
+pub use json::{Json, JsonError};
+pub use pool::{Job, JobContext, WorkerPool};
+pub use request::{parse_analyze, render_error, render_verdict, AnalyzeRequest, RequestError};
+pub use server::{ServeOptions, Server};

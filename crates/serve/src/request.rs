@@ -1,0 +1,291 @@
+//! The analysis request envelope and response rendering.
+//!
+//! A request is a JSON object embedding the workspace's canonical XML
+//! configuration format (so any file accepted by `swa analyze` can be
+//! served verbatim):
+//!
+//! ```json
+//! {
+//!   "config_xml": "<configuration>…</configuration>",
+//!   "hyperperiods": 1,
+//!   "engine": "bytecode",
+//!   "explain": false,
+//!   "deadline_ms": 5000,
+//!   "no_cache": false
+//! }
+//! ```
+//!
+//! Every field except `config_xml` is optional. Malformed JSON or unknown
+//! field values map to 400; XML that parses but fails configuration
+//! validation maps to 422 (the request is well-formed, the *model* is
+//! not). Note that cache keys are computed from the **parsed**
+//! configuration, never the XML text, so whitespace or attribute-order
+//! differences between clients still hit the same cache entry.
+
+use std::fmt;
+
+use swa_core::obs::json_escape;
+use swa_core::{CacheKey, CachedVerdict, EvalEngine};
+use swa_ima::Configuration;
+
+use crate::json::Json;
+
+/// A parsed, validated analysis request.
+#[derive(Debug, Clone)]
+pub struct AnalyzeRequest {
+    /// The configuration to analyze.
+    pub config: Configuration,
+    /// Analysis horizon in hyperperiods (clamped to ≥ 1 downstream).
+    pub hyperperiods: u32,
+    /// Guard/update evaluation engine.
+    pub engine: EvalEngine,
+    /// Attach failure forensics to error responses.
+    pub explain: bool,
+    /// Per-request deadline in milliseconds (`None` = no deadline).
+    pub deadline_ms: Option<u64>,
+    /// Bypass the verdict cache for this request.
+    pub no_cache: bool,
+}
+
+/// Why a request was rejected before analysis.
+#[derive(Debug)]
+pub enum RequestError {
+    /// The body is not acceptable JSON / is missing or mistyping fields
+    /// (HTTP 400).
+    Bad(String),
+    /// The embedded configuration is syntactically fine but semantically
+    /// invalid (HTTP 422).
+    Unprocessable(String),
+}
+
+impl RequestError {
+    /// The HTTP status this rejection maps to.
+    #[must_use]
+    pub fn status(&self) -> u16 {
+        match self {
+            RequestError::Bad(_) => 400,
+            RequestError::Unprocessable(_) => 422,
+        }
+    }
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestError::Bad(m) | RequestError::Unprocessable(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+/// Parses and validates one `/analyze` request body.
+///
+/// # Errors
+///
+/// [`RequestError::Bad`] for malformed JSON / fields,
+/// [`RequestError::Unprocessable`] for XML or configuration-validation
+/// failures.
+pub fn parse_analyze(body: &[u8]) -> Result<AnalyzeRequest, RequestError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| RequestError::Bad("request body is not UTF-8".into()))?;
+    let doc = Json::parse(text).map_err(|e| RequestError::Bad(e.to_string()))?;
+    if !matches!(doc, Json::Obj(_)) {
+        return Err(RequestError::Bad("request body must be a JSON object".into()));
+    }
+
+    let xml = doc
+        .get("config_xml")
+        .ok_or_else(|| RequestError::Bad("missing required field \"config_xml\"".into()))?
+        .as_str()
+        .ok_or_else(|| RequestError::Bad("\"config_xml\" must be a string".into()))?;
+
+    let hyperperiods = match doc.get("hyperperiods") {
+        None => 1,
+        Some(v) => u32::try_from(
+            v.as_u64()
+                .ok_or_else(|| RequestError::Bad("\"hyperperiods\" must be a non-negative integer".into()))?,
+        )
+        .map_err(|_| RequestError::Bad("\"hyperperiods\" out of range".into()))?,
+    };
+
+    let engine = match doc.get("engine") {
+        None => EvalEngine::default(),
+        Some(v) => {
+            let name = v
+                .as_str()
+                .ok_or_else(|| RequestError::Bad("\"engine\" must be a string".into()))?;
+            EvalEngine::parse(name).ok_or_else(|| {
+                RequestError::Bad(format!("unknown engine {name:?} (expected \"ast\" or \"bytecode\")"))
+            })?
+        }
+    };
+
+    let explain = flag(&doc, "explain")?;
+    let no_cache = flag(&doc, "no_cache")?;
+
+    let deadline_ms = match doc.get("deadline_ms") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(v.as_u64().ok_or_else(|| {
+            RequestError::Bad("\"deadline_ms\" must be a non-negative integer".into())
+        })?),
+    };
+
+    let config = swa_xmlio::configuration_from_xml(xml)
+        .map_err(|e| RequestError::Unprocessable(format!("config_xml: {e}")))?;
+    config.validate().map_err(|errors| {
+        let msgs: Vec<String> = errors.iter().map(ToString::to_string).collect();
+        RequestError::Unprocessable(format!("invalid configuration: {}", msgs.join("; ")))
+    })?;
+
+    Ok(AnalyzeRequest {
+        config,
+        hyperperiods,
+        engine,
+        explain,
+        deadline_ms,
+        no_cache,
+    })
+}
+
+fn flag(doc: &Json, name: &str) -> Result<bool, RequestError> {
+    match doc.get(name) {
+        None => Ok(false),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| RequestError::Bad(format!("\"{name}\" must be a boolean"))),
+    }
+}
+
+/// Renders a successful verdict response body.
+#[must_use]
+pub fn render_verdict(verdict: &CachedVerdict, cached: bool, key: CacheKey, check_ms: f64) -> String {
+    format!(
+        "{{\"status\":\"ok\",\"schedulable\":{},\"cached\":{},\"key\":\"{}\",\"hyperperiod\":{},\"jobs\":{},\"missed_jobs\":{},\"check_ms\":{:.3}}}",
+        verdict.schedulable, cached, key, verdict.hyperperiod, verdict.jobs, verdict.missed_jobs, check_ms,
+    )
+}
+
+/// Renders an error response body (`kind` is a stable machine-readable
+/// label; `message` is free text).
+#[must_use]
+pub fn render_error(kind: &str, message: &str) -> String {
+    format!(
+        "{{\"status\":\"error\",\"error\":\"{}\",\"message\":\"{}\"}}",
+        json_escape(kind),
+        json_escape(message),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swa_ima::{
+        Configuration, CoreRef, CoreType, CoreTypeId, Module, ModuleId, Partition, SchedulerKind,
+        Task, Window,
+    };
+
+    fn config_xml() -> String {
+        let config = Configuration {
+            core_types: vec![CoreType::new("ct")],
+            modules: vec![Module::homogeneous("M", 1, CoreTypeId::from_raw(0))],
+            partitions: vec![Partition::new(
+                "P",
+                SchedulerKind::Fpps,
+                vec![Task::new("t", 1, vec![10], 50)],
+            )],
+            binding: vec![CoreRef::new(ModuleId::from_raw(0), 0)],
+            windows: vec![vec![Window::new(0, 50)]],
+            messages: vec![],
+        };
+        swa_xmlio::configuration_to_xml(&config)
+    }
+
+    fn envelope(extra: &str) -> String {
+        format!(
+            "{{\"config_xml\":\"{}\"{}}}",
+            json_escape(&config_xml()),
+            extra
+        )
+    }
+
+    #[test]
+    fn parses_a_minimal_request_with_defaults() {
+        let req = parse_analyze(envelope("").as_bytes()).unwrap();
+        assert_eq!(req.hyperperiods, 1);
+        assert_eq!(req.engine, EvalEngine::default());
+        assert!(!req.explain);
+        assert!(!req.no_cache);
+        assert_eq!(req.deadline_ms, None);
+        assert_eq!(req.config.partitions.len(), 1);
+    }
+
+    #[test]
+    fn parses_all_options() {
+        let req = parse_analyze(
+            envelope(",\"hyperperiods\":3,\"engine\":\"ast\",\"explain\":true,\"deadline_ms\":250,\"no_cache\":true")
+                .as_bytes(),
+        )
+        .unwrap();
+        assert_eq!(req.hyperperiods, 3);
+        assert_eq!(req.engine, EvalEngine::Ast);
+        assert!(req.explain);
+        assert!(req.no_cache);
+        assert_eq!(req.deadline_ms, Some(250));
+    }
+
+    #[test]
+    fn rejects_bad_envelopes_as_400() {
+        for body in [
+            "not json",
+            "[1]",
+            "{}",
+            r#"{"config_xml": 7}"#,
+            &envelope(",\"engine\":\"turbo\""),
+            &envelope(",\"hyperperiods\":-1"),
+            &envelope(",\"deadline_ms\":\"soon\""),
+            &envelope(",\"explain\":\"yes\""),
+        ] {
+            let err = parse_analyze(body.as_bytes()).unwrap_err();
+            assert_eq!(err.status(), 400, "{body:.60}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_models_as_422() {
+        let err = parse_analyze(br#"{"config_xml": "<not-a-configuration/>"}"#).unwrap_err();
+        assert_eq!(err.status(), 422);
+        // Well-formed XML, invalid semantics: binding refers to a missing
+        // module core.
+        let mut config = swa_xmlio::configuration_from_xml(&config_xml()).unwrap();
+        config.binding = vec![CoreRef::new(ModuleId::from_raw(0), 9)];
+        let body = format!(
+            "{{\"config_xml\":\"{}\"}}",
+            json_escape(&swa_xmlio::configuration_to_xml(&config))
+        );
+        let err = parse_analyze(body.as_bytes()).unwrap_err();
+        assert_eq!(err.status(), 422);
+    }
+
+    #[test]
+    fn responses_are_valid_json() {
+        let verdict = CachedVerdict {
+            schedulable: true,
+            hyperperiod: 50,
+            jobs: 1,
+            missed_jobs: 0,
+            missing_partitions: vec![],
+        };
+        let key = swa_core::canon::hash_bytes(b"x");
+        let ok = render_verdict(&verdict, true, key, 0.25);
+        let doc = Json::parse(&ok).unwrap();
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(doc.get("cached").unwrap().as_bool(), Some(true));
+        assert_eq!(doc.get("schedulable").unwrap().as_bool(), Some(true));
+        assert_eq!(doc.get("key").unwrap().as_str(), Some(key.to_string().as_str()));
+
+        let err = render_error("deadline", "expired after 5ms \"grace\"");
+        let doc = Json::parse(&err).unwrap();
+        assert_eq!(doc.get("error").unwrap().as_str(), Some("deadline"));
+    }
+}

@@ -1,0 +1,539 @@
+//! The analysis server: accept loop, request lifecycle, and graceful
+//! shutdown.
+//!
+//! # Request lifecycle
+//!
+//! ```text
+//! accept → handler thread → parse (400/413/422)
+//!        → canonicalize → cache lookup ──hit──────────────→ 200 cached:true
+//!        → single-flight gate (followers wait for leader, then re-lookup)
+//!        → deadline already expired? → 504
+//!        → shutting down? → 503
+//!        → bounded pool try_submit ──full──→ 429
+//!        → worker runs the Analyzer, inserts verdict, replies
+//!        → handler renders 200 cached:false (or 500/504)
+//! ```
+//!
+//! **Single-flight**: when several clients submit the *same* canonical
+//! request concurrently, only the first (the leader) simulates; the rest
+//! park on a per-key gate and re-probe the cache once the leader
+//! finishes. Combined with the content-addressed cache this gives the
+//! "exactly one simulation per distinct configuration" guarantee the
+//! end-to-end tests assert via `serve.analyses`.
+//!
+//! **Deadlines** are cooperative, like batch-analysis cancellation: they
+//! are checked before enqueue and again when a worker picks the job up;
+//! an in-flight simulation is never interrupted (its verdict still lands
+//! in the cache for the next caller) but the waiting handler responds 504
+//! as soon as the deadline passes.
+//!
+//! **Graceful shutdown** (`/shutdown` or [`Server::begin_shutdown`])
+//! stops accepting, lets active connections finish, then drains the
+//! worker pool — queued jobs are *invoked* with the cancelled flag so
+//! every waiting client hears 503 rather than a dropped connection.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use swa_core::{
+    canonicalize, Analyzer, CacheStats, CachedVerdict, CanonicalRequest, MetricsRecorder, Recorder,
+    ShardedVerdictCache, VerdictCache,
+};
+
+use crate::http::{read_request, write_response, HttpError, Request};
+use crate::pool::{Job, WorkerPool};
+use crate::request::{parse_analyze, render_error, render_verdict, AnalyzeRequest};
+
+/// How often a follower parked on a single-flight gate re-checks its
+/// deadline while waiting for the leader.
+const GATE_WAIT_SLICE: Duration = Duration::from_millis(25);
+
+/// How many times a follower may lose the re-probe race (leader failed or
+/// bypassed the cache) before giving up with 503.
+const MAX_FLIGHT_ATTEMPTS: usize = 4;
+
+/// Server construction options.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Analysis worker threads.
+    pub workers: usize,
+    /// Bounded queue depth in front of the workers (backpressure beyond
+    /// it: 429).
+    pub queue_depth: usize,
+    /// Verdict-cache byte budget.
+    pub cache_bytes: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get),
+            queue_depth: 64,
+            cache_bytes: 16 * 1024 * 1024,
+        }
+    }
+}
+
+/// A running analysis server.
+///
+/// Dropping the handle shuts the server down gracefully.
+#[derive(Debug)]
+pub struct Server {
+    local_addr: SocketAddr,
+    inner: Arc<Inner>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the accept loop, and returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn start(options: &ServeOptions) -> io::Result<Server> {
+        let listener = TcpListener::bind(&options.addr)?;
+        let local_addr = listener.local_addr()?;
+        let recorder = Arc::new(MetricsRecorder::new());
+        let cache = Arc::new(
+            ShardedVerdictCache::new(options.cache_bytes)
+                .with_recorder(recorder.clone() as Arc<dyn Recorder>),
+        );
+        let inner = Arc::new(Inner {
+            local_addr,
+            recorder,
+            cache,
+            pool: WorkerPool::new(options.workers, options.queue_depth),
+            gates: Mutex::new(HashMap::new()),
+            shutting_down: AtomicBool::new(false),
+            active: Mutex::new(0),
+            idle: Condvar::new(),
+        });
+        let accept_inner = Arc::clone(&inner);
+        let accept = std::thread::Builder::new()
+            .name("swa-serve-accept".to_string())
+            .spawn(move || accept_loop(&listener, &accept_inner))?;
+        Ok(Server {
+            local_addr,
+            inner,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The server's metrics sink (`serve.*`, `cache.*`, and per-run
+    /// simulation counters all land here).
+    #[must_use]
+    pub fn recorder(&self) -> Arc<MetricsRecorder> {
+        Arc::clone(&self.inner.recorder)
+    }
+
+    /// Current verdict-cache statistics.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.cache.stats()
+    }
+
+    /// Initiates shutdown without waiting: stop accepting, then (in the
+    /// accept thread) drain active connections and the worker pool.
+    pub fn begin_shutdown(&self) {
+        self.inner.begin_shutdown();
+    }
+
+    /// Blocks until the server has fully shut down (all connections
+    /// finished, worker pool drained and joined). Call after
+    /// [`begin_shutdown`](Self::begin_shutdown), or let `/shutdown`
+    /// trigger it remotely.
+    pub fn join(mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Convenience: [`begin_shutdown`](Self::begin_shutdown) +
+    /// [`join`](Self::join).
+    pub fn shutdown(self) {
+        self.begin_shutdown();
+        self.join();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if let Some(handle) = self.accept.take() {
+            self.inner.begin_shutdown();
+            let _ = handle.join();
+        }
+    }
+}
+
+/// State shared by the accept loop and every handler thread.
+struct Inner {
+    local_addr: SocketAddr,
+    recorder: Arc<MetricsRecorder>,
+    cache: Arc<ShardedVerdictCache>,
+    pool: WorkerPool,
+    /// Single-flight gates, keyed by canonical request key.
+    gates: Mutex<HashMap<swa_core::CacheKey, Arc<Gate>>>,
+    shutting_down: AtomicBool,
+    /// Count of live handler threads; the accept loop waits for 0 during
+    /// shutdown.
+    active: Mutex<usize>,
+    idle: Condvar,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner")
+            .field("local_addr", &self.local_addr)
+            .field("shutting_down", &self.shutting_down.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Inner {
+    fn begin_shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Flag queued analysis jobs so they reply quickly instead of
+        // simulating; nothing is discarded.
+        self.pool.cancel();
+        // The accept loop is parked in accept(); a self-connection wakes
+        // it so it can observe the flag. Failure is fine — the listener
+        // may already be gone.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+
+    fn connection_started(&self) {
+        *self.active.lock().expect("unpoisoned") += 1;
+    }
+
+    fn connection_finished(&self) {
+        let mut active = self.active.lock().expect("unpoisoned");
+        *active -= 1;
+        if *active == 0 {
+            self.idle.notify_all();
+        }
+    }
+
+    fn wait_connections_drained(&self) {
+        let mut active = self.active.lock().expect("unpoisoned");
+        while *active != 0 {
+            active = self.idle.wait(active).expect("unpoisoned");
+        }
+    }
+}
+
+/// A single-flight gate: followers wait here while the leader simulates.
+struct Gate {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new() -> Self {
+        Gate {
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn open(&self) {
+        *self.done.lock().expect("unpoisoned") = true;
+        self.cv.notify_all();
+    }
+
+    /// Waits until the gate opens or `deadline` passes; true = opened.
+    fn wait(&self, deadline: Option<Instant>) -> bool {
+        let mut done = self.done.lock().expect("unpoisoned");
+        while !*done {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return false;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(done, GATE_WAIT_SLICE)
+                .expect("unpoisoned");
+            done = guard;
+        }
+        true
+    }
+}
+
+fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => break,
+        };
+        if inner.shutting_down.load(Ordering::SeqCst) {
+            // The wake-up connection (or a late client); refuse politely.
+            let mut stream = stream;
+            let _ = write_response(
+                &mut stream,
+                503,
+                &render_error("shutting-down", "server is shutting down"),
+            );
+            break;
+        }
+        inner.connection_started();
+        let handler_inner = Arc::clone(inner);
+        let spawned = std::thread::Builder::new()
+            .name("swa-serve-conn".to_string())
+            .spawn(move || {
+                handle_connection(&handler_inner, stream);
+                handler_inner.connection_finished();
+            });
+        if spawned.is_err() {
+            inner.connection_finished();
+        }
+    }
+    // Graceful drain: connections first (they may still enqueue replies),
+    // then the pool (runs queued jobs with the cancelled flag set).
+    inner.wait_connections_drained();
+    inner.pool.shutdown();
+}
+
+fn handle_connection(inner: &Arc<Inner>, mut stream: TcpStream) {
+    let request = match read_request(&mut stream) {
+        Ok(request) => request,
+        Err(HttpError::Io(_)) => return,
+        Err(HttpError::Malformed(message)) => {
+            let _ = write_response(&mut stream, 400, &render_error("bad-request", &message));
+            return;
+        }
+        Err(HttpError::TooLarge) => {
+            let _ = write_response(
+                &mut stream,
+                413,
+                &render_error("too-large", "request body exceeds the size limit"),
+            );
+            return;
+        }
+    };
+    let (status, body) = route(inner, &request);
+    let _ = write_response(&mut stream, status, &body);
+}
+
+fn route(inner: &Arc<Inner>, request: &Request) -> (u16, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => (200, render_health(inner)),
+        ("GET", "/metrics") => (200, render_metrics(inner)),
+        ("POST", "/shutdown") => {
+            inner.begin_shutdown();
+            (200, "{\"status\":\"shutting-down\"}".to_string())
+        }
+        ("POST", "/analyze") => analyze(inner, &request.body),
+        (_, "/healthz" | "/metrics" | "/shutdown" | "/analyze") => (
+            405,
+            render_error("method-not-allowed", "unsupported method for this endpoint"),
+        ),
+        _ => (404, render_error("not-found", "unknown endpoint")),
+    }
+}
+
+fn render_health(inner: &Inner) -> String {
+    format!(
+        "{{\"status\":\"ok\",\"shutting_down\":{},\"active_connections\":{}}}",
+        inner.shutting_down.load(Ordering::SeqCst),
+        *inner.active.lock().expect("unpoisoned"),
+    )
+}
+
+fn render_metrics(inner: &Inner) -> String {
+    let stats = inner.cache.stats();
+    format!(
+        "{{\"cache\":{{\"entries\":{},\"bytes\":{},\"hit_rate\":{:.4}}},\"metrics\":{}}}",
+        stats.entries,
+        stats.bytes,
+        stats.hit_rate(),
+        inner.recorder.to_json(),
+    )
+}
+
+/// What a worker reports back to the waiting handler.
+enum JobReply {
+    Done {
+        verdict: Arc<CachedVerdict>,
+        check: Duration,
+    },
+    Cancelled,
+    DeadlineExpired,
+    Failed(String),
+}
+
+fn analyze(inner: &Arc<Inner>, body: &[u8]) -> (u16, String) {
+    inner.recorder.counter("serve.requests", 1);
+    let parsed = match parse_analyze(body) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            let kind = if e.status() == 400 { "bad-request" } else { "invalid-model" };
+            return (e.status(), render_error(kind, &e.to_string()));
+        }
+    };
+    let deadline = parsed
+        .deadline_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let canon = canonicalize(&parsed.config, parsed.hyperperiods);
+
+    if parsed.no_cache {
+        // Cache bypass also skips single-flight: the client explicitly
+        // asked for a fresh simulation.
+        return run_leader(inner, parsed, &canon, deadline);
+    }
+
+    for _ in 0..MAX_FLIGHT_ATTEMPTS {
+        if let Some(verdict) = inner.cache.lookup(&canon) {
+            return (200, render_verdict(&verdict, true, canon.key, 0.0));
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            inner.recorder.counter("serve.deadline_expired", 1);
+            return (504, render_error("deadline", "request deadline expired"));
+        }
+        if inner.shutting_down.load(Ordering::SeqCst) {
+            return (503, render_error("shutting-down", "server is shutting down"));
+        }
+        let gate = {
+            let mut gates = inner.gates.lock().expect("unpoisoned");
+            match gates.get(&canon.key) {
+                Some(gate) => Err(Arc::clone(gate)),
+                None => {
+                    let gate = Arc::new(Gate::new());
+                    gates.insert(canon.key, Arc::clone(&gate));
+                    Ok(gate)
+                }
+            }
+        };
+        match gate {
+            Ok(gate) => {
+                // Leader: simulate, then open the gate whatever happened.
+                let response = run_leader(inner, parsed, &canon, deadline);
+                inner.gates.lock().expect("unpoisoned").remove(&canon.key);
+                gate.open();
+                return response;
+            }
+            Err(gate) => {
+                // Follower: wait for the leader, then re-probe the cache.
+                if !gate.wait(deadline) {
+                    inner.recorder.counter("serve.deadline_expired", 1);
+                    return (504, render_error("deadline", "request deadline expired"));
+                }
+            }
+        }
+    }
+    (
+        503,
+        render_error("retry", "request kept losing the cache race; retry"),
+    )
+}
+
+/// Runs one analysis on the worker pool and renders the response.
+fn run_leader(
+    inner: &Arc<Inner>,
+    parsed: AnalyzeRequest,
+    canon: &CanonicalRequest,
+    deadline: Option<Instant>,
+) -> (u16, String) {
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        inner.recorder.counter("serve.deadline_expired", 1);
+        return (504, render_error("deadline", "request deadline expired"));
+    }
+    let (reply_tx, reply_rx) = mpsc::channel::<JobReply>();
+    let job_inner = Arc::clone(inner);
+    let job_canon = canon.clone();
+    let job: Job = Box::new(move |ctx| {
+        if ctx.is_cancelled() {
+            let _ = reply_tx.send(JobReply::Cancelled);
+            return;
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            let _ = reply_tx.send(JobReply::DeadlineExpired);
+            return;
+        }
+        let started = Instant::now();
+        let result = Analyzer::new(&parsed.config)
+            .engine(parsed.engine)
+            .horizon(parsed.hyperperiods)
+            .recorder(job_inner.recorder.clone() as Arc<dyn Recorder>)
+            .explain(parsed.explain)
+            .run();
+        job_inner.recorder.counter("serve.analyses", 1);
+        let reply = match result {
+            Ok(report) => {
+                let verdict = Arc::new(CachedVerdict::from_report(&report));
+                if !parsed.no_cache {
+                    job_inner.cache.insert(&job_canon, Arc::clone(&verdict));
+                }
+                JobReply::Done {
+                    verdict,
+                    check: started.elapsed(),
+                }
+            }
+            Err(e) => JobReply::Failed(e.to_string()),
+        };
+        let _ = reply_tx.send(reply);
+    });
+
+    if inner.pool.try_submit(job).is_err() {
+        inner.recorder.counter("serve.rejected", 1);
+        return (
+            429,
+            render_error("overloaded", "analysis queue is full; retry later"),
+        );
+    }
+
+    let reply = match deadline {
+        None => reply_rx.recv().ok(),
+        Some(d) => {
+            // The deadline bounds *waiting*; a simulation already running
+            // is never interrupted, so give the reply a final grace poll.
+            let remaining = d.saturating_duration_since(Instant::now());
+            match reply_rx.recv_timeout(remaining.max(Duration::from_millis(1))) {
+                Ok(reply) => Some(reply),
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    inner.recorder.counter("serve.deadline_expired", 1);
+                    return (504, render_error("deadline", "request deadline expired"));
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => None,
+            }
+        }
+    };
+
+    match reply {
+        Some(JobReply::Done { verdict, check }) => {
+            #[allow(clippy::cast_precision_loss)]
+            let check_ms = check.as_secs_f64() * 1e3;
+            (200, render_verdict(&verdict, false, canon.key, check_ms))
+        }
+        Some(JobReply::Cancelled) => (
+            503,
+            render_error("shutting-down", "server cancelled the request during shutdown"),
+        ),
+        Some(JobReply::DeadlineExpired) => {
+            inner.recorder.counter("serve.deadline_expired", 1);
+            (504, render_error("deadline", "request deadline expired"))
+        }
+        Some(JobReply::Failed(message)) => {
+            inner.recorder.counter("serve.errors", 1);
+            (500, render_error("analysis-failed", &message))
+        }
+        None => {
+            inner.recorder.counter("serve.errors", 1);
+            (500, render_error("internal", "worker dropped the request"))
+        }
+    }
+}

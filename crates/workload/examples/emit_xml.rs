@@ -1,0 +1,19 @@
+//! Prints a generated configuration as Sect.-4 XML on stdout.
+//!
+//! Used by `ci.sh` to produce a fixture for the serve smoke gate:
+//!
+//! ```console
+//! cargo run -p swa-workload --example emit_xml -- 100 > config.xml
+//! ```
+//!
+//! The optional argument is the approximate job count per hyperperiod of
+//! the Table-1-style configuration (default 100).
+
+fn main() {
+    let jobs = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(100);
+    let config = swa_workload::table1_config(jobs);
+    print!("{}", swa_xmlio::configuration_to_xml(&config));
+}

@@ -85,7 +85,9 @@
 //!   experiments (with the in-repo seeded PRNG [`workload::rng`]);
 //! * [`schedtool`] — the configuration-search integration of Sect. 4,
 //!   running on the batch engine;
-//! * [`rta`] — classical response-time analysis for cross-validation.
+//! * [`rta`] — classical response-time analysis for cross-validation;
+//! * [`serve`] — a long-running analysis server (`swa serve`) with a
+//!   content-addressed verdict cache shared with the search loop.
 //!
 //! Errors from any layer convert into the unified [`enum@Error`] via `?`.
 
@@ -102,6 +104,7 @@ pub use swa_mc as mc;
 pub use swa_nsa as nsa;
 pub use swa_rta as rta;
 pub use swa_schedtool as schedtool;
+pub use swa_serve as serve;
 pub use swa_workload as workload;
 pub use swa_xmlio as xmlio;
 
