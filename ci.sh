@@ -17,6 +17,22 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> simcore smoke (bytecode/AST engine agreement, release)"
 cargo run --release --offline -p swa-bench --bin simcore -- --smoke
 
+echo "==> snapshot differential suite (split == one-shot, both engines, release)"
+cargo test -q --release --offline -p swa-core --test snapshot_differential
+
+echo "==> warm-start smoke (checkpointed search agrees with cold search)"
+warm_out="$(cargo run --release --offline -q -p swa-bench --bin warmstart -- --smoke)"
+echo "$warm_out" | grep -q "warmstart smoke: ok" || {
+    echo "warm-start smoke FAILED: warm and cold passes disagree"
+    echo "$warm_out"
+    exit 1
+}
+echo "$warm_out" | grep -q '"agree": true' || {
+    echo "warm-start smoke FAILED: agreement flag missing from the artifact"
+    echo "$warm_out"
+    exit 1
+}
+
 echo "==> forensics smoke (deadlock diagnosis names the blocking edge)"
 explain_out="$(cargo run --release --offline -q -p swa-nsa --example deadlock_explain)"
 echo "$explain_out" | grep -q "blocking automaton: filter" || {

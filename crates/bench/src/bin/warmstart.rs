@@ -1,0 +1,233 @@
+//! Experiment S5 — checkpointed warm starts for configuration search,
+//! emitting `BENCH_warmstart.json`.
+//!
+//! Usage:
+//!
+//! ```console
+//! cargo run --release -p swa-bench --bin warmstart                # full run
+//! cargo run --release -p swa-bench --bin warmstart -- --smoke    # CI gate
+//! cargo run --release -p swa-bench --bin warmstart -- --jobs 2500 --out b.json
+//! ```
+//!
+//! The measured workload is the Sect. 4 toolchain loop on a Table-1-style
+//! ~12 500-job industrial configuration: search for a schedulable
+//! configuration, then validate the winner over longer horizons (2 and 4
+//! hyperperiods — the steady-state confirmation a certification workflow
+//! runs after the search). The **cold** pass simulates every step from
+//! t = 0; the **warm** pass shares one checkpoint store across the whole
+//! loop, so revisited candidates resume mid-simulation and each
+//! longer-horizon validation extends the previous run instead of
+//! replaying it.
+//!
+//! Both passes must agree exactly — same winner, same iteration verdicts,
+//! same validation verdicts, same system-trace hashes — and `--smoke`
+//! turns that agreement into a CI gate (exit is a panic on divergence).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use swa_core::{Analyzer, AnalysisReport, CheckpointStore, ShardedCheckpointStore};
+use swa_schedtool::{search_with_stores, DesignProblem, SearchOptions, SearchOutcome};
+use swa_workload::{industrial_config, IndustrialSpec};
+use swa_xmlio::configuration_to_xml;
+
+/// Validation horizons (in hyperperiods) checked after the search.
+const VALIDATION_HORIZONS: [u32; 2] = [2, 4];
+
+/// A Table-1-scale workload the search can actually solve: ~3.75 jobs per
+/// task on the default period menu, capped at 26 tasks per partition (52
+/// per core), no messages. Denser packings (e.g.
+/// [`swa_workload::config_with_jobs`]'s fixed 4-core layout at 12 500
+/// jobs) quantize every tiny WCET up to a full tick and push the true
+/// per-core load far past 1; and any nonzero message fraction at this
+/// scale draws some receiver whose sender runs late in its own window —
+/// a miss the search's repair rule (widen the *missing* partition) cannot
+/// fix. Either way no schedulable configuration would exist to find.
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_precision_loss)]
+fn bench_spec(target_jobs: u64, seed: u64) -> IndustrialSpec {
+    let tasks_needed = ((target_jobs as f64 / 3.75).ceil() as usize).max(1);
+    // One module = 2 cores × 2 partitions × 26 tasks = 104 tasks.
+    let modules = tasks_needed.div_ceil(104).max(1);
+    let tasks_per_partition = tasks_needed.div_ceil(modules * 4).max(1);
+    IndustrialSpec {
+        modules,
+        cores_per_module: 2,
+        partitions_per_core: 2,
+        tasks_per_partition,
+        core_utilization: 0.5,
+        message_fraction: 0.0,
+        seed,
+        ..IndustrialSpec::default()
+    }
+}
+
+/// FNV-1a over bytes; the trace hash in the artifact and the agreement
+/// gate.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn trace_hash(report: &AnalysisReport) -> u64 {
+    fnv1a(report.trace.render().as_bytes())
+}
+
+struct PassResult {
+    outcome: SearchOutcome,
+    /// `(horizon, schedulable, trace_hash)` per validation run.
+    validations: Vec<(u32, bool, u64)>,
+    wall: Duration,
+}
+
+/// Runs the full loop — search, then longer-horizon winner validations —
+/// with an optional checkpoint store shared across every simulation.
+fn run_pass(
+    problem: &DesignProblem,
+    options: &SearchOptions,
+    store: Option<Arc<ShardedCheckpointStore>>,
+) -> PassResult {
+    let t0 = Instant::now();
+    let outcome = search_with_stores(
+        problem,
+        options,
+        None,
+        store
+            .clone()
+            .map(|s| s as Arc<dyn CheckpointStore>),
+    )
+    .expect("search on a generated workload");
+    if outcome.configuration.is_none() {
+        for it in &outcome.iterations {
+            eprintln!(
+                "warmstart: iteration {}: schedulable={} missed_jobs={} missing_partitions={}",
+                it.index,
+                it.schedulable,
+                it.missed_jobs,
+                it.missing_partitions.len()
+            );
+        }
+    }
+    let winner = outcome
+        .configuration
+        .as_ref()
+        .expect("generated workload is schedulable");
+    let mut validations = Vec::new();
+    for hyperperiods in VALIDATION_HORIZONS {
+        let mut analyzer = Analyzer::new(winner).horizon(hyperperiods);
+        if let Some(s) = &store {
+            analyzer = analyzer.checkpoints(Arc::clone(s) as Arc<dyn CheckpointStore>);
+        }
+        let report = analyzer.run().expect("winner validation");
+        validations.push((hyperperiods, report.schedulable(), trace_hash(&report)));
+    }
+    PassResult {
+        outcome,
+        validations,
+        wall: t0.elapsed(),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let default_jobs = if smoke { 300 } else { 12_500 };
+    let jobs: u64 = flag_value(&args, "--jobs")
+        .map(|v| v.parse().expect("--jobs expects an integer"))
+        .unwrap_or(default_jobs);
+
+    eprintln!("warmstart: generating a ~{jobs}-job configuration");
+    let config = industrial_config(&bench_spec(jobs, 1));
+    let actual_jobs = config.job_count().expect("valid generated config");
+    let problem = DesignProblem::from_configuration(&config);
+    let options = SearchOptions::default();
+
+    eprintln!("warmstart: cold pass (search + validation at {VALIDATION_HORIZONS:?} hyperperiods)");
+    let cold = run_pass(&problem, &options, None);
+    eprintln!("warmstart: cold {:.3}s", cold.wall.as_secs_f64());
+
+    eprintln!("warmstart: warm pass (shared checkpoint store)");
+    let store = Arc::new(ShardedCheckpointStore::new(256 * 1024 * 1024));
+    let warm = run_pass(&problem, &options, Some(store.clone()));
+    eprintln!("warmstart: warm {:.3}s", warm.wall.as_secs_f64());
+
+    // The agreement gate: warm starts must change nothing but the time.
+    let cold_xml = configuration_to_xml(cold.outcome.configuration.as_ref().expect("winner"));
+    let warm_xml = configuration_to_xml(warm.outcome.configuration.as_ref().expect("winner"));
+    assert_eq!(cold_xml, warm_xml, "warm and cold searches found different winners");
+    assert_eq!(
+        cold.outcome.iterations.len(),
+        warm.outcome.iterations.len(),
+        "iteration counts diverged"
+    );
+    for (c, w) in cold.outcome.iterations.iter().zip(&warm.outcome.iterations) {
+        assert_eq!(c.schedulable, w.schedulable, "iteration {} verdict diverged", c.index);
+        assert_eq!(c.missed_jobs, w.missed_jobs, "iteration {} misses diverged", c.index);
+    }
+    assert_eq!(
+        cold.validations, warm.validations,
+        "validation verdicts or trace hashes diverged"
+    );
+    let stats = store.stats();
+    assert!(stats.hits > 0, "warm pass never used a checkpoint");
+
+    let speedup = cold.wall.as_secs_f64() / warm.wall.as_secs_f64().max(1e-9);
+    eprintln!(
+        "warmstart: {speedup:.2}x (checkpoints: {} hits, {} full, {} insertions, {} bytes)",
+        stats.hits, stats.full_hits, stats.insertions, stats.bytes
+    );
+
+    let validations_json: Vec<String> = warm
+        .validations
+        .iter()
+        .map(|(h, s, hash)| {
+            format!(
+                "    {{\"hyperperiods\": {h}, \"schedulable\": {s}, \"trace_hash\": \"{hash:016x}\"}}"
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"jobs\": {actual_jobs},\n  \"search_iterations\": {},\n  \
+         \"validation_horizons\": [2, 4],\n  \"validations\": [\n{}\n  ],\n  \
+         \"cold_s\": {:.6},\n  \"warm_s\": {:.6},\n  \"speedup\": {speedup:.3},\n  \
+         \"checkpoint_hits\": {},\n  \"checkpoint_full_hits\": {},\n  \
+         \"checkpoint_insertions\": {},\n  \"checkpoint_bytes\": {},\n  \"agree\": true\n}}\n",
+        warm.outcome.iterations.len(),
+        validations_json.join(",\n"),
+        cold.wall.as_secs_f64(),
+        warm.wall.as_secs_f64(),
+        stats.hits,
+        stats.full_hits,
+        stats.insertions,
+        stats.bytes,
+    );
+
+    if smoke {
+        // The smoke run is the CI agreement gate; it prints the JSON but
+        // does not overwrite the checked-in benchmark artifact.
+        if let Some(path) = flag_value(&args, "--out") {
+            std::fs::write(path, &json).expect("write json");
+        }
+        println!("{json}");
+        println!(
+            "warmstart smoke: ok ({actual_jobs} jobs, {} checkpoint hits, warm == cold)",
+            stats.hits
+        );
+        return;
+    }
+
+    let out = flag_value(&args, "--out").unwrap_or("BENCH_warmstart.json");
+    std::fs::write(out, &json).expect("write json");
+    println!("{json}");
+    println!("warmstart: wrote {out}");
+}

@@ -23,10 +23,10 @@
 
 use std::fmt::Write as _;
 
-use swa_core::{Analyzer, SystemModel, VerdictCache};
+use swa_core::{Analyzer, CheckpointStore, SystemModel, VerdictCache};
 use swa_ima::Configuration;
 use swa_ima::Topology;
-use swa_schedtool::{search_with_cache, DesignProblem, SearchOptions};
+use swa_schedtool::{search_with_stores, DesignProblem, SearchOptions};
 use swa_xmlio::{configuration_to_xml, configuration_with_topology_from_xml, trace_to_xml};
 
 /// The result of running one CLI command: the process exit code, the text
@@ -105,6 +105,9 @@ COMMANDS:
                   --cache-bytes <n>   reuse a content-addressed verdict cache
                                       across candidates (0 = off; stats are
                                       printed at the end)
+                  --checkpoint-bytes <n>  warm-start repeated candidate
+                                      simulations from checkpoints (0 = off;
+                                      stats are printed at the end)
     serve       run the analysis server (no <config.xml>; blocks until a
                 POST /shutdown arrives)
                   --addr <host:port>  bind address (default 127.0.0.1:7341;
@@ -112,6 +115,9 @@ COMMANDS:
                   --workers <n>       analysis worker threads (default: cores)
                   --queue <n>         bounded request queue depth (default 64)
                   --cache-bytes <n>   verdict-cache byte budget (default 16 MiB)
+                  --checkpoint-bytes <n>  checkpoint-store byte budget for
+                                      warm-starting longer-horizon repeats
+                                      (default 16 MiB; 0 = off)
                   --addr-file <file>  write the bound address to a file
                                       (resolves port 0 for scripts)
     request     talk to a running server (no local analysis)
@@ -457,9 +463,15 @@ fn cmd_search(config: &Configuration, options: &[String]) -> CommandOutcome {
         Ok(v) => v,
         Err(e) => return CommandOutcome::error(e),
     };
+    let checkpoint_bytes = match parse_usize(options, "--checkpoint-bytes", 0) {
+        Ok(v) => v,
+        Err(e) => return CommandOutcome::error(e),
+    };
     let cache = (cache_bytes > 0).then(|| swa_core::ShardedVerdictCache::new(cache_bytes));
+    let checkpoints = (checkpoint_bytes > 0)
+        .then(|| std::sync::Arc::new(swa_core::ShardedCheckpointStore::new(checkpoint_bytes)));
     let problem = DesignProblem::from_configuration(config);
-    let outcome = match search_with_cache(
+    let outcome = match search_with_stores(
         &problem,
         &SearchOptions {
             max_iterations,
@@ -468,6 +480,9 @@ fn cmd_search(config: &Configuration, options: &[String]) -> CommandOutcome {
             ..SearchOptions::default()
         },
         cache.as_ref().map(|c| c as &dyn VerdictCache),
+        checkpoints
+            .clone()
+            .map(|s| s as std::sync::Arc<dyn CheckpointStore>),
     ) {
         Ok(o) => o,
         Err(e) => return CommandOutcome::error(format!("search failed: {e}")),
@@ -486,6 +501,19 @@ fn cmd_search(config: &Configuration, options: &[String]) -> CommandOutcome {
             out,
             "verdict cache: {} hits / {} lookups ({:.1}% hit rate), {} insertions, {} evictions",
             s.hits,
+            s.hits + s.misses,
+            s.hit_rate() * 100.0,
+            s.insertions,
+            s.evictions
+        );
+    }
+    if let Some(store) = &checkpoints {
+        let s = store.stats();
+        let _ = writeln!(
+            out,
+            "checkpoints: {} hits ({} full) / {} lookups ({:.1}% hit rate), {} insertions, {} evictions",
+            s.hits,
+            s.full_hits,
             s.hits + s.misses,
             s.hit_rate() * 100.0,
             s.insertions,
@@ -540,6 +568,10 @@ fn cmd_serve(options: &[String]) -> CommandOutcome {
         Ok(v) => serve_options.cache_bytes = v,
         Err(e) => return CommandOutcome::error(e),
     }
+    match parse_usize(options, "--checkpoint-bytes", serve_options.checkpoint_bytes) {
+        Ok(v) => serve_options.checkpoint_bytes = v,
+        Err(e) => return CommandOutcome::error(e),
+    }
 
     let server = match swa_serve::Server::start(&serve_options) {
         Ok(s) => s,
@@ -580,6 +612,15 @@ fn cmd_serve(options: &[String]) -> CommandOutcome {
         recorder.counter_value("cache.misses"),
         recorder.counter_value("cache.insertions"),
         recorder.counter_value("cache.evictions"),
+    );
+    let _ = writeln!(
+        out,
+        "checkpoints: hits={} full_hits={} misses={} insertions={} evictions={}",
+        recorder.counter_value("checkpoint.hits"),
+        recorder.counter_value("checkpoint.full_hits"),
+        recorder.counter_value("checkpoint.misses"),
+        recorder.counter_value("checkpoint.insertions"),
+        recorder.counter_value("checkpoint.evictions"),
     );
     CommandOutcome::ok(out)
 }
@@ -918,6 +959,16 @@ mod tests {
         assert_eq!(found_xml(&plain), found_xml(&cached));
         // Without the flag, no cache line appears.
         assert!(!plain.stdout.contains("verdict cache:"));
+
+        let warm = run_on(
+            "search",
+            &config(true),
+            &opts(&["--checkpoint-bytes", "4194304"]),
+        );
+        assert_eq!(warm.exit_code, 0, "{}", warm.stdout);
+        assert!(warm.stdout.contains("checkpoints:"), "{}", warm.stdout);
+        assert_eq!(found_xml(&plain), found_xml(&warm));
+        assert!(!plain.stdout.contains("checkpoints:"));
     }
 
     #[test]

@@ -39,10 +39,12 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use swa_ima::{Configuration, Topology};
-use swa_nsa::{EvalEngine, TieBreak};
+use swa_nsa::{EvalEngine, SimOutcome, Snapshot, TieBreak};
 
 use crate::analysis::analyze_spanning;
 use crate::batch::{run_batch, BatchMode, BatchOptions, BatchOutcome};
+use crate::canon::canonical_config;
+use crate::checkpoint::{Checkpoint, CheckpointStore};
 use crate::error::PipelineError;
 use crate::instance::SystemModel;
 use crate::obs::Recorder;
@@ -63,6 +65,7 @@ pub struct Analyzer<'a> {
     engine: EvalEngine,
     recorder: Option<Arc<dyn Recorder>>,
     explain: bool,
+    checkpoints: Option<Arc<dyn CheckpointStore>>,
 }
 
 impl fmt::Debug for Analyzer<'_> {
@@ -73,6 +76,7 @@ impl fmt::Debug for Analyzer<'_> {
             .field("engine", &self.engine)
             .field("recorder", &self.recorder.is_some())
             .field("explain", &self.explain)
+            .field("checkpoints", &self.checkpoints.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -89,7 +93,24 @@ impl<'a> Analyzer<'a> {
             engine: EvalEngine::default(),
             recorder: None,
             explain: false,
+            checkpoints: None,
         }
+    }
+
+    /// Attaches a checkpoint store: the run warm-starts from the latest
+    /// stored snapshot of this configuration (simulating only the missing
+    /// suffix — or nothing at all, if a checkpoint already covers the
+    /// horizon) and checkpoints its own end state for later runs.
+    ///
+    /// Checkpoints are keyed by the configuration's canonical bytes, which
+    /// do not cover a network topology, so the store is ignored when
+    /// [`topology`](Self::topology) is set. Warm and cold runs produce
+    /// byte-identical traces and verdicts (the simulator's snapshot/resume
+    /// is exact); only the time spent simulating changes.
+    #[must_use]
+    pub fn checkpoints(mut self, store: Arc<dyn CheckpointStore>) -> Self {
+        self.checkpoints = Some(store);
+        self
     }
 
     /// Attaches an observability sink: per-phase spans, compile/step
@@ -211,13 +232,85 @@ impl<'a> Analyzer<'a> {
             .engine(self.engine);
         let wants_events = self.recorder.as_ref().is_some_and(|r| r.wants_events());
 
+        // Checkpoint warm-start: keyed by the configuration's canonical
+        // bytes, which do not cover a topology, so the store only applies
+        // to topology-free analyses.
+        let store = self
+            .checkpoints
+            .as_ref()
+            .filter(|_| self.topology.is_none());
+        let ckpt_key = store.map(|_| canonical_config(self.config));
+        let resumed = match (store, &ckpt_key) {
+            (Some(store), Some(key)) => store.lookup_latest(key, model.horizon()),
+            _ => None,
+        };
+        let full_hit = resumed
+            .as_ref()
+            .is_some_and(|cp| cp.time() >= model.horizon());
+
+        let cold_run = || {
+            if wants_events {
+                let recorder = self.recorder.clone().expect("wants_events implies recorder");
+                let network = model.network();
+                sim.run_with(move |e, _| recorder.event("sync", e.time, &e.render(network)))
+            } else {
+                sim.run()
+            }
+        };
+
         let t1 = Instant::now();
-        let run_result = if wants_events {
-            let recorder = self.recorder.clone().expect("wants_events implies recorder");
-            let network = model.network();
-            sim.run_with(move |e, _| recorder.event("sync", e.time, &e.render(network)))
+        let run_result = if let Some(cp) = &resumed {
+            // An event-streaming recorder sees the full run either way:
+            // the stored prefix is replayed to it before any live suffix.
+            if wants_events {
+                let recorder = self.recorder.as_ref().expect("wants_events implies recorder");
+                let network = model.network();
+                for e in cp.prefix.iter() {
+                    recorder.event("sync", e.time, &e.render(network));
+                }
+            }
+            if full_hit {
+                // The checkpointed run already covers the horizon: the
+                // outcome is reconstructed without simulating at all.
+                Ok(SimOutcome {
+                    trace: cp.prefix.clone(),
+                    final_state: cp.snapshot.state.clone(),
+                    steps: cp.snapshot.steps,
+                    stop: cp.stop,
+                    stats: cp.snapshot.stats,
+                })
+            } else {
+                match sim.resume(&cp.snapshot) {
+                    Ok(mut session) => {
+                        let run = if wants_events {
+                            let recorder =
+                                self.recorder.clone().expect("wants_events implies recorder");
+                            let network = model.network();
+                            session.run_until_with(model.horizon(), move |e, _| {
+                                recorder.event("sync", e.time, &e.render(network));
+                            })
+                        } else {
+                            session.run_until(model.horizon())
+                        };
+                        // System-trace extraction is not prefix-compositional
+                        // (job attribution carries state across events), so
+                        // the stored prefix is stitched back onto the live
+                        // suffix before translation.
+                        run.map(|_| {
+                            let mut outcome = session.into_outcome();
+                            let mut trace = cp.prefix.clone();
+                            trace.extend(outcome.trace);
+                            outcome.trace = trace;
+                            outcome
+                        })
+                    }
+                    // A snapshot that does not fit this model (a stale or
+                    // misused store) is unusable; run cold instead.
+                    Err(_) => cold_run(),
+                }
+            }
         } else {
-            sim.run()
+            cold_run()
         };
         let outcome = match run_result {
             Ok(outcome) => outcome,
@@ -234,6 +327,26 @@ impl<'a> Analyzer<'a> {
             }
         };
         let simulate = t1.elapsed();
+
+        // Checkpoint the end state of every successful simulation (a full
+        // hit re-inserting at the same time would only churn the LRU).
+        if let (Some(store), Some(key)) = (store, &ckpt_key) {
+            if !full_hit {
+                store.insert(
+                    key,
+                    Arc::new(Checkpoint {
+                        snapshot: Snapshot {
+                            state: outcome.final_state.clone(),
+                            steps: outcome.steps,
+                            stats: outcome.stats,
+                            trace_len: outcome.trace.len() as u64,
+                        },
+                        prefix: outcome.trace.clone(),
+                        stop: outcome.stop,
+                    }),
+                );
+            }
+        }
 
         let t2 = Instant::now();
         let trace = extract_system_trace(&model, self.config, &outcome.trace);
@@ -303,6 +416,15 @@ impl BatchAnalyzer<'_> {
     #[must_use]
     pub fn recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
         self.options.recorder = Some(recorder);
+        self
+    }
+
+    /// Checkpoint store shared by every candidate's analysis; see
+    /// [`Analyzer::checkpoints`]. Duplicate candidates across batches
+    /// resume from their stored end state instead of replaying.
+    #[must_use]
+    pub fn checkpoints(mut self, store: Arc<dyn CheckpointStore>) -> Self {
+        self.options.checkpoints = Some(store);
         self
     }
 
@@ -444,6 +566,92 @@ mod tests {
         let config = config();
         let report = Analyzer::new(&config).explain(true).run().unwrap();
         assert!(report.schedulable());
+    }
+
+    #[test]
+    fn warm_start_matches_cold_run_exactly() {
+        let config = config();
+        let cold = Analyzer::new(&config).horizon(3).run().unwrap();
+
+        let store = Arc::new(crate::ShardedCheckpointStore::new(1 << 20));
+        // Seed the store with a shorter run of the same configuration.
+        let seed = Analyzer::new(&config)
+            .checkpoints(store.clone())
+            .run()
+            .unwrap();
+        assert!(seed.schedulable());
+        assert_eq!(store.stats().insertions, 1);
+
+        // The longer run resumes the seed's checkpoint (partial hit) and
+        // must reproduce the cold analysis verbatim.
+        let warm = Analyzer::new(&config)
+            .checkpoints(store.clone())
+            .horizon(3)
+            .run()
+            .unwrap();
+        assert_eq!(store.stats().hits, 1);
+        assert_eq!(store.stats().full_hits, 0);
+        assert_eq!(warm.schedulable(), cold.schedulable());
+        assert_eq!(warm.trace, cold.trace);
+        assert_eq!(warm.metrics.steps, cold.metrics.steps);
+        assert_eq!(warm.metrics.nsa_events, cold.metrics.nsa_events);
+        assert_eq!(warm.analysis, cold.analysis);
+
+        // Repeating the same horizon is a full hit: no simulation at all,
+        // still the identical report.
+        let again = Analyzer::new(&config)
+            .checkpoints(store.clone())
+            .horizon(3)
+            .run()
+            .unwrap();
+        assert_eq!(store.stats().full_hits, 1);
+        assert_eq!(again.trace, cold.trace);
+        assert_eq!(again.analysis, cold.analysis);
+    }
+
+    #[test]
+    fn warm_start_replays_the_full_event_stream() {
+        let config = config();
+        let store = Arc::new(crate::ShardedCheckpointStore::new(1 << 20));
+        Analyzer::new(&config)
+            .checkpoints(store.clone())
+            .run()
+            .unwrap();
+
+        let buf = Shared::default();
+        let sink = Arc::new(JsonlSink::to_writer(Box::new(buf.clone())));
+        let warm = Analyzer::new(&config)
+            .checkpoints(store)
+            .horizon(2)
+            .recorder(sink.clone())
+            .run()
+            .unwrap();
+        sink.flush().unwrap();
+
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let events = text
+            .lines()
+            .filter(|l| l.contains("\"kind\": \"sync\""))
+            .count();
+        assert_eq!(
+            events, warm.metrics.nsa_events,
+            "replayed prefix + live suffix cover the whole run"
+        );
+    }
+
+    #[test]
+    fn checkpoints_are_ignored_under_a_topology() {
+        use swa_ima::Topology;
+        let config = config();
+        let store = Arc::new(crate::ShardedCheckpointStore::new(1 << 20));
+        let topology = Topology::default();
+        Analyzer::new(&config)
+            .topology(&topology)
+            .checkpoints(store.clone())
+            .run()
+            .unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.hits + stats.misses + stats.insertions, 0);
     }
 
     #[test]

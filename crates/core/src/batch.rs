@@ -31,6 +31,7 @@ use swa_ima::Configuration;
 use swa_nsa::{EvalEngine, TieBreak};
 
 use crate::analyzer::Analyzer;
+use crate::checkpoint::CheckpointStore;
 use crate::error::PipelineError;
 use crate::obs::Recorder;
 use crate::pipeline::AnalysisReport;
@@ -60,6 +61,11 @@ pub struct BatchOptions {
     /// Observability sink the final [`BatchMetrics`] are emitted into when
     /// the run completes; `None` records nothing.
     pub recorder: Option<Arc<dyn Recorder>>,
+    /// Checkpoint store every candidate's analysis warm-starts from (and
+    /// checkpoints into); `None` runs every candidate cold. Candidates
+    /// that recur across batches — a search loop revisiting a rung, a
+    /// repair loop perturbing one partition — resume instead of replaying.
+    pub checkpoints: Option<Arc<dyn CheckpointStore>>,
 }
 
 impl fmt::Debug for BatchOptions {
@@ -70,6 +76,7 @@ impl fmt::Debug for BatchOptions {
             .field("tie_break", &self.tie_break)
             .field("engine", &self.engine)
             .field("recorder", &self.recorder.is_some())
+            .field("checkpoints", &self.checkpoints.is_some())
             .finish()
     }
 }
@@ -170,10 +177,13 @@ pub fn run_batch(
                         break;
                     }
                     let t = Instant::now();
-                    let run = Analyzer::new(&configs[i])
+                    let mut analyzer = Analyzer::new(&configs[i])
                         .tie_break(options.tie_break.clone())
-                        .engine(options.engine)
-                        .run();
+                        .engine(options.engine);
+                    if let Some(store) = &options.checkpoints {
+                        analyzer = analyzer.checkpoints(store.clone());
+                    }
+                    let run = analyzer.run();
                     stats.busy += t.elapsed();
                     stats.checks += 1;
                     match run {
@@ -443,6 +453,45 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.winner, Some(1));
+    }
+
+    #[test]
+    fn shared_checkpoint_store_serves_duplicate_candidates() {
+        use crate::checkpoint::{CheckpointStore as _, ShardedCheckpointStore};
+        use std::sync::Arc;
+
+        // Four copies of the same candidate: after the first insertion,
+        // every later evaluation is a full hit at the same horizon.
+        let configs = vec![candidate(10); 4];
+        let store = Arc::new(ShardedCheckpointStore::new(1 << 22));
+        let cold = run_batch(
+            &configs,
+            &BatchOptions {
+                parallelism: 1,
+                mode: BatchMode::Exhaustive,
+                ..BatchOptions::default()
+            },
+        )
+        .unwrap();
+        let warm = run_batch(
+            &configs,
+            &BatchOptions {
+                parallelism: 1,
+                mode: BatchMode::Exhaustive,
+                checkpoints: Some(store.clone()),
+                ..BatchOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(warm.winner, cold.winner);
+        for (w, c) in warm.results.iter().zip(&cold.results) {
+            let (w, c) = (w.as_ref().unwrap(), c.as_ref().unwrap());
+            assert_eq!(w.report.trace, c.report.trace);
+            assert_eq!(w.report.schedulable(), c.report.schedulable());
+        }
+        let stats = store.stats();
+        assert_eq!(stats.insertions, 1);
+        assert_eq!(stats.full_hits, 3);
     }
 
     #[test]

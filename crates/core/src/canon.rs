@@ -64,6 +64,18 @@ pub struct CanonicalRequest {
     pub bytes: Vec<u8>,
 }
 
+/// A canonicalized *configuration* (no analysis horizon): the content hash
+/// plus the canonical bytes it was computed from. This is the keying unit
+/// of the checkpoint store ([`crate::checkpoint`]), where one configuration
+/// owns checkpoints at several simulated-time horizons.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalConfig {
+    /// The content hash of [`bytes`](Self::bytes).
+    pub key: CacheKey,
+    /// The canonical encoding of the configuration.
+    pub bytes: Vec<u8>,
+}
+
 /// Canonicalizes one analysis request: a configuration plus the analysis
 /// horizon in hyperperiods (the only [`Analyzer`](crate::Analyzer) knob
 /// that can change the verdict).
@@ -72,6 +84,17 @@ pub fn canonicalize(config: &Configuration, hyperperiods: u32) -> CanonicalReque
     let bytes = canonical_bytes(config, hyperperiods);
     let key = hash_bytes(&bytes);
     CanonicalRequest { key, bytes }
+}
+
+/// Canonicalizes a configuration alone, with no horizon. Two requests over
+/// the same configuration at different horizons share this key — that is
+/// what lets a warm start reuse a shorter run's checkpoint for a longer
+/// analysis of the same configuration.
+#[must_use]
+pub fn canonical_config(config: &Configuration) -> CanonicalConfig {
+    let bytes = canonical_config_bytes(config);
+    let key = hash_bytes(&bytes);
+    CanonicalConfig { key, bytes }
 }
 
 /// The canonical byte encoding of a request. Every field is written in a
@@ -84,7 +107,23 @@ pub fn canonical_bytes(config: &Configuration, hyperperiods: u32) -> Vec<u8> {
     // Normalized default: the horizon is clamped exactly as the Analyzer
     // clamps it, so `0` and `1` are the same request.
     w.u32(hyperperiods.max(1));
+    write_config_body(&mut w, config);
+    w.out
+}
 
+/// The canonical byte encoding of a configuration alone (version tag plus
+/// the shared body, no horizon field).
+#[must_use]
+pub fn canonical_config_bytes(config: &Configuration) -> Vec<u8> {
+    let mut w = Writer::default();
+    w.u8(CANON_VERSION);
+    write_config_body(&mut w, config);
+    w.out
+}
+
+/// The shared configuration body encoder used by both request and
+/// configuration canonicalization.
+fn write_config_body(w: &mut Writer, config: &Configuration) {
     w.len(config.core_types.len());
     for ct in &config.core_types {
         w.str(&ct.name);
@@ -155,8 +194,6 @@ pub fn canonical_bytes(config: &Configuration, hyperperiods: u32) -> Vec<u8> {
         w.i64(m.mem_delay);
         w.i64(m.net_delay);
     }
-
-    w.out
 }
 
 /// Hashes a canonical byte string into a 128-bit key.
@@ -309,6 +346,22 @@ mod tests {
         b.partitions[0].tasks[1].wcet = vec![10, 10];
         assert_ne!(canonicalize(&a, 1).bytes, canonicalize(&b, 1).bytes);
         assert_ne!(canonicalize(&a, 1).key, canonicalize(&b, 1).key);
+    }
+
+    #[test]
+    fn config_key_ignores_the_horizon_but_not_the_configuration() {
+        let a = canonical_config(&config());
+        let b = canonical_config(&config());
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.bytes, b.bytes);
+        // Requests at different horizons differ; the config key does not
+        // encode a horizon at all, and request bytes never alias config
+        // bytes (the request carries an extra u32 after the version tag).
+        assert_ne!(a.bytes, canonicalize(&config(), 1).bytes);
+
+        let mut changed = config();
+        changed.partitions[0].tasks[0].wcet[0] = 11;
+        assert_ne!(a.key, canonical_config(&changed).key);
     }
 
     #[test]

@@ -1,0 +1,584 @@
+//! The checkpoint store: warm-starting repeated simulations of one
+//! configuration.
+//!
+//! The verdict cache ([`crate::cache`]) answers *exact* duplicates in
+//! O(1). This store serves the next-cheapest case: the same configuration
+//! simulated **again to a further horizon** — the search tool validating a
+//! winner over a longer span, a service client extending an earlier
+//! analysis, the repair loop revisiting a candidate. Instead of replaying
+//! from t = 0, the analyzer resumes a [`Snapshot`] taken at the end of the
+//! earlier run and simulates only the missing suffix (the reuse-of-shared-
+//! prefixes idea of compositional re-analysis, applied to the paper's
+//! single-run setting).
+//!
+//! A checkpoint is keyed by the **configuration's canonical bytes**
+//! ([`crate::canon::canonical_config`]) — deliberately *not* by the request
+//! (configuration + horizon) key, so one configuration owns a ladder of
+//! checkpoints at increasing simulated times and
+//! [`CheckpointStore::lookup_latest`] picks the latest one not past the
+//! requested horizon. Keying by exact canonical bytes is sound because the
+//! system model is rebuilt per analysis anyway and a snapshot is only ever
+//! resumed into a model of the *same* configuration; sharing prefixes
+//! across *near*-identical configurations would require proving trajectory
+//! equality under perturbation and is intentionally out of scope.
+//!
+//! Budgeting, sharding, collision handling and observability mirror the
+//! verdict cache: byte-budget LRU per shard, full canonical-byte
+//! comparison on every hit (a 128-bit collision costs a miss, never a
+//! wrong resume), and `checkpoint.*` counters through an attached
+//! [`Recorder`].
+//!
+//! Invalidation: a checkpoint is valid for exactly the configuration whose
+//! canonical bytes it was stored under — any configuration edit changes
+//! the key and naturally orphans the old entries until the LRU reclaims
+//! them. Snapshots additionally self-describe their network shape, and
+//! resuming validates it, so even a store misuse cannot resume a snapshot
+//! into a mismatched model.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use swa_nsa::{NsaTrace, Snapshot, StopReason, SyncEvent};
+
+use crate::cache::DEFAULT_SHARDS;
+use crate::canon::{CacheKey, CanonicalConfig};
+use crate::obs::Recorder;
+
+/// One stored simulation prefix: the snapshot to resume from plus the NSA
+/// events that led to it.
+///
+/// The full event prefix is stored (not just the state) because the system
+/// trace extraction ([`crate::sysevents`]) is not prefix-compositional:
+/// job attribution carries state across events, so the analyzer always
+/// extracts from `prefix ++ suffix`, never from a suffix alone.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// The resumable simulator snapshot (taken at the run's stop time).
+    pub snapshot: Snapshot,
+    /// Every NSA event from t = 0 up to the snapshot instant.
+    pub prefix: NsaTrace,
+    /// Why the checkpointed run stopped.
+    pub stop: StopReason,
+}
+
+impl Checkpoint {
+    /// The simulated time the checkpoint was taken at.
+    #[must_use]
+    pub fn time(&self) -> i64 {
+        self.snapshot.time()
+    }
+
+    /// Approximate heap footprint, for the store's byte budget. Trace
+    /// events are costed at a fixed estimate per event (transitions are
+    /// small enums; broadcast receiver lists are rare and short in the
+    /// paper's models).
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        self.snapshot.approx_bytes() + self.prefix.len() * (std::mem::size_of::<SyncEvent>() + 16)
+    }
+}
+
+/// Counter snapshot of a checkpoint store's activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Lookups answered with a checkpoint (full or partial).
+    pub hits: u64,
+    /// Hits whose checkpoint already covers the requested horizon (no
+    /// simulation needed at all).
+    pub full_hits: u64,
+    /// Lookups that found nothing usable.
+    pub misses: u64,
+    /// Checkpoints inserted.
+    pub insertions: u64,
+    /// Checkpoints evicted to honor the byte budget.
+    pub evictions: u64,
+    /// Checkpoints currently resident.
+    pub entries: usize,
+    /// Bytes currently charged against the budget.
+    pub bytes: usize,
+}
+
+impl CheckpointStats {
+    /// Hit rate over all lookups (0.0 when nothing was looked up).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A checkpoint store: the abstraction the analyzer, the search loop and
+/// the server inject. Implementations must be thread-safe.
+pub trait CheckpointStore: Send + Sync {
+    /// Returns the latest checkpoint of `config` taken at or before
+    /// `max_time`, if any.
+    fn lookup_latest(&self, config: &CanonicalConfig, max_time: i64) -> Option<Arc<Checkpoint>>;
+
+    /// Stores a checkpoint of `config` (replacing any previous checkpoint
+    /// at the same simulated time).
+    fn insert(&self, config: &CanonicalConfig, checkpoint: Arc<Checkpoint>);
+
+    /// A snapshot of the store's activity counters.
+    fn stats(&self) -> CheckpointStats;
+}
+
+/// One resident checkpoint entry.
+struct Entry {
+    checkpoint: Arc<Checkpoint>,
+    /// The LRU tick of the entry's last touch (its key in `Shard::lru`).
+    tick: u64,
+    /// Bytes charged against the shard budget.
+    cost: usize,
+}
+
+/// All checkpoints of one configuration, ordered by simulated time.
+struct Slot {
+    /// Full canonical bytes, compared on lookup so collisions are inert.
+    canon: Box<[u8]>,
+    by_time: BTreeMap<i64, Entry>,
+}
+
+/// One shard: configuration slots plus a per-entry LRU, behind one lock.
+#[derive(Default)]
+struct Shard {
+    map: HashMap<CacheKey, Slot>,
+    /// tick → (config key, checkpoint time), ordered oldest-first.
+    lru: BTreeMap<u64, (CacheKey, i64)>,
+    next_tick: u64,
+    bytes: usize,
+}
+
+impl Shard {
+    fn touch(&mut self, key: CacheKey, time: i64) -> u64 {
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        self.lru.insert(tick, (key, time));
+        tick
+    }
+
+    /// Removes a whole slot, uncharging every entry and the canon bytes;
+    /// returns how many checkpoints were dropped.
+    fn remove_slot(&mut self, key: CacheKey) -> u64 {
+        let Some(slot) = self.map.remove(&key) else {
+            return 0;
+        };
+        self.bytes -= slot.canon.len();
+        let mut dropped = 0;
+        for entry in slot.by_time.values() {
+            self.lru.remove(&entry.tick);
+            self.bytes -= entry.cost;
+            dropped += 1;
+        }
+        dropped
+    }
+
+    /// Evicts oldest entries until the shard fits its budget; returns how
+    /// many checkpoints were evicted.
+    fn evict_to(&mut self, budget: usize) -> u64 {
+        let mut evicted = 0;
+        while self.bytes > budget {
+            let Some((&tick, &(key, time))) = self.lru.iter().next() else {
+                break;
+            };
+            self.lru.remove(&tick);
+            if let Some(slot) = self.map.get_mut(&key) {
+                if let Some(entry) = slot.by_time.remove(&time) {
+                    self.bytes -= entry.cost;
+                    evicted += 1;
+                }
+                if slot.by_time.is_empty() {
+                    self.bytes -= slot.canon.len();
+                    self.map.remove(&key);
+                }
+            }
+        }
+        evicted
+    }
+}
+
+/// Fixed bookkeeping cost per checkpoint (map/LRU nodes, key, ticks), on
+/// top of the snapshot and prefix footprint.
+const ENTRY_OVERHEAD: usize = 128;
+
+/// A sharded, byte-budgeted, LRU [`CheckpointStore`].
+pub struct ShardedCheckpointStore {
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard byte budget (total budget / shard count).
+    shard_budget: usize,
+    recorder: Option<Arc<dyn Recorder>>,
+    hits: AtomicU64,
+    full_hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for ShardedCheckpointStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCheckpointStore")
+            .field("shards", &self.shards.len())
+            .field("shard_budget", &self.shard_budget)
+            .field("recorder", &self.recorder.is_some())
+            .finish()
+    }
+}
+
+impl ShardedCheckpointStore {
+    /// A store with the given total byte budget and
+    /// [`DEFAULT_SHARDS`] shards.
+    #[must_use]
+    pub fn new(budget_bytes: usize) -> Self {
+        Self::with_shards(budget_bytes, DEFAULT_SHARDS)
+    }
+
+    /// A store with an explicit shard count (≥ 1; 0 is clamped to 1). The
+    /// byte budget is split evenly across shards.
+    #[must_use]
+    pub fn with_shards(budget_bytes: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_budget: budget_bytes / shards,
+            recorder: None,
+            hits: AtomicU64::new(0),
+            full_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Attaches an observability sink: store activity is also emitted as
+    /// `checkpoint.*` counters.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    fn shard_of(&self, key: CacheKey) -> &Mutex<Shard> {
+        &self.shards[(key.lo as usize) % self.shards.len()]
+    }
+
+    fn count(&self, which: &AtomicU64, name: &str, delta: u64) {
+        which.fetch_add(delta, Ordering::Relaxed);
+        if delta > 0 {
+            if let Some(r) = &self.recorder {
+                r.counter(name, delta);
+            }
+        }
+    }
+}
+
+impl CheckpointStore for ShardedCheckpointStore {
+    fn lookup_latest(&self, config: &CanonicalConfig, max_time: i64) -> Option<Arc<Checkpoint>> {
+        let mut shard = self.shard_of(config.key).lock().expect("unpoisoned");
+        let found = match shard.map.get(&config.key) {
+            // A key match alone is not a hit: the canonical bytes must
+            // agree, so a hash collision can never resume a wrong prefix.
+            Some(slot) if *slot.canon == *config.bytes => slot
+                .by_time
+                .range(..=max_time)
+                .next_back()
+                .map(|(&time, entry)| (time, entry.checkpoint.clone())),
+            _ => None,
+        };
+        match found {
+            Some((time, checkpoint)) => {
+                let old_tick = shard.map[&config.key].by_time[&time].tick;
+                shard.lru.remove(&old_tick);
+                let tick = shard.touch(config.key, time);
+                shard
+                    .map
+                    .get_mut(&config.key)
+                    .expect("slot present")
+                    .by_time
+                    .get_mut(&time)
+                    .expect("entry present")
+                    .tick = tick;
+                drop(shard);
+                self.count(&self.hits, "checkpoint.hits", 1);
+                if time >= max_time {
+                    self.count(&self.full_hits, "checkpoint.full_hits", 1);
+                }
+                Some(checkpoint)
+            }
+            None => {
+                drop(shard);
+                self.count(&self.misses, "checkpoint.misses", 1);
+                None
+            }
+        }
+    }
+
+    fn insert(&self, config: &CanonicalConfig, checkpoint: Arc<Checkpoint>) {
+        let cost = checkpoint.approx_bytes() + ENTRY_OVERHEAD;
+        if cost + config.bytes.len() > self.shard_budget {
+            // A checkpoint larger than a whole shard could only thrash;
+            // treat it as immediately evicted.
+            self.count(&self.evictions, "checkpoint.evictions", 1);
+            return;
+        }
+        let time = checkpoint.time();
+        let mut shard = self.shard_of(config.key).lock().expect("unpoisoned");
+        // A hash collision (same key, different canonical bytes) evicts
+        // the old configuration's slot entirely: its checkpoints can never
+        // be returned for the new bytes anyway.
+        let collided =
+            matches!(shard.map.get(&config.key), Some(slot) if *slot.canon != *config.bytes);
+        let mut evicted = 0;
+        if collided {
+            evicted += shard.remove_slot(config.key);
+        }
+        if !shard.map.contains_key(&config.key) {
+            shard.bytes += config.bytes.len();
+            shard.map.insert(
+                config.key,
+                Slot {
+                    canon: config.bytes.clone().into_boxed_slice(),
+                    by_time: BTreeMap::new(),
+                },
+            );
+        }
+        // Replace any previous checkpoint at the same simulated time.
+        if let Some(old) = shard
+            .map
+            .get_mut(&config.key)
+            .expect("slot present")
+            .by_time
+            .remove(&time)
+        {
+            shard.lru.remove(&old.tick);
+            shard.bytes -= old.cost;
+        }
+        let tick = shard.touch(config.key, time);
+        shard
+            .map
+            .get_mut(&config.key)
+            .expect("slot present")
+            .by_time
+            .insert(
+                time,
+                Entry {
+                    checkpoint,
+                    tick,
+                    cost,
+                },
+            );
+        shard.bytes += cost;
+        let budget = self.shard_budget;
+        evicted += shard.evict_to(budget);
+        drop(shard);
+        self.count(&self.insertions, "checkpoint.insertions", 1);
+        self.count(&self.evictions, "checkpoint.evictions", evicted);
+    }
+
+    fn stats(&self) -> CheckpointStats {
+        let mut entries = 0;
+        let mut bytes = 0;
+        for shard in &self.shards {
+            let s = shard.lock().expect("unpoisoned");
+            entries += s.map.values().map(|slot| slot.by_time.len()).sum::<usize>();
+            bytes += s.bytes;
+        }
+        CheckpointStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            full_hits: self.full_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+            bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canon::canonical_config;
+    use crate::obs::MetricsRecorder;
+    use swa_ima::{
+        Configuration, CoreRef, CoreType, CoreTypeId, Module, ModuleId, Partition, SchedulerKind,
+        Task, Window,
+    };
+    use swa_nsa::state::ClockVal;
+    use swa_nsa::{SimStats, State};
+
+    fn config(wcet: i64) -> Configuration {
+        Configuration {
+            core_types: vec![CoreType::new("ct")],
+            modules: vec![Module::homogeneous("M", 1, CoreTypeId::from_raw(0))],
+            partitions: vec![Partition::new(
+                "P",
+                SchedulerKind::Fpps,
+                vec![Task::new("t", 1, vec![wcet], 50)],
+            )],
+            binding: vec![CoreRef::new(ModuleId::from_raw(0), 0)],
+            windows: vec![vec![Window::new(0, 50)]],
+            messages: vec![],
+        }
+    }
+
+    fn checkpoint(time: i64) -> Arc<Checkpoint> {
+        Arc::new(Checkpoint {
+            snapshot: Snapshot {
+                state: State {
+                    locations: vec![],
+                    clocks: vec![ClockVal {
+                        value: time,
+                        running: true,
+                    }],
+                    vars: vec![time],
+                    time,
+                },
+                steps: u64::try_from(time).unwrap_or(0),
+                stats: SimStats::default(),
+                trace_len: 0,
+            },
+            prefix: NsaTrace::new(),
+            stop: StopReason::HorizonReached,
+        })
+    }
+
+    #[test]
+    fn lookup_latest_picks_the_newest_usable_time() {
+        let recorder = Arc::new(MetricsRecorder::new());
+        let store = ShardedCheckpointStore::new(1 << 20).with_recorder(recorder.clone());
+        let key = canonical_config(&config(10));
+
+        assert!(store.lookup_latest(&key, 1000).is_none());
+        store.insert(&key, checkpoint(100));
+        store.insert(&key, checkpoint(200));
+        store.insert(&key, checkpoint(300));
+
+        assert_eq!(store.lookup_latest(&key, 1000).unwrap().time(), 300);
+        assert_eq!(store.lookup_latest(&key, 250).unwrap().time(), 200);
+        assert_eq!(store.lookup_latest(&key, 200).unwrap().time(), 200);
+        assert!(store.lookup_latest(&key, 99).is_none());
+
+        let stats = store.stats();
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.full_hits, 1, "only the max_time == 200 lookup is full");
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.insertions, 3);
+        assert_eq!(stats.entries, 3);
+        assert_eq!(recorder.counter_value("checkpoint.hits"), 3);
+        assert_eq!(recorder.counter_value("checkpoint.full_hits"), 1);
+        assert_eq!(recorder.counter_value("checkpoint.misses"), 2);
+        assert_eq!(recorder.counter_value("checkpoint.insertions"), 3);
+    }
+
+    #[test]
+    fn distinct_configurations_do_not_alias() {
+        let store = ShardedCheckpointStore::new(1 << 20);
+        let a = canonical_config(&config(10));
+        let b = canonical_config(&config(40));
+        store.insert(&a, checkpoint(100));
+        assert!(store.lookup_latest(&b, 1000).is_none());
+    }
+
+    #[test]
+    fn hash_collision_is_a_miss_not_a_wrong_resume() {
+        let store = ShardedCheckpointStore::new(1 << 20);
+        let real = canonical_config(&config(10));
+        let forged = CanonicalConfig {
+            key: real.key,
+            bytes: canonical_config(&config(40)).bytes,
+        };
+        store.insert(&real, checkpoint(100));
+        assert!(store.lookup_latest(&forged, 1000).is_none());
+        // Inserting under the forged bytes replaces the slot wholesale.
+        store.insert(&forged, checkpoint(77));
+        assert_eq!(store.lookup_latest(&forged, 1000).unwrap().time(), 77);
+        assert!(store.lookup_latest(&real, 1000).is_none());
+        assert!(store.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn same_time_insert_replaces() {
+        let store = ShardedCheckpointStore::new(1 << 20);
+        let key = canonical_config(&config(10));
+        store.insert(&key, checkpoint(100));
+        store.insert(&key, checkpoint(100));
+        assert_eq!(store.stats().entries, 1);
+    }
+
+    #[test]
+    fn byte_budget_evicts_least_recently_used() {
+        let key = canonical_config(&config(10));
+        let entry_cost = checkpoint(0).approx_bytes() + ENTRY_OVERHEAD;
+        // Room for the slot's canon bytes plus two entries and change.
+        let store = ShardedCheckpointStore::with_shards(
+            key.bytes.len() + entry_cost * 2 + entry_cost / 2,
+            1,
+        );
+        store.insert(&key, checkpoint(100));
+        store.insert(&key, checkpoint(200));
+        // Touch the earlier checkpoint so time-200 becomes the LRU victim.
+        assert_eq!(store.lookup_latest(&key, 150).unwrap().time(), 100);
+        store.insert(&key, checkpoint(300));
+
+        assert_eq!(store.stats().evictions, 1);
+        assert_eq!(store.lookup_latest(&key, 250).unwrap().time(), 100);
+        assert_eq!(store.lookup_latest(&key, 1000).unwrap().time(), 300);
+    }
+
+    #[test]
+    fn oversized_checkpoints_are_rejected_as_evictions() {
+        let store = ShardedCheckpointStore::with_shards(64, 1);
+        let key = canonical_config(&config(10));
+        store.insert(&key, checkpoint(100));
+        assert!(store.lookup_latest(&key, 1000).is_none());
+        assert_eq!(store.stats().evictions, 1);
+        assert_eq!(store.stats().entries, 0);
+        assert_eq!(store.stats().bytes, 0);
+    }
+
+    #[test]
+    fn evicting_a_whole_slot_releases_its_canon_bytes() {
+        let key_a = canonical_config(&config(10));
+        let key_b = canonical_config(&config(40));
+        let entry_cost = checkpoint(0).approx_bytes() + ENTRY_OVERHEAD;
+        let budget = key_a.bytes.len() + entry_cost + entry_cost / 2;
+        let store = ShardedCheckpointStore::with_shards(budget, 1);
+        store.insert(&key_a, checkpoint(100));
+        store.insert(&key_b, checkpoint(100));
+        // Only one slot fits: the first was evicted along with its canon.
+        assert!(store.lookup_latest(&key_a, 1000).is_none());
+        assert_eq!(store.lookup_latest(&key_b, 1000).unwrap().time(), 100);
+        assert!(store.stats().bytes <= budget);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe_and_consistent() {
+        let store = Arc::new(ShardedCheckpointStore::new(1 << 20));
+        let keys: Vec<_> = (0..8).map(|i| canonical_config(&config(10 + i))).collect();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let store = store.clone();
+                let keys = &keys;
+                s.spawn(move || {
+                    for round in 0..100 {
+                        for (i, key) in keys.iter().enumerate() {
+                            if (i + t) % 2 == 0 {
+                                store.insert(key, checkpoint(round));
+                            } else {
+                                let _ = store.lookup_latest(key, i64::MAX);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let stats = store.stats();
+        assert_eq!(stats.hits + stats.misses, 4 * 100 * 4);
+        assert!(stats.entries > 0);
+    }
+}

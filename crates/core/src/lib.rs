@@ -58,6 +58,7 @@ pub mod analyzer;
 pub mod batch;
 pub mod cache;
 pub mod canon;
+pub mod checkpoint;
 pub mod chains;
 pub mod error;
 pub mod gantt;
@@ -73,7 +74,8 @@ pub use batch::{
     run_batch, BatchMetrics, BatchMode, BatchOptions, BatchOutcome, CandidateResult, WorkerStats,
 };
 pub use cache::{CacheStats, CachedVerdict, ShardedVerdictCache, VerdictCache};
-pub use canon::{canonicalize, CacheKey, CanonicalRequest};
+pub use canon::{canonical_config, canonicalize, CacheKey, CanonicalConfig, CanonicalRequest};
+pub use checkpoint::{Checkpoint, CheckpointStats, CheckpointStore, ShardedCheckpointStore};
 pub use chains::{chain_latency, ChainError, ChainInstance, ChainLatency};
 pub use error::{ModelError, PipelineError};
 pub use gantt::render_gantt;

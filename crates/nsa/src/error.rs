@@ -275,6 +275,76 @@ impl From<EvalError> for SimError {
     }
 }
 
+/// Errors raised while decoding or restoring a simulator [`crate::snapshot::Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SnapshotError {
+    /// The serialized snapshot carries an unsupported format version.
+    UnsupportedVersion {
+        /// Version found in the byte stream.
+        found: u8,
+        /// Version this build reads and writes.
+        supported: u8,
+    },
+    /// The byte stream ended before the snapshot was fully decoded.
+    Truncated,
+    /// The byte stream decoded cleanly but left unconsumed bytes.
+    TrailingBytes {
+        /// Number of bytes left over.
+        extra: usize,
+    },
+    /// A snapshot vector does not match the target network's declarations
+    /// (the snapshot was taken of a different network shape).
+    NetworkMismatch {
+        /// Which vector mismatched: `"locations"`, `"clocks"` or
+        /// `"variables"`.
+        field: &'static str,
+        /// Length the network declares.
+        expected: usize,
+        /// Length the snapshot carries.
+        found: usize,
+    },
+    /// A snapshotted location id is out of range for its automaton.
+    LocationOutOfRange {
+        /// The automaton whose location is invalid.
+        automaton: AutomatonId,
+        /// The out-of-range location.
+        location: LocationId,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnsupportedVersion { found, supported } => write!(
+                f,
+                "snapshot format version {found} is not supported (this build reads version {supported})"
+            ),
+            Self::Truncated => write!(f, "snapshot byte stream is truncated"),
+            Self::TrailingBytes { extra } => {
+                write!(f, "snapshot byte stream has {extra} trailing bytes")
+            }
+            Self::NetworkMismatch {
+                field,
+                expected,
+                found,
+            } => write!(
+                f,
+                "snapshot carries {found} {field} but the network declares {expected}"
+            ),
+            Self::LocationOutOfRange {
+                automaton,
+                location,
+            } => write!(
+                f,
+                "snapshot location {location} is out of range for automaton {automaton}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,6 +355,11 @@ mod tests {
             Box::new(BuildError::UnknownClock(ClockId::from_raw(1))),
             Box::new(EvalError::DivisionByZero),
             Box::new(SimError::ZenoViolation { time: 5, limit: 10 }),
+            Box::new(SnapshotError::Truncated),
+            Box::new(SnapshotError::UnsupportedVersion {
+                found: 9,
+                supported: 1,
+            }),
         ];
         for e in errors {
             let msg = e.to_string();
@@ -309,5 +384,6 @@ mod tests {
         assert_send_sync::<BuildError>();
         assert_send_sync::<EvalError>();
         assert_send_sync::<SimError>();
+        assert_send_sync::<SnapshotError>();
     }
 }

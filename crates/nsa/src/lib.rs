@@ -75,6 +75,7 @@ pub mod ids;
 pub mod network;
 pub mod semantics;
 pub mod sim;
+pub mod snapshot;
 pub mod state;
 pub mod trace;
 pub mod update;
@@ -83,12 +84,13 @@ pub mod uppaal;
 pub use automaton::{Automaton, AutomatonBuilder, Edge, Location, Sync};
 pub use bytecode::{CompileStats, CompiledNetwork, EvalEngine};
 pub use diagnose::{BlockReason, Diagnosis, DiagnosisKind, ExplainedError};
-pub use error::{BuildError, EvalError, SimError};
+pub use error::{BuildError, EvalError, SimError, SnapshotError};
 pub use expr::{CmpOp, IntExpr, Pred};
 pub use guard::{ClockAtom, Guard, Invariant};
 pub use ids::{ArrayId, AutomatonId, ChannelId, ClockId, EdgeId, LocationId, ParamId, VarId};
 pub use network::{ChannelKind, Network, NetworkBuilder};
-pub use sim::{SimOutcome, SimStats, Simulator, StopReason, TieBreak};
+pub use sim::{SimOutcome, SimSession, SimStats, Simulator, StopReason, TieBreak};
+pub use snapshot::{Snapshot, SNAPSHOT_VERSION};
 pub use state::State;
 pub use trace::{NsaTrace, SyncEvent};
 pub use update::{LValue, Update};

@@ -15,12 +15,13 @@
 
 use crate::bytecode::EvalEngine;
 use crate::diagnose::{Diagnosis, ExplainedError};
-use crate::error::SimError;
+use crate::error::{SimError, SnapshotError};
 use crate::ids::AutomatonId;
 use crate::network::Network;
 use crate::semantics::{
     any_committed, apply_with, delay_bounds_with, enabled_transitions_with, Transition,
 };
+use crate::snapshot::Snapshot;
 use crate::state::State;
 use crate::trace::{NsaTrace, SyncEvent};
 
@@ -270,6 +271,53 @@ impl<'n> Simulator<'n> {
         self.run_explained_from(State::initial(self.network))
     }
 
+    /// Opens an incremental session starting from the network's initial
+    /// state.
+    ///
+    /// A session runs in segments ([`SimSession::run_until`]) and can be
+    /// snapshotted and restored between segments; segmented runs produce
+    /// exactly the trace, final state and step count of one uninterrupted
+    /// run, because the horizon is exclusive — events at time `k` always
+    /// belong to the segment that *starts* at `k`, never to the one that
+    /// ends there.
+    #[must_use]
+    pub fn session(&self) -> SimSession<'n> {
+        SimSession {
+            sim: self.clone(),
+            state: State::initial(self.network),
+            trace: NsaTrace::new(),
+            steps: 0,
+            stats: SimStats::default(),
+            stop: None,
+        }
+    }
+
+    /// Opens a session resuming from `snapshot` (taken earlier by
+    /// [`SimSession::snapshot`], possibly in another process via
+    /// [`Snapshot::to_bytes`]).
+    ///
+    /// The session's trace starts empty: it will hold only the events
+    /// *after* the snapshot point. Callers that need the full trace keep
+    /// the prefix alongside the snapshot (as the checkpoint store in
+    /// `swa-core` does). The step counter and interpreter stats continue
+    /// from the snapshot's values.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] when the snapshot does not fit this
+    /// network's declarations.
+    pub fn resume(&self, snapshot: &Snapshot) -> Result<SimSession<'n>, SnapshotError> {
+        snapshot.validate(self.network)?;
+        Ok(SimSession {
+            sim: self.clone(),
+            state: snapshot.state.clone(),
+            trace: NsaTrace::new(),
+            steps: snapshot.steps,
+            stats: snapshot.stats,
+            stop: None,
+        })
+    }
+
     /// As [`run_explained`](Self::run_explained), from an explicit state.
     ///
     /// # Errors
@@ -480,6 +528,186 @@ impl<'n> Simulator<'n> {
                 };
                 return Ok((steps, SimStats::default(), stop));
             }
+        }
+    }
+}
+
+/// An incremental simulation run: the caller owns the state and trace and
+/// advances the run in segments, snapshotting and restoring between them.
+///
+/// Invariants that make segmented runs equivalent to uninterrupted ones:
+///
+/// * the horizon is exclusive, so no time instant's events are ever split
+///   across two segments (events at time `k` fire in the segment that
+///   starts at `k`);
+/// * the accelerated loop's event wheel is rebuilt from the [`State`] at
+///   the start of every segment, so no wheel state needs to survive a
+///   snapshot;
+/// * the per-instant Zeno counter is zero at every segment boundary
+///   (advancing time resets it, and a segment boundary always follows a
+///   time advance or precedes the first instant).
+///
+/// # Examples
+///
+/// ```
+/// use swa_nsa::automaton::{AutomatonBuilder, Edge};
+/// use swa_nsa::expr::CmpOp;
+/// use swa_nsa::guard::{ClockAtom, Guard, Invariant};
+/// use swa_nsa::network::NetworkBuilder;
+/// use swa_nsa::sim::Simulator;
+/// use swa_nsa::update::Update;
+///
+/// let mut nb = NetworkBuilder::new();
+/// let c = nb.clock("c");
+/// let mut a = AutomatonBuilder::new("ticker");
+/// let l0 = a.location_with_invariant("wait", Invariant::upper_bound(c, 10));
+/// a.edge(
+///     Edge::new(l0, l0)
+///         .with_guard(Guard::always().and_clock(ClockAtom::new(c, CmpOp::Ge, 10)))
+///         .with_update(Update::ResetClock(c)),
+/// );
+/// nb.automaton(a.finish(l0));
+/// let network = nb.build()?;
+///
+/// let sim = Simulator::new(&network);
+/// let mut session = sim.session();
+/// session.run_until(45)?;             // ticks at 10, 20, 30, 40
+/// let snapshot = session.snapshot();
+/// session.run_until(95)?;             // … 50 through 90
+/// assert_eq!(session.trace().len(), 9);
+///
+/// // Resume the snapshot: only the suffix is re-simulated.
+/// let mut resumed = sim.resume(&snapshot)?;
+/// resumed.run_until(95)?;
+/// assert_eq!(resumed.trace().len(), 5);
+/// assert_eq!(resumed.state(), session.state());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimSession<'n> {
+    sim: Simulator<'n>,
+    state: State,
+    trace: NsaTrace,
+    steps: u64,
+    stats: SimStats,
+    stop: Option<StopReason>,
+}
+
+impl<'n> SimSession<'n> {
+    /// Runs until model time reaches `horizon` (exclusive for events) or
+    /// the network goes quiescent. May be called repeatedly with
+    /// nondecreasing horizons; a horizon at or before the current time
+    /// returns immediately with [`StopReason::HorizonReached`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulator::run`]. On error the session's state and trace
+    /// describe the stuck configuration, as with the one-shot entry
+    /// points.
+    pub fn run_until(&mut self, horizon: i64) -> Result<StopReason, SimError> {
+        self.run_until_with(horizon, |_, _| {})
+    }
+
+    /// As [`run_until`](Self::run_until), invoking `on_event` after every
+    /// fired transition with the event and the post-state.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_until`](Self::run_until).
+    pub fn run_until_with(
+        &mut self,
+        horizon: i64,
+        on_event: impl FnMut(&SyncEvent, &State),
+    ) -> Result<StopReason, SimError> {
+        self.sim.horizon = horizon;
+        let (steps, stats, stop) =
+            self.sim
+                .run_internal(&mut self.state, &mut self.trace, on_event)?;
+        self.steps += steps;
+        self.stats.wheel_wakeups += stats.wheel_wakeups;
+        self.stop = Some(stop);
+        Ok(stop)
+    }
+
+    /// Captures a snapshot of the current session state. Call between
+    /// segments (after [`run_until`](Self::run_until) returned `Ok`);
+    /// resuming it reproduces the rest of the run exactly.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            state: self.state.clone(),
+            steps: self.steps,
+            stats: self.stats,
+            trace_len: self.trace.len() as u64,
+        }
+    }
+
+    /// Rewinds (or fast-forwards) the session to `snapshot`.
+    ///
+    /// The session's trace is cleared: after a restore it holds only the
+    /// events fired since the restore point. The step counter and stats
+    /// continue from the snapshot's values, so a restored run's totals
+    /// match an uninterrupted run's.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] when the snapshot does not fit the
+    /// session's network.
+    pub fn restore(&mut self, snapshot: &Snapshot) -> Result<(), SnapshotError> {
+        snapshot.validate(self.sim.network)?;
+        self.state = snapshot.state.clone();
+        self.steps = snapshot.steps;
+        self.stats = snapshot.stats;
+        self.trace = NsaTrace::new();
+        self.stop = None;
+        Ok(())
+    }
+
+    /// The current network state.
+    #[must_use]
+    pub fn state(&self) -> &State {
+        &self.state
+    }
+
+    /// Current model time.
+    #[must_use]
+    pub fn time(&self) -> i64 {
+        self.state.time
+    }
+
+    /// The events recorded since the session started (or since the last
+    /// [`restore`](Self::restore)).
+    #[must_use]
+    pub fn trace(&self) -> &NsaTrace {
+        &self.trace
+    }
+
+    /// Total action transitions taken, including those before a resumed
+    /// snapshot.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Why the most recent segment ended, if any segment has run.
+    #[must_use]
+    pub fn stop(&self) -> Option<StopReason> {
+        self.stop
+    }
+
+    /// Consumes the session into a [`SimOutcome`].
+    ///
+    /// The outcome's trace covers the events since the session started (or
+    /// since the last restore); its steps and stats are run totals. A
+    /// session that never ran reports [`StopReason::HorizonReached`].
+    #[must_use]
+    pub fn into_outcome(self) -> SimOutcome {
+        SimOutcome {
+            trace: self.trace,
+            final_state: self.state,
+            steps: self.steps,
+            stop: self.stop.unwrap_or(StopReason::HorizonReached),
+            stats: self.stats,
         }
     }
 }
@@ -797,6 +1025,106 @@ mod tests {
         let out = Simulator::new(&n).horizon(10).run().unwrap();
         let times: Vec<i64> = out.trace.iter().map(|e| e.time).collect();
         assert_eq!(times, vec![5, 5]);
+    }
+
+    #[test]
+    fn session_segments_match_one_shot_run() {
+        let mut nb = NetworkBuilder::new();
+        ticker(&mut nb, "a", 4);
+        ticker(&mut nb, "b", 6);
+        let n = nb.build().unwrap();
+        let sim = Simulator::new(&n).horizon(50);
+        let cold = sim.run().unwrap();
+
+        // Segment at every possible boundary, including event instants.
+        for k in 0..50 {
+            let mut session = sim.session();
+            session.run_until(k).unwrap();
+            session.run_until(50).unwrap();
+            let warm = session.into_outcome();
+            assert_eq!(warm, cold, "segment boundary k={k}");
+        }
+    }
+
+    #[test]
+    fn session_snapshot_resume_reproduces_the_suffix() {
+        let mut nb = NetworkBuilder::new();
+        ticker(&mut nb, "a", 4);
+        ticker(&mut nb, "b", 6);
+        let n = nb.build().unwrap();
+        let sim = Simulator::new(&n);
+        let cold = sim.clone().horizon(40).run().unwrap();
+
+        let mut session = sim.session();
+        session.run_until(12).unwrap();
+        let snap = session.snapshot();
+        assert_eq!(snap.time(), 12);
+
+        let mut resumed = sim.resume(&snap).unwrap();
+        resumed.run_until(40).unwrap();
+        let warm = resumed.into_outcome();
+        assert_eq!(warm.final_state, cold.final_state);
+        assert_eq!(warm.steps, cold.steps);
+        assert_eq!(warm.stop, cold.stop);
+        // Suffix trace: prefix events live with the first session.
+        let mut stitched: Vec<&SyncEvent> = session.trace().events().iter().collect();
+        stitched.extend(warm.trace.events());
+        let cold_events: Vec<&SyncEvent> = cold.trace.events().iter().collect();
+        assert_eq!(stitched, cold_events);
+    }
+
+    #[test]
+    fn session_restore_rewinds_and_replays() {
+        let mut nb = NetworkBuilder::new();
+        ticker(&mut nb, "t", 5);
+        let n = nb.build().unwrap();
+        let sim = Simulator::new(&n);
+        let mut session = sim.session();
+        session.run_until(11).unwrap();
+        let snap = session.snapshot();
+        session.run_until(31).unwrap();
+        let first: Vec<i64> = session.trace().iter().map(|e| e.time).collect();
+        assert_eq!(first, vec![5, 10, 15, 20, 25, 30]);
+
+        session.restore(&snap).unwrap();
+        assert_eq!(session.time(), 11);
+        session.run_until(31).unwrap();
+        // After a restore the trace holds only the replayed suffix.
+        let replay: Vec<i64> = session.trace().iter().map(|e| e.time).collect();
+        assert_eq!(replay, vec![15, 20, 25, 30]);
+        assert_eq!(session.steps(), 6);
+    }
+
+    #[test]
+    fn session_reports_quiescence_on_resume() {
+        let mut nb = NetworkBuilder::new();
+        let mut a = AutomatonBuilder::new("idle");
+        let l0 = a.location("l0");
+        let l1 = a.location("l1");
+        a.edge(Edge::new(l0, l1).with_guard(Guard::when(crate::expr::Pred::ff())));
+        nb.automaton(a.finish(l0));
+        let n = nb.build().unwrap();
+        let sim = Simulator::new(&n);
+        let mut session = sim.session();
+        assert_eq!(session.run_until(10).unwrap(), StopReason::Quiescent);
+        let snap = session.snapshot();
+        let mut resumed = sim.resume(&snap).unwrap();
+        assert_eq!(resumed.run_until(100).unwrap(), StopReason::Quiescent);
+        assert_eq!(resumed.time(), 100);
+    }
+
+    #[test]
+    fn resume_rejects_foreign_snapshots() {
+        let mut nb = NetworkBuilder::new();
+        ticker(&mut nb, "t", 5);
+        let n = nb.build().unwrap();
+        let snap = Simulator::new(&n).session().snapshot();
+
+        let mut nb = NetworkBuilder::new();
+        ticker(&mut nb, "a", 5);
+        ticker(&mut nb, "b", 7);
+        let other = nb.build().unwrap();
+        assert!(Simulator::new(&other).resume(&snap).is_err());
     }
 
     #[test]

@@ -23,4 +23,4 @@ pub mod search;
 
 pub use binpack::{first_fit_decreasing, Packing};
 pub use problem::DesignProblem;
-pub use search::{search, search_with_cache, IterationRecord, SearchOptions, SearchOutcome};
+pub use search::{search, search_with_cache, search_with_stores, IterationRecord, SearchOptions, SearchOutcome};

@@ -21,7 +21,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use swa_core::{canonicalize, Analyzer, CachedVerdict, PipelineError, VerdictCache};
+use swa_core::{canonicalize, Analyzer, CachedVerdict, CheckpointStore, PipelineError, VerdictCache};
 use swa_ima::{Configuration, CoreRef, PartitionId};
 use swa_workload::{synthesize_windows, PartitionDemand};
 
@@ -140,6 +140,31 @@ pub fn search_with_cache(
     options: &SearchOptions,
     cache: Option<&dyn VerdictCache>,
 ) -> Result<SearchOutcome, PipelineError> {
+    search_with_stores(problem, options, cache, None)
+}
+
+/// [`search_with_cache`], with an additional checkpoint store injected
+/// into candidate checking.
+///
+/// The two stores compose: the verdict cache short-circuits *exact
+/// repeats* (same configuration, same horizon) before any model is built,
+/// while the checkpoint store warm-starts the simulations that still have
+/// to run — a revisited candidate resumes from its stored end state
+/// instead of replaying from t = 0, and a later longer-horizon validation
+/// of the found configuration (see [`swa_core::Analyzer::checkpoints`])
+/// picks up the checkpoint this search left behind. Both stores are
+/// exact, so the found configuration — and every iteration verdict — is
+/// identical with or without them.
+///
+/// # Errors
+///
+/// Same contract as [`search`].
+pub fn search_with_stores(
+    problem: &DesignProblem,
+    options: &SearchOptions,
+    cache: Option<&dyn VerdictCache>,
+    checkpoints: Option<Arc<dyn CheckpointStore>>,
+) -> Result<SearchOutcome, PipelineError> {
     let hyperperiod = problem.hyperperiod().ok_or_else(bad_problem)?;
     let frame = problem.min_period().ok_or_else(bad_problem)?;
     let mut packing =
@@ -197,11 +222,11 @@ pub fn search_with_cache(
         let batch = if subset.is_empty() {
             None
         } else {
-            Some(
-                Analyzer::batch(&subset)
-                    .parallelism(options.parallelism)
-                    .first_schedulable()?,
-            )
+            let mut builder = Analyzer::batch(&subset).parallelism(options.parallelism);
+            if let Some(store) = &checkpoints {
+                builder = builder.checkpoints(store.clone());
+            }
+            Some(builder.first_schedulable()?)
         };
         if let (Some(cache), Some(batch)) = (cache, &batch) {
             for (pos, result) in batch.results.iter().enumerate() {
@@ -561,6 +586,44 @@ mod tests {
         assert!(after_second.hits > after_first.hits);
         assert!(second.iterations.iter().all(|i| i.check_time == Duration::ZERO));
         assert!(second.total_check_time() == Duration::ZERO);
+    }
+
+    #[test]
+    fn checkpointed_search_finds_the_same_configuration() {
+        use swa_core::{CheckpointStore as _, ShardedCheckpointStore};
+
+        for problem in [two_partition_problem(1), two_partition_problem(2)] {
+            let baseline = search(&problem, &SearchOptions::default()).unwrap();
+            let store = Arc::new(ShardedCheckpointStore::new(1 << 22));
+            let warm = search_with_stores(
+                &problem,
+                &SearchOptions::default(),
+                None,
+                Some(store.clone() as Arc<dyn CheckpointStore>),
+            )
+            .unwrap();
+            assert_eq!(baseline.configuration, warm.configuration);
+            assert_eq!(baseline.iterations.len(), warm.iterations.len());
+            for (b, w) in baseline.iterations.iter().zip(&warm.iterations) {
+                assert_eq!(b.schedulable, w.schedulable);
+                assert_eq!(b.missed_jobs, w.missed_jobs);
+                assert_eq!(b.missing_partitions, w.missing_partitions);
+            }
+            assert!(store.stats().insertions > 0, "candidates were checkpointed");
+
+            // The found configuration's longer-horizon validation resumes
+            // from the checkpoint the search left behind.
+            if let Some(config) = &warm.configuration {
+                let before = store.stats();
+                let report = Analyzer::new(config)
+                    .horizon(2)
+                    .checkpoints(store.clone() as Arc<dyn CheckpointStore>)
+                    .run()
+                    .unwrap();
+                assert!(report.schedulable());
+                assert_eq!(store.stats().hits, before.hits + 1);
+            }
+        }
     }
 
     #[test]

@@ -42,8 +42,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use swa_core::{
-    canonicalize, Analyzer, CacheStats, CachedVerdict, CanonicalRequest, MetricsRecorder, Recorder,
-    ShardedVerdictCache, VerdictCache,
+    canonicalize, Analyzer, CacheStats, CachedVerdict, CanonicalRequest, CheckpointStats,
+    CheckpointStore, MetricsRecorder, Recorder, ShardedCheckpointStore, ShardedVerdictCache,
+    VerdictCache,
 };
 
 use crate::http::{read_request, write_response, HttpError, Request};
@@ -70,6 +71,10 @@ pub struct ServeOptions {
     pub queue_depth: usize,
     /// Verdict-cache byte budget.
     pub cache_bytes: usize,
+    /// Checkpoint-store byte budget (`0` disables warm starts). Clients
+    /// that re-analyze a configuration at a longer horizon resume the
+    /// earlier request's simulation instead of replaying it.
+    pub checkpoint_bytes: usize,
 }
 
 impl Default for ServeOptions {
@@ -79,6 +84,7 @@ impl Default for ServeOptions {
             workers: std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get),
             queue_depth: 64,
             cache_bytes: 16 * 1024 * 1024,
+            checkpoint_bytes: 16 * 1024 * 1024,
         }
     }
 }
@@ -107,10 +113,17 @@ impl Server {
             ShardedVerdictCache::new(options.cache_bytes)
                 .with_recorder(recorder.clone() as Arc<dyn Recorder>),
         );
+        let checkpoints = (options.checkpoint_bytes > 0).then(|| {
+            Arc::new(
+                ShardedCheckpointStore::new(options.checkpoint_bytes)
+                    .with_recorder(recorder.clone() as Arc<dyn Recorder>),
+            )
+        });
         let inner = Arc::new(Inner {
             local_addr,
             recorder,
             cache,
+            checkpoints,
             pool: WorkerPool::new(options.workers, options.queue_depth),
             gates: Mutex::new(HashMap::new()),
             shutting_down: AtomicBool::new(false),
@@ -139,6 +152,17 @@ impl Server {
     #[must_use]
     pub fn recorder(&self) -> Arc<MetricsRecorder> {
         Arc::clone(&self.inner.recorder)
+    }
+
+    /// Current checkpoint-store statistics (all zero when warm starts are
+    /// disabled).
+    #[must_use]
+    pub fn checkpoint_stats(&self) -> CheckpointStats {
+        self.inner
+            .checkpoints
+            .as_ref()
+            .map(|s| s.stats())
+            .unwrap_or_default()
     }
 
     /// Current verdict-cache statistics.
@@ -185,6 +209,8 @@ struct Inner {
     local_addr: SocketAddr,
     recorder: Arc<MetricsRecorder>,
     cache: Arc<ShardedVerdictCache>,
+    /// Warm-start store shared across requests; `None` when disabled.
+    checkpoints: Option<Arc<ShardedCheckpointStore>>,
     pool: WorkerPool,
     /// Single-flight gates, keyed by canonical request key.
     gates: Mutex<HashMap<swa_core::CacheKey, Arc<Gate>>>,
@@ -465,12 +491,20 @@ fn run_leader(
             return;
         }
         let started = Instant::now();
-        let result = Analyzer::new(&parsed.config)
+        let mut analyzer = Analyzer::new(&parsed.config)
             .engine(parsed.engine)
             .horizon(parsed.hyperperiods)
             .recorder(job_inner.recorder.clone() as Arc<dyn Recorder>)
-            .explain(parsed.explain)
-            .run();
+            .explain(parsed.explain);
+        // `no_cache` asks for a fresh simulation; honor it for warm
+        // starts too, not just the verdict cache.
+        if !parsed.no_cache {
+            if let Some(store) = &job_inner.checkpoints {
+                analyzer =
+                    analyzer.checkpoints(Arc::clone(store) as Arc<dyn CheckpointStore>);
+            }
+        }
+        let result = analyzer.run();
         job_inner.recorder.counter("serve.analyses", 1);
         let reply = match result {
             Ok(report) => {

@@ -46,6 +46,7 @@ fn start_server() -> Server {
         workers: 4,
         queue_depth: 32,
         cache_bytes: 4 * 1024 * 1024,
+        checkpoint_bytes: 4 * 1024 * 1024,
     })
     .expect("bind loopback server")
 }
@@ -115,6 +116,57 @@ fn no_cache_bypasses_the_cache() {
         assert_eq!(doc.get("cached").and_then(Json::as_bool), Some(false));
     }
     assert_eq!(server.recorder().counter_value("serve.analyses"), 2);
+    server.shutdown();
+}
+
+#[test]
+fn longer_horizon_request_warm_starts_from_an_earlier_one() {
+    let server = start_server();
+    let addr = server.local_addr();
+    let config = small_config(10);
+
+    // First request checkpoints its end state…
+    let first = client::post(addr, "/analyze", &envelope(&config, "")).unwrap();
+    assert_eq!(first.status, 200);
+    assert_eq!(server.checkpoint_stats().insertions, 1);
+
+    // …and a longer-horizon re-analysis of the same configuration resumes
+    // it (the verdict cache cannot serve this: the horizon differs).
+    let longer = client::post(
+        addr,
+        "/analyze",
+        &envelope(&config, ",\"hyperperiods\":3"),
+    )
+    .unwrap();
+    assert_eq!(longer.status, 200);
+    let doc = Json::parse(&longer.body).unwrap();
+    assert_eq!(doc.get("cached").and_then(Json::as_bool), Some(false));
+    assert_eq!(doc.get("schedulable").and_then(Json::as_bool), Some(true));
+
+    let stats = server.checkpoint_stats();
+    assert_eq!(stats.hits, 1, "the longer run resumed the first one");
+    let recorder = server.recorder();
+    assert_eq!(recorder.counter_value("checkpoint.hits"), 1);
+    assert_eq!(recorder.counter_value("serve.analyses"), 2);
+    server.shutdown();
+}
+
+#[test]
+fn no_cache_also_bypasses_warm_starts() {
+    let server = start_server();
+    let addr = server.local_addr();
+    let config = small_config(10);
+    client::post(addr, "/analyze", &envelope(&config, "")).unwrap();
+    let resp = client::post(
+        addr,
+        "/analyze",
+        &envelope(&config, ",\"hyperperiods\":2,\"no_cache\":true"),
+    )
+    .unwrap();
+    assert_eq!(resp.status, 200);
+    let stats = server.checkpoint_stats();
+    assert_eq!(stats.hits, 0);
+    assert_eq!(stats.insertions, 1, "only the cache-honoring request checkpointed");
     server.shutdown();
 }
 
