@@ -33,6 +33,22 @@ echo "$warm_out" | grep -q '"agree": true' || {
     exit 1
 }
 
+echo "==> compositional differential suite (composed == whole, both engines, release)"
+cargo test -q --release --offline -p swa-core --test compositional_differential
+
+echo "==> compositional smoke (per-module cache reuse agrees with whole-config)"
+comp_out="$(cargo run --release --offline -q -p swa-bench --bin compositional -- --smoke)"
+echo "$comp_out" | grep -q "compositional smoke: ok" || {
+    echo "compositional smoke FAILED: per-module and whole-config passes disagree"
+    echo "$comp_out"
+    exit 1
+}
+echo "$comp_out" | grep -q '"agree": true' || {
+    echo "compositional smoke FAILED: agreement flag missing from the artifact"
+    echo "$comp_out"
+    exit 1
+}
+
 echo "==> forensics smoke (deadlock diagnosis names the blocking edge)"
 explain_out="$(cargo run --release --offline -q -p swa-nsa --example deadlock_explain)"
 echo "$explain_out" | grep -q "blocking automaton: filter" || {

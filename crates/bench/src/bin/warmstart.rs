@@ -27,7 +27,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use swa_core::{Analyzer, AnalysisReport, CheckpointStore, ShardedCheckpointStore};
-use swa_schedtool::{search_with_stores, DesignProblem, SearchOptions, SearchOutcome};
+use swa_schedtool::{search_with, DesignProblem, SearchOptions, SearchOutcome};
 use swa_workload::{industrial_config, IndustrialSpec};
 use swa_xmlio::configuration_to_xml;
 
@@ -91,15 +91,12 @@ fn run_pass(
     store: Option<Arc<ShardedCheckpointStore>>,
 ) -> PassResult {
     let t0 = Instant::now();
-    let outcome = search_with_stores(
-        problem,
-        options,
-        None,
-        store
-            .clone()
-            .map(|s| s as Arc<dyn CheckpointStore>),
-    )
-    .expect("search on a generated workload");
+    let mut analyzer = Analyzer::configure();
+    if let Some(s) = &store {
+        analyzer = analyzer.checkpoints(Arc::clone(s) as Arc<dyn CheckpointStore>);
+    }
+    let outcome =
+        search_with(problem, options, &analyzer).expect("search on a generated workload");
     if outcome.configuration.is_none() {
         for it in &outcome.iterations {
             eprintln!(

@@ -233,13 +233,13 @@ pub fn batch_speedup(candidates: usize, seed: u64) -> BatchSpeedup {
         })
         .collect();
 
-    let sequential = Analyzer::batch(&family)
+    let sequential = Analyzer::configure()
         .parallelism(1)
-        .exhaustive()
+        .analyze_all(&family)
         .expect("sequential batch");
-    let parallel = Analyzer::batch(&family)
+    let parallel = Analyzer::configure()
         .parallelism(0)
-        .exhaustive()
+        .analyze_all(&family)
         .expect("parallel batch");
     assert_eq!(
         sequential.winner, parallel.winner,

@@ -23,10 +23,10 @@
 
 use std::fmt::Write as _;
 
-use swa_core::{Analyzer, CheckpointStore, SystemModel, VerdictCache};
+use swa_core::{Analyzer, CheckpointStore, SystemModel, Verdict, VerdictCache};
 use swa_ima::Configuration;
 use swa_ima::Topology;
-use swa_schedtool::{search_with_stores, DesignProblem, SearchOptions};
+use swa_schedtool::{search_with, DesignProblem, SearchOptions};
 use swa_xmlio::{configuration_to_xml, configuration_with_topology_from_xml, trace_to_xml};
 
 /// The result of running one CLI command: the process exit code, the text
@@ -87,6 +87,10 @@ COMMANDS:
                                       atoms, frozen clocks)
                   --metrics-out <file>  write phase timings and step
                                       counters as JSON
+                  --compositional     analyze decomposable configurations
+                                      per module and compose the verdicts
+                                      (identical verdict; falls back when
+                                      modules share messages)
     validate    structural validation + dispatch-tie warnings
     verify      observer verification (Fig. 2 + Sect. 3 requirements)
                   --exhaustive        also model-check all interleavings
@@ -108,6 +112,9 @@ COMMANDS:
                   --checkpoint-bytes <n>  warm-start repeated candidate
                                       simulations from checkpoints (0 = off;
                                       stats are printed at the end)
+                  --compositional     cache and warm-start per module, so a
+                                      candidate that edits one partition
+                                      reuses every unchanged module's entry
     serve       run the analysis server (no <config.xml>; blocks until a
                 POST /shutdown arrives)
                   --addr <host:port>  bind address (default 127.0.0.1:7341;
@@ -120,6 +127,8 @@ COMMANDS:
                                       (default 16 MiB; 0 = off)
                   --addr-file <file>  write the bound address to a file
                                       (resolves port 0 for scripts)
+                  --compositional     per-module verdict caching: an edited
+                                      request reuses unchanged modules
     request     talk to a running server (no local analysis)
                   swa request <addr> <config.xml> [--hyperperiods <n>]
                       [--engine <name>] [--deadline-ms <n>] [--explain]
@@ -245,7 +254,8 @@ fn cmd_analyze(
     let mut analyzer = Analyzer::new(config)
         .topology_opt(topology)
         .engine(engine)
-        .explain(has_flag(options, "--explain"));
+        .explain(has_flag(options, "--explain"))
+        .compositional(has_flag(options, "--compositional"));
     if let Some(r) = &recorder {
         analyzer = analyzer.recorder(r.clone());
     }
@@ -442,6 +452,17 @@ fn cmd_mc(
             ""
         }
     );
+    // A truncated positive explored only part of the state space, so the
+    // typed verdict is Undecided; a truncated *negative* found a concrete
+    // violation and stands.
+    let typed = if verdict.schedulable && verdict.truncated {
+        Verdict::Undecided
+    } else if verdict.schedulable {
+        Verdict::Schedulable
+    } else {
+        Verdict::unschedulable(0, Vec::new())
+    };
+    let _ = writeln!(out, "verdict: {typed}");
     let _ = writeln!(out, "schedulable: {}", verdict.schedulable);
     CommandOutcome::verdict(verdict.schedulable, out)
 }
@@ -467,11 +488,20 @@ fn cmd_search(config: &Configuration, options: &[String]) -> CommandOutcome {
         Ok(v) => v,
         Err(e) => return CommandOutcome::error(e),
     };
-    let cache = (cache_bytes > 0).then(|| swa_core::ShardedVerdictCache::new(cache_bytes));
+    let cache =
+        (cache_bytes > 0).then(|| std::sync::Arc::new(swa_core::ShardedVerdictCache::new(cache_bytes)));
     let checkpoints = (checkpoint_bytes > 0)
         .then(|| std::sync::Arc::new(swa_core::ShardedCheckpointStore::new(checkpoint_bytes)));
+    let mut analyzer = Analyzer::configure()
+        .compositional(has_flag(options, "--compositional"));
+    if let Some(c) = &cache {
+        analyzer = analyzer.cache(c.clone() as std::sync::Arc<dyn VerdictCache>);
+    }
+    if let Some(s) = &checkpoints {
+        analyzer = analyzer.checkpoints(s.clone() as std::sync::Arc<dyn CheckpointStore>);
+    }
     let problem = DesignProblem::from_configuration(config);
-    let outcome = match search_with_stores(
+    let outcome = match search_with(
         &problem,
         &SearchOptions {
             max_iterations,
@@ -479,10 +509,7 @@ fn cmd_search(config: &Configuration, options: &[String]) -> CommandOutcome {
             speculation,
             ..SearchOptions::default()
         },
-        cache.as_ref().map(|c| c as &dyn VerdictCache),
-        checkpoints
-            .clone()
-            .map(|s| s as std::sync::Arc<dyn CheckpointStore>),
+        &analyzer,
     ) {
         Ok(o) => o,
         Err(e) => return CommandOutcome::error(format!("search failed: {e}")),
@@ -491,8 +518,11 @@ fn cmd_search(config: &Configuration, options: &[String]) -> CommandOutcome {
     for it in &outcome.iterations {
         let _ = writeln!(
             out,
-            "iteration {}: schedulable={} missed_jobs={} check={:?}",
-            it.index, it.schedulable, it.missed_jobs, it.check_time
+            "iteration {}: verdict={} missed_jobs={} check={:?}",
+            it.index,
+            it.verdict.label(),
+            it.missed_jobs,
+            it.check_time
         );
     }
     if let Some(cache) = &cache {
@@ -572,6 +602,7 @@ fn cmd_serve(options: &[String]) -> CommandOutcome {
         Ok(v) => serve_options.checkpoint_bytes = v,
         Err(e) => return CommandOutcome::error(e),
     }
+    serve_options.compositional = has_flag(options, "--compositional");
 
     let server = match swa_serve::Server::start(&serve_options) {
         Ok(s) => s,

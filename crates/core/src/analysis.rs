@@ -16,29 +16,136 @@ use crate::sysevents::{SysEventKind, SystemTrace};
 /// executing intervals, executed total, completion time)`.
 pub type JobSignature = (TaskRef, u32, Vec<(i64, i64)>, i64, Option<i64>);
 
-/// The typed schedulability verdict of an analysis.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// A structured account of an unschedulable verdict: what missed, where.
+///
+/// Produced by [`Analysis::verdict`] (job and partition attribution) and
+/// enriched with module names by
+/// [`AnalysisReport::verdict_in`](crate::AnalysisReport::verdict_in) and
+/// the compositional analyzer's composed diagnosis.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct VerdictDiagnosis {
+    /// Number of jobs that missed.
+    pub missed_jobs: usize,
+    /// Partitions with at least one missed job (sorted, deduplicated).
+    pub missing_partitions: Vec<swa_ima::PartitionId>,
+    /// Names of the modules owning a missing partition, in module order
+    /// (empty when module attribution was not performed).
+    pub failing_modules: Vec<String>,
+}
+
+impl VerdictDiagnosis {
+    /// Resolves the modules owning the missing partitions through
+    /// `config`'s binding, filling
+    /// [`failing_modules`](Self::failing_modules) (in module order,
+    /// deduplicated).
+    pub fn attribute_modules(&mut self, config: &Configuration) {
+        let mut modules: Vec<usize> = self
+            .missing_partitions
+            .iter()
+            .filter_map(|&p| config.bound_core(p).map(|c| c.module.index()))
+            .collect();
+        modules.sort_unstable();
+        modules.dedup();
+        self.failing_modules = modules
+            .into_iter()
+            .filter_map(|m| config.modules.get(m).map(|module| module.name.clone()))
+            .collect();
+    }
+
+    /// One-line rendering: `"3 missed jobs in partitions [1, 4] (module M2)"`.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!(
+            "{} missed job{} in partition{} {:?}",
+            self.missed_jobs,
+            if self.missed_jobs == 1 { "" } else { "s" },
+            if self.missing_partitions.len() == 1 { "" } else { "s" },
+            self.missing_partitions.iter().map(|p| p.raw()).collect::<Vec<_>>(),
+        );
+        if !self.failing_modules.is_empty() {
+            let _ = write!(
+                s,
+                " (module{} {})",
+                if self.failing_modules.len() == 1 { "" } else { "s" },
+                self.failing_modules.join(", ")
+            );
+        }
+        s
+    }
+}
+
+/// The typed schedulability verdict, returned uniformly by the analyzer
+/// ([`Analysis::verdict`]), the verdict cache
+/// ([`crate::CachedVerdict::verdict`]), the analysis service and the
+/// search tool.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Verdict {
     /// Every job completes its full WCET within its deadline.
     Schedulable,
     /// At least one job misses (the paper's Sect. 2.1 criterion fails).
-    Unschedulable,
+    Unschedulable {
+        /// What missed, and where.
+        diagnosis: VerdictDiagnosis,
+    },
+    /// The analysis could not decide — e.g. a state-capped model-checking
+    /// run that was truncated before exploring every interleaving.
+    Undecided,
 }
 
 impl Verdict {
+    /// An unschedulable verdict carrying only the miss attribution.
+    #[must_use]
+    pub fn unschedulable(
+        missed_jobs: usize,
+        missing_partitions: Vec<swa_ima::PartitionId>,
+    ) -> Self {
+        Self::Unschedulable {
+            diagnosis: VerdictDiagnosis {
+                missed_jobs,
+                missing_partitions,
+                failing_modules: Vec::new(),
+            },
+        }
+    }
+
     /// `true` for [`Verdict::Schedulable`].
     #[must_use]
-    pub fn is_schedulable(self) -> bool {
+    pub fn is_schedulable(&self) -> bool {
         matches!(self, Self::Schedulable)
+    }
+
+    /// `true` for [`Verdict::Undecided`].
+    #[must_use]
+    pub fn is_undecided(&self) -> bool {
+        matches!(self, Self::Undecided)
+    }
+
+    /// The diagnosis of an unschedulable verdict.
+    #[must_use]
+    pub fn diagnosis(&self) -> Option<&VerdictDiagnosis> {
+        match self {
+            Self::Unschedulable { diagnosis } => Some(diagnosis),
+            Self::Schedulable | Self::Undecided => None,
+        }
+    }
+
+    /// The stable machine-readable label (`"schedulable"`,
+    /// `"unschedulable"`, `"undecided"`), as rendered by `Display` and the
+    /// service's JSON `verdict` field.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Schedulable => "schedulable",
+            Self::Unschedulable { .. } => "unschedulable",
+            Self::Undecided => "undecided",
+        }
     }
 }
 
 impl std::fmt::Display for Verdict {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
-            Self::Schedulable => "schedulable",
-            Self::Unschedulable => "unschedulable",
-        })
+        f.write_str(self.label())
     }
 }
 
@@ -116,13 +223,19 @@ impl Analysis {
         self.jobs.iter().filter(|j| !j.is_ok())
     }
 
-    /// The typed schedulability verdict.
+    /// The typed schedulability verdict, with job/partition attribution on
+    /// the unschedulable arm (module names need the configuration — see
+    /// [`AnalysisReport::verdict_in`](crate::AnalysisReport::verdict_in)).
     #[must_use]
     pub fn verdict(&self) -> Verdict {
         if self.schedulable {
             Verdict::Schedulable
         } else {
-            Verdict::Unschedulable
+            let mut missing: Vec<swa_ima::PartitionId> =
+                self.missed_jobs().map(|j| j.task.partition).collect();
+            missing.sort_unstable();
+            missing.dedup();
+            Verdict::unschedulable(self.missed_jobs().count(), missing)
         }
     }
 

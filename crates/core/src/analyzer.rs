@@ -1,11 +1,24 @@
 //! The one-stop analysis entry point: a builder over the full pipeline
-//! (configuration → model instance → trace → verdict) and, through
-//! [`Analyzer::batch`], over the parallel batch engine of [`crate::batch`].
+//! (configuration → model instance → trace → verdict), the parallel batch
+//! engine of [`crate::batch`], and the compositional per-module analysis
+//! of [`crate::compose`].
 //!
 //! Every other entry point in the workspace — the [`analyze_configuration`]
-//! family, the CLI, the experiment binaries, the configuration search —
-//! now routes through this type, so behavior (metrics, tie-breaking,
-//! topology handling, analysis span) is defined in exactly one place.
+//! family, the CLI, the experiment binaries, the configuration search, the
+//! analysis server — routes through this type, so behavior (metrics,
+//! tie-breaking, topology handling, analysis span, caching) is defined in
+//! exactly one place.
+//!
+//! There are two ways to hold an `Analyzer`:
+//!
+//! * **Bound** — [`Analyzer::new`] ties the builder to one configuration;
+//!   [`run`](Analyzer::run) analyzes it.
+//! * **Unbound** — [`Analyzer::configure`] carries settings only; hand it
+//!   configurations later via [`analyze`](Analyzer::analyze) (one),
+//!   [`analyze_all`](Analyzer::analyze_all) /
+//!   [`first_schedulable`](Analyzer::first_schedulable) (a family on the
+//!   batch engine), or pass it whole to
+//!   [`swa_schedtool::search_with`](../../swa_schedtool/fn.search_with.html).
 //!
 //! [`analyze_configuration`]: crate::analyze_configuration
 //!
@@ -29,8 +42,15 @@
 //!     messages: vec![],
 //! };
 //!
+//! // Bound: analyze one configuration.
 //! let report = Analyzer::new(&config).run()?;
 //! assert!(report.schedulable());
+//!
+//! // Unbound: one settings carrier serving single and batch callers.
+//! let analyzer = Analyzer::configure().parallelism(2);
+//! assert!(analyzer.analyze(&config)?.schedulable());
+//! let family = vec![config.clone(), config.clone()];
+//! assert_eq!(analyzer.first_schedulable(&family)?.winner, Some(0));
 //! # Ok::<(), swa_core::PipelineError>(())
 //! ```
 
@@ -43,22 +63,24 @@ use swa_nsa::{EvalEngine, SimOutcome, Snapshot, TieBreak};
 
 use crate::analysis::analyze_spanning;
 use crate::batch::{run_batch, BatchMode, BatchOptions, BatchOutcome};
-use crate::canon::canonical_config;
+use crate::cache::{CachedVerdict, VerdictCache};
+use crate::canon::{canonical_config, canonicalize};
 use crate::checkpoint::{Checkpoint, CheckpointStore};
+use crate::compose::{compose_analysis, decompose, Decomposition, ModulePart};
 use crate::error::PipelineError;
 use crate::instance::SystemModel;
 use crate::obs::Recorder;
 use crate::pipeline::{AnalysisReport, CompileMetrics, RunMetrics};
-use crate::sysevents::extract_system_trace;
+use crate::sysevents::{extract_system_trace, SysEvent, SystemTrace};
 
-/// Builder-style entry point for analyzing one configuration.
+/// Builder-style entry point for analyzing configurations.
 ///
 /// Defaults: canonical tie-break order, no network topology, a one
-/// hyperperiod analysis span. See [`Analyzer::batch`] for analyzing a
-/// family of candidate configurations in parallel.
+/// hyperperiod analysis span, no cache, no checkpoints, whole-configuration
+/// (non-compositional) analysis.
 #[derive(Clone)]
 pub struct Analyzer<'a> {
-    config: &'a Configuration,
+    config: Option<&'a Configuration>,
     topology: Option<&'a Topology>,
     tie_break: TieBreak,
     hyperperiods: u32,
@@ -66,17 +88,24 @@ pub struct Analyzer<'a> {
     recorder: Option<Arc<dyn Recorder>>,
     explain: bool,
     checkpoints: Option<Arc<dyn CheckpointStore>>,
+    cache: Option<Arc<dyn VerdictCache>>,
+    parallelism: usize,
+    compositional: bool,
 }
 
 impl fmt::Debug for Analyzer<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Analyzer")
+            .field("bound", &self.config.is_some())
             .field("tie_break", &self.tie_break)
             .field("hyperperiods", &self.hyperperiods)
             .field("engine", &self.engine)
             .field("recorder", &self.recorder.is_some())
             .field("explain", &self.explain)
             .field("checkpoints", &self.checkpoints.is_some())
+            .field("cache", &self.cache.is_some())
+            .field("parallelism", &self.parallelism)
+            .field("compositional", &self.compositional)
             .finish_non_exhaustive()
     }
 }
@@ -86,7 +115,20 @@ impl<'a> Analyzer<'a> {
     #[must_use]
     pub fn new(config: &'a Configuration) -> Self {
         Self {
-            config,
+            config: Some(config),
+            ..Analyzer::configure()
+        }
+    }
+
+    /// Starts an *unbound* settings carrier: no configuration yet, hand
+    /// them in later through [`analyze`](Self::analyze),
+    /// [`analyze_all`](Self::analyze_all) or
+    /// [`first_schedulable`](Self::first_schedulable). This is the one
+    /// builder that serves single, batch and search callers alike.
+    #[must_use]
+    pub fn configure() -> Analyzer<'static> {
+        Analyzer {
+            config: None,
             topology: None,
             tie_break: TieBreak::Canonical,
             hyperperiods: 1,
@@ -94,6 +136,9 @@ impl<'a> Analyzer<'a> {
             recorder: None,
             explain: false,
             checkpoints: None,
+            cache: None,
+            parallelism: 0,
+            compositional: false,
         }
     }
 
@@ -106,10 +151,28 @@ impl<'a> Analyzer<'a> {
     /// do not cover a network topology, so the store is ignored when
     /// [`topology`](Self::topology) is set. Warm and cold runs produce
     /// byte-identical traces and verdicts (the simulator's snapshot/resume
-    /// is exact); only the time spent simulating changes.
+    /// is exact); only the time spent simulating changes. Under
+    /// [`compositional`](Self::compositional) analysis the store is probed
+    /// and filled *per module*, so editing one partition leaves every
+    /// other module's entries warm.
     #[must_use]
     pub fn checkpoints(mut self, store: Arc<dyn CheckpointStore>) -> Self {
         self.checkpoints = Some(store);
+        self
+    }
+
+    /// Attaches a verdict cache the analyzer **inserts** results into:
+    /// the whole-configuration key on every successful run, plus one key
+    /// per module under [`compositional`](Self::compositional) analysis.
+    /// The analyzer never serves a run *from* the cache (a run always
+    /// produces a full [`AnalysisReport`]; a cached verdict has no trace) —
+    /// probe-before-run belongs to the caller, see
+    /// [`compositional_lookup`](crate::compositional_lookup). Ignored when
+    /// a [`topology`](Self::topology) is set, since cache keys do not
+    /// cover topologies.
+    #[must_use]
+    pub fn cache(mut self, cache: Arc<dyn VerdictCache>) -> Self {
+        self.cache = Some(cache);
         self
     }
 
@@ -144,14 +207,34 @@ impl<'a> Analyzer<'a> {
         self
     }
 
-    /// Starts a batch analysis of a family of candidate configurations;
-    /// see [`BatchAnalyzer`].
+    /// Worker threads for batch analysis and the compositional per-module
+    /// fan-out; `0` (the default) uses every available core. A single
+    /// whole-configuration [`run`](Self::run) is unaffected.
     #[must_use]
-    pub fn batch(configs: &'a [Configuration]) -> BatchAnalyzer<'a> {
-        BatchAnalyzer {
-            configs,
-            options: BatchOptions::default(),
-        }
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = workers;
+        self
+    }
+
+    /// Requests compositional per-module analysis: the configuration is
+    /// split along module boundaries ([`decompose`]), each module analyzed
+    /// independently (fanned over the batch engine), and the verdicts
+    /// composed — the whole configuration is schedulable iff every module
+    /// is, and an unschedulable diagnosis names the failing modules.
+    ///
+    /// Soundness: decomposition only applies when modules are genuinely
+    /// independent (no cross-module virtual links and matching per-module
+    /// hyperperiods); anything else falls back to whole-configuration
+    /// analysis transparently, as do runs with a topology, `explain`, or
+    /// an event-streaming recorder (those are whole-run features).
+    /// Verdicts are identical either way; what changes is *reuse*: the
+    /// checkpoint store and verdict cache are keyed per module, so a
+    /// near-duplicate configuration (one partition edited) stays warm for
+    /// every unchanged module.
+    #[must_use]
+    pub fn compositional(mut self, compositional: bool) -> Self {
+        self.compositional = compositional;
+        self
     }
 
     /// Uses an explicit tie-break order among simultaneously enabled
@@ -189,9 +272,119 @@ impl<'a> Analyzer<'a> {
         self
     }
 
+    /// The configured analysis span in hyperperiods (callers probing the
+    /// verdict cache need it to derive matching keys).
+    #[must_use]
+    pub fn hyperperiods(&self) -> u32 {
+        self.hyperperiods
+    }
+
+    /// The attached verdict cache, if any.
+    #[must_use]
+    pub fn verdict_cache(&self) -> Option<&Arc<dyn VerdictCache>> {
+        self.cache.as_ref()
+    }
+
+    /// The attached checkpoint store, if any.
+    #[must_use]
+    pub fn checkpoint_store(&self) -> Option<&Arc<dyn CheckpointStore>> {
+        self.checkpoints.as_ref()
+    }
+
+    /// Whether compositional per-module analysis is requested.
+    #[must_use]
+    pub fn is_compositional(&self) -> bool {
+        self.compositional
+    }
+
+    /// Analyzes one configuration with this analyzer's settings — the
+    /// unbound counterpart of [`run`](Self::run).
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run).
+    pub fn analyze(&self, config: &Configuration) -> Result<AnalysisReport, PipelineError> {
+        Analyzer {
+            config: Some(config),
+            topology: self.topology,
+            tie_break: self.tie_break.clone(),
+            hyperperiods: self.hyperperiods,
+            engine: self.engine,
+            recorder: self.recorder.clone(),
+            explain: self.explain,
+            checkpoints: self.checkpoints.clone(),
+            cache: self.cache.clone(),
+            parallelism: self.parallelism,
+            compositional: self.compositional,
+        }
+        .run()
+    }
+
+    /// Checks a family of candidates on the batch engine until the first
+    /// (lowest-index) schedulable one is certain, cancelling outstanding
+    /// work beyond it. Deterministic regardless of
+    /// [`parallelism`](Self::parallelism): the winner is exactly what a
+    /// sequential scan would return.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run), for the same candidate a sequential loop
+    /// would have failed on.
+    pub fn first_schedulable(&self, configs: &[Configuration]) -> Result<BatchOutcome, PipelineError> {
+        run_batch(configs, &self.batch_options(BatchMode::FirstSchedulable))
+    }
+
+    /// Checks every candidate in the family (no early cancellation) and
+    /// reports all verdicts.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run), for the same candidate a sequential loop
+    /// would have failed on.
+    pub fn analyze_all(&self, configs: &[Configuration]) -> Result<BatchOutcome, PipelineError> {
+        run_batch(configs, &self.batch_options(BatchMode::Exhaustive))
+    }
+
+    /// The batch-engine options equivalent to this analyzer's settings.
+    fn batch_options(&self, mode: BatchMode) -> BatchOptions {
+        BatchOptions {
+            parallelism: self.parallelism,
+            mode,
+            tie_break: self.tie_break.clone(),
+            engine: self.engine,
+            recorder: self.recorder.clone(),
+            checkpoints: self.checkpoints.clone(),
+            cache: self.cache.clone(),
+            compositional: self.compositional,
+            hyperperiods: self.hyperperiods,
+        }
+    }
+
+    /// Starts a batch analysis of a family of candidate configurations.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Analyzer::configure()` with `first_schedulable(&configs)` / `analyze_all(&configs)`"
+    )]
+    #[allow(deprecated)]
+    #[must_use]
+    pub fn batch(configs: &'a [Configuration]) -> BatchAnalyzer<'a> {
+        BatchAnalyzer {
+            configs,
+            options: BatchOptions::default(),
+        }
+    }
+
     /// Runs the full pipeline: Algorithm 1 instance construction,
     /// deterministic interpretation, trace translation and the Sect. 2.1
-    /// schedulability criterion.
+    /// schedulability criterion. Under
+    /// [`compositional`](Self::compositional) analysis the pipeline runs
+    /// once per module and the reports are composed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no configuration is bound — build with
+    /// [`Analyzer::new`], or use [`analyze`](Self::analyze) on an
+    /// [`Analyzer::configure`] carrier.
     ///
     /// # Errors
     ///
@@ -200,12 +393,105 @@ impl<'a> Analyzer<'a> {
     /// bug, not an unschedulable configuration — unschedulable
     /// configurations produce `schedulable == false`, not errors).
     pub fn run(&self) -> Result<AnalysisReport, PipelineError> {
+        let config = self.config.expect(
+            "Analyzer has no configuration bound; use Analyzer::new(&config) or analyze(&config)",
+        );
+        let wants_events = self.recorder.as_ref().is_some_and(|r| r.wants_events());
+        // Compositional analysis applies only where it is sound and
+        // observationally equivalent: no topology (keys and decomposition
+        // do not cover one), no forensics replay and no event streaming
+        // (both are whole-run features).
+        if self.compositional && self.topology.is_none() && !self.explain && !wants_events {
+            if let Decomposition::Modules(parts) = decompose(config) {
+                return self.run_compositional(config, &parts);
+            }
+        }
+        self.run_whole(config)
+    }
+
+    /// The per-module analysis: fan the extracted sub-configurations over
+    /// the batch engine (sharing this analyzer's checkpoint store and
+    /// cache, so reuse is per module), then compose the reports.
+    fn run_compositional(
+        &self,
+        config: &Configuration,
+        parts: &[ModulePart],
+    ) -> Result<AnalysisReport, PipelineError> {
+        let configs: Vec<Configuration> = parts.iter().map(|p| p.sub.clone()).collect();
+        let options = BatchOptions {
+            parallelism: self.parallelism,
+            mode: BatchMode::Exhaustive,
+            tie_break: self.tie_break.clone(),
+            engine: self.engine,
+            // Batch-level metrics would double-count the phases the
+            // composed report already sums; the recorder sees the
+            // composition once, below.
+            recorder: None,
+            checkpoints: self.checkpoints.clone(),
+            cache: self.cache.clone(),
+            compositional: false,
+            hyperperiods: self.hyperperiods,
+        };
+        let outcome = run_batch(&configs, &options)?;
+
+        let mut analyses = Vec::with_capacity(parts.len());
+        let mut events: Vec<SysEvent> = Vec::new();
+        let mut metrics = RunMetrics::default();
+        for (part, result) in parts.iter().zip(&outcome.results) {
+            let report = &result
+                .as_ref()
+                .expect("exhaustive mode evaluates every sub-configuration")
+                .report;
+            events.extend(report.trace.events.iter().map(|e| SysEvent {
+                kind: e.kind,
+                task: part.global_task(e.task),
+                job: e.job,
+                time: e.time,
+            }));
+            metrics.build += report.metrics.build;
+            metrics.compile.time += report.metrics.compile.time;
+            metrics.compile.programs += report.metrics.compile.programs;
+            metrics.compile.ops += report.metrics.compile.ops;
+            metrics.simulate += report.metrics.simulate;
+            metrics.analyze += report.metrics.analyze;
+            metrics.nsa_events += report.metrics.nsa_events;
+            metrics.steps += report.metrics.steps;
+            metrics.wheel_wakeups += report.metrics.wheel_wakeups;
+            analyses.push(report.analysis.clone());
+        }
+        // Merge the module traces on the shared global timeline. The sort
+        // is stable, so within a module (and within equal times, across
+        // modules in module order) event order is preserved.
+        events.sort_by_key(|e| e.time);
+
+        let analysis = compose_analysis(parts, &analyses);
+        if let Some(cache) = &self.cache {
+            // The module keys were inserted by the sub-runs; the composed
+            // whole-configuration entry makes an exact repeat a single
+            // probe.
+            cache.insert(
+                &canonicalize(config, self.hyperperiods),
+                Arc::new(CachedVerdict::from_analysis(&analysis)),
+            );
+        }
+        if let Some(recorder) = &self.recorder {
+            metrics.record_to(recorder.as_ref());
+            recorder.counter("compose.modules", parts.len() as u64);
+        }
+        Ok(AnalysisReport {
+            analysis,
+            trace: SystemTrace { events },
+            metrics,
+        })
+    }
+
+    /// The whole-configuration pipeline (also the per-module pipeline: a
+    /// compositional run reaches here once per extracted sub-configuration,
+    /// through the batch engine).
+    fn run_whole(&self, config: &Configuration) -> Result<AnalysisReport, PipelineError> {
         let t0 = Instant::now();
-        let model = SystemModel::build_spanning_with_topology(
-            self.config,
-            self.topology,
-            self.hyperperiods,
-        )?;
+        let model =
+            SystemModel::build_spanning_with_topology(config, self.topology, self.hyperperiods)?;
         let build = t0.elapsed();
 
         // A warm bytecode cache before the compile phase means this model
@@ -235,11 +521,8 @@ impl<'a> Analyzer<'a> {
         // Checkpoint warm-start: keyed by the configuration's canonical
         // bytes, which do not cover a topology, so the store only applies
         // to topology-free analyses.
-        let store = self
-            .checkpoints
-            .as_ref()
-            .filter(|_| self.topology.is_none());
-        let ckpt_key = store.map(|_| canonical_config(self.config));
+        let store = self.checkpoints.as_ref().filter(|_| self.topology.is_none());
+        let ckpt_key = store.map(|_| canonical_config(config));
         let resumed = match (store, &ckpt_key) {
             (Some(store), Some(key)) => store.lookup_latest(key, model.horizon()),
             _ => None,
@@ -349,9 +632,21 @@ impl<'a> Analyzer<'a> {
         }
 
         let t2 = Instant::now();
-        let trace = extract_system_trace(&model, self.config, &outcome.trace);
-        let analysis = analyze_spanning(self.config, &trace, self.hyperperiods);
+        let trace = extract_system_trace(&model, config, &outcome.trace);
+        let analysis = analyze_spanning(config, &trace, self.hyperperiods);
         let analyze_time = t2.elapsed();
+
+        // Record the verdict under the configuration's request key. On the
+        // compositional path `config` here *is* a module's extracted
+        // sub-configuration, so this one insert serves both layers.
+        if self.topology.is_none() {
+            if let Some(cache) = &self.cache {
+                cache.insert(
+                    &canonicalize(config, self.hyperperiods),
+                    Arc::new(CachedVerdict::from_analysis(&analysis)),
+                );
+            }
+        }
 
         let metrics = RunMetrics {
             build,
@@ -381,12 +676,17 @@ impl<'a> Analyzer<'a> {
 /// Results are deterministic regardless of `parallelism` — the winner in
 /// first-schedulable mode is always the lowest schedulable candidate
 /// index, exactly what a sequential loop over the family would return.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Analyzer::configure()` with `first_schedulable(&configs)` / `analyze_all(&configs)`"
+)]
 #[derive(Debug, Clone)]
 pub struct BatchAnalyzer<'a> {
     configs: &'a [Configuration],
     options: BatchOptions,
 }
 
+#[allow(deprecated)]
 impl BatchAnalyzer<'_> {
     /// Number of worker threads; `0` (the default) uses every available
     /// core.
@@ -481,6 +781,35 @@ mod tests {
         }
     }
 
+    /// Two independent modules, three partitions (P0, P2 on M0; P1 on M1),
+    /// hyperperiod 200 everywhere. `wcet1` sizes P1's task so the M1
+    /// module's schedulability is tunable.
+    fn two_module_config(wcet1: i64) -> Configuration {
+        Configuration {
+            core_types: vec![CoreType::new("ct")],
+            modules: vec![
+                Module::homogeneous("M0", 1, CoreTypeId::from_raw(0)),
+                Module::homogeneous("M1", 1, CoreTypeId::from_raw(0)),
+            ],
+            partitions: vec![
+                Partition::new("P0", SchedulerKind::Fpps, vec![Task::new("a", 1, vec![10], 200)]),
+                Partition::new("P1", SchedulerKind::Fpps, vec![Task::new("b", 1, vec![wcet1], 200)]),
+                Partition::new("P2", SchedulerKind::Edf, vec![Task::new("c", 1, vec![5], 200)]),
+            ],
+            binding: vec![
+                CoreRef::new(ModuleId::from_raw(0), 0),
+                CoreRef::new(ModuleId::from_raw(1), 0),
+                CoreRef::new(ModuleId::from_raw(0), 0),
+            ],
+            windows: vec![
+                vec![Window::new(0, 60)],
+                vec![Window::new(0, 40), Window::new(100, 130)],
+                vec![Window::new(70, 95)],
+            ],
+            messages: vec![],
+        }
+    }
+
     #[test]
     fn recorder_captures_spans_and_counters() {
         let config = config();
@@ -569,6 +898,25 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "no configuration bound")]
+    fn running_an_unbound_analyzer_panics() {
+        let _ = Analyzer::configure().run();
+    }
+
+    #[test]
+    fn unbound_analyzer_serves_single_and_batch_callers() {
+        let config = config();
+        let analyzer = Analyzer::configure().parallelism(2);
+        assert!(analyzer.analyze(&config).unwrap().schedulable());
+
+        let family = vec![config.clone(), config.clone(), config];
+        let all = analyzer.analyze_all(&family).unwrap();
+        assert_eq!(all.evaluated(), 3);
+        let first = analyzer.first_schedulable(&family).unwrap();
+        assert_eq!(first.winner, Some(0));
+    }
+
+    #[test]
     fn warm_start_matches_cold_run_exactly() {
         let config = config();
         let cold = Analyzer::new(&config).horizon(3).run().unwrap();
@@ -607,6 +955,38 @@ mod tests {
         assert_eq!(store.stats().full_hits, 1);
         assert_eq!(again.trace, cold.trace);
         assert_eq!(again.analysis, cold.analysis);
+    }
+
+    #[test]
+    fn checkpoint_at_exactly_the_horizon_is_a_full_hit_under_both_engines() {
+        // Time-ladder boundary regression: a checkpoint stored at exactly
+        // `max_time` must be served as a *full* hit (no simulation), not a
+        // warm start, under both evaluation engines.
+        for engine in [EvalEngine::Ast, EvalEngine::Bytecode] {
+            let config = config();
+            let store = Arc::new(crate::ShardedCheckpointStore::new(1 << 20));
+            let seeded = Analyzer::new(&config)
+                .engine(engine)
+                .checkpoints(store.clone())
+                .horizon(2)
+                .run()
+                .unwrap();
+            assert_eq!(store.stats().insertions, 1, "{engine:?}");
+
+            // Same horizon again: the stored checkpoint sits exactly at
+            // `max_time`, and the boundary is inclusive.
+            let replay = Analyzer::new(&config)
+                .engine(engine)
+                .checkpoints(store.clone())
+                .horizon(2)
+                .run()
+                .unwrap();
+            let stats = store.stats();
+            assert_eq!(stats.full_hits, 1, "{engine:?}: exact-time hit is full");
+            assert_eq!(stats.insertions, 1, "{engine:?}: a full hit re-inserts nothing");
+            assert_eq!(replay.trace, seeded.trace, "{engine:?}");
+            assert_eq!(replay.analysis, seeded.analysis, "{engine:?}");
+        }
     }
 
     #[test]
@@ -655,17 +1035,115 @@ mod tests {
     }
 
     #[test]
+    fn compositional_run_matches_the_whole_run() {
+        for wcet1 in [20, 50] {
+            let config = two_module_config(wcet1);
+            let whole = Analyzer::new(&config).run().unwrap();
+            let composed = Analyzer::new(&config).compositional(true).run().unwrap();
+            assert_eq!(composed.analysis, whole.analysis, "wcet1={wcet1}");
+            assert_eq!(composed.verdict_in(&config), whole.verdict_in(&config));
+        }
+    }
+
+    #[test]
+    fn compositional_diagnosis_names_the_failing_module() {
+        // P1's task cannot fit its windows: M1 is the failing module.
+        let config = two_module_config(100);
+        let report = Analyzer::new(&config).compositional(true).run().unwrap();
+        let verdict = report.verdict_in(&config);
+        let diagnosis = verdict.diagnosis().expect("unschedulable");
+        assert_eq!(diagnosis.failing_modules, vec!["M1".to_string()]);
+    }
+
+    #[test]
+    fn compositional_run_fills_module_and_whole_cache_entries() {
+        let config = two_module_config(20);
+        let cache = Arc::new(crate::ShardedVerdictCache::new(1 << 20));
+        let report = Analyzer::new(&config)
+            .compositional(true)
+            .cache(cache.clone() as Arc<dyn VerdictCache>)
+            .run()
+            .unwrap();
+        // One entry per module plus the composed whole-configuration entry.
+        assert_eq!(cache.stats().insertions, 3);
+
+        // The whole entry answers an exact repeat...
+        let whole = cache.lookup(&canonicalize(&config, 1)).expect("whole hit");
+        assert_eq!(whole.schedulable, report.schedulable());
+        // ...and the module entries answer per-module probes.
+        for request in crate::canon::canonicalize_modules(&config, 1).unwrap() {
+            assert!(cache.lookup(&request).is_some(), "module entry present");
+        }
+    }
+
+    #[test]
+    fn compositional_run_reuses_sibling_module_checkpoints() {
+        let config = two_module_config(20);
+        let store = Arc::new(crate::ShardedCheckpointStore::new(1 << 22));
+        Analyzer::new(&config)
+            .compositional(true)
+            .checkpoints(store.clone())
+            .run()
+            .unwrap();
+        assert_eq!(store.stats().insertions, 2, "one checkpoint per module");
+
+        // Edit one module's partition: the other module's checkpoint stays
+        // warm — a full hit, no simulation for it at all.
+        let edited = two_module_config(25);
+        Analyzer::new(&edited)
+            .compositional(true)
+            .checkpoints(store.clone())
+            .run()
+            .unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.full_hits, 1, "unchanged module served from its checkpoint");
+        assert_eq!(stats.insertions, 3, "only the edited module re-simulated");
+    }
+
+    #[test]
+    fn compositional_falls_back_on_cross_module_messages() {
+        use swa_ima::{Message, TaskRef};
+        let mut config = two_module_config(20);
+        config.messages = vec![Message::new(
+            "m",
+            TaskRef::new(swa_ima::PartitionId::from_raw(0), 0),
+            TaskRef::new(swa_ima::PartitionId::from_raw(1), 0),
+            3,
+            5,
+        )];
+        let whole = Analyzer::new(&config).run().unwrap();
+        let fallback = Analyzer::new(&config).compositional(true).run().unwrap();
+        assert_eq!(fallback.analysis, whole.analysis);
+        assert!(matches!(
+            decompose(&config),
+            Decomposition::Whole(crate::FallbackReason::CrossModuleMessage { .. })
+        ));
+    }
+
+    #[test]
     fn batch_recorder_receives_batch_metrics() {
         let configs = vec![config(), config()];
         let recorder = Arc::new(MetricsRecorder::new());
-        let out = Analyzer::batch(&configs)
+        let out = Analyzer::configure()
             .parallelism(2)
             .recorder(recorder.clone())
-            .exhaustive()
+            .analyze_all(&configs)
             .unwrap();
         assert_eq!(out.evaluated(), 2);
         assert_eq!(recorder.counter_value("batch.checks"), 2);
         assert!(recorder.span_total("batch.wall") > Duration::ZERO);
         assert_eq!(recorder.counter_value("batch.worker.0.checks") + recorder.counter_value("batch.worker.1.checks"), 2);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_batch_shim_still_works() {
+        let configs = vec![config(), config()];
+        let out = Analyzer::batch(&configs)
+            .parallelism(2)
+            .exhaustive()
+            .unwrap();
+        assert_eq!(out.evaluated(), 2);
+        assert_eq!(out.winner, Some(0));
     }
 }

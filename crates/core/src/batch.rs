@@ -31,6 +31,7 @@ use swa_ima::Configuration;
 use swa_nsa::{EvalEngine, TieBreak};
 
 use crate::analyzer::Analyzer;
+use crate::cache::VerdictCache;
 use crate::checkpoint::CheckpointStore;
 use crate::error::PipelineError;
 use crate::obs::Recorder;
@@ -66,6 +67,17 @@ pub struct BatchOptions {
     /// that recur across batches — a search loop revisiting a rung, a
     /// repair loop perturbing one partition — resume instead of replaying.
     pub checkpoints: Option<Arc<dyn CheckpointStore>>,
+    /// Verdict cache every candidate's result is inserted into; `None`
+    /// records nothing. See [`Analyzer::cache`].
+    pub cache: Option<Arc<dyn VerdictCache>>,
+    /// Analyze each candidate compositionally (per module) where sound;
+    /// see [`Analyzer::compositional`]. With a shared [`Self::checkpoints`]
+    /// store this makes near-duplicate candidates — a repair loop editing
+    /// one partition — full hits for every unchanged module.
+    pub compositional: bool,
+    /// Analysis span per candidate, in hyperperiods (values below 1 are
+    /// clamped to 1).
+    pub hyperperiods: u32,
 }
 
 impl fmt::Debug for BatchOptions {
@@ -77,6 +89,9 @@ impl fmt::Debug for BatchOptions {
             .field("engine", &self.engine)
             .field("recorder", &self.recorder.is_some())
             .field("checkpoints", &self.checkpoints.is_some())
+            .field("cache", &self.cache.is_some())
+            .field("compositional", &self.compositional)
+            .field("hyperperiods", &self.hyperperiods)
             .finish()
     }
 }
@@ -139,8 +154,8 @@ enum Message {
 
 /// Runs the batch engine over a family of candidate configurations.
 ///
-/// This is the function behind [`Analyzer::batch`]; prefer the builder in
-/// new code.
+/// This is the function behind [`Analyzer::analyze_all`] and
+/// [`Analyzer::first_schedulable`]; prefer the builder in new code.
 ///
 /// # Errors
 ///
@@ -177,11 +192,21 @@ pub fn run_batch(
                         break;
                     }
                     let t = Instant::now();
+                    // Candidates already run in parallel; a compositional
+                    // candidate fans its modules out sequentially within
+                    // this worker (parallelism 1) rather than nesting
+                    // thread pools.
                     let mut analyzer = Analyzer::new(&configs[i])
                         .tie_break(options.tie_break.clone())
-                        .engine(options.engine);
+                        .engine(options.engine)
+                        .horizon(options.hyperperiods)
+                        .parallelism(1)
+                        .compositional(options.compositional);
                     if let Some(store) = &options.checkpoints {
                         analyzer = analyzer.checkpoints(store.clone());
+                    }
+                    if let Some(cache) = &options.cache {
+                        analyzer = analyzer.cache(cache.clone());
                     }
                     let run = analyzer.run();
                     stats.busy += t.elapsed();

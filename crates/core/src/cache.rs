@@ -59,20 +59,49 @@ impl CachedVerdict {
     /// Summarizes a full analysis report into its cacheable form.
     #[must_use]
     pub fn from_report(report: &AnalysisReport) -> Self {
-        let mut missing: Vec<PartitionId> = report
-            .analysis
+        Self::from_analysis(&report.analysis)
+    }
+
+    /// Summarizes a schedulability analysis into its cacheable form.
+    #[must_use]
+    pub fn from_analysis(analysis: &crate::Analysis) -> Self {
+        let mut missing: Vec<PartitionId> = analysis
             .missed_jobs()
             .map(|j| j.task.partition)
             .collect();
         missing.sort_unstable();
         missing.dedup();
         Self {
-            schedulable: report.schedulable(),
-            hyperperiod: report.analysis.hyperperiod,
-            jobs: report.analysis.jobs.len(),
-            missed_jobs: report.analysis.missed_jobs().count(),
+            schedulable: analysis.schedulable,
+            hyperperiod: analysis.hyperperiod,
+            jobs: analysis.jobs.len(),
+            missed_jobs: analysis.missed_jobs().count(),
             missing_partitions: missing,
         }
+    }
+
+    /// The typed verdict of the cached analysis (an unschedulable verdict
+    /// carries the cached miss attribution; module names can be resolved
+    /// against a configuration with
+    /// [`verdict_in`](Self::verdict_in)).
+    #[must_use]
+    pub fn verdict(&self) -> crate::Verdict {
+        if self.schedulable {
+            crate::Verdict::Schedulable
+        } else {
+            crate::Verdict::unschedulable(self.missed_jobs, self.missing_partitions.clone())
+        }
+    }
+
+    /// As [`verdict`](Self::verdict), naming the modules that own the
+    /// missing partitions (resolved through `config`'s binding).
+    #[must_use]
+    pub fn verdict_in(&self, config: &swa_ima::Configuration) -> crate::Verdict {
+        let mut verdict = self.verdict();
+        if let crate::Verdict::Unschedulable { diagnosis } = &mut verdict {
+            diagnosis.attribute_modules(config);
+        }
+        verdict
     }
 
     /// Approximate heap footprint, used for the cache's byte budget.

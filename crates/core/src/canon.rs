@@ -196,6 +196,42 @@ fn write_config_body(w: &mut Writer, config: &Configuration) {
     }
 }
 
+/// Canonicalizes a decomposable configuration *per module*: one
+/// [`CanonicalRequest`] per module part, in module order. Returns `None`
+/// when the configuration does not decompose (cross-module messages,
+/// hyperperiod mismatch — see [`crate::compose::decompose`]).
+///
+/// Each key is the ordinary request key of the module's extracted
+/// sub-configuration, in which the module is renumbered to 0 and its
+/// partitions densely from 0. A module's key therefore depends only on
+/// its own content: it is invariant under module reordering and under any
+/// edit confined to sibling modules — which is what lets a near-duplicate
+/// configuration (one partition edited) hit warm cache and checkpoint
+/// entries for every unchanged module.
+#[must_use]
+pub fn canonicalize_modules(
+    config: &Configuration,
+    hyperperiods: u32,
+) -> Option<Vec<CanonicalRequest>> {
+    let parts = crate::compose::decompose(config);
+    let parts = parts.parts()?;
+    Some(
+        parts
+            .iter()
+            .map(|p| canonicalize(&p.sub, hyperperiods))
+            .collect(),
+    )
+}
+
+/// As [`canonicalize_modules`] without a horizon: one [`CanonicalConfig`]
+/// per module part, the keying unit of the per-module checkpoint reuse.
+#[must_use]
+pub fn canonical_module_configs(config: &Configuration) -> Option<Vec<CanonicalConfig>> {
+    let parts = crate::compose::decompose(config);
+    let parts = parts.parts()?;
+    Some(parts.iter().map(|p| canonical_config(&p.sub)).collect())
+}
+
 /// Hashes a canonical byte string into a 128-bit key.
 #[must_use]
 pub fn hash_bytes(bytes: &[u8]) -> CacheKey {
@@ -370,5 +406,194 @@ mod tests {
         let hex = key.to_string();
         assert_eq!(hex.len(), 32);
         assert!(hex.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    // ---- per-module key properties -----------------------------------
+
+    /// Minimal in-file PRNG (the workspace policy: no external deps).
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            self.0 >> 33
+        }
+
+        fn pick(&mut self, n: usize) -> usize {
+            usize::try_from(self.next()).unwrap() % n
+        }
+    }
+
+    /// A random multi-module configuration over a harmonic period menu;
+    /// every partition anchors a period-200 task so each module's
+    /// hyperperiod equals the whole configuration's and the config
+    /// decomposes.
+    fn random_multi_module(rng: &mut Lcg) -> Configuration {
+        let ct = CoreTypeId::from_raw(0);
+        let modules_n = 2 + rng.pick(3);
+        let mut config = Configuration {
+            core_types: vec![CoreType::new("generic")],
+            ..Configuration::default()
+        };
+        for mi in 0..modules_n {
+            config
+                .modules
+                .push(Module::homogeneous(format!("M{mi}"), 1, ct));
+            let parts_n = 1 + rng.pick(2);
+            for pi in 0..parts_n {
+                let mut tasks = vec![Task::new(
+                    format!("m{mi}p{pi}_anchor"),
+                    9,
+                    vec![2],
+                    200,
+                )];
+                for ti in 0..rng.pick(3) {
+                    let period = [50, 100, 200][rng.pick(3)];
+                    tasks.push(Task::new(
+                        format!("m{mi}p{pi}t{ti}"),
+                        i64::try_from(ti).unwrap(),
+                        vec![1 + i64::try_from(rng.pick(4)).unwrap()],
+                        period,
+                    ));
+                }
+                config
+                    .partitions
+                    .push(Partition::new(format!("m{mi}p{pi}"), SchedulerKind::Fpps, tasks));
+                config.binding.push(CoreRef::new(
+                    ModuleId::from_raw(u32::try_from(mi).unwrap()),
+                    0,
+                ));
+                let width = 200 / i64::try_from(parts_n).unwrap();
+                let lo = width * i64::try_from(pi).unwrap();
+                config.windows.push(vec![Window::new(lo, lo + width)]);
+            }
+        }
+        config
+    }
+
+    /// Reorders `config`'s modules by `perm` (new index -> old index),
+    /// remapping the bindings accordingly. Partition order stays global.
+    fn permute_modules(config: &Configuration, perm: &[usize]) -> Configuration {
+        let mut out = config.clone();
+        out.modules = perm.iter().map(|&old| config.modules[old].clone()).collect();
+        let mut new_of_old = vec![0u32; perm.len()];
+        for (new, &old) in perm.iter().enumerate() {
+            new_of_old[old] = u32::try_from(new).unwrap();
+        }
+        for b in &mut out.binding {
+            *b = CoreRef::new(ModuleId::from_raw(new_of_old[b.module.index()]), b.core);
+        }
+        out
+    }
+
+    #[test]
+    fn module_keys_are_invariant_under_module_reordering() {
+        let mut rng = Lcg(0x5eed_0001);
+        for _ in 0..25 {
+            let config = random_multi_module(&mut rng);
+            config.validate().unwrap();
+            let base = canonicalize_modules(&config, 1).expect("decomposable");
+            let mut base_keys: Vec<CacheKey> = base.iter().map(|r| r.key).collect();
+            base_keys.sort_unstable();
+
+            // A random permutation of the modules.
+            let mut perm: Vec<usize> = (0..config.modules.len()).collect();
+            for i in (1..perm.len()).rev() {
+                perm.swap(i, rng.pick(i + 1));
+            }
+            let permuted = permute_modules(&config, &perm);
+            permuted.validate().unwrap();
+            let mut permuted_keys: Vec<CacheKey> = canonicalize_modules(&permuted, 1)
+                .expect("still decomposable")
+                .iter()
+                .map(|r| r.key)
+                .collect();
+            permuted_keys.sort_unstable();
+            assert_eq!(base_keys, permuted_keys, "perm {perm:?}");
+        }
+    }
+
+    #[test]
+    fn module_keys_ignore_sibling_module_edits() {
+        let mut rng = Lcg(0x5eed_0002);
+        for _ in 0..25 {
+            let config = random_multi_module(&mut rng);
+            let base = canonicalize_modules(&config, 1).expect("decomposable");
+
+            // Edit one task inside one module ("the victim").
+            let victim_module = rng.pick(config.modules.len());
+            let mut edited = config.clone();
+            let target = edited
+                .binding
+                .iter()
+                .position(|b| b.module.index() == victim_module)
+                .expect("every module owns a partition");
+            edited.partitions[target].tasks[0].wcet[0] += 1;
+
+            let after = canonicalize_modules(&edited, 1).expect("still decomposable");
+            assert_eq!(base.len(), after.len());
+            let mut victim_changed = false;
+            for (b, a) in base.iter().zip(&after) {
+                if b.key == a.key {
+                    assert_eq!(b.bytes, a.bytes);
+                } else {
+                    assert!(!victim_changed, "only one module's key may change");
+                    victim_changed = true;
+                }
+            }
+            assert!(victim_changed, "the edited module's key must change");
+        }
+    }
+
+    #[test]
+    fn cross_module_links_force_the_whole_config_fallback() {
+        let mut rng = Lcg(0x5eed_0003);
+        let mut exercised = 0;
+        for _ in 0..25 {
+            let config = random_multi_module(&mut rng);
+            // Wire the two anchor tasks (period 200 on every partition) of
+            // partitions on *different* modules.
+            let a = rng.pick(config.partitions.len());
+            let Some(b) = (0..config.partitions.len())
+                .find(|&b| config.binding[b].module != config.binding[a].module)
+            else {
+                continue;
+            };
+            let mut linked = config.clone();
+            linked.messages.push(swa_ima::Message::new(
+                "crossing",
+                swa_ima::TaskRef::new(swa_ima::PartitionId::from_raw(u32::try_from(a).unwrap()), 0),
+                swa_ima::TaskRef::new(swa_ima::PartitionId::from_raw(u32::try_from(b).unwrap()), 0),
+                1,
+                5,
+            ));
+            linked.validate().unwrap();
+            assert!(
+                canonicalize_modules(&linked, 1).is_none(),
+                "a cross-module link must force whole-config analysis"
+            );
+            assert!(canonical_module_configs(&linked).is_none());
+            exercised += 1;
+        }
+        assert!(exercised >= 20, "the property was barely exercised");
+    }
+
+    #[test]
+    fn module_request_and_config_keys_align_with_the_parts() {
+        let mut rng = Lcg(0x5eed_0004);
+        let config = random_multi_module(&mut rng);
+        let reqs = canonicalize_modules(&config, 1).expect("decomposable");
+        let cfgs = canonical_module_configs(&config).expect("decomposable");
+        let parts = crate::compose::decompose(&config);
+        let parts = parts.parts().expect("decomposable");
+        assert_eq!(reqs.len(), parts.len());
+        assert_eq!(cfgs.len(), parts.len());
+        for ((req, cfg), part) in reqs.iter().zip(&cfgs).zip(parts) {
+            assert_eq!(req.key, canonicalize(&part.sub, 1).key);
+            assert_eq!(cfg.key, canonical_config(&part.sub).key);
+        }
     }
 }

@@ -60,6 +60,7 @@ pub mod cache;
 pub mod canon;
 pub mod checkpoint;
 pub mod chains;
+pub mod compose;
 pub mod error;
 pub mod gantt;
 pub mod instance;
@@ -68,15 +69,26 @@ pub mod pipeline;
 pub mod sysevents;
 pub mod templates;
 
-pub use analysis::{analyze, analyze_spanning, Analysis, JobOutcome, TaskStats, Verdict};
-pub use analyzer::{Analyzer, BatchAnalyzer};
+pub use analysis::{
+    analyze, analyze_spanning, Analysis, JobOutcome, TaskStats, Verdict, VerdictDiagnosis,
+};
+pub use analyzer::Analyzer;
+#[allow(deprecated)]
+pub use analyzer::BatchAnalyzer;
 pub use batch::{
     run_batch, BatchMetrics, BatchMode, BatchOptions, BatchOutcome, CandidateResult, WorkerStats,
 };
 pub use cache::{CacheStats, CachedVerdict, ShardedVerdictCache, VerdictCache};
-pub use canon::{canonical_config, canonicalize, CacheKey, CanonicalConfig, CanonicalRequest};
+pub use canon::{
+    canonical_config, canonical_module_configs, canonicalize, canonicalize_modules, CacheKey,
+    CanonicalConfig, CanonicalRequest,
+};
 pub use checkpoint::{Checkpoint, CheckpointStats, CheckpointStore, ShardedCheckpointStore};
 pub use chains::{chain_latency, ChainError, ChainInstance, ChainLatency};
+pub use compose::{
+    compose_analysis, compose_cached, compositional_lookup, decompose, Decomposition,
+    FallbackReason, ModulePart,
+};
 pub use error::{ModelError, PipelineError};
 pub use gantt::render_gantt;
 pub use instance::{ChannelRole, ModelMap, SystemModel};

@@ -39,6 +39,21 @@ impl AnalysisReport {
     pub fn verdict(&self) -> Verdict {
         self.analysis.verdict()
     }
+
+    /// The typed verdict with module attribution: an unschedulable
+    /// diagnosis additionally names the modules owning the missing
+    /// partitions, resolved through `config`'s binding (the configuration
+    /// this report was produced from). This is the composed diagnosis the
+    /// compositional analyzer surfaces — identical whether the report came
+    /// from a whole-configuration or a per-module run.
+    #[must_use]
+    pub fn verdict_in(&self, config: &Configuration) -> Verdict {
+        let mut verdict = self.analysis.verdict();
+        if let Verdict::Unschedulable { diagnosis } = &mut verdict {
+            diagnosis.attribute_modules(config);
+        }
+        verdict
+    }
 }
 
 /// Runs the full pipeline on a configuration with the canonical

@@ -64,9 +64,9 @@ fn batch_matches_sequential_loop_on_a_generated_family() {
 
         // First-schedulable mode: the identical winner, and an identical
         // evaluated prefix.
-        let batch = Analyzer::batch(&family)
+        let batch = Analyzer::configure()
             .parallelism(parallelism)
-            .first_schedulable()
+            .first_schedulable(&family)
             .unwrap();
         assert_eq!(batch.winner, first, "parallelism {parallelism}");
         for (i, &expected) in sequential.iter().enumerate().take(first.unwrap() + 1) {
@@ -87,9 +87,9 @@ fn workers_cancel_promptly_after_a_winner() {
     let mut family = candidate_family();
     family.reverse();
 
-    let batch = Analyzer::batch(&family)
+    let batch = Analyzer::configure()
         .parallelism(4)
-        .first_schedulable()
+        .first_schedulable(&family)
         .unwrap();
     assert_eq!(batch.winner, Some(0));
     assert!(

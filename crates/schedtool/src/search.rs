@@ -21,7 +21,10 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use swa_core::{canonicalize, Analyzer, CachedVerdict, CheckpointStore, PipelineError, VerdictCache};
+use swa_core::{
+    canonicalize, compositional_lookup, Analyzer, CachedVerdict, CheckpointStore, PipelineError,
+    Verdict, VerdictCache,
+};
 use swa_ima::{Configuration, CoreRef, PartitionId};
 use swa_workload::{synthesize_windows, PartitionDemand};
 
@@ -65,7 +68,11 @@ impl Default for SearchOptions {
 pub struct IterationRecord {
     /// 0-based iteration index.
     pub index: usize,
-    /// The verdict for this candidate.
+    /// The typed verdict for this candidate; an unschedulable diagnosis
+    /// names the missing partitions and their modules.
+    pub verdict: Verdict,
+    /// The verdict for this candidate (the boolean shadow of
+    /// [`verdict`](Self::verdict), kept for older callers).
     pub schedulable: bool,
     /// Number of missed jobs.
     pub missed_jobs: usize,
@@ -115,55 +122,102 @@ pub fn search(
     problem: &DesignProblem,
     options: &SearchOptions,
 ) -> Result<SearchOutcome, PipelineError> {
-    search_with_cache(problem, options, None)
+    search_impl(problem, options, None, &Analyzer::configure())
+}
+
+/// [`search`], with candidate checking configured by an [`Analyzer`] — the
+/// one entry point behind every store combination.
+///
+/// The analyzer contributes its engine, tie-break order, checkpoint store,
+/// verdict cache and [`compositional`](Analyzer::compositional) setting to
+/// every candidate evaluation; batch parallelism comes from
+/// [`SearchOptions::parallelism`] (the search's own knob). The stores
+/// compose:
+///
+/// * the **verdict cache** short-circuits *exact repeats* before any model
+///   is built — every ladder candidate is canonicalized
+///   ([`swa_core::canon`]) and probed first; known verdicts skip the batch
+///   engine entirely (their [`IterationRecord::check_time`] is zero), and
+///   freshly evaluated candidates are inserted for the next round — or the
+///   next search: the window-synthesis quantization makes distinct rounds
+///   regenerate identical configurations. Under compositional analysis the
+///   probe is [`compositional_lookup`], so a candidate whose modules were
+///   each seen before — in *different* earlier candidates — is answered by
+///   composition without any simulation;
+/// * the **checkpoint store** warm-starts the simulations that still have
+///   to run — a revisited candidate resumes from its stored end state
+///   instead of replaying from t = 0, per module when compositional, and a
+///   later longer-horizon validation of the found configuration (see
+///   [`Analyzer::checkpoints`]) picks up the checkpoints this search left
+///   behind.
+///
+/// All of it is exact, so the found configuration — and every iteration
+/// verdict — is identical whatever the analyzer settings: cached and
+/// composed verdicts equal computed ones, and the first-wins winner rule
+/// is applied to the merged (cached + evaluated) verdict sequence.
+///
+/// # Errors
+///
+/// Same contract as [`search`].
+pub fn search_with(
+    problem: &DesignProblem,
+    options: &SearchOptions,
+    analyzer: &Analyzer<'_>,
+) -> Result<SearchOutcome, PipelineError> {
+    let cache = analyzer.verdict_cache().cloned();
+    search_impl(problem, options, cache.as_deref(), analyzer)
 }
 
 /// [`search`], with an optional content-addressed verdict cache injected
 /// into the candidate-checking loop.
 ///
-/// Every ladder candidate is canonicalized ([`swa_core::canon`]) and
-/// probed first; known verdicts skip the batch engine entirely (their
-/// [`IterationRecord::check_time`] is zero), and freshly evaluated
-/// candidates are inserted for the next round — or the next search: the
-/// window-synthesis quantization makes distinct rounds (and re-runs over
-/// evolving problems) regenerate identical configurations, so sharing a
-/// cache across searches skips their re-simulation. The found
-/// configuration is identical with or without a cache: cached verdicts
-/// equal computed ones, and the first-wins winner rule is applied to the
-/// merged (cached + evaluated) verdict sequence.
-///
 /// # Errors
 ///
 /// Same contract as [`search`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `search_with` with an `Analyzer::configure().cache(..)` carrier"
+)]
 pub fn search_with_cache(
     problem: &DesignProblem,
     options: &SearchOptions,
     cache: Option<&dyn VerdictCache>,
 ) -> Result<SearchOutcome, PipelineError> {
-    search_with_stores(problem, options, cache, None)
+    search_impl(problem, options, cache, &Analyzer::configure())
 }
 
-/// [`search_with_cache`], with an additional checkpoint store injected
-/// into candidate checking.
-///
-/// The two stores compose: the verdict cache short-circuits *exact
-/// repeats* (same configuration, same horizon) before any model is built,
-/// while the checkpoint store warm-starts the simulations that still have
-/// to run — a revisited candidate resumes from its stored end state
-/// instead of replaying from t = 0, and a later longer-horizon validation
-/// of the found configuration (see [`swa_core::Analyzer::checkpoints`])
-/// picks up the checkpoint this search left behind. Both stores are
-/// exact, so the found configuration — and every iteration verdict — is
-/// identical with or without them.
+/// [`search`], with an optional verdict cache and checkpoint store
+/// injected into candidate checking.
 ///
 /// # Errors
 ///
 /// Same contract as [`search`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `search_with` with an `Analyzer::configure().cache(..).checkpoints(..)` carrier"
+)]
 pub fn search_with_stores(
     problem: &DesignProblem,
     options: &SearchOptions,
     cache: Option<&dyn VerdictCache>,
     checkpoints: Option<Arc<dyn CheckpointStore>>,
+) -> Result<SearchOutcome, PipelineError> {
+    let mut analyzer = Analyzer::configure();
+    if let Some(store) = checkpoints {
+        analyzer = analyzer.checkpoints(store);
+    }
+    search_impl(problem, options, cache, &analyzer)
+}
+
+/// The search loop. `cache` is the probe/insert handle (borrowed so the
+/// deprecated entry points can pass a plain reference); when the
+/// `analyzer` carries its own cache the evaluation path inserts results
+/// itself and this function only probes.
+fn search_impl(
+    problem: &DesignProblem,
+    options: &SearchOptions,
+    cache: Option<&dyn VerdictCache>,
+    analyzer: &Analyzer<'_>,
 ) -> Result<SearchOutcome, PipelineError> {
     let hyperperiod = problem.hyperperiod().ok_or_else(bad_problem)?;
     let frame = problem.min_period().ok_or_else(bad_problem)?;
@@ -200,11 +254,18 @@ pub fn search_with_stores(
 
         // Probe the cache: ladder candidates regenerated by the window
         // quantization (and whole re-runs of a search) hit here and skip
-        // the batch engine.
+        // the batch engine. Under compositional analysis the probe also
+        // composes a whole verdict from per-module entries, so a candidate
+        // is served even when only its *modules* were seen before.
+        let hp = analyzer.hyperperiods();
         let known: Vec<Option<Arc<CachedVerdict>>> = match cache {
+            Some(cache) if analyzer.is_compositional() => candidates
+                .iter()
+                .map(|c| compositional_lookup(cache, c, hp))
+                .collect(),
             Some(cache) => candidates
                 .iter()
-                .map(|c| cache.lookup(&canonicalize(c, 1)))
+                .map(|c| cache.lookup(&canonicalize(c, hp)))
                 .collect(),
             None => vec![None; candidates.len()],
         };
@@ -222,19 +283,25 @@ pub fn search_with_stores(
         let batch = if subset.is_empty() {
             None
         } else {
-            let mut builder = Analyzer::batch(&subset).parallelism(options.parallelism);
-            if let Some(store) = &checkpoints {
-                builder = builder.checkpoints(store.clone());
-            }
-            Some(builder.first_schedulable()?)
+            Some(
+                analyzer
+                    .clone()
+                    .parallelism(options.parallelism)
+                    .first_schedulable(&subset)?,
+            )
         };
-        if let (Some(cache), Some(batch)) = (cache, &batch) {
-            for (pos, result) in batch.results.iter().enumerate() {
-                if let Some(result) = result.as_ref() {
-                    cache.insert(
-                        &canonicalize(&candidates[subset_idx[pos]], 1),
-                        Arc::new(CachedVerdict::from_report(&result.report)),
-                    );
+        // An analyzer carrying its own cache inserts during evaluation
+        // (whole and — compositionally — per-module keys); only the
+        // borrowed-cache entry points insert here.
+        if analyzer.verdict_cache().is_none() {
+            if let (Some(cache), Some(batch)) = (cache, &batch) {
+                for (pos, result) in batch.results.iter().enumerate() {
+                    if let Some(result) = result.as_ref() {
+                        cache.insert(
+                            &canonicalize(&candidates[subset_idx[pos]], hp),
+                            Arc::new(CachedVerdict::from_report(&result.report)),
+                        );
+                    }
                 }
             }
         }
@@ -256,6 +323,7 @@ pub fn search_with_stores(
             if let Some(v) = &known[k] {
                 return IterationRecord {
                     index: 0,
+                    verdict: v.verdict_in(&candidates[k]),
                     schedulable: v.schedulable,
                     missed_jobs: v.missed_jobs,
                     missing_partitions: v.missing_partitions.clone(),
@@ -272,6 +340,7 @@ pub fn search_with_stores(
                 .expect("prefix is always evaluated");
             IterationRecord {
                 index: 0,
+                verdict: result.report.verdict_in(&candidates[k]),
                 schedulable: result.report.schedulable(),
                 missed_jobs: result.report.analysis.missed_jobs().count(),
                 missing_partitions: missing_partitions(result.report.analysis.missed_jobs()),
@@ -550,10 +619,11 @@ mod tests {
 
     #[test]
     fn cached_search_finds_the_same_configuration() {
-        let cache = swa_core::ShardedVerdictCache::new(1 << 22);
+        let cache = Arc::new(swa_core::ShardedVerdictCache::new(1 << 22));
         for problem in [two_partition_problem(1), two_partition_problem(2)] {
             let baseline = search(&problem, &SearchOptions::default()).unwrap();
-            let cached = search_with_cache(&problem, &SearchOptions::default(), Some(&cache)).unwrap();
+            let analyzer = Analyzer::configure().cache(cache.clone());
+            let cached = search_with(&problem, &SearchOptions::default(), &analyzer).unwrap();
             assert_eq!(baseline.configuration, cached.configuration);
             assert_eq!(baseline.iterations.len(), cached.iterations.len());
             for (b, c) in baseline.iterations.iter().zip(&cached.iterations) {
@@ -568,13 +638,14 @@ mod tests {
     fn repeated_search_is_served_from_the_cache() {
         let problem = two_partition_problem(1);
         let options = SearchOptions::default();
-        let cache = swa_core::ShardedVerdictCache::new(1 << 22);
+        let cache = Arc::new(swa_core::ShardedVerdictCache::new(1 << 22));
+        let analyzer = Analyzer::configure().cache(cache.clone());
 
-        let first = search_with_cache(&problem, &options, Some(&cache)).unwrap();
+        let first = search_with(&problem, &options, &analyzer).unwrap();
         let after_first = cache.stats();
         assert!(after_first.insertions > 0, "first run populates the cache");
 
-        let second = search_with_cache(&problem, &options, Some(&cache)).unwrap();
+        let second = search_with(&problem, &options, &analyzer).unwrap();
         let after_second = cache.stats();
 
         assert_eq!(first.configuration, second.configuration);
@@ -595,13 +666,9 @@ mod tests {
         for problem in [two_partition_problem(1), two_partition_problem(2)] {
             let baseline = search(&problem, &SearchOptions::default()).unwrap();
             let store = Arc::new(ShardedCheckpointStore::new(1 << 22));
-            let warm = search_with_stores(
-                &problem,
-                &SearchOptions::default(),
-                None,
-                Some(store.clone() as Arc<dyn CheckpointStore>),
-            )
-            .unwrap();
+            let analyzer =
+                Analyzer::configure().checkpoints(store.clone() as Arc<dyn CheckpointStore>);
+            let warm = search_with(&problem, &SearchOptions::default(), &analyzer).unwrap();
             assert_eq!(baseline.configuration, warm.configuration);
             assert_eq!(baseline.iterations.len(), warm.iterations.len());
             for (b, w) in baseline.iterations.iter().zip(&warm.iterations) {
@@ -624,6 +691,71 @@ mod tests {
                 assert_eq!(store.stats().hits, before.hits + 1);
             }
         }
+    }
+
+    fn two_module_problem() -> DesignProblem {
+        DesignProblem {
+            core_types: vec![CoreType::new("ct")],
+            modules: vec![
+                Module::homogeneous("A", 1, CoreTypeId::from_raw(0)),
+                Module::homogeneous("B", 1, CoreTypeId::from_raw(0)),
+            ],
+            partitions: vec![
+                Partition::new("p0", SchedulerKind::Fpps, vec![Task::new("t", 1, vec![20], 100)]),
+                Partition::new("p1", SchedulerKind::Fpps, vec![Task::new("t", 1, vec![30], 100)]),
+                Partition::new("p2", SchedulerKind::Fpps, vec![Task::new("t", 1, vec![25], 100)]),
+            ],
+            messages: vec![],
+        }
+    }
+
+    #[test]
+    fn compositional_search_finds_the_same_configuration() {
+        for problem in [two_partition_problem(2), two_module_problem()] {
+            let baseline = search(&problem, &SearchOptions::default()).unwrap();
+            let cache = Arc::new(swa_core::ShardedVerdictCache::new(1 << 22));
+            let store = Arc::new(swa_core::ShardedCheckpointStore::new(1 << 22));
+            let analyzer = Analyzer::configure()
+                .compositional(true)
+                .cache(cache.clone())
+                .checkpoints(store.clone());
+            let composed = search_with(&problem, &SearchOptions::default(), &analyzer).unwrap();
+            assert_eq!(baseline.configuration, composed.configuration);
+            assert_eq!(baseline.iterations.len(), composed.iterations.len());
+            for (b, c) in baseline.iterations.iter().zip(&composed.iterations) {
+                assert_eq!(b.schedulable, c.schedulable);
+                assert_eq!(b.missed_jobs, c.missed_jobs);
+                assert_eq!(b.missing_partitions, c.missing_partitions);
+            }
+        }
+    }
+
+    #[test]
+    fn iteration_verdicts_are_typed() {
+        let problem = two_partition_problem(1);
+        let outcome = search(&problem, &SearchOptions::default()).unwrap();
+        for record in &outcome.iterations {
+            assert_eq!(record.verdict.is_schedulable(), record.schedulable);
+            if let Some(diagnosis) = record.verdict.diagnosis() {
+                assert_eq!(diagnosis.missed_jobs, record.missed_jobs);
+                assert_eq!(diagnosis.missing_partitions, record.missing_partitions);
+            }
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_store_shims_still_agree() {
+        let problem = two_partition_problem(1);
+        let options = SearchOptions::default();
+        let baseline = search(&problem, &options).unwrap();
+        let cache = swa_core::ShardedVerdictCache::new(1 << 22);
+        let via_cache = search_with_cache(&problem, &options, Some(&cache)).unwrap();
+        let store = Arc::new(swa_core::ShardedCheckpointStore::new(1 << 22));
+        let via_stores =
+            search_with_stores(&problem, &options, Some(&cache), Some(store)).unwrap();
+        assert_eq!(baseline.configuration, via_cache.configuration);
+        assert_eq!(baseline.configuration, via_stores.configuration);
     }
 
     #[test]

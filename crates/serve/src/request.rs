@@ -158,11 +158,14 @@ fn flag(doc: &Json, name: &str) -> Result<bool, RequestError> {
 }
 
 /// Renders a successful verdict response body.
+///
+/// The typed `verdict` field is the primary one; the boolean
+/// `schedulable` field is kept for one release for older clients.
 #[must_use]
 pub fn render_verdict(verdict: &CachedVerdict, cached: bool, key: CacheKey, check_ms: f64) -> String {
     format!(
-        "{{\"status\":\"ok\",\"schedulable\":{},\"cached\":{},\"key\":\"{}\",\"hyperperiod\":{},\"jobs\":{},\"missed_jobs\":{},\"check_ms\":{:.3}}}",
-        verdict.schedulable, cached, key, verdict.hyperperiod, verdict.jobs, verdict.missed_jobs, check_ms,
+        "{{\"status\":\"ok\",\"verdict\":\"{}\",\"schedulable\":{},\"cached\":{},\"key\":\"{}\",\"hyperperiod\":{},\"jobs\":{},\"missed_jobs\":{},\"check_ms\":{:.3}}}",
+        verdict.verdict().label(), verdict.schedulable, cached, key, verdict.hyperperiod, verdict.jobs, verdict.missed_jobs, check_ms,
     )
 }
 
@@ -281,6 +284,7 @@ mod tests {
         let doc = Json::parse(&ok).unwrap();
         assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"));
         assert_eq!(doc.get("cached").unwrap().as_bool(), Some(true));
+        assert_eq!(doc.get("verdict").unwrap().as_str(), Some("schedulable"));
         assert_eq!(doc.get("schedulable").unwrap().as_bool(), Some(true));
         assert_eq!(doc.get("key").unwrap().as_str(), Some(key.to_string().as_str()));
 

@@ -42,9 +42,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use swa_core::{
-    canonicalize, Analyzer, CacheStats, CachedVerdict, CanonicalRequest, CheckpointStats,
-    CheckpointStore, MetricsRecorder, Recorder, ShardedCheckpointStore, ShardedVerdictCache,
-    VerdictCache,
+    canonicalize, compositional_lookup, Analyzer, CacheStats, CachedVerdict, CanonicalRequest,
+    CheckpointStats, CheckpointStore, MetricsRecorder, Recorder, ShardedCheckpointStore,
+    ShardedVerdictCache, VerdictCache,
 };
 
 use crate::http::{read_request, write_response, HttpError, Request};
@@ -75,6 +75,13 @@ pub struct ServeOptions {
     /// that re-analyze a configuration at a longer horizon resume the
     /// earlier request's simulation instead of replaying it.
     pub checkpoint_bytes: usize,
+    /// Analyze decomposable configurations per module and cache each
+    /// module's verdict under its own key, so a request that edits one
+    /// module still hits warm entries for every unchanged sibling. The
+    /// composed verdict is identical to the whole-configuration verdict;
+    /// non-decomposable requests (cross-module messages, topologies)
+    /// fall back transparently.
+    pub compositional: bool,
 }
 
 impl Default for ServeOptions {
@@ -85,6 +92,7 @@ impl Default for ServeOptions {
             queue_depth: 64,
             cache_bytes: 16 * 1024 * 1024,
             checkpoint_bytes: 16 * 1024 * 1024,
+            compositional: false,
         }
     }
 }
@@ -124,6 +132,7 @@ impl Server {
             recorder,
             cache,
             checkpoints,
+            compositional: options.compositional,
             pool: WorkerPool::new(options.workers, options.queue_depth),
             gates: Mutex::new(HashMap::new()),
             shutting_down: AtomicBool::new(false),
@@ -211,6 +220,8 @@ struct Inner {
     cache: Arc<ShardedVerdictCache>,
     /// Warm-start store shared across requests; `None` when disabled.
     checkpoints: Option<Arc<ShardedCheckpointStore>>,
+    /// Per-module analysis and caching for decomposable requests.
+    compositional: bool,
     pool: WorkerPool,
     /// Single-flight gates, keyed by canonical request key.
     gates: Mutex<HashMap<swa_core::CacheKey, Arc<Gate>>>,
@@ -423,7 +434,15 @@ fn analyze(inner: &Arc<Inner>, body: &[u8]) -> (u16, String) {
     }
 
     for _ in 0..MAX_FLIGHT_ATTEMPTS {
-        if let Some(verdict) = inner.cache.lookup(&canon) {
+        // Under compositional mode a miss on the whole key still composes
+        // a cached answer when every module's verdict is warm (the
+        // composed verdict is inserted back under the whole key).
+        let cached = if inner.compositional {
+            compositional_lookup(&*inner.cache, &parsed.config, parsed.hyperperiods)
+        } else {
+            inner.cache.lookup(&canon)
+        };
+        if let Some(verdict) = cached {
             return (200, render_verdict(&verdict, true, canon.key, 0.0));
         }
         if deadline.is_some_and(|d| Instant::now() >= d) {
@@ -503,13 +522,20 @@ fn run_leader(
                 analyzer =
                     analyzer.checkpoints(Arc::clone(store) as Arc<dyn CheckpointStore>);
             }
+            if job_inner.compositional {
+                // The analyzer inserts per-module verdicts (and the whole
+                // key) itself, so the manual insert below is skipped.
+                analyzer = analyzer
+                    .compositional(true)
+                    .cache(Arc::clone(&job_inner.cache) as Arc<dyn VerdictCache>);
+            }
         }
         let result = analyzer.run();
         job_inner.recorder.counter("serve.analyses", 1);
         let reply = match result {
             Ok(report) => {
                 let verdict = Arc::new(CachedVerdict::from_report(&report));
-                if !parsed.no_cache {
+                if !parsed.no_cache && !job_inner.compositional {
                     job_inner.cache.insert(&job_canon, Arc::clone(&verdict));
                 }
                 JobReply::Done {

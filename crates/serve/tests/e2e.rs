@@ -47,8 +47,80 @@ fn start_server() -> Server {
         queue_depth: 32,
         cache_bytes: 4 * 1024 * 1024,
         checkpoint_bytes: 4 * 1024 * 1024,
+        compositional: false,
     })
     .expect("bind loopback server")
+}
+
+fn two_module_config(wcet_b: i64) -> Configuration {
+    Configuration {
+        core_types: vec![CoreType::new("ct")],
+        modules: vec![
+            Module::homogeneous("MA", 1, CoreTypeId::from_raw(0)),
+            Module::homogeneous("MB", 1, CoreTypeId::from_raw(0)),
+        ],
+        partitions: vec![
+            Partition::new(
+                "PA",
+                SchedulerKind::Fpps,
+                vec![Task::new("a", 1, vec![10], 50)],
+            ),
+            Partition::new(
+                "PB",
+                SchedulerKind::Fpps,
+                vec![Task::new("b", 1, vec![wcet_b], 50)],
+            ),
+        ],
+        binding: vec![
+            CoreRef::new(ModuleId::from_raw(0), 0),
+            CoreRef::new(ModuleId::from_raw(1), 0),
+        ],
+        windows: vec![vec![Window::new(0, 50)], vec![Window::new(0, 50)]],
+        messages: vec![],
+    }
+}
+
+#[test]
+fn compositional_server_reuses_unchanged_modules_across_edits() {
+    let server = Server::start(&ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        queue_depth: 32,
+        cache_bytes: 4 * 1024 * 1024,
+        checkpoint_bytes: 4 * 1024 * 1024,
+        compositional: true,
+    })
+    .expect("bind loopback server");
+    let addr = server.local_addr();
+
+    let first = client::post(addr, "/analyze", &envelope(&two_module_config(10), "")).unwrap();
+    assert_eq!(first.status, 200, "body: {}", first.body);
+    let doc = Json::parse(&first.body).unwrap();
+    assert_eq!(doc.get("cached").and_then(Json::as_bool), Some(false));
+    assert_eq!(doc.get("schedulable").and_then(Json::as_bool), Some(true));
+    let recorder = server.recorder();
+    assert_eq!(recorder.counter_value("serve.analyses"), 1);
+    // One verdict per module plus the composed whole-configuration entry.
+    assert_eq!(recorder.counter_value("cache.insertions"), 3);
+
+    // An exact repeat is a whole-key cache hit.
+    let repeat = client::post(addr, "/analyze", &envelope(&two_module_config(10), "")).unwrap();
+    let doc = Json::parse(&repeat.body).unwrap();
+    assert_eq!(doc.get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(recorder.counter_value("serve.analyses"), 1);
+
+    // Editing one module simulates again, but the unchanged sibling
+    // resumes from its checkpoint: a full hit, not a fresh simulation.
+    let edited = client::post(addr, "/analyze", &envelope(&two_module_config(20), "")).unwrap();
+    assert_eq!(edited.status, 200, "body: {}", edited.body);
+    let doc = Json::parse(&edited.body).unwrap();
+    assert_eq!(doc.get("cached").and_then(Json::as_bool), Some(false));
+    assert_eq!(doc.get("schedulable").and_then(Json::as_bool), Some(true));
+    assert!(
+        server.checkpoint_stats().full_hits >= 1,
+        "unchanged module should warm-start from its checkpoint"
+    );
+    server.shutdown();
 }
 
 #[test]

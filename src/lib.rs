@@ -50,9 +50,9 @@
 //! #     }))
 //! #     .collect();
 //!
-//! let outcome = Analyzer::batch(&candidates)
+//! let outcome = Analyzer::configure()
 //!     .parallelism(0) // 0 = one worker per available core
-//!     .first_schedulable()?;
+//!     .first_schedulable(&candidates)?;
 //! if let Some(report) = outcome.winner_report() {
 //!     println!(
 //!         "candidate {} is schedulable ({:.0} checks/s)",
@@ -108,8 +108,10 @@ pub use swa_serve as serve;
 pub use swa_workload as workload;
 pub use swa_xmlio as xmlio;
 
-pub use swa_core::{Analysis, AnalysisReport, Analyzer, BatchAnalyzer, SystemModel, Verdict};
+pub use swa_core::{Analysis, AnalysisReport, Analyzer, SystemModel, Verdict, VerdictDiagnosis};
+#[allow(deprecated)]
+pub use swa_core::BatchAnalyzer;
 
 // Compatibility re-exports for pre-`Analyzer` call sites; new code should
-// use `Analyzer::new(&config).run()` / `Analyzer::batch(&configs)`.
+// use `Analyzer::new(&config).run()` / `Analyzer::configure()`.
 pub use swa_core::{analyze_configuration, analyze_configuration_with};

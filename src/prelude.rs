@@ -22,9 +22,11 @@ pub use swa_ima::{
 
 // Running the analysis: the builder entry point and its results.
 pub use swa_core::{
-    Analysis, AnalysisReport, Analyzer, BatchAnalyzer, BatchMetrics, BatchMode, BatchOptions,
-    BatchOutcome, CandidateResult, RunMetrics, Verdict,
+    Analysis, AnalysisReport, Analyzer, BatchMetrics, BatchMode, BatchOptions, BatchOutcome,
+    CandidateResult, RunMetrics, Verdict, VerdictDiagnosis,
 };
+#[allow(deprecated)]
+pub use swa_core::BatchAnalyzer;
 
 // The simulator knob exposed through `Analyzer::tie_break`.
 pub use swa_nsa::TieBreak;
