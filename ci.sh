@@ -14,8 +14,29 @@ cargo test -q --offline --workspace
 echo "==> cargo clippy -D warnings (offline)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "==> simcore smoke (bytecode/AST engine agreement, release)"
-cargo run --release --offline -p swa-bench --bin simcore -- --smoke
+echo "==> simcore smoke (bytecode/AST engine agreement + perf gate, release)"
+sim_out="$(cargo run --release --offline -q -p swa-bench --bin simcore -- --smoke)"
+echo "$sim_out" | grep -q "simcore smoke: ok" || {
+    echo "simcore smoke FAILED: engines disagree"
+    echo "$sim_out"
+    exit 1
+}
+# Perf regression gate: the smoke run's bytecode-engine steps_per_sec (the
+# last steps_per_sec in the JSON) must not fall more than 10% below the
+# committed full-size baseline. The smoke model is smaller and normally
+# runs several times faster per step, so tripping this gate means a real
+# hot-loop regression, not noise.
+smoke_sps="$(echo "$sim_out" | awk -F': ' '/"steps_per_sec"/ { v = $2 } END { print v }' | tr -d ', ')"
+base_sps="$(awk -F': ' '/"steps_per_sec"/ { v = $2 } END { print v }' BENCH_simulation.json | tr -d ', ')"
+if [ -z "$smoke_sps" ] || [ -z "$base_sps" ]; then
+    echo "simcore perf gate FAILED: could not extract steps_per_sec (smoke='$smoke_sps', baseline='$base_sps')"
+    exit 1
+fi
+awk -v s="$smoke_sps" -v b="$base_sps" 'BEGIN { exit !(s >= 0.9 * b) }' || {
+    echo "simcore perf gate FAILED: smoke steps_per_sec $smoke_sps < 90% of committed baseline $base_sps"
+    exit 1
+}
+echo "simcore perf gate: smoke $smoke_sps steps/s vs baseline $base_sps (>= 90% required)"
 
 echo "==> snapshot differential suite (split == one-shot, both engines, release)"
 cargo test -q --release --offline -p swa-core --test snapshot_differential
@@ -32,6 +53,21 @@ echo "$warm_out" | grep -q '"agree": true' || {
     echo "$warm_out"
     exit 1
 }
+# Delta-encoding gate: the store must have shrunk resident checkpoints
+# (bytes_saved > 0) while the warm pass reproduced the cold pass's trace
+# hashes exactly (the binary asserts hash equality before printing ok).
+saved="$(echo "$warm_out" | awk -F': ' '/"checkpoint_bytes_saved"/ { print $2 }' | tr -d ', ')"
+if [ -z "$saved" ] || [ "$saved" -eq 0 ]; then
+    echo "warm-start smoke FAILED: delta encoding saved no bytes (checkpoint_bytes_saved='$saved')"
+    echo "$warm_out"
+    exit 1
+fi
+hash_count="$(echo "$warm_out" | grep -c '"trace_hash": "[0-9a-f]\{16\}"')" || true
+if [ "$hash_count" -lt 2 ]; then
+    echo "warm-start smoke FAILED: expected 2 validation trace hashes, found $hash_count"
+    echo "$warm_out"
+    exit 1
+fi
 
 echo "==> compositional differential suite (composed == whole, both engines, release)"
 cargo test -q --release --offline -p swa-core --test compositional_differential

@@ -228,7 +228,7 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"jobs\": {actual_jobs},\n  \"automata\": {automata},\n  \"guard_eval\": {{\n    \
+        "{{\n  \"version\": 1,\n  \"jobs\": {actual_jobs},\n  \"automata\": {automata},\n  \"guard_eval\": {{\n    \
          \"rounds\": {rounds},\n    \"initial_state\": {{\n      \"guards\": {i_guards},\n      \
          \"ast_per_sec\": {i_ast:.1},\n      \"bytecode_per_sec\": {i_bc:.1},\n      \
          \"speedup\": {initial_speedup:.3}\n    }},\n    \"busy_state\": {{\n      \
@@ -255,6 +255,13 @@ fn main() {
         // The smoke run is the CI agreement gate; it prints the JSON but
         // does not overwrite the checked-in benchmark artifact.
         if let Some(path) = flag_value(&args, "--out") {
+            if std::path::Path::new(path).exists() {
+                eprintln!(
+                    "simcore: --smoke refuses to overwrite existing {path} \
+                     (baseline protection; delete it first for a fresh capture)"
+                );
+                std::process::exit(1);
+            }
             std::fs::write(path, &json).expect("write json");
         }
         println!("{json}");

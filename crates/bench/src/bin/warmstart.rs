@@ -194,11 +194,13 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"jobs\": {actual_jobs},\n  \"search_iterations\": {},\n  \
+        "{{\n  \"version\": 1,\n  \"jobs\": {actual_jobs},\n  \"search_iterations\": {},\n  \
          \"validation_horizons\": [2, 4],\n  \"validations\": [\n{}\n  ],\n  \
          \"cold_s\": {:.6},\n  \"warm_s\": {:.6},\n  \"speedup\": {speedup:.3},\n  \
          \"checkpoint_hits\": {},\n  \"checkpoint_full_hits\": {},\n  \
-         \"checkpoint_insertions\": {},\n  \"checkpoint_bytes\": {},\n  \"agree\": true\n}}\n",
+         \"checkpoint_insertions\": {},\n  \"checkpoint_bytes\": {},\n  \
+         \"checkpoint_bytes_saved\": {},\n  \"checkpoint_delta_chain_len\": {},\n  \
+         \"agree\": true\n}}\n",
         warm.outcome.iterations.len(),
         validations_json.join(",\n"),
         cold.wall.as_secs_f64(),
@@ -207,12 +209,21 @@ fn main() {
         stats.full_hits,
         stats.insertions,
         stats.bytes,
+        stats.bytes_saved,
+        stats.delta_chain_len,
     );
 
     if smoke {
         // The smoke run is the CI agreement gate; it prints the JSON but
         // does not overwrite the checked-in benchmark artifact.
         if let Some(path) = flag_value(&args, "--out") {
+            if std::path::Path::new(path).exists() {
+                eprintln!(
+                    "warmstart: --smoke refuses to overwrite existing {path} \
+                     (baseline protection; delete it first for a fresh capture)"
+                );
+                std::process::exit(1);
+            }
             std::fs::write(path, &json).expect("write json");
         }
         println!("{json}");

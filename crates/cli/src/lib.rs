@@ -646,12 +646,14 @@ fn cmd_serve(options: &[String]) -> CommandOutcome {
     );
     let _ = writeln!(
         out,
-        "checkpoints: hits={} full_hits={} misses={} insertions={} evictions={}",
+        "checkpoints: hits={} full_hits={} misses={} insertions={} evictions={} bytes_saved={} delta_chain_len={}",
         recorder.counter_value("checkpoint.hits"),
         recorder.counter_value("checkpoint.full_hits"),
         recorder.counter_value("checkpoint.misses"),
         recorder.counter_value("checkpoint.insertions"),
         recorder.counter_value("checkpoint.evictions"),
+        recorder.counter_value("checkpoint.bytes_saved"),
+        recorder.counter_value("checkpoint.delta_chain_len"),
     );
     CommandOutcome::ok(out)
 }

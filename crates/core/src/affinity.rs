@@ -1,0 +1,144 @@
+//! Optional CPU pinning for worker pools.
+//!
+//! Modern analysis hosts are NUMA and hybrid-core machines; a worker
+//! thread that migrates between cores drags its cache-hot SoA state
+//! arrays with it. When the operator knows better than the OS scheduler
+//! — a dedicated analysis box, an isolated core set carved out with
+//! `isolcpus`, or P-cores on a hybrid part — the `SWA_THREAD_MAPPING`
+//! environment variable pins workers to an explicit core list:
+//!
+//! ```text
+//! SWA_THREAD_MAPPING=0,2,4-7 swa-serve ...
+//! ```
+//!
+//! Worker `i` is pinned to `cores[i % cores.len()]`. The variable unset
+//! (the default), set to an empty string, or malformed disables pinning
+//! entirely — this shim must never turn a typo into a mysterious
+//! one-core pileup, so parsing is all-or-nothing.
+//!
+//! The implementation is std-only: on Linux with the (default-on)
+//! `affinity` feature it issues `sched_setaffinity` through the libc
+//! that std already links; everywhere else [`pin_worker`] is a no-op
+//! returning `false`. Pinning failures are deliberately silent — an
+//! unpinned worker is merely the status quo ante.
+
+use std::sync::OnceLock;
+
+/// Environment variable naming the core list workers pin to.
+pub const THREAD_MAPPING_ENV: &str = "SWA_THREAD_MAPPING";
+
+/// Parses a core list of the form `0,2,4-7` (single ids and inclusive
+/// ranges, comma-separated, optional whitespace). Returns `None` for an
+/// empty or malformed list — pinning is all-or-nothing.
+#[must_use]
+pub fn parse_mapping(spec: &str) -> Option<Vec<usize>> {
+    let mut cores = Vec::new();
+    for token in spec.split(',') {
+        let token = token.trim();
+        if token.is_empty() {
+            return None;
+        }
+        if let Some((lo, hi)) = token.split_once('-') {
+            let lo: usize = lo.trim().parse().ok()?;
+            let hi: usize = hi.trim().parse().ok()?;
+            if lo > hi {
+                return None;
+            }
+            cores.extend(lo..=hi);
+        } else {
+            cores.push(token.parse().ok()?);
+        }
+    }
+    if cores.is_empty() {
+        None
+    } else {
+        Some(cores)
+    }
+}
+
+/// The process-wide mapping read from [`THREAD_MAPPING_ENV`] once.
+fn mapping() -> Option<&'static [usize]> {
+    static MAPPING: OnceLock<Option<Vec<usize>>> = OnceLock::new();
+    MAPPING
+        .get_or_init(|| std::env::var(THREAD_MAPPING_ENV).ok().as_deref().and_then(parse_mapping))
+        .as_deref()
+}
+
+/// Pins the calling thread to the mapped core for worker `index`
+/// (`cores[index % cores.len()]`). Returns `true` only when a mapping is
+/// configured and the kernel accepted the affinity change; `false` means
+/// the thread runs wherever the OS pleases, which is always safe.
+pub fn pin_worker(index: usize) -> bool {
+    match mapping() {
+        Some(cores) => pin_current(cores[index % cores.len()]),
+        None => false,
+    }
+}
+
+/// Pins the calling thread to one core. Cores beyond the mask width
+/// (1024 CPUs) or unknown to the kernel fail soft.
+#[cfg(all(feature = "affinity", target_os = "linux"))]
+fn pin_current(core: usize) -> bool {
+    // 1024-bit cpu_set_t, matching glibc's default CPU_SETSIZE.
+    const WORDS: usize = 1024 / 64;
+    if core >= WORDS * 64 {
+        return false;
+    }
+    let mut mask = [0u64; WORDS];
+    mask[core / 64] = 1u64 << (core % 64);
+    // std already links the platform libc; declaring the prototype here
+    // avoids a dependency while staying a plain documented syscall
+    // wrapper. Pid 0 = the calling thread.
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+    unsafe { sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr()) == 0 }
+}
+
+#[cfg(not(all(feature = "affinity", target_os = "linux")))]
+fn pin_current(_core: usize) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_singles_ranges_and_whitespace() {
+        assert_eq!(parse_mapping("0"), Some(vec![0]));
+        assert_eq!(parse_mapping("0,2,5"), Some(vec![0, 2, 5]));
+        assert_eq!(parse_mapping("0, 2, 4-7"), Some(vec![0, 2, 4, 5, 6, 7]));
+        assert_eq!(parse_mapping(" 3-3 "), Some(vec![3]));
+    }
+
+    #[test]
+    fn rejects_malformed_lists_wholesale() {
+        assert_eq!(parse_mapping(""), None);
+        assert_eq!(parse_mapping("  "), None);
+        assert_eq!(parse_mapping("0,,2"), None);
+        assert_eq!(parse_mapping("a"), None);
+        assert_eq!(parse_mapping("1,-3"), None);
+        assert_eq!(parse_mapping("7-4"), None);
+        assert_eq!(parse_mapping("1,2,x"), None);
+    }
+
+    #[test]
+    fn duplicate_cores_are_legal_for_oversubscription() {
+        assert_eq!(parse_mapping("0,0,1"), Some(vec![0, 0, 1]));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn pinning_to_core_zero_succeeds_on_linux() {
+        // Core 0 exists on every machine; with the feature off this is
+        // the documented no-op.
+        let pinned = pin_current(0);
+        assert_eq!(pinned, cfg!(feature = "affinity"));
+    }
+
+    #[test]
+    fn out_of_mask_cores_fail_soft() {
+        assert!(!pin_current(100_000));
+    }
+}

@@ -360,20 +360,6 @@ impl<'a> Analyzer<'a> {
         }
     }
 
-    /// Starts a batch analysis of a family of candidate configurations.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Analyzer::configure()` with `first_schedulable(&configs)` / `analyze_all(&configs)`"
-    )]
-    #[allow(deprecated)]
-    #[must_use]
-    pub fn batch(configs: &'a [Configuration]) -> BatchAnalyzer<'a> {
-        BatchAnalyzer {
-            configs,
-            options: BatchOptions::default(),
-        }
-    }
-
     /// Runs the full pipeline: Algorithm 1 instance construction,
     /// deterministic interpretation, trace translation and the Sect. 2.1
     /// schedulability criterion. Under
@@ -667,89 +653,6 @@ impl<'a> Analyzer<'a> {
             trace,
             metrics,
         })
-    }
-}
-
-/// Builder-style entry point for checking a family of candidate
-/// configurations on the parallel batch engine.
-///
-/// Results are deterministic regardless of `parallelism` — the winner in
-/// first-schedulable mode is always the lowest schedulable candidate
-/// index, exactly what a sequential loop over the family would return.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `Analyzer::configure()` with `first_schedulable(&configs)` / `analyze_all(&configs)`"
-)]
-#[derive(Debug, Clone)]
-pub struct BatchAnalyzer<'a> {
-    configs: &'a [Configuration],
-    options: BatchOptions,
-}
-
-#[allow(deprecated)]
-impl BatchAnalyzer<'_> {
-    /// Number of worker threads; `0` (the default) uses every available
-    /// core.
-    #[must_use]
-    pub fn parallelism(mut self, workers: usize) -> Self {
-        self.options.parallelism = workers;
-        self
-    }
-
-    /// Tie-break order passed to every candidate's simulation.
-    #[must_use]
-    pub fn tie_break(mut self, tie_break: TieBreak) -> Self {
-        self.options.tie_break = tie_break;
-        self
-    }
-
-    /// Evaluation engine passed to every candidate's simulation.
-    #[must_use]
-    pub fn engine(mut self, engine: EvalEngine) -> Self {
-        self.options.engine = engine;
-        self
-    }
-
-    /// Observability sink for the batch-level metrics (wall time,
-    /// per-phase sums, per-worker utilization), emitted once when the
-    /// batch completes.
-    #[must_use]
-    pub fn recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
-        self.options.recorder = Some(recorder);
-        self
-    }
-
-    /// Checkpoint store shared by every candidate's analysis; see
-    /// [`Analyzer::checkpoints`]. Duplicate candidates across batches
-    /// resume from their stored end state instead of replaying.
-    #[must_use]
-    pub fn checkpoints(mut self, store: Arc<dyn CheckpointStore>) -> Self {
-        self.options.checkpoints = Some(store);
-        self
-    }
-
-    /// Checks candidates until the first (lowest-index) schedulable one is
-    /// identified, cancelling outstanding work beyond it.
-    ///
-    /// # Errors
-    ///
-    /// As [`Analyzer::run`], for the same candidate a sequential loop
-    /// would have failed on.
-    pub fn first_schedulable(mut self) -> Result<BatchOutcome, PipelineError> {
-        self.options.mode = BatchMode::FirstSchedulable;
-        run_batch(self.configs, &self.options)
-    }
-
-    /// Checks every candidate (no early cancellation) and reports all
-    /// verdicts.
-    ///
-    /// # Errors
-    ///
-    /// As [`Analyzer::run`], for the same candidate a sequential loop
-    /// would have failed on.
-    pub fn exhaustive(mut self) -> Result<BatchOutcome, PipelineError> {
-        self.options.mode = BatchMode::Exhaustive;
-        run_batch(self.configs, &self.options)
     }
 }
 
@@ -1135,15 +1038,4 @@ mod tests {
         assert_eq!(recorder.counter_value("batch.worker.0.checks") + recorder.counter_value("batch.worker.1.checks"), 2);
     }
 
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_batch_shim_still_works() {
-        let configs = vec![config(), config()];
-        let out = Analyzer::batch(&configs)
-            .parallelism(2)
-            .exhaustive()
-            .unwrap();
-        assert_eq!(out.evaluated(), 2);
-        assert_eq!(out.winner, Some(0));
-    }
 }

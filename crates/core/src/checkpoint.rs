@@ -43,6 +43,7 @@ use swa_nsa::{NsaTrace, Snapshot, StopReason, SyncEvent};
 
 use crate::cache::DEFAULT_SHARDS;
 use crate::canon::{CacheKey, CanonicalConfig};
+use crate::delta;
 use crate::obs::Recorder;
 
 /// One stored simulation prefix: the snapshot to resume from plus the NSA
@@ -97,6 +98,12 @@ pub struct CheckpointStats {
     pub entries: usize,
     /// Bytes currently charged against the budget.
     pub bytes: usize,
+    /// Bytes the delta encoding avoided charging, accumulated over all
+    /// delta-encoded insertions (full cost minus encoded cost).
+    pub bytes_saved: u64,
+    /// Chain lengths of delta-encoded insertions, accumulated (divide by
+    /// the number of delta insertions for the average rung depth).
+    pub delta_chain_len: u64,
 }
 
 impl CheckpointStats {
@@ -128,13 +135,59 @@ pub trait CheckpointStore: Send + Sync {
     fn stats(&self) -> CheckpointStats;
 }
 
+/// Longest permitted chain of deltas below one full checkpoint. Bounds
+/// both reconstruction work (a lookup decodes at most this many deltas)
+/// and the blast radius of an eviction cascade; the next rung after a
+/// full chain is stored full again.
+const MAX_DELTA_CHAIN: u8 = 8;
+
+/// How one resident checkpoint is encoded.
+///
+/// Nothing is resident in expanded form: even chain roots hold the
+/// serialized snapshot plus the varint-packed event stream (a few bytes
+/// per event instead of an in-memory [`SyncEvent`]), and every lookup
+/// reconstructs. Decoding is linear in the trace length and is paid only
+/// on a hit, where it is dwarfed by the simulation work the hit avoids.
+enum Enc {
+    /// The root of a delta chain: self-contained encoded bytes.
+    Full {
+        stop: StopReason,
+        snap: Box<[u8]>,
+        events: Box<[u8]>,
+        n_events: u32,
+    },
+    /// Stored as a delta against the ladder entry at `base_time` (see
+    /// [`crate::delta`]): the snapshot as a word-delta of its serialized
+    /// bytes, the trace as only the event suffix beyond the base's
+    /// prefix. Reconstruction walks `base_time` links down to a
+    /// [`Enc::Full`] root.
+    Delta {
+        base_time: i64,
+        /// Rungs between this entry and its full root (root delta = 1).
+        chain: u8,
+        stop: StopReason,
+        snap_delta: Box<[u8]>,
+        events: Box<[u8]>,
+        n_events: u32,
+    },
+}
+
 /// One resident checkpoint entry.
 struct Entry {
-    checkpoint: Arc<Checkpoint>,
+    enc: Enc,
     /// The LRU tick of the entry's last touch (its key in `Shard::lru`).
     tick: u64,
     /// Bytes charged against the shard budget.
     cost: usize,
+}
+
+impl Entry {
+    fn chain(&self) -> u8 {
+        match &self.enc {
+            Enc::Full { .. } => 0,
+            Enc::Delta { chain, .. } => *chain,
+        }
+    }
 }
 
 /// All checkpoints of one configuration, ordered by simulated time.
@@ -142,6 +195,106 @@ struct Slot {
     /// Full canonical bytes, compared on lookup so collisions are inert.
     canon: Box<[u8]>,
     by_time: BTreeMap<i64, Entry>,
+}
+
+impl Slot {
+    /// Reconstructs the checkpoint stored at `time`, decoding delta
+    /// chains recursively (depth ≤ [`MAX_DELTA_CHAIN`]). Returns `None`
+    /// for an absent entry or — defensively — an undecodable delta; the
+    /// insert-time verification makes the latter unreachable for entries
+    /// this store produced.
+    fn reconstruct(&self, time: i64) -> Option<Arc<Checkpoint>> {
+        let entry = self.by_time.get(&time)?;
+        match &entry.enc {
+            Enc::Full {
+                stop,
+                snap,
+                events,
+                n_events,
+            } => {
+                let snapshot = Snapshot::from_bytes(snap).ok()?;
+                let prefix = delta::decode_events(events, 0, *n_events as usize)?
+                    .into_iter()
+                    .collect();
+                Some(Arc::new(Checkpoint {
+                    snapshot,
+                    prefix,
+                    stop: *stop,
+                }))
+            }
+            Enc::Delta {
+                base_time,
+                stop,
+                snap_delta,
+                events,
+                n_events,
+                ..
+            } => {
+                let base = self.reconstruct(*base_time)?;
+                let bytes = delta::apply_bytes(&base.snapshot.to_bytes(), snap_delta)?;
+                let snapshot = Snapshot::from_bytes(&bytes).ok()?;
+                let prev_time = base.prefix.events().last().map_or(0, |e| e.time);
+                let suffix = delta::decode_events(events, prev_time, *n_events as usize)?;
+                let mut prefix = base.prefix.clone();
+                prefix.extend(suffix);
+                Some(Arc::new(Checkpoint {
+                    snapshot,
+                    prefix,
+                    stop: *stop,
+                }))
+            }
+        }
+    }
+
+    /// Attempts to encode `checkpoint` as a delta against the entry at
+    /// `base_time`. Requires the base's event prefix to be an *exact*
+    /// prefix of the new one (verified event-by-event — a delta is never
+    /// stored on faith) and the serialized snapshots to have equal
+    /// length.
+    fn encode_delta(&self, base_time: i64, checkpoint: &Checkpoint) -> Option<Enc> {
+        let base = self.reconstruct(base_time)?;
+        let base_events = base.prefix.events();
+        let new_events = checkpoint.prefix.events();
+        if new_events.len() < base_events.len()
+            || new_events[..base_events.len()] != *base_events
+        {
+            return None;
+        }
+        let snap_delta =
+            delta::diff_bytes(&base.snapshot.to_bytes(), &checkpoint.snapshot.to_bytes())?;
+        let suffix = &new_events[base_events.len()..];
+        let n_events = u32::try_from(suffix.len()).ok()?;
+        let prev_time = base_events.last().map_or(0, |e| e.time);
+        let chain = self.by_time.get(&base_time)?.chain().checked_add(1)?;
+        Some(Enc::Delta {
+            base_time,
+            chain,
+            stop: checkpoint.stop,
+            snap_delta: snap_delta.into_boxed_slice(),
+            events: delta::encode_events(suffix, prev_time).into_boxed_slice(),
+            n_events,
+        })
+    }
+}
+
+/// Encodes a checkpoint as a self-contained full entry. `None` only when
+/// the trace length exceeds `u32::MAX` events — a checkpoint that large
+/// could never fit a realistic shard budget anyway.
+fn encode_full(checkpoint: &Checkpoint) -> Option<(Enc, usize)> {
+    let events = checkpoint.prefix.events();
+    let n_events = u32::try_from(events.len()).ok()?;
+    let snap = checkpoint.snapshot.to_bytes().into_boxed_slice();
+    let events = delta::encode_events(events, 0).into_boxed_slice();
+    let cost = snap.len() + events.len() + ENTRY_OVERHEAD;
+    Some((
+        Enc::Full {
+            stop: checkpoint.stop,
+            snap,
+            events,
+            n_events,
+        },
+        cost,
+    ))
 }
 
 /// One shard: configuration slots plus a per-entry LRU, behind one lock.
@@ -178,25 +331,53 @@ impl Shard {
         dropped
     }
 
+    /// Removes the entry of `key` at `time` together with every delta
+    /// that (transitively) decodes against it — a delta must never
+    /// outlive its base. Returns how many checkpoints were removed.
+    fn remove_cascading(&mut self, key: CacheKey, time: i64) -> u64 {
+        let Some(slot) = self.map.get(&key) else {
+            return 0;
+        };
+        // A delta's base is always strictly earlier, so one ascending
+        // pass over the later entries finds the whole dependent closure.
+        let mut doomed = vec![time];
+        for (&t, entry) in slot.by_time.range(time.wrapping_add(1)..) {
+            if let Enc::Delta { base_time, .. } = &entry.enc {
+                if doomed.contains(base_time) {
+                    doomed.push(t);
+                }
+            }
+        }
+        let slot = self.map.get_mut(&key).expect("slot present");
+        let mut dropped = 0;
+        for t in doomed {
+            if let Some(entry) = slot.by_time.remove(&t) {
+                self.lru.remove(&entry.tick);
+                self.bytes -= entry.cost;
+                dropped += 1;
+            }
+        }
+        if slot.by_time.is_empty() {
+            self.bytes -= slot.canon.len();
+            self.map.remove(&key);
+        }
+        dropped
+    }
+
     /// Evicts oldest entries until the shard fits its budget; returns how
-    /// many checkpoints were evicted.
+    /// many checkpoints were evicted. Evicting a delta chain's base takes
+    /// the dependent deltas with it, so an LRU step can free more than
+    /// one entry.
     fn evict_to(&mut self, budget: usize) -> u64 {
         let mut evicted = 0;
         while self.bytes > budget {
             let Some((&tick, &(key, time))) = self.lru.iter().next() else {
                 break;
             };
+            // Drop the tick first so a (never expected) stale LRU entry
+            // cannot spin this loop.
             self.lru.remove(&tick);
-            if let Some(slot) = self.map.get_mut(&key) {
-                if let Some(entry) = slot.by_time.remove(&time) {
-                    self.bytes -= entry.cost;
-                    evicted += 1;
-                }
-                if slot.by_time.is_empty() {
-                    self.bytes -= slot.canon.len();
-                    self.map.remove(&key);
-                }
-            }
+            evicted += self.remove_cascading(key, time);
         }
         evicted
     }
@@ -217,6 +398,8 @@ pub struct ShardedCheckpointStore {
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
+    bytes_saved: AtomicU64,
+    delta_chain_len: AtomicU64,
 }
 
 impl std::fmt::Debug for ShardedCheckpointStore {
@@ -251,6 +434,8 @@ impl ShardedCheckpointStore {
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            bytes_saved: AtomicU64::new(0),
+            delta_chain_len: AtomicU64::new(0),
         }
     }
 
@@ -286,7 +471,8 @@ impl CheckpointStore for ShardedCheckpointStore {
                 .by_time
                 .range(..=max_time)
                 .next_back()
-                .map(|(&time, entry)| (time, entry.checkpoint.clone())),
+                .map(|(&time, _)| time)
+                .and_then(|time| Some((time, slot.reconstruct(time)?))),
             _ => None,
         };
         match found {
@@ -318,13 +504,7 @@ impl CheckpointStore for ShardedCheckpointStore {
     }
 
     fn insert(&self, config: &CanonicalConfig, checkpoint: Arc<Checkpoint>) {
-        let cost = checkpoint.approx_bytes() + ENTRY_OVERHEAD;
-        if cost + config.bytes.len() > self.shard_budget {
-            // A checkpoint larger than a whole shard could only thrash;
-            // treat it as immediately evicted.
-            self.count(&self.evictions, "checkpoint.evictions", 1);
-            return;
-        }
+        let full_cost = checkpoint.approx_bytes() + ENTRY_OVERHEAD;
         let time = checkpoint.time();
         let mut shard = self.shard_of(config.key).lock().expect("unpoisoned");
         // A hash collision (same key, different canonical bytes) evicts
@@ -336,6 +516,55 @@ impl CheckpointStore for ShardedCheckpointStore {
         if collided {
             evicted += shard.remove_slot(config.key);
         }
+        // Replace any previous checkpoint at the same simulated time —
+        // deltas encoded against the old content go with it.
+        if shard
+            .map
+            .get(&config.key)
+            .is_some_and(|slot| slot.by_time.contains_key(&time))
+        {
+            evicted += shard.remove_cascading(config.key, time).saturating_sub(1);
+        }
+        // Encode against the ladder predecessor when a verified delta is
+        // possible and the chain stays bounded; store full otherwise.
+        let enc = shard.map.get(&config.key).and_then(|slot| {
+            let (&base_time, base) = slot.by_time.range(..time).next_back()?;
+            (base.chain() < MAX_DELTA_CHAIN)
+                .then(|| slot.encode_delta(base_time, &checkpoint))
+                .flatten()
+        });
+        let (enc, cost, chain) = match enc {
+            Some(enc) => {
+                let Enc::Delta {
+                    chain,
+                    ref snap_delta,
+                    ref events,
+                    ..
+                } = enc
+                else {
+                    unreachable!("encode_delta returns deltas");
+                };
+                let cost = snap_delta.len() + events.len() + ENTRY_OVERHEAD;
+                (enc, cost, Some(u64::from(chain)))
+            }
+            None => match encode_full(&checkpoint) {
+                Some((enc, cost)) => (enc, cost, None),
+                None => {
+                    drop(shard);
+                    self.count(&self.evictions, "checkpoint.evictions", evicted + 1);
+                    return;
+                }
+            },
+        };
+        // Bytes avoided relative to resident full-fidelity storage.
+        let saved = full_cost.saturating_sub(cost) as u64;
+        if cost + config.bytes.len() > self.shard_budget {
+            // A checkpoint larger than a whole shard could only thrash;
+            // treat it as immediately evicted.
+            drop(shard);
+            self.count(&self.evictions, "checkpoint.evictions", evicted + 1);
+            return;
+        }
         if !shard.map.contains_key(&config.key) {
             shard.bytes += config.bytes.len();
             shard.map.insert(
@@ -346,37 +575,23 @@ impl CheckpointStore for ShardedCheckpointStore {
                 },
             );
         }
-        // Replace any previous checkpoint at the same simulated time.
-        if let Some(old) = shard
-            .map
-            .get_mut(&config.key)
-            .expect("slot present")
-            .by_time
-            .remove(&time)
-        {
-            shard.lru.remove(&old.tick);
-            shard.bytes -= old.cost;
-        }
         let tick = shard.touch(config.key, time);
         shard
             .map
             .get_mut(&config.key)
             .expect("slot present")
             .by_time
-            .insert(
-                time,
-                Entry {
-                    checkpoint,
-                    tick,
-                    cost,
-                },
-            );
+            .insert(time, Entry { enc, tick, cost });
         shard.bytes += cost;
         let budget = self.shard_budget;
         evicted += shard.evict_to(budget);
         drop(shard);
         self.count(&self.insertions, "checkpoint.insertions", 1);
         self.count(&self.evictions, "checkpoint.evictions", evicted);
+        self.count(&self.bytes_saved, "checkpoint.bytes_saved", saved);
+        if let Some(chain) = chain {
+            self.count(&self.delta_chain_len, "checkpoint.delta_chain_len", chain);
+        }
     }
 
     fn stats(&self) -> CheckpointStats {
@@ -395,6 +610,8 @@ impl CheckpointStore for ShardedCheckpointStore {
             evictions: self.evictions.load(Ordering::Relaxed),
             entries,
             bytes,
+            bytes_saved: self.bytes_saved.load(Ordering::Relaxed),
+            delta_chain_len: self.delta_chain_len.load(Ordering::Relaxed),
         }
     }
 }
@@ -429,16 +646,33 @@ mod tests {
     fn checkpoint(time: i64) -> Arc<Checkpoint> {
         Arc::new(Checkpoint {
             snapshot: Snapshot {
-                state: State {
-                    locations: vec![],
-                    clocks: vec![ClockVal {
+                state: State::from_parts(
+                    vec![],
+                    vec![ClockVal {
                         value: time,
                         running: true,
                     }],
-                    vars: vec![time],
+                    vec![time],
                     time,
-                },
+                ),
                 steps: u64::try_from(time).unwrap_or(0),
+                stats: SimStats::default(),
+                trace_len: 0,
+            },
+            prefix: NsaTrace::new(),
+            stop: StopReason::HorizonReached,
+        })
+    }
+
+    /// A checkpoint whose snapshot shape depends on `time`, so no two of
+    /// them delta-encode against each other — for tests that need
+    /// full-cost entries and delta-free LRU behavior.
+    fn bulky_checkpoint(time: i64) -> Arc<Checkpoint> {
+        let cells = 8 + usize::try_from(time).unwrap_or(0) % 7;
+        Arc::new(Checkpoint {
+            snapshot: Snapshot {
+                state: State::from_parts(vec![], vec![], vec![time; cells], time),
+                steps: 0,
                 stats: SimStats::default(),
                 trace_len: 0,
             },
@@ -510,22 +744,33 @@ mod tests {
         assert_eq!(store.stats().entries, 1);
     }
 
+    /// The exact bytes an entry costs when stored full (mirrors
+    /// [`encode_full`]) — budget math in tests is in encoded units.
+    fn encoded_cost(cp: &Checkpoint) -> usize {
+        cp.snapshot.to_bytes().len()
+            + delta::encode_events(cp.prefix.events(), 0).len()
+            + ENTRY_OVERHEAD
+    }
+
     #[test]
     fn byte_budget_evicts_least_recently_used() {
         let key = canonical_config(&config(10));
-        let entry_cost = checkpoint(0).approx_bytes() + ENTRY_OVERHEAD;
+        let cost = |t: i64| encoded_cost(&bulky_checkpoint(t));
         // Room for the slot's canon bytes plus two entries and change.
+        // `bulky_checkpoint` shapes differ per time, so every entry is
+        // stored full and plain LRU applies.
         let store = ShardedCheckpointStore::with_shards(
-            key.bytes.len() + entry_cost * 2 + entry_cost / 2,
+            key.bytes.len() + cost(100) + cost(200).max(cost(300)) + 64,
             1,
         );
-        store.insert(&key, checkpoint(100));
-        store.insert(&key, checkpoint(200));
+        store.insert(&key, bulky_checkpoint(100));
+        store.insert(&key, bulky_checkpoint(200));
         // Touch the earlier checkpoint so time-200 becomes the LRU victim.
         assert_eq!(store.lookup_latest(&key, 150).unwrap().time(), 100);
-        store.insert(&key, checkpoint(300));
+        store.insert(&key, bulky_checkpoint(300));
 
         assert_eq!(store.stats().evictions, 1);
+        assert_eq!(store.stats().delta_chain_len, 0, "no delta between shapes");
         assert_eq!(store.lookup_latest(&key, 250).unwrap().time(), 100);
         assert_eq!(store.lookup_latest(&key, 1000).unwrap().time(), 300);
     }
@@ -545,7 +790,7 @@ mod tests {
     fn evicting_a_whole_slot_releases_its_canon_bytes() {
         let key_a = canonical_config(&config(10));
         let key_b = canonical_config(&config(40));
-        let entry_cost = checkpoint(0).approx_bytes() + ENTRY_OVERHEAD;
+        let entry_cost = encoded_cost(&checkpoint(0));
         let budget = key_a.bytes.len() + entry_cost + entry_cost / 2;
         let store = ShardedCheckpointStore::with_shards(budget, 1);
         store.insert(&key_a, checkpoint(100));
@@ -554,6 +799,153 @@ mod tests {
         assert!(store.lookup_latest(&key_a, 1000).is_none());
         assert_eq!(store.lookup_latest(&key_b, 1000).unwrap().time(), 100);
         assert!(store.stats().bytes <= budget);
+    }
+
+    /// A checkpoint whose event prefix is the run `0..time` — every later
+    /// rung extends every earlier one, as a deterministic simulator
+    /// produces — so a ladder of them delta-encodes.
+    fn ladder_checkpoint(time: i64) -> Arc<Checkpoint> {
+        ladder_checkpoint_with_var(time, time)
+    }
+
+    fn ladder_checkpoint_with_var(time: i64, var: i64) -> Arc<Checkpoint> {
+        use swa_nsa::semantics::Transition;
+        use swa_nsa::{AutomatonId, EdgeId};
+        let prefix: NsaTrace = (0..time)
+            .map(|i| SyncEvent {
+                time: i,
+                transition: Transition::Internal {
+                    participant: (
+                        AutomatonId::from_raw(u32::try_from(i % 5).unwrap()),
+                        EdgeId::from_raw(u32::try_from(i % 3).unwrap()),
+                    ),
+                },
+            })
+            .collect();
+        Arc::new(Checkpoint {
+            snapshot: Snapshot {
+                state: State::from_parts(
+                    vec![],
+                    vec![ClockVal {
+                        value: time,
+                        running: time % 2 == 0,
+                    }],
+                    vec![var, time * 2, 7],
+                    time,
+                ),
+                steps: u64::try_from(time).unwrap_or(0),
+                stats: SimStats::default(),
+                trace_len: u64::try_from(prefix.len()).unwrap(),
+            },
+            prefix,
+            stop: StopReason::HorizonReached,
+        })
+    }
+
+    #[test]
+    fn delta_ladder_reconstructs_byte_identically() {
+        let recorder = Arc::new(MetricsRecorder::new());
+        let store = ShardedCheckpointStore::new(1 << 22).with_recorder(recorder.clone());
+        let key = canonical_config(&config(10));
+        let originals: Vec<_> = [100, 200, 300, 400]
+            .into_iter()
+            .map(ladder_checkpoint)
+            .collect();
+        for cp in &originals {
+            store.insert(&key, cp.clone());
+        }
+        let stats = store.stats();
+        assert!(stats.bytes_saved > 0, "ladder rungs must delta-encode");
+        assert_eq!(stats.delta_chain_len, 1 + 2 + 3, "rungs 2-4 chain at depth 1, 2, 3");
+        assert_eq!(
+            recorder.counter_value("checkpoint.bytes_saved"),
+            stats.bytes_saved
+        );
+        assert_eq!(recorder.counter_value("checkpoint.delta_chain_len"), 6);
+        // Every rung reconstructs bit-for-bit, including the interior ones.
+        for cp in &originals {
+            let got = store.lookup_latest(&key, cp.time()).unwrap();
+            assert_eq!(got.snapshot.to_bytes(), cp.snapshot.to_bytes());
+            assert_eq!(got.prefix, cp.prefix);
+            assert_eq!(got.stop, cp.stop);
+        }
+        // And the resident footprint is far below full-fidelity storage.
+        let full: usize = originals
+            .iter()
+            .map(|c| c.approx_bytes() + ENTRY_OVERHEAD)
+            .sum();
+        assert!(
+            stats.bytes * 4 < full,
+            "delta ladder uses {} bytes, full storage {}",
+            stats.bytes,
+            full
+        );
+    }
+
+    #[test]
+    fn replacing_a_rung_cascades_its_dependents() {
+        let store = ShardedCheckpointStore::new(1 << 22);
+        let key = canonical_config(&config(10));
+        for t in [100, 200, 300] {
+            store.insert(&key, ladder_checkpoint(t));
+        }
+        assert_eq!(store.stats().entries, 3);
+        // Re-inserting different content at t=200 invalidates the rung at
+        // t=300, which was encoded against the old bytes.
+        store.insert(&key, ladder_checkpoint_with_var(200, 999));
+        assert_eq!(store.stats().entries, 2, "the t=300 delta must not survive");
+        assert_eq!(store.lookup_latest(&key, i64::MAX).unwrap().time(), 200);
+        let got = store.lookup_latest(&key, 200).unwrap();
+        assert_eq!(
+            got.snapshot.to_bytes(),
+            ladder_checkpoint_with_var(200, 999).snapshot.to_bytes()
+        );
+    }
+
+    #[test]
+    fn evicting_a_chain_root_drops_the_whole_chain() {
+        let key_a = canonical_config(&config(10));
+        let key_b = canonical_config(&config(40));
+        // Measure the ladder's resident size on a roomy store first.
+        let probe = ShardedCheckpointStore::with_shards(1 << 22, 1);
+        for t in [100, 200, 300] {
+            probe.insert(&key_a, ladder_checkpoint(t));
+        }
+        let ladder_bytes = probe.stats().bytes;
+        let b = bulky_checkpoint(5);
+        let b_cost = encoded_cost(&b) + key_b.bytes.len();
+
+        let store = ShardedCheckpointStore::with_shards(ladder_bytes + b_cost - 1, 1);
+        for t in [100, 200, 300] {
+            store.insert(&key_a, ladder_checkpoint(t));
+        }
+        assert_eq!(store.stats().entries, 3);
+        store.insert(&key_b, b);
+        // The LRU victim is the chain root at t=100; its dependents go
+        // with it rather than dangling undecodable.
+        assert!(store.lookup_latest(&key_a, i64::MAX).is_none());
+        assert_eq!(store.lookup_latest(&key_b, i64::MAX).unwrap().time(), 5);
+        assert_eq!(store.stats().evictions, 3);
+    }
+
+    #[test]
+    fn delta_chains_are_bounded_and_restart_with_a_full_rung() {
+        let store = ShardedCheckpointStore::new(1 << 24);
+        let key = canonical_config(&config(10));
+        let times: Vec<i64> = (1..=i64::from(MAX_DELTA_CHAIN) + 4).map(|i| i * 50).collect();
+        for &t in &times {
+            store.insert(&key, ladder_checkpoint(t));
+        }
+        // Chains: rung 1 full, rungs 2..=9 at depths 1..=8, rung 10 full
+        // again, rungs 11-12 at depths 1-2.
+        let expected: u64 = (1..=u64::from(MAX_DELTA_CHAIN)).sum::<u64>() + 1 + 2;
+        assert_eq!(store.stats().delta_chain_len, expected);
+        for &t in &times {
+            let got = store.lookup_latest(&key, t).unwrap();
+            let want = ladder_checkpoint(t);
+            assert_eq!(got.snapshot.to_bytes(), want.snapshot.to_bytes());
+            assert_eq!(got.prefix, want.prefix);
+        }
     }
 
     #[test]

@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 #![allow(clippy::module_name_repetitions)]
 
+pub mod affinity;
 pub mod analysis;
 pub mod analyzer;
 pub mod batch;
@@ -60,6 +61,7 @@ pub mod cache;
 pub mod canon;
 pub mod checkpoint;
 pub mod chains;
+mod delta;
 pub mod compose;
 pub mod error;
 pub mod gantt;
@@ -73,8 +75,6 @@ pub use analysis::{
     analyze, analyze_spanning, Analysis, JobOutcome, TaskStats, Verdict, VerdictDiagnosis,
 };
 pub use analyzer::Analyzer;
-#[allow(deprecated)]
-pub use analyzer::BatchAnalyzer;
 pub use batch::{
     run_batch, BatchMetrics, BatchMode, BatchOptions, BatchOutcome, CandidateResult, WorkerStats,
 };

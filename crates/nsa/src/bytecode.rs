@@ -35,7 +35,7 @@ use std::cell::RefCell;
 use crate::error::{EvalError, SimError};
 use crate::expr::{CmpOp, IntExpr, Pred, MAX_QUANTIFIER_RANGE};
 use crate::guard::{atom_delay_window, DelayWindow, Guard, Invariant};
-use crate::ids::{AutomatonId, ClockId, EdgeId, LocationId, VarId};
+use crate::ids::{ArrayId, AutomatonId, ClockId, EdgeId, LocationId, VarId};
 use crate::network::Network;
 use crate::state::State;
 use crate::update::{LValue, Update};
@@ -122,9 +122,18 @@ enum Op {
     CmpConst { op: CmpOp, k: i64 },
     /// Fused `LoadVar(slot); Cmp(op)`: pop `a`, push `a ⋈ vars[slot]`.
     CmpVar { op: CmpOp, slot: u32 },
-    /// Fused `LoadBound(frame); LoadElem`: push
-    /// `vars[base + frames[frame].i]` after the bounds check.
-    LoadElemBound { frame: u32, array: u32, base: u32, len: u32 },
+    /// Fused `LoadVar(slot); AddConst(add)`: push `vars[slot] + add`
+    /// (checked).
+    LoadVarConst { slot: u32, add: i64 },
+    /// Fused `LoadBound(frame); AddConst(add)`: push `frames[frame].i + add`
+    /// (checked).
+    LoadBoundConst { frame: u32, add: i64 },
+    /// Fused `LoadBound(frame); AddConst(add); LoadElem`: compute
+    /// `frames[frame].i + add` (checked, in that order), bounds-check it,
+    /// push `vars[base + i]`. `add == 0` is the plain
+    /// `LoadBound; LoadElem` pair (the checked add of `0` cannot fail, so
+    /// error behavior is unchanged).
+    LoadElemBound { frame: u32, array: u32, base: u32, len: u32, add: i64 },
     /// Fused `CmpConst; OrCheck`: pop `a`; on `a ⋈ k` push `1` and jump.
     CmpConstOr { op: CmpOp, k: i64, target: u32 },
     /// Fused `CmpConst; AndCheck`: pop `a`; on `¬(a ⋈ k)` push `0` and
@@ -134,6 +143,38 @@ enum Op {
     CmpVarOr { op: CmpOp, slot: u32, target: u32 },
     /// Fused `CmpVar; AndCheck`.
     CmpVarAnd { op: CmpOp, slot: u32, target: u32 },
+    /// Fused `Cmp; OrCheck`: pop `b`, pop `a`; on `a ⋈ b` push `1` and
+    /// jump.
+    CmpOr { op: CmpOp, target: u32 },
+    /// Fused `Cmp; AndCheck`: pop `b`, pop `a`; on `¬(a ⋈ b)` push `0` and
+    /// jump.
+    CmpAnd { op: CmpOp, target: u32 },
+    /// Fused `LoadElemBound; CmpVar`: push
+    /// `vars[base + frames[frame].i + add] ⋈ vars[slot]` after the checked
+    /// add and bounds check.
+    CmpElemVar { frame: u32, array: u32, base: u32, len: u32, add: i64, op: CmpOp, slot: u32 },
+    /// Fused `CmpElemVar; OrCheck`.
+    CmpElemVarOr {
+        frame: u32,
+        array: u32,
+        base: u32,
+        len: u32,
+        add: i64,
+        op: CmpOp,
+        slot: u32,
+        target: u32,
+    },
+    /// Fused `CmpElemVar; AndCheck`.
+    CmpElemVarAnd {
+        frame: u32,
+        array: u32,
+        base: u32,
+        len: u32,
+        add: i64,
+        op: CmpOp,
+        slot: u32,
+        target: u32,
+    },
     /// Unconditional jump.
     Jump(u32),
     /// Pop; jump if the popped value is `0`.
@@ -155,6 +196,30 @@ enum Op {
     ExistsEnter(u32),
     /// Dual of [`Op::ForAllStep`].
     ExistsStep { head: u32, exit: u32 },
+    /// Fused quantifier-head scan for bodies gated on `arr[i + k] == lit`
+    /// (`i` the loop counter): advance the innermost frame counter to the
+    /// next gated index in a tight loop over the state vector, closing the
+    /// frame with `identity` when none remains. Skipped iterations
+    /// replicate the gate's own checked-add and bounds errors, and a
+    /// gate-failing body evaluates to the loop identity without touching
+    /// the rest of the body in both engines, so the scan is
+    /// observationally identical to dispatching the body per index.
+    LoopScanEq {
+        /// Array id, for the out-of-bounds error payload.
+        array: u32,
+        /// Offset of the array's first cell in the state vector.
+        base: u32,
+        /// Array length (bounds check, as the unfused load).
+        len: u32,
+        /// Literal added to the loop counter by the gate's index.
+        k: i64,
+        /// Literal the gated cell is compared against.
+        lit: i64,
+        /// Result when the scan exhausts the range (`true` = forall).
+        identity: bool,
+        /// Jump target on exhaustion (the quantifier's exit).
+        exit: u32,
+    },
     /// Pop a value, check it against the inlined domain, store to
     /// `vars[slot]`.
     StoreVar { slot: u32, var: u32, min: i64, max: i64 },
@@ -258,17 +323,17 @@ impl Env for WriteEnv<'_> {
 
     #[inline]
     fn clock_reset(&mut self, clock: usize) {
-        self.state.clocks[clock].value = 0;
+        self.state.reset_clock_at(clock);
     }
 
     #[inline]
     fn clock_stop(&mut self, clock: usize) {
-        self.state.clocks[clock].running = false;
+        self.state.stop_clock_at(clock);
     }
 
     #[inline]
     fn clock_start(&mut self, clock: usize) {
-        self.state.clocks[clock].running = true;
+        self.state.start_clock_at(clock);
     }
 }
 
@@ -374,6 +439,56 @@ impl Program {
     }
 }
 
+/// Splits a quantifier body whose first evaluated term gates every
+/// iteration on `arr[i + k] == lit`, with `i` the loop's own counter:
+/// `Or[Not(gate), rest…]` for forall (an implication), `And[gate, rest…]`
+/// for exists. Scheduler-style models spend most iterations failing the
+/// gate, so the loop head can advance the counter in a tight scan instead
+/// of dispatching the body. Both engines evaluate the gate first and
+/// short-circuit on failure, its comparison cannot error beyond the
+/// replicated checked-add/bounds checks, and `rest` keeps its original
+/// order — so the fused loop is observationally identical.
+fn scan_gate(body: &Pred, forall: bool) -> Option<(ArrayId, i64, i64, &[Pred])> {
+    if forall {
+        let Pred::Or(ps) = body else { return None };
+        let Pred::Not(gate) = ps.first()? else {
+            return None;
+        };
+        let (a, k, lit) = elem_eq_gate(gate)?;
+        Some((a, k, lit, &ps[1..]))
+    } else {
+        let Pred::And(ps) = body else { return None };
+        let (a, k, lit) = elem_eq_gate(ps.first()?)?;
+        Some((a, k, lit, &ps[1..]))
+    }
+}
+
+/// Matches `arr[Bound(0) + k] == lit` (either operand order, `k`
+/// optional), the gate shape [`scan_gate`] accepts.
+fn elem_eq_gate(p: &Pred) -> Option<(ArrayId, i64, i64)> {
+    let Pred::Cmp(CmpOp::Eq, l, r) = p else {
+        return None;
+    };
+    let (elem, lit) = match (l.as_ref(), r.as_ref()) {
+        (e @ IntExpr::Elem(..), IntExpr::Lit(c)) | (IntExpr::Lit(c), e @ IntExpr::Elem(..)) => {
+            (e, *c)
+        }
+        _ => return None,
+    };
+    let IntExpr::Elem(a, idx) = elem else {
+        return None;
+    };
+    let k = match idx.as_ref() {
+        IntExpr::Bound(0) => 0,
+        IntExpr::Add(x, y) => match (x.as_ref(), y.as_ref()) {
+            (IntExpr::Bound(0), IntExpr::Lit(k)) | (IntExpr::Lit(k), IntExpr::Bound(0)) => *k,
+            _ => return None,
+        },
+        _ => return None,
+    };
+    Some((*a, k, lit))
+}
+
 fn negate_cmp(op: CmpOp) -> CmpOp {
     match op {
         CmpOp::Eq => CmpOp::Ne,
@@ -400,7 +515,12 @@ fn jump_targets(code: &[Op]) -> Vec<bool> {
             | Op::CmpConstOr { target: x, .. }
             | Op::CmpConstAnd { target: x, .. }
             | Op::CmpVarOr { target: x, .. }
-            | Op::CmpVarAnd { target: x, .. } => t[x as usize] = true,
+            | Op::CmpVarAnd { target: x, .. }
+            | Op::CmpOr { target: x, .. }
+            | Op::CmpAnd { target: x, .. }
+            | Op::CmpElemVarOr { target: x, .. }
+            | Op::CmpElemVarAnd { target: x, .. }
+            | Op::LoopScanEq { exit: x, .. } => t[x as usize] = true,
             Op::ForAllStep { head, exit } | Op::ExistsStep { head, exit } => {
                 t[head as usize] = true;
                 t[exit as usize] = true;
@@ -428,12 +548,26 @@ fn fuse_once(code: &[Op]) -> Option<Vec<Op>> {
             (Op::Push(k), Some(Op::Sub)) if k != i64::MIN => Some(Op::AddConst(-k)),
             (Op::Push(k), Some(Op::Cmp(op))) => Some(Op::CmpConst { op, k }),
             (Op::LoadVar(slot), Some(Op::Cmp(op))) => Some(Op::CmpVar { op, slot }),
+            (Op::LoadVar(slot), Some(Op::AddConst(add))) => Some(Op::LoadVarConst { slot, add }),
+            (Op::LoadBound(frame), Some(Op::AddConst(add))) => {
+                Some(Op::LoadBoundConst { frame, add })
+            }
             (Op::LoadBound(frame), Some(Op::LoadElem { array, base, len })) => {
                 Some(Op::LoadElemBound {
                     frame,
                     array,
                     base,
                     len,
+                    add: 0,
+                })
+            }
+            (Op::LoadBoundConst { frame, add }, Some(Op::LoadElem { array, base, len })) => {
+                Some(Op::LoadElemBound {
+                    frame,
+                    array,
+                    base,
+                    len,
+                    add,
                 })
             }
             (Op::CmpConst { op, k }, Some(Op::OrCheck(target))) => {
@@ -448,6 +582,88 @@ fn fuse_once(code: &[Op]) -> Option<Vec<Op>> {
             (Op::CmpVar { op, slot }, Some(Op::AndCheck(target))) => {
                 Some(Op::CmpVarAnd { op, slot, target })
             }
+            (Op::Cmp(op), Some(Op::OrCheck(target))) => Some(Op::CmpOr { op, target }),
+            (Op::Cmp(op), Some(Op::AndCheck(target))) => Some(Op::CmpAnd { op, target }),
+            (
+                Op::LoadElemBound {
+                    frame,
+                    array,
+                    base,
+                    len,
+                    add,
+                },
+                Some(Op::CmpVar { op, slot }),
+            ) => Some(Op::CmpElemVar {
+                frame,
+                array,
+                base,
+                len,
+                add,
+                op,
+                slot,
+            }),
+            (
+                Op::CmpElemVar {
+                    frame,
+                    array,
+                    base,
+                    len,
+                    add,
+                    op,
+                    slot,
+                },
+                Some(Op::OrCheck(target)),
+            ) => Some(Op::CmpElemVarOr {
+                frame,
+                array,
+                base,
+                len,
+                add,
+                op,
+                slot,
+                target,
+            }),
+            (
+                Op::CmpElemVar {
+                    frame,
+                    array,
+                    base,
+                    len,
+                    add,
+                    op,
+                    slot,
+                },
+                Some(Op::AndCheck(target)),
+            ) => Some(Op::CmpElemVarAnd {
+                frame,
+                array,
+                base,
+                len,
+                add,
+                op,
+                slot,
+                target,
+            }),
+            (
+                Op::CmpElemVar {
+                    frame,
+                    array,
+                    base,
+                    len,
+                    add,
+                    op,
+                    slot,
+                },
+                Some(Op::Not),
+            ) => Some(Op::CmpElemVar {
+                frame,
+                array,
+                base,
+                len,
+                add,
+                op: negate_cmp(op),
+                slot,
+            }),
             (Op::Cmp(op), Some(Op::Not)) => Some(Op::Cmp(negate_cmp(op))),
             (Op::CmpConst { op, k }, Some(Op::Not)) => Some(Op::CmpConst {
                 op: negate_cmp(op),
@@ -484,7 +700,12 @@ fn fuse_once(code: &[Op]) -> Option<Vec<Op>> {
             | Op::CmpConstOr { target: x, .. }
             | Op::CmpConstAnd { target: x, .. }
             | Op::CmpVarOr { target: x, .. }
-            | Op::CmpVarAnd { target: x, .. } => *x = map[*x as usize],
+            | Op::CmpVarAnd { target: x, .. }
+            | Op::CmpOr { target: x, .. }
+            | Op::CmpAnd { target: x, .. }
+            | Op::CmpElemVarOr { target: x, .. }
+            | Op::CmpElemVarAnd { target: x, .. }
+            | Op::LoopScanEq { exit: x, .. } => *x = map[*x as usize],
             Op::ForAllStep { head, exit } | Op::ExistsStep { head, exit } => {
                 *head = map[*head as usize];
                 *exit = map[*exit as usize];
@@ -503,6 +724,7 @@ fn fuse(mut code: Vec<Op>) -> Vec<Op> {
     }
     code
 }
+
 
 /// The interpreter loop, monomorphized per environment.
 #[allow(clippy::too_many_lines)]
@@ -523,6 +745,26 @@ fn run<E: Env>(code: &[Op], env: &mut E, vm: &mut Vm) -> Result<(), SimError> {
             let b = pop!();
             let a = pop!();
             stack.push(a.$f(b).ok_or(EvalError::Overflow)?);
+        }};
+    }
+    // Shared body of the `LoadElemBound`-family ops: checked add of the
+    // constant offset to the loop counter, then the bounds check — the
+    // exact error order of the unfused `LoadBound; AddConst; LoadElem`.
+    macro_rules! elem_bound {
+        ($frame:expr, $array:expr, $base:expr, $len:expr, $add:expr) => {{
+            let index = frames[$frame as usize]
+                .i
+                .checked_add($add)
+                .ok_or(EvalError::Overflow)?;
+            let Some(i) = usize::try_from(index).ok().filter(|i| *i < $len as usize) else {
+                return Err(EvalError::IndexOutOfBounds {
+                    array: $array,
+                    index,
+                    len: $len as usize,
+                }
+                .into());
+            };
+            env.vars()[$base as usize + i]
         }};
     }
 
@@ -598,22 +840,28 @@ fn run<E: Env>(code: &[Op], env: &mut E, vm: &mut Vm) -> Result<(), SimError> {
                 let a = pop!();
                 stack.push(i64::from(op.apply(a, env.vars()[slot as usize])));
             }
+            Op::LoadVarConst { slot, add } => {
+                let v = env.vars()[slot as usize]
+                    .checked_add(add)
+                    .ok_or(EvalError::Overflow)?;
+                stack.push(v);
+            }
+            Op::LoadBoundConst { frame, add } => {
+                let v = frames[frame as usize]
+                    .i
+                    .checked_add(add)
+                    .ok_or(EvalError::Overflow)?;
+                stack.push(v);
+            }
             Op::LoadElemBound {
                 frame,
                 array,
                 base,
                 len,
+                add,
             } => {
-                let index = frames[frame as usize].i;
-                let Some(i) = usize::try_from(index).ok().filter(|i| *i < len as usize) else {
-                    return Err(EvalError::IndexOutOfBounds {
-                        array,
-                        index,
-                        len: len as usize,
-                    }
-                    .into());
-                };
-                stack.push(env.vars()[base as usize + i]);
+                let v = elem_bound!(frame, array, base, len, add);
+                stack.push(v);
             }
             Op::CmpConstOr { op, k, target } => {
                 let a = pop!();
@@ -641,6 +889,70 @@ fn run<E: Env>(code: &[Op], env: &mut E, vm: &mut Vm) -> Result<(), SimError> {
             }
             Op::CmpVarAnd { op, slot, target } => {
                 let a = pop!();
+                if !op.apply(a, env.vars()[slot as usize]) {
+                    stack.push(0);
+                    pc = target as usize;
+                    continue;
+                }
+            }
+            Op::CmpOr { op, target } => {
+                let b = pop!();
+                let a = pop!();
+                if op.apply(a, b) {
+                    stack.push(1);
+                    pc = target as usize;
+                    continue;
+                }
+            }
+            Op::CmpAnd { op, target } => {
+                let b = pop!();
+                let a = pop!();
+                if !op.apply(a, b) {
+                    stack.push(0);
+                    pc = target as usize;
+                    continue;
+                }
+            }
+            Op::CmpElemVar {
+                frame,
+                array,
+                base,
+                len,
+                add,
+                op,
+                slot,
+            } => {
+                let a = elem_bound!(frame, array, base, len, add);
+                stack.push(i64::from(op.apply(a, env.vars()[slot as usize])));
+            }
+            Op::CmpElemVarOr {
+                frame,
+                array,
+                base,
+                len,
+                add,
+                op,
+                slot,
+                target,
+            } => {
+                let a = elem_bound!(frame, array, base, len, add);
+                if op.apply(a, env.vars()[slot as usize]) {
+                    stack.push(1);
+                    pc = target as usize;
+                    continue;
+                }
+            }
+            Op::CmpElemVarAnd {
+                frame,
+                array,
+                base,
+                len,
+                add,
+                op,
+                slot,
+                target,
+            } => {
+                let a = elem_bound!(frame, array, base, len, add);
                 if !op.apply(a, env.vars()[slot as usize]) {
                     stack.push(0);
                     pc = target as usize;
@@ -733,6 +1045,44 @@ fn run<E: Env>(code: &[Op], env: &mut E, vm: &mut Vm) -> Result<(), SimError> {
                 pc = exit as usize;
                 continue;
             }
+            Op::LoopScanEq {
+                array,
+                base,
+                len,
+                k,
+                lit,
+                identity,
+                exit,
+            } => {
+                let frame = frames.last_mut().expect("open loop frame");
+                loop {
+                    if frame.i >= frame.hi {
+                        frames.pop();
+                        stack.push(i64::from(identity));
+                        pc = exit as usize;
+                        break;
+                    }
+                    let index = frame
+                        .i
+                        .checked_add(k)
+                        .ok_or(EvalError::Overflow)?;
+                    let Some(j) = usize::try_from(index).ok().filter(|j| *j < len as usize)
+                    else {
+                        return Err(EvalError::IndexOutOfBounds {
+                            array,
+                            index,
+                            len: len as usize,
+                        }
+                        .into());
+                    };
+                    if env.vars()[base as usize + j] == lit {
+                        pc += 1;
+                        break;
+                    }
+                    frame.i += 1;
+                }
+                continue;
+            }
             Op::StoreVar { slot, var, min, max } => {
                 let value = pop!();
                 if value < min || value > max {
@@ -807,7 +1157,9 @@ impl<'n> Compiler<'n> {
             | Op::OrCheck(t)
             | Op::ForAllEnter(t)
             | Op::ExistsEnter(t) => *t = target,
-            Op::ForAllStep { exit, .. } | Op::ExistsStep { exit, .. } => *exit = target,
+            Op::ForAllStep { exit, .. }
+            | Op::ExistsStep { exit, .. }
+            | Op::LoopScanEq { exit, .. } => *exit = target,
             other => unreachable!("patching non-jump {other:?}"),
         }
     }
@@ -982,6 +1334,8 @@ impl<'n> Compiler<'n> {
         }
     }
 
+    /// Compiles a bounded quantifier, fusing a counter-gated body into a
+    /// [`Op::LoopScanEq`] head when the shape allows (see [`scan_gate`]).
     fn quantifier(&mut self, lo: &IntExpr, hi: &IntExpr, body: &Pred, forall: bool) {
         self.expr(lo);
         self.expr(hi);
@@ -991,8 +1345,26 @@ impl<'n> Compiler<'n> {
             Op::ExistsEnter(0)
         });
         let head = self.here();
+        let gate = scan_gate(body, forall);
+        let scan = gate.map(|(a, k, lit, _)| {
+            let base = u32::try_from(self.network.array_offset(a))
+                .expect("state vector fits u32 slots");
+            let len = u32::try_from(self.network.array_len(a)).expect("array length fits u32");
+            self.emit(Op::LoopScanEq {
+                array: a.raw(),
+                base,
+                len,
+                k,
+                lit,
+                identity: forall,
+                exit: 0,
+            })
+        });
         self.depth += 1;
-        self.pred(body);
+        match gate {
+            Some((_, _, _, rest)) => self.chain(rest, !forall),
+            None => self.pred(body),
+        }
         self.depth -= 1;
         let step = self.emit(if forall {
             Op::ForAllStep { head, exit: 0 }
@@ -1002,6 +1374,9 @@ impl<'n> Compiler<'n> {
         let exit = self.here();
         self.patch(enter, exit);
         self.patch(step, exit);
+        if let Some(at) = scan {
+            self.patch(at, exit);
+        }
     }
 
     fn update(&mut self, u: &Update) {
@@ -1262,14 +1637,27 @@ impl CompiledGuard {
     ///
     /// Propagates evaluation errors in the same order as the AST walker.
     pub fn holds(&self, state: &State) -> Result<bool, EvalError> {
+        self.holds_flat(state.clock_values(), &state.vars)
+    }
+
+    /// As [`CompiledGuard::holds`], over pre-hoisted flat slices — the
+    /// batch entry point used by the fast path's per-wakeup guard pass,
+    /// where the clock-value and variable slices are loaded once for a
+    /// whole ready set instead of per edge.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors in the same order as the AST walker.
+    #[inline]
+    pub fn holds_flat(&self, clock_values: &[i64], vars: &[i64]) -> Result<bool, EvalError> {
         for t in &self.terms {
-            if !t.eval(&state.vars)? {
+            if !t.eval(vars)? {
                 return Ok(false);
             }
         }
         for a in &self.atoms {
-            let rhs = a.rhs.eval(&state.vars)?;
-            if !a.op.apply(state.clocks[a.clock.index()].value, rhs) {
+            let rhs = a.rhs.eval(vars)?;
+            if !a.op.apply(clock_values[a.clock.index()], rhs) {
                 return Ok(false);
             }
         }
@@ -1290,7 +1678,7 @@ impl CompiledGuard {
         let mut window = DelayWindow::full();
         for a in &self.atoms {
             let rhs = a.rhs.eval(&state.vars)?;
-            let cv = &state.clocks[a.clock.index()];
+            let cv = state.clock(a.clock);
             match atom_delay_window(a.op, cv.value, cv.running, rhs) {
                 None => return Ok(None),
                 Some(w) => match window.intersect(w) {
@@ -1314,7 +1702,7 @@ impl CompiledGuard {
         }
         for (i, a) in self.atoms.iter().enumerate() {
             let rhs = a.rhs.eval(&state.vars)?;
-            if !a.op.apply(state.clocks[a.clock.index()].value, rhs) {
+            if !a.op.apply(state.clock_value(a.clock), rhs) {
                 return Ok(Some(GuardConjunct::ClockAtom(i)));
             }
         }
@@ -1350,7 +1738,7 @@ impl CompiledInvariant {
     pub fn holds(&self, state: &State) -> Result<bool, EvalError> {
         for (clock, rhs) in &self.atoms {
             let rhs = rhs.eval(&state.vars)?;
-            if state.clocks[clock.index()].value > rhs {
+            if state.clock_value(*clock) > rhs {
                 return Ok(false);
             }
         }
@@ -1366,7 +1754,7 @@ impl CompiledInvariant {
         let mut bound: Option<i64> = None;
         for (clock, rhs) in &self.atoms {
             let rhs = rhs.eval(&state.vars)?;
-            let cv = &state.clocks[clock.index()];
+            let cv = state.clock(*clock);
             if cv.running {
                 let d = rhs - cv.value;
                 bound = Some(bound.map_or(d, |b| b.min(d)));

@@ -263,7 +263,7 @@ impl Diagnosis {
         let clocks = network
             .clocks()
             .iter()
-            .zip(&state.clocks)
+            .zip(state.iter_clocks())
             .map(|(decl, cv)| ClockSnapshot {
                 name: decl.name.clone(),
                 value: cv.value,

@@ -78,6 +78,134 @@ struct LocInfo {
     inv_cacheable: bool,
     /// Whether the location is committed.
     committed: bool,
+    /// Whether every initiator is an internal (no-sync) edge and the
+    /// location is not committed: such a location can never fire while a
+    /// committed location is active elsewhere, so the scan keeps it in a
+    /// side set it skips wholesale in that case.
+    internal_only: bool,
+    /// Equality-dispatch index over `initiators` (see [`EqIndex`]), built
+    /// when enough of them open with a `var == lit` test on one variable.
+    eq_index: Option<EqIndex>,
+}
+
+/// Equality-dispatch index over a location's initiator edges.
+///
+/// Scheduler-style locations fan out into one edge per task, each guarded
+/// by a leading `running == k` conjunct — a linear scan re-evaluates every
+/// one of them although at most one bucket can pass. The index groups the
+/// edges by the literal their leading equality pins `slot` to; a scan then
+/// evaluates only `buckets[vars[slot]]` plus the unindexed `rest`. Both
+/// sides keep canonical (ascending) edge order, so merging them reproduces
+/// the full scan minus edges whose leading equality is false.
+///
+/// Skipping those edges is observationally exact: both engines evaluate a
+/// guard's predicates in order with short-circuit conjunction, the leading
+/// equality is the first term evaluated, and a `Var`/`Lit` comparison
+/// cannot error — so a skipped guard would have returned `false` without
+/// side effects.
+#[derive(Debug, Clone)]
+struct EqIndex {
+    /// The variable the leading equalities test.
+    slot: crate::ids::VarId,
+    /// Edges per pinned literal, each list in ascending edge order.
+    buckets: std::collections::HashMap<i64, Vec<EdgeId>>,
+    /// Initiators without a leading equality on `slot`, ascending.
+    rest: Vec<EdgeId>,
+}
+
+/// The `(var, lit)` of a guard's leading `var == lit` conjunct, if the
+/// guard always evaluates it first: the leftmost atom of the first
+/// clock-free predicate along its `And` spine. `None` for any other shape
+/// (including guards whose first term could error or read other state).
+fn leading_eq(guard: &Guard) -> Option<(crate::ids::VarId, i64)> {
+    use crate::expr::{CmpOp, IntExpr, Pred};
+    let mut p = guard.preds.first()?;
+    loop {
+        match p {
+            Pred::And(ps) => p = ps.first()?,
+            Pred::Cmp(CmpOp::Eq, a, b) => {
+                return match (a.as_ref(), b.as_ref()) {
+                    (IntExpr::Var(v), IntExpr::Lit(c)) | (IntExpr::Lit(c), IntExpr::Var(v)) => {
+                        Some((*v, *c))
+                    }
+                    _ => None,
+                };
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Builds the [`EqIndex`] for one location, or `None` when too few
+/// initiators share a leading equality for the index to pay off.
+fn build_eq_index(a: &crate::automaton::Automaton, initiators: &[EdgeId]) -> Option<EqIndex> {
+    const MIN_INDEXED: usize = 16;
+    let mut slots: Vec<(crate::ids::VarId, usize)> = Vec::new();
+    for &eid in initiators {
+        if let Some((v, _)) = leading_eq(&a.edge(eid).guard) {
+            match slots.iter_mut().find(|(s, _)| *s == v) {
+                Some((_, n)) => *n += 1,
+                None => slots.push((v, 1)),
+            }
+        }
+    }
+    let &(slot, best) = slots.iter().max_by_key(|&&(_, n)| n)?;
+    if best < MIN_INDEXED {
+        return None;
+    }
+    let mut buckets: std::collections::HashMap<i64, Vec<EdgeId>> =
+        std::collections::HashMap::new();
+    let mut rest = Vec::new();
+    for &eid in initiators {
+        match leading_eq(&a.edge(eid).guard) {
+            Some((v, c)) if v == slot => buckets.entry(c).or_default().push(eid),
+            _ => rest.push(eid),
+        }
+    }
+    Some(EqIndex {
+        slot,
+        buckets,
+        rest,
+    })
+}
+
+/// Merges two ascending edge-id slices, preserving canonical order.
+struct MergeEdges<'a> {
+    a: &'a [EdgeId],
+    b: &'a [EdgeId],
+}
+
+impl<'a> MergeEdges<'a> {
+    fn new(a: &'a [EdgeId], b: &'a [EdgeId]) -> Self {
+        Self { a, b }
+    }
+}
+
+impl Iterator for MergeEdges<'_> {
+    type Item = EdgeId;
+
+    fn next(&mut self) -> Option<EdgeId> {
+        match (self.a.first(), self.b.first()) {
+            (Some(&x), Some(&y)) => {
+                if x.raw() <= y.raw() {
+                    self.a = &self.a[1..];
+                    Some(x)
+                } else {
+                    self.b = &self.b[1..];
+                    Some(y)
+                }
+            }
+            (Some(&x), None) => {
+                self.a = &self.a[1..];
+                Some(x)
+            }
+            (None, Some(&y)) => {
+                self.b = &self.b[1..];
+                Some(y)
+            }
+            (None, None) => None,
+        }
+    }
 }
 
 /// Static per-network acceleration data.
@@ -204,12 +332,23 @@ impl FastCache {
                     }
                     initiators.push(eid);
                 }
+                let internal_only = !l.committed
+                    && initiators
+                        .iter()
+                        .all(|&eid| matches!(a.edge(eid).sync, Sync::Internal));
+                let eq_index = if guards_cacheable {
+                    None
+                } else {
+                    build_eq_index(a, &initiators)
+                };
                 per_loc.push(LocInfo {
                     initiators,
                     recv_edges,
                     guards_cacheable,
                     inv_cacheable: invariant_state_independent(&l.invariant),
                     committed: l.committed,
+                    internal_only,
+                    eq_index,
                 });
             }
             info.push(per_loc);
@@ -260,8 +399,13 @@ pub(crate) struct FastRun<'n> {
     /// Invariants needing recomputation at each delay decision.
     inv_dynamic: Vec<bool>,
     committed_count: usize,
-    /// Cacheable automata whose wake time has arrived, ascending by id.
-    ready: BTreeSet<u32>,
+    /// Cacheable automata whose wake time has arrived and whose location
+    /// can initiate a sync (or is committed), ascending by id.
+    ready_sync: BTreeSet<u32>,
+    /// Cacheable automata whose wake time has arrived in an
+    /// `internal_only` location — skipped while any committed location is
+    /// active, ascending by id.
+    ready_internal: BTreeSet<u32>,
     /// Automata rescanned every step, ascending by id.
     dynamic_set: BTreeSet<u32>,
     /// Automata whose invariants are recomputed at each delay decision.
@@ -277,6 +421,24 @@ pub(crate) struct FastRun<'n> {
     registered: Vec<Option<LocationId>>,
     /// Due wake entries drained into `ready` so far (observability).
     wheel_wakeups: u64,
+    /// Monotone counter identifying the current time instant; bumped on
+    /// every [`FastRun::advance`]. Starts at 1 so a `memo_stamp` of 0 is
+    /// always stale.
+    instant: u64,
+    /// Instant at which `memo_enabled[a]` was last computed (0 = never).
+    /// Reset on [`FastRun::refresh`] so an automaton that moved is
+    /// re-batched even within the same instant.
+    memo_stamp: Vec<u64>,
+    /// Initiator edges of automaton `a` whose guards held when last
+    /// batch-evaluated, in canonical edge order (valid iff
+    /// `memo_stamp[a] == instant`). Buffers are reused across instants.
+    memo_enabled: Vec<Vec<EdgeId>>,
+    /// Whether every edge in `memo_enabled[a]` is an internal (no-sync)
+    /// edge — such an automaton cannot fire at all while some *other*
+    /// automaton is committed, so the scan skips it outright.
+    memo_all_internal: Vec<bool>,
+    /// Reusable merge buffer for the per-call canonical scan order.
+    scan_buf: Vec<u32>,
 }
 
 impl<'n> FastRun<'n> {
@@ -297,7 +459,8 @@ impl<'n> FastRun<'n> {
             inv_expiry: vec![i64::MAX; n],
             inv_dynamic: vec![false; n],
             committed_count: 0,
-            ready: BTreeSet::new(),
+            ready_sync: BTreeSet::new(),
+            ready_internal: BTreeSet::new(),
             dynamic_set: BTreeSet::new(),
             inv_dynamic_set: BTreeSet::new(),
             wake_heap: BinaryHeap::new(),
@@ -305,6 +468,11 @@ impl<'n> FastRun<'n> {
             recv_ready: vec![BTreeSet::new(); network.channels().len()],
             registered: vec![None; n],
             wheel_wakeups: 0,
+            instant: 1,
+            memo_stamp: vec![0; n],
+            memo_enabled: vec![Vec::new(); n],
+            memo_all_internal: vec![false; n],
+            scan_buf: Vec::new(),
         };
         for ai in 0..n {
             let aid = AutomatonId::from_raw(u32::try_from(ai).expect("automaton count fits u32"));
@@ -317,8 +485,34 @@ impl<'n> FastRun<'n> {
         Ok(run)
     }
 
-    fn loc_info(&self, a: AutomatonId, state: &State) -> &LocInfo {
+    fn loc_info(&self, a: AutomatonId, state: &State) -> &'n LocInfo {
         &self.cache.info[a.index()][state.location_of(a).index()]
+    }
+
+    /// One guard evaluation through the hoisted compiled network (falling
+    /// back to engine dispatch for the AST walker).
+    fn guard_holds_at(
+        &self,
+        aid: AutomatonId,
+        eid: EdgeId,
+        state: &State,
+    ) -> Result<bool, SimError> {
+        match self.compiled {
+            Some(c) => c.guard(aid, eid).holds(state),
+            None => bytecode::guard_holds(self.network, self.engine, aid, eid, state),
+        }
+        .map_err(SimError::Eval)
+    }
+
+    /// Files a due automaton into the ready set matching its location
+    /// class.
+    fn make_ready(&mut self, raw: u32, state: &State) {
+        let aid = AutomatonId::from_raw(raw);
+        if self.loc_info(aid, state).internal_only {
+            self.ready_internal.insert(raw);
+        } else {
+            self.ready_sync.insert(raw);
+        }
     }
 
     /// Syncs `recv_ready` with the automaton's current location.
@@ -377,8 +571,10 @@ impl<'n> FastRun<'n> {
         let ai = a.index();
         let raw = a.raw();
 
+        self.memo_stamp[ai] = 0;
         self.dynamic[ai] = !guards_cacheable;
-        self.ready.remove(&raw);
+        self.ready_sync.remove(&raw);
+        self.ready_internal.remove(&raw);
         if !guards_cacheable {
             self.dynamic_set.insert(raw);
             self.wake[ai] = now;
@@ -398,7 +594,7 @@ impl<'n> FastRun<'n> {
                 }
                 self.wake[ai] = wake;
                 if wake <= now {
-                    self.ready.insert(raw);
+                    self.make_ready(raw, state);
                 } else if wake < i64::MAX {
                     self.wake_heap.push(Reverse((wake, raw)));
                 }
@@ -429,6 +625,7 @@ impl<'n> FastRun<'n> {
     /// Advances time and drains newly-due wake entries into the ready set.
     pub(crate) fn advance(&mut self, state: &mut State, delay: i64) {
         state.advance(delay);
+        self.instant += 1;
         let now = state.time;
         while let Some(&Reverse((t, a))) = self.wake_heap.peek() {
             if t > now {
@@ -436,7 +633,7 @@ impl<'n> FastRun<'n> {
             }
             self.wake_heap.pop();
             if !self.dynamic[a as usize] && self.wake[a as usize] == t {
-                self.ready.insert(a);
+                self.make_ready(a, state);
                 self.wheel_wakeups += 1;
             }
         }
@@ -454,55 +651,139 @@ impl<'n> FastRun<'n> {
     /// Only automata in the ready or dynamic sets are scanned; merging the
     /// two ordered sets preserves the canonical ascending-id order the
     /// generic interpreter uses.
-    pub(crate) fn first_enabled(&self, state: &State) -> Result<Option<Transition>, SimError> {
-        let mut ready = self.ready.iter().copied().peekable();
-        let mut dynamic = self.dynamic_set.iter().copied().peekable();
-        loop {
-            let raw = match (ready.peek().copied(), dynamic.peek().copied()) {
-                (Some(r), Some(d)) => {
-                    if r <= d {
-                        ready.next();
-                        if r == d {
-                            dynamic.next();
-                        }
-                        r
-                    } else {
-                        dynamic.next();
-                        d
+    pub(crate) fn first_enabled(&mut self, state: &State) -> Result<Option<Transition>, SimError> {
+        // Snapshot the merged scan order into a flat buffer: neither set
+        // changes during the call (only `apply` mutates them), and a
+        // linear walk beats a tree descent per candidate. The buffer is
+        // taken out of `self` so `scan_automaton` can mutate the memos.
+        // While a committed location is active, `internal_only` locations
+        // cannot fire (the filter would reject their only transitions),
+        // so their whole ready set is skipped without visiting a member.
+        let skip_internal = self.committed_count > 0;
+        const CHUNK: usize = 8;
+        let mut buf = std::mem::take(&mut self.scan_buf);
+        let mut cur: u32 = 0;
+        let mut result = Ok(None);
+        'outer: loop {
+            buf.clear();
+            {
+                let mut sync = self.ready_sync.range(cur..).copied();
+                let mut internal = self.ready_internal.range(cur..).copied();
+                let mut dynamic = self.dynamic_set.range(cur..).copied();
+                let mut ns = sync.next();
+                let mut ni = if skip_internal { None } else { internal.next() };
+                let mut nd = dynamic.next();
+                while buf.len() < CHUNK {
+                    let min = match (ns, ni, nd) {
+                        (None, None, None) => break,
+                        _ => [ns, ni, nd].into_iter().flatten().min().expect("nonempty"),
+                    };
+                    buf.push(min);
+                    if ns == Some(min) {
+                        ns = sync.next();
+                    }
+                    if ni == Some(min) {
+                        ni = internal.next();
+                    }
+                    if nd == Some(min) {
+                        nd = dynamic.next();
                     }
                 }
-                (Some(r), None) => {
-                    ready.next();
-                    r
-                }
-                (None, Some(d)) => {
-                    dynamic.next();
-                    d
-                }
-                (None, None) => return Ok(None),
-            };
-            let aid = AutomatonId::from_raw(raw);
-            if let Some(t) = self.scan_automaton(aid, state)? {
-                return Ok(Some(t));
             }
+            let Some(&last) = buf.last() else { break };
+            for &raw in &buf {
+                match self.scan_automaton(AutomatonId::from_raw(raw), state) {
+                    Ok(None) => {}
+                    other => {
+                        result = other;
+                        break 'outer;
+                    }
+                }
+            }
+            let Some(next) = last.checked_add(1) else {
+                break;
+            };
+            cur = next;
         }
+        self.scan_buf = buf;
+        result
     }
 
     /// Scans one automaton's initiator edges for an enabled transition.
+    ///
+    /// For cacheable locations the initiator guards are batch-evaluated
+    /// once per time instant, in one pass over the hoisted SoA slices,
+    /// and the holding set is memoized: an instant spans several
+    /// transitions (the ready set is rescanned from the start after each
+    /// one), and eligibility guarantees a cacheable guard's truth cannot
+    /// change within the instant unless this automaton itself moves —
+    /// no foreign clock updates, no variable reads. Evaluating the whole
+    /// batch is error-order safe because `refresh` already evaluated
+    /// every initiator's window with the same term order on location
+    /// entry, and cacheable guards are state-independent.
     fn scan_automaton(
-        &self,
+        &mut self,
         aid: AutomatonId,
         state: &State,
     ) -> Result<Option<Transition>, SimError> {
         let info = self.loc_info(aid, state);
         let automaton = self.network.automaton(aid);
-        for &eid in &info.initiators {
-            let holds = match self.compiled {
-                Some(c) => c.guard(aid, eid).holds(state),
-                None => bytecode::guard_holds(self.network, self.engine, aid, eid, state),
+        let ai = aid.index();
+        let batched = info.guards_cacheable;
+        if batched && self.memo_stamp[ai] != self.instant {
+            let mut enabled = std::mem::take(&mut self.memo_enabled[ai]);
+            enabled.clear();
+            match self.compiled {
+                Some(c) => {
+                    let clock_values = state.clock_values();
+                    let vars = &state.vars;
+                    for &eid in &info.initiators {
+                        if c.guard(aid, eid)
+                            .holds_flat(clock_values, vars)
+                            .map_err(SimError::Eval)?
+                        {
+                            enabled.push(eid);
+                        }
+                    }
+                }
+                None => {
+                    for &eid in &info.initiators {
+                        if bytecode::guard_holds(self.network, self.engine, aid, eid, state)
+                            .map_err(SimError::Eval)?
+                        {
+                            enabled.push(eid);
+                        }
+                    }
+                }
             }
-            .map_err(SimError::Eval)?;
-            if !holds {
+            self.memo_all_internal[ai] = enabled
+                .iter()
+                .all(|&eid| matches!(automaton.edge(eid).sync, Sync::Internal));
+            self.memo_enabled[ai] = enabled;
+            self.memo_stamp[ai] = self.instant;
+        }
+        if batched
+            && self.committed_count > 0
+            && !info.committed
+            && self.memo_all_internal[ai]
+        {
+            // Internal transitions of a non-committed automaton cannot
+            // fire while a committed location is active elsewhere.
+            return Ok(None);
+        }
+        let edges = if batched {
+            MergeEdges::new(&self.memo_enabled[ai], &[])
+        } else if let Some(ix) = &info.eq_index {
+            let bucket = ix
+                .buckets
+                .get(&state.vars[ix.slot.index()])
+                .map_or(&[][..], Vec::as_slice);
+            MergeEdges::new(bucket, &ix.rest)
+        } else {
+            MergeEdges::new(&info.initiators, &[])
+        };
+        for eid in edges {
+            if !batched && !self.guard_holds_at(aid, eid, state)? {
                 continue;
             }
             let transition = match automaton.edge(eid).sync {
@@ -518,9 +799,7 @@ impl<'n> FastRun<'n> {
                                 continue;
                             }
                             let beid = EdgeId::from_raw(beraw);
-                            if bytecode::guard_holds(self.network, self.engine, bid, beid, state)
-                                .map_err(SimError::Eval)?
-                            {
+                            if self.guard_holds_at(bid, beid, state)? {
                                 found = Some(Transition::Binary {
                                     channel: ch,
                                     sender: (aid, eid),
@@ -540,9 +819,7 @@ impl<'n> FastRun<'n> {
                                 continue;
                             }
                             let beid = EdgeId::from_raw(beraw);
-                            if bytecode::guard_holds(self.network, self.engine, bid, beid, state)
-                                .map_err(SimError::Eval)?
-                            {
+                            if self.guard_holds_at(bid, beid, state)? {
                                 receivers.push((bid, beid));
                                 last = Some(bid);
                             }
@@ -557,13 +834,21 @@ impl<'n> FastRun<'n> {
                 Sync::Recv(_) => None,
             };
             let Some(t) = transition else { continue };
-            if self.committed_count > 0
-                && !t
-                    .participants()
-                    .iter()
-                    .any(|(p, _)| self.loc_info(*p, state).committed)
-            {
-                continue;
+            if self.committed_count > 0 && !info.committed {
+                // Allocation-free committed filter: the sender is not
+                // committed, so some receiver must be.
+                let passes = match &t {
+                    Transition::Internal { .. } => false,
+                    Transition::Binary { receiver, .. } => {
+                        self.loc_info(receiver.0, state).committed
+                    }
+                    Transition::Broadcast { receivers, .. } => receivers
+                        .iter()
+                        .any(|&(b, _)| self.loc_info(b, state).committed),
+                };
+                if !passes {
+                    continue;
+                }
             }
             return Ok(Some(t));
         }

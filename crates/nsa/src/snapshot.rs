@@ -57,7 +57,7 @@ impl Snapshot {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(
             64 + self.state.locations.len() * 4
-                + self.state.clocks.len() * 9
+                + self.state.clocks_len() * 9
                 + self.state.vars.len() * 8,
         );
         out.push(SNAPSHOT_VERSION);
@@ -69,8 +69,8 @@ impl Snapshot {
         for l in &self.state.locations {
             out.extend_from_slice(&l.raw().to_le_bytes());
         }
-        out.extend_from_slice(&(self.state.clocks.len() as u64).to_le_bytes());
-        for c in &self.state.clocks {
+        out.extend_from_slice(&(self.state.clocks_len() as u64).to_le_bytes());
+        for c in self.state.iter_clocks() {
             out.extend_from_slice(&c.value.to_le_bytes());
             out.push(u8::from(c.running));
         }
@@ -126,12 +126,7 @@ impl Snapshot {
             });
         }
         Ok(Self {
-            state: State {
-                locations,
-                clocks,
-                vars,
-                time,
-            },
+            state: State::from_parts(locations, clocks, vars, time),
             steps,
             stats: SimStats { wheel_wakeups },
             trace_len,
@@ -168,11 +163,11 @@ impl Snapshot {
                 });
             }
         }
-        if self.state.clocks.len() != network.clocks().len() {
+        if self.state.clocks_len() != network.clocks().len() {
             return Err(SnapshotError::NetworkMismatch {
                 field: "clocks",
                 expected: network.clocks().len(),
-                found: self.state.clocks.len(),
+                found: self.state.clocks_len(),
             });
         }
         let cells =
@@ -193,7 +188,7 @@ impl Snapshot {
     pub fn approx_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
             + self.state.locations.len() * std::mem::size_of::<LocationId>()
-            + self.state.clocks.len() * std::mem::size_of::<ClockVal>()
+            + self.state.clocks_len() * std::mem::size_of::<ClockVal>()
             + self.state.vars.len() * 8
     }
 }

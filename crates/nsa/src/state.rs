@@ -4,6 +4,20 @@
 //! automaton, a valuation of all clocks (value plus running flag) and a
 //! valuation of all integer variables (scalars first, then array cells,
 //! flattened in declaration order).
+//!
+//! # Data layout
+//!
+//! Clock valuations are stored struct-of-arrays: a contiguous
+//! `Vec<i64>` of values plus a `Vec<u64>` *stopped* bitmask (bit `i` set
+//! ⇔ clock `i` is frozen). Delay application is then a branchless masked
+//! add over a flat slice — with a plain vectorizable add for every
+//! 64-clock word whose stopped bits are all zero — and guard evaluation
+//! reads cache-linear `i64`s instead of 16-byte `(value, flag)` pairs.
+//! [`ClockVal`] remains the exchange type at the API boundary
+//! (snapshots, diagnostics, tests).
+//!
+//! Invariant: bits of `stopped` at positions `>= clock count` are always
+//! zero, so the derived equality/hashing over the raw words is exact.
 
 use std::hash::{Hash, Hasher};
 
@@ -28,12 +42,21 @@ pub struct ClockVal {
 pub struct State {
     /// Current location of each automaton, indexed by [`AutomatonId`].
     pub locations: Vec<LocationId>,
-    /// Clock valuations, indexed by [`ClockId`].
-    pub clocks: Vec<ClockVal>,
+    /// Clock values, indexed by [`ClockId`] (see the module docs for the
+    /// struct-of-arrays layout).
+    clock_values: Vec<i64>,
+    /// Stopped bitmask: bit `i` set ⇔ clock `i` is frozen. Bits past the
+    /// clock count are kept zero.
+    stopped: Vec<u64>,
     /// Flattened variable valuation: scalars, then array cells.
     pub vars: Vec<i64>,
     /// Model time: the value of the implicit never-stopped global clock.
     pub time: i64,
+}
+
+#[inline]
+fn word_bit(i: usize) -> (usize, u64) {
+    (i >> 6, 1u64 << (i & 63))
 }
 
 impl State {
@@ -43,23 +66,52 @@ impl State {
     #[must_use]
     pub fn initial(network: &Network) -> Self {
         let locations = network.automata().iter().map(|a| a.initial).collect();
-        let clocks = network
-            .clocks()
-            .iter()
-            .map(|c| ClockVal {
-                value: 0,
-                running: c.starts_running,
-            })
-            .collect();
+        let n = network.clocks().len();
+        let mut stopped = vec![0u64; n.div_ceil(64)];
+        for (i, c) in network.clocks().iter().enumerate() {
+            if !c.starts_running {
+                let (w, b) = word_bit(i);
+                stopped[w] |= b;
+            }
+        }
         let mut vars: Vec<i64> = network.vars().iter().map(|v| v.init).collect();
         for a in network.arrays() {
             vars.extend_from_slice(&a.init);
         }
         Self {
             locations,
-            clocks,
+            clock_values: vec![0; n],
+            stopped,
             vars,
             time: 0,
+        }
+    }
+
+    /// Builds a state from its parts, with clock valuations in the
+    /// [`ClockVal`] exchange form (snapshot decoding, tests).
+    #[must_use]
+    pub fn from_parts(
+        locations: Vec<LocationId>,
+        clocks: Vec<ClockVal>,
+        vars: Vec<i64>,
+        time: i64,
+    ) -> Self {
+        let n = clocks.len();
+        let mut clock_values = Vec::with_capacity(n);
+        let mut stopped = vec![0u64; n.div_ceil(64)];
+        for (i, c) in clocks.iter().enumerate() {
+            clock_values.push(c.value);
+            if !c.running {
+                let (w, b) = word_bit(i);
+                stopped[w] |= b;
+            }
+        }
+        Self {
+            locations,
+            clock_values,
+            stopped,
+            vars,
+            time,
         }
     }
 
@@ -73,14 +125,109 @@ impl State {
         self.locations[automaton.index()]
     }
 
+    /// Number of clocks.
+    #[must_use]
+    pub fn clocks_len(&self) -> usize {
+        self.clock_values.len()
+    }
+
+    /// The flat clock-value slice (struct-of-arrays hot path).
+    #[must_use]
+    pub fn clock_values(&self) -> &[i64] {
+        &self.clock_values
+    }
+
+    /// The stopped bitmask words (bit `i` set ⇔ clock `i` frozen).
+    #[must_use]
+    pub fn stopped_words(&self) -> &[u64] {
+        &self.stopped
+    }
+
+    /// Current value of one clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn clock_value(&self, clock: ClockId) -> i64 {
+        self.clock_values[clock.index()]
+    }
+
+    /// Whether one clock is running.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn clock_running(&self, clock: ClockId) -> bool {
+        let (w, b) = word_bit(clock.index());
+        debug_assert!(clock.index() < self.clock_values.len());
+        self.stopped[w] & b == 0
+    }
+
+    /// One clock's valuation in exchange form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn clock(&self, clock: ClockId) -> ClockVal {
+        ClockVal {
+            value: self.clock_value(clock),
+            running: self.clock_running(clock),
+        }
+    }
+
+    /// Iterates over all clock valuations in [`ClockId`] order.
+    pub fn iter_clocks(&self) -> impl Iterator<Item = ClockVal> + '_ {
+        self.clock_values.iter().enumerate().map(|(i, &value)| {
+            let (w, b) = word_bit(i);
+            ClockVal {
+                value,
+                running: self.stopped[w] & b == 0,
+            }
+        })
+    }
+
+    #[inline]
+    pub(crate) fn reset_clock_at(&mut self, i: usize) {
+        self.clock_values[i] = 0;
+    }
+
+    #[inline]
+    pub(crate) fn stop_clock_at(&mut self, i: usize) {
+        let (w, b) = word_bit(i);
+        debug_assert!(i < self.clock_values.len());
+        self.stopped[w] |= b;
+    }
+
+    #[inline]
+    pub(crate) fn start_clock_at(&mut self, i: usize) {
+        let (w, b) = word_bit(i);
+        debug_assert!(i < self.clock_values.len());
+        self.stopped[w] &= !b;
+    }
+
     /// Advances time by `d`: all running clocks increase by `d`.
     ///
-    /// The caller is responsible for having checked invariants.
+    /// The caller is responsible for having checked invariants. The loop
+    /// is branchless per clock: a 64-clock word with no stopped bits takes
+    /// the plain (vectorizable) add; mixed words use a masked add.
     pub fn advance(&mut self, d: i64) {
         debug_assert!(d >= 0, "negative delay {d}");
-        for c in &mut self.clocks {
-            if c.running {
-                c.value += d;
+        for (chunk, &word) in self.clock_values.chunks_mut(64).zip(&self.stopped) {
+            if word == 0 {
+                for v in chunk {
+                    *v += d;
+                }
+            } else {
+                for (bit, v) in chunk.iter_mut().enumerate() {
+                    let stopped = (word >> bit) & 1;
+                    // stopped = 1 → mask 0 (frozen); stopped = 0 → mask -1.
+                    #[allow(clippy::cast_possible_wrap)]
+                    let mask = (stopped as i64).wrapping_sub(1);
+                    *v += d & mask;
+                }
             }
         }
         self.time += d;
@@ -144,9 +291,9 @@ impl State {
                     }
                 }
             }
-            Update::ResetClock(c) => self.clocks[c.index()].value = 0,
-            Update::StopClock(c) => self.clocks[c.index()].running = false,
-            Update::StartClock(c) => self.clocks[c.index()].running = true,
+            Update::ResetClock(c) => self.reset_clock_at(c.index()),
+            Update::StopClock(c) => self.stop_clock_at(c.index()),
+            Update::StartClock(c) => self.start_clock_at(c.index()),
             Update::If {
                 cond,
                 then,
@@ -195,9 +342,8 @@ impl Hash for State {
         for l in &self.locations {
             l.hash(state);
         }
-        for c in &self.clocks {
-            c.hash(state);
-        }
+        self.clock_values.hash(state);
+        self.stopped.hash(state);
         self.vars.hash(state);
         self.time.hash(state);
     }
@@ -237,11 +383,11 @@ impl VarEnv for EnvView<'_> {
 
 impl ClockEnv for EnvView<'_> {
     fn clock(&self, clock: ClockId) -> i64 {
-        self.state.clocks[clock.index()].value
+        self.state.clock_value(clock)
     }
 
     fn is_running(&self, clock: ClockId) -> bool {
-        self.state.clocks[clock.index()].running
+        self.state.clock_running(clock)
     }
 }
 
@@ -265,14 +411,18 @@ mod tests {
         nb.build().unwrap()
     }
 
+    fn clock(i: u32) -> ClockId {
+        ClockId::from_raw(i)
+    }
+
     #[test]
     fn initial_state_matches_declarations() {
         let n = network();
         let s = State::initial(&n);
         assert_eq!(s.time, 0);
         assert_eq!(s.vars, vec![3, 10, 20, 30]);
-        assert!(s.clocks[0].running);
-        assert!(!s.clocks[1].running);
+        assert!(s.clock_running(clock(0)));
+        assert!(!s.clock_running(clock(1)));
         assert_eq!(
             s.location_of(AutomatonId::from_raw(0)),
             LocationId::from_raw(0)
@@ -285,27 +435,82 @@ mod tests {
         let mut s = State::initial(&n);
         s.advance(5);
         assert_eq!(s.time, 5);
-        assert_eq!(s.clocks[0].value, 5);
-        assert_eq!(s.clocks[1].value, 0);
+        assert_eq!(s.clock_value(clock(0)), 5);
+        assert_eq!(s.clock_value(clock(1)), 0);
     }
 
     #[test]
     fn stop_and_start_clock() {
         let n = network();
         let mut s = State::initial(&n);
-        s.apply_update(&n, &Update::StopClock(ClockId::from_raw(0)))
-            .unwrap();
+        s.apply_update(&n, &Update::StopClock(clock(0))).unwrap();
         s.advance(5);
-        assert_eq!(s.clocks[0].value, 0);
-        s.apply_update(&n, &Update::StartClock(ClockId::from_raw(0)))
-            .unwrap();
+        assert_eq!(s.clock_value(clock(0)), 0);
+        s.apply_update(&n, &Update::StartClock(clock(0))).unwrap();
         s.advance(2);
-        assert_eq!(s.clocks[0].value, 2);
-        s.apply_update(&n, &Update::ResetClock(ClockId::from_raw(0)))
-            .unwrap();
-        assert_eq!(s.clocks[0].value, 0);
+        assert_eq!(s.clock_value(clock(0)), 2);
+        s.apply_update(&n, &Update::ResetClock(clock(0))).unwrap();
+        assert_eq!(s.clock_value(clock(0)), 0);
         // Resetting keeps the running flag.
-        assert!(s.clocks[0].running);
+        assert!(s.clock_running(clock(0)));
+    }
+
+    #[test]
+    fn from_parts_round_trips_through_iter_clocks() {
+        let clocks = vec![
+            ClockVal {
+                value: 7,
+                running: true,
+            },
+            ClockVal {
+                value: -2,
+                running: false,
+            },
+            ClockVal {
+                value: 0,
+                running: true,
+            },
+        ];
+        let s = State::from_parts(vec![], clocks.clone(), vec![1], 9);
+        assert_eq!(s.clocks_len(), 3);
+        assert_eq!(s.iter_clocks().collect::<Vec<_>>(), clocks);
+        assert_eq!(s.clock_values(), &[7, -2, 0]);
+        assert_eq!(s.stopped_words(), &[0b010]);
+    }
+
+    #[test]
+    fn soa_equality_ignores_nothing_and_tail_bits_stay_zero() {
+        // Two states built through different op sequences but with equal
+        // clock valuations must compare (and hash) equal: the stopped
+        // mask's unused tail bits stay canonically zero.
+        let n = network();
+        let mut a = State::initial(&n);
+        let mut b = State::initial(&n);
+        a.apply_update(&n, &Update::StopClock(clock(0))).unwrap();
+        a.apply_update(&n, &Update::StartClock(clock(0))).unwrap();
+        b.apply_update(&n, &Update::StartClock(clock(0))).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert!(a.stopped_words().iter().all(|w| w >> 2 == 0));
+    }
+
+    #[test]
+    fn advance_masked_add_matches_reference_on_mixed_words() {
+        // 130 clocks spanning three mask words, every third stopped.
+        let clocks: Vec<ClockVal> = (0..130)
+            .map(|i| ClockVal {
+                value: i64::from(i),
+                running: i % 3 != 0,
+            })
+            .collect();
+        let mut s = State::from_parts(vec![], clocks.clone(), vec![], 0);
+        s.advance(7);
+        for (i, cv) in s.iter_clocks().enumerate() {
+            let expected = clocks[i].value + if clocks[i].running { 7 } else { 0 };
+            assert_eq!(cv.value, expected, "clock {i}");
+            assert_eq!(cv.running, clocks[i].running, "clock {i} flag");
+        }
+        assert_eq!(s.time, 7);
     }
 
     #[test]

@@ -24,5 +24,3 @@ pub mod search;
 pub use binpack::{first_fit_decreasing, Packing};
 pub use problem::DesignProblem;
 pub use search::{search, search_with, IterationRecord, SearchOptions, SearchOutcome};
-#[allow(deprecated)]
-pub use search::{search_with_cache, search_with_stores};

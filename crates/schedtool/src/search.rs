@@ -22,8 +22,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use swa_core::{
-    canonicalize, compositional_lookup, Analyzer, CachedVerdict, CheckpointStore, PipelineError,
-    Verdict, VerdictCache,
+    canonicalize, compositional_lookup, Analyzer, CachedVerdict, PipelineError, Verdict,
+    VerdictCache,
 };
 use swa_ima::{Configuration, CoreRef, PartitionId};
 use swa_workload::{synthesize_windows, PartitionDemand};
@@ -168,49 +168,7 @@ pub fn search_with(
     search_impl(problem, options, cache.as_deref(), analyzer)
 }
 
-/// [`search`], with an optional content-addressed verdict cache injected
-/// into the candidate-checking loop.
-///
-/// # Errors
-///
-/// Same contract as [`search`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use `search_with` with an `Analyzer::configure().cache(..)` carrier"
-)]
-pub fn search_with_cache(
-    problem: &DesignProblem,
-    options: &SearchOptions,
-    cache: Option<&dyn VerdictCache>,
-) -> Result<SearchOutcome, PipelineError> {
-    search_impl(problem, options, cache, &Analyzer::configure())
-}
-
-/// [`search`], with an optional verdict cache and checkpoint store
-/// injected into candidate checking.
-///
-/// # Errors
-///
-/// Same contract as [`search`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use `search_with` with an `Analyzer::configure().cache(..).checkpoints(..)` carrier"
-)]
-pub fn search_with_stores(
-    problem: &DesignProblem,
-    options: &SearchOptions,
-    cache: Option<&dyn VerdictCache>,
-    checkpoints: Option<Arc<dyn CheckpointStore>>,
-) -> Result<SearchOutcome, PipelineError> {
-    let mut analyzer = Analyzer::configure();
-    if let Some(store) = checkpoints {
-        analyzer = analyzer.checkpoints(store);
-    }
-    search_impl(problem, options, cache, &analyzer)
-}
-
-/// The search loop. `cache` is the probe/insert handle (borrowed so the
-/// deprecated entry points can pass a plain reference); when the
+/// The search loop. `cache` is the probe/insert handle; when the
 /// `analyzer` carries its own cache the evaluation path inserts results
 /// itself and this function only probes.
 fn search_impl(
@@ -661,7 +619,7 @@ mod tests {
 
     #[test]
     fn checkpointed_search_finds_the_same_configuration() {
-        use swa_core::{CheckpointStore as _, ShardedCheckpointStore};
+        use swa_core::{CheckpointStore, ShardedCheckpointStore};
 
         for problem in [two_partition_problem(1), two_partition_problem(2)] {
             let baseline = search(&problem, &SearchOptions::default()).unwrap();
@@ -741,21 +699,6 @@ mod tests {
                 assert_eq!(diagnosis.missing_partitions, record.missing_partitions);
             }
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_store_shims_still_agree() {
-        let problem = two_partition_problem(1);
-        let options = SearchOptions::default();
-        let baseline = search(&problem, &options).unwrap();
-        let cache = swa_core::ShardedVerdictCache::new(1 << 22);
-        let via_cache = search_with_cache(&problem, &options, Some(&cache)).unwrap();
-        let store = Arc::new(swa_core::ShardedCheckpointStore::new(1 << 22));
-        let via_stores =
-            search_with_stores(&problem, &options, Some(&cache), Some(store)).unwrap();
-        assert_eq!(baseline.configuration, via_cache.configuration);
-        assert_eq!(baseline.configuration, via_stores.configuration);
     }
 
     #[test]

@@ -393,11 +393,22 @@ fn render_health(inner: &Inner) -> String {
 
 fn render_metrics(inner: &Inner) -> String {
     let stats = inner.cache.stats();
+    let ckpt = inner
+        .checkpoints
+        .as_ref()
+        .map(|s| s.stats())
+        .unwrap_or_default();
     format!(
-        "{{\"cache\":{{\"entries\":{},\"bytes\":{},\"hit_rate\":{:.4}}},\"metrics\":{}}}",
+        "{{\"cache\":{{\"entries\":{},\"bytes\":{},\"hit_rate\":{:.4}}},\
+         \"checkpoints\":{{\"entries\":{},\"bytes\":{},\"bytes_saved\":{},\"delta_chain_len\":{}}},\
+         \"metrics\":{}}}",
         stats.entries,
         stats.bytes,
         stats.hit_rate(),
+        ckpt.entries,
+        ckpt.bytes,
+        ckpt.bytes_saved,
+        ckpt.delta_chain_len,
         inner.recorder.to_json(),
     )
 }

@@ -109,8 +109,6 @@ pub use swa_workload as workload;
 pub use swa_xmlio as xmlio;
 
 pub use swa_core::{Analysis, AnalysisReport, Analyzer, SystemModel, Verdict, VerdictDiagnosis};
-#[allow(deprecated)]
-pub use swa_core::BatchAnalyzer;
 
 // Compatibility re-exports for pre-`Analyzer` call sites; new code should
 // use `Analyzer::new(&config).run()` / `Analyzer::configure()`.

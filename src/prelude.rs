@@ -25,8 +25,6 @@ pub use swa_core::{
     Analysis, AnalysisReport, Analyzer, BatchMetrics, BatchMode, BatchOptions, BatchOutcome,
     CandidateResult, RunMetrics, Verdict, VerdictDiagnosis,
 };
-#[allow(deprecated)]
-pub use swa_core::BatchAnalyzer;
 
 // The simulator knob exposed through `Analyzer::tie_break`.
 pub use swa_nsa::TieBreak;
