@@ -105,11 +105,12 @@ echo "$explain_out" | grep -q "engines agree" || {
 
 echo "==> serve smoke (cached verdict roundtrip over loopback)"
 serve_dir="$(mktemp -d)"
-trap 'rm -rf "$serve_dir"' EXIT
+serve_pid=""
+trap '[ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null; rm -rf "$serve_dir"' EXIT
 cargo run --release --offline -q -p swa-workload --example emit_xml -- 100 \
     > "$serve_dir/config.xml"
 ./target/release/swa serve --addr 127.0.0.1:0 --workers 2 \
-    --addr-file "$serve_dir/addr.txt" > "$serve_dir/serve.log" &
+    --addr-file "$serve_dir/addr.txt" > "$serve_dir/serve.log" 2>&1 &
 serve_pid=$!
 tries=0
 while [ ! -s "$serve_dir/addr.txt" ]; do
@@ -158,6 +159,97 @@ wait "$serve_pid" || {
 grep -q "analyses=1" "$serve_dir/serve.log" || {
     echo "serve smoke FAILED: server summary does not show exactly one analysis"
     cat "$serve_dir/serve.log"
+    exit 1
+}
+
+echo "==> restart durability smoke (verdicts survive a server restart via --state-dir)"
+# First process: populate the durable tier with one analysis.
+./target/release/swa serve --addr 127.0.0.1:0 --workers 2 \
+    --state-dir "$serve_dir/state" \
+    --addr-file "$serve_dir/addr1.txt" > "$serve_dir/serve1.log" 2>&1 &
+serve_pid=$!
+tries=0
+while [ ! -s "$serve_dir/addr1.txt" ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+        echo "restart smoke FAILED: first server never published its address"
+        kill "$serve_pid" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.1
+done
+addr="$(cat "$serve_dir/addr1.txt")"
+before="$(./target/release/swa request "$addr" "$serve_dir/config.xml")"
+echo "$before" | grep -q '"cached":false' || {
+    echo "restart smoke FAILED: first request not marked uncached"
+    echo "$before"
+    exit 1
+}
+./target/release/swa request "$addr" --shutdown > /dev/null
+wait "$serve_pid" || {
+    echo "restart smoke FAILED: first server exited non-zero"
+    cat "$serve_dir/serve1.log"
+    exit 1
+}
+# Second process, same state dir: must answer from disk, not re-simulate.
+./target/release/swa serve --addr 127.0.0.1:0 --workers 2 \
+    --state-dir "$serve_dir/state" \
+    --addr-file "$serve_dir/addr2.txt" > "$serve_dir/serve2.log" 2>&1 &
+serve_pid=$!
+tries=0
+while [ ! -s "$serve_dir/addr2.txt" ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+        echo "restart smoke FAILED: restarted server never published its address"
+        kill "$serve_pid" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.1
+done
+addr="$(cat "$serve_dir/addr2.txt")"
+after="$(./target/release/swa request "$addr" "$serve_dir/config.xml")"
+echo "$after" | grep -q '"cached":true' || {
+    echo "restart smoke FAILED: restarted server did not answer from the durable tier"
+    echo "$after"
+    exit 1
+}
+# The verdict facts must be byte-identical across the restart (only the
+# "cached" marker may differ).
+v1="$(echo "$before" | sed -e 's/"cached":false/"cached":X/' -e 's/"check_ms":[0-9.]*/"check_ms":X/')"
+v2="$(echo "$after" | sed -e 's/"cached":true/"cached":X/' -e 's/"check_ms":[0-9.]*/"check_ms":X/')"
+if [ "$v1" != "$v2" ]; then
+    echo "restart smoke FAILED: verdict drifted across the restart"
+    echo "before: $before"
+    echo "after:  $after"
+    exit 1
+fi
+./target/release/swa request "$addr" --shutdown > /dev/null
+wait "$serve_pid" || {
+    echo "restart smoke FAILED: restarted server exited non-zero"
+    cat "$serve_dir/serve2.log"
+    exit 1
+}
+grep -q "analyses=0" "$serve_dir/serve2.log" || {
+    echo "restart smoke FAILED: restarted server re-simulated instead of reading disk"
+    cat "$serve_dir/serve2.log"
+    exit 1
+}
+grep -q "disk_hits=1" "$serve_dir/serve2.log" || {
+    echo "restart smoke FAILED: storage counters show no disk hit"
+    cat "$serve_dir/serve2.log"
+    exit 1
+}
+
+echo "==> storage smoke (warm reopen agrees with fresh analysis)"
+storage_out="$(cargo run --release --offline -q -p swa-bench --bin storage -- --smoke)"
+echo "$storage_out" | grep -q "storage smoke: ok" || {
+    echo "storage smoke FAILED: reopened verdicts disagree with fresh analysis"
+    echo "$storage_out"
+    exit 1
+}
+echo "$storage_out" | grep -q '"agree": true' || {
+    echo "storage smoke FAILED: agreement flag missing from the artifact"
+    echo "$storage_out"
     exit 1
 }
 

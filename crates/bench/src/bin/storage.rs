@@ -1,0 +1,199 @@
+//! Experiment S7 — durable tiered storage: cold restart vs warm reopen,
+//! emitting `BENCH_storage.json`.
+//!
+//! Usage:
+//!
+//! ```console
+//! cargo run --release -p swa-bench --bin storage                # full run
+//! cargo run --release -p swa-bench --bin storage -- --smoke    # CI gate
+//! cargo run --release -p swa-bench --bin storage -- --configs 64 --out b.json
+//! ```
+//!
+//! The measured scenario is a service restart. A fleet of distinct
+//! configurations is analyzed once and the verdicts are persisted through
+//! a [`TieredVerdictCache`] under a temporary state directory. Then two
+//! "restarted processes" answer the same fleet again:
+//!
+//! * **cold restart** — no durable tier: every configuration is
+//!   re-simulated from scratch (what the server did before `--state-dir`);
+//! * **warm reopen** — a fresh store over the same directory: the segment
+//!   index is rebuilt once, after which every verdict is served from disk
+//!   (memory tier starts empty, exactly like a restarted process).
+//!
+//! The agreement gate: every reopened verdict must be identical — field
+//! by field — to the one a fresh simulation produces, every lookup must
+//! be a disk hit, and the reopen must drop no records. `--smoke` runs the
+//! same gate on a small fleet as part of CI.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use swa_core::{canonicalize, Analyzer, CachedVerdict, TieredVerdictCache, VerdictCache};
+use swa_ima::Configuration;
+use swa_workload::{industrial_config, IndustrialSpec};
+
+/// One distinct configuration per seed; small enough that a full run's
+/// populate pass stays in seconds, large enough that re-simulation is
+/// measurably slower than a disk read.
+fn fleet(configs: usize, tasks_per_partition: usize) -> Vec<Configuration> {
+    (0..configs)
+        .map(|seed| {
+            industrial_config(&IndustrialSpec {
+                modules: 1,
+                cores_per_module: 2,
+                partitions_per_core: 2,
+                tasks_per_partition,
+                core_utilization: 0.5,
+                message_fraction: 0.0,
+                seed: seed as u64 + 1,
+                ..IndustrialSpec::default()
+            })
+        })
+        .collect()
+}
+
+fn analyze(config: &Configuration) -> Arc<CachedVerdict> {
+    let report = Analyzer::new(config).run().expect("generated workload analyzes");
+    Arc::new(CachedVerdict::from_report(&report))
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let default_configs = if smoke { 8 } else { 48 };
+    let configs: usize = flag_value(&args, "--configs")
+        .map(|v| v.parse().expect("--configs expects an integer"))
+        .unwrap_or(default_configs);
+    let tasks = if smoke { 6 } else { 16 };
+
+    let dir = std::env::temp_dir().join(format!("swa-bench-storage-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    eprintln!("storage: generating {configs} distinct configurations");
+    let fleet = fleet(configs, tasks);
+    let canons: Vec<_> = fleet.iter().map(|c| canonicalize(c, 1)).collect();
+
+    // Populate: first process analyzes everything and persists verdicts.
+    // Half the keys are written twice so reopen also replays supersedes.
+    eprintln!("storage: populate pass (analyze + persist)");
+    let t0 = Instant::now();
+    let fresh: Vec<Arc<CachedVerdict>> = {
+        let store = TieredVerdictCache::open(&dir, 64 * 1024 * 1024).expect("open state dir");
+        let verdicts: Vec<_> = fleet.iter().map(analyze).collect();
+        for (canon, verdict) in canons.iter().zip(&verdicts) {
+            store.insert(canon, Arc::clone(verdict));
+        }
+        for (canon, verdict) in canons.iter().zip(&verdicts).take(configs / 2) {
+            store.insert(canon, Arc::clone(verdict));
+        }
+        verdicts
+        // Dropping the store is the "process exit" — nothing is flushed
+        // beyond what append already wrote.
+    };
+    let populate = t0.elapsed();
+    eprintln!("storage: populate {:.3}s", populate.as_secs_f64());
+
+    // Cold restart: no durable tier — re-simulate the whole fleet.
+    eprintln!("storage: cold restart (re-simulate everything)");
+    let t0 = Instant::now();
+    let cold: Vec<Arc<CachedVerdict>> = fleet.iter().map(analyze).collect();
+    let cold_wall = t0.elapsed();
+    eprintln!("storage: cold {:.3}s", cold_wall.as_secs_f64());
+
+    // Warm reopen: fresh store, same directory. The index rebuild is the
+    // restart cost; every verdict after that is one disk read.
+    eprintln!("storage: warm reopen (rebuild index, serve from disk)");
+    let t0 = Instant::now();
+    let store = TieredVerdictCache::open(&dir, 64 * 1024 * 1024).expect("reopen state dir");
+    let reopen = t0.elapsed();
+    let t0 = Instant::now();
+    let warm: Vec<Arc<CachedVerdict>> = canons
+        .iter()
+        .map(|canon| store.lookup(canon).expect("persisted verdict answers"))
+        .collect();
+    let lookups = t0.elapsed();
+    let warm_wall = reopen + lookups;
+    eprintln!(
+        "storage: warm {:.3}s (reopen {:.3}s + lookups {:.3}s)",
+        warm_wall.as_secs_f64(),
+        reopen.as_secs_f64(),
+        lookups.as_secs_f64()
+    );
+
+    // Agreement gate: disk-served verdicts are byte-for-byte the same
+    // facts a fresh simulation produces.
+    for (i, ((disk, fresh), cold)) in warm.iter().zip(&fresh).zip(&cold).enumerate() {
+        assert_eq!(disk.as_ref(), fresh.as_ref(), "config {i}: reopened verdict drifted");
+        assert_eq!(disk.as_ref(), cold.as_ref(), "config {i}: cold verdict drifted");
+    }
+    let stats = store.disk_stats();
+    assert_eq!(stats.disk_hits as usize, configs, "every lookup must hit the disk tier");
+    assert_eq!(stats.torn_drops, 0, "clean shutdown must lose nothing");
+    assert_eq!(stats.errors, 0, "no absorbed I/O errors expected");
+    assert_eq!(stats.live_records as u64, configs as u64, "one live record per key");
+
+    let speedup = cold_wall.as_secs_f64() / warm_wall.as_secs_f64().max(1e-9);
+    eprintln!(
+        "storage: {speedup:.2}x ({} segments, {} live / {} dead bytes, {} disk hits)",
+        stats.segments, stats.live_bytes, stats.dead_bytes, stats.disk_hits
+    );
+
+    let compacted = store.compact_now().expect("compaction");
+    let after = store.disk_stats();
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+
+    let json = format!(
+        "{{\n  \"version\": 1,\n  \"configs\": {configs},\n  \
+         \"populate_s\": {:.6},\n  \"cold_restart_s\": {:.6},\n  \
+         \"warm_reopen_s\": {:.6},\n  \"reopen_index_s\": {:.6},\n  \
+         \"disk_lookups_s\": {:.6},\n  \"speedup\": {speedup:.3},\n  \
+         \"segments\": {},\n  \"live_records\": {},\n  \"live_bytes\": {},\n  \
+         \"dead_bytes_before_compaction\": {},\n  \"compacted\": {compacted},\n  \
+         \"dead_bytes_after_compaction\": {},\n  \"disk_hits\": {},\n  \
+         \"torn_drops\": {},\n  \"agree\": true\n}}\n",
+        populate.as_secs_f64(),
+        cold_wall.as_secs_f64(),
+        warm_wall.as_secs_f64(),
+        reopen.as_secs_f64(),
+        lookups.as_secs_f64(),
+        stats.segments,
+        stats.live_records,
+        stats.live_bytes,
+        stats.dead_bytes,
+        after.dead_bytes,
+        stats.disk_hits,
+        stats.torn_drops,
+    );
+
+    if smoke {
+        if let Some(path) = flag_value(&args, "--out") {
+            if std::path::Path::new(path).exists() {
+                eprintln!(
+                    "storage: --smoke refuses to overwrite existing {path} \
+                     (baseline protection; delete it first for a fresh capture)"
+                );
+                std::process::exit(1);
+            }
+            std::fs::write(path, &json).expect("write json");
+        }
+        println!("{json}");
+        println!(
+            "storage smoke: ok ({configs} configs, {} disk hits, reopen == fresh)",
+            stats.disk_hits
+        );
+        return;
+    }
+
+    let out = flag_value(&args, "--out").unwrap_or("BENCH_storage.json");
+    std::fs::write(out, &json).expect("write json");
+    println!("{json}");
+    println!("storage: wrote {out}");
+}

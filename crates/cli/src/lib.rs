@@ -27,7 +27,10 @@ use swa_core::{Analyzer, CheckpointStore, SystemModel, Verdict, VerdictCache};
 use swa_ima::Configuration;
 use swa_ima::Topology;
 use swa_schedtool::{search_with, DesignProblem, SearchOptions};
-use swa_xmlio::{configuration_to_xml, configuration_with_topology_from_xml, trace_to_xml};
+use swa_xmlio::{
+    configuration_from_xml, configuration_to_xml, configuration_with_topology_from_xml,
+    trace_to_xml,
+};
 
 /// The result of running one CLI command: the process exit code, the text
 /// for stdout, and optional files to write.
@@ -115,6 +118,8 @@ COMMANDS:
                   --compositional     cache and warm-start per module, so a
                                       candidate that edits one partition
                                       reuses every unchanged module's entry
+                  --state-dir <dir>   durable verdict/checkpoint storage:
+                                      verdicts survive across runs on disk
     serve       run the analysis server (no <config.xml>; blocks until a
                 POST /shutdown arrives)
                   --addr <host:port>  bind address (default 127.0.0.1:7341;
@@ -125,15 +130,30 @@ COMMANDS:
                   --checkpoint-bytes <n>  checkpoint-store byte budget for
                                       warm-starting longer-horizon repeats
                                       (default 16 MiB; 0 = off)
+                  --state-dir <dir>   durable tiered storage: verdicts and
+                                      checkpoints persist across restarts
+                  --io-timeout-ms <n> per-connection socket read/write
+                                      timeout (default 5000; 0 = none)
+                  --shed <n>          max in-flight requests before shedding
+                                      with 429 (default: pool capacity × 4)
                   --addr-file <file>  write the bound address to a file
                                       (resolves port 0 for scripts)
                   --compositional     per-module verdict caching: an edited
                                       request reuses unchanged modules
+                  --route <a,b,…>     router mode: no local analysis —
+                                      consistent-hash requests across the
+                                      listed backends with retry, failover,
+                                      and per-backend circuit breakers
+                  --retries <n>       router mode: attempts per request
+                                      (default 3, including the first)
     request     talk to a running server (no local analysis)
                   swa request <addr> <config.xml> [--hyperperiods <n>]
                       [--engine <name>] [--deadline-ms <n>] [--explain]
                       [--no-cache]
                   swa request <addr> --health | --metrics | --shutdown
+                <addr> may be a comma-separated list: analyses are routed
+                client-side by consistent hash with failover; control
+                commands are fanned out to every listed server
     dot         export Graphviz DOT
                   --automaton <name>  one automaton instead of the network
     uppaal      export the NSA instance as UPPAAL 4.x XML
@@ -488,17 +508,42 @@ fn cmd_search(config: &Configuration, options: &[String]) -> CommandOutcome {
         Ok(v) => v,
         Err(e) => return CommandOutcome::error(e),
     };
-    let cache =
-        (cache_bytes > 0).then(|| std::sync::Arc::new(swa_core::ShardedVerdictCache::new(cache_bytes)));
-    let checkpoints = (checkpoint_bytes > 0)
-        .then(|| std::sync::Arc::new(swa_core::ShardedCheckpointStore::new(checkpoint_bytes)));
+    // `--state-dir` swaps the in-memory stores for durable tiered ones,
+    // so verdicts (and checkpoints) survive across search invocations.
+    type SearchStores = (
+        Option<std::sync::Arc<dyn VerdictCache>>,
+        Option<std::sync::Arc<dyn CheckpointStore>>,
+    );
+    let (cache, checkpoints): SearchStores = if let Some(dir) = flag_value(options, "--state-dir") {
+        let budget = if cache_bytes > 0 { cache_bytes } else { 16 << 20 };
+        match swa_core::open_state_dir(dir, budget, checkpoint_bytes, None) {
+            Ok((verdicts, checkpoints)) => (
+                Some(verdicts as std::sync::Arc<dyn VerdictCache>),
+                checkpoints.map(|s| s as std::sync::Arc<dyn CheckpointStore>),
+            ),
+            Err(e) => {
+                return CommandOutcome::error(format!("cannot open --state-dir {dir}: {e}"))
+            }
+        }
+    } else {
+        (
+            (cache_bytes > 0).then(|| {
+                std::sync::Arc::new(swa_core::ShardedVerdictCache::new(cache_bytes))
+                    as std::sync::Arc<dyn VerdictCache>
+            }),
+            (checkpoint_bytes > 0).then(|| {
+                std::sync::Arc::new(swa_core::ShardedCheckpointStore::new(checkpoint_bytes))
+                    as std::sync::Arc<dyn CheckpointStore>
+            }),
+        )
+    };
     let mut analyzer = Analyzer::configure()
         .compositional(has_flag(options, "--compositional"));
     if let Some(c) = &cache {
-        analyzer = analyzer.cache(c.clone() as std::sync::Arc<dyn VerdictCache>);
+        analyzer = analyzer.cache(c.clone());
     }
     if let Some(s) = &checkpoints {
-        analyzer = analyzer.checkpoints(s.clone() as std::sync::Arc<dyn CheckpointStore>);
+        analyzer = analyzer.checkpoints(s.clone());
     }
     let problem = DesignProblem::from_configuration(config);
     let outcome = match search_with(
@@ -579,6 +624,12 @@ fn cmd_search(config: &Configuration, options: &[String]) -> CommandOutcome {
 }
 
 fn cmd_serve(options: &[String]) -> CommandOutcome {
+    // Router mode: `--route a,b,c` turns this process into a
+    // consistent-hash forwarder over existing backends — no local
+    // analysis, no cache.
+    if let Some(backends) = flag_value(options, "--route") {
+        return cmd_route(options, backends);
+    }
     let mut serve_options = swa_serve::ServeOptions {
         addr: flag_value(options, "--addr")
             .unwrap_or("127.0.0.1:7341")
@@ -603,11 +654,25 @@ fn cmd_serve(options: &[String]) -> CommandOutcome {
         Err(e) => return CommandOutcome::error(e),
     }
     serve_options.compositional = has_flag(options, "--compositional");
+    if let Some(dir) = flag_value(options, "--state-dir") {
+        serve_options.state_dir = Some(std::path::PathBuf::from(dir));
+    }
+    match parse_usize(options, "--io-timeout-ms", 5000) {
+        Ok(ms) => serve_options.io_timeout = std::time::Duration::from_millis(ms as u64),
+        Err(e) => return CommandOutcome::error(e),
+    }
+    match parse_usize(options, "--shed", serve_options.shed_inflight) {
+        Ok(v) => serve_options.shed_inflight = v,
+        Err(e) => return CommandOutcome::error(e),
+    }
 
     let server = match swa_serve::Server::start(&serve_options) {
         Ok(s) => s,
         Err(e) => {
-            return CommandOutcome::error(format!("cannot bind {}: {e}", serve_options.addr))
+            return CommandOutcome::error(format!(
+                "cannot start server on {}: {e}",
+                serve_options.addr
+            ))
         }
     };
     let local = server.local_addr();
@@ -655,31 +720,137 @@ fn cmd_serve(options: &[String]) -> CommandOutcome {
         recorder.counter_value("checkpoint.bytes_saved"),
         recorder.counter_value("checkpoint.delta_chain_len"),
     );
+    if serve_options.state_dir.is_some() {
+        let _ = writeln!(
+            out,
+            "storage: appends={} disk_hits={} disk_misses={} promotions={} compactions={} torn_drops={} errors={}",
+            recorder.counter_value("storage.appends"),
+            recorder.counter_value("storage.disk_hits"),
+            recorder.counter_value("storage.disk_misses"),
+            recorder.counter_value("storage.promotions"),
+            recorder.counter_value("storage.compactions"),
+            recorder.counter_value("storage.torn_drops"),
+            recorder.counter_value("storage.errors"),
+        );
+    }
+    CommandOutcome::ok(out)
+}
+
+fn cmd_route(options: &[String], backends: &str) -> CommandOutcome {
+    let backends: Vec<String> = backends
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(String::from)
+        .collect();
+    if backends.is_empty() {
+        return CommandOutcome::error("--route expects a comma-separated backend list".to_string());
+    }
+    let mut router_options = swa_serve::RouterOptions {
+        addr: flag_value(options, "--addr")
+            .unwrap_or("127.0.0.1:7341")
+            .to_string(),
+        backends,
+        ..swa_serve::RouterOptions::default()
+    };
+    match parse_usize(options, "--retries", router_options.retry.attempts as usize) {
+        Ok(v) => match u32::try_from(v) {
+            Ok(v) if v >= 1 => router_options.retry.attempts = v,
+            _ => return CommandOutcome::error("--retries expects an integer ≥ 1".to_string()),
+        },
+        Err(e) => return CommandOutcome::error(e),
+    }
+    match parse_usize(options, "--shed", router_options.shed_inflight) {
+        Ok(v) => router_options.shed_inflight = v,
+        Err(e) => return CommandOutcome::error(e),
+    }
+
+    let router = match swa_serve::Router::start(&router_options) {
+        Ok(r) => r,
+        Err(e) => {
+            return CommandOutcome::error(format!(
+                "cannot start router on {}: {e}",
+                router_options.addr
+            ))
+        }
+    };
+    let local = router.local_addr();
+    if let Some(path) = flag_value(options, "--addr-file") {
+        if let Err(e) = std::fs::write(path, local.to_string()) {
+            router.shutdown();
+            return CommandOutcome::error(format!("cannot write {path}: {e}"));
+        }
+    }
+
+    let recorder = router.recorder();
+    router.join();
+
+    let mut out = format!("routed on {local} until shutdown\n");
+    let _ = writeln!(
+        out,
+        "route: requests={} forwarded={} retries={} failovers={} shed={} exhausted={} breaker_opened={}",
+        recorder.counter_value("route.requests"),
+        recorder.counter_value("route.forwarded"),
+        recorder.counter_value("route.retries"),
+        recorder.counter_value("route.failovers"),
+        recorder.counter_value("route.shed"),
+        recorder.counter_value("route.exhausted"),
+        recorder.counter_value("breaker.opened"),
+    );
     CommandOutcome::ok(out)
 }
 
 fn cmd_request(args: &[String]) -> CommandOutcome {
-    let Some(addr) = args.first() else {
+    let Some(addr_arg) = args.first() else {
         return CommandOutcome::error(format!("request: missing <addr> argument\n\n{USAGE}"));
     };
-    // Control-plane shortcuts that need no configuration.
-    let control = if has_flag(args, "--health") {
-        Some(swa_serve::client::get(addr.as_str(), "/healthz"))
-    } else if has_flag(args, "--metrics") {
-        Some(swa_serve::client::get(addr.as_str(), "/metrics"))
-    } else if has_flag(args, "--shutdown") {
-        Some(swa_serve::client::post(addr.as_str(), "/shutdown", ""))
-    } else {
-        None
-    };
-    if let Some(result) = control {
-        return match result {
-            Ok(resp) => CommandOutcome {
-                exit_code: i32::from(resp.status != 200),
-                stdout: resp.body,
-                files: Vec::new(),
-            },
-            Err(e) => CommandOutcome::error(format!("request to {addr} failed: {e}")),
+    // `<addr>` may be a comma-separated fleet.
+    let addrs: Vec<String> = addr_arg
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(String::from)
+        .collect();
+    if addrs.is_empty() {
+        return CommandOutcome::error(format!("request: empty <addr> argument\n\n{USAGE}"));
+    }
+    // Control-plane shortcuts need no configuration and fan out to every
+    // listed server (so `--shutdown` can stop a whole fleet).
+    let control: Option<fn(&str) -> std::io::Result<swa_serve::HttpResponse>> =
+        if has_flag(args, "--health") {
+            Some(|addr| swa_serve::client::get(addr, "/healthz"))
+        } else if has_flag(args, "--metrics") {
+            Some(|addr| swa_serve::client::get(addr, "/metrics"))
+        } else if has_flag(args, "--shutdown") {
+            Some(|addr| swa_serve::client::post(addr, "/shutdown", ""))
+        } else {
+            None
+        };
+    if let Some(call) = control {
+        let mut out = String::new();
+        let mut exit_code = 0;
+        for addr in &addrs {
+            match call(addr.as_str()) {
+                Ok(resp) => {
+                    if resp.status != 200 {
+                        exit_code = 1;
+                    }
+                    if addrs.len() > 1 {
+                        let _ = writeln!(out, "{addr}: {}", resp.body);
+                    } else {
+                        out.push_str(&resp.body);
+                    }
+                }
+                Err(e) => {
+                    exit_code = 1;
+                    let _ = writeln!(out, "request to {addr} failed: {e}");
+                }
+            }
+        }
+        return CommandOutcome {
+            exit_code,
+            stdout: out,
+            files: Vec::new(),
         };
     }
 
@@ -692,13 +863,12 @@ fn cmd_request(args: &[String]) -> CommandOutcome {
         Ok(s) => s,
         Err(e) => return CommandOutcome::error(format!("cannot read {path}: {e}")),
     };
-    let mut body = format!("{{\"config_xml\":\"{}\"", swa_core::obs::json_escape(&xml));
-    match parse_usize(args, "--hyperperiods", 1) {
-        Ok(v) => {
-            let _ = write!(body, ",\"hyperperiods\":{v}");
-        }
+    let hyperperiods = match parse_usize(args, "--hyperperiods", 1) {
+        Ok(v) => v,
         Err(e) => return CommandOutcome::error(e),
-    }
+    };
+    let mut body = format!("{{\"config_xml\":\"{}\"", swa_core::obs::json_escape(&xml));
+    let _ = write!(body, ",\"hyperperiods\":{hyperperiods}");
     if let Some(engine) = flag_value(args, "--engine") {
         let _ = write!(
             body,
@@ -726,7 +896,31 @@ fn cmd_request(args: &[String]) -> CommandOutcome {
     }
     body.push('}');
 
-    match swa_serve::client::post(addr.as_str(), "/analyze", &body) {
+    let response = if addrs.len() == 1 {
+        swa_serve::client::post(addrs[0].as_str(), "/analyze", &body)
+            .map_err(|e| format!("request to {} failed: {e}", addrs[0]))
+    } else {
+        // Client-side sharding: the same consistent-hash ring the router
+        // uses, so repeats of a configuration land on the backend that
+        // cached it, with failover past dead backends.
+        let config = match configuration_from_xml(&xml) {
+            Ok(c) => c,
+            Err(e) => return CommandOutcome::error(format!("cannot parse {path}: {e}")),
+        };
+        let canon = swa_core::canonicalize(&config, u32::try_from(hyperperiods).unwrap_or(u32::MAX));
+        let shard = canon.key.hi ^ canon.key.lo;
+        let ring = swa_serve::HashRing::new(addrs.clone());
+        swa_serve::forward_analyze(
+            &ring,
+            None,
+            &swa_serve::RetryPolicy::default(),
+            shard,
+            &body,
+            |_| {},
+        )
+        .map(|outcome| outcome.response)
+    };
+    match response {
         Ok(resp) => {
             let exit_code = if resp.status == 200 {
                 let schedulable = swa_serve::Json::parse(&resp.body)
@@ -742,7 +936,7 @@ fn cmd_request(args: &[String]) -> CommandOutcome {
                 files: Vec::new(),
             }
         }
-        Err(e) => CommandOutcome::error(format!("request to {addr} failed: {e}")),
+        Err(e) => CommandOutcome::error(e),
     }
 }
 
@@ -1175,5 +1369,37 @@ mod tests {
         let out = run(&opts(&["analyze", path.to_str().unwrap()]));
         assert_eq!(out.exit_code, 0, "{}", out.stdout);
         assert!(out.stdout.contains("schedulable: true"));
+    }
+
+    #[test]
+    fn search_state_dir_reuses_verdicts_across_invocations() {
+        let dir = std::env::temp_dir().join(format!("swa_cli_state_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let state = dir.to_str().unwrap().to_string();
+
+        let first = run_on("search", &config(true), &opts(&["--state-dir", &state]));
+        assert_eq!(first.exit_code, 0, "{}", first.stdout);
+        assert!(first.stdout.contains("verdict cache:"), "{}", first.stdout);
+
+        // A fresh invocation (fresh in-memory tier) answers from disk: at
+        // least one hit, and it finds the same configuration.
+        let second = run_on("search", &config(true), &opts(&["--state-dir", &state]));
+        assert_eq!(second.exit_code, 0, "{}", second.stdout);
+        let hits: u64 = second
+            .stdout
+            .lines()
+            .find(|l| l.starts_with("verdict cache:"))
+            .and_then(|l| l.split_whitespace().nth(2))
+            .and_then(|n| n.parse().ok())
+            .expect("hit count in summary");
+        assert!(hits >= 1, "durable tier served no hits: {}", second.stdout);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_route_rejects_an_empty_backend_list() {
+        let out = run(&opts(&["serve", "--route", " , "]));
+        assert_eq!(out.exit_code, 1);
+        assert!(out.stdout.contains("--route"), "{}", out.stdout);
     }
 }

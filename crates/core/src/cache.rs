@@ -479,6 +479,45 @@ mod tests {
         assert!(stats.bytes <= entry_cost * 2 + entry_cost / 2);
     }
 
+    /// Regression: re-inserting an existing key must *replace* its byte
+    /// accounting, not add to it. A double-charge here slowly shrinks the
+    /// effective budget until the cache evicts everything it holds.
+    #[test]
+    fn replacing_an_existing_key_does_not_double_charge_bytes() {
+        let cache = ShardedVerdictCache::with_shards(1 << 20, 1);
+        let req = canonicalize(&config(10), 1);
+
+        // Two verdicts with different footprints for the same key.
+        let small = verdict(true); // no missing partitions
+        let large = verdict(false); // one missing partition
+        assert!(large.approx_bytes() > small.approx_bytes());
+
+        cache.insert(&req, small.clone());
+        let expected_small = req.bytes.len() + small.approx_bytes() + ENTRY_OVERHEAD;
+        assert_eq!(cache.stats().bytes, expected_small);
+
+        // Replace with the larger verdict: accounted bytes must equal the
+        // resident entry exactly, with no residue from the first insert.
+        cache.insert(&req, large.clone());
+        let expected_large = req.bytes.len() + large.approx_bytes() + ENTRY_OVERHEAD;
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.bytes, expected_large);
+
+        // Replace back with the smaller one: accounting shrinks too.
+        cache.insert(&req, small);
+        assert_eq!(cache.stats().bytes, expected_small);
+
+        // Many repeated replacements leave the accounting unchanged, so
+        // the rest of the budget stays usable for other keys.
+        for _ in 0..100 {
+            cache.insert(&req, large.clone());
+        }
+        assert_eq!(cache.stats().bytes, expected_large);
+        assert_eq!(cache.stats().entries, 1);
+        assert_eq!(cache.stats().evictions, 0, "no phantom bytes to evict");
+    }
+
     #[test]
     fn oversized_entries_are_rejected_as_evictions() {
         let cache = ShardedVerdictCache::with_shards(64, 1);

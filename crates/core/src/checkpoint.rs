@@ -744,6 +744,57 @@ mod tests {
         assert_eq!(store.stats().entries, 1);
     }
 
+    /// A checkpoint at `time` whose snapshot holds `cells` variable
+    /// cells, so the same simulated time can carry different footprints.
+    fn sized_checkpoint(time: i64, cells: usize) -> Arc<Checkpoint> {
+        Arc::new(Checkpoint {
+            snapshot: Snapshot {
+                state: State::from_parts(vec![], vec![], vec![time; cells], time),
+                steps: 0,
+                stats: SimStats::default(),
+                trace_len: 0,
+            },
+            prefix: NsaTrace::new(),
+            stop: StopReason::HorizonReached,
+        })
+    }
+
+    /// Regression: replacing the checkpoint at an existing time must swap
+    /// its byte accounting, not stack new cost on top of stale cost. A
+    /// leak here erodes the budget until the store evicts everything.
+    #[test]
+    fn replacing_an_existing_time_does_not_double_charge_bytes() {
+        let store = ShardedCheckpointStore::with_shards(1 << 20, 1);
+        let key = canonical_config(&config(10));
+
+        let small = sized_checkpoint(100, 2);
+        let large = sized_checkpoint(100, 64);
+        let small_bytes = key.bytes.len() + encoded_cost(&small);
+        let large_bytes = key.bytes.len() + encoded_cost(&large);
+        assert!(large_bytes > small_bytes);
+
+        store.insert(&key, small.clone());
+        assert_eq!(store.stats().bytes, small_bytes);
+
+        // Same time, bigger snapshot: exactly the new footprint remains.
+        store.insert(&key, large.clone());
+        let stats = store.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.bytes, large_bytes);
+
+        // And shrinking is accounted just as exactly.
+        store.insert(&key, small);
+        assert_eq!(store.stats().bytes, small_bytes);
+
+        // Repeated replacement is a steady state, not a slow leak.
+        for _ in 0..100 {
+            store.insert(&key, large.clone());
+        }
+        assert_eq!(store.stats().bytes, large_bytes);
+        assert_eq!(store.stats().entries, 1);
+        assert_eq!(store.stats().evictions, 0, "no phantom bytes to evict");
+    }
+
     /// The exact bytes an entry costs when stored full (mirrors
     /// [`encode_full`]) — budget math in tests is in encoded units.
     fn encoded_cost(cp: &Checkpoint) -> usize {

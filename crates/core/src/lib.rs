@@ -68,6 +68,7 @@ pub mod gantt;
 pub mod instance;
 pub mod obs;
 pub mod pipeline;
+pub mod storage;
 pub mod sysevents;
 pub mod templates;
 
@@ -96,6 +97,9 @@ pub use obs::{Fanout, JsonlSink, MetricsRecorder, NoopRecorder, Recorder, SpanSt
 pub use pipeline::{
     analyze_configuration, analyze_configuration_with, analyze_configuration_with_topology,
     AnalysisReport, CompileMetrics, RunMetrics,
+};
+pub use storage::{
+    open_state_dir, StorageOptions, StorageStats, TieredCheckpointStore, TieredVerdictCache,
 };
 pub use swa_nsa::EvalEngine;
 pub use sysevents::{extract_system_trace, SysEvent, SysEventKind, SystemTrace};

@@ -9,11 +9,36 @@
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
+use std::time::Duration;
 
 /// Maximum bytes of request line + headers.
 const MAX_HEAD: usize = 16 * 1024;
 /// Maximum request body size.
 pub const MAX_BODY: usize = 8 * 1024 * 1024;
+
+/// Arms read/write timeouts on an accepted connection so a client that
+/// opens a socket and stalls mid-request cannot pin a handler thread
+/// forever. `Duration::ZERO` disables the timeouts (useful in tests that
+/// deliberately pause).
+///
+/// # Errors
+///
+/// Propagates `setsockopt` failures.
+pub fn apply_io_timeouts(stream: &TcpStream, timeout: Duration) -> io::Result<()> {
+    if timeout == Duration::ZERO {
+        return Ok(());
+    }
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    Ok(())
+}
+
+/// Whether an I/O error is a socket timeout (the platform reports either
+/// `WouldBlock` or `TimedOut` depending on the socket API used).
+#[must_use]
+pub fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
 
 /// A parsed HTTP request.
 #[derive(Debug)]
@@ -149,10 +174,12 @@ pub fn status_text(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
+        502 => "Bad Gateway",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "Unknown",
@@ -216,8 +243,35 @@ mod tests {
 
     #[test]
     fn status_lines_cover_the_emitted_codes() {
-        for code in [200, 400, 404, 405, 413, 422, 429, 500, 503, 504] {
+        for code in [200, 400, 404, 405, 408, 413, 422, 429, 500, 502, 503, 504] {
             assert_ne!(status_text(code), "Unknown");
         }
+    }
+
+    #[test]
+    fn stalling_client_times_out_instead_of_pinning_the_reader() {
+        use std::time::Instant;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            // Half a request line, then silence — without a read timeout
+            // read_request would block in read() forever.
+            s.write_all(b"POST /ana").unwrap();
+            std::thread::sleep(Duration::from_millis(500));
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        apply_io_timeouts(&conn, Duration::from_millis(50)).unwrap();
+        let started = Instant::now();
+        let result = read_request(&mut conn);
+        assert!(
+            started.elapsed() < Duration::from_millis(400),
+            "read_request must give up at the socket timeout"
+        );
+        match result {
+            Err(HttpError::Io(e)) => assert!(is_timeout(&e), "unexpected error: {e}"),
+            other => panic!("expected a timeout Io error, got {other:?}"),
+        }
+        writer.join().unwrap();
     }
 }

@@ -405,6 +405,40 @@ mod tests {
         assert!(Json::parse(&ok).is_ok());
     }
 
+    /// Pins the *exact* boundary: the top-level value parses at depth 0,
+    /// so `MAX_DEPTH + 1` nesting levels are the deepest accepted
+    /// document and one more is rejected. A refactor that shifts the
+    /// check off-by-one in either direction fails this test.
+    #[test]
+    fn depth_limit_boundary_is_exact() {
+        let deepest_ok = MAX_DEPTH + 1;
+        let arrays = |n: usize| "[".repeat(n) + &"]".repeat(n);
+        assert!(
+            Json::parse(&arrays(deepest_ok)).is_ok(),
+            "{deepest_ok} nested arrays must still parse"
+        );
+        let err = Json::parse(&arrays(deepest_ok + 1)).unwrap_err();
+        assert!(
+            err.to_string().contains("nesting too deep"),
+            "one past the limit must be the depth error, got: {err}"
+        );
+
+        // Same boundary through the object production, which shares the
+        // depth counter with arrays.
+        let objects = |n: usize| {
+            let mut text = String::new();
+            for _ in 0..n {
+                text.push_str("{\"k\":");
+            }
+            text.push_str("null");
+            text.push_str(&"}".repeat(n));
+            text
+        };
+        assert!(Json::parse(&objects(deepest_ok - 1)).is_ok());
+        let err = Json::parse(&objects(deepest_ok)).unwrap_err();
+        assert!(err.to_string().contains("nesting too deep"), "got: {err}");
+    }
+
     #[test]
     fn duplicate_keys_keep_the_last() {
         let doc = Json::parse(r#"{"a": 1, "a": 2}"#).unwrap();

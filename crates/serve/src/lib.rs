@@ -51,10 +51,14 @@ pub mod http;
 pub mod json;
 pub mod pool;
 pub mod request;
+pub mod resilience;
+pub mod router;
 pub mod server;
 
 pub use client::HttpResponse;
 pub use json::{Json, JsonError};
 pub use pool::{Job, JobContext, WorkerPool};
 pub use request::{parse_analyze, render_error, render_verdict, AnalyzeRequest, RequestError};
+pub use resilience::{Backoff, BreakerOptions, CircuitBreaker, LoadShedder, RetryPolicy};
+pub use router::{forward_analyze, ForwardOutcome, HashRing, Router, RouterOptions};
 pub use server::{ServeOptions, Server};

@@ -158,7 +158,11 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, ctx: &JobContext) {
             Ok(job) => job,
             Err(_) => return,
         };
-        job(ctx);
+        // A panicking job must not take the worker thread with it — the
+        // pool would silently shrink until no worker is left. Containing
+        // the panic drops the job's reply channel, which the waiting
+        // handler observes as a disconnect and maps to 500.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(ctx)));
     }
 }
 
@@ -270,5 +274,23 @@ mod tests {
         }
         pool.shutdown();
         assert_eq!(done.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_worker() {
+        let pool = WorkerPool::new(1, 4);
+        let job: Job = Box::new(|_| panic!("job blew up"));
+        pool.try_submit(job).map_err(|_| ()).unwrap();
+        // The single worker must survive the panic and run the next job.
+        let (done_tx, done_rx) = channel();
+        let follow_up: Job = Box::new(move |_| {
+            done_tx.send(()).unwrap();
+        });
+        pool.try_submit(follow_up).map_err(|_| ()).unwrap();
+        done_rx
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .expect("worker died with the panicking job");
+        assert_eq!(pool.live_workers(), 1);
+        pool.shutdown();
     }
 }

@@ -35,6 +35,7 @@
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -42,14 +43,15 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use swa_core::{
-    canonicalize, compositional_lookup, Analyzer, CacheStats, CachedVerdict, CanonicalRequest,
-    CheckpointStats, CheckpointStore, MetricsRecorder, Recorder, ShardedCheckpointStore,
-    ShardedVerdictCache, VerdictCache,
+    canonicalize, compositional_lookup, open_state_dir, Analyzer, CacheStats, CachedVerdict,
+    CanonicalRequest, CheckpointStats, CheckpointStore, MetricsRecorder, Recorder,
+    ShardedCheckpointStore, ShardedVerdictCache, VerdictCache,
 };
 
-use crate::http::{read_request, write_response, HttpError, Request};
+use crate::http::{apply_io_timeouts, is_timeout, read_request, write_response, HttpError, Request};
 use crate::pool::{Job, WorkerPool};
 use crate::request::{parse_analyze, render_error, render_verdict, AnalyzeRequest};
+use crate::resilience::LoadShedder;
 
 /// How often a follower parked on a single-flight gate re-checks its
 /// deadline while waiting for the leader.
@@ -82,6 +84,22 @@ pub struct ServeOptions {
     /// non-decomposable requests (cross-module messages, topologies)
     /// fall back transparently.
     pub compositional: bool,
+    /// Durable state directory. When set, verdicts and checkpoints live
+    /// in tiered stores (memory over append-only segment files), so a
+    /// restarted server answers previously-seen configurations from disk
+    /// instead of re-simulating them. `None` keeps the original
+    /// memory-only stores.
+    pub state_dir: Option<PathBuf>,
+    /// Socket read/write timeout on accepted connections, so a stalling
+    /// client cannot pin a handler thread; timed-out requests get 408.
+    /// `Duration::ZERO` disables the timeouts.
+    pub io_timeout: Duration,
+    /// Max concurrently handled `/analyze` requests before shedding with
+    /// an immediate 429 — checked *before* the body is parsed, in front
+    /// of the worker queue's own backpressure. `0` picks a default
+    /// scaled to the pool (`(workers + queue_depth) * 4`, leaving room
+    /// for cache hits and single-flight followers).
+    pub shed_inflight: usize,
 }
 
 impl Default for ServeOptions {
@@ -93,6 +111,9 @@ impl Default for ServeOptions {
             cache_bytes: 16 * 1024 * 1024,
             checkpoint_bytes: 16 * 1024 * 1024,
             compositional: false,
+            state_dir: None,
+            io_timeout: Duration::from_secs(5),
+            shed_inflight: 0,
         }
     }
 }
@@ -117,16 +138,39 @@ impl Server {
         let listener = TcpListener::bind(&options.addr)?;
         let local_addr = listener.local_addr()?;
         let recorder = Arc::new(MetricsRecorder::new());
-        let cache = Arc::new(
-            ShardedVerdictCache::new(options.cache_bytes)
-                .with_recorder(recorder.clone() as Arc<dyn Recorder>),
-        );
-        let checkpoints = (options.checkpoint_bytes > 0).then(|| {
-            Arc::new(
-                ShardedCheckpointStore::new(options.checkpoint_bytes)
-                    .with_recorder(recorder.clone() as Arc<dyn Recorder>),
-            )
-        });
+        let (cache, checkpoints): (Arc<dyn VerdictCache>, Option<Arc<dyn CheckpointStore>>) =
+            match &options.state_dir {
+                Some(dir) => {
+                    let (verdicts, checkpoints) = open_state_dir(
+                        dir,
+                        options.cache_bytes,
+                        options.checkpoint_bytes,
+                        Some(recorder.clone() as Arc<dyn Recorder>),
+                    )?;
+                    (
+                        verdicts as Arc<dyn VerdictCache>,
+                        checkpoints.map(|c| c as Arc<dyn CheckpointStore>),
+                    )
+                }
+                None => {
+                    let cache = Arc::new(
+                        ShardedVerdictCache::new(options.cache_bytes)
+                            .with_recorder(recorder.clone() as Arc<dyn Recorder>),
+                    );
+                    let checkpoints = (options.checkpoint_bytes > 0).then(|| {
+                        Arc::new(
+                            ShardedCheckpointStore::new(options.checkpoint_bytes)
+                                .with_recorder(recorder.clone() as Arc<dyn Recorder>),
+                        ) as Arc<dyn CheckpointStore>
+                    });
+                    (cache as Arc<dyn VerdictCache>, checkpoints)
+                }
+            };
+        let shed_limit = if options.shed_inflight == 0 {
+            (options.workers + options.queue_depth) * 4
+        } else {
+            options.shed_inflight
+        };
         let inner = Arc::new(Inner {
             local_addr,
             recorder,
@@ -135,6 +179,8 @@ impl Server {
             compositional: options.compositional,
             pool: WorkerPool::new(options.workers, options.queue_depth),
             gates: Mutex::new(HashMap::new()),
+            shedder: LoadShedder::new(shed_limit),
+            io_timeout: options.io_timeout,
             shutting_down: AtomicBool::new(false),
             active: Mutex::new(0),
             idle: Condvar::new(),
@@ -217,14 +263,18 @@ impl Drop for Server {
 struct Inner {
     local_addr: SocketAddr,
     recorder: Arc<MetricsRecorder>,
-    cache: Arc<ShardedVerdictCache>,
+    cache: Arc<dyn VerdictCache>,
     /// Warm-start store shared across requests; `None` when disabled.
-    checkpoints: Option<Arc<ShardedCheckpointStore>>,
+    checkpoints: Option<Arc<dyn CheckpointStore>>,
     /// Per-module analysis and caching for decomposable requests.
     compositional: bool,
     pool: WorkerPool,
     /// Single-flight gates, keyed by canonical request key.
     gates: Mutex<HashMap<swa_core::CacheKey, Arc<Gate>>>,
+    /// Inflight ceiling checked before any per-request work.
+    shedder: LoadShedder,
+    /// Socket timeout armed on every accepted connection.
+    io_timeout: Duration,
     shutting_down: AtomicBool,
     /// Count of live handler threads; the accept loop waits for 0 during
     /// shutdown.
@@ -311,12 +361,48 @@ impl Gate {
     }
 }
 
+/// RAII single-flight leadership: removes the gate entry and opens the
+/// gate on drop, so *every* leader exit path — success, analysis error,
+/// deadline 504, worker panic unwinding through the handler — releases
+/// waiting followers. A leaked gate would make all future requests for
+/// that key hang until their own deadlines.
+struct GateGuard<'a> {
+    inner: &'a Inner,
+    key: swa_core::CacheKey,
+    gate: Arc<Gate>,
+}
+
+impl Drop for GateGuard<'_> {
+    fn drop(&mut self) {
+        self.inner
+            .gates
+            .lock()
+            .expect("unpoisoned")
+            .remove(&self.key);
+        self.gate.open();
+    }
+}
+
+/// RAII active-connection accounting: decrements on drop so a panic in
+/// the handler cannot strand the shutdown drain waiting on a count that
+/// never reaches zero.
+struct ConnGuard<'a>(&'a Inner);
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.0.connection_finished();
+    }
+}
+
 fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
     loop {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
             Err(_) => break,
         };
+        // Arm socket timeouts before any byte is read — a stalling
+        // client costs at most `io_timeout`, not a thread forever.
+        let _ = apply_io_timeouts(&stream, inner.io_timeout);
         if inner.shutting_down.load(Ordering::SeqCst) {
             // The wake-up connection (or a late client); refuse politely.
             let mut stream = stream;
@@ -332,8 +418,8 @@ fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
         let spawned = std::thread::Builder::new()
             .name("swa-serve-conn".to_string())
             .spawn(move || {
+                let _guard = ConnGuard(&handler_inner);
                 handle_connection(&handler_inner, stream);
-                handler_inner.connection_finished();
             });
         if spawned.is_err() {
             inner.connection_finished();
@@ -348,7 +434,17 @@ fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
 fn handle_connection(inner: &Arc<Inner>, mut stream: TcpStream) {
     let request = match read_request(&mut stream) {
         Ok(request) => request,
-        Err(HttpError::Io(_)) => return,
+        Err(HttpError::Io(e)) => {
+            if is_timeout(&e) {
+                inner.recorder.counter("serve.timeouts", 1);
+                let _ = write_response(
+                    &mut stream,
+                    408,
+                    &render_error("timeout", "client stalled mid-request"),
+                );
+            }
+            return;
+        }
         Err(HttpError::Malformed(message)) => {
             let _ = write_response(&mut stream, 400, &render_error("bad-request", &message));
             return;
@@ -425,6 +521,17 @@ enum JobReply {
 }
 
 fn analyze(inner: &Arc<Inner>, body: &[u8]) -> (u16, String) {
+    // Shed before parsing: the queue-full 429 only fires after a parse,
+    // canonicalize, and cache probe, which is already too much work to
+    // spend per request when the box is saturated. The permit spans the
+    // whole handler (cache hit, gate wait, or simulation alike).
+    let Some(_permit) = inner.shedder.try_acquire() else {
+        inner.recorder.counter("serve.shed", 1);
+        return (
+            429,
+            render_error("overloaded", "server at inflight capacity; retry later"),
+        );
+    };
     inner.recorder.counter("serve.requests", 1);
     let parsed = match parse_analyze(body) {
         Ok(parsed) => parsed,
@@ -476,11 +583,16 @@ fn analyze(inner: &Arc<Inner>, body: &[u8]) -> (u16, String) {
         };
         match gate {
             Ok(gate) => {
-                // Leader: simulate, then open the gate whatever happened.
-                let response = run_leader(inner, parsed, &canon, deadline);
-                inner.gates.lock().expect("unpoisoned").remove(&canon.key);
-                gate.open();
-                return response;
+                // Leader: simulate. The guard removes the gate entry and
+                // opens it on drop — every exit path from run_leader
+                // (verdict, analysis error, 504, worker panic) releases
+                // the followers.
+                let _lead = GateGuard {
+                    inner,
+                    key: canon.key,
+                    gate,
+                };
+                return run_leader(inner, parsed, &canon, deadline);
             }
             Err(gate) => {
                 // Follower: wait for the leader, then re-probe the cache.
@@ -530,15 +642,14 @@ fn run_leader(
         // starts too, not just the verdict cache.
         if !parsed.no_cache {
             if let Some(store) = &job_inner.checkpoints {
-                analyzer =
-                    analyzer.checkpoints(Arc::clone(store) as Arc<dyn CheckpointStore>);
+                analyzer = analyzer.checkpoints(Arc::clone(store));
             }
             if job_inner.compositional {
                 // The analyzer inserts per-module verdicts (and the whole
                 // key) itself, so the manual insert below is skipped.
                 analyzer = analyzer
                     .compositional(true)
-                    .cache(Arc::clone(&job_inner.cache) as Arc<dyn VerdictCache>);
+                    .cache(Arc::clone(&job_inner.cache));
             }
         }
         let result = analyzer.run();

@@ -40,16 +40,55 @@ fn envelope(config: &Configuration, extra: &str) -> String {
     )
 }
 
-fn start_server() -> Server {
-    Server::start(&ServeOptions {
+fn test_options() -> ServeOptions {
+    ServeOptions {
         addr: "127.0.0.1:0".to_string(),
         workers: 4,
         queue_depth: 32,
         cache_bytes: 4 * 1024 * 1024,
         checkpoint_bytes: 4 * 1024 * 1024,
-        compositional: false,
-    })
-    .expect("bind loopback server")
+        ..ServeOptions::default()
+    }
+}
+
+fn start_server() -> Server {
+    Server::start(&test_options()).expect("bind loopback server")
+}
+
+/// A configuration that passes request validation but fails analysis:
+/// the message's worst-case delay (60) does not fit within its sender's
+/// period (50), which the model build rejects (`DelayExceedsPeriod`)
+/// after the request layer has already accepted the envelope.
+fn failing_config() -> Configuration {
+    use swa_ima::{Message, TaskRef};
+    Configuration {
+        core_types: vec![CoreType::new("ct")],
+        modules: vec![Module::homogeneous("M", 1, CoreTypeId::from_raw(0))],
+        partitions: vec![
+            Partition::new(
+                "P0",
+                SchedulerKind::Fpps,
+                vec![Task::new("send", 1, vec![5], 50)],
+            ),
+            Partition::new(
+                "P1",
+                SchedulerKind::Fpps,
+                vec![Task::new("recv", 1, vec![5], 50)],
+            ),
+        ],
+        binding: vec![
+            CoreRef::new(ModuleId::from_raw(0), 0),
+            CoreRef::new(ModuleId::from_raw(0), 0),
+        ],
+        windows: vec![vec![Window::new(0, 25)], vec![Window::new(25, 50)]],
+        messages: vec![Message::new(
+            "too-slow",
+            TaskRef::new(swa_ima::PartitionId::from_raw(0), 0),
+            TaskRef::new(swa_ima::PartitionId::from_raw(1), 0),
+            60,
+            60,
+        )],
+    }
 }
 
 fn two_module_config(wcet_b: i64) -> Configuration {
@@ -83,12 +122,8 @@ fn two_module_config(wcet_b: i64) -> Configuration {
 #[test]
 fn compositional_server_reuses_unchanged_modules_across_edits() {
     let server = Server::start(&ServeOptions {
-        addr: "127.0.0.1:0".to_string(),
-        workers: 4,
-        queue_depth: 32,
-        cache_bytes: 4 * 1024 * 1024,
-        checkpoint_bytes: 4 * 1024 * 1024,
         compositional: true,
+        ..test_options()
     })
     .expect("bind loopback server");
     let addr = server.local_addr();
@@ -330,4 +365,183 @@ fn health_metrics_and_error_paths() {
         422
     );
     server.shutdown();
+}
+
+/// Satellite regression: an analysis *error* must release the
+/// single-flight gate. Before the RAII guard, the leader only removed
+/// the gate entry on the success path — after a failure every subsequent
+/// request for the same key parked on the dead gate until its deadline.
+#[test]
+fn failed_analysis_releases_the_single_flight_gate() {
+    let server = start_server();
+    let addr = server.local_addr();
+    let body = envelope(&failing_config(), "");
+
+    let first = client::post(addr, "/analyze", &body).unwrap();
+    assert_eq!(first.status, 500, "body: {}", first.body);
+
+    // With a leaked gate this second request would wait out its deadline
+    // and answer 504; with the guard it becomes a fresh leader and fails
+    // the same way the first one did.
+    let second = client::post(addr, "/analyze", &envelope(&failing_config(), ",\"deadline_ms\":2000")).unwrap();
+    assert_eq!(
+        second.status, 500,
+        "second request must re-run, not hang on the dead gate: {}",
+        second.body
+    );
+    server.shutdown();
+}
+
+/// Satellite regression: a client that opens a connection and stalls
+/// mid-request must be timed out with 408, not pin the handler thread.
+#[test]
+fn stalling_client_gets_408() {
+    use std::io::{Read, Write};
+    let server = Server::start(&ServeOptions {
+        io_timeout: Duration::from_millis(100),
+        ..test_options()
+    })
+    .expect("bind loopback server");
+    let addr = server.local_addr();
+
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream.write_all(b"POST /analyze HTTP/1.1\r\nContent-Le").unwrap();
+    // …and stall. The server must give up at its io_timeout and close
+    // with a 408 instead of waiting forever.
+    let mut response = String::new();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(
+        response.starts_with("HTTP/1.1 408"),
+        "expected 408 for a stalled request, got: {response:?}"
+    );
+    assert_eq!(server.recorder().counter_value("serve.timeouts"), 1);
+    server.shutdown();
+}
+
+fn temp_state_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("swa-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Tentpole end-to-end: a server restarted against the same --state-dir
+/// answers a previously-seen configuration from the disk tier — marked
+/// cached, byte-equal verdict, zero new simulations.
+#[test]
+fn restart_answers_from_the_disk_tier_without_resimulating() {
+    let state_dir = temp_state_dir("restart");
+    let options = ServeOptions {
+        state_dir: Some(state_dir.clone()),
+        ..test_options()
+    };
+    let body = envelope(&small_config(10), "");
+
+    let first_body;
+    {
+        let server = Server::start(&options).expect("bind first server");
+        let first = client::post(server.local_addr(), "/analyze", &body).unwrap();
+        assert_eq!(first.status, 200, "body: {}", first.body);
+        let doc = Json::parse(&first.body).unwrap();
+        assert_eq!(doc.get("cached").and_then(Json::as_bool), Some(false));
+        assert_eq!(server.recorder().counter_value("serve.analyses"), 1);
+        first_body = first.body;
+        server.shutdown();
+    }
+
+    let server = Server::start(&options).expect("bind restarted server");
+    let second = client::post(server.local_addr(), "/analyze", &body).unwrap();
+    assert_eq!(second.status, 200, "body: {}", second.body);
+    let first_doc = Json::parse(&first_body).unwrap();
+    let doc = Json::parse(&second.body).unwrap();
+    assert_eq!(
+        doc.get("cached").and_then(Json::as_bool),
+        Some(true),
+        "restart must serve from the durable tier: {}",
+        second.body
+    );
+    // The restarted process never simulated anything.
+    assert_eq!(
+        server.recorder().counter_value("serve.analyses"),
+        0,
+        "restart re-simulated instead of reading the disk tier"
+    );
+    // Verdict fields are identical pre/post restart.
+    for field in ["schedulable", "verdict", "hyperperiod", "jobs", "missed_jobs", "key"] {
+        assert_eq!(
+            doc.get(field).map(|v| format!("{v:?}")),
+            first_doc.get(field).map(|v| format!("{v:?}")),
+            "verdict field {field} drifted across the restart"
+        );
+    }
+    server.shutdown();
+    std::fs::remove_dir_all(&state_dir).ok();
+}
+
+/// Router end-to-end: consistent-hash forwarding across two live
+/// backends preserves the cached-verdict contract, and a dead backend in
+/// the ring is failed over transparently.
+#[test]
+fn router_shards_and_fails_over() {
+    use swa_serve::{Router, RouterOptions};
+    let backend_a = start_server();
+    let backend_b = start_server();
+    let router = Router::start(&RouterOptions {
+        backends: vec![
+            backend_a.local_addr().to_string(),
+            backend_b.local_addr().to_string(),
+        ],
+        ..RouterOptions::default()
+    })
+    .expect("bind router");
+    let addr = router.local_addr();
+
+    // Distinct configs spread over the ring; each is simulated exactly
+    // once fleet-wide and cached on its owning backend.
+    for wcet in [10, 20, 30, 40] {
+        let body = envelope(&small_config(wcet), "");
+        let first = client::post(addr, "/analyze", &body).unwrap();
+        assert_eq!(first.status, 200, "body: {}", first.body);
+        let doc = Json::parse(&first.body).unwrap();
+        assert_eq!(doc.get("cached").and_then(Json::as_bool), Some(false));
+        let second = client::post(addr, "/analyze", &body).unwrap();
+        let doc = Json::parse(&second.body).unwrap();
+        assert_eq!(
+            doc.get("cached").and_then(Json::as_bool),
+            Some(true),
+            "ring affinity must route the repeat to the same backend: {}",
+            second.body
+        );
+    }
+    let total_analyses = backend_a.recorder().counter_value("serve.analyses")
+        + backend_b.recorder().counter_value("serve.analyses");
+    assert_eq!(total_analyses, 4, "each config simulated exactly once fleet-wide");
+    assert_eq!(router.recorder().counter_value("route.requests"), 8);
+    assert_eq!(router.recorder().counter_value("route.forwarded"), 8);
+
+    // Health endpoint speaks for the router itself.
+    let health = client::get(addr, "/healthz").unwrap();
+    assert!(health.body.contains("\"role\":\"router\""), "{}", health.body);
+    router.shutdown();
+
+    // Failover: a ring with one dead backend still answers through the
+    // live one, for every key.
+    let router = Router::start(&RouterOptions {
+        backends: vec!["127.0.0.1:9".to_string(), backend_a.local_addr().to_string()],
+        retry: swa_serve::RetryPolicy {
+            attempts: 1,
+            ..swa_serve::RetryPolicy::default()
+        },
+        ..RouterOptions::default()
+    })
+    .expect("bind failover router");
+    for wcet in [10, 20, 30, 40] {
+        let response =
+            client::post(router.local_addr(), "/analyze", &envelope(&small_config(wcet), ""))
+                .unwrap();
+        assert_eq!(response.status, 200, "failover failed: {}", response.body);
+    }
+    router.shutdown();
+    backend_a.shutdown();
+    backend_b.shutdown();
 }
