@@ -240,6 +240,76 @@ grep -q "disk_hits=1" "$serve_dir/serve2.log" || {
     exit 1
 }
 
+echo "==> sweep smoke (warm-started breakdown search agrees with cold)"
+sweep_out="$(cargo run --release --offline -q -p swa-bench --bin sweep -- --smoke)"
+echo "$sweep_out" | grep -q "sweep smoke: ok" || {
+    echo "sweep smoke FAILED: warm and cold sweeps disagree"
+    echo "$sweep_out"
+    exit 1
+}
+echo "$sweep_out" | grep -q '"agree": true' || {
+    echo "sweep smoke FAILED: agreement flag missing from the artifact"
+    echo "$sweep_out"
+    exit 1
+}
+# Reuse gate: the warm pass must resolve probes from the shared verdict
+# cache instead of re-simulating (reuse_rate > 0, asserted in-binary too).
+reuse="$(echo "$sweep_out" | awk -F': ' '/"reuse_rate"/ { print $2 }' | tr -d ', ')"
+if [ -z "$reuse" ]; then
+    echo "sweep smoke FAILED: could not extract reuse_rate"
+    echo "$sweep_out"
+    exit 1
+fi
+awk -v r="$reuse" 'BEGIN { exit !(r > 0) }' || {
+    echo "sweep smoke FAILED: warm pass reused nothing (reuse_rate=$reuse)"
+    echo "$sweep_out"
+    exit 1
+}
+echo "sweep reuse gate: reuse_rate $reuse (> 0 required)"
+
+echo "==> sweep streaming smoke (POST /sweep final line == swa sweep --json)"
+./target/release/swa serve --addr 127.0.0.1:0 --workers 2 \
+    --addr-file "$serve_dir/addr3.txt" > "$serve_dir/serve3.log" 2>&1 &
+serve_pid=$!
+tries=0
+while [ ! -s "$serve_dir/addr3.txt" ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+        echo "sweep streaming smoke FAILED: server never published its address"
+        kill "$serve_pid" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.1
+done
+addr="$(cat "$serve_dir/addr3.txt")"
+local_sweep="$(./target/release/swa sweep "$serve_dir/config.xml" --json --tolerance 0.05)"
+streamed="$(./target/release/swa request "$addr" "$serve_dir/config.xml" --sweep --tolerance 0.05)"
+line_count="$(echo "$streamed" | wc -l)"
+if [ "$line_count" -lt 2 ]; then
+    echo "sweep streaming smoke FAILED: expected progressive step lines, got $line_count line(s)"
+    echo "$streamed"
+    exit 1
+fi
+if echo "$streamed" | head -n -1 | grep -v -q '^{"status":"step"'; then
+    echo "sweep streaming smoke FAILED: a non-final line is not a step event"
+    echo "$streamed"
+    exit 1
+fi
+final="$(echo "$streamed" | tail -n 1)"
+if [ "$final" != "$local_sweep" ]; then
+    echo "sweep streaming smoke FAILED: streamed final verdict differs from the CLI"
+    echo "cli:      $local_sweep"
+    echo "streamed: $final"
+    exit 1
+fi
+./target/release/swa request "$addr" --shutdown > /dev/null
+wait "$serve_pid" || {
+    echo "sweep streaming smoke FAILED: server exited non-zero"
+    cat "$serve_dir/serve3.log"
+    exit 1
+}
+echo "sweep streaming gate: $line_count lines, final verdict matches the CLI byte-for-byte"
+
 echo "==> storage smoke (warm reopen agrees with fresh analysis)"
 storage_out="$(cargo run --release --offline -q -p swa-bench --bin storage -- --smoke)"
 echo "$storage_out" | grep -q "storage smoke: ok" || {

@@ -1,0 +1,232 @@
+//! Experiment S8 — parametric sensitivity sweeps with warm-started
+//! probes, emitting `BENCH_sweep.json`.
+//!
+//! Usage:
+//!
+//! ```console
+//! cargo run --release -p swa-bench --bin sweep                # full run
+//! cargo run --release -p swa-bench --bin sweep -- --smoke     # CI gate
+//! cargo run --release -p swa-bench --bin sweep -- --jobs 2500 --out b.json
+//! ```
+//!
+//! The workload is a Table-1-style industrial configuration with one core
+//! per module and no cross-module messages, so it decomposes and the
+//! compositional warm pass can skip untouched modules entirely. Each pass
+//! runs the same work: a breakdown search on the global WCET scale plus a
+//! capped per-task sensitivity vector.
+//!
+//! * **cold** — a fresh [`SweepEngine`] with no shared stores: every
+//!   distinct probe simulates.
+//! * **warm** — a fresh engine over a verdict cache and checkpoint ladder
+//!   primed by an identical earlier sweep, with compositional analysis on:
+//!   probes resolve from the cache without simulating.
+//!
+//! Both passes must report the *same* certified bracket (the report JSON
+//! contains only parameter-space facts, so this is a byte-level check),
+//! and the warm pass must actually reuse work — `reuse_rate > 0` is
+//! asserted here and again by the `ci.sh` gate.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use swa_core::{
+    CheckpointStore, MetricsRecorder, Recorder, ShardedCheckpointStore, ShardedVerdictCache,
+    VerdictCache,
+};
+use swa_sweep::{run_sweep, Axis, SweepEngine, SweepOptions, SweepReport};
+use swa_workload::{industrial_config, IndustrialSpec};
+
+/// A decomposable Table-1-style workload: one core per module, two
+/// partitions per core, no messages (so the modules are independent and
+/// the compositional pass can prove per-module reuse). Tasks per
+/// partition are capped at 26, scaling the module count instead — denser
+/// packings quantize every tiny WCET up to a full tick and overload the
+/// windows, leaving nothing but domain edges for the sweep to probe.
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_precision_loss)]
+fn bench_spec(target_jobs: u64, seed: u64) -> IndustrialSpec {
+    // ~3.75 jobs per task on the default period menu.
+    let tasks_needed = ((target_jobs as f64 / 3.75).ceil() as usize).max(1);
+    // One module = 1 core × 2 partitions × ≤26 tasks = 52 tasks.
+    let modules = tasks_needed.div_ceil(52).max(1);
+    let tasks_per_partition = tasks_needed.div_ceil(modules * 2).clamp(1, 26);
+    IndustrialSpec {
+        modules,
+        cores_per_module: 1,
+        partitions_per_core: 2,
+        tasks_per_partition,
+        core_utilization: 0.5,
+        message_fraction: 0.0,
+        seed,
+        ..IndustrialSpec::default()
+    }
+}
+
+struct PassResult {
+    report: SweepReport,
+    probes: u64,
+    simulated: u64,
+    cache_hits: u64,
+    memo_hits: u64,
+    wall: Duration,
+}
+
+/// Runs the full sweep workload (global breakdown + per-task vector) on a
+/// fresh engine, optionally over shared stores.
+fn run_pass(
+    config: &swa_ima::Configuration,
+    options: &SweepOptions,
+    stores: Option<(&Arc<ShardedVerdictCache>, &Arc<ShardedCheckpointStore>)>,
+) -> PassResult {
+    let recorder = Arc::new(MetricsRecorder::new());
+    let t0 = Instant::now();
+    let mut engine = SweepEngine::new(config.clone(), options.clone())
+        .expect("generated workload is a valid sweep base")
+        .recorder(Arc::clone(&recorder) as Arc<dyn Recorder>);
+    if let Some((cache, checkpoints)) = stores {
+        engine = engine
+            .cache(Arc::clone(cache) as Arc<dyn VerdictCache>)
+            .checkpoints(Arc::clone(checkpoints) as Arc<dyn CheckpointStore>);
+    }
+    let report = run_sweep(&mut engine, Axis::WcetScale, true, |_| {}, || false)
+        .expect("sweep on a generated workload");
+    let wall = t0.elapsed();
+    let counters = recorder.counters();
+    let counter = |name: &str| counters.get(name).copied().unwrap_or(0);
+    PassResult {
+        report,
+        probes: counter("sweep.probes"),
+        simulated: counter("sweep.simulated"),
+        cache_hits: counter("sweep.cache_hits"),
+        memo_hits: counter("sweep.memo_hits"),
+        wall,
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+#[allow(clippy::too_many_lines, clippy::cast_precision_loss)]
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let default_jobs = if smoke { 300 } else { 2_500 };
+    let jobs: u64 = flag_value(&args, "--jobs")
+        .map(|v| v.parse().expect("--jobs expects an integer"))
+        .unwrap_or(default_jobs);
+
+    eprintln!("sweep: generating a ~{jobs}-job configuration");
+    let config = industrial_config(&bench_spec(jobs, 1));
+    let actual_jobs = config.job_count().expect("valid generated config");
+    let task_count = config.tasks().count();
+
+    let mut options = SweepOptions::default();
+    options.search.tolerance = 0.01;
+    options.max_sensitivity_tasks = if smoke { 4 } else { 8 };
+
+    eprintln!("sweep: cold pass (no shared stores)");
+    let cold = run_pass(&config, &options, None);
+    eprintln!(
+        "sweep: cold {:.3}s ({} probes, {} simulated)",
+        cold.wall.as_secs_f64(),
+        cold.probes,
+        cold.simulated
+    );
+
+    // Warm pass: prime shared stores with an identical sweep, then measure
+    // a fresh engine (empty memo) over the primed stores.
+    let cache = Arc::new(ShardedVerdictCache::new(64 * 1024 * 1024));
+    let checkpoints = Arc::new(ShardedCheckpointStore::new(64 * 1024 * 1024));
+    let mut warm_options = options.clone();
+    warm_options.compositional = true;
+    eprintln!("sweep: priming shared verdict cache and checkpoint ladder");
+    let _prime = run_pass(&config, &warm_options, Some((&cache, &checkpoints)));
+    eprintln!("sweep: warm pass (primed stores, compositional)");
+    let warm = run_pass(&config, &warm_options, Some((&cache, &checkpoints)));
+    eprintln!(
+        "sweep: warm {:.3}s ({} probes, {} simulated, {} cache hits)",
+        warm.wall.as_secs_f64(),
+        warm.probes,
+        warm.simulated,
+        warm.cache_hits
+    );
+
+    // Agreement gate: the report JSON carries only parameter-space facts
+    // (factors, verdicts, brackets) — never timings or reuse counters —
+    // so cold and warm must render byte-identically.
+    let cold_json = cold.report.render_json();
+    let warm_json = warm.report.render_json();
+    assert_eq!(cold_json, warm_json, "cold and warm sweeps disagree");
+    let agree = true;
+
+    let reuse_rate = if warm.probes == 0 {
+        0.0
+    } else {
+        (warm.probes - warm.simulated) as f64 / warm.probes as f64
+    };
+    assert!(
+        warm.cache_hits > 0 && reuse_rate > 0.0,
+        "warm sweep never reused a cached verdict \
+         (probes {}, simulated {}, cache hits {})",
+        warm.probes,
+        warm.simulated,
+        warm.cache_hits
+    );
+
+    let speedup = cold.wall.as_secs_f64() / warm.wall.as_secs_f64().max(1e-9);
+    eprintln!("sweep: {speedup:.2}x warm speedup, reuse rate {reuse_rate:.3}");
+
+    let breakdown = &cold.report.breakdown;
+    let fmt_bound = |b: Option<f64>| b.map_or_else(|| "null".to_string(), |v| format!("{v:.6}"));
+    let json = format!(
+        "{{\n  \"version\": 1,\n  \"jobs\": {actual_jobs},\n  \"tasks\": {task_count},\n  \
+         \"tolerance\": {:.6},\n  \"sensitivity_tasks\": {},\n  \
+         \"breakdown_lo\": {},\n  \"breakdown_hi\": {},\n  \"certified\": {},\n  \
+         \"cold\": {{\"probes\": {}, \"simulated\": {}, \"wall_s\": {:.6}}},\n  \
+         \"warm\": {{\"probes\": {}, \"simulated\": {}, \"cache_hits\": {}, \
+         \"memo_hits\": {}, \"wall_s\": {:.6}}},\n  \
+         \"reuse_rate\": {reuse_rate:.6},\n  \"speedup\": {speedup:.3},\n  \
+         \"agree\": {agree}\n}}\n",
+        options.search.tolerance,
+        cold.report.per_task.len(),
+        fmt_bound(breakdown.lo),
+        fmt_bound(breakdown.hi),
+        breakdown.certified(options.search.tolerance),
+        cold.probes,
+        cold.simulated,
+        cold.wall.as_secs_f64(),
+        warm.probes,
+        warm.simulated,
+        warm.cache_hits,
+        warm.memo_hits,
+        warm.wall.as_secs_f64(),
+    );
+
+    if smoke {
+        // The smoke run is the CI gate; it prints the JSON but does not
+        // overwrite the checked-in benchmark artifact.
+        if let Some(path) = flag_value(&args, "--out") {
+            if std::path::Path::new(path).exists() {
+                eprintln!(
+                    "sweep: --smoke refuses to overwrite existing {path} \
+                     (baseline protection; delete it first for a fresh capture)"
+                );
+                std::process::exit(1);
+            }
+            std::fs::write(path, &json).expect("write json");
+        }
+        println!("{json}");
+        println!(
+            "sweep smoke: ok ({actual_jobs} jobs, reuse rate {reuse_rate:.3}, warm == cold)"
+        );
+        return;
+    }
+
+    let out = flag_value(&args, "--out").unwrap_or("BENCH_sweep.json");
+    std::fs::write(out, &json).expect("write json");
+    println!("{json}");
+    println!("sweep: wrote {out}");
+}

@@ -101,6 +101,31 @@ COMMANDS:
                   --metrics-out <file>  write verification metrics as JSON
     mc          schedulability by exhaustive model checking (the baseline)
                   --max-states <n>    state cap (default 10000000)
+    sweep       parametric sensitivity: binary-search the breakdown factor
+                (largest scale that stays schedulable) with certified
+                bracketing bounds, via the same Analyzer/cache stack
+                  --axis <spec>       wcet (default), period, offset, or
+                                      wcet:<partition>/<task>
+                  --tolerance <t>     certified bracket width (default 0.01)
+                  --max-probes <n>    hard probe budget (default 64)
+                  --samples <n>       presample the factor range first
+                                      (exposes non-monotone islands)
+                  --chains            gate each probe on end-to-end chain
+                                      latency over the data-flow chains
+                  --chain-bound <n>   worst-latency bound for --chains
+                  --per-task          also compute per-task WCET slack
+                  --json              print the canonical single-line JSON
+                                      report (byte-equal to POST /sweep's
+                                      final line) instead of the table
+                  --hyperperiods <n>  analysis span per probe (default 1)
+                  --engine <name>     bytecode (default) or ast
+                  --compositional     per-module probe analysis and caching
+                  --cache-bytes <n>   verdict-cache budget shared by all
+                                      probes (default 16 MiB; 0 = off)
+                  --checkpoint-bytes <n>  warm-start probe simulations
+                                      (default 16 MiB; 0 = off)
+                  --metrics-out <file>  write the sweep.* reuse counters
+                                      and phase timings as JSON
     search      treat the file as a design problem (binding and windows are
                 recomputed) and search for a schedulable configuration
                   --out <file>        write the found configuration as XML
@@ -150,6 +175,12 @@ COMMANDS:
                   swa request <addr> <config.xml> [--hyperperiods <n>]
                       [--engine <name>] [--deadline-ms <n>] [--explain]
                       [--no-cache]
+                  swa request <addr> <config.xml> --sweep [--axis <spec>]
+                      [--tolerance <t>] [--max-probes <n>] [--samples <n>]
+                      [--chains] [--chain-bound <n>] [--per-task]
+                      [--deadline-ms <n>]
+                    streams POST /sweep: one JSON line per refinement
+                    step; the final line is the canonical report
                   swa request <addr> --health | --metrics | --shutdown
                 <addr> may be a comma-separated list: analyses are routed
                 client-side by consistent hash with failover; control
@@ -219,6 +250,7 @@ pub fn run_with_topology(
         "verify" => cmd_verify(config, topology, options),
         "mc" => cmd_mc(config, topology, options),
         "search" => cmd_search(config, options),
+        "sweep" => cmd_sweep(config, options),
         "dot" => cmd_dot(config, topology, options),
         "uppaal" => cmd_uppaal(config, topology),
         other => CommandOutcome::error(format!("unknown command {other:?}\n\n{USAGE}")),
@@ -623,6 +655,132 @@ fn cmd_search(config: &Configuration, options: &[String]) -> CommandOutcome {
     }
 }
 
+fn cmd_sweep(config: &Configuration, options: &[String]) -> CommandOutcome {
+    use swa_sweep::{run_sweep, Axis, SweepEngine, SweepOptions};
+    let mut sweep_options = SweepOptions::default();
+    if let Some(v) = flag_value(options, "--tolerance") {
+        match v.parse::<f64>() {
+            Ok(t) if t.is_finite() && t > 0.0 => sweep_options.search.tolerance = t,
+            _ => {
+                return CommandOutcome::error(format!(
+                    "--tolerance expects a positive number, got {v:?}"
+                ))
+            }
+        }
+    }
+    match parse_usize(options, "--max-probes", sweep_options.search.max_probes) {
+        Ok(v) => sweep_options.search.max_probes = v,
+        Err(e) => return CommandOutcome::error(e),
+    }
+    match parse_usize(options, "--samples", sweep_options.search.presamples) {
+        Ok(v) => sweep_options.search.presamples = v,
+        Err(e) => return CommandOutcome::error(e),
+    }
+    match parse_usize(options, "--hyperperiods", 1) {
+        Ok(v) => match u32::try_from(v) {
+            Ok(v) => sweep_options.hyperperiods = v,
+            Err(_) => return CommandOutcome::error("--hyperperiods out of range".to_string()),
+        },
+        Err(e) => return CommandOutcome::error(e),
+    }
+    if let Some(name) = flag_value(options, "--engine") {
+        match swa_core::EvalEngine::parse(name) {
+            Some(e) => sweep_options.engine = e,
+            None => {
+                return CommandOutcome::error(format!(
+                    "--engine expects \"ast\" or \"bytecode\", got {name:?}"
+                ))
+            }
+        }
+    }
+    sweep_options.chains = has_flag(options, "--chains");
+    if let Some(v) = flag_value(options, "--chain-bound") {
+        match v.parse::<i64>() {
+            Ok(bound) if bound >= 0 => {
+                sweep_options.chains = true;
+                sweep_options.chain_bound = Some(bound);
+            }
+            _ => {
+                return CommandOutcome::error(format!(
+                    "--chain-bound expects a non-negative integer, got {v:?}"
+                ))
+            }
+        }
+    }
+    sweep_options.compositional = has_flag(options, "--compositional");
+    let axis = match Axis::parse(flag_value(options, "--axis").unwrap_or("wcet"), config) {
+        Ok(axis) => axis,
+        Err(e) => return CommandOutcome::error(format!("--axis: {e}")),
+    };
+    let cache_bytes = match parse_usize(options, "--cache-bytes", 16 << 20) {
+        Ok(v) => v,
+        Err(e) => return CommandOutcome::error(e),
+    };
+    let checkpoint_bytes = match parse_usize(options, "--checkpoint-bytes", 16 << 20) {
+        Ok(v) => v,
+        Err(e) => return CommandOutcome::error(e),
+    };
+
+    let recorder = std::sync::Arc::new(swa_core::MetricsRecorder::new());
+    let mut engine = match SweepEngine::new(config.clone(), sweep_options) {
+        Ok(engine) => engine,
+        Err(e) => return CommandOutcome::error(format!("sweep failed: {e}")),
+    };
+    engine = engine.recorder(recorder.clone());
+    if cache_bytes > 0 {
+        engine = engine.cache(std::sync::Arc::new(swa_core::ShardedVerdictCache::new(
+            cache_bytes,
+        )));
+    }
+    if checkpoint_bytes > 0 {
+        engine = engine.checkpoints(std::sync::Arc::new(
+            swa_core::ShardedCheckpointStore::new(checkpoint_bytes),
+        ));
+    }
+    let report = match run_sweep(
+        &mut engine,
+        axis,
+        has_flag(options, "--per-task"),
+        |_| {},
+        || false,
+    ) {
+        Ok(report) => report,
+        Err(e) => return CommandOutcome::error(format!("sweep failed: {e}")),
+    };
+
+    let out = if has_flag(options, "--json") {
+        // The canonical single-line report — byte-equal to the final line
+        // of a `POST /sweep` stream for the same request. Timings and
+        // counters deliberately live in --metrics-out, not here.
+        let mut line = report.render_json();
+        line.push('\n');
+        line
+    } else {
+        let mut table = report.render_table();
+        let probes = recorder.counter_value("sweep.probes");
+        let simulated = recorder.counter_value("sweep.simulated");
+        #[allow(clippy::cast_precision_loss)]
+        let reuse_rate = if probes > 0 {
+            (probes - simulated) as f64 / probes as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            table,
+            "\nreuse: {probes} probes, {simulated} simulated, {} cache hits, {} memo hits ({:.1}% reused)",
+            recorder.counter_value("sweep.cache_hits"),
+            recorder.counter_value("sweep.memo_hits"),
+            reuse_rate * 100.0,
+        );
+        table
+    };
+    let mut outcome = CommandOutcome::verdict(report.breakdown.breakdown().is_some(), out);
+    if let Some(path) = flag_value(options, "--metrics-out") {
+        outcome.files.push((path.to_string(), recorder.to_json()));
+    }
+    outcome
+}
+
 fn cmd_serve(options: &[String]) -> CommandOutcome {
     // Router mode: `--route a,b,c` turns this process into a
     // consistent-hash forwarder over existing backends — no local
@@ -867,6 +1025,9 @@ fn cmd_request(args: &[String]) -> CommandOutcome {
         Ok(v) => v,
         Err(e) => return CommandOutcome::error(e),
     };
+    if has_flag(args, "--sweep") {
+        return request_sweep(&addrs, &xml, args);
+    }
     let mut body = format!("{{\"config_xml\":\"{}\"", swa_core::obs::json_escape(&xml));
     let _ = write!(body, ",\"hyperperiods\":{hyperperiods}");
     if let Some(engine) = flag_value(args, "--engine") {
@@ -937,6 +1098,94 @@ fn cmd_request(args: &[String]) -> CommandOutcome {
             }
         }
         Err(e) => CommandOutcome::error(e),
+    }
+}
+
+/// `swa request <addr> <config.xml> --sweep …`: posts a `/sweep` request
+/// and prints the streamed NDJSON lines as they were received — the final
+/// line is the canonical report, byte-equal to `swa sweep … --json` for
+/// the same parameters.
+fn request_sweep(addrs: &[String], xml: &str, args: &[String]) -> CommandOutcome {
+    let mut body = format!("{{\"config_xml\":\"{}\"", swa_core::obs::json_escape(xml));
+    if let Some(axis) = flag_value(args, "--axis") {
+        let _ = write!(body, ",\"axis\":\"{}\"", swa_core::obs::json_escape(axis));
+    }
+    if let Some(v) = flag_value(args, "--tolerance") {
+        match v.parse::<f64>() {
+            Ok(t) if t.is_finite() && t > 0.0 => {
+                let _ = write!(body, ",\"tolerance\":{t}");
+            }
+            _ => {
+                return CommandOutcome::error(format!(
+                    "--tolerance expects a positive number, got {v:?}"
+                ))
+            }
+        }
+    }
+    for (flag, field) in [
+        ("--max-probes", "max_probes"),
+        ("--samples", "samples"),
+        ("--chain-bound", "chain_bound"),
+        ("--hyperperiods", "hyperperiods"),
+        ("--deadline-ms", "deadline_ms"),
+    ] {
+        if let Some(v) = flag_value(args, flag) {
+            match v.parse::<u64>() {
+                Ok(n) => {
+                    let _ = write!(body, ",\"{field}\":{n}");
+                }
+                Err(_) => {
+                    return CommandOutcome::error(format!("{flag} expects an integer, got {v:?}"))
+                }
+            }
+        }
+    }
+    if let Some(engine) = flag_value(args, "--engine") {
+        let _ = write!(body, ",\"engine\":\"{}\"", swa_core::obs::json_escape(engine));
+    }
+    if has_flag(args, "--chains") || flag_value(args, "--chain-bound").is_some() {
+        body.push_str(",\"chains\":true");
+    }
+    if has_flag(args, "--per-task") {
+        body.push_str(",\"per_task\":true");
+    }
+    body.push('}');
+
+    // Streaming goes to a single server (no client-side sharding: the
+    // progressive lines are one conversation).
+    match swa_serve::client::post_lines(addrs[0].as_str(), "/sweep", &body) {
+        Ok(resp) => {
+            let mut out = String::new();
+            for line in &resp.lines {
+                let _ = writeln!(out, "{line}");
+            }
+            let exit_code = if resp.status == 200 {
+                // Positive iff the final report found a breakdown factor.
+                let found = resp.lines.last().is_some_and(|line| {
+                    swa_serve::Json::parse(line).ok().is_some_and(|doc| {
+                        doc.get("status").and_then(swa_serve::Json::as_str) == Some("done")
+                            && doc
+                                .get("search")
+                                .and_then(|s| s.get("breakdown"))
+                                .and_then(swa_serve::Json::as_f64)
+                                .is_some()
+                    })
+                });
+                if found {
+                    0
+                } else {
+                    2
+                }
+            } else {
+                1
+            };
+            CommandOutcome {
+                exit_code,
+                stdout: out,
+                files: Vec::new(),
+            }
+        }
+        Err(e) => CommandOutcome::error(format!("request to {} failed: {e}", addrs[0])),
     }
 }
 
@@ -1199,6 +1448,75 @@ mod tests {
     }
 
     #[test]
+    fn sweep_reports_breakdown_with_certificate() {
+        let out = run_on("sweep", &config(true), &[]);
+        assert_eq!(out.exit_code, 0, "{}", out.stdout);
+        assert!(out.stdout.contains("breakdown:"), "{}", out.stdout);
+        assert!(out.stdout.contains("certified"), "{}", out.stdout);
+        assert!(out.stdout.contains("reuse:"), "{}", out.stdout);
+    }
+
+    #[test]
+    fn sweep_json_is_a_single_deterministic_line() {
+        let args = opts(&["--json", "--tolerance", "0.05", "--per-task"]);
+        let first = run_on("sweep", &config(true), &args);
+        assert_eq!(first.exit_code, 0, "{}", first.stdout);
+        assert!(first.stdout.starts_with("{\"status\":\"done\""), "{}", first.stdout);
+        assert_eq!(first.stdout.lines().count(), 1);
+        assert!(first.stdout.contains("\"per_task\":[{"), "{}", first.stdout);
+        // Deterministic across runs — the serve/CLI agreement contract.
+        let second = run_on("sweep", &config(true), &args);
+        assert_eq!(first.stdout, second.stdout);
+    }
+
+    #[test]
+    fn sweep_per_task_axis_and_metrics_out() {
+        let out = run_on(
+            "sweep",
+            &config(true),
+            &opts(&["--axis", "wcet:P/b", "--metrics-out", "s.json"]),
+        );
+        assert_eq!(out.exit_code, 0, "{}", out.stdout);
+        assert!(out.stdout.contains("wcet:P/b"), "{}", out.stdout);
+        let (_, json) = out
+            .files
+            .iter()
+            .find(|(p, _)| p == "s.json")
+            .expect("metrics file emitted");
+        assert!(json.contains("\"sweep.probes\""), "{json}");
+        assert!(json.contains("\"sweep.simulated\""), "{json}");
+    }
+
+    #[test]
+    fn sweep_rejects_bad_flags() {
+        assert_eq!(
+            run_on("sweep", &config(true), &opts(&["--axis", "voltage"])).exit_code,
+            1
+        );
+        assert_eq!(
+            run_on("sweep", &config(true), &opts(&["--axis", "wcet:P/zz"])).exit_code,
+            1
+        );
+        assert_eq!(
+            run_on("sweep", &config(true), &opts(&["--tolerance", "0"])).exit_code,
+            1
+        );
+        assert_eq!(
+            run_on("sweep", &config(true), &opts(&["--chain-bound", "-3"])).exit_code,
+            1
+        );
+    }
+
+    #[test]
+    fn unschedulable_base_sweeps_downward_to_a_feasible_factor() {
+        // The unschedulable fixture overloads the window at factor 1.0;
+        // the search scans down and still finds the breakdown bracket.
+        let out = run_on("sweep", &config(false), &opts(&["--json"]));
+        assert_eq!(out.exit_code, 0, "{}", out.stdout);
+        assert!(out.stdout.contains("\"base\":{\"schedulable\":false"), "{}", out.stdout);
+    }
+
+    #[test]
     fn serve_and_request_roundtrip_with_cache_marker() {
         let dir = std::env::temp_dir().join("swa_cli_serve_test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -1262,6 +1580,75 @@ mod tests {
         assert_eq!(served.exit_code, 0, "{}", served.stdout);
         assert!(served.stdout.contains("analyses=1"), "{}", served.stdout);
         assert!(served.stdout.contains("cache: hits=1"), "{}", served.stdout);
+    }
+
+    #[test]
+    fn request_sweep_streams_and_matches_the_local_cli() {
+        let dir = std::env::temp_dir().join(format!("swa_cli_sweep_req_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let config_path = dir.join("config.xml");
+        std::fs::write(&config_path, configuration_to_xml(&config(true))).unwrap();
+        let addr_file = dir.join("addr.txt");
+        let _ = std::fs::remove_file(&addr_file);
+
+        let addr_file_arg = addr_file.to_str().unwrap().to_string();
+        let server_thread = std::thread::spawn(move || {
+            run(&opts(&[
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "2",
+                "--addr-file",
+                &addr_file_arg,
+            ]))
+        });
+        let addr = {
+            let mut waited = 0;
+            loop {
+                if let Ok(addr) = std::fs::read_to_string(&addr_file) {
+                    if !addr.is_empty() {
+                        break addr;
+                    }
+                }
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                waited += 1;
+                assert!(waited < 250, "server never published its address");
+            }
+        };
+
+        let streamed = run(&opts(&[
+            "request",
+            &addr,
+            config_path.to_str().unwrap(),
+            "--sweep",
+            "--tolerance",
+            "0.05",
+        ]));
+        assert_eq!(streamed.exit_code, 0, "{}", streamed.stdout);
+        let lines: Vec<&str> = streamed.stdout.lines().collect();
+        assert!(lines.len() >= 2, "expected progressive lines:\n{}", streamed.stdout);
+        for step in &lines[..lines.len() - 1] {
+            assert!(step.starts_with("{\"status\":\"step\""), "{step}");
+        }
+
+        // The final streamed line is byte-equal to the local CLI's --json.
+        let local = run_on(
+            "sweep",
+            &config(true),
+            &opts(&["--json", "--tolerance", "0.05"]),
+        );
+        assert_eq!(local.exit_code, 0, "{}", local.stdout);
+        assert_eq!(
+            format!("{}\n", lines.last().unwrap()),
+            local.stdout,
+            "serve and CLI reports must agree byte-for-byte"
+        );
+
+        let shutdown = run(&opts(&["request", &addr, "--shutdown"]));
+        assert_eq!(shutdown.exit_code, 0, "{}", shutdown.stdout);
+        server_thread.join().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -223,6 +223,151 @@ mod tests {
         assert_eq!(chain.worst(), None);
     }
 
+    /// Two-module chain where the sender shares its FPPS partition with a
+    /// higher-priority task of twice the period: only instance 0 pays the
+    /// interference, and both latencies are known exactly.
+    ///
+    /// M1, window `[0,50)`: `hi` runs `[0,4)`, `s` runs `[4,9)` then
+    /// `[25,30)`; network delay 6 delivers at 15 and 36; `a` runs
+    /// `[15,19)` and `[36,40)` on M2 — latencies 19 and 15.
+    #[test]
+    fn fpps_interference_shifts_only_the_contended_instance() {
+        let config = Configuration {
+            core_types: vec![CoreType::new("ct")],
+            modules: vec![
+                Module::homogeneous("M1", 1, CoreTypeId::from_raw(0)),
+                Module::homogeneous("M2", 1, CoreTypeId::from_raw(0)),
+            ],
+            partitions: vec![
+                Partition::new(
+                    "proc",
+                    SchedulerKind::Fpps,
+                    vec![
+                        Task::new("hi", 2, vec![4], 50),
+                        Task::new("s", 1, vec![5], 25),
+                    ],
+                ),
+                Partition::new("act", SchedulerKind::Fpps, vec![Task::new("a", 1, vec![4], 25)]),
+            ],
+            binding: vec![
+                CoreRef::new(ModuleId::from_raw(0), 0),
+                CoreRef::new(ModuleId::from_raw(1), 0),
+            ],
+            windows: vec![vec![Window::new(0, 50)], vec![Window::new(0, 50)]],
+            messages: vec![Message::new("vl", tr(0, 1), tr(1, 0), 1, 6)],
+        };
+        let report = analyze_configuration(&config).unwrap();
+        assert!(report.schedulable());
+        let chain = chain_latency(&config, &report.analysis, &[tr(0, 1), tr(1, 0)]).unwrap();
+        assert!(chain.all_complete());
+        assert_eq!(chain.instances.len(), 2);
+        assert_eq!(chain.instances[0].latency(), Some(19));
+        assert_eq!(chain.instances[1].latency(), Some(15));
+        assert_eq!(chain.worst(), Some(19));
+    }
+
+    /// Under EDF the urgent-deadline task runs first even though the chain
+    /// task carries the larger fixed priority — the chain latency shows
+    /// the deferral. (Under FPPS the same priorities would run `s` first.)
+    #[test]
+    fn edf_defers_the_chain_task_behind_a_tighter_deadline() {
+        let mut urgent = Task::new("u", 1, vec![4], 50);
+        urgent.deadline = 12;
+        let config = Configuration {
+            core_types: vec![CoreType::new("ct")],
+            modules: vec![
+                Module::homogeneous("M1", 1, CoreTypeId::from_raw(0)),
+                Module::homogeneous("M2", 1, CoreTypeId::from_raw(0)),
+            ],
+            partitions: vec![
+                Partition::new("proc", SchedulerKind::Edf, vec![urgent, Task::new("s", 9, vec![5], 50)]),
+                Partition::new("act", SchedulerKind::Fpps, vec![Task::new("a", 1, vec![4], 50)]),
+            ],
+            binding: vec![
+                CoreRef::new(ModuleId::from_raw(0), 0),
+                CoreRef::new(ModuleId::from_raw(1), 0),
+            ],
+            windows: vec![vec![Window::new(0, 50)], vec![Window::new(0, 50)]],
+            messages: vec![Message::new("vl", tr(0, 1), tr(1, 0), 1, 6)],
+        };
+        let report = analyze_configuration(&config).unwrap();
+        assert!(report.schedulable());
+        let chain = chain_latency(&config, &report.analysis, &[tr(0, 1), tr(1, 0)]).unwrap();
+        // u [0,4), s [4,9), +6 network → a [15,19): latency 19, not the
+        // 15 an FPPS run of `s` first would give.
+        assert_eq!(chain.worst(), Some(19));
+    }
+
+    /// Property: end-to-end chain latency is monotone non-decreasing in a
+    /// uniform WCET scale. Seeded LCG fixtures, integer scale factors (so
+    /// each task's WCET is exactly non-decreasing), comparisons skipped
+    /// once an instance stops completing.
+    #[test]
+    fn chain_latency_is_monotone_in_wcet_scale() {
+        let mut state: u64 = 0x5eed_cafe_f00d_d00d;
+        let mut rand = move |lo: i64, hi: i64| {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            lo + i64::try_from((state >> 33) % u64::try_from(hi - lo + 1).unwrap()).unwrap()
+        };
+        let mut complete_at_base = 0;
+        for _case in 0..8 {
+            let (w_hi, w_s, w_a) = (rand(1, 4), rand(2, 5), rand(2, 5));
+            let net = rand(2, 8);
+            let base = |scale: i64| Configuration {
+                core_types: vec![CoreType::new("ct")],
+                modules: vec![
+                    Module::homogeneous("M1", 1, CoreTypeId::from_raw(0)),
+                    Module::homogeneous("M2", 1, CoreTypeId::from_raw(0)),
+                ],
+                partitions: vec![
+                    Partition::new(
+                        "proc",
+                        SchedulerKind::Fpps,
+                        vec![
+                            Task::new("hi", 2, vec![w_hi * scale], 50),
+                            Task::new("s", 1, vec![w_s * scale], 50),
+                        ],
+                    ),
+                    Partition::new(
+                        "act",
+                        SchedulerKind::Fpps,
+                        vec![Task::new("a", 1, vec![w_a * scale], 50)],
+                    ),
+                ],
+                binding: vec![
+                    CoreRef::new(ModuleId::from_raw(0), 0),
+                    CoreRef::new(ModuleId::from_raw(1), 0),
+                ],
+                windows: vec![vec![Window::new(0, 50)], vec![Window::new(0, 50)]],
+                messages: vec![Message::new("vl", tr(0, 1), tr(1, 0), 1, net)],
+            };
+            let mut prev: Option<i64> = None;
+            for scale in 1..=5 {
+                let config = base(scale);
+                let report = analyze_configuration(&config).unwrap();
+                let chain =
+                    chain_latency(&config, &report.analysis, &[tr(0, 1), tr(1, 0)]).unwrap();
+                let worst = chain.worst();
+                if scale == 1 {
+                    assert!(worst.is_some(), "base case must complete: {config:?}");
+                    complete_at_base += 1;
+                }
+                if let (Some(p), Some(w)) = (prev, worst) {
+                    assert!(
+                        w >= p,
+                        "latency dropped from {p} to {w} at scale {scale} for {config:?}"
+                    );
+                }
+                if worst.is_some() {
+                    prev = worst;
+                }
+            }
+        }
+        assert_eq!(complete_at_base, 8);
+    }
+
     #[test]
     fn structural_errors_are_reported() {
         let config = chain_config();

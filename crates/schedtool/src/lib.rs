@@ -12,15 +12,19 @@
 //!   workload, binding and windows to be decided);
 //! * [`binpack`] — first-fit-decreasing binding;
 //! * [`search()`] — the iterative-repair loop with per-iteration records
-//!   (check time, misses), which the S2 experiment reports.
+//!   (check time, misses), which the S2 experiment reports;
+//! * [`hint`] — ranks a `swa-sweep` per-task sensitivity vector into
+//!   repair targets (tightest WCET slack first).
 
 #![warn(missing_docs)]
 #![allow(clippy::module_name_repetitions)]
 
 pub mod binpack;
+pub mod hint;
 pub mod problem;
 pub mod search;
 
 pub use binpack::{first_fit_decreasing, Packing};
+pub use hint::{repair_hint, repair_hints, RepairHint};
 pub use problem::DesignProblem;
 pub use search::{search, search_with, IterationRecord, SearchOptions, SearchOutcome};

@@ -166,6 +166,49 @@ pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Re
     stream.flush()
 }
 
+/// Starts a `Transfer-Encoding: chunked` response: status line + headers,
+/// no body yet. Follow with [`write_chunk`] per line and close the stream
+/// with [`write_chunked_end`]. Used by the progressive `POST /sweep`
+/// endpoint, where results exist before the response is complete.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_chunked_head<W: Write>(stream: &mut W, status: u16) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/x-ndjson\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+        status,
+        status_text(status),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.flush()
+}
+
+/// Writes one line as a single HTTP chunk (the payload is `line` plus a
+/// trailing newline, so each chunk is exactly one NDJSON record) and
+/// flushes it so the client observes progress immediately.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_chunk<W: Write>(stream: &mut W, line: &str) -> io::Result<()> {
+    let payload_len = line.len() + 1;
+    stream.write_all(format!("{payload_len:x}\r\n").as_bytes())?;
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n\r\n")?;
+    stream.flush()
+}
+
+/// Terminates a chunked response (the zero-length chunk).
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_chunked_end<W: Write>(stream: &mut W) -> io::Result<()> {
+    stream.write_all(b"0\r\n\r\n")?;
+    stream.flush()
+}
+
 /// The reason phrase for the status codes this server emits.
 #[must_use]
 pub fn status_text(status: u16) -> &'static str {
@@ -239,6 +282,21 @@ mod tests {
     fn rejects_oversized_bodies() {
         let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
         assert!(matches!(roundtrip(raw.as_bytes()), Err(HttpError::TooLarge)));
+    }
+
+    #[test]
+    fn chunked_writers_frame_each_line() {
+        let mut out = Vec::new();
+        write_chunked_head(&mut out, 200).unwrap();
+        write_chunk(&mut out, "{\"a\":1}").unwrap();
+        write_chunk(&mut out, "{\"b\":22}").unwrap();
+        write_chunked_end(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"));
+        // 8 = len("{\"a\":1}") + newline; 9 for the second line.
+        assert!(text.contains("\r\n\r\n8\r\n{\"a\":1}\n\r\n9\r\n{\"b\":22}\n\r\n0\r\n\r\n"),
+            "unexpected framing: {text:?}");
     }
 
     #[test]

@@ -28,6 +28,9 @@
 //! | Endpoint         | Purpose                                        |
 //! |------------------|------------------------------------------------|
 //! | `POST /analyze`  | Analyze a configuration (JSON envelope)        |
+//! | `POST /sweep`    | Sensitivity sweep, streamed as chunked NDJSON: |
+//! |                  | one line per refinement step, final line = the |
+//! |                  | canonical report (byte-equal to the CLI's)     |
 //! | `GET /healthz`   | Liveness probe                                 |
 //! | `GET /metrics`   | Cache gauges + full metrics JSON               |
 //! | `POST /shutdown` | Graceful shutdown (drains in-flight work)      |
@@ -55,10 +58,13 @@ pub mod resilience;
 pub mod router;
 pub mod server;
 
-pub use client::HttpResponse;
+pub use client::{HttpResponse, StreamedResponse};
 pub use json::{Json, JsonError};
 pub use pool::{Job, JobContext, WorkerPool};
-pub use request::{parse_analyze, render_error, render_verdict, AnalyzeRequest, RequestError};
+pub use request::{
+    parse_analyze, parse_sweep, render_error, render_verdict, AnalyzeRequest, RequestError,
+    SweepRequest,
+};
 pub use resilience::{Backoff, BreakerOptions, CircuitBreaker, LoadShedder, RetryPolicy};
 pub use router::{forward_analyze, ForwardOutcome, HashRing, Router, RouterOptions};
 pub use server::{ServeOptions, Server};

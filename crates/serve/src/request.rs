@@ -27,6 +27,7 @@ use std::fmt;
 use swa_core::obs::json_escape;
 use swa_core::{CacheKey, CachedVerdict, EvalEngine};
 use swa_ima::Configuration;
+use swa_sweep::{Axis, SweepOptions};
 
 use crate::json::Json;
 
@@ -145,6 +146,150 @@ pub fn parse_analyze(body: &[u8]) -> Result<AnalyzeRequest, RequestError> {
         explain,
         deadline_ms,
         no_cache,
+    })
+}
+
+/// A parsed, validated sensitivity-sweep request (`POST /sweep`).
+///
+/// The envelope mirrors `/analyze` plus the sweep controls; defaults are
+/// identical to the `swa sweep` CLI defaults, which is what makes the
+/// endpoint's final report line byte-equal to the CLI's `--json` output:
+///
+/// ```json
+/// {
+///   "config_xml": "<configuration>…</configuration>",
+///   "axis": "wcet",
+///   "tolerance": 0.01,
+///   "max_probes": 64,
+///   "samples": 0,
+///   "chains": false,
+///   "chain_bound": null,
+///   "per_task": false,
+///   "hyperperiods": 1,
+///   "engine": "bytecode",
+///   "deadline_ms": 5000
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SweepRequest {
+    /// The base configuration the sweep scales.
+    pub config: Configuration,
+    /// The parsed parameter axis.
+    pub axis: Axis,
+    /// Engine options (tolerance, probe budget, chain gating, …).
+    pub options: SweepOptions,
+    /// Also compute the per-task WCET sensitivity vector.
+    pub per_task: bool,
+    /// Per-request deadline in milliseconds (`None` = no deadline).
+    pub deadline_ms: Option<u64>,
+}
+
+/// Parses and validates one `/sweep` request body.
+///
+/// # Errors
+///
+/// [`RequestError::Bad`] for malformed JSON / fields / axis specs,
+/// [`RequestError::Unprocessable`] for XML or configuration-validation
+/// failures.
+pub fn parse_sweep(body: &[u8]) -> Result<SweepRequest, RequestError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| RequestError::Bad("request body is not UTF-8".into()))?;
+    let doc = Json::parse(text).map_err(|e| RequestError::Bad(e.to_string()))?;
+    if !matches!(doc, Json::Obj(_)) {
+        return Err(RequestError::Bad("request body must be a JSON object".into()));
+    }
+
+    let xml = doc
+        .get("config_xml")
+        .ok_or_else(|| RequestError::Bad("missing required field \"config_xml\"".into()))?
+        .as_str()
+        .ok_or_else(|| RequestError::Bad("\"config_xml\" must be a string".into()))?;
+
+    let mut options = SweepOptions::default();
+
+    if let Some(v) = doc.get("tolerance") {
+        let tolerance = v
+            .as_f64()
+            .ok_or_else(|| RequestError::Bad("\"tolerance\" must be a number".into()))?;
+        if !(tolerance.is_finite() && tolerance > 0.0) {
+            return Err(RequestError::Bad("\"tolerance\" must be finite and positive".into()));
+        }
+        options.search.tolerance = tolerance;
+    }
+    if let Some(v) = doc.get("max_probes") {
+        let max_probes = v
+            .as_u64()
+            .ok_or_else(|| RequestError::Bad("\"max_probes\" must be a non-negative integer".into()))?;
+        options.search.max_probes = usize::try_from(max_probes)
+            .map_err(|_| RequestError::Bad("\"max_probes\" out of range".into()))?;
+    }
+    if let Some(v) = doc.get("samples") {
+        let samples = v
+            .as_u64()
+            .ok_or_else(|| RequestError::Bad("\"samples\" must be a non-negative integer".into()))?;
+        options.search.presamples = usize::try_from(samples)
+            .map_err(|_| RequestError::Bad("\"samples\" out of range".into()))?;
+    }
+    options.hyperperiods = match doc.get("hyperperiods") {
+        None => 1,
+        Some(v) => u32::try_from(
+            v.as_u64()
+                .ok_or_else(|| RequestError::Bad("\"hyperperiods\" must be a non-negative integer".into()))?,
+        )
+        .map_err(|_| RequestError::Bad("\"hyperperiods\" out of range".into()))?,
+    };
+    options.engine = match doc.get("engine") {
+        None => EvalEngine::default(),
+        Some(v) => {
+            let name = v
+                .as_str()
+                .ok_or_else(|| RequestError::Bad("\"engine\" must be a string".into()))?;
+            EvalEngine::parse(name).ok_or_else(|| {
+                RequestError::Bad(format!("unknown engine {name:?} (expected \"ast\" or \"bytecode\")"))
+            })?
+        }
+    };
+    options.chains = flag(&doc, "chains")?;
+    options.chain_bound = match doc.get("chain_bound") {
+        None | Some(Json::Null) => None,
+        Some(v) => {
+            let bound = v.as_u64().ok_or_else(|| {
+                RequestError::Bad("\"chain_bound\" must be a non-negative integer".into())
+            })?;
+            Some(i64::try_from(bound).map_err(|_| RequestError::Bad("\"chain_bound\" out of range".into()))?)
+        }
+    };
+    let per_task = flag(&doc, "per_task")?;
+
+    let deadline_ms = match doc.get("deadline_ms") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(v.as_u64().ok_or_else(|| {
+            RequestError::Bad("\"deadline_ms\" must be a non-negative integer".into())
+        })?),
+    };
+
+    let config = swa_xmlio::configuration_from_xml(xml)
+        .map_err(|e| RequestError::Unprocessable(format!("config_xml: {e}")))?;
+    config.validate().map_err(|errors| {
+        let msgs: Vec<String> = errors.iter().map(ToString::to_string).collect();
+        RequestError::Unprocessable(format!("invalid configuration: {}", msgs.join("; ")))
+    })?;
+
+    let axis_spec = match doc.get("axis") {
+        None => "wcet",
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| RequestError::Bad("\"axis\" must be a string".into()))?,
+    };
+    let axis =
+        Axis::parse(axis_spec, &config).map_err(|e| RequestError::Bad(e.to_string()))?;
+
+    Ok(SweepRequest {
+        config,
+        axis,
+        options,
+        per_task,
+        deadline_ms,
     })
 }
 
@@ -267,6 +412,62 @@ mod tests {
             json_escape(&swa_xmlio::configuration_to_xml(&config))
         );
         let err = parse_analyze(body.as_bytes()).unwrap_err();
+        assert_eq!(err.status(), 422);
+    }
+
+    #[test]
+    fn parses_a_minimal_sweep_request_with_cli_defaults() {
+        let req = parse_sweep(envelope("").as_bytes()).unwrap();
+        assert_eq!(req.axis, Axis::WcetScale);
+        let defaults = SweepOptions::default();
+        assert_eq!(req.options.search.tolerance, defaults.search.tolerance);
+        assert_eq!(req.options.search.max_probes, defaults.search.max_probes);
+        assert_eq!(req.options.search.presamples, defaults.search.presamples);
+        assert_eq!(req.options.hyperperiods, 1);
+        assert!(!req.options.chains);
+        assert_eq!(req.options.chain_bound, None);
+        assert!(!req.per_task);
+        assert_eq!(req.deadline_ms, None);
+    }
+
+    #[test]
+    fn parses_all_sweep_options() {
+        let req = parse_sweep(
+            envelope(
+                ",\"axis\":\"wcet:P/t\",\"tolerance\":0.05,\"max_probes\":32,\"samples\":8,\
+                 \"chains\":true,\"chain_bound\":120,\"per_task\":true,\"hyperperiods\":2,\
+                 \"engine\":\"ast\",\"deadline_ms\":250",
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+        assert!(matches!(req.axis, Axis::TaskWcetScale(_)));
+        assert_eq!(req.options.search.tolerance, 0.05);
+        assert_eq!(req.options.search.max_probes, 32);
+        assert_eq!(req.options.search.presamples, 8);
+        assert!(req.options.chains);
+        assert_eq!(req.options.chain_bound, Some(120));
+        assert_eq!(req.options.hyperperiods, 2);
+        assert_eq!(req.options.engine, EvalEngine::Ast);
+        assert!(req.per_task);
+        assert_eq!(req.deadline_ms, Some(250));
+    }
+
+    #[test]
+    fn rejects_bad_sweep_envelopes() {
+        for body in [
+            "not json".to_string(),
+            envelope(",\"axis\":\"voltage\""),
+            envelope(",\"axis\":\"wcet:P/nope\""),
+            envelope(",\"tolerance\":0"),
+            envelope(",\"tolerance\":\"tight\""),
+            envelope(",\"max_probes\":-1"),
+            envelope(",\"chain_bound\":-5"),
+        ] {
+            let err = parse_sweep(body.as_bytes()).unwrap_err();
+            assert_eq!(err.status(), 400, "{body:.80}");
+        }
+        let err = parse_sweep(br#"{"config_xml": "<not-a-configuration/>"}"#).unwrap_err();
         assert_eq!(err.status(), 422);
     }
 

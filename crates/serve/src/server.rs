@@ -48,9 +48,14 @@ use swa_core::{
     ShardedCheckpointStore, ShardedVerdictCache, VerdictCache,
 };
 
-use crate::http::{apply_io_timeouts, is_timeout, read_request, write_response, HttpError, Request};
+use swa_sweep::{render_step_json, run_sweep, SweepEngine, SweepError, SweepEvent};
+
+use crate::http::{
+    apply_io_timeouts, is_timeout, read_request, write_chunk, write_chunked_end,
+    write_chunked_head, write_response, HttpError, Request,
+};
 use crate::pool::{Job, WorkerPool};
-use crate::request::{parse_analyze, render_error, render_verdict, AnalyzeRequest};
+use crate::request::{parse_analyze, parse_sweep, render_error, render_verdict, AnalyzeRequest};
 use crate::resilience::LoadShedder;
 
 /// How often a follower parked on a single-flight gate re-checks its
@@ -458,8 +463,155 @@ fn handle_connection(inner: &Arc<Inner>, mut stream: TcpStream) {
             return;
         }
     };
+    // `/sweep` streams a chunked response, so it owns the socket instead
+    // of going through the buffered (status, body) route.
+    if request.method == "POST" && request.path == "/sweep" {
+        sweep_stream(inner, &mut stream, &request.body);
+        return;
+    }
     let (status, body) = route(inner, &request);
     let _ = write_response(&mut stream, status, &body);
+}
+
+/// Handles `POST /sweep`: shed/parse/admission errors are plain buffered
+/// responses; once the sweep is admitted the response switches to
+/// `Transfer-Encoding: chunked` and forwards one JSON line per refinement
+/// step, ending with the canonical report line (byte-equal to the `swa
+/// sweep --json` CLI output for the same request).
+fn sweep_stream(inner: &Arc<Inner>, stream: &mut TcpStream, body: &[u8]) {
+    let Some(_permit) = inner.shedder.try_acquire() else {
+        inner.recorder.counter("serve.shed", 1);
+        let _ = write_response(
+            stream,
+            429,
+            &render_error("overloaded", "server at inflight capacity; retry later"),
+        );
+        return;
+    };
+    inner.recorder.counter("serve.requests", 1);
+    let parsed = match parse_sweep(body) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            let kind = if e.status() == 400 { "bad-request" } else { "invalid-model" };
+            let _ = write_response(stream, e.status(), &render_error(kind, &e.to_string()));
+            return;
+        }
+    };
+    if inner.shutting_down.load(Ordering::SeqCst) {
+        let _ = write_response(
+            stream,
+            503,
+            &render_error("shutting-down", "server is shutting down"),
+        );
+        return;
+    }
+    let deadline = parsed
+        .deadline_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+
+    let (line_tx, line_rx) = mpsc::channel::<String>();
+    let job_inner = Arc::clone(inner);
+    let job: Job = Box::new(move |ctx| {
+        if ctx.is_cancelled() {
+            let _ = line_tx.send(render_error(
+                "shutting-down",
+                "server cancelled the sweep during shutdown",
+            ));
+            return;
+        }
+        job_inner.recorder.counter("serve.sweeps", 1);
+        // The server's compositional mode widens per-module reuse for
+        // every sweep probe; a request asking for it explicitly keeps it.
+        let mut options = parsed.options;
+        options.compositional = options.compositional || job_inner.compositional;
+        let mut engine = match SweepEngine::new(parsed.config, options) {
+            Ok(engine) => engine,
+            Err(e) => {
+                job_inner.recorder.counter("serve.errors", 1);
+                let _ = line_tx.send(render_error("sweep-failed", &e.to_string()));
+                return;
+            }
+        };
+        engine = engine
+            .cache(Arc::clone(&job_inner.cache))
+            .recorder(job_inner.recorder.clone() as Arc<dyn Recorder>);
+        if let Some(store) = &job_inner.checkpoints {
+            engine = engine.checkpoints(Arc::clone(store));
+        }
+        let result = run_sweep(
+            &mut engine,
+            parsed.axis,
+            parsed.per_task,
+            |event| {
+                if let SweepEvent::Step(step) = event {
+                    let _ = line_tx.send(render_step_json(step));
+                }
+            },
+            || ctx.is_cancelled() || deadline.is_some_and(|d| Instant::now() >= d),
+        );
+        let final_line = match result {
+            Ok(report) => report.render_json(),
+            Err(SweepError::Aborted) => {
+                if ctx.is_cancelled() {
+                    render_error("shutting-down", "server cancelled the sweep during shutdown")
+                } else {
+                    job_inner.recorder.counter("serve.deadline_expired", 1);
+                    render_error("deadline", "request deadline expired")
+                }
+            }
+            Err(e) => {
+                job_inner.recorder.counter("serve.errors", 1);
+                render_error("sweep-failed", &e.to_string())
+            }
+        };
+        let _ = line_tx.send(final_line);
+    });
+
+    if inner.pool.try_submit(job).is_err() {
+        inner.recorder.counter("serve.rejected", 1);
+        let _ = write_response(
+            stream,
+            429,
+            &render_error("overloaded", "analysis queue is full; retry later"),
+        );
+        return;
+    }
+
+    // Committed: from here on the response is chunked. Any error below is
+    // delivered as an in-stream JSON line, never a status code.
+    if write_chunked_head(stream, 200).is_err() {
+        return;
+    }
+    loop {
+        let received = match deadline {
+            None => line_rx.recv().ok(),
+            Some(d) => {
+                // The deadline bounds *waiting* between lines; the worker
+                // also polls it between probes and aborts cooperatively.
+                let remaining = d.saturating_duration_since(Instant::now());
+                match line_rx.recv_timeout(remaining.max(Duration::from_millis(1))) {
+                    Ok(line) => Some(line),
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        inner.recorder.counter("serve.deadline_expired", 1);
+                        let _ =
+                            write_chunk(stream, &render_error("deadline", "request deadline expired"));
+                        break;
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => None,
+                }
+            }
+        };
+        match received {
+            Some(line) => {
+                if write_chunk(stream, &line).is_err() {
+                    return;
+                }
+            }
+            // Sender dropped: the worker sent its final line and finished.
+            None => break,
+        }
+    }
+    let _ = write_chunked_end(stream);
 }
 
 fn route(inner: &Arc<Inner>, request: &Request) -> (u16, String) {
@@ -471,7 +623,7 @@ fn route(inner: &Arc<Inner>, request: &Request) -> (u16, String) {
             (200, "{\"status\":\"shutting-down\"}".to_string())
         }
         ("POST", "/analyze") => analyze(inner, &request.body),
-        (_, "/healthz" | "/metrics" | "/shutdown" | "/analyze") => (
+        (_, "/healthz" | "/metrics" | "/shutdown" | "/analyze" | "/sweep") => (
             405,
             render_error("method-not-allowed", "unsupported method for this endpoint"),
         ),

@@ -478,6 +478,83 @@ fn restart_answers_from_the_disk_tier_without_resimulating() {
     std::fs::remove_dir_all(&state_dir).ok();
 }
 
+/// Tentpole end-to-end: `POST /sweep` streams progressive refinement
+/// steps as chunked NDJSON, and the final line is the canonical report —
+/// byte-equal to what an in-process [`swa_sweep::run_sweep`] over the
+/// same request produces (the CLI `--json` path calls exactly that).
+#[test]
+fn sweep_endpoint_streams_steps_and_matches_the_library_report() {
+    use swa_sweep::{run_sweep, Axis, SweepEngine, SweepOptions};
+    let server = start_server();
+    let addr = server.local_addr();
+    let config = small_config(10);
+    let body = envelope(&config, ",\"tolerance\":0.05,\"per_task\":true");
+
+    let resp = client::post_lines(addr, "/sweep", &body).expect("streamed response");
+    assert_eq!(resp.status, 200, "lines: {:?}", resp.lines);
+    assert!(
+        resp.lines.len() >= 2,
+        "expected progressive step lines before the report: {:?}",
+        resp.lines
+    );
+    for step in &resp.lines[..resp.lines.len() - 1] {
+        let doc = Json::parse(step).expect("step lines are valid JSON");
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("step"));
+        assert!(doc.get("factor").and_then(Json::as_f64).is_some());
+    }
+
+    let mut options = SweepOptions::default();
+    options.search.tolerance = 0.05;
+    let mut engine = SweepEngine::new(config, options).unwrap();
+    let expected = run_sweep(&mut engine, Axis::WcetScale, true, |_| {}, || false)
+        .unwrap()
+        .render_json();
+    assert_eq!(
+        resp.lines.last().unwrap(),
+        &expected,
+        "final line must be byte-equal to the library/CLI report"
+    );
+
+    // The sweep ran through the shared Analyzer stack: probes simulated
+    // and the `sweep.*` counter family landed in the server recorder.
+    let recorder = server.recorder();
+    assert!(recorder.counter_value("serve.sweeps") >= 1);
+    assert!(recorder.counter_value("sweep.probes") > 0);
+    assert!(recorder.counter_value("sweep.simulated") > 0);
+
+    // A repeat of the same sweep is answered from the verdict cache and
+    // the engine memo: zero new simulations, same final line.
+    let simulated_before = recorder.counter_value("sweep.simulated");
+    let repeat = client::post_lines(addr, "/sweep", &body).expect("repeat response");
+    assert_eq!(repeat.lines.last().unwrap(), &expected);
+    assert_eq!(
+        recorder.counter_value("sweep.simulated"),
+        simulated_before,
+        "warm repeat must reuse cached verdicts, not simulate"
+    );
+    assert!(recorder.counter_value("sweep.cache_hits") > 0);
+    server.shutdown();
+}
+
+/// `/sweep` error paths reuse the `/analyze` status-code contract before
+/// the stream commits.
+#[test]
+fn sweep_endpoint_rejects_bad_requests_without_streaming() {
+    let server = start_server();
+    let addr = server.local_addr();
+    // Wrong method.
+    assert_eq!(client::get(addr, "/sweep").unwrap().status, 405);
+    // Malformed JSON → 400, invalid model → 422, bad axis → 400.
+    assert_eq!(client::post_lines(addr, "/sweep", "{oops").unwrap().status, 400);
+    assert_eq!(
+        client::post_lines(addr, "/sweep", "{\"config_xml\":\"<x/>\"}").unwrap().status,
+        422
+    );
+    let bad_axis = envelope(&small_config(10), ",\"axis\":\"voltage\"");
+    assert_eq!(client::post_lines(addr, "/sweep", &bad_axis).unwrap().status, 400);
+    server.shutdown();
+}
+
 /// Router end-to-end: consistent-hash forwarding across two live
 /// backends preserves the cached-verdict contract, and a dead backend in
 /// the ring is failed over transparently.

@@ -1,0 +1,144 @@
+//! Typed errors of the sweep subsystem.
+//!
+//! Scaling a configuration can push parameters past the IMA boundaries
+//! the domain model enforces (periods must stay positive, offsets must
+//! stay inside their period, a partition's demand cannot exceed its
+//! window capacity). Those conditions are reported as *typed* errors
+//! instead of silently saturating the scaled values — a silently clamped
+//! probe would answer a question nobody asked. Errors that mark the edge
+//! of the parameter domain ([`SweepError::is_domain_edge`]) are treated
+//! by the probe engine as "not feasible at this factor" so a breakdown
+//! search can still bracket against them.
+
+use std::fmt;
+
+use swa_core::PipelineError;
+
+/// Why a sweep operation failed (or why a scaled configuration cannot
+/// exist).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SweepError {
+    /// The axis specification is not one of the known axis names.
+    UnknownAxis(String),
+    /// A per-task axis names a task that is not in the configuration.
+    UnknownTask(String),
+    /// Scale factors must be finite and strictly positive.
+    NonPositiveFactor(f64),
+    /// A task's scaled WCET rounded below one tick.
+    WcetUnderflow {
+        /// The task whose WCET vanished.
+        task: String,
+        /// The factor that caused it.
+        factor: f64,
+    },
+    /// A partition's per-hyperperiod WCET demand exceeds the total
+    /// window time it is granted — no schedule can fit the scaled work,
+    /// however the windows are arranged within the hyperperiod.
+    WcetExceedsWindows {
+        /// The overflowing partition.
+        partition: String,
+        /// Demand per hyperperiod (Σ wcet·jobs) at the scaled factor.
+        demand: i64,
+        /// Window capacity per hyperperiod.
+        capacity: i64,
+    },
+    /// A task's scaled period rounded below one tick.
+    PeriodUnderflow {
+        /// The task whose period vanished.
+        task: String,
+        /// The factor that caused it.
+        factor: f64,
+    },
+    /// A partition window collapsed to zero length under period scaling.
+    WindowCollapsed {
+        /// The partition whose window vanished.
+        partition: String,
+    },
+    /// The scaled configuration fails IMA structural validation (for
+    /// example rounded windows started overlapping).
+    InvalidScaledConfig(String),
+    /// The configuration has no defined hyperperiod, so window-capacity
+    /// boundaries cannot be checked.
+    NoHyperperiod,
+    /// The underlying analysis pipeline failed — a modeling bug, not an
+    /// unschedulable probe.
+    Analysis(PipelineError),
+    /// The caller's abort guard (deadline, shutdown) stopped the sweep.
+    Aborted,
+}
+
+impl SweepError {
+    /// Whether the error marks the *edge of the parameter domain*: the
+    /// scaled configuration cannot physically exist (demand beyond
+    /// window capacity, vanished periods/windows, rounding-induced
+    /// structural invalidity). The probe engine records such factors as
+    /// infeasible — they bound the breakdown search from above — rather
+    /// than failing the whole sweep.
+    #[must_use]
+    pub fn is_domain_edge(&self) -> bool {
+        matches!(
+            self,
+            SweepError::WcetUnderflow { .. }
+                | SweepError::WcetExceedsWindows { .. }
+                | SweepError::PeriodUnderflow { .. }
+                | SweepError::WindowCollapsed { .. }
+                | SweepError::InvalidScaledConfig(_)
+        )
+    }
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::UnknownAxis(spec) => write!(
+                f,
+                "unknown axis {spec:?} (expected \"wcet\", \"period\", \"offset\", or \"wcet:<partition>/<task>\")"
+            ),
+            SweepError::UnknownTask(spec) => {
+                write!(f, "no task named {spec:?} (expected \"<partition>/<task>\")")
+            }
+            SweepError::NonPositiveFactor(factor) => {
+                write!(f, "scale factor must be finite and > 0, got {factor}")
+            }
+            SweepError::WcetUnderflow { task, factor } => {
+                write!(f, "task {task}: WCET rounds below one tick at factor {factor}")
+            }
+            SweepError::WcetExceedsWindows {
+                partition,
+                demand,
+                capacity,
+            } => write!(
+                f,
+                "partition {partition}: scaled demand {demand} exceeds window capacity {capacity} per hyperperiod"
+            ),
+            SweepError::PeriodUnderflow { task, factor } => {
+                write!(f, "task {task}: period rounds below one tick at factor {factor}")
+            }
+            SweepError::WindowCollapsed { partition } => {
+                write!(f, "partition {partition}: a window collapsed to zero length under period scaling")
+            }
+            SweepError::InvalidScaledConfig(detail) => {
+                write!(f, "scaled configuration is invalid: {detail}")
+            }
+            SweepError::NoHyperperiod => write!(f, "configuration has no defined hyperperiod"),
+            SweepError::Analysis(e) => write!(f, "analysis failed: {e}"),
+            SweepError::Aborted => write!(f, "sweep aborted"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::Analysis(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PipelineError> for SweepError {
+    fn from(e: PipelineError) -> Self {
+        SweepError::Analysis(e)
+    }
+}

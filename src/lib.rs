@@ -87,7 +87,10 @@
 //!   running on the batch engine;
 //! * [`rta`] — classical response-time analysis for cross-validation;
 //! * [`serve`] — a long-running analysis server (`swa serve`) with a
-//!   content-addressed verdict cache shared with the search loop.
+//!   content-addressed verdict cache shared with the search loop;
+//! * [`sweep`] — parametric sensitivity and breakdown analysis (`swa
+//!   sweep`): how far a configuration's WCETs/periods/offsets can scale
+//!   before schedulability breaks, with certified bracketing bounds.
 //!
 //! Errors from any layer convert into the unified [`enum@Error`] via `?`.
 
@@ -105,6 +108,7 @@ pub use swa_nsa as nsa;
 pub use swa_rta as rta;
 pub use swa_schedtool as schedtool;
 pub use swa_serve as serve;
+pub use swa_sweep as sweep;
 pub use swa_workload as workload;
 pub use swa_xmlio as xmlio;
 
