@@ -323,4 +323,31 @@ echo "$storage_out" | grep -q '"agree": true' || {
     exit 1
 }
 
+echo "==> ladder smoke (analytic tiers agree with simulation on a repair drift)"
+ladder_out="$(cargo run --release --offline -q -p swa-bench --bin ladder -- --smoke)"
+echo "$ladder_out" | grep -q "ladder smoke: ok" || {
+    echo "ladder smoke FAILED: tiered and exact passes disagree"
+    echo "$ladder_out"
+    exit 1
+}
+echo "$ladder_out" | grep -q '"agree": true' || {
+    echo "ladder smoke FAILED: agreement flag missing from the artifact"
+    echo "$ladder_out"
+    exit 1
+}
+# Avoidance gate: the analytic tiers must decide a positive fraction of
+# the repair candidates without simulating (asserted in-binary too).
+avoid="$(echo "$ladder_out" | awk -F': ' '/"avoidance_rate"/ { print $2 }' | tr -d ', ')"
+if [ -z "$avoid" ]; then
+    echo "ladder smoke FAILED: could not extract avoidance_rate"
+    echo "$ladder_out"
+    exit 1
+fi
+awk -v a="$avoid" 'BEGIN { exit !(a > 0) }' || {
+    echo "ladder smoke FAILED: the ladder avoided no simulations (avoidance_rate=$avoid)"
+    echo "$ladder_out"
+    exit 1
+}
+echo "ladder avoidance gate: avoidance_rate $avoid (> 0 required)"
+
 echo "==> ci.sh: all green"

@@ -1,0 +1,237 @@
+//! Experiment S9 — the tiered verdict ladder as a simulation pre-filter
+//! on a repair workload, emitting `BENCH_ladder.json`.
+//!
+//! Usage:
+//!
+//! ```console
+//! cargo run --release -p swa-bench --bin ladder                # full run
+//! cargo run --release -p swa-bench --bin ladder -- --smoke     # CI gate
+//! cargo run --release -p swa-bench --bin ladder -- --steps 500 --out b.json
+//! ```
+//!
+//! The measured workload is a Table-1-style repair drift: a designer
+//! starts from a comfortably schedulable multi-module configuration and
+//! keeps bumping task WCETs one tick at a time, driving the system from
+//! clearly-schedulable through the contested band into clear overload.
+//! Pass A simulates every candidate exactly. Pass B asks the
+//! [`VerdictLadder`] first — T0 (necessary utilization bounds) catches
+//! the overloaded tail, T1/T2 (sufficient window-supply RTA / RTC curve
+//! check) the comfortable head — and simulates only the undecided band.
+//!
+//! Gates (also enforced by `--smoke` in CI):
+//!
+//! * every ladder-decided verdict agrees with the exact simulation
+//!   (`"agree": true`);
+//! * the avoidance rate (decided / total) is positive — the full run's
+//!   artifact shows it well above the 30% acceptance floor;
+//! * a configuration search with the ladder as candidate pre-filter
+//!   finds the byte-identical configuration (`"search_identical": true`).
+
+use std::time::{Duration, Instant};
+
+use swa_core::{Analyzer, DecidedBy, LadderMode, NoopRecorder, VerdictLadder};
+use swa_ima::Configuration;
+use swa_schedtool::{search, DesignProblem, SearchOptions};
+use swa_workload::{industrial_config, IndustrialSpec, Rng64};
+
+/// A multi-module workload sized to `target_jobs` on the default period
+/// menu (~3.75 jobs per task per hyperperiod), message-free FPPS so both
+/// sufficient tiers apply.
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_precision_loss)]
+fn bench_spec(target_jobs: u64, seed: u64) -> IndustrialSpec {
+    let tasks_needed = ((target_jobs as f64 / 3.75).ceil() as usize).max(1);
+    let modules = 2;
+    IndustrialSpec {
+        modules,
+        cores_per_module: 1,
+        partitions_per_core: 2,
+        tasks_per_partition: tasks_needed.div_ceil(modules * 2).max(1),
+        core_utilization: 0.45,
+        message_fraction: 0.0,
+        seed,
+        ..IndustrialSpec::default()
+    }
+}
+
+/// The repair drift: a WCET random walk with an upward bias — most steps
+/// bump one random task's WCET by a tick, some revert an earlier bump.
+/// The bias drives the system from clearly-schedulable through the
+/// contested band (where only the simulation can decide) into clear
+/// overload, so every ladder tier sees traffic.
+fn candidate_sequence(base: &Configuration, steps: usize, seed: u64) -> Vec<Configuration> {
+    let mut rng = Rng64::seed_from_u64(seed ^ 0x1add_e12b_u64.rotate_left(7));
+    let mut current = base.clone();
+    let mut sequence = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let p = rng.gen_range(current.partitions.len());
+        let t = rng.gen_range(current.partitions[p].tasks.len());
+        let bump = if rng.gen_range(100) < 65 { 1 } else { -1 };
+        for wcet in &mut current.partitions[p].tasks[t].wcet {
+            *wcet = (*wcet + bump).max(1);
+        }
+        sequence.push(current.clone());
+    }
+    sequence
+}
+
+/// Pass A: the exact simulation on every candidate.
+fn simulate_pass(candidates: &[Configuration]) -> (Vec<bool>, Duration) {
+    let t0 = Instant::now();
+    let verdicts = candidates
+        .iter()
+        .map(|c| {
+            Analyzer::new(c)
+                .run()
+                .expect("candidate analysis")
+                .schedulable()
+        })
+        .collect();
+    (verdicts, t0.elapsed())
+}
+
+struct LadderPass {
+    verdicts: Vec<bool>,
+    decided_by: Vec<DecidedBy>,
+    wall: Duration,
+}
+
+/// Pass B: the ladder first, simulation only for the undecided band.
+fn ladder_pass(candidates: &[Configuration], mode: LadderMode) -> LadderPass {
+    let ladder = VerdictLadder::new(mode);
+    let recorder = NoopRecorder;
+    let t0 = Instant::now();
+    let mut verdicts = Vec::with_capacity(candidates.len());
+    let mut decided_by = Vec::with_capacity(candidates.len());
+    for candidate in candidates {
+        if let Some(decision) = ladder.evaluate(candidate, &recorder) {
+            verdicts.push(decision.verdict.is_schedulable());
+            decided_by.push(decision.decided_by);
+            continue;
+        }
+        let report = Analyzer::new(candidate).run().expect("candidate analysis");
+        verdicts.push(report.schedulable());
+        decided_by.push(DecidedBy::Simulation);
+    }
+    LadderPass {
+        verdicts,
+        decided_by,
+        wall: t0.elapsed(),
+    }
+}
+
+/// The search gate: the ladder as candidate pre-filter must find the
+/// byte-identical configuration.
+fn search_identical(base: &Configuration) -> bool {
+    let problem = DesignProblem::from_configuration(base);
+    let plain = search(&problem, &SearchOptions::default()).expect("search");
+    let laddered = search(
+        &problem,
+        &SearchOptions {
+            ladder: LadderMode::Full,
+            ..SearchOptions::default()
+        },
+    )
+    .expect("laddered search");
+    match (&plain.configuration, &laddered.configuration) {
+        (Some(a), Some(b)) => {
+            swa_xmlio::configuration_to_xml(a) == swa_xmlio::configuration_to_xml(b)
+        }
+        (None, None) => true,
+        _ => false,
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let default_jobs = if smoke { 120 } else { 500 };
+    let default_steps = if smoke { 80 } else { 500 };
+    let jobs: u64 = flag_value(&args, "--jobs")
+        .map(|v| v.parse().expect("--jobs expects an integer"))
+        .unwrap_or(default_jobs);
+    let steps: usize = flag_value(&args, "--steps")
+        .map(|v| v.parse().expect("--steps expects an integer"))
+        .unwrap_or(default_steps);
+
+    eprintln!("ladder: generating a ~{jobs}-job multi-module configuration");
+    let base = industrial_config(&bench_spec(jobs, 1));
+    let actual_jobs = base.job_count().expect("valid generated config");
+    let candidates = candidate_sequence(&base, steps, 1);
+
+    eprintln!("ladder: exact pass ({steps} repair steps, every candidate simulated)");
+    let (exact, exact_wall) = simulate_pass(&candidates);
+    eprintln!("ladder: exact pass {:.3}s", exact_wall.as_secs_f64());
+
+    eprintln!("ladder: tiered pass (T0-T2 pre-filter, undecided band simulated)");
+    let tiered = ladder_pass(&candidates, LadderMode::Full);
+    eprintln!("ladder: tiered pass {:.3}s", tiered.wall.as_secs_f64());
+
+    // The soundness gate: a ladder-decided verdict never disagrees with
+    // the exact simulation.
+    for (i, (a, b)) in exact.iter().zip(&tiered.verdicts).enumerate() {
+        assert_eq!(
+            a, b,
+            "step {i}: ladder verdict {b} disagrees with simulation {a} \
+             (decided by {})",
+            tiered.decided_by[i]
+        );
+    }
+
+    let count = |tier: DecidedBy| -> usize {
+        tiered.decided_by.iter().filter(|d| **d == tier).count()
+    };
+    let t0_count = count(DecidedBy::Utilization);
+    let t1_count = count(DecidedBy::WindowRta);
+    let t2_count = count(DecidedBy::RtcInterface);
+    let simulated = count(DecidedBy::Simulation);
+    let decided = steps - simulated;
+    let avoidance_rate = decided as f64 / steps.max(1) as f64;
+    assert!(
+        avoidance_rate > 0.0,
+        "the ladder decided nothing on the repair drift"
+    );
+
+    eprintln!("ladder: search gate (ladder-off vs ladder-full candidate pre-filter)");
+    let search_ok = search_identical(&base);
+    assert!(search_ok, "ladder pre-filter changed the found configuration");
+
+    let speedup = exact_wall.as_secs_f64() / tiered.wall.as_secs_f64().max(1e-9);
+    let json = format!(
+        "{{\n  \"jobs\": {actual_jobs},\n  \"repair_steps\": {steps},\n  \
+         \"exact_wall_s\": {:.6},\n  \"tiered_wall_s\": {:.6},\n  \
+         \"tiers\": {{\"t0_unschedulable\": {t0_count}, \"t1_schedulable\": {t1_count}, \
+         \"t2_schedulable\": {t2_count}, \"simulated\": {simulated}}},\n  \
+         \"avoidance_rate\": {avoidance_rate:.4},\n  \
+         \"speedup\": {speedup:.3},\n  \"agree\": true,\n  \"search_identical\": true\n}}\n",
+        exact_wall.as_secs_f64(),
+        tiered.wall.as_secs_f64(),
+    );
+
+    if smoke {
+        // The smoke run is the CI gate; it prints the JSON but does not
+        // overwrite the checked-in benchmark artifact.
+        if let Some(path) = flag_value(&args, "--out") {
+            std::fs::write(path, &json).expect("write json");
+        }
+        println!("{json}");
+        println!(
+            "ladder smoke: ok ({actual_jobs} jobs, avoidance rate {:.1}%, \
+             verdicts agree, search identical)",
+            avoidance_rate * 100.0
+        );
+        return;
+    }
+
+    let out = flag_value(&args, "--out").unwrap_or("BENCH_ladder.json");
+    std::fs::write(out, &json).expect("write json");
+    println!("{json}");
+    println!("ladder: wrote {out}");
+}

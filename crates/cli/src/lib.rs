@@ -120,6 +120,11 @@ COMMANDS:
                   --hyperperiods <n>  analysis span per probe (default 1)
                   --engine <name>     bytecode (default) or ast
                   --compositional     per-module probe analysis and caching
+                  --ladder <mode>     analytic probe pre-filter: off
+                                      (default), fast (T0 utilization +
+                                      T1 window RTA), or full (+ T2 RTC
+                                      curve check); sound, so the
+                                      certified breakdown is unchanged
                   --cache-bytes <n>   verdict-cache budget shared by all
                                       probes (default 16 MiB; 0 = off)
                   --checkpoint-bytes <n>  warm-start probe simulations
@@ -143,6 +148,10 @@ COMMANDS:
                   --compositional     cache and warm-start per module, so a
                                       candidate that edits one partition
                                       reuses every unchanged module's entry
+                  --ladder <mode>     analytic candidate pre-filter: off
+                                      (default), fast, or full; decided
+                                      candidates skip simulation and the
+                                      found configuration is unchanged
                   --state-dir <dir>   durable verdict/checkpoint storage:
                                       verdicts survive across runs on disk
     serve       run the analysis server (no <config.xml>; blocks until a
@@ -165,6 +174,11 @@ COMMANDS:
                                       (resolves port 0 for scripts)
                   --compositional     per-module verdict caching: an edited
                                       request reuses unchanged modules
+                  --ladder <mode>     analytic admission pre-filter (off,
+                                      fast, full): decided requests are
+                                      answered without a worker; responses
+                                      carry their deciding tier in
+                                      \"decided_by\"
                   --route <a,b,…>     router mode: no local analysis —
                                       consistent-hash requests across the
                                       listed backends with retry, failover,
@@ -282,6 +296,13 @@ fn parse_usize(options: &[String], name: &str, default: usize) -> Result<usize, 
         Some(v) => v
             .parse()
             .map_err(|_| format!("{name} expects an integer, got {v:?}")),
+    }
+}
+
+fn parse_ladder(options: &[String]) -> Result<swa_core::LadderMode, String> {
+    match flag_value(options, "--ladder") {
+        None => Ok(swa_core::LadderMode::Off),
+        Some(v) => v.parse().map_err(|e| format!("--ladder: {e}")),
     }
 }
 
@@ -532,6 +553,10 @@ fn cmd_search(config: &Configuration, options: &[String]) -> CommandOutcome {
         Ok(v) => v,
         Err(e) => return CommandOutcome::error(e),
     };
+    let ladder = match parse_ladder(options) {
+        Ok(v) => v,
+        Err(e) => return CommandOutcome::error(e),
+    };
     let cache_bytes = match parse_usize(options, "--cache-bytes", 0) {
         Ok(v) => v,
         Err(e) => return CommandOutcome::error(e),
@@ -577,6 +602,14 @@ fn cmd_search(config: &Configuration, options: &[String]) -> CommandOutcome {
     if let Some(s) = &checkpoints {
         analyzer = analyzer.checkpoints(s.clone());
     }
+    // The ladder's `ladder.*` counters need a sink to land in; attach
+    // one only when pre-filtering is on (the default path stays
+    // recorder-free).
+    let ladder_recorder = (ladder != swa_core::LadderMode::Off)
+        .then(|| std::sync::Arc::new(swa_core::MetricsRecorder::new()));
+    if let Some(r) = &ladder_recorder {
+        analyzer = analyzer.recorder(r.clone());
+    }
     let problem = DesignProblem::from_configuration(config);
     let outcome = match search_with(
         &problem,
@@ -584,6 +617,7 @@ fn cmd_search(config: &Configuration, options: &[String]) -> CommandOutcome {
             max_iterations,
             parallelism,
             speculation,
+            ladder,
             ..SearchOptions::default()
         },
         &analyzer,
@@ -600,6 +634,18 @@ fn cmd_search(config: &Configuration, options: &[String]) -> CommandOutcome {
             it.verdict.label(),
             it.missed_jobs,
             it.check_time
+        );
+    }
+    if let Some(r) = &ladder_recorder {
+        let _ = writeln!(
+            out,
+            "ladder ({ladder}): {} evaluated, {} decided (t0={} t1={} t2={}), {} forwarded to simulation",
+            r.counter_value("ladder.evaluated"),
+            r.counter_value("ladder.decided"),
+            r.counter_value("ladder.t0_unschedulable"),
+            r.counter_value("ladder.t1_schedulable"),
+            r.counter_value("ladder.t2_schedulable"),
+            r.counter_value("ladder.undecided"),
         );
     }
     if let Some(cache) = &cache {
@@ -708,6 +754,10 @@ fn cmd_sweep(config: &Configuration, options: &[String]) -> CommandOutcome {
         }
     }
     sweep_options.compositional = has_flag(options, "--compositional");
+    sweep_options.ladder = match parse_ladder(options) {
+        Ok(v) => v,
+        Err(e) => return CommandOutcome::error(e),
+    };
     let axis = match Axis::parse(flag_value(options, "--axis").unwrap_or("wcet"), config) {
         Ok(axis) => axis,
         Err(e) => return CommandOutcome::error(format!("--axis: {e}")),
@@ -767,9 +817,10 @@ fn cmd_sweep(config: &Configuration, options: &[String]) -> CommandOutcome {
         };
         let _ = writeln!(
             table,
-            "\nreuse: {probes} probes, {simulated} simulated, {} cache hits, {} memo hits ({:.1}% reused)",
+            "\nreuse: {probes} probes, {simulated} simulated, {} cache hits, {} memo hits, {} ladder hits ({:.1}% reused)",
             recorder.counter_value("sweep.cache_hits"),
             recorder.counter_value("sweep.memo_hits"),
+            recorder.counter_value("sweep.ladder_hits"),
             reuse_rate * 100.0,
         );
         table
@@ -823,6 +874,10 @@ fn cmd_serve(options: &[String]) -> CommandOutcome {
         Ok(v) => serve_options.shed_inflight = v,
         Err(e) => return CommandOutcome::error(e),
     }
+    serve_options.ladder = match parse_ladder(options) {
+        Ok(v) => v,
+        Err(e) => return CommandOutcome::error(e),
+    };
 
     let server = match swa_serve::Server::start(&serve_options) {
         Ok(s) => s,
@@ -859,6 +914,18 @@ fn cmd_serve(options: &[String]) -> CommandOutcome {
         recorder.counter_value("serve.deadline_expired"),
         recorder.counter_value("serve.errors"),
     );
+    if serve_options.ladder != swa_core::LadderMode::Off {
+        let _ = writeln!(
+            out,
+            "ladder ({}): decided={} (t0={} t1={} t2={}) undecided={}",
+            serve_options.ladder,
+            recorder.counter_value("serve.ladder_decided"),
+            recorder.counter_value("ladder.t0_unschedulable"),
+            recorder.counter_value("ladder.t1_schedulable"),
+            recorder.counter_value("ladder.t2_schedulable"),
+            recorder.counter_value("ladder.undecided"),
+        );
+    }
     let _ = writeln!(
         out,
         "cache: hits={} misses={} insertions={} evictions={}",
@@ -1445,6 +1512,38 @@ mod tests {
         assert!(warm.stdout.contains("checkpoints:"), "{}", warm.stdout);
         assert_eq!(found_xml(&plain), found_xml(&warm));
         assert!(!plain.stdout.contains("checkpoints:"));
+    }
+
+    #[test]
+    fn search_with_ladder_reports_tiers_and_same_result() {
+        let found_xml = |out: &CommandOutcome| {
+            let at = out.stdout.find("<configuration>").expect("xml in output");
+            out.stdout[at..].to_string()
+        };
+        let plain = run_on("search", &config(true), &[]);
+        let laddered = run_on("search", &config(true), &opts(&["--ladder", "full"]));
+        assert_eq!(laddered.exit_code, 0, "{}", laddered.stdout);
+        assert!(laddered.stdout.contains("ladder (full):"), "{}", laddered.stdout);
+        assert_eq!(found_xml(&plain), found_xml(&laddered));
+        assert!(!plain.stdout.contains("ladder ("));
+
+        let bad = run_on("search", &config(true), &opts(&["--ladder", "turbo"]));
+        assert_ne!(bad.exit_code, 0);
+        assert!(bad.stdout.contains("unknown ladder mode"), "{}", bad.stdout);
+    }
+
+    #[test]
+    fn sweep_with_ladder_reports_hits_and_same_breakdown() {
+        let json_line = |args: &[String]| run_on("sweep", &config(true), args);
+        let base = json_line(&opts(&["--json", "--tolerance", "0.05"]));
+        let laddered = json_line(&opts(&["--json", "--tolerance", "0.05", "--ladder", "fast"]));
+        assert_eq!(base.exit_code, 0, "{}", base.stdout);
+        // Sound pre-filtering cannot move the certified breakdown: the
+        // canonical JSON report is byte-identical.
+        assert_eq!(base.stdout, laddered.stdout);
+
+        let table = run_on("sweep", &config(true), &opts(&["--ladder", "fast"]));
+        assert!(table.stdout.contains("ladder hits"), "{}", table.stdout);
     }
 
     #[test]

@@ -285,6 +285,14 @@ impl<'a> Analyzer<'a> {
         self.cache.as_ref()
     }
 
+    /// The attached observability recorder, if any (callers running
+    /// pre-filters — e.g. the [`ladder`](crate::ladder) — route their
+    /// counters through the same sink the analysis uses).
+    #[must_use]
+    pub fn attached_recorder(&self) -> Option<&Arc<dyn Recorder>> {
+        self.recorder.as_ref()
+    }
+
     /// The attached checkpoint store, if any.
     #[must_use]
     pub fn checkpoint_store(&self) -> Option<&Arc<dyn CheckpointStore>> {

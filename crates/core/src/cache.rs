@@ -35,6 +35,7 @@ use std::sync::{Arc, Mutex};
 use swa_ima::PartitionId;
 
 use crate::canon::{CacheKey, CanonicalRequest};
+use crate::ladder::DecidedBy;
 use crate::obs::Recorder;
 use crate::pipeline::AnalysisReport;
 
@@ -53,6 +54,12 @@ pub struct CachedVerdict {
     /// Partitions with at least one missed job (sorted, deduplicated) —
     /// what the search's iterative repair widens.
     pub missing_partitions: Vec<PartitionId>,
+    /// Which analysis tier produced the verdict (provenance, stored
+    /// alongside the verdict — the canonical request bytes and cache key
+    /// are unaffected). Ladder-decided entries carry no job-level counts:
+    /// `jobs`/`missed_jobs` are zero and `missing_partitions` is the
+    /// tier's coarse attribution.
+    pub decided_by: DecidedBy,
 }
 
 impl CachedVerdict {
@@ -77,6 +84,30 @@ impl CachedVerdict {
             jobs: analysis.jobs.len(),
             missed_jobs: analysis.missed_jobs().count(),
             missing_partitions: missing,
+            decided_by: DecidedBy::Simulation,
+        }
+    }
+
+    /// Summarizes an analytic ladder decision into its cacheable form.
+    /// The configuration supplies the hyperperiod; job-level counts are
+    /// unavailable without simulation and stay zero.
+    #[must_use]
+    pub fn from_ladder(
+        decision: &crate::ladder::LadderDecision,
+        config: &swa_ima::Configuration,
+    ) -> Self {
+        let missing = decision
+            .verdict
+            .diagnosis()
+            .map(|d| d.missing_partitions.clone())
+            .unwrap_or_default();
+        Self {
+            schedulable: decision.verdict.is_schedulable(),
+            hyperperiod: config.hyperperiod().unwrap_or(0),
+            jobs: 0,
+            missed_jobs: 0,
+            missing_partitions: missing,
+            decided_by: decision.decided_by,
         }
     }
 
@@ -402,6 +433,7 @@ mod tests {
             } else {
                 vec![PartitionId::from_raw(0)]
             },
+            decided_by: DecidedBy::Simulation,
         })
     }
 

@@ -305,6 +305,7 @@ pub fn compose_cached(parts: &[ModulePart], verdicts: &[Arc<CachedVerdict>]) -> 
         jobs: 0,
         missed_jobs: 0,
         missing_partitions: Vec::new(),
+        decided_by: crate::ladder::DecidedBy::Simulation,
     };
     for (part, v) in parts.iter().zip(verdicts) {
         out.schedulable &= v.schedulable;
@@ -316,6 +317,13 @@ pub fn compose_cached(parts: &[ModulePart], verdicts: &[Arc<CachedVerdict>]) -> 
     }
     out.missing_partitions.sort_unstable();
     out.missing_partitions.dedup();
+    // Provenance survives composition only when unanimous; a mixed set is
+    // conservatively attributed to simulation.
+    if let Some(first) = verdicts.first() {
+        if verdicts.iter().all(|v| v.decided_by == first.decided_by) {
+            out.decided_by = first.decided_by;
+        }
+    }
     out
 }
 

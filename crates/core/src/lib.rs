@@ -66,6 +66,7 @@ pub mod compose;
 pub mod error;
 pub mod gantt;
 pub mod instance;
+pub mod ladder;
 pub mod obs;
 pub mod pipeline;
 pub mod storage;
@@ -93,6 +94,7 @@ pub use compose::{
 pub use error::{ModelError, PipelineError};
 pub use gantt::render_gantt;
 pub use instance::{ChannelRole, ModelMap, SystemModel};
+pub use ladder::{DecidedBy, LadderDecision, LadderMode, VerdictLadder};
 pub use obs::{Fanout, JsonlSink, MetricsRecorder, NoopRecorder, Recorder, SpanStats};
 pub use pipeline::{
     analyze_configuration, analyze_configuration_with, analyze_configuration_with_topology,

@@ -471,6 +471,7 @@ fn encode_verdict(key: CacheKey, canon: &[u8], v: &CachedVerdict) -> Vec<u8> {
     for p in &v.missing_partitions {
         put_u32(&mut out, p.raw());
     }
+    out.push(v.decided_by.to_byte());
     out
 }
 
@@ -498,6 +499,7 @@ fn decode_verdict(payload: &[u8]) -> Option<(CacheKey, Vec<u8>, CachedVerdict)> 
     for _ in 0..n_missing {
         missing.push(PartitionId::from_raw(r.u32()?));
     }
+    let decided_by = crate::ladder::DecidedBy::from_byte(r.u8()?)?;
     if !r.done() {
         return None;
     }
@@ -510,6 +512,7 @@ fn decode_verdict(payload: &[u8]) -> Option<(CacheKey, Vec<u8>, CachedVerdict)> 
             jobs,
             missed_jobs,
             missing_partitions: missing,
+            decided_by,
         },
     ))
 }
@@ -1360,6 +1363,7 @@ mod tests {
             } else {
                 vec![PartitionId::from_raw(0)]
             },
+            decided_by: crate::ladder::DecidedBy::Simulation,
         })
     }
 

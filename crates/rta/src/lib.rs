@@ -13,7 +13,14 @@
 //!   sufficient test);
 //! * [`compare`] — runs classical RTA per partition against the
 //!   stopwatch-automata trace analysis and reports where the classical
-//!   model's blind spots (windows, dependencies) change the verdict.
+//!   model's blind spots (windows, dependencies) change the verdict;
+//! * [`window_rta`] — the *window-supply* generalization (supply-bound /
+//!   request-bound functions over the ARINC-653 window schedule, per the
+//!   compositional interfaces of Han et al., arXiv:1807.11050). Unlike
+//!   the classics above it **sees** partition windows, which makes its
+//!   `Schedulable` answers sound against the trace analysis; it powers
+//!   tier T1 of the verdict ladder
+//!   ([`swa_core::ladder`], DESIGN.md §4.20).
 
 #![warn(missing_docs)]
 #![allow(clippy::module_name_repetitions)]
@@ -75,10 +82,29 @@ pub fn response_times(tasks: &[RtaTask]) -> Vec<Option<i64>> {
 
 /// The Liu & Layland utilization bound for `n` tasks under rate-monotonic
 /// priorities: `n (2^{1/n} − 1)`.
+///
+/// A task set of `n` independent periodic tasks on a dedicated,
+/// always-available core is schedulable under rate-monotonic FPPS if its
+/// total utilization is at most this bound (a *sufficient* test: sets
+/// above the bound may still be schedulable, e.g. harmonic periods up to
+/// utilization 1). The bound is 1.0 for a single task and decreases
+/// monotonically towards `ln 2 ≈ 0.693` as `n → ∞`.
+///
+/// For `n = 0` there are no tasks and the formula is vacuous; this
+/// returns `0.0` — the empty set's own utilization — so that
+/// `utilization ≤ bound` still holds exactly for the empty task set
+/// (earlier releases returned a meaningless `1.0` here).
+///
+/// ```
+/// assert_eq!(swa_rta::liu_layland_bound(0), 0.0);
+/// assert_eq!(swa_rta::liu_layland_bound(1), 1.0);
+/// assert!((swa_rta::liu_layland_bound(2) - 0.828_427).abs() < 1e-6);
+/// assert!(swa_rta::liu_layland_bound(1000) > (2.0f64).ln());
+/// ```
 #[must_use]
 pub fn liu_layland_bound(n: usize) -> f64 {
     if n == 0 {
-        return 1.0;
+        return 0.0;
     }
     #[allow(clippy::cast_precision_loss)]
     let n = n as f64;
@@ -173,6 +199,56 @@ pub fn compare(config: &Configuration) -> Result<Comparison, swa_core::PipelineE
         trace_schedulable: report.schedulable(),
         optimistic_partitions: optimistic,
     })
+}
+
+pub use swa_core::ladder::{partition_window_rta, window_supply_rta};
+
+/// The window-supply RTA verdict for one partition.
+///
+/// Produced by [`window_rta`]; mirrors [`RtaVerdict`] but for the
+/// supply-bound-function test that accounts for the partition's ARINC-653
+/// windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowRtaVerdict {
+    /// The partition.
+    pub partition: PartitionId,
+    /// Whether every task provably meets its deadline given the window
+    /// supply. Always `false` when `assumptions_hold` is `false` — an
+    /// inapplicable test proves nothing.
+    pub schedulable: bool,
+    /// Whether the test applies to this partition (FPPS scheduler, no
+    /// incoming data dependencies, finite task parameters). When `false`
+    /// the partition must be left to the exact trace analysis.
+    pub assumptions_hold: bool,
+}
+
+/// Runs the window-supply response-time test on every partition.
+///
+/// Unlike classical [`response_times`], this test models the partition's
+/// window schedule through its supply-bound function, so a `schedulable`
+/// answer with `assumptions_hold` is *sound*: the exact trace analysis
+/// agrees (see `tests/soundness.rs`). Partitions where the assumptions
+/// fail (non-FPPS scheduler, message receivers) come back with
+/// `assumptions_hold: false` and `schedulable: false`.
+#[must_use]
+pub fn window_rta(config: &Configuration) -> Vec<WindowRtaVerdict> {
+    (0..config.partitions.len())
+        .map(|pi| {
+            let pid = PartitionId::from_raw(u32::try_from(pi).expect("partition count fits u32"));
+            match partition_window_rta(config, pid) {
+                Some(schedulable) => WindowRtaVerdict {
+                    partition: pid,
+                    schedulable,
+                    assumptions_hold: true,
+                },
+                None => WindowRtaVerdict {
+                    partition: pid,
+                    schedulable: false,
+                    assumptions_hold: false,
+                },
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -297,5 +373,35 @@ mod tests {
         c.partitions[0].scheduler = SchedulerKind::Edf;
         let comparison = compare(&c).unwrap();
         assert!(!comparison.rta[0].assumptions_hold);
+    }
+
+    #[test]
+    fn window_rta_sees_the_windows_classical_rta_misses() {
+        // Same pair of configurations as the classical comparison above:
+        // with the full hyperperiod granted, the window-supply test proves
+        // schedulability; with only 20 of 50 ticks it refuses to — where
+        // classical RTA would still (optimistically) say yes.
+        let full = window_rta(&windowed_config(50));
+        assert_eq!(full.len(), 1);
+        assert!(full[0].assumptions_hold);
+        assert!(full[0].schedulable);
+        assert!(window_supply_rta(&windowed_config(50)).is_schedulable());
+
+        let starved = window_rta(&windowed_config(20));
+        assert!(starved[0].assumptions_hold);
+        assert!(!starved[0].schedulable);
+        assert!(window_supply_rta(&windowed_config(20)).is_undecided());
+    }
+
+    #[test]
+    fn window_rta_marks_inapplicable_partitions() {
+        let mut c = windowed_config(50);
+        c.partitions[0].scheduler = SchedulerKind::Edf;
+        let verdicts = window_rta(&c);
+        assert!(!verdicts[0].assumptions_hold);
+        assert!(!verdicts[0].schedulable);
+        // An inapplicable partition forces the whole-config answer to
+        // Undecided, never to Schedulable.
+        assert!(window_supply_rta(&c).is_undecided());
     }
 }

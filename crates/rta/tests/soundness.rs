@@ -14,7 +14,7 @@ use swa_ima::{
     Configuration, CoreRef, CoreType, CoreTypeId, Module, ModuleId, Partition, SchedulerKind,
     Task, Window,
 };
-use swa_rta::compare;
+use swa_rta::{compare, window_rta, window_supply_rta};
 use swa_workload::rng::Rng64;
 use swa_xmlio::configuration_from_xml;
 
@@ -72,6 +72,59 @@ fn rta_schedulable_implies_simulation_schedulable_on_full_core_sets() {
     }
     assert!(said_yes >= 10, "corpus too overloaded to test the implication ({said_yes} yes)");
     assert!(said_no >= 10, "corpus too light to include RTA rejections ({said_no} no)");
+}
+
+/// Window-supply RTA is sound on the same randomized corpus: a
+/// `Schedulable` whole-config verdict implies the simulation agrees, and
+/// on full-core windows the test is applicable to every partition. The
+/// corpus keeps both verdicts represented so neither implication is
+/// vacuous.
+#[test]
+fn window_rta_schedulable_implies_simulation_schedulable() {
+    let (mut said_yes, mut said_rest) = (0u32, 0u32);
+    for seed in 0..60 {
+        let config = full_core_config(seed);
+        let verdicts = window_rta(&config);
+        assert!(
+            verdicts.iter().all(|v| v.assumptions_hold),
+            "seed {seed}: full-core FPPS must qualify for the window-supply test"
+        );
+        let whole = window_supply_rta(&config);
+        assert_eq!(
+            whole.is_schedulable(),
+            verdicts.iter().all(|v| v.schedulable),
+            "seed {seed}: whole-config verdict must aggregate the per-partition ones"
+        );
+        if whole.is_schedulable() {
+            said_yes += 1;
+            let report = swa_core::analyze_configuration(&config).expect("analysis runs");
+            assert!(
+                report.schedulable(),
+                "seed {seed}: window RTA said schedulable but the simulation found a miss"
+            );
+        } else {
+            said_rest += 1;
+        }
+    }
+    assert!(said_yes >= 10, "corpus too overloaded to test the implication ({said_yes} yes)");
+    assert!(said_rest >= 10, "corpus too light to exercise refusals ({said_rest} undecided)");
+}
+
+/// On the full-core corpus the window-supply test is at least as strong
+/// as classical RTA: every set classical RTA proves schedulable, the
+/// window test (whose supply there is the identity) proves too.
+#[test]
+fn window_rta_generalizes_classical_rta_on_full_cores() {
+    for seed in 0..60 {
+        let config = full_core_config(seed);
+        let cmp = compare(&config).expect("analysis runs");
+        if cmp.rta[0].schedulable {
+            assert!(
+                window_supply_rta(&config).is_schedulable(),
+                "seed {seed}: classical RTA passes but window RTA refuses on a full core"
+            );
+        }
+    }
 }
 
 /// Response times computed by RTA upper-bound the completion the

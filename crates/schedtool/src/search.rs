@@ -22,8 +22,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use swa_core::{
-    canonicalize, compositional_lookup, Analyzer, CachedVerdict, PipelineError, Verdict,
-    VerdictCache,
+    canonicalize, compositional_lookup, Analyzer, CachedVerdict, LadderMode, PipelineError,
+    Verdict, VerdictCache, VerdictLadder,
 };
 use swa_ima::{Configuration, CoreRef, PartitionId};
 use swa_workload::{synthesize_windows, PartitionDemand};
@@ -48,6 +48,13 @@ pub struct SearchOptions {
     pub speculation: usize,
     /// Worker threads for candidate checking; `0` means one per core.
     pub parallelism: usize,
+    /// Analytic pre-filtering of candidates through the
+    /// [`VerdictLadder`] (tiers T0–T2, see `swa_core::ladder`). Decided
+    /// candidates skip the simulation; the found configuration is
+    /// unchanged because the ladder's tiers are sound and the deepest
+    /// speculative rung — whose simulated diagnostics drive the repair
+    /// rule — is never pre-filtered. Off by default.
+    pub ladder: LadderMode,
 }
 
 impl Default for SearchOptions {
@@ -59,6 +66,7 @@ impl Default for SearchOptions {
             boost_step: 1.35,
             speculation: 4,
             parallelism: 0,
+            ladder: LadderMode::Off,
         }
     }
 }
@@ -182,6 +190,7 @@ fn search_impl(
     let mut packing =
         first_fit_decreasing(problem, options.utilization_cap).ok_or_else(bad_problem)?;
 
+    let ladder = VerdictLadder::new(options.ladder);
     let mut boosts = vec![options.initial_boost; problem.partitions.len()];
     // Which partitions the next repair escalates. Before any verdict the
     // best guess is "all of them"; afterwards, the ones that just missed.
@@ -216,7 +225,7 @@ fn search_impl(
         // composes a whole verdict from per-module entries, so a candidate
         // is served even when only its *modules* were seen before.
         let hp = analyzer.hyperperiods();
-        let known: Vec<Option<Arc<CachedVerdict>>> = match cache {
+        let mut known: Vec<Option<Arc<CachedVerdict>>> = match cache {
             Some(cache) if analyzer.is_compositional() => candidates
                 .iter()
                 .map(|c| compositional_lookup(cache, c, hp))
@@ -227,6 +236,26 @@ fn search_impl(
                 .collect(),
             None => vec![None; candidates.len()],
         };
+        // Analytic pre-filter: let the ladder decide candidates the cache
+        // could not, *except the deepest rung* — when no winner emerges
+        // this round, the repair rule reads the deepest rung's simulated
+        // diagnostics, and those must stay identical to a ladder-off run.
+        // Ladder verdicts are not inserted into the cache (they carry no
+        // job-level counts) and only cover a single hyperperiod.
+        if ladder.mode() != LadderMode::Off && hp == 1 {
+            let noop = swa_core::NoopRecorder;
+            let recorder: &dyn swa_core::Recorder = analyzer
+                .attached_recorder()
+                .map_or(&noop, |r| r.as_ref());
+            for (k, slot) in known.iter_mut().enumerate().take(candidates.len() - 1) {
+                if slot.is_none() {
+                    if let Some(decision) = ladder.evaluate(&candidates[k], recorder) {
+                        *slot =
+                            Some(Arc::new(CachedVerdict::from_ladder(&decision, &candidates[k])));
+                    }
+                }
+            }
+        }
         let cached_winner = known
             .iter()
             .position(|v| v.as_ref().is_some_and(|v| v.schedulable));
@@ -699,6 +728,78 @@ mod tests {
                 assert_eq!(diagnosis.missing_partitions, record.missing_partitions);
             }
         }
+    }
+
+    #[test]
+    fn ladder_prefilter_does_not_change_the_found_configuration() {
+        for problem in [
+            two_partition_problem(1),
+            two_partition_problem(2),
+            two_module_problem(),
+        ] {
+            let baseline = search(&problem, &SearchOptions::default()).unwrap();
+            for mode in [LadderMode::Fast, LadderMode::Full] {
+                let laddered = search(
+                    &problem,
+                    &SearchOptions {
+                        ladder: mode,
+                        ..SearchOptions::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(
+                    laddered.configuration, baseline.configuration,
+                    "ladder {mode} must not change the found configuration"
+                );
+                assert_eq!(laddered.iterations.len(), baseline.iterations.len());
+                for (l, b) in laddered.iterations.iter().zip(&baseline.iterations) {
+                    assert_eq!(l.schedulable, b.schedulable, "ladder {mode}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ladder_prefilter_skips_simulations_on_impossible_problems() {
+        // Utilization 1.5 on one core: T0 decides every non-deepest rung
+        // without simulating it, and the outcome still reports failure on
+        // every iteration.
+        let problem = DesignProblem {
+            core_types: vec![CoreType::new("ct")],
+            modules: vec![Module::homogeneous("M", 1, CoreTypeId::from_raw(0))],
+            partitions: vec![
+                Partition::new(
+                    "a",
+                    SchedulerKind::Fpps,
+                    vec![Task::new("t", 1, vec![80], 100)],
+                ),
+                Partition::new(
+                    "b",
+                    SchedulerKind::Fpps,
+                    vec![Task::new("t", 1, vec![70], 100)],
+                ),
+            ],
+            messages: vec![],
+        };
+        let recorder = Arc::new(swa_core::MetricsRecorder::new());
+        let analyzer = Analyzer::configure().recorder(recorder.clone());
+        let options = SearchOptions {
+            max_iterations: 5,
+            ladder: LadderMode::Fast,
+            ..SearchOptions::default()
+        };
+        let outcome = search_with(&problem, &options, &analyzer).unwrap();
+        assert!(!outcome.found());
+        assert!(outcome.iterations.iter().all(|i| !i.schedulable));
+        assert!(
+            recorder.counter_value("ladder.t0_unschedulable") > 0,
+            "the overload must be caught analytically"
+        );
+        // Ladder-decided iterations are the zero-check-time ones.
+        assert!(outcome
+            .iterations
+            .iter()
+            .any(|i| i.check_time == Duration::ZERO));
     }
 
     #[test]

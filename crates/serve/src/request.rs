@@ -259,6 +259,15 @@ pub fn parse_sweep(body: &[u8]) -> Result<SweepRequest, RequestError> {
             Some(i64::try_from(bound).map_err(|_| RequestError::Bad("\"chain_bound\" out of range".into()))?)
         }
     };
+    options.ladder = match doc.get("ladder") {
+        None | Some(Json::Null) => swa_core::LadderMode::Off,
+        Some(v) => {
+            let name = v
+                .as_str()
+                .ok_or_else(|| RequestError::Bad("\"ladder\" must be a string".into()))?;
+            name.parse().map_err(RequestError::Bad)?
+        }
+    };
     let per_task = flag(&doc, "per_task")?;
 
     let deadline_ms = match doc.get("deadline_ms") {
@@ -305,12 +314,15 @@ fn flag(doc: &Json, name: &str) -> Result<bool, RequestError> {
 /// Renders a successful verdict response body.
 ///
 /// The typed `verdict` field is the primary one; the boolean
-/// `schedulable` field is kept for one release for older clients.
+/// `schedulable` field is kept for one release for older clients. The
+/// `decided_by` field names the provenance — `"simulation"` for the
+/// exact analysis, or the ladder tier (`"t0-utilization"`,
+/// `"t1-window-rta"`, `"t2-rtc"`) that pre-filtered the request.
 #[must_use]
 pub fn render_verdict(verdict: &CachedVerdict, cached: bool, key: CacheKey, check_ms: f64) -> String {
     format!(
-        "{{\"status\":\"ok\",\"verdict\":\"{}\",\"schedulable\":{},\"cached\":{},\"key\":\"{}\",\"hyperperiod\":{},\"jobs\":{},\"missed_jobs\":{},\"check_ms\":{:.3}}}",
-        verdict.verdict().label(), verdict.schedulable, cached, key, verdict.hyperperiod, verdict.jobs, verdict.missed_jobs, check_ms,
+        "{{\"status\":\"ok\",\"verdict\":\"{}\",\"schedulable\":{},\"decided_by\":\"{}\",\"cached\":{},\"key\":\"{}\",\"hyperperiod\":{},\"jobs\":{},\"missed_jobs\":{},\"check_ms\":{:.3}}}",
+        verdict.verdict().label(), verdict.schedulable, verdict.decided_by.label(), cached, key, verdict.hyperperiod, verdict.jobs, verdict.missed_jobs, check_ms,
     )
 }
 
@@ -428,6 +440,7 @@ mod tests {
         assert_eq!(req.options.chain_bound, None);
         assert!(!req.per_task);
         assert_eq!(req.deadline_ms, None);
+        assert_eq!(req.options.ladder, swa_core::LadderMode::Off);
     }
 
     #[test]
@@ -436,7 +449,7 @@ mod tests {
             envelope(
                 ",\"axis\":\"wcet:P/t\",\"tolerance\":0.05,\"max_probes\":32,\"samples\":8,\
                  \"chains\":true,\"chain_bound\":120,\"per_task\":true,\"hyperperiods\":2,\
-                 \"engine\":\"ast\",\"deadline_ms\":250",
+                 \"engine\":\"ast\",\"deadline_ms\":250,\"ladder\":\"fast\"",
             )
             .as_bytes(),
         )
@@ -451,6 +464,7 @@ mod tests {
         assert_eq!(req.options.engine, EvalEngine::Ast);
         assert!(req.per_task);
         assert_eq!(req.deadline_ms, Some(250));
+        assert_eq!(req.options.ladder, swa_core::LadderMode::Fast);
     }
 
     #[test]
@@ -463,6 +477,8 @@ mod tests {
             envelope(",\"tolerance\":\"tight\""),
             envelope(",\"max_probes\":-1"),
             envelope(",\"chain_bound\":-5"),
+            envelope(",\"ladder\":\"turbo\""),
+            envelope(",\"ladder\":7"),
         ] {
             let err = parse_sweep(body.as_bytes()).unwrap_err();
             assert_eq!(err.status(), 400, "{body:.80}");
@@ -479,6 +495,7 @@ mod tests {
             jobs: 1,
             missed_jobs: 0,
             missing_partitions: vec![],
+            decided_by: swa_core::DecidedBy::Simulation,
         };
         let key = swa_core::canon::hash_bytes(b"x");
         let ok = render_verdict(&verdict, true, key, 0.25);
@@ -487,7 +504,16 @@ mod tests {
         assert_eq!(doc.get("cached").unwrap().as_bool(), Some(true));
         assert_eq!(doc.get("verdict").unwrap().as_str(), Some("schedulable"));
         assert_eq!(doc.get("schedulable").unwrap().as_bool(), Some(true));
+        assert_eq!(doc.get("decided_by").unwrap().as_str(), Some("simulation"));
         assert_eq!(doc.get("key").unwrap().as_str(), Some(key.to_string().as_str()));
+
+        let laddered = CachedVerdict {
+            decided_by: swa_core::DecidedBy::Utilization,
+            schedulable: false,
+            ..verdict
+        };
+        let doc = Json::parse(&render_verdict(&laddered, false, key, 0.25)).unwrap();
+        assert_eq!(doc.get("decided_by").unwrap().as_str(), Some("t0-utilization"));
 
         let err = render_error("deadline", "expired after 5ms \"grace\"");
         let doc = Json::parse(&err).unwrap();

@@ -44,8 +44,8 @@ use std::time::{Duration, Instant};
 
 use swa_core::{
     canonicalize, compositional_lookup, open_state_dir, Analyzer, CacheStats, CachedVerdict,
-    CanonicalRequest, CheckpointStats, CheckpointStore, MetricsRecorder, Recorder,
-    ShardedCheckpointStore, ShardedVerdictCache, VerdictCache,
+    CanonicalRequest, CheckpointStats, CheckpointStore, LadderMode, MetricsRecorder, Recorder,
+    ShardedCheckpointStore, ShardedVerdictCache, VerdictCache, VerdictLadder,
 };
 
 use swa_sweep::{render_step_json, run_sweep, SweepEngine, SweepError, SweepEvent};
@@ -105,6 +105,13 @@ pub struct ServeOptions {
     /// scaled to the pool (`(workers + queue_depth) * 4`, leaving room
     /// for cache hits and single-flight followers).
     pub shed_inflight: usize,
+    /// Analytic admission pre-filter: run the verdict ladder
+    /// (`swa_core::ladder`, tiers T0–T2) on single-hyperperiod `/analyze`
+    /// requests before the worker pool. Decided requests are answered —
+    /// and cached — without occupying a worker; the response's
+    /// `decided_by` field names the tier. Off by default; `no_cache` and
+    /// `explain` requests always take the full simulation path.
+    pub ladder: LadderMode,
 }
 
 impl Default for ServeOptions {
@@ -119,6 +126,7 @@ impl Default for ServeOptions {
             state_dir: None,
             io_timeout: Duration::from_secs(5),
             shed_inflight: 0,
+            ladder: LadderMode::Off,
         }
     }
 }
@@ -182,6 +190,7 @@ impl Server {
             cache,
             checkpoints,
             compositional: options.compositional,
+            ladder: options.ladder,
             pool: WorkerPool::new(options.workers, options.queue_depth),
             gates: Mutex::new(HashMap::new()),
             shedder: LoadShedder::new(shed_limit),
@@ -273,6 +282,8 @@ struct Inner {
     checkpoints: Option<Arc<dyn CheckpointStore>>,
     /// Per-module analysis and caching for decomposable requests.
     compositional: bool,
+    /// Analytic admission pre-filter mode (see [`ServeOptions::ladder`]).
+    ladder: LadderMode,
     pool: WorkerPool,
     /// Single-flight gates, keyed by canonical request key.
     gates: Mutex<HashMap<swa_core::CacheKey, Arc<Gate>>>,
@@ -771,6 +782,27 @@ fn run_leader(
     if deadline.is_some_and(|d| Instant::now() >= d) {
         inner.recorder.counter("serve.deadline_expired", 1);
         return (504, render_error("deadline", "request deadline expired"));
+    }
+    // Analytic admission: a ladder-decided request never touches the
+    // worker pool. Gated to single-hyperperiod requests (the ladder's
+    // tiers reason over one hyperperiod) and skipped for `no_cache`
+    // (explicit fresh simulation) and `explain` (wants the full run's
+    // forensics machinery).
+    if inner.ladder != LadderMode::Off
+        && parsed.hyperperiods == 1
+        && !parsed.no_cache
+        && !parsed.explain
+    {
+        let started = Instant::now();
+        let ladder = VerdictLadder::new(inner.ladder);
+        if let Some(decision) = ladder.evaluate(&parsed.config, inner.recorder.as_ref()) {
+            let verdict = Arc::new(CachedVerdict::from_ladder(&decision, &parsed.config));
+            inner.cache.insert(canon, Arc::clone(&verdict));
+            inner.recorder.counter("serve.ladder_decided", 1);
+            #[allow(clippy::cast_precision_loss)]
+            let check_ms = started.elapsed().as_secs_f64() * 1e3;
+            return (200, render_verdict(&verdict, false, canon.key, check_ms));
+        }
     }
     let (reply_tx, reply_rx) = mpsc::channel::<JobReply>();
     let job_inner = Arc::clone(inner);

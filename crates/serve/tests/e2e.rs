@@ -622,3 +622,59 @@ fn router_shards_and_fails_over() {
     backend_a.shutdown();
     backend_b.shutdown();
 }
+
+#[test]
+fn ladder_admission_decides_without_simulating() {
+    use swa_core::LadderMode;
+    let server = Server::start(&ServeOptions {
+        ladder: LadderMode::Full,
+        ..test_options()
+    })
+    .expect("bind ladder server");
+    let addr = server.local_addr();
+
+    // A comfortably schedulable single task with the whole hyperperiod
+    // granted: tier T1 (window-supply RTA) decides it at admission.
+    let yes = client::post(addr, "/analyze", &envelope(&small_config(10), "")).unwrap();
+    assert_eq!(yes.status, 200, "{}", yes.body);
+    let doc = Json::parse(&yes.body).unwrap();
+    assert_eq!(doc.get("verdict").and_then(Json::as_str), Some("schedulable"));
+    assert_eq!(doc.get("decided_by").and_then(Json::as_str), Some("t1-window-rta"));
+    assert_eq!(doc.get("cached").and_then(Json::as_bool), Some(false));
+
+    // Demand 30 against a 25-tick window: tier T0 rejects analytically.
+    let mut starved = small_config(30);
+    starved.windows = vec![vec![Window::new(0, 25)]];
+    let no = client::post(addr, "/analyze", &envelope(&starved, "")).unwrap();
+    assert_eq!(no.status, 200, "{}", no.body);
+    let doc = Json::parse(&no.body).unwrap();
+    assert_eq!(doc.get("verdict").and_then(Json::as_str), Some("unschedulable"));
+    assert_eq!(doc.get("decided_by").and_then(Json::as_str), Some("t0-utilization"));
+
+    // Neither request reached the worker pool.
+    assert_eq!(server.recorder().counter_value("serve.analyses"), 0);
+    assert_eq!(server.recorder().counter_value("serve.ladder_decided"), 2);
+
+    // Ladder verdicts are cached: the repeat is a hit with the same
+    // provenance.
+    let repeat = client::post(addr, "/analyze", &envelope(&small_config(10), "")).unwrap();
+    let doc = Json::parse(&repeat.body).unwrap();
+    assert_eq!(doc.get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(doc.get("decided_by").and_then(Json::as_str), Some("t1-window-rta"));
+
+    // `no_cache` opts out of the pre-filter: the same configuration now
+    // takes the full simulation path and reports simulation provenance.
+    let fresh =
+        client::post(addr, "/analyze", &envelope(&small_config(10), ",\"no_cache\":true")).unwrap();
+    let doc = Json::parse(&fresh.body).unwrap();
+    assert_eq!(doc.get("decided_by").and_then(Json::as_str), Some("simulation"));
+    assert_eq!(server.recorder().counter_value("serve.analyses"), 1);
+
+    // The ladder and the simulation agree on both configurations.
+    let fresh_no =
+        client::post(addr, "/analyze", &envelope(&starved, ",\"no_cache\":true")).unwrap();
+    let doc = Json::parse(&fresh_no.body).unwrap();
+    assert_eq!(doc.get("verdict").and_then(Json::as_str), Some("unschedulable"));
+    assert_eq!(doc.get("decided_by").and_then(Json::as_str), Some("simulation"));
+    server.shutdown();
+}

@@ -59,6 +59,15 @@ pub struct SweepOptions {
     pub quantum_den: u32,
     /// Cap on the number of tasks probed by a per-task sensitivity pass.
     pub max_sensitivity_tasks: usize,
+    /// Analytic probe tiering: run the verdict ladder
+    /// (`swa_core::ladder`, tiers T0–T2) on each scaled configuration
+    /// after the cache probe and before simulating. Ladder-decided
+    /// probes come back as [`ProbeSource::Ladder`] without a
+    /// simulation; soundness keeps the certified breakdown interval
+    /// identical. Off by default. Chain-gated probes always simulate
+    /// (latency needs the per-job trace), as do multi-hyperperiod
+    /// sweeps.
+    pub ladder: swa_core::LadderMode,
 }
 
 impl Default for SweepOptions {
@@ -72,6 +81,7 @@ impl Default for SweepOptions {
             chain_bound: None,
             quantum_den: 1024,
             max_sensitivity_tasks: 256,
+            ladder: swa_core::LadderMode::Off,
         }
     }
 }
@@ -85,6 +95,9 @@ pub enum ProbeSource {
     CacheHit,
     /// Served from this sweep's own memo table.
     Memo,
+    /// Decided analytically by the verdict ladder
+    /// ([`SweepOptions::ladder`]) without a simulation.
+    Ladder,
     /// The factor lies outside the IMA parameter domain (typed boundary).
     DomainEdge,
 }
@@ -292,6 +305,33 @@ impl SweepEngine {
                     self.memo.insert(memo_key, probe.clone());
                     return Ok(probe);
                 }
+            }
+        }
+
+        // Analytic tier: the ladder decides clear-cut scaled
+        // configurations without a simulation. Single-hyperperiod,
+        // ungated probes only; decisions are sound, so the breakdown
+        // interval the search certifies is unchanged.
+        if !gate_chains
+            && self.options.ladder != swa_core::LadderMode::Off
+            && self.options.hyperperiods == 1
+        {
+            let ladder = swa_core::VerdictLadder::new(self.options.ladder);
+            if let Some(decision) = ladder.evaluate(&scaled, self.recorder.as_ref()) {
+                self.recorder.counter("sweep.ladder_hits", 1);
+                let schedulable = decision.verdict.is_schedulable();
+                let probe = Probe {
+                    requested: factor,
+                    factor: quantized,
+                    feasible: schedulable,
+                    schedulable,
+                    chains_ok: None,
+                    worst_chain_latency: None,
+                    source: ProbeSource::Ladder,
+                    domain_edge: None,
+                };
+                self.memo.insert(memo_key, probe.clone());
+                return Ok(probe);
             }
         }
 
@@ -593,6 +633,44 @@ mod tests {
         second.breakdown(Axis::WcetScale, |_| {}, || false).unwrap();
         assert_eq!(recorder.counter_value("sweep.simulated"), 0);
         assert!(recorder.counter_value("sweep.cache_hits") > 0);
+    }
+
+    #[test]
+    fn ladder_tier_decides_probes_without_changing_the_breakdown() {
+        let baseline = SweepEngine::new(light_config(), SweepOptions::default())
+            .unwrap()
+            .breakdown(Axis::WcetScale, |_| {}, || false)
+            .unwrap();
+
+        let recorder = Arc::new(MetricsRecorder::new());
+        let mut laddered = SweepEngine::new(
+            light_config(),
+            SweepOptions {
+                ladder: swa_core::LadderMode::Full,
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap()
+        .recorder(recorder.clone());
+        let result = laddered.breakdown(Axis::WcetScale, |_| {}, || false).unwrap();
+
+        assert_eq!(result.breakdown(), baseline.breakdown());
+        assert_eq!(result.lo, baseline.lo);
+        assert_eq!(result.hi, baseline.hi);
+        assert!(
+            recorder.counter_value("sweep.ladder_hits") > 0,
+            "the analytic tier must decide some probes"
+        );
+        assert!(
+            recorder.counter_value("sweep.simulated")
+                < recorder.counter_value("sweep.probes"),
+            "ladder hits count as reuse"
+        );
+
+        // A clear-cut single probe reports the ladder as its source.
+        let probe = laddered.probe(Axis::WcetScale, 0.5).unwrap();
+        assert!(probe.feasible);
+        assert!(matches!(probe.source, ProbeSource::Ladder | ProbeSource::Memo));
     }
 
     #[test]
